@@ -1,0 +1,128 @@
+//! Building activity tables from unsorted tuples.
+
+use crate::error::ActivityError;
+use crate::schema::Schema;
+use crate::table::ActivityTable;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Accumulates tuples in any order, then sorts by the primary key and
+/// validates uniqueness on [`TableBuilder::finish`].
+pub struct TableBuilder {
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl TableBuilder {
+    /// Start building a table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        TableBuilder { schema, rows: Vec::new() }
+    }
+
+    /// Start building with capacity for `n` rows.
+    pub fn with_capacity(schema: Schema, n: usize) -> Self {
+        TableBuilder { schema, rows: Vec::with_capacity(n) }
+    }
+
+    /// Append one tuple, checking arity and types eagerly.
+    pub fn push(&mut self, values: Vec<Value>) -> Result<(), ActivityError> {
+        if values.len() != self.schema.arity() {
+            return Err(ActivityError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: values.len(),
+            });
+        }
+        for (idx, attr) in self.schema.attributes().iter().enumerate() {
+            match values[idx].value_type() {
+                Some(t) if t == attr.vtype => {}
+                _ => {
+                    return Err(ActivityError::TypeMismatch {
+                        attribute: attr.name.clone(),
+                        expected: attr.vtype.name(),
+                        got: values[idx].to_string(),
+                    })
+                }
+            }
+        }
+        self.rows.push(Tuple::new(values));
+        Ok(())
+    }
+
+    /// Number of rows buffered so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sort by `(Au, At, Ae)` and build the table, rejecting duplicates.
+    pub fn finish(mut self) -> Result<ActivityTable, ActivityError> {
+        let (u, t, a) = (self.schema.user_idx(), self.schema.time_idx(), self.schema.action_idx());
+        self.rows.sort_unstable_by(|x, y| {
+            let kx = (x.get(u).as_str(), x.get(t).as_int(), x.get(a).as_str());
+            let ky = (y.get(u).as_str(), y.get(t).as_int(), y.get(a).as_str());
+            kx.cmp(&ky)
+        });
+        ActivityTable::from_sorted_rows(self.schema, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, AttributeRole};
+    use crate::value::ValueType;
+
+    fn tiny_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("u", ValueType::Str, AttributeRole::User),
+            Attribute::new("t", ValueType::Int, AttributeRole::Time),
+            Attribute::new("a", ValueType::Str, AttributeRole::Action),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn sorts_on_finish() {
+        let mut b = TableBuilder::new(tiny_schema());
+        b.push(vec![Value::str("b"), Value::int(2), Value::str("x")]).unwrap();
+        b.push(vec![Value::str("a"), Value::int(9), Value::str("x")]).unwrap();
+        b.push(vec![Value::str("a"), Value::int(1), Value::str("x")]).unwrap();
+        let t = b.finish().unwrap();
+        assert_eq!(t.key(0), ("a", 1, "x"));
+        assert_eq!(t.key(1), ("a", 9, "x"));
+        assert_eq!(t.key(2), ("b", 2, "x"));
+    }
+
+    #[test]
+    fn rejects_bad_arity_eagerly() {
+        let mut b = TableBuilder::new(tiny_schema());
+        let err = b.push(vec![Value::str("a")]).unwrap_err();
+        assert!(matches!(err, ActivityError::ArityMismatch { expected: 3, got: 1 }));
+    }
+
+    #[test]
+    fn rejects_bad_type_eagerly() {
+        let mut b = TableBuilder::new(tiny_schema());
+        let err = b.push(vec![Value::int(1), Value::int(2), Value::str("x")]).unwrap_err();
+        assert!(matches!(err, ActivityError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicates_on_finish() {
+        let mut b = TableBuilder::new(tiny_schema());
+        b.push(vec![Value::str("a"), Value::int(1), Value::str("x")]).unwrap();
+        b.push(vec![Value::str("a"), Value::int(1), Value::str("x")]).unwrap();
+        assert!(matches!(b.finish().unwrap_err(), ActivityError::DuplicateKey { .. }));
+    }
+
+    #[test]
+    fn empty_table_is_fine() {
+        let t = TableBuilder::new(tiny_schema()).finish().unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.num_users(), 0);
+    }
+}

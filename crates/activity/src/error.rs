@@ -1,0 +1,79 @@
+//! Error type for the activity data model.
+
+use std::fmt;
+
+/// Errors raised while constructing, parsing, or validating activity tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActivityError {
+    /// A tuple violated the `(Au, At, Ae)` primary-key constraint.
+    DuplicateKey {
+        /// The offending user id.
+        user: String,
+        /// The offending timestamp (seconds).
+        time: i64,
+        /// The offending action.
+        action: String,
+    },
+    /// A tuple had the wrong number of values for the schema.
+    ArityMismatch {
+        /// Number of attributes in the schema.
+        expected: usize,
+        /// Number of values in the tuple.
+        got: usize,
+    },
+    /// A value's type did not match the attribute's declared type.
+    TypeMismatch {
+        /// Attribute name.
+        attribute: String,
+        /// Declared type name.
+        expected: &'static str,
+        /// Actual value rendered as text.
+        got: String,
+    },
+    /// The schema is missing one of the three required roles
+    /// (user, time, action) or declares one of them twice.
+    InvalidSchema(String),
+    /// Referenced an attribute that does not exist.
+    UnknownAttribute(String),
+    /// Failed to parse a timestamp.
+    BadTimestamp(String),
+    /// Failed to parse CSV input.
+    BadCsv {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Wrapper around I/O failures.
+    Io(String),
+}
+
+impl fmt::Display for ActivityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActivityError::DuplicateKey { user, time, action } => write!(
+                f,
+                "primary-key violation: user {user:?} performed {action:?} twice at t={time}"
+            ),
+            ActivityError::ArityMismatch { expected, got } => {
+                write!(f, "tuple arity mismatch: schema has {expected} attributes, tuple has {got}")
+            }
+            ActivityError::TypeMismatch { attribute, expected, got } => {
+                write!(f, "attribute {attribute:?} expects {expected}, got value {got}")
+            }
+            ActivityError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            ActivityError::UnknownAttribute(name) => write!(f, "unknown attribute {name:?}"),
+            ActivityError::BadTimestamp(s) => write!(f, "cannot parse timestamp {s:?}"),
+            ActivityError::BadCsv { line, message } => write!(f, "csv error on line {line}: {message}"),
+            ActivityError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ActivityError {}
+
+impl From<std::io::Error> for ActivityError {
+    fn from(e: std::io::Error) -> Self {
+        ActivityError::Io(e.to_string())
+    }
+}

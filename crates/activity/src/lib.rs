@@ -1,0 +1,55 @@
+//! # cohana-activity
+//!
+//! The *activity table* data model from "Cohort Query Processing"
+//! (Jiang et al., VLDB 2016), plus a deterministic synthetic generator for
+//! the mobile-game dataset used in the paper's evaluation.
+//!
+//! An activity table `D` is a relation with attributes
+//! `(Au, At, Ae, A1, …, An)` where:
+//!
+//! * `Au` — a string uniquely identifying a user,
+//! * `At` — the time at which `Au` performed the action,
+//! * `Ae` — an action drawn from a pre-defined collection of actions,
+//! * every other attribute is a standard relational attribute, classified as
+//!   a *dimension* (string) or a *measure* (integer).
+//!
+//! The table carries a primary-key constraint on `(Au, At, Ae)`: a user can
+//! perform a given action at most once per time instant.
+//!
+//! The central type is [`ActivityTable`], which stores tuples in the sorted
+//! order of the primary key. This yields the two properties the COHANA
+//! storage layer exploits:
+//!
+//! 1. **clustering** — all tuples of a user are contiguous, and
+//! 2. **time ordering** — each user's tuples are chronological.
+//!
+//! ```
+//! use cohana_activity::{generate, GeneratorConfig};
+//!
+//! let table = generate(&GeneratorConfig::small());
+//! assert!(table.num_rows() > 0);
+//! // Activity tables are always sorted by (user, time, action).
+//! table.validate().unwrap();
+//! ```
+
+pub mod builder;
+pub mod csv;
+pub mod error;
+pub mod generate;
+pub mod schema;
+pub mod table;
+pub mod time;
+pub mod tuple;
+pub mod value;
+
+pub use builder::TableBuilder;
+pub use error::ActivityError;
+pub use generate::{generate, scale_table, GeneratorConfig};
+pub use schema::{Attribute, AttributeRole, Schema};
+pub use table::{ActivityTable, UserBlock};
+pub use time::{TimeBin, Timestamp, SECONDS_PER_DAY};
+pub use tuple::Tuple;
+pub use value::{Value, ValueType};
+
+/// Convenient `Result` alias for this crate.
+pub type Result<T> = std::result::Result<T, ActivityError>;

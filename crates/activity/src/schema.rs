@@ -1,0 +1,230 @@
+//! Activity-table schemas.
+
+use crate::error::ActivityError;
+use crate::value::ValueType;
+
+/// The role an attribute plays in the activity data model (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeRole {
+    /// `Au` — the user identifier. Exactly one per schema, string-typed.
+    User,
+    /// `At` — the action timestamp. Exactly one per schema, int-typed
+    /// (seconds since epoch).
+    Time,
+    /// `Ae` — the action. Exactly one per schema, string-typed, drawn from a
+    /// pre-defined collection of actions.
+    Action,
+    /// A dimension attribute (string), e.g. country, city, role.
+    Dimension,
+    /// A measure attribute (integer), e.g. gold, session length.
+    Measure,
+}
+
+/// A named, typed attribute with a role.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name as referenced in queries.
+    pub name: String,
+    /// Value type.
+    pub vtype: ValueType,
+    /// Data-model role.
+    pub role: AttributeRole,
+}
+
+impl Attribute {
+    /// Build an attribute.
+    pub fn new(name: impl Into<String>, vtype: ValueType, role: AttributeRole) -> Self {
+        Attribute { name: name.into(), vtype, role }
+    }
+}
+
+/// An activity-table schema: the ordered list of attributes plus cached
+/// positions of the three special roles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    user_idx: usize,
+    time_idx: usize,
+    action_idx: usize,
+}
+
+impl Schema {
+    /// Validate and build a schema. Requires exactly one attribute for each
+    /// of the user / time / action roles, with the right types, and unique
+    /// attribute names.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self, ActivityError> {
+        let one = |role: AttributeRole, want: ValueType| -> Result<usize, ActivityError> {
+            let mut found = None;
+            for (i, a) in attributes.iter().enumerate() {
+                if a.role == role {
+                    if found.is_some() {
+                        return Err(ActivityError::InvalidSchema(format!(
+                            "duplicate {role:?} attribute"
+                        )));
+                    }
+                    if a.vtype != want {
+                        return Err(ActivityError::InvalidSchema(format!(
+                            "{role:?} attribute {:?} must be {}",
+                            a.name,
+                            want.name()
+                        )));
+                    }
+                    found = Some(i);
+                }
+            }
+            found.ok_or_else(|| ActivityError::InvalidSchema(format!("missing {role:?} attribute")))
+        };
+        let user_idx = one(AttributeRole::User, ValueType::Str)?;
+        let time_idx = one(AttributeRole::Time, ValueType::Int)?;
+        let action_idx = one(AttributeRole::Action, ValueType::Str)?;
+        for a in &attributes {
+            match a.role {
+                AttributeRole::Dimension if a.vtype != ValueType::Str => {
+                    return Err(ActivityError::InvalidSchema(format!(
+                        "dimension {:?} must be string",
+                        a.name
+                    )))
+                }
+                AttributeRole::Measure if a.vtype != ValueType::Int => {
+                    return Err(ActivityError::InvalidSchema(format!(
+                        "measure {:?} must be int",
+                        a.name
+                    )))
+                }
+                _ => {}
+            }
+        }
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(ActivityError::InvalidSchema(format!(
+                    "duplicate attribute name {:?}",
+                    a.name
+                )));
+            }
+        }
+        Ok(Schema { attributes, user_idx, time_idx, action_idx })
+    }
+
+    /// The schema of the paper's running example: the `GameActions` table
+    /// with country/city/role dimensions and session/gold measures.
+    pub fn game_actions() -> Self {
+        Schema::new(vec![
+            Attribute::new("player", ValueType::Str, AttributeRole::User),
+            Attribute::new("time", ValueType::Int, AttributeRole::Time),
+            Attribute::new("action", ValueType::Str, AttributeRole::Action),
+            Attribute::new("country", ValueType::Str, AttributeRole::Dimension),
+            Attribute::new("city", ValueType::Str, AttributeRole::Dimension),
+            Attribute::new("role", ValueType::Str, AttributeRole::Dimension),
+            Attribute::new("session", ValueType::Int, AttributeRole::Measure),
+            Attribute::new("gold", ValueType::Int, AttributeRole::Measure),
+        ])
+        .expect("game_actions schema is valid")
+    }
+
+    /// Ordered attribute list.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Position of the user attribute `Au`.
+    pub fn user_idx(&self) -> usize {
+        self.user_idx
+    }
+
+    /// Position of the time attribute `At`.
+    pub fn time_idx(&self) -> usize {
+        self.time_idx
+    }
+
+    /// Position of the action attribute `Ae`.
+    pub fn action_idx(&self) -> usize {
+        self.action_idx
+    }
+
+    /// Look up an attribute position by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Look up an attribute position by name, failing with a typed error.
+    pub fn require(&self, name: &str) -> Result<usize, ActivityError> {
+        self.index_of(name).ok_or_else(|| ActivityError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Attribute at a position.
+    pub fn attribute(&self, idx: usize) -> &Attribute {
+        &self.attributes[idx]
+    }
+
+    /// Names of all attributes, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attributes.iter().map(|a| a.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn game_actions_layout() {
+        let s = Schema::game_actions();
+        assert_eq!(s.arity(), 8);
+        assert_eq!(s.user_idx(), 0);
+        assert_eq!(s.time_idx(), 1);
+        assert_eq!(s.action_idx(), 2);
+        assert_eq!(s.index_of("gold"), Some(7));
+        assert_eq!(s.index_of("nope"), None);
+    }
+
+    #[test]
+    fn rejects_missing_user() {
+        let err = Schema::new(vec![
+            Attribute::new("time", ValueType::Int, AttributeRole::Time),
+            Attribute::new("action", ValueType::Str, AttributeRole::Action),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, ActivityError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn rejects_duplicate_roles_and_names() {
+        assert!(Schema::new(vec![
+            Attribute::new("u1", ValueType::Str, AttributeRole::User),
+            Attribute::new("u2", ValueType::Str, AttributeRole::User),
+            Attribute::new("time", ValueType::Int, AttributeRole::Time),
+            Attribute::new("action", ValueType::Str, AttributeRole::Action),
+        ])
+        .is_err());
+        assert!(Schema::new(vec![
+            Attribute::new("u", ValueType::Str, AttributeRole::User),
+            Attribute::new("u", ValueType::Int, AttributeRole::Time),
+            Attribute::new("action", ValueType::Str, AttributeRole::Action),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_types() {
+        // Int user attribute.
+        assert!(Schema::new(vec![
+            Attribute::new("u", ValueType::Int, AttributeRole::User),
+            Attribute::new("t", ValueType::Int, AttributeRole::Time),
+            Attribute::new("a", ValueType::Str, AttributeRole::Action),
+        ])
+        .is_err());
+        // String measure.
+        assert!(Schema::new(vec![
+            Attribute::new("u", ValueType::Str, AttributeRole::User),
+            Attribute::new("t", ValueType::Int, AttributeRole::Time),
+            Attribute::new("a", ValueType::Str, AttributeRole::Action),
+            Attribute::new("gold", ValueType::Str, AttributeRole::Measure),
+        ])
+        .is_err());
+    }
+}

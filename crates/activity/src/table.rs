@@ -1,0 +1,342 @@
+//! The [`ActivityTable`]: tuples stored in primary-key order.
+
+use crate::error::ActivityError;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A contiguous run of tuples belonging to one user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserBlock {
+    /// Row index of the user's first tuple.
+    pub start: usize,
+    /// Number of tuples for this user.
+    pub len: usize,
+}
+
+impl UserBlock {
+    /// Row range of the block.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+}
+
+/// An activity table: a schema plus tuples sorted by `(Au, At, Ae)`.
+///
+/// The sorted order gives the *clustering* property (tuples of the same user
+/// are contiguous) and the *time-ordering* property (each user's tuples are
+/// chronological), which §4.1 of the paper relies on.
+#[derive(Debug, Clone)]
+pub struct ActivityTable {
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl ActivityTable {
+    /// Build from pre-sorted rows. Prefer [`crate::TableBuilder`], which
+    /// sorts and validates; this constructor checks the invariants and fails
+    /// if they do not hold.
+    pub fn from_sorted_rows(schema: Schema, rows: Vec<Tuple>) -> Result<Self, ActivityError> {
+        let table = ActivityTable { schema, rows };
+        table.validate()?;
+        Ok(table)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All rows, in primary-key order.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Number of tuples.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The primary-key triple of a row: `(user, time, action)`.
+    pub fn key(&self, row: usize) -> (&str, i64, &str) {
+        let t = &self.rows[row];
+        (
+            t.get(self.schema.user_idx()).as_str().expect("user is a string"),
+            t.get(self.schema.time_idx()).as_int().expect("time is an int"),
+            t.get(self.schema.action_idx()).as_str().expect("action is a string"),
+        )
+    }
+
+    /// Verify arity, types, sortedness, and primary-key uniqueness.
+    pub fn validate(&self) -> Result<(), ActivityError> {
+        for row in &self.rows {
+            if row.arity() != self.schema.arity() {
+                return Err(ActivityError::ArityMismatch {
+                    expected: self.schema.arity(),
+                    got: row.arity(),
+                });
+            }
+            for (idx, attr) in self.schema.attributes().iter().enumerate() {
+                let v = row.get(idx);
+                match v.value_type() {
+                    Some(t) if t == attr.vtype => {}
+                    None => {
+                        return Err(ActivityError::TypeMismatch {
+                            attribute: attr.name.clone(),
+                            expected: attr.vtype.name(),
+                            got: "NULL".into(),
+                        })
+                    }
+                    Some(_) => {
+                        return Err(ActivityError::TypeMismatch {
+                            attribute: attr.name.clone(),
+                            expected: attr.vtype.name(),
+                            got: v.to_string(),
+                        })
+                    }
+                }
+            }
+        }
+        for i in 1..self.rows.len() {
+            let prev = self.key(i - 1);
+            let cur = self.key(i);
+            if prev >= cur {
+                if prev == cur {
+                    return Err(ActivityError::DuplicateKey {
+                        user: cur.0.to_string(),
+                        time: cur.1,
+                        action: cur.2.to_string(),
+                    });
+                }
+                return Err(ActivityError::InvalidSchema(format!(
+                    "rows not sorted by primary key at index {i}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterate over the per-user blocks, in user order.
+    pub fn user_blocks(&self) -> UserBlocks<'_> {
+        UserBlocks { table: self, pos: 0 }
+    }
+
+    /// Number of distinct users.
+    pub fn num_users(&self) -> usize {
+        self.user_blocks().count()
+    }
+
+    /// Distinct values of a string attribute, sorted. Deduplicates through
+    /// a hash set first so only the (usually small) distinct set is sorted.
+    pub fn distinct_strings(&self, attr_idx: usize) -> Vec<&str> {
+        let set: std::collections::HashSet<&str> =
+            self.rows.iter().filter_map(|r| r.get(attr_idx).as_str()).collect();
+        let mut out: Vec<&str> = set.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// `(min, max)` of an integer attribute, or `None` for an empty table.
+    pub fn int_range(&self, attr_idx: usize) -> Option<(i64, i64)> {
+        let mut it = self.rows.iter().filter_map(|r| r.get(attr_idx).as_int());
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Render the first `n` rows as an aligned text table (for examples).
+    pub fn preview(&self, n: usize) -> String {
+        let names = self.schema.names();
+        let mut widths: Vec<usize> = names.iter().map(|s| s.len()).collect();
+        let shown: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .take(n)
+            .map(|r| {
+                r.values()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = if i == self.schema.time_idx() {
+                            if let Value::Int(secs) = v {
+                                crate::time::Timestamp(*secs).render()
+                            } else {
+                                v.to_string()
+                            }
+                        } else {
+                            v.to_string()
+                        };
+                        widths[i] = widths[i].max(s.len());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        for (i, n) in names.iter().enumerate() {
+            out.push_str(&format!("{:w$}  ", n, w = widths[i]));
+        }
+        out.push('\n');
+        for row in shown {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:w$}  ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Iterator over per-user blocks.
+pub struct UserBlocks<'a> {
+    table: &'a ActivityTable,
+    pos: usize,
+}
+
+impl Iterator for UserBlocks<'_> {
+    type Item = UserBlock;
+
+    fn next(&mut self) -> Option<UserBlock> {
+        if self.pos >= self.table.rows.len() {
+            return None;
+        }
+        let start = self.pos;
+        let uidx = self.table.schema.user_idx();
+        let user = self.table.rows[start].get(uidx).as_str().expect("user is a string");
+        let mut end = start + 1;
+        while end < self.table.rows.len()
+            && self.table.rows[end].get(uidx).as_str() == Some(user)
+        {
+            end += 1;
+        }
+        self.pos = end;
+        Some(UserBlock { start, len: end - start })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TableBuilder;
+    use crate::time::Timestamp;
+
+    fn paper_table() -> ActivityTable {
+        // The ten tuples of Table 1 in the paper (with city/session filled in).
+        let mut b = TableBuilder::new(Schema::game_actions());
+        type RawRow = (&'static str, &'static str, &'static str, &'static str, &'static str, &'static str, i64, i64);
+        let rows: [RawRow; 10] = [
+            ("001", "2013/05/19:1000", "launch", "Australia", "Sydney", "dwarf", 10, 0),
+            ("001", "2013/05/20:0800", "shop", "Australia", "Sydney", "dwarf", 15, 50),
+            ("001", "2013/05/20:1400", "shop", "Australia", "Sydney", "dwarf", 30, 100),
+            ("001", "2013/05/21:1400", "shop", "Australia", "Sydney", "assassin", 20, 50),
+            ("001", "2013/05/22:0900", "fight", "Australia", "Sydney", "assassin", 5, 0),
+            ("002", "2013/05/20:0900", "launch", "United States", "Chicago", "wizard", 8, 0),
+            ("002", "2013/05/21:1500", "shop", "United States", "Chicago", "wizard", 12, 30),
+            ("002", "2013/05/22:1700", "shop", "United States", "Chicago", "wizard", 9, 40),
+            ("003", "2013/05/20:1000", "launch", "China", "Beijing", "bandit", 25, 0),
+            ("003", "2013/05/21:1000", "fight", "China", "Beijing", "bandit", 11, 0),
+        ];
+        for (p, t, a, c, city, role, sess, gold) in rows {
+            b.push(vec![
+                Value::str(p),
+                Value::int(Timestamp::parse(t).unwrap().secs()),
+                Value::str(a),
+                Value::str(c),
+                Value::str(city),
+                Value::str(role),
+                Value::int(sess),
+                Value::int(gold),
+            ])
+            .unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn paper_table_valid_and_clustered() {
+        let t = paper_table();
+        assert_eq!(t.num_rows(), 10);
+        assert_eq!(t.num_users(), 3);
+        let blocks: Vec<UserBlock> = t.user_blocks().collect();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0], UserBlock { start: 0, len: 5 });
+        assert_eq!(blocks[1], UserBlock { start: 5, len: 3 });
+        assert_eq!(blocks[2], UserBlock { start: 8, len: 2 });
+    }
+
+    #[test]
+    fn time_ordering_within_user() {
+        let t = paper_table();
+        for b in t.user_blocks() {
+            let times: Vec<i64> =
+                b.range().map(|i| t.rows()[i].get(t.schema().time_idx()).as_int().unwrap()).collect();
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            assert_eq!(times, sorted);
+        }
+    }
+
+    #[test]
+    fn distinct_and_range() {
+        let t = paper_table();
+        let action_idx = t.schema().action_idx();
+        assert_eq!(t.distinct_strings(action_idx), vec!["fight", "launch", "shop"]);
+        let gold_idx = t.schema().index_of("gold").unwrap();
+        assert_eq!(t.int_range(gold_idx), Some((0, 100)));
+    }
+
+    #[test]
+    fn detects_duplicate_key() {
+        let s = Schema::game_actions();
+        let make = |time: i64| {
+            Tuple::new(vec![
+                Value::str("001"),
+                Value::int(time),
+                Value::str("shop"),
+                Value::str("Australia"),
+                Value::str("Sydney"),
+                Value::str("dwarf"),
+                Value::int(1),
+                Value::int(1),
+            ])
+        };
+        let err = ActivityTable::from_sorted_rows(s, vec![make(5), make(5)]).unwrap_err();
+        assert!(matches!(err, ActivityError::DuplicateKey { .. }));
+    }
+
+    #[test]
+    fn detects_unsorted_rows() {
+        let s = Schema::game_actions();
+        let make = |user: &str| {
+            Tuple::new(vec![
+                Value::str(user),
+                Value::int(5),
+                Value::str("shop"),
+                Value::str("Australia"),
+                Value::str("Sydney"),
+                Value::str("dwarf"),
+                Value::int(1),
+                Value::int(1),
+            ])
+        };
+        let err = ActivityTable::from_sorted_rows(s, vec![make("b"), make("a")]).unwrap_err();
+        assert!(matches!(err, ActivityError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn preview_contains_header() {
+        let t = paper_table();
+        let p = t.preview(2);
+        assert!(p.contains("player"));
+        assert!(p.contains("2013/05/19:1000"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Activity tuples.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A single activity tuple: one value per schema attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tuple {
+    values: Box<[Value]>,
+}
+
+impl Tuple {
+    /// Build a tuple from values (arity is validated by the table builder).
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values: values.into_boxed_slice() }
+    }
+
+    /// Value at an attribute position.
+    #[inline]
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// All values.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of values.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Consume into the underlying values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values.into_vec()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::new(vec![Value::str("001"), Value::int(7)]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get(0).as_str(), Some("001"));
+        assert_eq!(t.get(1).as_int(), Some(7));
+        assert_eq!(t.to_string(), "(001, 7)");
+    }
+
+    #[test]
+    fn into_values_roundtrip() {
+        let vals = vec![Value::str("a"), Value::int(1)];
+        let t = Tuple::new(vals.clone());
+        assert_eq!(t.into_values(), vals);
+    }
+}

@@ -1,0 +1,140 @@
+//! Dynamically-typed attribute values.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// UTF-8 string (user ids, actions, dimensions).
+    Str,
+    /// 64-bit signed integer (timestamps, measures).
+    Int,
+}
+
+impl ValueType {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ValueType::Str => "string",
+            ValueType::Int => "int",
+        }
+    }
+}
+
+/// A single attribute value.
+///
+/// Strings are reference-counted so that tuples can be cloned cheaply when a
+/// baseline engine materializes intermediate results.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// String value.
+    Str(Arc<str>),
+    /// Integer value.
+    Int(i64),
+    /// SQL-style NULL (used by outer operators in the baseline engines).
+    Null,
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Construct an integer value.
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Borrow the string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract the integer, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The runtime type, or `None` for NULL.
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Str(_) => Some(ValueType::Str),
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Null => None,
+        }
+    }
+
+    /// Whether this value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s.into())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Value::str("dwarf");
+        assert_eq!(s.as_str(), Some("dwarf"));
+        assert_eq!(s.as_int(), None);
+        assert_eq!(s.value_type(), Some(ValueType::Str));
+
+        let i = Value::int(42);
+        assert_eq!(i.as_int(), Some(42));
+        assert_eq!(i.as_str(), None);
+
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.value_type(), None);
+    }
+
+    #[test]
+    fn ordering_within_type() {
+        assert!(Value::int(1) < Value::int(2));
+        assert!(Value::str("a") < Value::str("b"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::str("shop").to_string(), "shop");
+        assert_eq!(Value::int(-3).to_string(), "-3");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

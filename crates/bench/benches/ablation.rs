@@ -1,0 +1,40 @@
+//! Ablation benchmarks for DESIGN.md D1–D4: each COHANA optimization
+//! toggled off individually, plus the fully naive configuration. Q4 (the
+//! most selective query) shows the largest effect of user skipping.
+
+use cohana_activity::{generate, GeneratorConfig};
+use cohana_core::{execute_plan, paper, plan_query, PlannerOptions};
+use cohana_storage::{CompressedTable, CompressionOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_ablation(c: &mut Criterion) {
+    let table = generate(&GeneratorConfig::new(500));
+    let compressed =
+        CompressedTable::build(&table, CompressionOptions::with_chunk_size(8 * 1024)).unwrap();
+    let variants: Vec<(&str, PlannerOptions)> = vec![
+        ("full", PlannerOptions::default()),
+        ("no_pushdown", PlannerOptions { push_down_birth_selection: false, ..Default::default() }),
+        ("no_skip", PlannerOptions { skip_unqualified_users: false, ..Default::default() }),
+        ("no_prune", PlannerOptions { prune_chunks: false, ..Default::default() }),
+        ("no_array", PlannerOptions { array_aggregation: false, ..Default::default() }),
+        ("naive", PlannerOptions::naive()),
+    ];
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(15)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for (qname, q) in [("q1", paper::q1()), ("q4", paper::q4())] {
+        for (vname, opts) in &variants {
+            let plan = plan_query(&q, compressed.schema(), *opts).unwrap();
+            g.bench_with_input(BenchmarkId::new(qname, vname), &q, |b, _| {
+                b.iter(|| execute_plan(&compressed, &plan, 1).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

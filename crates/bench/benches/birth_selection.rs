@@ -1,0 +1,38 @@
+//! Figure 8 (criterion form): birth-selection selectivity. Q5's latency
+//! should track the birth CDF as the date upper bound widens, because the
+//! engine skips every tuple of unqualified users.
+
+use cohana_activity::{generate, GeneratorConfig, SECONDS_PER_DAY};
+use cohana_core::{execute_plan, paper, plan_query, PlannerOptions};
+use cohana_storage::{CompressedTable, CompressionOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_birth_selectivity(c: &mut Criterion) {
+    let cfg = GeneratorConfig::new(500);
+    let table = generate(&cfg);
+    let compressed =
+        CompressedTable::build(&table, CompressionOptions::with_chunk_size(8 * 1024)).unwrap();
+    let start = cfg.start.secs();
+
+    let mut g = c.benchmark_group("fig8_birth_selection");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for days in [2i64, 9, 19, 38] {
+        let q5 = paper::q5(start, start + days * SECONDS_PER_DAY);
+        let plan = plan_query(&q5, compressed.schema(), PlannerOptions::default()).unwrap();
+        g.bench_with_input(BenchmarkId::new("q5_d2", days), &days, |b, _| {
+            b.iter(|| execute_plan(&compressed, &plan, 1).unwrap())
+        });
+        let q6 = paper::q6(start, start + days * SECONDS_PER_DAY);
+        let plan6 = plan_query(&q6, compressed.schema(), PlannerOptions::default()).unwrap();
+        g.bench_with_input(BenchmarkId::new("q6_d2", days), &days, |b, _| {
+            b.iter(|| execute_plan(&compressed, &plan6, 1).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_birth_selectivity);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 6 (criterion form): COHANA Q1–Q4 latency across chunk sizes at a
+//! fixed laptop-scale dataset. The CLI harness (`cohana-bench --exp fig6`)
+//! runs the full scale sweep.
+
+use cohana_activity::{generate, GeneratorConfig};
+use cohana_core::{execute_plan, paper, plan_query, PlannerOptions};
+use cohana_storage::{CompressedTable, CompressionOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_chunk_sizes(c: &mut Criterion) {
+    let table = generate(&GeneratorConfig::new(500));
+    let chunk_sizes = [4 * 1024usize, 16 * 1024, 64 * 1024];
+    let queries =
+        [("q1", paper::q1()), ("q2", paper::q2()), ("q3", paper::q3()), ("q4", paper::q4())];
+
+    let mut g = c.benchmark_group("fig6_chunk_size");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for &chunk in &chunk_sizes {
+        let compressed =
+            CompressedTable::build(&table, CompressionOptions::with_chunk_size(chunk)).unwrap();
+        for (name, q) in &queries {
+            let plan = plan_query(q, compressed.schema(), PlannerOptions::default()).unwrap();
+            g.bench_with_input(
+                BenchmarkId::new(*name, format!("{}K", chunk / 1024)),
+                &chunk,
+                |b, _| b.iter(|| execute_plan(&compressed, &plan, 1).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chunk_sizes);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 11 (criterion form): Q1–Q4 across the five evaluation schemes.
+//! The expected ordering is COHANA ≪ MONET-M < MONET-S < PG-M < PG-S,
+//! spanning orders of magnitude.
+
+use cohana_activity::{generate, GeneratorConfig};
+use cohana_core::{execute_plan, paper, plan_query, PlannerOptions};
+use cohana_relational::{ColEngine, RowEngine};
+use cohana_storage::{CompressedTable, CompressionOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_schemes(c: &mut Criterion) {
+    let table = generate(&GeneratorConfig::new(400));
+    let compressed =
+        CompressedTable::build(&table, CompressionOptions::with_chunk_size(16 * 1024)).unwrap();
+    let mut col = ColEngine::load(&table);
+    let mut row = RowEngine::load(&table);
+    for action in ["launch", "shop"] {
+        col.create_mv(action);
+        row.create_mv(action);
+    }
+
+    let queries =
+        [("q1", paper::q1()), ("q2", paper::q2()), ("q3", paper::q3()), ("q4", paper::q4())];
+    let mut g = c.benchmark_group("fig11_schemes");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for (name, q) in &queries {
+        let plan = plan_query(q, compressed.schema(), PlannerOptions::default()).unwrap();
+        g.bench_with_input(BenchmarkId::new("cohana", name), q, |b, _| {
+            b.iter(|| execute_plan(&compressed, &plan, 1).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("monet_m", name), q, |b, q| {
+            b.iter(|| col.execute_mv(q).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("monet_s", name), q, |b, q| {
+            b.iter(|| col.execute_sql(q).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("pg_m", name), q, |b, q| {
+            b.iter(|| row.execute_mv(q).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("pg_s", name), q, |b, q| {
+            b.iter(|| row.execute_sql(q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 10 (criterion form): the cost of preparing each system for cohort
+//! queries — materialized-view construction on the row/columnar baselines
+//! vs COHANA's table compression. The paper reports MV generation orders of
+//! magnitude more expensive than compression.
+
+use cohana_activity::{generate, GeneratorConfig};
+use cohana_relational::{ColEngine, RowEngine};
+use cohana_storage::{CompressedTable, CompressionOptions};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+fn bench_preparation(c: &mut Criterion) {
+    let table = generate(&GeneratorConfig::new(400));
+
+    let mut g = c.benchmark_group("fig10_preparation");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+
+    g.bench_function("cohana_compress", |b| {
+        b.iter(|| CompressedTable::build(std::hint::black_box(&table), CompressionOptions::default()).unwrap())
+    });
+    g.bench_function("monet_create_mv", |b| {
+        b.iter_batched(
+            || ColEngine::load(&table),
+            |mut e| {
+                e.create_mv("launch");
+                e
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("pg_create_mv", |b| {
+        b.iter_batched(
+            || RowEngine::load(&table),
+            |mut e| {
+                e.create_mv("launch");
+                e
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_preparation);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Storage-layer microbenchmarks: bit-packing random access, dictionary
+//! lookups, table compression and decompression — the primitives behind
+//! Figure 7 and the TableScan.
+
+use cohana_activity::{generate, GeneratorConfig};
+use cohana_storage::{bitpack::BitPacked, CompressedTable, CompressionOptions, GlobalDict};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+fn bench_bitpack(c: &mut Criterion) {
+    let values: Vec<u64> = (0..65_536u64).map(|i| (i * 2_654_435_761) % 1_000).collect();
+    let packed = BitPacked::from_slice(&values);
+
+    let mut g = c.benchmark_group("bitpack");
+    g.measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    g.bench_function("pack_64k", |b| {
+        b.iter(|| BitPacked::from_slice(std::hint::black_box(&values)))
+    });
+    g.bench_function("random_get_64k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i * 16_807 + 7) % values.len();
+            std::hint::black_box(packed.get(i))
+        })
+    });
+    g.bench_function("sequential_decode_64k", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for v in packed.iter() {
+                sum = sum.wrapping_add(v);
+            }
+            std::hint::black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+fn bench_dict(c: &mut Criterion) {
+    let words: Vec<String> = (0..4_096).map(|i| format!("value-{i:05}")).collect();
+    let dict = GlobalDict::build(words.iter().map(|s| s.as_str()));
+
+    let mut g = c.benchmark_group("dict");
+    g.measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    g.bench_function("lookup_hit", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 997) % words.len();
+            std::hint::black_box(dict.lookup(&words[i]))
+        })
+    });
+    g.bench_function("lookup_miss_rank", |b| {
+        b.iter(|| std::hint::black_box(dict.rank("value-99999x")))
+    });
+    g.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let table = generate(&GeneratorConfig::new(300));
+    let compressed =
+        CompressedTable::build(&table, CompressionOptions::with_chunk_size(16 * 1024)).unwrap();
+
+    let mut g = c.benchmark_group("table");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    g.bench_function("compress_300u", |b| {
+        b.iter(|| {
+            CompressedTable::build(
+                std::hint::black_box(&table),
+                CompressionOptions::with_chunk_size(16 * 1024),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("decompress_300u", |b| {
+        b.iter_batched(
+            || compressed.clone(),
+            |ct| ct.decompress().unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("persist_roundtrip_300u", |b| {
+        b.iter(|| {
+            let bytes = cohana_storage::persist::to_bytes(std::hint::black_box(&compressed));
+            cohana_storage::persist::from_bytes(&bytes).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bitpack, bench_dict, bench_compress);
+criterion_main!(benches);

@@ -1,0 +1,229 @@
+//! Post-processing analytics over cohort reports.
+//!
+//! The paper's application sections (retention analysis in §4.5, the
+//! Table 3 reading guide in §1) interpret the raw `(cohort, age, size,
+//! measure)` table in standard ways; this module packages those readings as
+//! reusable operations over a [`CohortReport`]:
+//!
+//! * [`retention_matrix`] — measures divided by cohort size (Q1's
+//!   "retained users" as rates);
+//! * [`aging_trend`] — each cohort's measure as a function of age (read a
+//!   Table 3 row);
+//! * [`social_change_trend`] — the measure at a fixed age across cohorts
+//!   (read a Table 3 column);
+//! * [`diagonal`] — the anti-diagonal of the cohort matrix: what every
+//!   cohort did in the same calendar period, which is exactly the
+//!   information a plain GROUP BY (Table 2) collapses.
+
+use crate::report::CohortReport;
+use cohana_activity::Value;
+use std::collections::BTreeMap;
+
+/// A cohort's measure series by age.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Cohort identifier.
+    pub cohort: Vec<Value>,
+    /// Cohort size.
+    pub size: u64,
+    /// `(age, value)` points, age-ascending; `None` marks empty buckets.
+    pub points: Vec<(i64, Option<f64>)>,
+}
+
+/// Retention rates: measure `measure_idx` divided by cohort size, per
+/// cohort and age. For a `UserCount()` measure this is the classic
+/// retention curve (fraction of the cohort active at each age).
+pub fn retention_matrix(report: &CohortReport, measure_idx: usize) -> Vec<Series> {
+    report
+        .cohorts()
+        .into_iter()
+        .map(|cohort| {
+            let size = report.cohort_sizes.get(cohort).copied().unwrap_or(0);
+            let points = ages_of(report)
+                .into_iter()
+                .map(|age| {
+                    let v = report.find(cohort, age).and_then(|r| {
+                        r.measures[measure_idx].as_f64().map(|m| {
+                            if size == 0 {
+                                0.0
+                            } else {
+                                m / size as f64
+                            }
+                        })
+                    });
+                    (age, v)
+                })
+                .collect();
+            Series { cohort: cohort.clone(), size, points }
+        })
+        .collect()
+}
+
+/// One cohort's measure as a function of age (a Table 3 row: the aging
+/// effect).
+pub fn aging_trend(
+    report: &CohortReport,
+    cohort: &[Value],
+    measure_idx: usize,
+) -> Vec<(i64, f64)> {
+    report
+        .rows
+        .iter()
+        .filter(|r| r.cohort == cohort)
+        .filter_map(|r| r.measures[measure_idx].as_f64().map(|v| (r.age, v)))
+        .collect()
+}
+
+/// The measure at a fixed age across cohorts (a Table 3 column: the
+/// social-change effect).
+pub fn social_change_trend(
+    report: &CohortReport,
+    age: i64,
+    measure_idx: usize,
+) -> Vec<(Vec<Value>, f64)> {
+    report
+        .rows
+        .iter()
+        .filter(|r| r.age == age)
+        .filter_map(|r| r.measures[measure_idx].as_f64().map(|v| (r.cohort.clone(), v)))
+        .collect()
+}
+
+/// Calendar view: aggregate each `(cohort, age)` cell into the calendar
+/// bucket `cohort_start + age` (in age units). Only meaningful for
+/// time-binned cohorts whose labels are `YYYY-MM-DD` bin starts; returns
+/// per-calendar-bucket sums of the measure — the anti-diagonal view a plain
+/// GROUP BY reports.
+pub fn diagonal(report: &CohortReport, measure_idx: usize) -> BTreeMap<i64, f64> {
+    let mut out: BTreeMap<i64, f64> = BTreeMap::new();
+    for r in &report.rows {
+        let Some(label) = r.cohort.first().and_then(|v| v.as_str()) else { continue };
+        let Ok(start) = cohana_activity::Timestamp::parse(label) else { continue };
+        if let Some(v) = r.measures[measure_idx].as_f64() {
+            // Calendar bucket index: bin start plus age units.
+            *out.entry(start.secs() / cohana_activity::SECONDS_PER_DAY + r.age).or_insert(0.0) +=
+                v;
+        }
+    }
+    out
+}
+
+/// Summary statistics of one measure across all `(cohort, age)` buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureSummary {
+    /// Non-NULL buckets.
+    pub buckets: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Mean value.
+    pub mean: f64,
+}
+
+/// Summarize a measure column. Returns `None` when every bucket is NULL.
+pub fn summarize(report: &CohortReport, measure_idx: usize) -> Option<MeasureSummary> {
+    let values: Vec<f64> =
+        report.rows.iter().filter_map(|r| r.measures[measure_idx].as_f64()).collect();
+    if values.is_empty() {
+        return None;
+    }
+    let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+    for v in &values {
+        min = min.min(*v);
+        max = max.max(*v);
+        sum += v;
+    }
+    Some(MeasureSummary { buckets: values.len(), min, max, mean: sum / values.len() as f64 })
+}
+
+fn ages_of(report: &CohortReport) -> Vec<i64> {
+    let mut ages: Vec<i64> = report.rows.iter().map(|r| r.age).collect();
+    ages.sort_unstable();
+    ages.dedup();
+    ages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggValue;
+    use crate::report::ReportRow;
+
+    fn report() -> CohortReport {
+        let cohort = |c: &str| vec![Value::str(c)];
+        CohortReport {
+            cohort_attrs: vec!["time(week)".into()],
+            agg_names: vec!["UserCount()".into()],
+            rows: vec![
+                ReportRow {
+                    cohort: cohort("2013-05-16"),
+                    size: 10,
+                    age: 1,
+                    measures: vec![AggValue::Int(8)],
+                },
+                ReportRow {
+                    cohort: cohort("2013-05-16"),
+                    size: 10,
+                    age: 2,
+                    measures: vec![AggValue::Int(5)],
+                },
+                ReportRow {
+                    cohort: cohort("2013-05-23"),
+                    size: 4,
+                    age: 1,
+                    measures: vec![AggValue::Int(4)],
+                },
+            ],
+            cohort_sizes: BTreeMap::from([
+                (cohort("2013-05-16"), 10),
+                (cohort("2013-05-23"), 4),
+            ]),
+        }
+    }
+
+    #[test]
+    fn retention_rates() {
+        let m = retention_matrix(&report(), 0);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].points, vec![(1, Some(0.8)), (2, Some(0.5))]);
+        // Second cohort has no age-2 bucket.
+        assert_eq!(m[1].points, vec![(1, Some(1.0)), (2, None)]);
+    }
+
+    #[test]
+    fn trends() {
+        let r = report();
+        let aging = aging_trend(&r, &[Value::str("2013-05-16")], 0);
+        assert_eq!(aging, vec![(1, 8.0), (2, 5.0)]);
+        let social = social_change_trend(&r, 1, 0);
+        assert_eq!(social.len(), 2);
+        assert_eq!(social[0].1, 8.0);
+        assert_eq!(social[1].1, 4.0);
+    }
+
+    #[test]
+    fn diagonal_buckets_by_calendar() {
+        let r = report();
+        let d = diagonal(&r, 0);
+        // 2013-05-16+2 and 2013-05-23+1 land on different days; 3 buckets.
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.values().sum::<f64>(), 17.0);
+    }
+
+    #[test]
+    fn summarize_measure() {
+        let s = summarize(&report(), 0).unwrap();
+        assert_eq!(s.buckets, 3);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 8.0);
+        assert!((s.mean - 17.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_empty_is_none() {
+        let mut r = report();
+        r.rows.clear();
+        assert!(summarize(&r, 0).is_none());
+    }
+}

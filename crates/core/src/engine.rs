@@ -1,0 +1,223 @@
+//! The COHANA engine facade: catalog + storage manager + query executor
+//! (Figure 4; the parser module lives in the `cohana-sql` crate).
+
+use crate::error::EngineError;
+use crate::exec::execute_plan;
+use crate::plan::{plan_query, PhysicalPlan, PlannerOptions};
+use crate::query::CohortQuery;
+use crate::report::CohortReport;
+use cohana_activity::ActivityTable;
+use cohana_storage::{CompressedTable, CompressionOptions};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Engine-level options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Planner/optimizer flags.
+    pub planner: PlannerOptions,
+    /// Worker threads for chunk-parallel execution (1 = serial, matching the
+    /// paper's single-stream measurements).
+    pub parallelism: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions { planner: PlannerOptions::default(), parallelism: 1 }
+    }
+}
+
+/// The default table name used by [`Cohana::from_activity_table`].
+pub const DEFAULT_TABLE: &str = "GameActions";
+
+/// The COHANA cohort query engine.
+///
+/// Holds a catalog of compressed activity tables and executes
+/// [`CohortQuery`]s against them. Cloning is cheap (tables are shared).
+pub struct Cohana {
+    catalog: RwLock<HashMap<String, Arc<CompressedTable>>>,
+    default_table: RwLock<Option<String>>,
+    options: EngineOptions,
+}
+
+impl Cohana {
+    /// An empty engine with the given options.
+    pub fn new(options: EngineOptions) -> Self {
+        Cohana {
+            catalog: RwLock::new(HashMap::new()),
+            default_table: RwLock::new(None),
+            options,
+        }
+    }
+
+    /// Compress an activity table and register it as [`DEFAULT_TABLE`].
+    pub fn from_activity_table(
+        table: &ActivityTable,
+        compression: CompressionOptions,
+    ) -> Result<Self, EngineError> {
+        Self::from_activity_table_with(table, compression, EngineOptions::default())
+    }
+
+    /// Like [`Cohana::from_activity_table`] with explicit engine options.
+    pub fn from_activity_table_with(
+        table: &ActivityTable,
+        compression: CompressionOptions,
+        options: EngineOptions,
+    ) -> Result<Self, EngineError> {
+        let engine = Cohana::new(options);
+        let compressed = CompressedTable::build(table, compression)?;
+        engine.register(DEFAULT_TABLE, compressed);
+        Ok(engine)
+    }
+
+    /// Wrap an already-compressed table as the default.
+    pub fn from_compressed(table: CompressedTable, options: EngineOptions) -> Self {
+        let engine = Cohana::new(options);
+        engine.register(DEFAULT_TABLE, table);
+        engine
+    }
+
+    /// Engine options.
+    pub fn options(&self) -> EngineOptions {
+        self.options
+    }
+
+    /// Register a compressed table under a name; the first registered table
+    /// becomes the default.
+    pub fn register(&self, name: impl Into<String>, table: CompressedTable) -> Arc<CompressedTable> {
+        let name = name.into();
+        let arc = Arc::new(table);
+        self.catalog.write().insert(name.clone(), arc.clone());
+        let mut default = self.default_table.write();
+        if default.is_none() {
+            *default = Some(name);
+        }
+        arc
+    }
+
+    /// Load a persisted table file and register it.
+    pub fn load_file(&self, name: impl Into<String>, path: &Path) -> Result<Arc<CompressedTable>, EngineError> {
+        let table = cohana_storage::persist::read_file(path)?;
+        Ok(self.register(name, table))
+    }
+
+    /// Fetch a registered table.
+    pub fn table(&self, name: &str) -> Option<Arc<CompressedTable>> {
+        self.catalog.read().get(name).cloned()
+    }
+
+    /// Names of registered tables (sorted).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.catalog.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn default_table_arc(&self) -> Result<Arc<CompressedTable>, EngineError> {
+        let name = self
+            .default_table
+            .read()
+            .clone()
+            .ok_or_else(|| EngineError::UnknownTable("<no tables registered>".into()))?;
+        self.table(&name).ok_or(EngineError::UnknownTable(name))
+    }
+
+    /// Plan a query against the default table.
+    pub fn plan(&self, query: &CohortQuery) -> Result<PhysicalPlan, EngineError> {
+        let table = self.default_table_arc()?;
+        plan_query(query, table.schema(), self.options.planner)
+    }
+
+    /// EXPLAIN: the optimized Figure-5 style plan.
+    pub fn explain(&self, query: &CohortQuery) -> Result<String, EngineError> {
+        Ok(self.plan(query)?.explain())
+    }
+
+    /// Execute a cohort query against the default table.
+    pub fn execute(&self, query: &CohortQuery) -> Result<CohortReport, EngineError> {
+        let table = self.default_table_arc()?;
+        let plan = plan_query(query, table.schema(), self.options.planner)?;
+        execute_plan(&table, &plan, self.options.parallelism)
+    }
+
+    /// Execute a cohort query against a named table.
+    pub fn execute_on(&self, name: &str, query: &CohortQuery) -> Result<CohortReport, EngineError> {
+        let table = self.table(name).ok_or_else(|| EngineError::UnknownTable(name.into()))?;
+        let plan = plan_query(query, table.schema(), self.options.planner)?;
+        execute_plan(&table, &plan, self.options.parallelism)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use cohana_activity::{generate, GeneratorConfig};
+
+    fn engine() -> Cohana {
+        let t = generate(&GeneratorConfig::small());
+        Cohana::from_activity_table(&t, CompressionOptions::with_chunk_size(256)).unwrap()
+    }
+
+    fn q1() -> CohortQuery {
+        CohortQuery::builder("launch")
+            .cohort_by(["country"])
+            .aggregate(AggFunc::user_count())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn execute_q1_nonempty() {
+        let report = engine().execute(&q1()).unwrap();
+        assert!(report.num_rows() > 0);
+        // Sizes over cohorts equal the number of users (everyone launches).
+        let total: u64 = report.cohort_sizes.values().sum();
+        assert_eq!(total as usize, generate(&GeneratorConfig::small()).num_users());
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let e = engine();
+        assert!(matches!(e.execute_on("nope", &q1()).unwrap_err(), EngineError::UnknownTable(_)));
+        let empty = Cohana::new(EngineOptions::default());
+        assert!(empty.execute(&q1()).is_err());
+    }
+
+    #[test]
+    fn explain_contains_operators() {
+        let text = engine().explain(&q1()).unwrap();
+        assert!(text.contains("γc"));
+        assert!(text.contains("TableScan"));
+    }
+
+    #[test]
+    fn register_and_list() {
+        let e = engine();
+        assert_eq!(e.table_names(), vec![DEFAULT_TABLE.to_string()]);
+        assert!(e.table(DEFAULT_TABLE).is_some());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let t = generate(&GeneratorConfig::small());
+        let serial = Cohana::from_activity_table_with(
+            &t,
+            CompressionOptions::with_chunk_size(128),
+            EngineOptions { parallelism: 1, ..Default::default() },
+        )
+        .unwrap();
+        let parallel = Cohana::from_activity_table_with(
+            &t,
+            CompressionOptions::with_chunk_size(128),
+            EngineOptions { parallelism: 4, ..Default::default() },
+        )
+        .unwrap();
+        let q = q1();
+        let a = serial.execute(&q).unwrap();
+        let b = parallel.execute(&q).unwrap();
+        assert_eq!(a.rows, b.rows);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for the cohort query engine.
+
+use std::fmt;
+
+/// Errors raised during planning or executing cohort queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A referenced attribute does not exist in the activity table's schema.
+    UnknownAttribute(String),
+    /// A referenced table is not registered in the catalog.
+    UnknownTable(String),
+    /// An expression is ill-typed (e.g. comparing a string column with an
+    /// integer literal).
+    TypeError(String),
+    /// The query is structurally invalid (e.g. no aggregates, cohort
+    /// attributes including the user or action attribute).
+    InvalidQuery(String),
+    /// Propagated storage failure.
+    Storage(String),
+    /// Propagated activity-model failure.
+    Activity(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownAttribute(a) => write!(f, "unknown attribute {a:?}"),
+            EngineError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            EngineError::TypeError(m) => write!(f, "type error: {m}"),
+            EngineError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            EngineError::Storage(m) => write!(f, "storage error: {m}"),
+            EngineError::Activity(m) => write!(f, "activity error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<cohana_storage::StorageError> for EngineError {
+    fn from(e: cohana_storage::StorageError) -> Self {
+        EngineError::Storage(e.to_string())
+    }
+}
+
+impl From<cohana_activity::ActivityError> for EngineError {
+    fn from(e: cohana_activity::ActivityError) -> Self {
+        match e {
+            cohana_activity::ActivityError::UnknownAttribute(a) => EngineError::UnknownAttribute(a),
+            other => EngineError::Activity(other.to_string()),
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Physical execution of cohort query plans (§4.2–§4.5).
+//!
+//! The optimized plan is executed **against each data chunk** independently
+//! and the per-chunk partial results are merged — valid because chunking
+//! never splits a user. Per chunk the executor fuses Algorithm 1 (birth
+//! selection), the age selection, and Algorithm 2 (cohort aggregation) into
+//! a single pass over user blocks:
+//!
+//! 1. **chunk pruning** — skip the chunk if the birth action is absent from
+//!    its action chunk-dictionary, or if the birth predicate's time bounds
+//!    are disjoint from the chunk's time range;
+//! 2. per user: **GetBirthTuple**, evaluate the birth condition on that one
+//!    tuple, and **SkipCurUser** on failure — so the pass touches only
+//!    `O(l·m)` tuples for `l` qualified users;
+//! 3. for qualified users: assign the cohort from the birth tuple, bump the
+//!    cohort size, then fold every positive-age tuple that passes the age
+//!    condition into the `(cohort, age)` aggregates;
+//! 4. **array-based aggregation** (§4.4): when the cohort key is a single
+//!    dictionary attribute with a small domain, the `(cohort, age)` table is
+//!    a dense array indexed by `gid × age`, not a hash map;
+//! 5. **UserCount** (§4.5): within a user block ages are non-decreasing
+//!    (time-ordering property), so "distinct users at age g" needs only a
+//!    last-age check per user, and per-chunk counts sum exactly because no
+//!    user spans chunks.
+
+use crate::agg::{AggFunc, AggState};
+use crate::error::EngineError;
+use crate::plan::PhysicalPlan;
+use crate::query::CohortAttr;
+use crate::report::{CohortReport, ReportRow};
+use crate::scan::{compile_predicate, ChunkScan, CompiledExpr, EvalCtx};
+use cohana_activity::{TimeBin, Timestamp, Value, ValueType};
+use cohana_storage::{Chunk, ColumnMeta, CompressedTable};
+use std::collections::{BTreeMap, HashMap};
+
+/// Upper bound on dense-array cells (`cohorts × ages × aggregates`); beyond
+/// this the executor falls back to hash aggregation.
+const DENSE_CELL_LIMIT: usize = 1 << 22;
+
+/// Encoded cohort key: one `u64` per cohort attribute (global id for
+/// strings, bit-cast `i64` for integers and binned birth times).
+type Key = Vec<u64>;
+
+/// How one cohort attribute is extracted from a birth tuple.
+#[derive(Debug, Clone, Copy)]
+enum KeyPart {
+    /// Global id of a string attribute.
+    Str(usize),
+    /// Raw integer attribute (bit-cast).
+    Int(usize),
+    /// Birth time binned to the granularity, bit-cast seconds.
+    TimeBin(TimeBin),
+}
+
+/// Per-chunk (and merged) partial aggregation result.
+#[derive(Debug, Default)]
+struct Partial {
+    /// Cohort → number of qualified users.
+    sizes: HashMap<Key, u64>,
+    /// Cohort → age → one state per aggregate.
+    cells: HashMap<Key, BTreeMap<i64, Vec<AggState>>>,
+}
+
+impl Partial {
+    fn merge(&mut self, other: Partial) -> Result<(), EngineError> {
+        for (k, s) in other.sizes {
+            *self.sizes.entry(k).or_insert(0) += s;
+        }
+        for (k, ages) in other.cells {
+            let into = self.cells.entry(k).or_default();
+            for (age, states) in ages {
+                match into.entry(age) {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert(states);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                        for (a, b) in o.get_mut().iter_mut().zip(states.iter()) {
+                            a.merge(b)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything resolved once per query before touching chunks.
+struct ExecContext {
+    birth_gid: Option<u32>,
+    birth_pred: Option<CompiledExpr>,
+    age_pred: Option<CompiledExpr>,
+    key_parts: Vec<KeyPart>,
+    aggs: Vec<AggFunc>,
+    agg_attrs: Vec<Option<usize>>,
+    age_bin: TimeBin,
+    time_idx: usize,
+    /// Dense path: `(dict_len, age_domain)` when enabled.
+    dense: Option<(usize, usize)>,
+}
+
+/// Execute a plan against a compressed table, merging per-chunk partials.
+/// `parallelism` > 1 processes chunks on that many worker threads.
+pub fn execute_plan(
+    table: &CompressedTable,
+    plan: &PhysicalPlan,
+    parallelism: usize,
+) -> Result<CohortReport, EngineError> {
+    let schema = table.schema();
+    let query = &plan.query;
+
+    let birth_gid = table.lookup_gid(schema.action_idx(), &query.birth_action);
+    let birth_pred = query
+        .birth_predicate
+        .as_ref()
+        .map(|p| compile_predicate(p, schema, table))
+        .transpose()?;
+    let age_pred = query
+        .age_predicate
+        .as_ref()
+        .map(|p| compile_predicate(p, schema, table))
+        .transpose()?;
+
+    let mut key_parts = Vec::with_capacity(query.cohort_by.len());
+    for c in &query.cohort_by {
+        key_parts.push(match c {
+            CohortAttr::Attr(a) => {
+                let idx = schema.require(a)?;
+                match schema.attribute(idx).vtype {
+                    ValueType::Str => KeyPart::Str(idx),
+                    ValueType::Int => KeyPart::Int(idx),
+                }
+            }
+            CohortAttr::TimeBin(bin) => KeyPart::TimeBin(*bin),
+        });
+    }
+
+    let agg_attrs: Vec<Option<usize>> = query
+        .aggregates
+        .iter()
+        .map(|a| a.attr().map(|n| schema.require(n)).transpose())
+        .collect::<Result<_, _>>()?;
+
+    // Dense path: single string cohort attribute with a small domain.
+    let dense = if plan.options.array_aggregation && key_parts.len() == 1 {
+        if let KeyPart::Str(idx) = key_parts[0] {
+            let dict_len = table.global_dict(idx).map(|d| d.len()).unwrap_or(0);
+            let age_domain = match table.meta(schema.time_idx()) {
+                ColumnMeta::Int { min, max } => query.age_bin.age_units(max - min) as usize + 2,
+                _ => 0,
+            };
+            let cells = dict_len
+                .saturating_mul(age_domain)
+                .saturating_mul(query.aggregates.len().max(1));
+            if dict_len > 0 && age_domain > 0 && cells <= DENSE_CELL_LIMIT {
+                Some((dict_len, age_domain))
+            } else {
+                None
+            }
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    let ctx = ExecContext {
+        birth_gid,
+        birth_pred,
+        age_pred,
+        key_parts,
+        aggs: query.aggregates.clone(),
+        agg_attrs,
+        age_bin: query.age_bin,
+        time_idx: schema.time_idx(),
+        dense,
+    };
+
+    let chunks = table.chunks();
+    let mut merged = Partial::default();
+    if parallelism <= 1 || chunks.len() <= 1 {
+        for chunk in chunks {
+            merged.merge(process_chunk(table, chunk, plan, &ctx)?)?;
+        }
+    } else {
+        let workers = parallelism.min(chunks.len());
+        let partials: Vec<Result<Vec<Partial>, EngineError>> =
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for w in 0..workers {
+                    let ctx = &ctx;
+                    handles.push(scope.spawn(move |_| {
+                        let mut out = Vec::new();
+                        let mut i = w;
+                        while i < chunks.len() {
+                            out.push(process_chunk(table, &chunks[i], plan, ctx)?);
+                            i += workers;
+                        }
+                        Ok(out)
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("scope panicked");
+        for p in partials {
+            for partial in p? {
+                merged.merge(partial)?;
+            }
+        }
+    }
+
+    build_report(table, plan, &ctx, merged)
+}
+
+/// Run the fused operators over one chunk.
+fn process_chunk(
+    table: &CompressedTable,
+    chunk: &Chunk,
+    plan: &PhysicalPlan,
+    ctx: &ExecContext,
+) -> Result<Partial, EngineError> {
+    let mut partial = Partial::default();
+    let prune = plan.options.prune_chunks;
+    let mut scan = ChunkScan::open(table, chunk, ctx.birth_gid);
+
+    // Chunk pruning (two-level dictionary + range), §4.1.
+    if prune {
+        if !scan.chunk_has_birth_action() {
+            return Ok(partial);
+        }
+        if let Some((lo, hi)) = plan.birth_time_bounds {
+            if let Some((cmin, cmax)) = chunk.column_required(ctx.time_idx).int_range() {
+                if hi < cmin || lo > cmax {
+                    return Ok(partial);
+                }
+            }
+        }
+        if ctx.birth_pred.as_ref().is_some_and(|p| p.is_const_false()) {
+            return Ok(partial);
+        }
+    }
+
+    // Dense or hash accumulators.
+    let n_aggs = ctx.aggs.len();
+    let mut dense_state: Option<DenseAgg> = ctx.dense.map(|(cohorts, ages)| DenseAgg {
+        ages,
+        sizes: vec![0u64; cohorts],
+        states: vec![AggState::Count(0); cohorts * ages * n_aggs],
+        touched: vec![false; cohorts * ages],
+        inits: ctx.aggs.iter().map(|a| a.init()).collect(),
+    });
+
+    let mut key_buf: Key = Vec::with_capacity(ctx.key_parts.len());
+    while let Some(run) = scan.next_user() {
+        let birth_row = match scan.find_birth_row(&run) {
+            Some(r) => r,
+            None => continue, // user never performed the birth action
+        };
+        let birth_time = scan.time_at(birth_row);
+        let birth_ctx = EvalCtx { row: birth_row, birth_row, age_units: 0 };
+        let qualified = ctx
+            .birth_pred
+            .as_ref()
+            .map(|p| p.eval(chunk, &birth_ctx))
+            .unwrap_or(true);
+
+        if !qualified {
+            if plan.options.skip_unqualified_users {
+                // SkipCurUser(): do not touch this user's remaining tuples.
+                continue;
+            }
+            // Ablation mode: perform the per-tuple scan work the skip would
+            // have avoided, discarding results. black_box prevents the
+            // optimizer from deleting the loop.
+            let start = run.first as usize;
+            let end = start + run.count as usize;
+            for row in start..end {
+                let age_secs = scan.time_at(row) - birth_time;
+                let age_units = ctx.age_bin.age_units(age_secs);
+                let tctx = EvalCtx { row, birth_row, age_units };
+                let keep = age_secs > 0
+                    && ctx.age_pred.as_ref().map(|p| p.eval(chunk, &tctx)).unwrap_or(true);
+                std::hint::black_box(keep);
+            }
+            continue;
+        }
+
+        // Cohort assignment from the birth tuple (Definition 6).
+        key_buf.clear();
+        for part in &ctx.key_parts {
+            key_buf.push(match part {
+                KeyPart::Str(idx) => chunk.column_required(*idx).gid_at(birth_row) as u64,
+                KeyPart::Int(idx) => chunk.column_required(*idx).int_value(birth_row) as u64,
+                KeyPart::TimeBin(bin) => bin.bin_start(Timestamp(birth_time)).secs() as u64,
+            });
+        }
+
+        // Cohort size counts every qualified user exactly once.
+        let dense_cohort = dense_state.as_ref().map(|_| key_buf[0] as usize);
+        match (&mut dense_state, dense_cohort) {
+            (Some(d), Some(c)) => d.sizes[c] += 1,
+            _ => *partial.sizes.entry(key_buf.clone()).or_insert(0) += 1,
+        }
+
+        // Fold this user's age activity tuples.
+        let start = run.first as usize;
+        let end = start + run.count as usize;
+        let mut last_age_contributed = i64::MIN;
+        for row in start..end {
+            let age_secs = scan.time_at(row) - birth_time;
+            if age_secs <= 0 {
+                continue; // birth tuple or pre-birth tuple: g ≤ 0 excluded
+            }
+            let age_units = ctx.age_bin.age_units(age_secs);
+            let tctx = EvalCtx { row, birth_row, age_units };
+            if let Some(p) = &ctx.age_pred {
+                if !p.eval(chunk, &tctx) {
+                    continue;
+                }
+            }
+            let fresh_age = age_units != last_age_contributed;
+            last_age_contributed = age_units;
+
+            let states: &mut [AggState] = match (&mut dense_state, dense_cohort) {
+                (Some(d), Some(c)) => d.cell(c, age_units as usize, n_aggs),
+                _ => partial
+                    .cells
+                    .entry(key_buf.clone())
+                    .or_default()
+                    .entry(age_units)
+                    .or_insert_with(|| ctx.aggs.iter().map(|a| a.init()).collect()),
+            };
+            for (i, agg) in ctx.aggs.iter().enumerate() {
+                if agg.per_user() {
+                    // Ages within a user block are non-decreasing
+                    // (time-ordering), so this counts each user once per age.
+                    if fresh_age {
+                        states[i].update_user();
+                    }
+                } else {
+                    let v = match ctx.agg_attrs[i] {
+                        Some(idx) => chunk.column_required(idx).int_value(row),
+                        None => 0,
+                    };
+                    states[i].update(v);
+                }
+            }
+        }
+    }
+
+    if let Some(d) = dense_state {
+        d.drain_into(&mut partial, n_aggs);
+    }
+    Ok(partial)
+}
+
+/// Dense `(cohort gid × age)` aggregation table (§4.4).
+struct DenseAgg {
+    ages: usize,
+    sizes: Vec<u64>,
+    states: Vec<AggState>,
+    touched: Vec<bool>,
+    inits: Vec<AggState>,
+}
+
+impl DenseAgg {
+    #[inline]
+    fn cell(&mut self, cohort: usize, age: usize, n_aggs: usize) -> &mut [AggState] {
+        let slot = cohort * self.ages + age;
+        if !self.touched[slot] {
+            self.touched[slot] = true;
+            let base = slot * n_aggs;
+            self.states[base..base + n_aggs].copy_from_slice(&self.inits);
+        }
+        let base = slot * n_aggs;
+        &mut self.states[base..base + n_aggs]
+    }
+
+    fn drain_into(self, partial: &mut Partial, n_aggs: usize) {
+        for (gid, size) in self.sizes.iter().enumerate() {
+            if *size > 0 {
+                *partial.sizes.entry(vec![gid as u64]).or_insert(0) += size;
+            }
+        }
+        for (slot, touched) in self.touched.iter().enumerate() {
+            if !touched {
+                continue;
+            }
+            let cohort = slot / self.ages;
+            let age = (slot % self.ages) as i64;
+            let base = slot * n_aggs;
+            partial
+                .cells
+                .entry(vec![cohort as u64])
+                .or_default()
+                .insert(age, self.states[base..base + n_aggs].to_vec());
+        }
+    }
+}
+
+/// Decode merged partials into the final report, sorted by cohort then age.
+fn build_report(
+    table: &CompressedTable,
+    plan: &PhysicalPlan,
+    ctx: &ExecContext,
+    merged: Partial,
+) -> Result<CohortReport, EngineError> {
+    let decode_key = |key: &Key| -> Vec<Value> {
+        key.iter()
+            .zip(ctx.key_parts.iter())
+            .map(|(v, part)| match part {
+                KeyPart::Str(idx) => Value::Str(table.gid_value(*idx, *v as u32).clone()),
+                KeyPart::Int(_) => Value::Int(*v as i64),
+                KeyPart::TimeBin(_) => Value::from(Timestamp(*v as i64).render_date()),
+            })
+            .collect()
+    };
+
+    let mut rows = Vec::new();
+    for (key, ages) in &merged.cells {
+        let cohort = decode_key(key);
+        let size = merged.sizes.get(key).copied().unwrap_or(0);
+        for (age, states) in ages {
+            rows.push(ReportRow {
+                cohort: cohort.clone(),
+                size,
+                age: *age,
+                measures: states.iter().map(|s| s.finalize()).collect(),
+            });
+        }
+    }
+    // Cohorts with a size but no qualifying age tuples still appear in the
+    // size map; they contribute no rows (no (cohort, age) bucket exists),
+    // matching Definition 6's output.
+    rows.sort_by(|a, b| a.cohort.cmp(&b.cohort).then(a.age.cmp(&b.age)));
+
+    Ok(CohortReport {
+        cohort_attrs: plan.query.cohort_by.iter().map(|c| c.to_string()).collect(),
+        agg_names: plan.query.aggregates.iter().map(|a| a.header()).collect(),
+        rows,
+        cohort_sizes: merged
+            .sizes
+            .iter()
+            .map(|(k, s)| (decode_key(k), *s))
+            .collect::<BTreeMap<_, _>>(),
+    })
+}

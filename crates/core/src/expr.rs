@@ -1,0 +1,410 @@
+//! Predicate expressions for birth and age selection conditions.
+//!
+//! An [`Expr`] is the propositional formula `C` of the σᵇ and σᵍ operators.
+//! Besides ordinary attribute references it supports the paper's two special
+//! terms:
+//!
+//! * [`Expr::Birth`] — `Birth(A)`: the value of attribute `A` in the current
+//!   user's *birth activity tuple* (§3.3.2), and
+//! * [`Expr::Age`] — the derived `AGE` of the current tuple in normalized
+//!   units, enabling `AGE < g` age selections (Q7/Q8).
+//!
+//! Expressions are built with a small combinator API:
+//!
+//! ```
+//! use cohana_core::Expr;
+//!
+//! // role = "dwarf" AND time BETWEEN t1 AND t2
+//! let c = Expr::attr("role").eq(Expr::lit_str("dwarf"))
+//!     .and(Expr::attr("time").between_int(100, 200));
+//! assert!(format!("{c}").contains("role = \"dwarf\""));
+//! ```
+
+use cohana_activity::Value;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate on a pre-ordered pair.
+    #[inline]
+    pub fn test(&self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less)
+                | (CmpOp::Ne, Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less)
+                | (CmpOp::Le, Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater)
+                | (CmpOp::Ge, Equal)
+        )
+    }
+
+    /// SQL rendering.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A predicate / scalar expression over activity tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Value of an attribute in the current tuple.
+    Attr(String),
+    /// `Birth(A)`: value of attribute `A` in the user's birth tuple.
+    Birth(String),
+    /// The derived `AGE` of the current tuple, in normalized age units.
+    Age,
+    /// A literal value.
+    Lit(Value),
+    /// Binary comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// `expr IN [v1, v2, …]`.
+    InList(Box<Expr>, Vec<Value>),
+    /// `expr BETWEEN lo AND hi` (inclusive).
+    Between(Box<Expr>, Value, Value),
+}
+
+impl Expr {
+    /// Reference an attribute of the current tuple.
+    pub fn attr(name: impl Into<String>) -> Expr {
+        Expr::Attr(name.into())
+    }
+
+    /// Reference an attribute of the user's birth tuple (`Birth(A)`).
+    pub fn birth(name: impl Into<String>) -> Expr {
+        Expr::Birth(name.into())
+    }
+
+    /// The `AGE` term.
+    pub fn age() -> Expr {
+        Expr::Age
+    }
+
+    /// A string literal.
+    pub fn lit_str(s: impl Into<std::sync::Arc<str>>) -> Expr {
+        Expr::Lit(Value::Str(s.into()))
+    }
+
+    /// An integer literal.
+    pub fn lit_int(v: i64) -> Expr {
+        Expr::Lit(Value::Int(v))
+    }
+
+    /// `self = rhs`
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self != rhs`
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs`
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self <= rhs`
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self > rhs`
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self >= rhs`
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self AND rhs`
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self OR rhs`
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self IN [values…]`
+    pub fn in_list(self, values: impl IntoIterator<Item = Value>) -> Expr {
+        Expr::InList(Box::new(self), values.into_iter().collect())
+    }
+
+    /// `self BETWEEN lo AND hi` on integers (inclusive).
+    pub fn between_int(self, lo: i64, hi: i64) -> Expr {
+        Expr::Between(Box::new(self), Value::Int(lo), Value::Int(hi))
+    }
+
+    /// Conjoin optional predicates.
+    pub fn conjoin(exprs: impl IntoIterator<Item = Expr>) -> Option<Expr> {
+        exprs.into_iter().reduce(Expr::and)
+    }
+
+    /// Walk the expression, yielding every node (pre-order).
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Not(a) | Expr::InList(a, _) | Expr::Between(a, _, _) => a.visit(f),
+            Expr::Attr(_) | Expr::Birth(_) | Expr::Age | Expr::Lit(_) => {}
+        }
+    }
+
+    /// Whether the expression references `Birth(...)` or `AGE` (such
+    /// predicates can appear only in age selections).
+    pub fn references_birth_or_age(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Birth(_) | Expr::Age) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// All attribute names referenced (both current-tuple and birth refs).
+    pub fn referenced_attrs(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| match e {
+            Expr::Attr(a) | Expr::Birth(a)
+                if !out.contains(a) => {
+                    out.push(a.clone());
+                }
+            _ => {}
+        });
+        out
+    }
+
+    /// Split a conjunction into its top-level conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            if let Expr::And(a, b) = e {
+                walk(a, out);
+                walk(b, out);
+            } else {
+                out.push(e);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Extract `[lo, hi]` bounds this predicate implies for an integer
+    /// attribute, if any conjunct constrains it with a literal comparison or
+    /// BETWEEN. Used for chunk-range pruning.
+    pub fn int_bounds(&self, attr: &str) -> Option<(i64, i64)> {
+        let mut lo = i64::MIN;
+        let mut hi = i64::MAX;
+        let mut constrained = false;
+        for c in self.conjuncts() {
+            match c {
+                Expr::Between(e, Value::Int(a), Value::Int(b)) => {
+                    if matches!(e.as_ref(), Expr::Attr(n) if n == attr) {
+                        lo = lo.max(*a);
+                        hi = hi.min(*b);
+                        constrained = true;
+                    }
+                }
+                Expr::Cmp(op, l, r) => {
+                    let (name_lit, flipped) = match (l.as_ref(), r.as_ref()) {
+                        (Expr::Attr(n), Expr::Lit(Value::Int(v))) if n == attr => ((n, *v), false),
+                        (Expr::Lit(Value::Int(v)), Expr::Attr(n)) if n == attr => ((n, *v), true),
+                        _ => continue,
+                    };
+                    let v = name_lit.1;
+                    let op = if flipped {
+                        match op {
+                            CmpOp::Lt => CmpOp::Gt,
+                            CmpOp::Le => CmpOp::Ge,
+                            CmpOp::Gt => CmpOp::Lt,
+                            CmpOp::Ge => CmpOp::Le,
+                            other => *other,
+                        }
+                    } else {
+                        *op
+                    };
+                    match op {
+                        CmpOp::Eq => {
+                            lo = lo.max(v);
+                            hi = hi.min(v);
+                            constrained = true;
+                        }
+                        CmpOp::Lt => {
+                            hi = hi.min(v - 1);
+                            constrained = true;
+                        }
+                        CmpOp::Le => {
+                            hi = hi.min(v);
+                            constrained = true;
+                        }
+                        CmpOp::Gt => {
+                            lo = lo.max(v + 1);
+                            constrained = true;
+                        }
+                        CmpOp::Ge => {
+                            lo = lo.max(v);
+                            constrained = true;
+                        }
+                        CmpOp::Ne => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+        if constrained {
+            Some((lo, hi))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Attr(a) => write!(f, "{a}"),
+            Expr::Birth(a) => write!(f, "Birth({a})"),
+            Expr::Age => write!(f, "AGE"),
+            Expr::Lit(Value::Str(s)) => write!(f, "\"{s}\""),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Cmp(op, a, b) => write!(f, "{a} {} {b}", op.symbol()),
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(a) => write!(f, "NOT ({a})"),
+            Expr::InList(a, vs) => {
+                write!(f, "{a} IN [")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match v {
+                        Value::Str(s) => write!(f, "\"{s}\"")?,
+                        other => write!(f, "{other}")?,
+                    }
+                }
+                write!(f, "]")
+            }
+            Expr::Between(a, lo, hi) => write!(f, "{a} BETWEEN {lo} AND {hi}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_test() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.test(Equal));
+        assert!(!CmpOp::Eq.test(Less));
+        assert!(CmpOp::Ne.test(Less));
+        assert!(CmpOp::Le.test(Equal));
+        assert!(CmpOp::Lt.test(Less));
+        assert!(!CmpOp::Lt.test(Equal));
+        assert!(CmpOp::Ge.test(Greater));
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let e = Expr::attr("action")
+            .eq(Expr::lit_str("shop"))
+            .and(Expr::attr("country").eq(Expr::birth("country")));
+        assert_eq!(e.to_string(), "(action = \"shop\" AND country = Birth(country))");
+    }
+
+    #[test]
+    fn references_birth_or_age() {
+        assert!(!Expr::attr("role").eq(Expr::lit_str("dwarf")).references_birth_or_age());
+        assert!(Expr::attr("country").eq(Expr::birth("country")).references_birth_or_age());
+        assert!(Expr::age().lt(Expr::lit_int(7)).references_birth_or_age());
+    }
+
+    #[test]
+    fn conjuncts_flatten() {
+        let e = Expr::attr("a")
+            .eq(Expr::lit_int(1))
+            .and(Expr::attr("b").eq(Expr::lit_int(2)))
+            .and(Expr::attr("c").eq(Expr::lit_int(3)));
+        assert_eq!(e.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn int_bounds_between() {
+        let e = Expr::attr("time").between_int(100, 200).and(Expr::attr("x").eq(Expr::lit_int(1)));
+        assert_eq!(e.int_bounds("time"), Some((100, 200)));
+        assert_eq!(e.int_bounds("x"), Some((1, 1)));
+        assert_eq!(e.int_bounds("y"), None);
+    }
+
+    #[test]
+    fn int_bounds_inequalities() {
+        let e = Expr::attr("time").ge(Expr::lit_int(50)).and(Expr::attr("time").lt(Expr::lit_int(80)));
+        assert_eq!(e.int_bounds("time"), Some((50, 79)));
+        // Flipped operand order.
+        let e2 = Expr::lit_int(50).le(Expr::attr("time"));
+        assert_eq!(e2.int_bounds("time"), Some((50, i64::MAX)));
+    }
+
+    #[test]
+    fn int_bounds_ignores_disjunctions() {
+        let e = Expr::attr("time").ge(Expr::lit_int(50)).or(Expr::attr("time").lt(Expr::lit_int(10)));
+        assert_eq!(e.int_bounds("time"), None);
+    }
+
+    #[test]
+    fn referenced_attrs_dedup() {
+        let e = Expr::attr("role")
+            .eq(Expr::lit_str("dwarf"))
+            .and(Expr::attr("role").ne(Expr::birth("country")));
+        assert_eq!(e.referenced_attrs(), vec!["role".to_string(), "country".to_string()]);
+    }
+}

@@ -1,0 +1,249 @@
+//! A naive reference evaluator for cohort queries.
+//!
+//! This module is the **executable specification** of the cohort algebra: it
+//! evaluates a [`CohortQuery`] directly over an uncompressed
+//! [`ActivityTable`] by interpreting Definitions 1–6 literally, with no
+//! storage tricks, no push-down, and no skipping. The optimized COHANA
+//! executor and the relational baselines are differentially tested against
+//! it.
+
+use crate::agg::AggState;
+use crate::error::EngineError;
+use crate::expr::{CmpOp, Expr};
+use crate::query::{CohortAttr, CohortQuery};
+use crate::report::{CohortReport, ReportRow};
+use cohana_activity::{ActivityTable, Timestamp, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// Interpret a scalar expression for one tuple.
+fn eval_scalar(
+    expr: &Expr,
+    table: &ActivityTable,
+    row: &Tuple,
+    birth: &Tuple,
+    age_units: i64,
+) -> Result<Value, EngineError> {
+    match expr {
+        Expr::Attr(a) => Ok(row.get(table.schema().require(a)?).clone()),
+        Expr::Birth(a) => Ok(birth.get(table.schema().require(a)?).clone()),
+        Expr::Age => Ok(Value::Int(age_units)),
+        Expr::Lit(v) => Ok(v.clone()),
+        other => Err(EngineError::TypeError(format!("`{other}` is not a scalar"))),
+    }
+}
+
+/// Interpret a predicate for one tuple.
+pub fn eval_predicate(
+    expr: &Expr,
+    table: &ActivityTable,
+    row: &Tuple,
+    birth: &Tuple,
+    age_units: i64,
+) -> Result<bool, EngineError> {
+    match expr {
+        Expr::Cmp(op, a, b) => {
+            let va = eval_scalar(a, table, row, birth, age_units)?;
+            let vb = eval_scalar(b, table, row, birth, age_units)?;
+            cmp_values(*op, &va, &vb)
+        }
+        Expr::And(a, b) => Ok(eval_predicate(a, table, row, birth, age_units)?
+            && eval_predicate(b, table, row, birth, age_units)?),
+        Expr::Or(a, b) => Ok(eval_predicate(a, table, row, birth, age_units)?
+            || eval_predicate(b, table, row, birth, age_units)?),
+        Expr::Not(a) => Ok(!eval_predicate(a, table, row, birth, age_units)?),
+        Expr::InList(a, vs) => {
+            let va = eval_scalar(a, table, row, birth, age_units)?;
+            Ok(vs.contains(&va))
+        }
+        Expr::Between(a, lo, hi) => {
+            let va = eval_scalar(a, table, row, birth, age_units)?;
+            Ok(cmp_values(CmpOp::Ge, &va, lo)? && cmp_values(CmpOp::Le, &va, hi)?)
+        }
+        other => Err(EngineError::TypeError(format!("`{other}` is not a predicate"))),
+    }
+}
+
+fn cmp_values(op: CmpOp, a: &Value, b: &Value) -> Result<bool, EngineError> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(op.test(x.cmp(y))),
+        (Value::Str(x), Value::Str(y)) => Ok(op.test(x.as_ref().cmp(y.as_ref()))),
+        _ => Err(EngineError::TypeError(format!("comparing {a} with {b}"))),
+    }
+}
+
+/// Evaluate a cohort query over an uncompressed activity table.
+pub fn naive_execute(
+    table: &ActivityTable,
+    query: &CohortQuery,
+) -> Result<CohortReport, EngineError> {
+    let schema = table.schema();
+    let time_idx = schema.time_idx();
+    let action_idx = schema.action_idx();
+    let agg_attrs: Vec<Option<usize>> = query
+        .aggregates
+        .iter()
+        .map(|a| a.attr().map(|n| schema.require(n)).transpose())
+        .collect::<Result<_, _>>()?;
+
+    let mut sizes: BTreeMap<Vec<Value>, u64> = BTreeMap::new();
+    let mut cells: BTreeMap<Vec<Value>, BTreeMap<i64, Vec<AggState>>> = BTreeMap::new();
+
+    for block in table.user_blocks() {
+        // Definition 1/2: birth tuple = first tuple with the birth action
+        // (time-ordered storage makes "first" the minimum time).
+        let birth_row = block
+            .range()
+            .find(|&r| table.rows()[r].get(action_idx).as_str() == Some(&query.birth_action));
+        let birth_row = match birth_row {
+            Some(r) => r,
+            None => continue,
+        };
+        let birth = &table.rows()[birth_row];
+        let birth_time = birth.get(time_idx).as_int().expect("time is int");
+
+        // σb: the birth condition inspects only the birth tuple.
+        if let Some(p) = &query.birth_predicate {
+            if !eval_predicate(p, table, birth, birth, 0)? {
+                continue;
+            }
+        }
+
+        // Cohort assignment (Definition 6): project the birth tuple on L.
+        let cohort: Vec<Value> = query
+            .cohort_by
+            .iter()
+            .map(|c| -> Result<Value, EngineError> {
+                Ok(match c {
+                    CohortAttr::Attr(a) => birth.get(schema.require(a)?).clone(),
+                    CohortAttr::TimeBin(bin) => {
+                        Value::from(bin.bin_start(Timestamp(birth_time)).render_date())
+                    }
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        *sizes.entry(cohort.clone()).or_insert(0) += 1;
+
+        // γ over positive-age tuples that pass σg.
+        let mut last_age_per_user: i64 = i64::MIN;
+        for r in block.range() {
+            let row = &table.rows()[r];
+            let age_secs = row.get(time_idx).as_int().expect("time is int") - birth_time;
+            if age_secs <= 0 {
+                continue;
+            }
+            let age_units = query.age_bin.age_units(age_secs);
+            if let Some(p) = &query.age_predicate {
+                if !eval_predicate(p, table, row, birth, age_units)? {
+                    continue;
+                }
+            }
+            let states = cells
+                .entry(cohort.clone())
+                .or_default()
+                .entry(age_units)
+                .or_insert_with(|| query.aggregates.iter().map(|a| a.init()).collect());
+            let fresh_age = age_units != last_age_per_user;
+            last_age_per_user = age_units;
+            for (i, agg) in query.aggregates.iter().enumerate() {
+                if agg.per_user() {
+                    if fresh_age {
+                        states[i].update_user();
+                    }
+                } else {
+                    let v = match agg_attrs[i] {
+                        Some(idx) => row.get(idx).as_int().ok_or_else(|| {
+                            EngineError::TypeError("aggregate over non-int".into())
+                        })?,
+                        None => 0,
+                    };
+                    states[i].update(v);
+                }
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (cohort, ages) in &cells {
+        for (age, states) in ages {
+            rows.push(ReportRow {
+                cohort: cohort.clone(),
+                size: sizes.get(cohort).copied().unwrap_or(0),
+                age: *age,
+                measures: states.iter().map(|s| s.finalize()).collect(),
+            });
+        }
+    }
+    rows.sort_by(|a, b| a.cohort.cmp(&b.cohort).then(a.age.cmp(&b.age)));
+    Ok(CohortReport {
+        cohort_attrs: query.cohort_by.iter().map(|c| c.to_string()).collect(),
+        agg_names: query.aggregates.iter().map(|a| a.header()).collect(),
+        rows,
+        cohort_sizes: sizes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use cohana_activity::{generate, GeneratorConfig};
+
+    #[test]
+    fn naive_q1_counts_all_users() {
+        let t = generate(&GeneratorConfig::small());
+        let q = CohortQuery::builder("launch")
+            .cohort_by(["country"])
+            .aggregate(AggFunc::user_count())
+            .build()
+            .unwrap();
+        let r = naive_execute(&t, &q).unwrap();
+        let total: u64 = r.cohort_sizes.values().sum();
+        assert_eq!(total as usize, t.num_users());
+    }
+
+    #[test]
+    fn naive_respects_birth_predicate() {
+        let t = generate(&GeneratorConfig::small());
+        let q = CohortQuery::builder("launch")
+            .birth_where(Expr::attr("country").eq(Expr::lit_str("China")))
+            .cohort_by(["country"])
+            .aggregate(AggFunc::count())
+            .build()
+            .unwrap();
+        let r = naive_execute(&t, &q).unwrap();
+        for c in r.cohort_sizes.keys() {
+            assert_eq!(c[0].as_str(), Some("China"));
+        }
+    }
+
+    #[test]
+    fn naive_age_zero_excluded() {
+        // A user whose only tuples share the birth timestamp yields size 1
+        // and no rows.
+        use cohana_activity::{Schema, TableBuilder};
+        let mut b = TableBuilder::new(Schema::game_actions());
+        for action in ["launch", "fight"] {
+            b.push(vec![
+                Value::str("u1"),
+                Value::int(1000),
+                Value::str(action),
+                Value::str("China"),
+                Value::str("Beijing"),
+                Value::str("dwarf"),
+                Value::int(5),
+                Value::int(0),
+            ])
+            .unwrap();
+        }
+        let t = b.finish().unwrap();
+        let q = CohortQuery::builder("launch")
+            .cohort_by(["country"])
+            .aggregate(AggFunc::count())
+            .build()
+            .unwrap();
+        let r = naive_execute(&t, &q).unwrap();
+        assert_eq!(r.num_rows(), 0);
+        assert_eq!(r.cohort_sizes[&vec![Value::str("China")]], 1);
+    }
+}

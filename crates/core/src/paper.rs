@@ -1,0 +1,157 @@
+//! The benchmark queries of the paper's evaluation (§5.2).
+//!
+//! Q1–Q4 exercise the cohort operators incrementally; Q5–Q8 are the
+//! selectivity-sweep variants of Q1/Q3 used for Figures 8 and 9. All are
+//! expressed against the `GameActions` schema of
+//! [`cohana_activity::Schema::game_actions`].
+
+use crate::agg::AggFunc;
+use crate::expr::Expr;
+use crate::query::CohortQuery;
+use cohana_activity::{Timestamp, Value};
+
+/// Parse a `YYYY-MM-DD` date into epoch seconds (panics on bad input; these
+/// are compile-time-style constants in benchmarks).
+fn date(s: &str) -> i64 {
+    Timestamp::parse(s).expect("valid benchmark date").secs()
+}
+
+/// Q1: *For each country launch cohort, report the number of retained users
+/// who did at least one action since they first launched the game.*
+pub fn q1() -> CohortQuery {
+    CohortQuery::builder("launch")
+        .cohort_by(["country"])
+        .aggregate(AggFunc::user_count())
+        .build()
+        .expect("Q1 is valid")
+}
+
+/// Q2: Q1 restricted to cohorts born in `2013-05-21 … 2013-05-27`.
+pub fn q2() -> CohortQuery {
+    CohortQuery::builder("launch")
+        .birth_where(Expr::attr("time").between_int(date("2013-05-21"), date("2013-05-27")))
+        .cohort_by(["country"])
+        .aggregate(AggFunc::user_count())
+        .build()
+        .expect("Q2 is valid")
+}
+
+/// Q3: *For each country shop cohort, report the average gold spent in
+/// shopping since the first shop.*
+pub fn q3() -> CohortQuery {
+    CohortQuery::builder("shop")
+        .age_where(Expr::attr("action").eq(Expr::lit_str("shop")))
+        .cohort_by(["country"])
+        .aggregate(AggFunc::avg("gold"))
+        .build()
+        .expect("Q3 is valid")
+}
+
+/// Q4: Q3 with a composite birth selection (date range, dwarf role, country
+/// in {China, Australia, United States}) and a `Birth(country)` age
+/// selection.
+pub fn q4() -> CohortQuery {
+    CohortQuery::builder("shop")
+        .birth_where(
+            Expr::attr("time")
+                .between_int(date("2013-05-21"), date("2013-05-27"))
+                .and(Expr::attr("role").eq(Expr::lit_str("dwarf")))
+                .and(Expr::attr("country").in_list([
+                    Value::str("China"),
+                    Value::str("Australia"),
+                    Value::str("United States"),
+                ])),
+        )
+        .age_where(
+            Expr::attr("action")
+                .eq(Expr::lit_str("shop"))
+                .and(Expr::attr("country").eq(Expr::birth("country"))),
+        )
+        .cohort_by(["country"])
+        .aggregate(AggFunc::avg("gold"))
+        .build()
+        .expect("Q4 is valid")
+}
+
+/// Q5: Q1 with a birth date range `[d1, d2]` (Figure 8 sweep).
+pub fn q5(d1: i64, d2: i64) -> CohortQuery {
+    CohortQuery::builder("launch")
+        .birth_where(Expr::attr("time").between_int(d1, d2))
+        .cohort_by(["country"])
+        .aggregate(AggFunc::user_count())
+        .build()
+        .expect("Q5 is valid")
+}
+
+/// Q6: Q3 with a birth date range `[d1, d2]` (Figure 8 sweep).
+pub fn q6(d1: i64, d2: i64) -> CohortQuery {
+    CohortQuery::builder("shop")
+        .birth_where(Expr::attr("time").between_int(d1, d2))
+        .age_where(Expr::attr("action").eq(Expr::lit_str("shop")))
+        .cohort_by(["country"])
+        .aggregate(AggFunc::avg("gold"))
+        .build()
+        .expect("Q6 is valid")
+}
+
+/// Q7: Q1 with `AGE < g` (Figure 9 sweep).
+pub fn q7(g: i64) -> CohortQuery {
+    CohortQuery::builder("launch")
+        .age_where(Expr::age().lt(Expr::lit_int(g)))
+        .cohort_by(["country"])
+        .aggregate(AggFunc::user_count())
+        .build()
+        .expect("Q7 is valid")
+}
+
+/// Q8: Q3 with `AGE < g` (Figure 9 sweep).
+pub fn q8(g: i64) -> CohortQuery {
+    CohortQuery::builder("shop")
+        .age_where(Expr::attr("action").eq(Expr::lit_str("shop")).and(Expr::age().lt(Expr::lit_int(g))))
+        .cohort_by(["country"])
+        .aggregate(AggFunc::avg("gold"))
+        .build()
+        .expect("Q8 is valid")
+}
+
+/// The Example-1 query of the paper (country launch cohorts of dwarf-born
+/// players, total gold spent on shopping).
+pub fn example1() -> CohortQuery {
+    CohortQuery::builder("launch")
+        .birth_where(Expr::attr("role").eq(Expr::lit_str("dwarf")))
+        .age_where(Expr::attr("action").eq(Expr::lit_str("shop")))
+        .cohort_by(["country"])
+        .aggregate(AggFunc::sum("gold"))
+        .build()
+        .expect("example 1 is valid")
+}
+
+/// The Table-3 / Figure-1 analysis: weekly launch cohorts, average gold
+/// spent on shopping, weekly ages.
+pub fn shopping_trend() -> CohortQuery {
+    CohortQuery::builder("launch")
+        .age_where(Expr::attr("action").eq(Expr::lit_str("shop")))
+        .cohort_by_time(cohana_activity::TimeBin::Week)
+        .age_bin(cohana_activity::TimeBin::Week)
+        .aggregate(AggFunc::avg("gold"))
+        .build()
+        .expect("shopping trend query is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_build() {
+        let _ = (q1(), q2(), q3(), q4(), example1(), shopping_trend());
+        let _ = (q5(0, 100), q6(0, 100), q7(7), q8(7));
+    }
+
+    #[test]
+    fn q4_has_composite_predicates() {
+        let q = q4();
+        assert!(q.birth_predicate.as_ref().unwrap().conjuncts().len() >= 3);
+        assert!(q.age_predicate.as_ref().unwrap().references_birth_or_age());
+    }
+}

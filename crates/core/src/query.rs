@@ -1,0 +1,257 @@
+//! The [`CohortQuery`] description (§3.4).
+//!
+//! A cohort query is the composition `γᶜ(L,e,fA) ∘ σᵍ(Cg,e) ∘ σᵇ(Cb,e)` over
+//! one activity table, with the same birth action `e` throughout — the
+//! constraint the paper places on basic cohort queries. The SQL-style
+//! surface syntax is parsed by the `cohana-sql` crate into this structure.
+
+use crate::agg::AggFunc;
+use crate::error::EngineError;
+use crate::expr::Expr;
+use cohana_activity::TimeBin;
+use std::fmt;
+
+/// One element of the cohort attribute set `L`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CohortAttr {
+    /// Cohort by a dimension attribute of the birth tuple (e.g. `country`).
+    Attr(String),
+    /// Cohort by the birth time, binned at a granularity — the classic
+    /// social-science time cohort (e.g. weekly launch cohorts).
+    TimeBin(TimeBin),
+}
+
+impl fmt::Display for CohortAttr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CohortAttr::Attr(a) => write!(f, "{a}"),
+            CohortAttr::TimeBin(TimeBin::Day) => write!(f, "time(day)"),
+            CohortAttr::TimeBin(TimeBin::Week) => write!(f, "time(week)"),
+            CohortAttr::TimeBin(TimeBin::Month) => write!(f, "time(month)"),
+        }
+    }
+}
+
+/// A validated cohort query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortQuery {
+    /// The birth action `e`, shared by all cohort operators in the query.
+    pub birth_action: String,
+    /// Birth selection condition `Cb` (on the birth tuple's attributes).
+    pub birth_predicate: Option<Expr>,
+    /// Age selection condition `Cg` (may use `Birth(A)` and `AGE`).
+    pub age_predicate: Option<Expr>,
+    /// The cohort attribute set `L`.
+    pub cohort_by: Vec<CohortAttr>,
+    /// Aggregates to report per `(cohort, age)`.
+    pub aggregates: Vec<AggFunc>,
+    /// Age normalization granularity (the paper defaults to days).
+    pub age_bin: TimeBin,
+}
+
+impl CohortQuery {
+    /// Start building a query for a birth action.
+    pub fn builder(birth_action: impl Into<String>) -> CohortQueryBuilder {
+        CohortQueryBuilder {
+            birth_action: birth_action.into(),
+            birth_predicate: None,
+            age_predicate: None,
+            cohort_by: Vec::new(),
+            aggregates: Vec::new(),
+            age_bin: TimeBin::Day,
+        }
+    }
+
+    /// Render in the paper's extended-SQL style (used by `Display` and the
+    /// planner's EXPLAIN output).
+    pub fn to_sql(&self) -> String {
+        let mut select: Vec<String> = self.cohort_by.iter().map(|c| c.to_string()).collect();
+        select.push("COHORTSIZE".into());
+        select.push("AGE".into());
+        select.extend(self.aggregates.iter().map(|a| a.header()));
+        let mut s = format!("SELECT {}\nFROM D\nBIRTH FROM action = \"{}\"", select.join(", "), self.birth_action);
+        if let Some(p) = &self.birth_predicate {
+            s.push_str(&format!(" AND {p}"));
+        }
+        if let Some(p) = &self.age_predicate {
+            s.push_str(&format!("\nAGE ACTIVITIES IN {p}"));
+        }
+        s.push_str(&format!(
+            "\nCOHORT BY {}",
+            self.cohort_by.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", ")
+        ));
+        match self.age_bin {
+            TimeBin::Day => {}
+            TimeBin::Week => s.push_str("\nAGE UNIT week"),
+            TimeBin::Month => s.push_str("\nAGE UNIT month"),
+        }
+        s
+    }
+}
+
+impl fmt::Display for CohortQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_sql())
+    }
+}
+
+/// Builder for [`CohortQuery`] with validation at `build()`.
+#[derive(Debug, Clone)]
+pub struct CohortQueryBuilder {
+    birth_action: String,
+    birth_predicate: Option<Expr>,
+    age_predicate: Option<Expr>,
+    cohort_by: Vec<CohortAttr>,
+    aggregates: Vec<AggFunc>,
+    age_bin: TimeBin,
+}
+
+impl CohortQueryBuilder {
+    /// Add a birth selection condition (conjoined with any existing one).
+    pub fn birth_where(mut self, pred: Expr) -> Self {
+        self.birth_predicate = Some(match self.birth_predicate {
+            Some(p) => p.and(pred),
+            None => pred,
+        });
+        self
+    }
+
+    /// Add an age selection condition (conjoined with any existing one).
+    pub fn age_where(mut self, pred: Expr) -> Self {
+        self.age_predicate = Some(match self.age_predicate {
+            Some(p) => p.and(pred),
+            None => pred,
+        });
+        self
+    }
+
+    /// Cohort by dimension attributes.
+    pub fn cohort_by<I, S>(mut self, attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.cohort_by.extend(attrs.into_iter().map(|a| CohortAttr::Attr(a.into())));
+        self
+    }
+
+    /// Cohort by binned birth time.
+    pub fn cohort_by_time(mut self, bin: TimeBin) -> Self {
+        self.cohort_by.push(CohortAttr::TimeBin(bin));
+        self
+    }
+
+    /// Add an aggregate to report.
+    pub fn aggregate(mut self, agg: AggFunc) -> Self {
+        self.aggregates.push(agg);
+        self
+    }
+
+    /// Set the age granularity (defaults to days).
+    pub fn age_bin(mut self, bin: TimeBin) -> Self {
+        self.age_bin = bin;
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<CohortQuery, EngineError> {
+        if self.birth_action.is_empty() {
+            return Err(EngineError::InvalidQuery("birth action must be non-empty".into()));
+        }
+        if self.cohort_by.is_empty() {
+            return Err(EngineError::InvalidQuery("COHORT BY must name at least one attribute".into()));
+        }
+        if self.aggregates.is_empty() {
+            return Err(EngineError::InvalidQuery("at least one aggregate is required".into()));
+        }
+        if let Some(p) = &self.birth_predicate {
+            if p.references_birth_or_age() {
+                return Err(EngineError::InvalidQuery(
+                    "birth selection cannot reference Birth()/AGE; its attributes already \
+                     denote the birth tuple"
+                        .into(),
+                ));
+            }
+        }
+        Ok(CohortQuery {
+            birth_action: self.birth_action,
+            birth_predicate: self.birth_predicate,
+            age_predicate: self.age_predicate,
+            cohort_by: self.cohort_by,
+            aggregates: self.aggregates,
+            age_bin: self.age_bin,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    /// The paper's Q1 from Example 1.
+    fn q1() -> CohortQuery {
+        CohortQuery::builder("launch")
+            .birth_where(Expr::attr("role").eq(Expr::lit_str("dwarf")))
+            .age_where(Expr::attr("action").eq(Expr::lit_str("shop")))
+            .cohort_by(["country"])
+            .aggregate(AggFunc::sum("gold"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_example_1() {
+        let q = q1();
+        assert_eq!(q.birth_action, "launch");
+        assert!(q.birth_predicate.is_some());
+        assert!(q.age_predicate.is_some());
+        assert_eq!(q.cohort_by, vec![CohortAttr::Attr("country".into())]);
+    }
+
+    #[test]
+    fn to_sql_round_style() {
+        let sql = q1().to_sql();
+        assert!(sql.contains("BIRTH FROM action = \"launch\" AND role = \"dwarf\""));
+        assert!(sql.contains("AGE ACTIVITIES IN action = \"shop\""));
+        assert!(sql.contains("COHORT BY country"));
+        assert!(sql.contains("COHORTSIZE"));
+    }
+
+    #[test]
+    fn rejects_empty_parts() {
+        assert!(CohortQuery::builder("")
+            .cohort_by(["country"])
+            .aggregate(AggFunc::count())
+            .build()
+            .is_err());
+        assert!(CohortQuery::builder("launch").aggregate(AggFunc::count()).build().is_err());
+        assert!(CohortQuery::builder("launch").cohort_by(["country"]).build().is_err());
+    }
+
+    #[test]
+    fn rejects_birth_pred_with_age_refs() {
+        let res = CohortQuery::builder("launch")
+            .birth_where(Expr::age().lt(Expr::lit_int(5)))
+            .cohort_by(["country"])
+            .aggregate(AggFunc::count())
+            .build();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn conjoining_builders() {
+        let q = CohortQuery::builder("shop")
+            .birth_where(Expr::attr("role").eq(Expr::lit_str("dwarf")))
+            .birth_where(Expr::attr("country").eq(Expr::lit_str("China")))
+            .build_partial_for_test();
+        let p = q.unwrap();
+        assert!(p.to_string().contains("AND"));
+    }
+
+    impl CohortQueryBuilder {
+        fn build_partial_for_test(self) -> Option<Expr> {
+            self.birth_predicate
+        }
+    }
+}

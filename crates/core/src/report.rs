@@ -1,0 +1,245 @@
+//! Cohort query results.
+//!
+//! The cohort aggregation operator outputs a normal relational table whose
+//! rows are `(dL, g, s, m)`: the cohort identifier, the age, the cohort
+//! size, and the aggregated measures (Definition 6). [`CohortReport`] holds
+//! those rows plus enough metadata to render the paper's Table 3 style
+//! pivoted cohort matrix.
+
+use crate::agg::AggValue;
+use cohana_activity::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One output row of γᶜ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportRow {
+    /// Cohort identifier `dL` (one value per cohort attribute).
+    pub cohort: Vec<Value>,
+    /// Cohort size `s` — distinct qualified users in the cohort.
+    pub size: u64,
+    /// Age `g` in normalized units (≥ 1).
+    pub age: i64,
+    /// Finalized aggregates `m`, one per aggregate in the query.
+    pub measures: Vec<AggValue>,
+}
+
+/// The result of a cohort query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortReport {
+    /// Header names of the cohort attributes.
+    pub cohort_attrs: Vec<String>,
+    /// Header names of the aggregates.
+    pub agg_names: Vec<String>,
+    /// Rows sorted by (cohort, age).
+    pub rows: Vec<ReportRow>,
+    /// Size of every cohort that had at least one qualified user, including
+    /// cohorts that produced no (cohort, age) rows.
+    pub cohort_sizes: BTreeMap<Vec<Value>, u64>,
+}
+
+impl CohortReport {
+    /// Number of `(cohort, age)` rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the report is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Look up a row by cohort label and age.
+    pub fn find(&self, cohort: &[Value], age: i64) -> Option<&ReportRow> {
+        self.rows.iter().find(|r| r.cohort == cohort && r.age == age)
+    }
+
+    /// The distinct cohort labels, in order.
+    pub fn cohorts(&self) -> Vec<&Vec<Value>> {
+        let mut out: Vec<&Vec<Value>> = Vec::new();
+        for r in &self.rows {
+            if out.last().map(|c| **c != r.cohort).unwrap_or(true) {
+                out.push(&r.cohort);
+            }
+        }
+        out
+    }
+
+    /// Render as an aligned flat table:
+    /// `cohort…, COHORTSIZE, AGE, aggregates…`.
+    pub fn pretty(&self) -> String {
+        let mut headers: Vec<String> = self.cohort_attrs.clone();
+        headers.push("COHORTSIZE".into());
+        headers.push("AGE".into());
+        headers.extend(self.agg_names.iter().cloned());
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row: Vec<String> = r.cohort.iter().map(|v| v.to_string()).collect();
+                row.push(r.size.to_string());
+                row.push(r.age.to_string());
+                row.extend(r.measures.iter().map(|m| m.to_string()));
+                for (i, c) in row.iter().enumerate() {
+                    widths[i] = widths[i].max(c.len());
+                }
+                row
+            })
+            .collect();
+        let mut out = String::new();
+        for (i, h) in headers.iter().enumerate() {
+            out.push_str(&format!("{:w$}  ", h, w = widths[i]));
+        }
+        out.push('\n');
+        for row in cells {
+            for (i, c) in row.iter().enumerate() {
+                out.push_str(&format!("{:w$}  ", c, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the paper's Table 3 style pivot: one row per cohort (with its
+    /// size in parentheses), one column per age, showing measure
+    /// `measure_idx`.
+    pub fn pivot(&self, measure_idx: usize) -> String {
+        let ages: Vec<i64> = {
+            let mut a: Vec<i64> = self.rows.iter().map(|r| r.age).collect();
+            a.sort_unstable();
+            a.dedup();
+            a
+        };
+        let mut by_cohort: BTreeMap<&Vec<Value>, BTreeMap<i64, &AggValue>> = BTreeMap::new();
+        let mut sizes: BTreeMap<&Vec<Value>, u64> = BTreeMap::new();
+        for r in &self.rows {
+            by_cohort.entry(&r.cohort).or_default().insert(r.age, &r.measures[measure_idx]);
+            sizes.insert(&r.cohort, r.size);
+        }
+        let label = |c: &Vec<Value>| -> String {
+            c.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("/")
+        };
+        let mut label_w = "cohort".len();
+        for c in by_cohort.keys() {
+            label_w = label_w.max(label(c).len() + sizes[*c].to_string().len() + 3);
+        }
+        let col_w = 8usize;
+        let mut out = format!("{:label_w$}  ", "cohort");
+        for a in &ages {
+            out.push_str(&format!("{:>col_w$}  ", a));
+        }
+        out.push('\n');
+        for (c, cells) in &by_cohort {
+            out.push_str(&format!("{:label_w$}  ", format!("{} ({})", label(c), sizes[*c])));
+            for a in &ages {
+                match cells.get(a) {
+                    Some(v) => out.push_str(&format!("{:>col_w$}  ", v.to_string())),
+                    None => out.push_str(&format!("{:>col_w$}  ", "")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV export (`cohort attrs…, cohortsize, age, aggregates…`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut headers: Vec<String> = self.cohort_attrs.clone();
+        headers.push("cohortsize".into());
+        headers.push("age".into());
+        headers.extend(self.agg_names.iter().cloned());
+        out.push_str(&headers.join(","));
+        out.push('\n');
+        for r in &self.rows {
+            let mut row: Vec<String> = r.cohort.iter().map(|v| v.to_string()).collect();
+            row.push(r.size.to_string());
+            row.push(r.age.to_string());
+            row.extend(r.measures.iter().map(|m| m.to_string()));
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for CohortReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CohortReport {
+        CohortReport {
+            cohort_attrs: vec!["country".into()],
+            agg_names: vec!["Sum(gold)".into()],
+            rows: vec![
+                ReportRow {
+                    cohort: vec![Value::str("Australia")],
+                    size: 3,
+                    age: 1,
+                    measures: vec![AggValue::Int(52)],
+                },
+                ReportRow {
+                    cohort: vec![Value::str("Australia")],
+                    size: 3,
+                    age: 2,
+                    measures: vec![AggValue::Int(31)],
+                },
+                ReportRow {
+                    cohort: vec![Value::str("China")],
+                    size: 5,
+                    age: 1,
+                    measures: vec![AggValue::Int(58)],
+                },
+            ],
+            cohort_sizes: BTreeMap::from([
+                (vec![Value::str("Australia")], 3),
+                (vec![Value::str("China")], 5),
+            ]),
+        }
+    }
+
+    #[test]
+    fn find_and_cohorts() {
+        let r = sample();
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(
+            r.find(&[Value::str("Australia")], 2).unwrap().measures[0],
+            AggValue::Int(31)
+        );
+        assert!(r.find(&[Value::str("Australia")], 9).is_none());
+        assert_eq!(r.cohorts().len(), 2);
+    }
+
+    #[test]
+    fn pretty_has_headers_and_rows() {
+        let p = sample().pretty();
+        assert!(p.contains("COHORTSIZE"));
+        assert!(p.contains("Australia"));
+        assert!(p.contains("52"));
+    }
+
+    #[test]
+    fn pivot_matrix_shape() {
+        let p = sample().pivot(0);
+        // One header line + two cohort lines.
+        assert_eq!(p.lines().count(), 3);
+        assert!(p.contains("Australia (3)"));
+        assert!(p.contains("China (5)"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "country,cohortsize,age,Sum(gold)");
+        assert_eq!(lines[1], "Australia,3,1,52");
+    }
+}

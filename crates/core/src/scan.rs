@@ -1,0 +1,561 @@
+//! The modified TableScan and per-chunk predicate compilation (§4.3).
+//!
+//! COHANA extends the standard columnar TableScan with `GetNextUser` and
+//! `SkipCurUser`. Over the RLE user column this is simply iterating the
+//! `(u, f, n)` triples ([`ChunkScan::next_user`]) and *not* touching the
+//! rows of a skipped user — no file pointers need to move because the
+//! bit-packed columns are randomly addressable.
+//!
+//! Predicates are compiled once per chunk into [`CompiledExpr`]s that
+//! operate directly on compressed codes:
+//!
+//! * string equality/ordering is translated to integer comparisons on
+//!   **global ids** (dictionary order equals value order);
+//! * literals are resolved through the global dictionary *rank*, so a
+//!   literal absent from the dictionary still compares correctly;
+//! * integer columns decode as `chunk_min + delta` — one add per access;
+//! * `Birth(A)` terms read the same columns at the user's birth row;
+//! * `AGE` reads the pre-computed age of the current tuple.
+
+use crate::error::EngineError;
+use crate::expr::{CmpOp, Expr};
+use cohana_activity::{Schema, Value, ValueType};
+use cohana_storage::{Chunk, CompressedTable};
+use cohana_storage::rle::UserRun;
+
+/// Evaluation context for one tuple of one user block.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalCtx {
+    /// Row index of the current tuple within the chunk.
+    pub row: usize,
+    /// Row index of the user's birth tuple within the chunk.
+    pub birth_row: usize,
+    /// Age of the current tuple in normalized units (0 for the birth tuple).
+    pub age_units: i64,
+}
+
+/// Scan over one chunk with the two cohort extensions.
+pub struct ChunkScan<'a> {
+    chunk: &'a Chunk,
+    /// Chunk code of the birth action in this chunk's action dictionary
+    /// (`None` means no tuple in this chunk performs the birth action).
+    birth_action_code: Option<u64>,
+    action_idx: usize,
+    time_idx: usize,
+    next_run: usize,
+}
+
+impl<'a> ChunkScan<'a> {
+    /// Open a scan. `birth_action_gid` is the global id of the birth action
+    /// (`None` if the action occurs nowhere in the table).
+    pub fn open(
+        table: &'a CompressedTable,
+        chunk: &'a Chunk,
+        birth_action_gid: Option<u32>,
+    ) -> Self {
+        let schema = table.schema();
+        let action_idx = schema.action_idx();
+        let birth_action_code = birth_action_gid.and_then(|gid| {
+            chunk
+                .column_required(action_idx)
+                .dict()
+                .expect("action column is dictionary-encoded")
+                .find(gid)
+                .map(|c| c as u64)
+        });
+        ChunkScan {
+            chunk,
+            birth_action_code,
+            action_idx,
+            time_idx: schema.time_idx(),
+            next_run: 0,
+        }
+    }
+
+    /// Whether any tuple in the chunk performs the birth action. When false
+    /// the executor can skip the chunk entirely (two-level dictionary
+    /// pruning, §4.1).
+    pub fn chunk_has_birth_action(&self) -> bool {
+        self.birth_action_code.is_some()
+    }
+
+    /// `GetNextUser()`: the next user's block of activity tuples. Not
+    /// reading the previous user's remaining tuples *is* `SkipCurUser()` —
+    /// random access makes skipping free.
+    pub fn next_user(&mut self) -> Option<UserRun> {
+        if self.next_run >= self.chunk.user_rle().num_users() {
+            return None;
+        }
+        let run = self.chunk.user_rle().run(self.next_run);
+        self.next_run += 1;
+        Some(run)
+    }
+
+    /// Reset to the first user (used by multi-pass ablations).
+    pub fn rewind(&mut self) {
+        self.next_run = 0;
+    }
+
+    /// `GetBirthTuple`: find the row of the user's birth activity tuple —
+    /// the first tuple of the block whose action is the birth action —
+    /// exploiting the time-ordering property (Algorithm 1, lines 1–5).
+    pub fn find_birth_row(&self, run: &UserRun) -> Option<usize> {
+        let code = self.birth_action_code?;
+        let col = self.chunk.column_required(self.action_idx);
+        let start = run.first as usize;
+        let end = start + run.count as usize;
+        (start..end).find(|&row| col.code(row) == code)
+    }
+
+    /// Timestamp (seconds) of a row.
+    #[inline]
+    pub fn time_at(&self, row: usize) -> i64 {
+        self.chunk.column_required(self.time_idx).int_value(row)
+    }
+
+    /// The underlying chunk.
+    #[inline]
+    pub fn chunk(&self) -> &'a Chunk {
+        self.chunk
+    }
+}
+
+/// A scalar operand of a compiled comparison, yielding an `i64`.
+///
+/// Strings evaluate to their global dictionary ids, whose order matches
+/// value order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// Global id of a string attribute at the current row.
+    GidAttr(usize),
+    /// Global id of a string attribute at the birth row.
+    GidBirth(usize),
+    /// Integer attribute at the current row.
+    IntAttr(usize),
+    /// Integer attribute at the birth row.
+    IntBirth(usize),
+    /// The tuple's age in normalized units.
+    Age,
+    /// A constant.
+    Const(i64),
+}
+
+impl Scalar {
+    #[inline]
+    fn eval(&self, chunk: &Chunk, ctx: &EvalCtx) -> i64 {
+        match self {
+            Scalar::GidAttr(idx) => chunk.column_required(*idx).gid_at(ctx.row) as i64,
+            Scalar::GidBirth(idx) => chunk.column_required(*idx).gid_at(ctx.birth_row) as i64,
+            Scalar::IntAttr(idx) => chunk.column_required(*idx).int_value(ctx.row),
+            Scalar::IntBirth(idx) => chunk.column_required(*idx).int_value(ctx.birth_row),
+            Scalar::Age => ctx.age_units,
+            Scalar::Const(v) => *v,
+        }
+    }
+}
+
+/// A predicate compiled against one chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledExpr {
+    /// Constant outcome (e.g. equality with a value absent from the global
+    /// dictionary).
+    Const(bool),
+    /// Integer comparison of two scalars.
+    Cmp(CmpOp, Scalar, Scalar),
+    /// Conjunction.
+    And(Box<CompiledExpr>, Box<CompiledExpr>),
+    /// Disjunction.
+    Or(Box<CompiledExpr>, Box<CompiledExpr>),
+    /// Negation.
+    Not(Box<CompiledExpr>),
+    /// Sorted-set membership.
+    InSet(Scalar, Vec<i64>),
+}
+
+impl CompiledExpr {
+    /// Evaluate for one tuple.
+    #[inline]
+    pub fn eval(&self, chunk: &Chunk, ctx: &EvalCtx) -> bool {
+        match self {
+            CompiledExpr::Const(b) => *b,
+            CompiledExpr::Cmp(op, a, b) => op.test(a.eval(chunk, ctx).cmp(&b.eval(chunk, ctx))),
+            CompiledExpr::And(a, b) => a.eval(chunk, ctx) && b.eval(chunk, ctx),
+            CompiledExpr::Or(a, b) => a.eval(chunk, ctx) || b.eval(chunk, ctx),
+            CompiledExpr::Not(a) => !a.eval(chunk, ctx),
+            CompiledExpr::InSet(s, set) => set.binary_search(&s.eval(chunk, ctx)).is_ok(),
+        }
+    }
+
+    /// Whether the predicate is the constant `false` (lets the executor
+    /// skip whole chunks or users without per-tuple work).
+    pub fn is_const_false(&self) -> bool {
+        matches!(self, CompiledExpr::Const(false))
+    }
+}
+
+/// Compile an [`Expr`] against the table's global dictionaries. The result
+/// is chunk-independent (global ids are table-global); only the evaluation
+/// touches chunk data.
+pub fn compile_predicate(
+    expr: &Expr,
+    schema: &Schema,
+    table: &CompressedTable,
+) -> Result<CompiledExpr, EngineError> {
+    match expr {
+        Expr::And(a, b) => Ok(CompiledExpr::And(
+            Box::new(compile_predicate(a, schema, table)?),
+            Box::new(compile_predicate(b, schema, table)?),
+        )),
+        Expr::Or(a, b) => Ok(CompiledExpr::Or(
+            Box::new(compile_predicate(a, schema, table)?),
+            Box::new(compile_predicate(b, schema, table)?),
+        )),
+        Expr::Not(a) => Ok(CompiledExpr::Not(Box::new(compile_predicate(a, schema, table)?))),
+        Expr::Cmp(op, a, b) => compile_cmp(*op, a, b, schema, table),
+        Expr::Between(a, lo, hi) => {
+            let ge = Expr::Cmp(CmpOp::Ge, a.clone(), Box::new(Expr::Lit(lo.clone())));
+            let le = Expr::Cmp(CmpOp::Le, a.clone(), Box::new(Expr::Lit(hi.clone())));
+            Ok(CompiledExpr::And(
+                Box::new(compile_predicate(&ge, schema, table)?),
+                Box::new(compile_predicate(&le, schema, table)?),
+            ))
+        }
+        Expr::InList(a, values) => {
+            let (scalar, vtype) = compile_scalar(a, schema)?;
+            let mut set = Vec::with_capacity(values.len());
+            for v in values {
+                match (vtype, v) {
+                    (ValueType::Int, Value::Int(i)) => set.push(*i),
+                    (ValueType::Str, Value::Str(s)) => {
+                        let attr_idx = scalar_attr_idx(&scalar)
+                            .ok_or_else(|| EngineError::TypeError(format!("IN on {a}")))?;
+                        // Absent values simply never match.
+                        if let Some(gid) = table.lookup_gid(attr_idx, s) {
+                            set.push(gid as i64);
+                        }
+                    }
+                    _ => {
+                        return Err(EngineError::TypeError(format!(
+                            "IN list value {v} does not match operand type"
+                        )))
+                    }
+                }
+            }
+            set.sort_unstable();
+            set.dedup();
+            if set.is_empty() {
+                return Ok(CompiledExpr::Const(false));
+            }
+            Ok(CompiledExpr::InSet(scalar, set))
+        }
+        other => Err(EngineError::TypeError(format!("`{other}` is not a boolean predicate"))),
+    }
+}
+
+fn scalar_attr_idx(s: &Scalar) -> Option<usize> {
+    match s {
+        Scalar::GidAttr(i) | Scalar::GidBirth(i) | Scalar::IntAttr(i) | Scalar::IntBirth(i) => {
+            Some(*i)
+        }
+        _ => None,
+    }
+}
+
+/// Compile a scalar term, returning its runtime representation and type.
+fn compile_scalar(expr: &Expr, schema: &Schema) -> Result<(Scalar, ValueType), EngineError> {
+    match expr {
+        Expr::Attr(name) => {
+            let idx = schema.require(name)?;
+            match schema.attribute(idx).vtype {
+                ValueType::Str => Ok((Scalar::GidAttr(idx), ValueType::Str)),
+                ValueType::Int => Ok((Scalar::IntAttr(idx), ValueType::Int)),
+            }
+        }
+        Expr::Birth(name) => {
+            let idx = schema.require(name)?;
+            match schema.attribute(idx).vtype {
+                ValueType::Str => Ok((Scalar::GidBirth(idx), ValueType::Str)),
+                ValueType::Int => Ok((Scalar::IntBirth(idx), ValueType::Int)),
+            }
+        }
+        Expr::Age => Ok((Scalar::Age, ValueType::Int)),
+        Expr::Lit(Value::Int(v)) => Ok((Scalar::Const(*v), ValueType::Int)),
+        other => Err(EngineError::TypeError(format!("`{other}` is not a scalar term"))),
+    }
+}
+
+fn compile_cmp(
+    op: CmpOp,
+    lhs: &Expr,
+    rhs: &Expr,
+    schema: &Schema,
+    table: &CompressedTable,
+) -> Result<CompiledExpr, EngineError> {
+    // Normalize literal-on-the-left by flipping the comparison.
+    if matches!(lhs, Expr::Lit(_)) && !matches!(rhs, Expr::Lit(_)) {
+        let flipped = match op {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        };
+        return compile_cmp(flipped, rhs, lhs, schema, table);
+    }
+
+    match rhs {
+        // column <op> string-literal: translate through the global
+        // dictionary rank so absent literals still order correctly.
+        Expr::Lit(Value::Str(s)) => {
+            let (scalar, vtype) = compile_scalar(lhs, schema)?;
+            if vtype != ValueType::Str {
+                return Err(EngineError::TypeError(format!(
+                    "comparing integer term with string literal \"{s}\""
+                )));
+            }
+            let attr_idx = scalar_attr_idx(&scalar)
+                .ok_or_else(|| EngineError::TypeError("string literal vs AGE".into()))?;
+            let dict = table
+                .global_dict(attr_idx)
+                .ok_or_else(|| EngineError::TypeError("expected dictionary column".into()))?;
+            let present = dict.lookup(s);
+            let rank = dict.rank(s) as i64;
+            Ok(match (op, present) {
+                (CmpOp::Eq, Some(gid)) => {
+                    CompiledExpr::Cmp(CmpOp::Eq, scalar, Scalar::Const(gid as i64))
+                }
+                (CmpOp::Eq, None) => CompiledExpr::Const(false),
+                (CmpOp::Ne, Some(gid)) => {
+                    CompiledExpr::Cmp(CmpOp::Ne, scalar, Scalar::Const(gid as i64))
+                }
+                (CmpOp::Ne, None) => CompiledExpr::Const(true),
+                // gid < rank(v) <=> value < v ; see GlobalDict::rank.
+                (CmpOp::Lt, _) => CompiledExpr::Cmp(CmpOp::Lt, scalar, Scalar::Const(rank)),
+                (CmpOp::Ge, _) => CompiledExpr::Cmp(CmpOp::Ge, scalar, Scalar::Const(rank)),
+                (CmpOp::Le, Some(gid)) => {
+                    CompiledExpr::Cmp(CmpOp::Le, scalar, Scalar::Const(gid as i64))
+                }
+                (CmpOp::Le, None) => CompiledExpr::Cmp(CmpOp::Lt, scalar, Scalar::Const(rank)),
+                (CmpOp::Gt, Some(gid)) => {
+                    CompiledExpr::Cmp(CmpOp::Gt, scalar, Scalar::Const(gid as i64))
+                }
+                (CmpOp::Gt, None) => CompiledExpr::Cmp(CmpOp::Ge, scalar, Scalar::Const(rank)),
+            })
+        }
+        _ => {
+            let (ls, lt) = compile_scalar(lhs, schema)?;
+            let (rs, rt) = compile_scalar(rhs, schema)?;
+            if lt != rt {
+                return Err(EngineError::TypeError(format!(
+                    "comparing {} with {}",
+                    lt.name(),
+                    rt.name()
+                )));
+            }
+            // Str vs Str compares global ids; dictionary order equals value
+            // order, so every comparison operator is preserved.
+            Ok(CompiledExpr::Cmp(op, ls, rs))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohana_activity::{generate, GeneratorConfig, Timestamp};
+    use cohana_storage::CompressionOptions;
+
+    fn setup() -> (cohana_activity::ActivityTable, CompressedTable) {
+        let t = generate(&GeneratorConfig::small());
+        let c = CompressedTable::build(&t, CompressionOptions::with_chunk_size(200)).unwrap();
+        (t, c)
+    }
+
+    #[test]
+    fn next_user_visits_every_user_once() {
+        let (t, c) = setup();
+        let gid = c.lookup_gid(t.schema().action_idx(), "launch");
+        let mut total = 0usize;
+        for chunk in c.chunks() {
+            let mut scan = ChunkScan::open(&c, chunk, gid);
+            while let Some(run) = scan.next_user() {
+                assert!(run.count > 0);
+                total += 1;
+            }
+        }
+        assert_eq!(total, t.num_users());
+    }
+
+    #[test]
+    fn find_birth_row_is_first_matching_action() {
+        let (t, c) = setup();
+        let aidx = t.schema().action_idx();
+        let gid = c.lookup_gid(aidx, "launch");
+        for chunk in c.chunks() {
+            let mut scan = ChunkScan::open(&c, chunk, gid);
+            while let Some(run) = scan.next_user() {
+                // Every user's first action is launch, so the birth row is
+                // the first row of the block.
+                assert_eq!(scan.find_birth_row(&run), Some(run.first as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn find_birth_row_none_for_missing_action() {
+        let (t, c) = setup();
+        let gid = c.lookup_gid(t.schema().action_idx(), "no-such-action");
+        assert_eq!(gid, None);
+        for chunk in c.chunks() {
+            let mut scan = ChunkScan::open(&c, chunk, gid);
+            assert!(!scan.chunk_has_birth_action());
+            while let Some(run) = scan.next_user() {
+                assert_eq!(scan.find_birth_row(&run), None);
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_string_equality_matches_decoded() {
+        let (t, c) = setup();
+        let schema = t.schema();
+        let e = Expr::attr("action").eq(Expr::lit_str("shop"));
+        let compiled = compile_predicate(&e, schema, &c).unwrap();
+        let aidx = schema.action_idx();
+        for (ci, chunk) in c.chunks().iter().enumerate() {
+            for row in 0..chunk.num_rows() {
+                let ctx = EvalCtx { row, birth_row: row, age_units: 0 };
+                let expect = c.decode_value(ci, row, aidx).as_str() == Some("shop");
+                assert_eq!(compiled.eval(chunk, &ctx), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_absent_literal() {
+        let (t, c) = setup();
+        let schema = t.schema();
+        let eq = compile_predicate(
+            &Expr::attr("action").eq(Expr::lit_str("zzz-nope")),
+            schema,
+            &c,
+        )
+        .unwrap();
+        assert!(eq.is_const_false());
+        let ne = compile_predicate(
+            &Expr::attr("action").ne(Expr::lit_str("zzz-nope")),
+            schema,
+            &c,
+        )
+        .unwrap();
+        assert_eq!(ne, CompiledExpr::Const(true));
+    }
+
+    #[test]
+    fn compiled_string_ordering_with_absent_literal() {
+        let (t, c) = setup();
+        let schema = t.schema();
+        // "m" sits between action names; compare against decoded strings.
+        let e = Expr::attr("action").lt(Expr::lit_str("m"));
+        let compiled = compile_predicate(&e, schema, &c).unwrap();
+        let aidx = schema.action_idx();
+        for (ci, chunk) in c.chunks().iter().enumerate() {
+            for row in 0..chunk.num_rows().min(50) {
+                let ctx = EvalCtx { row, birth_row: row, age_units: 0 };
+                let decoded = c.decode_value(ci, row, aidx);
+                let expect = decoded.as_str().unwrap() < "m";
+                assert_eq!(compiled.eval(chunk, &ctx), expect, "row {row}: {decoded}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_time_between() {
+        let (t, c) = setup();
+        let schema = t.schema();
+        let lo = Timestamp::parse("2013-05-21").unwrap().secs();
+        let hi = Timestamp::parse("2013-05-27").unwrap().secs();
+        let e = Expr::attr("time").between_int(lo, hi);
+        let compiled = compile_predicate(&e, schema, &c).unwrap();
+        let tidx = schema.time_idx();
+        for (ci, chunk) in c.chunks().iter().enumerate() {
+            for row in 0..chunk.num_rows().min(50) {
+                let ctx = EvalCtx { row, birth_row: row, age_units: 0 };
+                let v = c.decode_value(ci, row, tidx).as_int().unwrap();
+                assert_eq!(compiled.eval(chunk, &ctx), (lo..=hi).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_birth_reference_and_age() {
+        let (t, c) = setup();
+        let schema = t.schema();
+        let e = Expr::attr("country")
+            .eq(Expr::birth("country"))
+            .and(Expr::age().lt(Expr::lit_int(7)));
+        let compiled = compile_predicate(&e, schema, &c).unwrap();
+        let chunk = &c.chunks()[0];
+        // Same row as its own birth: country trivially equal; age gate decides.
+        let ctx = EvalCtx { row: 0, birth_row: 0, age_units: 3 };
+        assert!(compiled.eval(chunk, &ctx));
+        let ctx = EvalCtx { row: 0, birth_row: 0, age_units: 9 };
+        assert!(!compiled.eval(chunk, &ctx));
+    }
+
+    #[test]
+    fn compiled_in_list_strings() {
+        let (t, c) = setup();
+        let schema = t.schema();
+        let e = Expr::attr("country").in_list([
+            Value::str("China"),
+            Value::str("Australia"),
+            Value::str("Atlantis"), // absent: ignored
+        ]);
+        let compiled = compile_predicate(&e, schema, &c).unwrap();
+        let cidx = schema.index_of("country").unwrap();
+        for (ci, chunk) in c.chunks().iter().enumerate() {
+            for row in 0..chunk.num_rows().min(80) {
+                let ctx = EvalCtx { row, birth_row: row, age_units: 0 };
+                let v = c.decode_value(ci, row, cidx);
+                let expect = matches!(v.as_str(), Some("China") | Some("Australia"));
+                assert_eq!(compiled.eval(chunk, &ctx), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn rewind_restarts_user_iteration() {
+        let (t, c) = setup();
+        let gid = c.lookup_gid(t.schema().action_idx(), "launch");
+        let chunk = &c.chunks()[0];
+        let mut scan = ChunkScan::open(&c, chunk, gid);
+        let first_pass: Vec<u32> =
+            std::iter::from_fn(|| scan.next_user().map(|r| r.user_gid)).collect();
+        assert!(!first_pass.is_empty());
+        assert!(scan.next_user().is_none());
+        scan.rewind();
+        let second_pass: Vec<u32> =
+            std::iter::from_fn(|| scan.next_user().map(|r| r.user_gid)).collect();
+        assert_eq!(first_pass, second_pass);
+    }
+
+    #[test]
+    fn compile_rejects_type_confusion() {
+        let (t, c) = setup();
+        let schema = t.schema();
+        assert!(compile_predicate(
+            &Expr::attr("gold").eq(Expr::lit_str("dwarf")),
+            schema,
+            &c
+        )
+        .is_err());
+        assert!(compile_predicate(&Expr::attr("role"), schema, &c).is_err());
+        assert!(compile_predicate(
+            &Expr::attr("role").eq(Expr::attr("gold")),
+            schema,
+            &c
+        )
+        .is_err());
+    }
+}

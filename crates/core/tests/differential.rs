@@ -1,0 +1,331 @@
+//! Differential tests: the optimized COHANA executor must produce exactly
+//! the results of the naive reference evaluator (the executable spec of
+//! Definitions 1–6) for every benchmark query, under every combination of
+//! optimizer flags, chunk sizes, and parallelism.
+
+use cohana_activity::{generate, GeneratorConfig, Timestamp};
+use cohana_core::naive::naive_execute;
+use cohana_core::paper;
+use cohana_core::{
+    plan_query, execute_plan, AggFunc, Cohana, CohortQuery, CohortReport, EngineOptions, Expr,
+    PlannerOptions,
+};
+use cohana_storage::{CompressedTable, CompressionOptions};
+
+fn dataset() -> cohana_activity::ActivityTable {
+    generate(&GeneratorConfig::new(150))
+}
+
+fn assert_reports_equal(optimized: &CohortReport, reference: &CohortReport, what: &str) {
+    assert_eq!(
+        optimized.rows.len(),
+        reference.rows.len(),
+        "{what}: row count mismatch\noptimized:\n{optimized}\nreference:\n{reference}"
+    );
+    for (a, b) in optimized.rows.iter().zip(reference.rows.iter()) {
+        assert_eq!(a.cohort, b.cohort, "{what}: cohort mismatch");
+        assert_eq!(a.age, b.age, "{what}: age mismatch for cohort {:?}", a.cohort);
+        assert_eq!(a.size, b.size, "{what}: size mismatch for cohort {:?}", a.cohort);
+        assert_eq!(a.measures.len(), b.measures.len());
+        for (x, y) in a.measures.iter().zip(b.measures.iter()) {
+            assert!(
+                x.approx_eq(y),
+                "{what}: measure mismatch at cohort {:?} age {}: {x:?} vs {y:?}",
+                a.cohort,
+                a.age
+            );
+        }
+    }
+    assert_eq!(optimized.cohort_sizes, reference.cohort_sizes, "{what}: cohort sizes");
+}
+
+fn check_query(query: &CohortQuery, what: &str) {
+    let table = dataset();
+    let reference = naive_execute(&table, query).expect("naive evaluation succeeds");
+    for chunk_size in [64usize, 1024, 1 << 20] {
+        let compressed =
+            CompressedTable::build(&table, CompressionOptions::with_chunk_size(chunk_size))
+                .expect("compression succeeds");
+        for options in [
+            PlannerOptions::default(),
+            PlannerOptions::naive(),
+            PlannerOptions { push_down_birth_selection: false, ..Default::default() },
+            PlannerOptions { skip_unqualified_users: false, ..Default::default() },
+            PlannerOptions { prune_chunks: false, ..Default::default() },
+            PlannerOptions { array_aggregation: false, ..Default::default() },
+        ] {
+            let plan = plan_query(query, table.schema(), options).expect("planning succeeds");
+            for parallelism in [1usize, 4] {
+                let got = execute_plan(&compressed, &plan, parallelism)
+                    .expect("execution succeeds");
+                assert_reports_equal(
+                    &got,
+                    &reference,
+                    &format!("{what} (chunk={chunk_size}, {options:?}, par={parallelism})"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn q1_matches_reference() {
+    check_query(&paper::q1(), "Q1");
+}
+
+#[test]
+fn q2_matches_reference() {
+    check_query(&paper::q2(), "Q2");
+}
+
+#[test]
+fn q3_matches_reference() {
+    check_query(&paper::q3(), "Q3");
+}
+
+#[test]
+fn q4_matches_reference() {
+    check_query(&paper::q4(), "Q4");
+}
+
+#[test]
+fn q5_matches_reference() {
+    let d1 = Timestamp::parse("2013-05-19").unwrap().secs();
+    let d2 = Timestamp::parse("2013-05-30").unwrap().secs();
+    check_query(&paper::q5(d1, d2), "Q5");
+}
+
+#[test]
+fn q6_matches_reference() {
+    let d1 = Timestamp::parse("2013-05-19").unwrap().secs();
+    let d2 = Timestamp::parse("2013-06-05").unwrap().secs();
+    check_query(&paper::q6(d1, d2), "Q6");
+}
+
+#[test]
+fn q7_matches_reference() {
+    check_query(&paper::q7(7), "Q7");
+}
+
+#[test]
+fn q8_matches_reference() {
+    check_query(&paper::q8(5), "Q8");
+}
+
+#[test]
+fn example1_matches_reference() {
+    check_query(&paper::example1(), "Example1");
+}
+
+#[test]
+fn weekly_time_cohorts_match_reference() {
+    check_query(&paper::shopping_trend(), "shopping-trend");
+}
+
+#[test]
+fn shop_birth_action_matches_reference() {
+    // Births defined by a non-first action exercise pre-birth tuple
+    // exclusion (negative ages).
+    let q = CohortQuery::builder("shop")
+        .cohort_by(["country"])
+        .aggregate(AggFunc::sum("gold"))
+        .aggregate(AggFunc::count())
+        .aggregate(AggFunc::user_count())
+        .build()
+        .unwrap();
+    check_query(&q, "shop-birth");
+}
+
+#[test]
+fn achievement_birth_action_matches_reference() {
+    let q = CohortQuery::builder("achievement")
+        .cohort_by(["role"])
+        .aggregate(AggFunc::min("session"))
+        .aggregate(AggFunc::max("session"))
+        .build()
+        .unwrap();
+    check_query(&q, "achievement-birth");
+}
+
+#[test]
+fn multi_attribute_cohorts_match_reference() {
+    let q = CohortQuery::builder("launch")
+        .cohort_by(["country", "role"])
+        .aggregate(AggFunc::count())
+        .build()
+        .unwrap();
+    check_query(&q, "multi-attr");
+}
+
+#[test]
+fn birth_role_filter_matches_reference() {
+    // Paper's Q4-style birth role predicate alone.
+    let q = CohortQuery::builder("launch")
+        .birth_where(Expr::attr("role").eq(Expr::lit_str("dwarf")))
+        .cohort_by(["country"])
+        .aggregate(AggFunc::user_count())
+        .build()
+        .unwrap();
+    check_query(&q, "birth-role");
+}
+
+#[test]
+fn birth_country_of_age_tuples_matches_reference() {
+    // σg with Birth() reference and inequality.
+    let q = CohortQuery::builder("launch")
+        .age_where(Expr::attr("country").ne(Expr::birth("country")).not())
+        .cohort_by(["country"])
+        .aggregate(AggFunc::count())
+        .build()
+        .unwrap();
+    check_query(&q, "birth-ref-not");
+}
+
+#[test]
+fn disjunctive_age_predicate_matches_reference() {
+    let q = CohortQuery::builder("launch")
+        .age_where(
+            Expr::attr("action")
+                .eq(Expr::lit_str("shop"))
+                .or(Expr::attr("action").eq(Expr::lit_str("fight"))),
+        )
+        .cohort_by(["country"])
+        .aggregate(AggFunc::count())
+        .build()
+        .unwrap();
+    check_query(&q, "disjunction");
+}
+
+#[test]
+fn string_ordering_predicate_matches_reference() {
+    // Ordering on a dictionary column with a literal absent from the dict.
+    let q = CohortQuery::builder("launch")
+        .age_where(Expr::attr("action").lt(Expr::lit_str("m")))
+        .cohort_by(["country"])
+        .aggregate(AggFunc::count())
+        .build()
+        .unwrap();
+    check_query(&q, "string-ordering");
+}
+
+#[test]
+fn empty_result_for_unknown_birth_action() {
+    let table = dataset();
+    let q = CohortQuery::builder("no-such-action")
+        .cohort_by(["country"])
+        .aggregate(AggFunc::count())
+        .build()
+        .unwrap();
+    let engine = Cohana::from_activity_table(&table, CompressionOptions::default()).unwrap();
+    let report = engine.execute(&q).unwrap();
+    assert!(report.is_empty());
+    assert!(report.cohort_sizes.is_empty());
+    let reference = naive_execute(&table, &q).unwrap();
+    assert!(reference.is_empty());
+}
+
+#[test]
+fn monthly_age_bins_match_reference() {
+    let q = CohortQuery::builder("launch")
+        .age_where(Expr::attr("action").eq(Expr::lit_str("shop")))
+        .cohort_by(["country"])
+        .age_bin(cohana_activity::TimeBin::Month)
+        .aggregate(AggFunc::avg("gold"))
+        .build()
+        .unwrap();
+    check_query(&q, "monthly-bins");
+}
+
+#[test]
+fn int_in_list_and_between_on_measures_match_reference() {
+    // Integer IN lists and BETWEEN on a measure column (not just time).
+    let q = CohortQuery::builder("launch")
+        .age_where(
+            Expr::attr("session")
+                .in_list([
+                    cohana_activity::Value::Int(5),
+                    cohana_activity::Value::Int(10),
+                    cohana_activity::Value::Int(15),
+                ])
+                .or(Expr::attr("gold").between_int(40, 90)),
+        )
+        .cohort_by(["country"])
+        .aggregate(AggFunc::count())
+        .aggregate(AggFunc::sum("gold"))
+        .build()
+        .unwrap();
+    check_query(&q, "int-inlist-between");
+}
+
+#[test]
+fn ge_le_on_strings_match_reference() {
+    // Ordering comparisons on dictionary columns (>=, <=) with present and
+    // absent literals.
+    for lit in ["shop", "m", "a", "zzz"] {
+        let q = CohortQuery::builder("launch")
+            .age_where(Expr::attr("action").ge(Expr::lit_str(lit)))
+            .cohort_by(["country"])
+            .aggregate(AggFunc::count())
+            .build()
+            .unwrap();
+        check_query(&q, &format!("string-ge-{lit}"));
+        let q2 = CohortQuery::builder("launch")
+            .age_where(Expr::attr("action").le(Expr::lit_str(lit)))
+            .cohort_by(["country"])
+            .aggregate(AggFunc::count())
+            .build()
+            .unwrap();
+        check_query(&q2, &format!("string-le-{lit}"));
+    }
+}
+
+#[test]
+fn birth_measure_reference_matches_reference() {
+    // Birth() over a measure attribute: spend more than at birth.
+    let q = CohortQuery::builder("shop")
+        .age_where(
+            Expr::attr("action")
+                .eq(Expr::lit_str("shop"))
+                .and(Expr::attr("gold").gt(Expr::birth("gold"))),
+        )
+        .cohort_by(["country"])
+        .aggregate(AggFunc::count())
+        .build()
+        .unwrap();
+    check_query(&q, "birth-measure");
+}
+
+#[test]
+fn empty_in_list_yields_empty_age_rows() {
+    let table = dataset();
+    let q = CohortQuery::builder("launch")
+        .age_where(Expr::attr("country").in_list(Vec::<cohana_activity::Value>::new()))
+        .cohort_by(["country"])
+        .aggregate(AggFunc::count())
+        .build()
+        .unwrap();
+    let compressed = CompressedTable::build(&table, CompressionOptions::default()).unwrap();
+    let plan = plan_query(&q, table.schema(), PlannerOptions::default()).unwrap();
+    let got = execute_plan(&compressed, &plan, 1).unwrap();
+    assert!(got.rows.is_empty());
+    // Cohort sizes survive: users still qualify via the (absent) birth
+    // predicate even though no age tuple passes.
+    assert!(!got.cohort_sizes.is_empty());
+    let reference = naive_execute(&table, &q).unwrap();
+    assert_eq!(got.cohort_sizes, reference.cohort_sizes);
+}
+
+#[test]
+fn engine_facade_equals_direct_execution() {
+    let table = dataset();
+    let q = paper::q3();
+    let engine = Cohana::from_activity_table_with(
+        &table,
+        CompressionOptions::with_chunk_size(512),
+        EngineOptions::default(),
+    )
+    .unwrap();
+    let via_engine = engine.execute(&q).unwrap();
+    let reference = naive_execute(&table, &q).unwrap();
+    assert_reports_equal(&via_engine, &reference, "facade");
+}

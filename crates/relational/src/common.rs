@@ -1,0 +1,284 @@
+//! Shared machinery for the baseline engines: predicate interpretation over
+//! "current tuple + birth tuple + age" contexts, cohort-key extraction, and
+//! report assembly.
+
+use crate::error::BaselineError;
+use cohana_activity::{Schema, Timestamp, Value};
+use cohana_core::{AggFunc, AggState, CmpOp, CohortAttr, CohortQuery, Expr};
+use cohana_core::report::{CohortReport, ReportRow};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// A borrowed scalar from either engine's storage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar<'a> {
+    /// String value.
+    S(&'a str),
+    /// Integer value.
+    I(i64),
+}
+
+impl Scalar<'_> {
+    fn cmp_with(&self, op: CmpOp, other: &Scalar<'_>) -> Result<bool, BaselineError> {
+        match (self, other) {
+            (Scalar::S(a), Scalar::S(b)) => Ok(op.test(a.cmp(b))),
+            (Scalar::I(a), Scalar::I(b)) => Ok(op.test(a.cmp(b))),
+            (a, b) => Err(BaselineError::TypeError(format!("comparing {a:?} with {b:?}"))),
+        }
+    }
+
+    fn matches(&self, v: &Value) -> bool {
+        match (self, v) {
+            (Scalar::S(a), Value::Str(b)) => *a == b.as_ref(),
+            (Scalar::I(a), Value::Int(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Evaluate a predicate given accessors for the current tuple and the birth
+/// tuple (both indexed by schema attribute position) and the tuple's age.
+pub fn eval_pred<'a>(
+    expr: &'a Expr,
+    schema: &Schema,
+    cur: &impl Fn(usize) -> Scalar<'a>,
+    birth: &impl Fn(usize) -> Scalar<'a>,
+    age_units: i64,
+) -> Result<bool, BaselineError> {
+    match expr {
+        Expr::Cmp(op, a, b) => {
+            let va = eval_scalar(a, schema, cur, birth, age_units)?;
+            let vb = eval_scalar(b, schema, cur, birth, age_units)?;
+            va.cmp_with(*op, &vb)
+        }
+        Expr::And(a, b) => Ok(eval_pred(a, schema, cur, birth, age_units)?
+            && eval_pred(b, schema, cur, birth, age_units)?),
+        Expr::Or(a, b) => Ok(eval_pred(a, schema, cur, birth, age_units)?
+            || eval_pred(b, schema, cur, birth, age_units)?),
+        Expr::Not(a) => Ok(!eval_pred(a, schema, cur, birth, age_units)?),
+        Expr::InList(a, vs) => {
+            let va = eval_scalar(a, schema, cur, birth, age_units)?;
+            Ok(vs.iter().any(|v| va.matches(v)))
+        }
+        Expr::Between(a, lo, hi) => {
+            let va = eval_scalar(a, schema, cur, birth, age_units)?;
+            let vlo = lit_scalar(lo)?;
+            let vhi = lit_scalar(hi)?;
+            Ok(va.cmp_with(CmpOp::Ge, &vlo)? && va.cmp_with(CmpOp::Le, &vhi)?)
+        }
+        other => Err(BaselineError::TypeError(format!("`{other}` is not a predicate"))),
+    }
+}
+
+fn lit_scalar(v: &Value) -> Result<Scalar<'_>, BaselineError> {
+    match v {
+        Value::Str(s) => Ok(Scalar::S(s)),
+        Value::Int(i) => Ok(Scalar::I(*i)),
+        Value::Null => Err(BaselineError::TypeError("NULL literal".into())),
+    }
+}
+
+fn eval_scalar<'a>(
+    expr: &'a Expr,
+    schema: &Schema,
+    cur: &impl Fn(usize) -> Scalar<'a>,
+    birth: &impl Fn(usize) -> Scalar<'a>,
+    age_units: i64,
+) -> Result<Scalar<'a>, BaselineError> {
+    match expr {
+        Expr::Attr(a) => Ok(cur(schema.require(a)?)),
+        Expr::Birth(a) => Ok(birth(schema.require(a)?)),
+        Expr::Age => Ok(Scalar::I(age_units)),
+        Expr::Lit(v) => lit_scalar(v),
+        other => Err(BaselineError::TypeError(format!("`{other}` is not a scalar"))),
+    }
+}
+
+/// Resolve the cohort attribute set to extraction instructions.
+pub fn cohort_extractors(
+    query: &CohortQuery,
+    schema: &Schema,
+) -> Result<Vec<CohortExtract>, BaselineError> {
+    query
+        .cohort_by
+        .iter()
+        .map(|c| {
+            Ok(match c {
+                CohortAttr::Attr(a) => CohortExtract::Attr(schema.require(a)?),
+                CohortAttr::TimeBin(bin) => CohortExtract::TimeBin(*bin),
+            })
+        })
+        .collect()
+}
+
+/// One cohort-key component.
+#[derive(Debug, Clone, Copy)]
+pub enum CohortExtract {
+    /// Project a birth attribute.
+    Attr(usize),
+    /// Bin the birth time.
+    TimeBin(cohana_activity::TimeBin),
+}
+
+impl CohortExtract {
+    /// Extract the component from a birth-tuple accessor.
+    pub fn extract<'a>(
+        &self,
+        birth: &impl Fn(usize) -> Scalar<'a>,
+        birth_time: i64,
+    ) -> Value {
+        match self {
+            CohortExtract::Attr(idx) => match birth(*idx) {
+                Scalar::S(s) => Value::Str(Arc::from(s)),
+                Scalar::I(v) => Value::Int(v),
+            },
+            CohortExtract::TimeBin(bin) => {
+                Value::from(bin.bin_start(Timestamp(birth_time)).render_date())
+            }
+        }
+    }
+}
+
+/// Grouped aggregation state shared by both engines:
+/// `(cohort, age) → states`, plus per-cohort distinct-user sizes.
+pub struct GroupTable {
+    aggs: Vec<AggFunc>,
+    agg_attrs: Vec<Option<usize>>,
+    cells: HashMap<(Vec<Value>, i64), Vec<AggState>>,
+    /// Distinct users per (cohort, age) for UserCount, tracked the honest
+    /// relational way: an explicit hash set per group.
+    distinct: HashMap<(Vec<Value>, i64), HashSet<Arc<str>>>,
+    sizes: HashMap<Vec<Value>, u64>,
+}
+
+impl GroupTable {
+    /// Create for a query (validates aggregate attributes).
+    pub fn new(query: &CohortQuery, schema: &Schema) -> Result<Self, BaselineError> {
+        let agg_attrs = query
+            .aggregates
+            .iter()
+            .map(|a| a.attr().map(|n| schema.require(n)).transpose())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(GroupTable {
+            aggs: query.aggregates.clone(),
+            agg_attrs,
+            cells: HashMap::new(),
+            distinct: HashMap::new(),
+            sizes: HashMap::new(),
+        })
+    }
+
+    /// Record one qualified user for cohort-size accounting.
+    pub fn add_user(&mut self, cohort: Vec<Value>) {
+        *self.sizes.entry(cohort).or_insert(0) += 1;
+    }
+
+    /// Fold one qualifying age-activity tuple.
+    pub fn update<'a>(
+        &mut self,
+        cohort: &[Value],
+        age_units: i64,
+        user: &Arc<str>,
+        cur: &impl Fn(usize) -> Scalar<'a>,
+    ) -> Result<(), BaselineError> {
+        let key = (cohort.to_vec(), age_units);
+        let states = self
+            .cells
+            .entry(key.clone())
+            .or_insert_with(|| self.aggs.iter().map(|a| a.init()).collect());
+        for (i, agg) in self.aggs.iter().enumerate() {
+            if agg.per_user() {
+                let set = self.distinct.entry(key.clone()).or_default();
+                if set.insert(user.clone()) {
+                    states[i].update_user();
+                }
+            } else {
+                let v = match self.agg_attrs[i] {
+                    Some(idx) => match cur(idx) {
+                        Scalar::I(v) => v,
+                        Scalar::S(_) => {
+                            return Err(BaselineError::TypeError(
+                                "aggregate over string attribute".into(),
+                            ))
+                        }
+                    },
+                    None => 0,
+                };
+                states[i].update(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Assemble the final report.
+    pub fn into_report(self, query: &CohortQuery) -> CohortReport {
+        let sizes: BTreeMap<Vec<Value>, u64> = self.sizes.into_iter().collect();
+        let mut rows: Vec<ReportRow> = self
+            .cells
+            .into_iter()
+            .map(|((cohort, age), states)| ReportRow {
+                size: sizes.get(&cohort).copied().unwrap_or(0),
+                cohort,
+                age,
+                measures: states.iter().map(|s| s.finalize()).collect(),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.cohort.cmp(&b.cohort).then(a.age.cmp(&b.age)));
+        CohortReport {
+            cohort_attrs: query.cohort_by.iter().map(|c| c.to_string()).collect(),
+            agg_names: query.aggregates.iter().map(|a| a.header()).collect(),
+            rows,
+            cohort_sizes: sizes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohana_core::AggFunc;
+
+    fn schema() -> Schema {
+        Schema::game_actions()
+    }
+
+    #[test]
+    fn scalar_comparisons() {
+        assert!(Scalar::I(3).cmp_with(CmpOp::Lt, &Scalar::I(5)).unwrap());
+        assert!(Scalar::S("a").cmp_with(CmpOp::Ne, &Scalar::S("b")).unwrap());
+        assert!(Scalar::I(3).cmp_with(CmpOp::Eq, &Scalar::S("x")).is_err());
+        assert!(Scalar::S("a").matches(&Value::str("a")));
+        assert!(!Scalar::S("a").matches(&Value::int(1)));
+    }
+
+    #[test]
+    fn eval_pred_with_birth_and_age() {
+        let s = schema();
+        let cidx = s.index_of("country").unwrap();
+        let e = Expr::attr("country").eq(Expr::birth("country")).and(Expr::age().lt(Expr::lit_int(5)));
+        let cur = |idx: usize| if idx == cidx { Scalar::S("China") } else { Scalar::I(0) };
+        let birth = |idx: usize| if idx == cidx { Scalar::S("China") } else { Scalar::I(0) };
+        assert!(eval_pred(&e, &s, &cur, &birth, 3).unwrap());
+        assert!(!eval_pred(&e, &s, &cur, &birth, 7).unwrap());
+    }
+
+    #[test]
+    fn group_table_user_count_dedups() {
+        let s = schema();
+        let q = CohortQuery::builder("launch")
+            .cohort_by(["country"])
+            .aggregate(AggFunc::user_count())
+            .build()
+            .unwrap();
+        let mut g = GroupTable::new(&q, &s).unwrap();
+        let cohort = vec![Value::str("China")];
+        let user: Arc<str> = Arc::from("u1");
+        let cur = |_idx: usize| Scalar::I(0);
+        g.add_user(cohort.clone());
+        g.update(&cohort, 1, &user, &cur).unwrap();
+        g.update(&cohort, 1, &user, &cur).unwrap(); // same user, same age
+        let report = g.into_report(&q);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].measures[0], cohana_core::AggValue::Int(1));
+    }
+}

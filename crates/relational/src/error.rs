@@ -1,0 +1,55 @@
+//! Error type for the baseline engines.
+
+use std::fmt;
+
+/// Errors raised by the relational baseline engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// Referenced attribute missing from the schema.
+    UnknownAttribute(String),
+    /// Ill-typed expression or aggregate.
+    TypeError(String),
+    /// The query needs a materialized view that has not been created.
+    MissingView {
+        /// Birth action of the required view.
+        birth_action: String,
+    },
+    /// Structural query problem.
+    InvalidQuery(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::UnknownAttribute(a) => write!(f, "unknown attribute {a:?}"),
+            BaselineError::TypeError(m) => write!(f, "type error: {m}"),
+            BaselineError::MissingView { birth_action } => {
+                write!(f, "no materialized view for birth action {birth_action:?}; call create_mv first")
+            }
+            BaselineError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<cohana_core::EngineError> for BaselineError {
+    fn from(e: cohana_core::EngineError) -> Self {
+        match e {
+            cohana_core::EngineError::UnknownAttribute(a) => BaselineError::UnknownAttribute(a),
+            cohana_core::EngineError::TypeError(m) => BaselineError::TypeError(m),
+            other => BaselineError::InvalidQuery(other.to_string()),
+        }
+    }
+}
+
+impl From<cohana_activity::ActivityError> for BaselineError {
+    fn from(e: cohana_activity::ActivityError) -> Self {
+        match e {
+            cohana_activity::ActivityError::UnknownAttribute(a) => {
+                BaselineError::UnknownAttribute(a)
+            }
+            other => BaselineError::InvalidQuery(other.to_string()),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # cohana-relational
+//!
+//! The paper's two **non-intrusive** baselines (§2), implemented on two
+//! small relational engines built for this reproduction:
+//!
+//! * [`rowstore::RowEngine`] — a row-oriented, tuple-at-a-time engine
+//!   standing in for PostgreSQL: every pipeline stage materializes vectors
+//!   of heap-allocated rows, joins are hash joins probing per tuple;
+//! * [`colstore::ColEngine`] — a column-oriented engine standing in for
+//!   MonetDB: column-at-a-time kernels over flat vectors with selection
+//!   vectors and late materialization.
+//!
+//! Each engine evaluates cohort queries two ways:
+//!
+//! * the **SQL approach** (`*-S` in Figure 11): the Figure-2 five-block
+//!   query — find each user's birth time (`GROUP BY`), join back to recover
+//!   birth tuples, join again to attach birth attributes and ages to every
+//!   activity tuple, filter, and aggregate;
+//! * the **materialized-view approach** (`*-M`): the joins are done once in
+//!   [`mv`]-construction (per birth action, materializing every birth
+//!   attribute plus the age — the paper's 15-extra-column scheme) and each
+//!   query becomes filter + aggregate over the MV (Figure 3).
+//!
+//! Results are returned as [`cohana_core::CohortReport`], so they are
+//! directly comparable (and differentially tested) against COHANA and the
+//! naive reference evaluator.
+
+pub mod colstore;
+pub mod common;
+pub mod error;
+pub mod mv;
+pub mod rowstore;
+
+pub use colstore::ColEngine;
+pub use error::BaselineError;
+pub use mv::MaterializedView;
+pub use rowstore::RowEngine;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, BaselineError>;

@@ -1,0 +1,98 @@
+//! Materialized-view layout (§2 and §3.6).
+//!
+//! The MV approach materializes, for one birth action, every activity tuple
+//! joined with its user's birth attributes and age — Figure 2(c)'s
+//! `cohortT`. The paper's view adds the birth time plus a birth copy of
+//! each dimension; in the extreme it doubles the table width, which is the
+//! storage cost the paper calls out. We materialize a birth copy of every
+//! non-user attribute so any `Birth(A)` reference can be answered.
+
+use cohana_activity::Schema;
+
+/// Column layout of a materialized cohort view.
+///
+/// A view row is `[base attributes…, birth copies…, age]` where the birth
+/// copies cover every attribute except the user id (which equals its own
+/// birth copy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MvLayout {
+    /// Arity of the base activity schema.
+    pub base_arity: usize,
+    /// Position of the user attribute.
+    pub user_idx: usize,
+    /// `birth_cols[attr_idx]` = view column of the attr's birth copy.
+    birth_cols: Vec<Option<usize>>,
+    /// View column holding the age in seconds.
+    pub age_col: usize,
+}
+
+impl MvLayout {
+    /// Compute the layout for a schema.
+    pub fn new(schema: &Schema) -> Self {
+        let base_arity = schema.arity();
+        let user_idx = schema.user_idx();
+        let mut birth_cols = vec![None; base_arity];
+        let mut next = base_arity;
+        for (idx, slot) in birth_cols.iter_mut().enumerate() {
+            if idx != user_idx {
+                *slot = Some(next);
+                next += 1;
+            }
+        }
+        MvLayout { base_arity, user_idx, birth_cols, age_col: next }
+    }
+
+    /// Total width of a view row.
+    pub fn width(&self) -> usize {
+        self.age_col + 1
+    }
+
+    /// View column of an attribute's birth copy (the user attribute maps to
+    /// itself: a user is their own birth user).
+    pub fn birth_col(&self, attr_idx: usize) -> usize {
+        if attr_idx == self.user_idx {
+            attr_idx
+        } else {
+            self.birth_cols[attr_idx].expect("non-user attrs have birth copies")
+        }
+    }
+
+    /// The attribute indexes that have birth copies, with their view
+    /// columns, in order.
+    pub fn birth_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.birth_cols.iter().enumerate().filter_map(|(a, c)| c.map(|c| (a, c)))
+    }
+}
+
+/// A materialized cohort view: layout + engine-specific payload.
+#[derive(Debug, Clone)]
+pub struct MaterializedView<T> {
+    /// The birth action this view answers queries for.
+    pub birth_action: String,
+    /// Column layout.
+    pub layout: MvLayout,
+    /// Engine-specific data (rows or columns).
+    pub data: T,
+    /// Number of view rows (= activity tuples of born users).
+    pub num_rows: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_covers_all_non_user_attrs() {
+        let s = Schema::game_actions(); // arity 8, user at 0
+        let l = MvLayout::new(&s);
+        assert_eq!(l.base_arity, 8);
+        assert_eq!(l.width(), 8 + 7 + 1);
+        assert_eq!(l.age_col, 15);
+        assert_eq!(l.birth_col(0), 0); // user maps to itself
+        let pairs: Vec<(usize, usize)> = l.birth_pairs().collect();
+        assert_eq!(pairs.len(), 7);
+        assert_eq!(pairs[0], (1, 8)); // time -> bt
+        assert_eq!(l.birth_col(1), 8);
+        assert_eq!(l.birth_col(7), 14);
+    }
+}

@@ -1,0 +1,122 @@
+//! Differential tests: all four baseline evaluation schemes (row/col ×
+//! SQL/MV) must agree with the naive reference evaluator — and therefore
+//! with COHANA — on every benchmark query.
+
+use cohana_activity::{generate, GeneratorConfig, Timestamp};
+use cohana_core::naive::naive_execute;
+use cohana_core::{paper, CohortQuery, CohortReport};
+use cohana_relational::{ColEngine, RowEngine};
+
+fn dataset() -> cohana_activity::ActivityTable {
+    generate(&GeneratorConfig::new(120))
+}
+
+fn assert_same(got: &CohortReport, want: &CohortReport, what: &str) {
+    assert_eq!(got.rows.len(), want.rows.len(), "{what}: row count");
+    for (a, b) in got.rows.iter().zip(want.rows.iter()) {
+        assert_eq!(a.cohort, b.cohort, "{what}");
+        assert_eq!(a.age, b.age, "{what}");
+        assert_eq!(a.size, b.size, "{what} cohort {:?} age {}", a.cohort, a.age);
+        for (x, y) in a.measures.iter().zip(b.measures.iter()) {
+            assert!(x.approx_eq(y), "{what}: {x:?} vs {y:?} at {:?}/{}", a.cohort, a.age);
+        }
+    }
+    assert_eq!(got.cohort_sizes, want.cohort_sizes, "{what}: sizes");
+}
+
+fn check(query: &CohortQuery, what: &str) {
+    let table = dataset();
+    let want = naive_execute(&table, query).unwrap();
+
+    let mut row = RowEngine::load(&table);
+    assert_same(&row.execute_sql(query).unwrap(), &want, &format!("{what} row-sql"));
+    row.create_mv(&query.birth_action);
+    assert_same(&row.execute_mv(query).unwrap(), &want, &format!("{what} row-mv"));
+
+    let mut col = ColEngine::load(&table);
+    assert_same(&col.execute_sql(query).unwrap(), &want, &format!("{what} col-sql"));
+    col.create_mv(&query.birth_action);
+    assert_same(&col.execute_mv(query).unwrap(), &want, &format!("{what} col-mv"));
+}
+
+#[test]
+fn q1_all_schemes() {
+    check(&paper::q1(), "Q1");
+}
+
+#[test]
+fn q2_all_schemes() {
+    check(&paper::q2(), "Q2");
+}
+
+#[test]
+fn q3_all_schemes() {
+    check(&paper::q3(), "Q3");
+}
+
+#[test]
+fn q4_all_schemes() {
+    check(&paper::q4(), "Q4");
+}
+
+#[test]
+fn q5_all_schemes() {
+    let d1 = Timestamp::parse("2013-05-19").unwrap().secs();
+    let d2 = Timestamp::parse("2013-06-01").unwrap().secs();
+    check(&paper::q5(d1, d2), "Q5");
+}
+
+#[test]
+fn q6_all_schemes() {
+    let d1 = Timestamp::parse("2013-05-22").unwrap().secs();
+    let d2 = Timestamp::parse("2013-06-10").unwrap().secs();
+    check(&paper::q6(d1, d2), "Q6");
+}
+
+#[test]
+fn q7_all_schemes() {
+    check(&paper::q7(10), "Q7");
+}
+
+#[test]
+fn q8_all_schemes() {
+    check(&paper::q8(6), "Q8");
+}
+
+#[test]
+fn example1_all_schemes() {
+    check(&paper::example1(), "Example1");
+}
+
+#[test]
+fn weekly_cohorts_all_schemes() {
+    check(&paper::shopping_trend(), "shopping-trend");
+}
+
+#[test]
+fn shop_birth_all_schemes() {
+    // Non-first birth action: view rows include pre-birth tuples with
+    // negative ages that must be excluded from aggregation.
+    let q = CohortQuery::builder("shop")
+        .cohort_by(["country"])
+        .aggregate(cohana_core::AggFunc::sum("gold"))
+        .aggregate(cohana_core::AggFunc::user_count())
+        .build()
+        .unwrap();
+    check(&q, "shop-birth");
+}
+
+#[test]
+fn baselines_agree_with_cohana_engine() {
+    use cohana_core::Cohana;
+    use cohana_storage::CompressionOptions;
+    let table = dataset();
+    let engine =
+        Cohana::from_activity_table(&table, CompressionOptions::with_chunk_size(1024)).unwrap();
+    let row = RowEngine::load(&table);
+    for q in [paper::q1(), paper::q2(), paper::q3(), paper::q4()] {
+        let a = engine.execute(&q).unwrap();
+        let b = row.execute_sql(&q).unwrap();
+        assert_same(&a, &b, &format!("cohana-vs-row {q}"));
+    }
+}

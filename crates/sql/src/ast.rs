@@ -1,0 +1,54 @@
+//! AST for the extended cohort SQL dialect.
+//!
+//! Predicates reuse [`cohana_core::Expr`] directly; the only schema-aware
+//! rewriting (date-literal conversion) happens in [`translate()`](crate::translate()).
+
+use cohana_core::Expr;
+
+/// One item of the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A cohort attribute echoed in the output.
+    Column(String),
+    /// The derived `COHORTSIZE` column.
+    CohortSize,
+    /// The derived `AGE` column.
+    Age,
+    /// An aggregate call, e.g. `Sum(gold)` or `UserCount()`; the optional
+    /// alias comes from `AS name`.
+    Aggregate {
+        /// Function name (case preserved for error messages).
+        func: String,
+        /// Argument attribute (empty for `Count()` / `UserCount()`).
+        arg: Option<String>,
+        /// Optional `AS` alias.
+        alias: Option<String>,
+    },
+}
+
+/// One entry of the `COHORT BY` list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CohortKeyAst {
+    /// Cohort by an attribute.
+    Attr(String),
+    /// Cohort by binned birth time: `time(day|week|month)`.
+    TimeBin(String),
+}
+
+/// A parsed (but not yet schema-validated) cohort query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlCohortQuery {
+    /// The SELECT list.
+    pub select: Vec<SelectItem>,
+    /// The activity table name.
+    pub table: String,
+    /// The full `BIRTH FROM` predicate, including the mandatory
+    /// `action = e` conjunct.
+    pub birth_clause: Expr,
+    /// The `AGE ACTIVITIES IN` predicate, if present.
+    pub age_clause: Option<Expr>,
+    /// The `COHORT BY` list.
+    pub cohort_by: Vec<CohortKeyAst>,
+    /// Optional `AGE UNIT day|week|month` extension clause.
+    pub age_unit: Option<String>,
+}

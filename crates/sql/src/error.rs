@@ -1,0 +1,47 @@
+//! Error type for the SQL front end.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing, or translating cohort SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexical error with byte offset.
+    Lex {
+        /// Byte offset in the input.
+        offset: usize,
+        /// Description.
+        message: String,
+    },
+    /// Parse error with the offending token.
+    Parse {
+        /// Token text (or `<eof>`).
+        token: String,
+        /// What was expected.
+        message: String,
+    },
+    /// Semantic error during translation (unknown attribute, bad types…).
+    Translate(String),
+    /// Propagated engine error.
+    Engine(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { offset, message } => write!(f, "lex error at byte {offset}: {message}"),
+            SqlError::Parse { token, message } => {
+                write!(f, "parse error near {token:?}: {message}")
+            }
+            SqlError::Translate(m) => write!(f, "translation error: {m}"),
+            SqlError::Engine(m) => write!(f, "engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<cohana_core::EngineError> for SqlError {
+    fn from(e: cohana_core::EngineError) -> Self {
+        SqlError::Engine(e.to_string())
+    }
+}

@@ -1,0 +1,114 @@
+//! SQL entry points for the [`Cohana`] engine.
+//!
+//! `cohana-core` cannot depend on the parser (the parser produces core
+//! types), so the string-query API lives here as an extension trait.
+
+use crate::error::SqlError;
+use crate::mixed::{parse_mixed_query, MixedResult};
+use crate::parse_cohort_query;
+use cohana_core::{Cohana, CohortReport};
+
+/// String-query convenience methods for [`Cohana`].
+pub trait SqlExt {
+    /// Parse and execute an extended-SQL cohort query against the default
+    /// table.
+    fn query(&self, sql: &str) -> Result<CohortReport, SqlError>;
+
+    /// Parse and execute a §3.5 *mixed query*: a `WITH name AS (<cohort
+    /// query>) SELECT … FROM name [WHERE …] [ORDER BY …] [LIMIT n]`
+    /// statement whose outer SQL query consumes the cohort sub-query's
+    /// result.
+    fn query_mixed(&self, sql: &str) -> Result<MixedResult, SqlError>;
+
+    /// Parse a query and return the optimized plan rendering (EXPLAIN).
+    fn explain_sql(&self, sql: &str) -> Result<String, SqlError>;
+}
+
+impl SqlExt for Cohana {
+    fn query(&self, sql: &str) -> Result<CohortReport, SqlError> {
+        let table = self
+            .table_names()
+            .first()
+            .cloned()
+            .ok_or_else(|| SqlError::Engine("no tables registered".into()))?;
+        let schema = self
+            .table(&table)
+            .ok_or_else(|| SqlError::Engine("no tables registered".into()))?
+            .schema()
+            .clone();
+        let query = parse_cohort_query(sql, &schema)?;
+        Ok(self.execute(&query)?)
+    }
+
+    fn query_mixed(&self, sql: &str) -> Result<MixedResult, SqlError> {
+        let mixed = parse_mixed_query(sql)?;
+        mixed.execute(self)
+    }
+
+    fn explain_sql(&self, sql: &str) -> Result<String, SqlError> {
+        let table = self
+            .table_names()
+            .first()
+            .cloned()
+            .ok_or_else(|| SqlError::Engine("no tables registered".into()))?;
+        let schema = self
+            .table(&table)
+            .ok_or_else(|| SqlError::Engine("no tables registered".into()))?
+            .schema()
+            .clone();
+        let query = parse_cohort_query(sql, &schema)?;
+        Ok(self.explain(&query)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohana_activity::{generate, GeneratorConfig};
+    use cohana_core::paper;
+    use cohana_storage::CompressionOptions;
+
+    fn engine() -> Cohana {
+        let t = generate(&GeneratorConfig::small());
+        Cohana::from_activity_table(&t, CompressionOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn sql_q1_equals_programmatic_q1() {
+        let e = engine();
+        let via_sql = e
+            .query(
+                "SELECT country, CohortSize, Age, UserCount() \
+                 FROM GameActions BIRTH FROM action = \"launch\" COHORT BY country",
+            )
+            .unwrap();
+        let programmatic = e.execute(&paper::q1()).unwrap();
+        assert_eq!(via_sql.rows, programmatic.rows);
+    }
+
+    #[test]
+    fn explain_sql_works() {
+        let text = engine()
+            .explain_sql(
+                "SELECT country, COHORTSIZE, AGE, Avg(gold) FROM GameActions \
+                 BIRTH FROM action = \"shop\" AND role = \"dwarf\" \
+                 AGE ACTIVITIES IN action = \"shop\" COHORT BY country",
+            )
+            .unwrap();
+        assert!(text.contains("σb"));
+        assert!(text.contains("σg"));
+    }
+
+    #[test]
+    fn query_errors_propagate() {
+        let e = engine();
+        assert!(e.query("SELECT nope FROM x").is_err());
+        let empty = Cohana::new(Default::default());
+        assert!(matches!(
+            empty
+                .query("SELECT country, COHORTSIZE, AGE, Count() FROM D BIRTH FROM action = \"x\" COHORT BY country")
+                .unwrap_err(),
+            SqlError::Engine(_)
+        ));
+    }
+}

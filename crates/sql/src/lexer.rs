@@ -1,0 +1,265 @@
+//! Tokenizer for the extended cohort SQL dialect.
+
+use crate::error::SqlError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively by
+    /// the parser).
+    Ident(String),
+    /// Double- or single-quoted string literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// A punctuation / operator symbol.
+    Symbol(Symbol),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `*`
+    Star,
+}
+
+impl Token {
+    /// Render for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => s.clone(),
+            Token::Str(s) => format!("\"{s}\""),
+            Token::Int(v) => v.to_string(),
+            Token::Symbol(s) => format!("{s:?}"),
+        }
+    }
+
+    /// Case-insensitive keyword check.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a statement.
+pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                tokens.push(Token::Symbol(Symbol::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::Symbol(Symbol::RParen));
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::Symbol(Symbol::LBracket));
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::Symbol(Symbol::RBracket));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Symbol(Symbol::Comma));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Symbol(Symbol::Star));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Symbol(Symbol::Eq));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(Symbol::Ne));
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex { offset: i, message: "expected `!=`".into() });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::Symbol(Symbol::Le));
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token::Symbol(Symbol::Ne));
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Symbol(Symbol::Lt));
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(Symbol::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Symbol::Gt));
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                let mut out = String::new();
+                loop {
+                    match bytes.get(j) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                offset: i,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&b) if b as char == quote => {
+                            // Doubled quote escapes itself.
+                            if bytes.get(j + 1) == Some(&(quote as u8)) {
+                                out.push(quote);
+                                j += 2;
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            out.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(out));
+                i = j + 1;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                let mut j = i;
+                if bytes[j] == b'-' {
+                    j += 1;
+                    if !bytes.get(j).map(|b| b.is_ascii_digit()).unwrap_or(false) {
+                        return Err(SqlError::Lex {
+                            offset: start,
+                            message: "expected digits after `-`".into(),
+                        });
+                    }
+                }
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text = &input[start..j];
+                let v: i64 = text.parse().map_err(|_| SqlError::Lex {
+                    offset: start,
+                    message: format!("bad integer {text:?}"),
+                })?;
+                tokens.push(Token::Int(v));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                tokens.push(Token::Ident(input[start..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_q1() {
+        let toks = lex(
+            "SELECT country, CohortSize, Age, UserCount() \
+             FROM GameActions BIRTH FROM action = \"launch\" COHORT BY country",
+        )
+        .unwrap();
+        assert!(toks.iter().any(|t| t.is_kw("select")));
+        assert!(toks.iter().any(|t| matches!(t, Token::Str(s) if s == "launch")));
+        assert!(toks.iter().any(|t| matches!(t, Token::Symbol(Symbol::LParen))));
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = lex("a >= 1 AND b <= -2 OR c != 3 AND d <> 4").unwrap();
+        let syms: Vec<&Token> = toks.iter().filter(|t| matches!(t, Token::Symbol(_))).collect();
+        assert_eq!(
+            syms,
+            vec![
+                &Token::Symbol(Symbol::Ge),
+                &Token::Symbol(Symbol::Le),
+                &Token::Symbol(Symbol::Ne),
+                &Token::Symbol(Symbol::Ne),
+            ]
+        );
+        assert!(toks.contains(&Token::Int(-2)));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex("\"Korea, \"\"South\"\"\"").unwrap();
+        assert_eq!(toks, vec![Token::Str("Korea, \"South\"".into())]);
+        let toks = lex("'single'").unwrap();
+        assert_eq!(toks, vec![Token::Str("single".into())]);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(matches!(lex("\"oops").unwrap_err(), SqlError::Lex { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_char() {
+        assert!(matches!(lex("a ; b").unwrap_err(), SqlError::Lex { .. }));
+    }
+
+    #[test]
+    fn in_list_brackets() {
+        let toks = lex("country IN [\"China\", \"Australia\"]").unwrap();
+        assert!(toks.contains(&Token::Symbol(Symbol::LBracket)));
+        assert!(toks.contains(&Token::Symbol(Symbol::RBracket)));
+    }
+}

@@ -1,0 +1,446 @@
+//! Mixed queries (§3.5): SQL over cohort sub-queries.
+//!
+//! The paper's extension encapsulates a cohort query in a `WITH` clause and
+//! lets an ordinary SQL query consume its result:
+//!
+//! ```sql
+//! WITH cohorts AS (
+//!   SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent
+//!   FROM GameActions
+//!   AGE ACTIVITIES IN action = "shop"
+//!   BIRTH FROM action = "launch" AND role = "dwarf"
+//!   COHORT BY country
+//! )
+//! SELECT country, AGE, spent FROM cohorts
+//! WHERE country IN ["Australia", "China"]
+//! ORDER BY spent DESC LIMIT 10
+//! ```
+//!
+//! Per the paper's rules: the outermost query must be the SQL query, the
+//! cohort query is evaluated first ("cohort query first"), and the outer
+//! query can only read — never remove birth tuples from — the sub-query's
+//! result, which is a plain relational table at that point.
+
+use crate::ast::{SelectItem, SqlCohortQuery};
+use crate::error::SqlError;
+use crate::parser::Parser;
+use crate::translate::translate;
+use cohana_core::{AggValue, Cohana, CohortReport, Expr, ReportRow};
+use cohana_activity::Value;
+
+/// A parsed mixed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedQuery {
+    /// Name bound by `WITH <name> AS (…)`.
+    pub with_name: String,
+    /// The cohort sub-query (evaluated first).
+    pub cohort: SqlCohortQuery,
+    /// Outer SELECT column list (names resolved against the sub-query's
+    /// output columns).
+    pub select: Vec<String>,
+    /// Outer WHERE predicate over the sub-query's columns.
+    pub where_clause: Option<Expr>,
+    /// Optional `ORDER BY column [DESC]`.
+    pub order_by: Option<(String, bool)>,
+    /// Optional `LIMIT n`.
+    pub limit: Option<usize>,
+}
+
+/// The outer query's result: a plain relational table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedResult {
+    /// Output column names.
+    pub headers: Vec<String>,
+    /// Rows as display values.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl MixedResult {
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Aligned text rendering.
+    pub fn pretty(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            out.push_str(&format!("{:w$}  ", h, w = widths[i]));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                out.push_str(&format!("{:w$}  ", c, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parse a `WITH name AS (<cohort query>) SELECT …` statement.
+pub fn parse_mixed_query(sql: &str) -> Result<MixedQuery, SqlError> {
+    let mut p = Parser::new(sql)?;
+    p.expect_kw("WITH")?;
+    let with_name = p.ident()?;
+    p.expect_kw("AS")?;
+    p.expect_lparen()?;
+    let cohort = p.cohort_statement()?;
+    p.expect_rparen()?;
+
+    p.expect_kw("SELECT")?;
+    let mut select = Vec::new();
+    loop {
+        select.push(p.output_column()?);
+        if !p.eat_comma() {
+            break;
+        }
+    }
+    p.expect_kw("FROM")?;
+    let from = p.ident()?;
+    if from != with_name {
+        return Err(SqlError::Translate(format!(
+            "outer query reads {from:?} but the WITH clause binds {with_name:?}"
+        )));
+    }
+    let where_clause = if p.eat_kw("WHERE") { Some(p.predicate()?) } else { None };
+    let order_by = if p.eat_kw("ORDER") {
+        p.expect_kw("BY")?;
+        let col = p.output_column()?;
+        let desc = p.eat_kw("DESC");
+        if !desc {
+            p.eat_kw("ASC");
+        }
+        Some((col, desc))
+    } else {
+        None
+    };
+    let limit = if p.eat_kw("LIMIT") {
+        match p.literal()? {
+            Value::Int(n) if n >= 0 => Some(n as usize),
+            other => return Err(SqlError::Translate(format!("bad LIMIT {other}"))),
+        }
+    } else {
+        None
+    };
+    p.expect_eof()?;
+    Ok(MixedQuery { with_name, cohort, select, where_clause, order_by, limit })
+}
+
+impl MixedQuery {
+    /// Evaluate: cohort sub-query first, then the outer filter / order /
+    /// limit / projection over its result table.
+    pub fn execute(&self, engine: &Cohana) -> Result<MixedResult, SqlError> {
+        let table_name = engine
+            .table_names()
+            .first()
+            .cloned()
+            .ok_or_else(|| SqlError::Engine("no tables registered".into()))?;
+        let schema = engine
+            .table(&table_name)
+            .ok_or_else(|| SqlError::Engine("no tables registered".into()))?
+            .schema()
+            .clone();
+        let query = translate(&self.cohort, &schema)?;
+        let report = engine.execute(&query)?;
+        let resolver = ColumnResolver::new(&self.cohort, &report)?;
+
+        let mut rows: Vec<&ReportRow> = report
+            .rows
+            .iter()
+            .map(Ok)
+            .filter_map(|r: Result<&ReportRow, SqlError>| {
+                let r = r.expect("infallible");
+                match &self.where_clause {
+                    None => Some(Ok(r)),
+                    Some(p) => match eval_outer(p, r, &resolver) {
+                        Ok(true) => Some(Ok(r)),
+                        Ok(false) => None,
+                        Err(e) => Some(Err(e)),
+                    },
+                }
+            })
+            .collect::<Result<_, _>>()?;
+
+        if let Some((col, desc)) = &self.order_by {
+            let key = resolver.resolve(col)?;
+            rows.sort_by(|a, b| {
+                let cmp = cell_of(a, key).cmp_cell(&cell_of(b, key));
+                if *desc {
+                    cmp.reverse()
+                } else {
+                    cmp
+                }
+            });
+        }
+        if let Some(n) = self.limit {
+            rows.truncate(n);
+        }
+
+        let keys: Vec<Col> =
+            self.select.iter().map(|c| resolver.resolve(c)).collect::<Result<_, _>>()?;
+        let out_rows = rows
+            .iter()
+            .map(|r| keys.iter().map(|k| cell_of(r, *k).display()).collect())
+            .collect();
+        Ok(MixedResult { headers: self.select.clone(), rows: out_rows })
+    }
+}
+
+/// A resolved output column of the cohort sub-query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Col {
+    Cohort(usize),
+    Size,
+    Age,
+    Measure(usize),
+}
+
+/// A comparable cell value.
+enum Cell<'a> {
+    Str(&'a str),
+    Num(f64),
+    Null,
+}
+
+impl Cell<'_> {
+    fn display(&self) -> String {
+        match self {
+            Cell::Str(s) => s.to_string(),
+            Cell::Num(v) => {
+                if v.fract() == 0.0 {
+                    format!("{}", *v as i64)
+                } else {
+                    format!("{v:.2}")
+                }
+            }
+            Cell::Null => "NULL".into(),
+        }
+    }
+
+    fn cmp_cell(&self, other: &Cell<'_>) -> std::cmp::Ordering {
+        match (self, other) {
+            (Cell::Str(a), Cell::Str(b)) => a.cmp(b),
+            (Cell::Num(a), Cell::Num(b)) => a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal),
+            (Cell::Null, Cell::Null) => std::cmp::Ordering::Equal,
+            (Cell::Null, _) => std::cmp::Ordering::Less,
+            (_, Cell::Null) => std::cmp::Ordering::Greater,
+            (Cell::Str(_), _) => std::cmp::Ordering::Less,
+            (_, Cell::Str(_)) => std::cmp::Ordering::Greater,
+        }
+    }
+}
+
+fn cell_of(row: &ReportRow, col: Col) -> Cell<'_> {
+    match col {
+        Col::Cohort(i) => match &row.cohort[i] {
+            Value::Str(s) => Cell::Str(s),
+            Value::Int(v) => Cell::Num(*v as f64),
+            Value::Null => Cell::Null,
+        },
+        Col::Size => Cell::Num(row.size as f64),
+        Col::Age => Cell::Num(row.age as f64),
+        Col::Measure(i) => match row.measures[i] {
+            AggValue::Int(v) => Cell::Num(v as f64),
+            AggValue::Float(v) => Cell::Num(v),
+            AggValue::Null => Cell::Null,
+        },
+    }
+}
+
+/// Maps outer-query column names to sub-query output columns, honouring
+/// `AS` aliases on aggregates.
+struct ColumnResolver {
+    cohort_names: Vec<String>,
+    measure_names: Vec<Vec<String>>,
+}
+
+impl ColumnResolver {
+    fn new(ast: &SqlCohortQuery, report: &CohortReport) -> Result<Self, SqlError> {
+        let cohort_names = report.cohort_attrs.clone();
+        let mut measure_names: Vec<Vec<String>> = report
+            .agg_names
+            .iter()
+            .map(|n| vec![n.clone()])
+            .collect();
+        let mut idx = 0usize;
+        for item in &ast.select {
+            if let SelectItem::Aggregate { alias, .. } = item {
+                if idx < measure_names.len() {
+                    if let Some(a) = alias {
+                        measure_names[idx].push(a.clone());
+                    }
+                    idx += 1;
+                }
+            }
+        }
+        Ok(ColumnResolver { cohort_names, measure_names })
+    }
+
+    fn resolve(&self, name: &str) -> Result<Col, SqlError> {
+        if name.eq_ignore_ascii_case("COHORTSIZE") || name.eq_ignore_ascii_case("size") {
+            return Ok(Col::Size);
+        }
+        if name.eq_ignore_ascii_case("AGE") {
+            return Ok(Col::Age);
+        }
+        if name.eq_ignore_ascii_case("cohort") && self.cohort_names.len() == 1 {
+            return Ok(Col::Cohort(0));
+        }
+        if let Some(i) = self.cohort_names.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+            return Ok(Col::Cohort(i));
+        }
+        for (i, names) in self.measure_names.iter().enumerate() {
+            if names.iter().any(|n| n.eq_ignore_ascii_case(name)) {
+                return Ok(Col::Measure(i));
+            }
+        }
+        Err(SqlError::Translate(format!("unknown output column {name:?}")))
+    }
+}
+
+/// Evaluate the outer WHERE over one report row.
+fn eval_outer(expr: &Expr, row: &ReportRow, resolver: &ColumnResolver) -> Result<bool, SqlError> {
+    use cohana_core::CmpOp;
+    let scalar = |e: &Expr| -> Result<Option<CellOwned>, SqlError> {
+        Ok(match e {
+            Expr::Attr(name) => Some(CellOwned::from_cell(&cell_of(row, resolver.resolve(name)?))),
+            Expr::Age => Some(CellOwned::Num(row.age as f64)),
+            Expr::Lit(Value::Str(s)) => Some(CellOwned::Str(s.to_string())),
+            Expr::Lit(Value::Int(v)) => Some(CellOwned::Num(*v as f64)),
+            _ => None,
+        })
+    };
+    let cmp = |op: CmpOp, a: &Expr, b: &Expr| -> Result<bool, SqlError> {
+        let (va, vb) = (scalar(a)?, scalar(b)?);
+        match (va, vb) {
+            (Some(x), Some(y)) => Ok(op.test(x.cmp_owned(&y))),
+            _ => Err(SqlError::Translate(format!("unsupported outer comparison {a} vs {b}"))),
+        }
+    };
+    match expr {
+        Expr::Cmp(op, a, b) => cmp(*op, a, b),
+        Expr::And(a, b) => Ok(eval_outer(a, row, resolver)? && eval_outer(b, row, resolver)?),
+        Expr::Or(a, b) => Ok(eval_outer(a, row, resolver)? || eval_outer(b, row, resolver)?),
+        Expr::Not(a) => Ok(!eval_outer(a, row, resolver)?),
+        Expr::InList(a, vs) => {
+            let va = scalar(a)?
+                .ok_or_else(|| SqlError::Translate(format!("unsupported IN operand {a}")))?;
+            Ok(vs.iter().any(|v| match (v, &va) {
+                (Value::Str(s), CellOwned::Str(x)) => s.as_ref() == x,
+                (Value::Int(i), CellOwned::Num(x)) => (*i as f64) == *x,
+                _ => false,
+            }))
+        }
+        Expr::Between(a, lo, hi) => {
+            let ge = Expr::Cmp(CmpOp::Ge, a.clone(), Box::new(Expr::Lit(lo.clone())));
+            let le = Expr::Cmp(CmpOp::Le, a.clone(), Box::new(Expr::Lit(hi.clone())));
+            Ok(eval_outer(&ge, row, resolver)? && eval_outer(&le, row, resolver)?)
+        }
+        other => Err(SqlError::Translate(format!("unsupported outer predicate {other}"))),
+    }
+}
+
+enum CellOwned {
+    Str(String),
+    Num(f64),
+    Null,
+}
+
+impl CellOwned {
+    fn from_cell(c: &Cell<'_>) -> Self {
+        match c {
+            Cell::Str(s) => CellOwned::Str(s.to_string()),
+            Cell::Num(v) => CellOwned::Num(*v),
+            Cell::Null => CellOwned::Null,
+        }
+    }
+
+    fn cmp_owned(&self, other: &CellOwned) -> std::cmp::Ordering {
+        match (self, other) {
+            (CellOwned::Str(a), CellOwned::Str(b)) => a.cmp(b),
+            (CellOwned::Num(a), CellOwned::Num(b)) => {
+                a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+            }
+            (CellOwned::Null, CellOwned::Null) => std::cmp::Ordering::Equal,
+            (CellOwned::Null, _) => std::cmp::Ordering::Less,
+            (_, CellOwned::Null) => std::cmp::Ordering::Greater,
+            (CellOwned::Str(_), _) => std::cmp::Ordering::Less,
+            (_, CellOwned::Str(_)) => std::cmp::Ordering::Greater,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohana_activity::{generate, GeneratorConfig};
+    use cohana_storage::CompressionOptions;
+
+    const MIXED: &str = "WITH cohorts AS ( \
+        SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent \
+        FROM GameActions \
+        AGE ACTIVITIES IN action = \"shop\" \
+        BIRTH FROM action = \"launch\" \
+        COHORT BY country ) \
+        SELECT country, AGE, spent FROM cohorts \
+        WHERE country IN [\"Australia\", \"China\"] \
+        ORDER BY spent DESC LIMIT 5";
+
+    fn engine() -> Cohana {
+        let t = generate(&GeneratorConfig::small());
+        Cohana::from_activity_table(&t, CompressionOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn parses_paper_mixed_query() {
+        let m = parse_mixed_query(MIXED).unwrap();
+        assert_eq!(m.with_name, "cohorts");
+        assert_eq!(m.select, vec!["country", "AGE", "spent"]);
+        assert_eq!(m.limit, Some(5));
+        assert_eq!(m.order_by, Some(("spent".into(), true)));
+    }
+
+    #[test]
+    fn executes_with_filter_order_limit() {
+        let m = parse_mixed_query(MIXED).unwrap();
+        let res = m.execute(&engine()).unwrap();
+        assert_eq!(res.headers, vec!["country", "AGE", "spent"]);
+        assert!(res.num_rows() <= 5);
+        for row in &res.rows {
+            assert!(row[0] == "Australia" || row[0] == "China", "filtered: {row:?}");
+        }
+        // Descending spent order.
+        let spent: Vec<f64> = res.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        for w in spent.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_from() {
+        let sql = MIXED.replace("FROM cohorts", "FROM other");
+        assert!(parse_mixed_query(&sql).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_outer_column() {
+        let sql = MIXED.replace("SELECT country, AGE, spent FROM", "SELECT nope FROM");
+        let m = parse_mixed_query(&sql).unwrap();
+        assert!(m.execute(&engine()).is_err());
+    }
+
+    #[test]
+    fn pretty_renders() {
+        let m = parse_mixed_query(MIXED).unwrap();
+        let res = m.execute(&engine()).unwrap();
+        let p = res.pretty();
+        assert!(p.contains("spent"));
+    }
+}

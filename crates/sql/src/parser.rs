@@ -1,0 +1,499 @@
+//! Recursive-descent parser for the extended cohort SQL dialect.
+
+use crate::ast::{CohortKeyAst, SelectItem, SqlCohortQuery};
+use crate::error::SqlError;
+use crate::lexer::{lex, Symbol, Token};
+use cohana_activity::Value;
+use cohana_core::{CmpOp, Expr};
+
+/// Parse one cohort query statement.
+pub fn parse_statement(sql: &str) -> Result<SqlCohortQuery, SqlError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.statement()?;
+    if let Some(t) = p.peek() {
+        return Err(p.err(&format!("unexpected trailing input `{}`", t.describe())));
+    }
+    Ok(q)
+}
+
+pub(crate) struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub(crate) fn new(sql: &str) -> Result<Self, SqlError> {
+        Ok(Parser { tokens: lex(sql)?, pos: 0 })
+    }
+
+    pub(crate) fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    pub(crate) fn err(&self, message: &str) -> SqlError {
+        SqlError::Parse {
+            token: self.peek().map(|t| t.describe()).unwrap_or_else(|| "<eof>".into()),
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().map(|t| t.is_kw(kw)).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected keyword {kw}")))
+        }
+    }
+
+    fn eat_sym(&mut self, s: Symbol) -> bool {
+        if self.peek() == Some(&Token::Symbol(s)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: Symbol) -> Result<(), SqlError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {s:?}")))
+        }
+    }
+
+    pub(crate) fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    pub(crate) fn expect_lparen(&mut self) -> Result<(), SqlError> {
+        self.expect_sym(Symbol::LParen)
+    }
+
+    pub(crate) fn expect_rparen(&mut self) -> Result<(), SqlError> {
+        self.expect_sym(Symbol::RParen)
+    }
+
+    pub(crate) fn eat_comma(&mut self) -> bool {
+        self.eat_sym(Symbol::Comma)
+    }
+
+    pub(crate) fn expect_eof(&mut self) -> Result<(), SqlError> {
+        if let Some(t) = self.peek() {
+            return Err(self.err(&format!("unexpected trailing input `{}`", t.describe())));
+        }
+        Ok(())
+    }
+
+    /// An outer-query output column name (used by mixed queries).
+    pub(crate) fn output_column(&mut self) -> Result<String, SqlError> {
+        self.ident()
+    }
+
+    /// Parse a cohort query as a sub-statement (used by `WITH … AS (…)`).
+    pub(crate) fn cohort_statement(&mut self) -> Result<SqlCohortQuery, SqlError> {
+        self.statement()
+    }
+
+    // ------------------------------------------------------------ statement
+
+    fn statement(&mut self) -> Result<SqlCohortQuery, SqlError> {
+        self.expect_kw("SELECT")?;
+        let select = self.select_list()?;
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+
+        let mut birth_clause: Option<Expr> = None;
+        let mut age_clause: Option<Expr> = None;
+        let mut cohort_by: Option<Vec<CohortKeyAst>> = None;
+        let mut age_unit: Option<String> = None;
+
+        loop {
+            if self.peek().map(|t| t.is_kw("BIRTH")).unwrap_or(false) {
+                self.pos += 1;
+                self.expect_kw("FROM")?;
+                if birth_clause.is_some() {
+                    return Err(self.err("duplicate BIRTH FROM clause"));
+                }
+                birth_clause = Some(self.predicate()?);
+            } else if self.peek().map(|t| t.is_kw("AGE")).unwrap_or(false) {
+                self.pos += 1;
+                if self.eat_kw("ACTIVITIES") {
+                    self.expect_kw("IN")?;
+                    if age_clause.is_some() {
+                        return Err(self.err("duplicate AGE ACTIVITIES IN clause"));
+                    }
+                    age_clause = Some(self.predicate()?);
+                } else if self.eat_kw("UNIT") {
+                    age_unit = Some(self.ident()?);
+                } else {
+                    return Err(self.err("expected ACTIVITIES or UNIT after AGE"));
+                }
+            } else if self.peek().map(|t| t.is_kw("COHORT")).unwrap_or(false) {
+                self.pos += 1;
+                self.expect_kw("BY")?;
+                if cohort_by.is_some() {
+                    return Err(self.err("duplicate COHORT BY clause"));
+                }
+                cohort_by = Some(self.cohort_list()?);
+            } else {
+                break;
+            }
+        }
+
+        Ok(SqlCohortQuery {
+            select,
+            table,
+            birth_clause: birth_clause.ok_or_else(|| self.err("missing BIRTH FROM clause"))?,
+            age_clause,
+            cohort_by: cohort_by.ok_or_else(|| self.err("missing COHORT BY clause"))?,
+            age_unit,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.eat_sym(Symbol::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        let name = self.ident()?;
+        if name.eq_ignore_ascii_case("COHORTSIZE") {
+            return Ok(SelectItem::CohortSize);
+        }
+        if name.eq_ignore_ascii_case("AGE") {
+            return Ok(SelectItem::Age);
+        }
+        if self.eat_sym(Symbol::LParen) {
+            let arg = if self.eat_sym(Symbol::RParen) {
+                None
+            } else {
+                let a = self.ident()?;
+                self.expect_sym(Symbol::RParen)?;
+                Some(a)
+            };
+            // `time(week)` in the SELECT list echoes a time-bin cohort
+            // attribute, not an aggregate call.
+            if name.eq_ignore_ascii_case("time") {
+                return Ok(SelectItem::Column("time".into()));
+            }
+            let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
+            return Ok(SelectItem::Aggregate { func: name, arg, alias });
+        }
+        // Plain column, optional alias ignored in output naming.
+        if self.eat_kw("AS") {
+            let _alias = self.ident()?;
+        }
+        Ok(SelectItem::Column(name))
+    }
+
+    fn cohort_list(&mut self) -> Result<Vec<CohortKeyAst>, SqlError> {
+        let mut keys = Vec::new();
+        loop {
+            let name = self.ident()?;
+            if self.eat_sym(Symbol::LParen) {
+                let bin = self.ident()?;
+                self.expect_sym(Symbol::RParen)?;
+                if !name.eq_ignore_ascii_case("time") {
+                    return Err(self.err("only time(...) supports a bin argument in COHORT BY"));
+                }
+                keys.push(CohortKeyAst::TimeBin(bin));
+            } else {
+                keys.push(CohortKeyAst::Attr(name));
+            }
+            if !self.eat_sym(Symbol::Comma) {
+                break;
+            }
+        }
+        Ok(keys)
+    }
+
+    // ------------------------------------------------------------ predicates
+
+    pub(crate) fn predicate(&mut self) -> Result<Expr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_kw("NOT") {
+            return Ok(self.not_expr()?.not());
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, SqlError> {
+        // Parenthesized sub-predicate (only when it isn't a scalar group).
+        if self.peek() == Some(&Token::Symbol(Symbol::LParen)) {
+            self.pos += 1;
+            let inner = self.predicate()?;
+            self.expect_sym(Symbol::RParen)?;
+            return Ok(inner);
+        }
+        let lhs = self.term()?;
+        if let Some(Token::Symbol(sym)) = self.peek() {
+            if let Some(op) = cmp_of(*sym) {
+                self.pos += 1;
+                let rhs = self.term()?;
+                return Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        if self.eat_kw("BETWEEN") {
+            let lo = self.literal()?;
+            self.expect_kw("AND")?;
+            let hi = self.literal()?;
+            return Ok(Expr::Between(Box::new(lhs), lo, hi));
+        }
+        if self.eat_kw("NOT") {
+            self.expect_kw("IN")?;
+            let list = self.literal_list()?;
+            return Ok(lhs.in_list(list).not());
+        }
+        if self.eat_kw("IN") {
+            let list = self.literal_list()?;
+            return Ok(lhs.in_list(list));
+        }
+        Err(self.err("expected comparison, BETWEEN, or IN"))
+    }
+
+    fn term(&mut self) -> Result<Expr, SqlError> {
+        match self.peek() {
+            Some(Token::Str(_)) | Some(Token::Int(_)) => Ok(Expr::Lit(self.literal()?)),
+            Some(Token::Ident(name)) => {
+                let name = name.clone();
+                if name.eq_ignore_ascii_case("AGE") {
+                    self.pos += 1;
+                    return Ok(Expr::Age);
+                }
+                if name.eq_ignore_ascii_case("BIRTH") && self.peek2() == Some(&Token::Symbol(Symbol::LParen)) {
+                    self.pos += 2;
+                    let attr = self.ident()?;
+                    self.expect_sym(Symbol::RParen)?;
+                    return Ok(Expr::birth(attr));
+                }
+                self.pos += 1;
+                Ok(Expr::attr(name))
+            }
+            _ => Err(self.err("expected a scalar term")),
+        }
+    }
+
+    pub(crate) fn literal(&mut self) -> Result<Value, SqlError> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(Value::from(s)),
+            Some(Token::Int(v)) => Ok(Value::Int(v)),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected a literal"))
+            }
+        }
+    }
+
+    fn literal_list(&mut self) -> Result<Vec<Value>, SqlError> {
+        let closing = if self.eat_sym(Symbol::LBracket) {
+            Symbol::RBracket
+        } else if self.eat_sym(Symbol::LParen) {
+            Symbol::RParen
+        } else {
+            return Err(self.err("expected `[` or `(` to open an IN list"));
+        };
+        let mut out = Vec::new();
+        if self.eat_sym(closing) {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.literal()?);
+            if self.eat_sym(closing) {
+                return Ok(out);
+            }
+            self.expect_sym(Symbol::Comma)?;
+        }
+    }
+}
+
+fn cmp_of(sym: Symbol) -> Option<CmpOp> {
+    match sym {
+        Symbol::Eq => Some(CmpOp::Eq),
+        Symbol::Ne => Some(CmpOp::Ne),
+        Symbol::Lt => Some(CmpOp::Lt),
+        Symbol::Le => Some(CmpOp::Le),
+        Symbol::Gt => Some(CmpOp::Gt),
+        Symbol::Ge => Some(CmpOp::Ge),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_q1() {
+        let q = parse_statement(
+            "SELECT country, CohortSize, Age, UserCount() \
+             FROM GameActions BIRTH FROM action = \"launch\" \
+             COHORT BY country",
+        )
+        .unwrap();
+        assert_eq!(q.table, "GameActions");
+        assert_eq!(q.cohort_by, vec![CohortKeyAst::Attr("country".into())]);
+        assert_eq!(q.select.len(), 4);
+        assert!(matches!(q.select[3], SelectItem::Aggregate { ref func, arg: None, .. } if func == "UserCount"));
+    }
+
+    #[test]
+    fn parses_paper_q4() {
+        let q = parse_statement(
+            "SELECT country, COHORTSIZE, AGE, Avg(gold) \
+             FROM GameActions BIRTH FROM action = \"shop\" AND \
+             time BETWEEN \"2013-05-21\" AND \"2013-05-27\" AND \
+             role = \"dwarf\" AND \
+             country IN [\"China\", \"Australia\", \"United States\"] \
+             AGE ACTIVITIES IN action = \"shop\" AND country = Birth(country) \
+             COHORT BY country",
+        )
+        .unwrap();
+        let birth = q.birth_clause.to_string();
+        assert!(birth.contains("BETWEEN"));
+        assert!(birth.contains("IN [\"China\""));
+        let age = q.age_clause.unwrap().to_string();
+        assert!(age.contains("Birth(country)"));
+    }
+
+    #[test]
+    fn parses_age_predicate_q7() {
+        let q = parse_statement(
+            "SELECT country, COHORTSIZE, AGE, UserCount() \
+             FROM GameActions BIRTH FROM action = \"launch\" \
+             AGE ACTIVITIES in AGE < 14 \
+             COHORT BY country",
+        )
+        .unwrap();
+        assert_eq!(q.age_clause.unwrap().to_string(), "AGE < 14");
+    }
+
+    #[test]
+    fn clause_order_is_irrelevant() {
+        let a = parse_statement(
+            "SELECT country, COHORTSIZE, AGE, Avg(gold) FROM D \
+             BIRTH FROM action = \"shop\" AGE ACTIVITIES IN action = \"shop\" COHORT BY country",
+        )
+        .unwrap();
+        let b = parse_statement(
+            "SELECT country, COHORTSIZE, AGE, Avg(gold) FROM D \
+             AGE ACTIVITIES IN action = \"shop\" COHORT BY country BIRTH FROM action = \"shop\"",
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parses_time_bin_cohort() {
+        let q = parse_statement(
+            "SELECT COHORTSIZE, AGE, Avg(gold) FROM D \
+             BIRTH FROM action = \"launch\" COHORT BY time(week) AGE UNIT week",
+        )
+        .unwrap();
+        assert_eq!(q.cohort_by, vec![CohortKeyAst::TimeBin("week".into())]);
+        assert_eq!(q.age_unit.as_deref(), Some("week"));
+    }
+
+    #[test]
+    fn rejects_missing_clauses() {
+        assert!(parse_statement("SELECT a FROM D COHORT BY a").is_err()); // no BIRTH FROM
+        assert!(parse_statement("SELECT a FROM D BIRTH FROM action = \"x\"").is_err()); // no COHORT BY
+    }
+
+    #[test]
+    fn rejects_duplicate_clauses() {
+        assert!(parse_statement(
+            "SELECT a FROM D BIRTH FROM action = \"x\" BIRTH FROM action = \"y\" COHORT BY a"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_statement(
+            "SELECT a FROM D BIRTH FROM action = \"x\" COHORT BY a EXTRA"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parses_parenthesized_or() {
+        let q = parse_statement(
+            "SELECT country, COHORTSIZE, AGE, Count() FROM D \
+             BIRTH FROM action = \"launch\" \
+             AGE ACTIVITIES IN (action = \"shop\" OR action = \"fight\") AND AGE < 5 \
+             COHORT BY country",
+        )
+        .unwrap();
+        let s = q.age_clause.unwrap().to_string();
+        assert!(s.contains("OR"));
+        assert!(s.contains("AGE < 5"));
+    }
+
+    #[test]
+    fn not_in_parses() {
+        let q = parse_statement(
+            "SELECT country, COHORTSIZE, AGE, Count() FROM D \
+             BIRTH FROM action = \"launch\" \
+             AGE ACTIVITIES IN country NOT IN [\"China\"] \
+             COHORT BY country",
+        )
+        .unwrap();
+        assert!(q.age_clause.unwrap().to_string().starts_with("NOT"));
+    }
+}

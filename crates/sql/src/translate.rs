@@ -1,0 +1,353 @@
+//! Translation of parsed statements into validated [`CohortQuery`]s.
+//!
+//! Besides structural mapping this performs the schema-aware rewrites:
+//!
+//! * the mandatory `action = e` conjunct is extracted from the `BIRTH FROM`
+//!   predicate and becomes the query's birth action;
+//! * string literals compared against integer attributes are parsed as
+//!   timestamps (`"2013-05-21"` → epoch seconds), matching the paper's
+//!   `time BETWEEN "2013-05-21" AND "2013-05-27"` style;
+//! * the SELECT list is checked for consistency with `COHORT BY`.
+
+use crate::ast::{CohortKeyAst, SelectItem, SqlCohortQuery};
+use crate::error::SqlError;
+use cohana_activity::{Schema, TimeBin, Timestamp, Value, ValueType};
+use cohana_core::{AggFunc, CmpOp, CohortQuery, Expr};
+
+/// Translate a parsed statement against a schema.
+pub fn translate(ast: &SqlCohortQuery, schema: &Schema) -> Result<CohortQuery, SqlError> {
+    // 1. Split `action = e` out of the birth clause.
+    let action_attr = &schema.attribute(schema.action_idx()).name;
+    let (birth_action, birth_pred) = split_birth_action(&ast.birth_clause, action_attr)?;
+
+    // 2. Rewrite date literals.
+    let birth_pred = birth_pred.map(|p| rewrite_dates(&p, schema)).transpose()?;
+    let age_pred = ast.age_clause.as_ref().map(|p| rewrite_dates(p, schema)).transpose()?;
+
+    // 3. Aggregates from the SELECT list.
+    let mut aggregates = Vec::new();
+    let mut selected_columns = Vec::new();
+    for item in &ast.select {
+        match item {
+            SelectItem::Aggregate { func, arg, .. } => {
+                aggregates.push(agg_of(func, arg.as_deref())?);
+            }
+            SelectItem::Column(c) => selected_columns.push(c.clone()),
+            SelectItem::CohortSize | SelectItem::Age => {}
+        }
+    }
+
+    // 4. Cohort keys.
+    let mut builder = CohortQuery::builder(birth_action);
+    if let Some(p) = birth_pred {
+        builder = builder.birth_where(p);
+    }
+    if let Some(p) = age_pred {
+        builder = builder.age_where(p);
+    }
+    for key in &ast.cohort_by {
+        builder = match key {
+            CohortKeyAst::Attr(a) => builder.cohort_by([a.clone()]),
+            CohortKeyAst::TimeBin(bin) => builder.cohort_by_time(parse_bin(bin)?),
+        };
+    }
+    if let Some(unit) = &ast.age_unit {
+        builder = builder.age_bin(parse_bin(unit)?);
+    }
+    for agg in aggregates {
+        builder = builder.aggregate(agg);
+    }
+    let query = builder.build()?;
+
+    // 5. SELECT-list consistency: plain columns must be cohort attributes.
+    for c in &selected_columns {
+        let in_cohort = query.cohort_by.iter().any(|k| match k {
+            cohana_core::CohortAttr::Attr(a) => a == c,
+            cohana_core::CohortAttr::TimeBin(_) => c.eq_ignore_ascii_case("time"),
+        });
+        if !in_cohort {
+            return Err(SqlError::Translate(format!(
+                "selected column {c:?} is not in COHORT BY; only cohort attributes, \
+                 COHORTSIZE, AGE, and aggregates may be selected"
+            )));
+        }
+    }
+    Ok(query)
+}
+
+/// Extract the `action = "e"` conjunct (the birth action) from the BIRTH
+/// FROM predicate; the remaining conjuncts form the birth selection.
+fn split_birth_action(clause: &Expr, action_attr: &str) -> Result<(String, Option<Expr>), SqlError> {
+    let mut action: Option<String> = None;
+    let mut rest: Vec<Expr> = Vec::new();
+    for c in clause.conjuncts() {
+        match c {
+            Expr::Cmp(CmpOp::Eq, lhs, rhs) => {
+                let pair = match (lhs.as_ref(), rhs.as_ref()) {
+                    (Expr::Attr(a), Expr::Lit(Value::Str(s))) if a == action_attr => Some(s),
+                    (Expr::Lit(Value::Str(s)), Expr::Attr(a)) if a == action_attr => Some(s),
+                    _ => None,
+                };
+                if let (Some(s), None) = (pair, &action) {
+                    action = Some(s.to_string());
+                    continue;
+                }
+                rest.push(c.clone());
+            }
+            other => rest.push(other.clone()),
+        }
+    }
+    let action = action.ok_or_else(|| {
+        SqlError::Translate(format!(
+            "BIRTH FROM must contain an `{action_attr} = \"<birth action>\"` conjunct"
+        ))
+    })?;
+    Ok((action, Expr::conjoin(rest)))
+}
+
+/// Rewrite string literals compared against integer attributes into epoch
+/// seconds.
+fn rewrite_dates(expr: &Expr, schema: &Schema) -> Result<Expr, SqlError> {
+    let is_int_attr = |e: &Expr| -> bool {
+        match e {
+            Expr::Attr(a) | Expr::Birth(a) => schema
+                .index_of(a)
+                .map(|i| schema.attribute(i).vtype == ValueType::Int)
+                .unwrap_or(false),
+            Expr::Age => true,
+            _ => false,
+        }
+    };
+    let conv = |v: &Value| -> Result<Value, SqlError> {
+        match v {
+            Value::Str(s) => Timestamp::parse(s)
+                .map(|t| Value::Int(t.secs()))
+                .map_err(|_| SqlError::Translate(format!("expected a date/timestamp, got \"{s}\""))),
+            other => Ok(other.clone()),
+        }
+    };
+    Ok(match expr {
+        Expr::Cmp(op, a, b) => {
+            let (mut a2, mut b2) = (rewrite_dates(a, schema)?, rewrite_dates(b, schema)?);
+            if is_int_attr(a) {
+                if let Expr::Lit(v) = &b2 {
+                    b2 = Expr::Lit(conv(v)?);
+                }
+            }
+            if is_int_attr(b) {
+                if let Expr::Lit(v) = &a2 {
+                    a2 = Expr::Lit(conv(v)?);
+                }
+            }
+            Expr::Cmp(*op, Box::new(a2), Box::new(b2))
+        }
+        Expr::Between(a, lo, hi) => {
+            let a2 = rewrite_dates(a, schema)?;
+            let (lo2, hi2) = if is_int_attr(a) { (conv(lo)?, conv(hi)?) } else { (lo.clone(), hi.clone()) };
+            Expr::Between(Box::new(a2), lo2, hi2)
+        }
+        Expr::InList(a, vs) => {
+            let a2 = rewrite_dates(a, schema)?;
+            let vs2 = if is_int_attr(a) {
+                vs.iter().map(conv).collect::<Result<_, _>>()?
+            } else {
+                vs.clone()
+            };
+            Expr::InList(Box::new(a2), vs2)
+        }
+        Expr::And(a, b) => rewrite_dates(a, schema)?.and(rewrite_dates(b, schema)?),
+        Expr::Or(a, b) => rewrite_dates(a, schema)?.or(rewrite_dates(b, schema)?),
+        Expr::Not(a) => rewrite_dates(a, schema)?.not(),
+        leaf => leaf.clone(),
+    })
+}
+
+fn agg_of(func: &str, arg: Option<&str>) -> Result<AggFunc, SqlError> {
+    let need_arg = |f: &str| -> Result<String, SqlError> {
+        arg.map(|s| s.to_string())
+            .ok_or_else(|| SqlError::Translate(format!("{f} requires an attribute argument")))
+    };
+    match func.to_ascii_lowercase().as_str() {
+        "sum" => Ok(AggFunc::Sum(need_arg("Sum")?)),
+        "avg" => Ok(AggFunc::Avg(need_arg("Avg")?)),
+        "min" => Ok(AggFunc::Min(need_arg("Min")?)),
+        "max" => Ok(AggFunc::Max(need_arg("Max")?)),
+        "count" => {
+            if arg.is_some() {
+                return Err(SqlError::Translate("Count() takes no argument".into()));
+            }
+            Ok(AggFunc::Count)
+        }
+        "usercount" => {
+            if arg.is_some() {
+                return Err(SqlError::Translate("UserCount() takes no argument".into()));
+            }
+            Ok(AggFunc::UserCount)
+        }
+        other => Err(SqlError::Translate(format!("unknown aggregate function {other:?}"))),
+    }
+}
+
+fn parse_bin(name: &str) -> Result<TimeBin, SqlError> {
+    match name.to_ascii_lowercase().as_str() {
+        "day" | "days" => Ok(TimeBin::Day),
+        "week" | "weeks" => Ok(TimeBin::Week),
+        "month" | "months" => Ok(TimeBin::Month),
+        other => Err(SqlError::Translate(format!(
+            "unknown time bin {other:?} (expected day, week, or month)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+    use cohana_core::CohortAttr;
+
+    fn schema() -> Schema {
+        Schema::game_actions()
+    }
+
+    fn tr(sql: &str) -> Result<CohortQuery, SqlError> {
+        translate(&parse_statement(sql).unwrap(), &schema())
+    }
+
+    #[test]
+    fn q1_translates() {
+        let q = tr(
+            "SELECT country, CohortSize, Age, UserCount() \
+             FROM GameActions BIRTH FROM action = \"launch\" COHORT BY country",
+        )
+        .unwrap();
+        assert_eq!(q.birth_action, "launch");
+        assert!(q.birth_predicate.is_none());
+        assert_eq!(q.aggregates, vec![AggFunc::UserCount]);
+    }
+
+    #[test]
+    fn q2_dates_convert() {
+        let q = tr(
+            "SELECT country, COHORTSIZE, AGE, UserCount() \
+             FROM GameActions BIRTH FROM action = \"launch\" AND \
+             time BETWEEN \"2013-05-21\" AND \"2013-05-27\" \
+             COHORT BY country",
+        )
+        .unwrap();
+        let lo = Timestamp::parse("2013-05-21").unwrap().secs();
+        let hi = Timestamp::parse("2013-05-27").unwrap().secs();
+        assert_eq!(q.birth_predicate.unwrap().int_bounds("time"), Some((lo, hi)));
+    }
+
+    #[test]
+    fn q4_full_translation() {
+        let q = tr(
+            "SELECT country, COHORTSIZE, AGE, Avg(gold) \
+             FROM GameActions BIRTH FROM action = \"shop\" AND \
+             time BETWEEN \"2013-05-21\" AND \"2013-05-27\" AND \
+             role = \"dwarf\" AND \
+             country IN [\"China\", \"Australia\", \"United States\"] \
+             AGE ACTIVITIES IN action = \"shop\" AND country = Birth(country) \
+             COHORT BY country",
+        )
+        .unwrap();
+        assert_eq!(q.birth_action, "shop");
+        assert!(q.age_predicate.unwrap().references_birth_or_age());
+        assert_eq!(q.aggregates, vec![AggFunc::Avg("gold".into())]);
+    }
+
+    #[test]
+    fn equals_paper_module_queries() {
+        // The SQL texts of §5.2 translate to exactly the programmatic
+        // queries in cohana_core::paper.
+        let q1 = tr(
+            "SELECT country, CohortSize, Age, UserCount() \
+             FROM GameActions BIRTH FROM action = \"launch\" COHORT BY country",
+        )
+        .unwrap();
+        assert_eq!(q1, cohana_core::paper::q1());
+
+        let q3 = tr(
+            "SELECT country, COHORTSIZE, AGE, Avg(gold) \
+             FROM GameActions BIRTH FROM action = \"shop\" \
+             AGE ACTIVITIES IN action = \"shop\" \
+             COHORT BY country",
+        )
+        .unwrap();
+        assert_eq!(q3, cohana_core::paper::q3());
+
+        let q7 = tr(
+            "SELECT country, COHORTSIZE, AGE, UserCount() \
+             FROM GameActions BIRTH FROM action = \"launch\" \
+             AGE ACTIVITIES in AGE < 14 \
+             COHORT BY country",
+        )
+        .unwrap();
+        assert_eq!(q7, cohana_core::paper::q7(14));
+    }
+
+    #[test]
+    fn time_bin_cohort() {
+        let q = tr(
+            "SELECT COHORTSIZE, AGE, Avg(gold) FROM D \
+             BIRTH FROM action = \"launch\" \
+             AGE ACTIVITIES IN action = \"shop\" \
+             COHORT BY time(week) AGE UNIT week",
+        )
+        .unwrap();
+        assert_eq!(q.cohort_by, vec![CohortAttr::TimeBin(TimeBin::Week)]);
+        assert_eq!(q.age_bin, TimeBin::Week);
+        assert_eq!(q, cohana_core::paper::shopping_trend());
+    }
+
+    #[test]
+    fn missing_birth_action_conjunct() {
+        let e = tr(
+            "SELECT country, COHORTSIZE, AGE, Count() FROM D \
+             BIRTH FROM role = \"dwarf\" COHORT BY country",
+        )
+        .unwrap_err();
+        assert!(matches!(e, SqlError::Translate(_)));
+    }
+
+    #[test]
+    fn rejects_non_cohort_select_column() {
+        let e = tr(
+            "SELECT city, COHORTSIZE, AGE, Count() FROM D \
+             BIRTH FROM action = \"launch\" COHORT BY country",
+        )
+        .unwrap_err();
+        assert!(matches!(e, SqlError::Translate(_)));
+    }
+
+    #[test]
+    fn rejects_unknown_aggregate() {
+        let e = tr(
+            "SELECT country, COHORTSIZE, AGE, Median(gold) FROM D \
+             BIRTH FROM action = \"launch\" COHORT BY country",
+        )
+        .unwrap_err();
+        assert!(matches!(e, SqlError::Translate(_)));
+    }
+
+    #[test]
+    fn rejects_bad_date_literal() {
+        let e = tr(
+            "SELECT country, COHORTSIZE, AGE, Count() FROM D \
+             BIRTH FROM action = \"launch\" AND time > \"not-a-date\" \
+             COHORT BY country",
+        )
+        .unwrap_err();
+        assert!(matches!(e, SqlError::Translate(_)));
+    }
+
+    #[test]
+    fn rejects_count_with_argument() {
+        let e = tr(
+            "SELECT country, COHORTSIZE, AGE, Count(gold) FROM D \
+             BIRTH FROM action = \"launch\" COHORT BY country",
+        )
+        .unwrap_err();
+        assert!(matches!(e, SqlError::Translate(_)));
+    }
+}

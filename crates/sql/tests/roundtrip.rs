@@ -1,0 +1,107 @@
+//! Round-trip property tests: `CohortQuery::to_sql` output must parse and
+//! translate back to the original query, for randomly generated queries.
+
+use cohana_activity::{Schema, TimeBin};
+use cohana_core::{AggFunc, CohortQuery, Expr};
+use cohana_sql::parse_cohort_query;
+use proptest::prelude::*;
+
+fn agg_strategy() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::sum("gold")),
+        Just(AggFunc::avg("gold")),
+        Just(AggFunc::min("session")),
+        Just(AggFunc::max("session")),
+        Just(AggFunc::count()),
+        Just(AggFunc::user_count()),
+    ]
+}
+
+fn birth_pred_strategy() -> impl Strategy<Value = Option<Expr>> {
+    prop_oneof![
+        Just(None),
+        prop::sample::select(vec!["dwarf", "wizard", "bandit"])
+            .prop_map(|r| Some(Expr::attr("role").eq(Expr::lit_str(r)))),
+        (0i64..1_000_000, 1_000_000i64..2_000_000)
+            .prop_map(|(a, b)| Some(Expr::attr("time").between_int(a, b))),
+        prop::sample::select(vec!["China", "Australia"]).prop_map(|c| Some(
+            Expr::attr("country")
+                .in_list([cohana_activity::Value::str(c), cohana_activity::Value::str("Japan")])
+        )),
+    ]
+}
+
+fn age_pred_strategy() -> impl Strategy<Value = Option<Expr>> {
+    prop_oneof![
+        Just(None),
+        prop::sample::select(vec!["shop", "fight"])
+            .prop_map(|a| Some(Expr::attr("action").eq(Expr::lit_str(a)))),
+        (1i64..30).prop_map(|g| Some(Expr::age().lt(Expr::lit_int(g)))),
+        Just(Some(Expr::attr("country").eq(Expr::birth("country")))),
+        Just(Some(
+            Expr::attr("action")
+                .eq(Expr::lit_str("shop"))
+                .or(Expr::attr("action").eq(Expr::lit_str("fight")))
+        )),
+        Just(Some(Expr::attr("role").ne(Expr::lit_str("dwarf")).not())),
+    ]
+}
+
+fn query_strategy() -> impl Strategy<Value = CohortQuery> {
+    (
+        prop::sample::select(vec!["launch", "shop", "achievement"]),
+        birth_pred_strategy(),
+        age_pred_strategy(),
+        prop::sample::select(vec!["country", "role", "city"]),
+        prop::bool::ANY,
+        agg_strategy(),
+        prop::sample::select(vec![TimeBin::Day, TimeBin::Week, TimeBin::Month]),
+    )
+        .prop_map(|(action, bp, ap, attr, by_time, agg, bin)| {
+            let mut b = CohortQuery::builder(action);
+            if let Some(p) = bp {
+                b = b.birth_where(p);
+            }
+            if let Some(p) = ap {
+                b = b.age_where(p);
+            }
+            b = if by_time { b.cohort_by_time(TimeBin::Week) } else { b.cohort_by([attr]) };
+            b.age_bin(bin).aggregate(agg).build().expect("generated query valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn to_sql_parses_back_to_same_query(query in query_strategy()) {
+        let sql = query.to_sql();
+        let schema = Schema::game_actions();
+        let reparsed = parse_cohort_query(&sql, &schema)
+            .unwrap_or_else(|e| panic!("rendered SQL failed to parse: {e}\n{sql}"));
+        prop_assert_eq!(reparsed, query, "round-trip mismatch for:\n{}", sql);
+    }
+}
+
+#[test]
+fn paper_queries_roundtrip() {
+    use cohana_core::paper;
+    let schema = Schema::game_actions();
+    for q in [
+        paper::q1(),
+        paper::q2(),
+        paper::q3(),
+        paper::q4(),
+        paper::q5(0, 86_400),
+        paper::q6(0, 86_400),
+        paper::q7(14),
+        paper::q8(7),
+        paper::example1(),
+        paper::shopping_trend(),
+    ] {
+        let sql = q.to_sql();
+        let back = parse_cohort_query(&sql, &schema)
+            .unwrap_or_else(|e| panic!("{e}\n{sql}"));
+        assert_eq!(back, q, "round-trip failed for:\n{sql}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Fixed-width bit-packing with random access (§4.1).
+//!
+//! Values are packed into 64-bit words at the minimum width `n` that
+//! represents the maximum value, fitting `⌊64 / n⌋` values per word so that
+//! **no value spans a word boundary**. This is not the most space-efficient
+//! scheme, but — as the paper stresses — it allows any position to be read
+//! without decompressing its neighbours, which the cohort operators rely on
+//! for user skipping.
+
+use std::fmt;
+
+/// A bit-packed array of `u64` values.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitPacked {
+    width: u8,
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitPacked {
+    /// Pack a slice. The width is the minimum number of bits representing
+    /// the maximum value (`width == 0` iff every value is zero, in which
+    /// case no words are stored at all).
+    pub fn from_slice(values: &[u64]) -> Self {
+        let max = values.iter().copied().max().unwrap_or(0);
+        let width = bits_for(max);
+        Self::from_slice_with_width(values, width)
+    }
+
+    /// Pack with an explicit width (must cover every value).
+    pub fn from_slice_with_width(values: &[u64], width: u8) -> Self {
+        assert!(width <= 64, "width must be <= 64");
+        if width == 0 {
+            debug_assert!(values.iter().all(|&v| v == 0));
+            return BitPacked { width: 0, len: values.len(), words: Vec::new() };
+        }
+        let per_word = (64 / width as usize).max(1);
+        let num_words = values.len().div_ceil(per_word);
+        let mut words = vec![0u64; num_words];
+        for (i, &v) in values.iter().enumerate() {
+            debug_assert!(width == 64 || v < (1u64 << width), "value {v} exceeds width {width}");
+            let w = i / per_word;
+            let shift = (i % per_word) * width as usize;
+            words[w] |= v << shift;
+        }
+        BitPacked { width, len: values.len(), words }
+    }
+
+    /// Number of packed values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit width per value.
+    #[inline]
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Random access without decompression. Panics if out of range (all
+    /// call sites index within `len`, checked by the chunk layer).
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        if self.width == 0 {
+            return 0;
+        }
+        let width = self.width as usize;
+        let per_word = (64 / width).max(1);
+        let word = self.words[i / per_word];
+        let shift = (i % per_word) * width;
+        if width == 64 {
+            word
+        } else {
+            (word >> shift) & ((1u64 << width) - 1)
+        }
+    }
+
+    /// Iterate over all values in order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Decode to a vector.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+
+    /// Bytes consumed by the packed words (excluding the struct header).
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Raw words (for persistence).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild from raw parts (for persistence). Validates word count.
+    pub(crate) fn from_raw(width: u8, len: usize, words: Vec<u64>) -> crate::Result<Self> {
+        let expected = if width == 0 {
+            0
+        } else {
+            let per_word = (64 / width as usize).max(1);
+            len.div_ceil(per_word)
+        };
+        if words.len() != expected {
+            return Err(crate::StorageError::Corrupt(format!(
+                "bitpack expects {expected} words, found {}",
+                words.len()
+            )));
+        }
+        Ok(BitPacked { width, len, words })
+    }
+}
+
+impl fmt::Debug for BitPacked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitPacked(width={}, len={})", self.width, self.len)
+    }
+}
+
+/// Minimum number of bits needed to represent `v` (0 for 0).
+#[inline]
+pub fn bits_for(v: u64) -> u8 {
+    (64 - v.leading_zeros()) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bits_for_boundaries() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let vals = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let p = BitPacked::from_slice(&vals);
+        assert_eq!(p.width(), 4);
+        assert_eq!(p.to_vec(), vals);
+    }
+
+    #[test]
+    fn all_zero_uses_no_words() {
+        let p = BitPacked::from_slice(&[0, 0, 0, 0]);
+        assert_eq!(p.width(), 0);
+        assert_eq!(p.packed_bytes(), 0);
+        assert_eq!(p.to_vec(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn width_64_values() {
+        let vals = [u64::MAX, 0, 42];
+        let p = BitPacked::from_slice(&vals);
+        assert_eq!(p.width(), 64);
+        assert_eq!(p.to_vec(), vals);
+    }
+
+    #[test]
+    fn values_never_span_words() {
+        // width 7 -> 9 values per word; the 10th value starts a new word.
+        let vals: Vec<u64> = (0..20).map(|i| (i * 7) % 128).collect();
+        let p = BitPacked::from_slice_with_width(&vals, 7);
+        assert_eq!(p.words().len(), 20usize.div_ceil(9));
+        assert_eq!(p.to_vec(), vals);
+    }
+
+    #[test]
+    fn empty_input() {
+        let p = BitPacked::from_slice(&[]);
+        assert!(p.is_empty());
+        assert_eq!(p.to_vec(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(BitPacked::from_raw(8, 10, vec![0; 2]).is_ok());
+        assert!(BitPacked::from_raw(8, 10, vec![0; 3]).is_err());
+        assert!(BitPacked::from_raw(0, 10, vec![]).is_ok());
+        assert!(BitPacked::from_raw(0, 10, vec![0]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(vals in proptest::collection::vec(0u64..u64::MAX, 0..300)) {
+            let p = BitPacked::from_slice(&vals);
+            prop_assert_eq!(p.to_vec(), vals);
+        }
+
+        #[test]
+        fn prop_roundtrip_small_domain(vals in proptest::collection::vec(0u64..1000, 0..500)) {
+            let p = BitPacked::from_slice(&vals);
+            prop_assert!(p.width() <= 10);
+            for (i, &v) in vals.iter().enumerate() {
+                prop_assert_eq!(p.get(i), v);
+            }
+        }
+
+        #[test]
+        fn prop_random_access_matches_iter(vals in proptest::collection::vec(0u64..1_000_000, 1..200), idx in 0usize..199) {
+            let p = BitPacked::from_slice(&vals);
+            let i = idx % vals.len();
+            prop_assert_eq!(p.get(i), vals[i]);
+        }
+    }
+}

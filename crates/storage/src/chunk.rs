@@ -1,0 +1,117 @@
+//! Chunks: the horizontal partitions of a compressed activity table.
+//!
+//! Chunking respects user boundaries — the activity tuples of each user are
+//! contained in exactly one chunk (§4.1). This property is what makes the
+//! per-chunk `UserCount` aggregation of §4.5 correct and lets chunks be
+//! processed independently (and in parallel) with a trivial merge.
+
+use crate::column::ChunkColumn;
+use crate::rle::UserRle;
+use crate::StorageError;
+
+/// One chunk: the RLE user column plus one compressed segment per other
+/// attribute, indexed by schema attribute position (`None` at the user
+/// attribute's position, whose data lives in `user_rle`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    num_rows: usize,
+    user_rle: UserRle,
+    columns: Vec<Option<ChunkColumn>>,
+}
+
+impl Chunk {
+    /// Assemble a chunk, validating that every segment covers the same
+    /// number of rows as the user RLE.
+    pub fn new(
+        user_rle: UserRle,
+        columns: Vec<Option<ChunkColumn>>,
+    ) -> Result<Self, StorageError> {
+        let num_rows = user_rle.num_rows();
+        for (i, col) in columns.iter().enumerate() {
+            if let Some(c) = col {
+                if c.len() != num_rows {
+                    return Err(StorageError::Invalid(format!(
+                        "column {i} has {} rows, chunk has {num_rows}",
+                        c.len()
+                    )));
+                }
+            }
+        }
+        Ok(Chunk { num_rows, user_rle, columns })
+    }
+
+    /// Number of rows in this chunk.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of distinct users in this chunk.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.user_rle.num_users()
+    }
+
+    /// The RLE user column.
+    #[inline]
+    pub fn user_rle(&self) -> &UserRle {
+        &self.user_rle
+    }
+
+    /// The compressed segment of an attribute (`None` for the user column).
+    #[inline]
+    pub fn column(&self, attr_idx: usize) -> Option<&ChunkColumn> {
+        self.columns.get(attr_idx).and_then(|c| c.as_ref())
+    }
+
+    /// The segment of an attribute, panicking if it is the user column.
+    /// The executor resolves attribute indexes at plan time, so a miss here
+    /// is a planner bug.
+    #[inline]
+    pub fn column_required(&self, attr_idx: usize) -> &ChunkColumn {
+        self.columns[attr_idx].as_ref().expect("attribute has a column segment")
+    }
+
+    /// All segments.
+    pub fn columns(&self) -> &[Option<ChunkColumn>] {
+        &self.columns
+    }
+
+    /// Compressed payload bytes of the chunk.
+    pub fn packed_bytes(&self) -> usize {
+        self.user_rle.packed_bytes()
+            + self.columns.iter().flatten().map(|c| c.packed_bytes()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rle3() -> UserRle {
+        UserRle::from_rows(&[1, 1, 2])
+    }
+
+    #[test]
+    fn validates_row_counts() {
+        let ok = Chunk::new(rle3(), vec![None, Some(ChunkColumn::from_ints(&[1, 2, 3]))]);
+        assert!(ok.is_ok());
+        let bad = Chunk::new(rle3(), vec![None, Some(ChunkColumn::from_ints(&[1, 2]))]);
+        assert!(matches!(bad.unwrap_err(), StorageError::Invalid(_)));
+    }
+
+    #[test]
+    fn accessors() {
+        let c = Chunk::new(
+            rle3(),
+            vec![None, Some(ChunkColumn::from_ints(&[10, 20, 30])), Some(ChunkColumn::from_gids(&[0, 1, 0]))],
+        )
+        .unwrap();
+        assert_eq!(c.num_rows(), 3);
+        assert_eq!(c.num_users(), 2);
+        assert!(c.column(0).is_none());
+        assert_eq!(c.column(1).unwrap().int_value(2), 30);
+        assert_eq!(c.column_required(2).gid_at(1), 1);
+        assert!(c.packed_bytes() > 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Two-level dictionary encoding for string columns (§4.1).
+//!
+//! Level 1: a **global dictionary** per column — the sorted unique values of
+//! the column across the whole table; each value's *global id* is its
+//! position. Level 2: each chunk keeps a **chunk dictionary** — the sorted
+//! global ids present in that chunk; each stored code is a *chunk id*, the
+//! position of the value's global id in the chunk dictionary.
+//!
+//! Because both levels are sorted, lookups are binary searches, and a failed
+//! chunk-dictionary lookup proves the value does not occur in the chunk —
+//! the basis of the executor's chunk-pruning step.
+
+use std::sync::Arc;
+
+/// Global dictionary: sorted unique strings of a column.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GlobalDict {
+    values: Vec<Arc<str>>,
+}
+
+impl GlobalDict {
+    /// Build from any iterator of values; sorts and dedups.
+    pub fn build<'a>(values: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut v: Vec<&str> = values.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        GlobalDict { values: v.into_iter().map(Arc::from).collect() }
+    }
+
+    /// Rebuild from already-sorted unique values (persistence path).
+    /// Returns an error if the input is not strictly sorted.
+    pub fn from_sorted(values: Vec<Arc<str>>) -> crate::Result<Self> {
+        for i in 1..values.len() {
+            if values[i - 1].as_ref() >= values[i].as_ref() {
+                return Err(crate::StorageError::Corrupt(
+                    "global dictionary not strictly sorted".into(),
+                ));
+            }
+        }
+        Ok(GlobalDict { values })
+    }
+
+    /// Binary-search a value; returns its global id if present.
+    pub fn lookup(&self, value: &str) -> Option<u32> {
+        self.values.binary_search_by(|v| v.as_ref().cmp(value)).ok().map(|i| i as u32)
+    }
+
+    /// The value for a global id.
+    #[inline]
+    pub fn value(&self, gid: u32) -> &Arc<str> {
+        &self.values[gid as usize]
+    }
+
+    /// The insertion point of a value: the number of dictionary entries
+    /// strictly less than it. Because global ids are assigned in sorted
+    /// order, `gid < rank(v)` ⟺ `dict[gid] < v`, which lets ordering
+    /// predicates on strings be evaluated directly on dictionary codes even
+    /// when the literal itself is absent from the dictionary.
+    pub fn rank(&self, value: &str) -> u32 {
+        match self.values.binary_search_by(|v| v.as_ref().cmp(value)) {
+            Ok(i) | Err(i) => i as u32,
+        }
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All values in sorted order.
+    pub fn values(&self) -> &[Arc<str>] {
+        &self.values
+    }
+
+    /// Approximate heap bytes (for storage statistics).
+    pub fn heap_bytes(&self) -> usize {
+        self.values.iter().map(|v| v.len() + 8).sum::<usize>() + self.values.len() * 16
+    }
+}
+
+/// Chunk dictionary: the sorted global ids present in one chunk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChunkDict {
+    global_ids: Vec<u32>,
+}
+
+impl ChunkDict {
+    /// Build from the (possibly unsorted, duplicated) global ids of a chunk
+    /// column segment.
+    pub fn build(mut gids: Vec<u32>) -> Self {
+        gids.sort_unstable();
+        gids.dedup();
+        ChunkDict { global_ids: gids }
+    }
+
+    /// Rebuild from already-sorted unique ids (persistence path).
+    pub fn from_sorted(global_ids: Vec<u32>) -> crate::Result<Self> {
+        for i in 1..global_ids.len() {
+            if global_ids[i - 1] >= global_ids[i] {
+                return Err(crate::StorageError::Corrupt(
+                    "chunk dictionary not strictly sorted".into(),
+                ));
+            }
+        }
+        Ok(ChunkDict { global_ids })
+    }
+
+    /// Binary-search a global id; returns the chunk id if the value occurs
+    /// in this chunk. `None` proves absence (chunk pruning).
+    #[inline]
+    pub fn find(&self, gid: u32) -> Option<u32> {
+        self.global_ids.binary_search(&gid).ok().map(|i| i as u32)
+    }
+
+    /// The global id for a chunk id.
+    #[inline]
+    pub fn global_id(&self, chunk_id: u32) -> u32 {
+        self.global_ids[chunk_id as usize]
+    }
+
+    /// Number of distinct values in the chunk.
+    pub fn len(&self) -> usize {
+        self.global_ids.len()
+    }
+
+    /// Whether the chunk dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.global_ids.is_empty()
+    }
+
+    /// Sorted global ids (for persistence).
+    pub fn global_ids(&self) -> &[u32] {
+        &self.global_ids
+    }
+
+    /// Bytes used by the id list.
+    pub fn heap_bytes(&self) -> usize {
+        self.global_ids.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn global_dict_sorted_lookup() {
+        let d = GlobalDict::build(["shop", "launch", "fight", "shop"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.lookup("fight"), Some(0));
+        assert_eq!(d.lookup("launch"), Some(1));
+        assert_eq!(d.lookup("shop"), Some(2));
+        assert_eq!(d.lookup("quest"), None);
+        assert_eq!(d.value(1).as_ref(), "launch");
+    }
+
+    #[test]
+    fn rank_orders_strings_via_gids() {
+        let d = GlobalDict::build(["fight", "launch", "shop"]);
+        assert_eq!(d.rank("fight"), 0);
+        assert_eq!(d.rank("launch"), 1);
+        assert_eq!(d.rank("a"), 0); // before everything
+        assert_eq!(d.rank("m"), 2); // between launch and shop
+        assert_eq!(d.rank("z"), 3); // after everything
+        // gid < rank(v)  <=>  dict[gid] < v
+        for v in ["a", "fight", "g", "launch", "m", "shop", "z"] {
+            for gid in 0..d.len() as u32 {
+                assert_eq!(gid < d.rank(v), d.value(gid).as_ref() < v);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_dict_two_level_mapping() {
+        // Chunk contains global ids {7, 2, 9, 2}.
+        let cd = ChunkDict::build(vec![7, 2, 9, 2]);
+        assert_eq!(cd.len(), 3);
+        assert_eq!(cd.find(2), Some(0));
+        assert_eq!(cd.find(7), Some(1));
+        assert_eq!(cd.find(9), Some(2));
+        assert_eq!(cd.find(5), None); // absence proof
+        assert_eq!(cd.global_id(1), 7);
+    }
+
+    #[test]
+    fn from_sorted_rejects_disorder() {
+        assert!(GlobalDict::from_sorted(vec![Arc::from("b"), Arc::from("a")]).is_err());
+        assert!(GlobalDict::from_sorted(vec![Arc::from("a"), Arc::from("a")]).is_err());
+        assert!(ChunkDict::from_sorted(vec![3, 1]).is_err());
+        assert!(ChunkDict::from_sorted(vec![1, 1]).is_err());
+    }
+
+    #[test]
+    fn empty_dicts() {
+        let d = GlobalDict::build([]);
+        assert!(d.is_empty());
+        assert_eq!(d.lookup("x"), None);
+        let cd = ChunkDict::build(vec![]);
+        assert!(cd.is_empty());
+        assert_eq!(cd.find(0), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_global_dict_total(values in proptest::collection::vec("[a-z]{1,6}", 0..100)) {
+            let d = GlobalDict::build(values.iter().map(|s| s.as_str()));
+            for v in &values {
+                let gid = d.lookup(v).expect("every inserted value resolvable");
+                prop_assert_eq!(d.value(gid).as_ref(), v.as_str());
+            }
+            // Sorted order of ids mirrors lexicographic order of values.
+            for w in d.values().windows(2) {
+                prop_assert!(w[0].as_ref() < w[1].as_ref());
+            }
+        }
+
+        #[test]
+        fn prop_chunk_dict_total(gids in proptest::collection::vec(0u32..50, 0..200)) {
+            let cd = ChunkDict::build(gids.clone());
+            for g in &gids {
+                let cid = cd.find(*g).expect("present gid resolvable");
+                prop_assert_eq!(cd.global_id(cid), *g);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors raised while compressing, reading, or persisting activity tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The on-disk data is malformed.
+    Corrupt(String),
+    /// Unsupported format version in the file header.
+    BadVersion(u32),
+    /// Underlying I/O failure.
+    Io(String),
+    /// Attempted to read a row or column that does not exist.
+    OutOfBounds {
+        /// What was indexed.
+        what: &'static str,
+        /// Requested index.
+        index: usize,
+        /// Number of valid entries.
+        len: usize,
+    },
+    /// The activity table violated an invariant the format needs.
+    Invalid(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
+            StorageError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            StorageError::Io(m) => write!(f, "io error: {m}"),
+            StorageError::OutOfBounds { what, index, len } => {
+                write!(f, "{what} index {index} out of bounds (len {len})")
+            }
+            StorageError::Invalid(m) => write!(f, "invalid input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,52 @@
+//! # cohana-storage
+//!
+//! COHANA's storage format for activity tables (§4.1 of the paper).
+//!
+//! An activity table is stored in the sorted order of its primary key
+//! `(Au, At, Ae)` and horizontally partitioned into **chunks** such that all
+//! tuples of a user land in exactly one chunk. Within a chunk, data is stored
+//! column by column:
+//!
+//! * the **user column** is run-length encoded as `(user, first, count)`
+//!   triples, enabling the modified TableScan's `GetNextUser` /
+//!   `SkipCurUser`;
+//! * **string columns** (action, dimensions) use a *two-level dictionary*:
+//!   a global dictionary of sorted unique values assigns *global ids*; each
+//!   chunk keeps the sorted list of global ids present (the *chunk
+//!   dictionary*) and stores each value as its position in that list (the
+//!   *chunk id*). A birth action absent from a chunk dictionary lets the
+//!   executor skip the whole chunk;
+//! * **integer columns** (time, measures) use *two-level delta encoding*:
+//!   a global `[min, max]` range, a per-chunk range, and per-value deltas
+//!   from the chunk minimum. Disjoint chunk ranges let the executor skip
+//!   chunks for time-range predicates;
+//! * the resulting small integers are **bit-packed at fixed width**, chosen
+//!   as the minimum number of bits for the largest value, packing as many
+//!   values as fit into each 64-bit word **without spanning words**, so any
+//!   value can be read randomly without decompression.
+//!
+//! [`CompressedTable::build`] compresses an
+//! [`ActivityTable`](cohana_activity::ActivityTable); [`persist`] serializes
+//! the compressed form to a compact binary file.
+
+pub mod bitpack;
+pub mod chunk;
+pub mod column;
+pub mod dict;
+pub mod error;
+pub mod persist;
+pub mod rle;
+pub mod stats;
+pub mod table;
+
+pub use bitpack::BitPacked;
+pub use chunk::Chunk;
+pub use column::ChunkColumn;
+pub use dict::{ChunkDict, GlobalDict};
+pub use error::StorageError;
+pub use rle::UserRle;
+pub use stats::StorageStats;
+pub use table::{ColumnMeta, CompressedTable, CompressionOptions};
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

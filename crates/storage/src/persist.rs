@@ -1,0 +1,397 @@
+//! Binary persistence of compressed tables.
+//!
+//! The format is a single self-describing blob:
+//!
+//! ```text
+//! magic "COHA" | version u32 | options | schema | metas | num_rows u64
+//!   | chunk count u32 | chunks…
+//! ```
+//!
+//! All integers are little-endian. Bit-packed arrays are stored as
+//! `width u8 | len u64 | words…`, so a file can be mapped and read back with
+//! the same random-access guarantees as the in-memory form.
+
+use crate::bitpack::BitPacked;
+use crate::chunk::Chunk;
+use crate::column::ChunkColumn;
+use crate::dict::{ChunkDict, GlobalDict};
+use crate::rle::UserRle;
+use crate::table::{ColumnMeta, CompressedTable, CompressionOptions};
+use crate::{Result, StorageError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cohana_activity::{Attribute, AttributeRole, Schema, ValueType};
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: u32 = 0x434F_4841; // "COHA"
+const VERSION: u32 = 1;
+
+/// Serialize a compressed table to bytes.
+pub fn to_bytes(table: &CompressedTable) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(table.options().chunk_size as u64);
+    write_schema(&mut buf, table.schema());
+    for meta in table.metas() {
+        write_meta(&mut buf, meta);
+    }
+    buf.put_u64_le(table.num_rows() as u64);
+    buf.put_u32_le(table.chunks().len() as u32);
+    for chunk in table.chunks() {
+        write_chunk(&mut buf, chunk);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a compressed table from bytes.
+pub fn from_bytes(mut buf: &[u8]) -> Result<CompressedTable> {
+    let magic = get_u32(&mut buf)?;
+    if magic != MAGIC {
+        return Err(StorageError::Corrupt(format!("bad magic {magic:#x}")));
+    }
+    let version = get_u32(&mut buf)?;
+    if version != VERSION {
+        return Err(StorageError::BadVersion(version));
+    }
+    let chunk_size = get_u64(&mut buf)? as usize;
+    let schema = read_schema(&mut buf)?;
+    let mut metas = Vec::with_capacity(schema.arity());
+    for _ in 0..schema.arity() {
+        metas.push(read_meta(&mut buf)?);
+    }
+    let num_rows = get_u64(&mut buf)? as usize;
+    let num_chunks = get_u32(&mut buf)? as usize;
+    let mut chunks = Vec::with_capacity(num_chunks);
+    for _ in 0..num_chunks {
+        chunks.push(read_chunk(&mut buf, schema.arity())?);
+    }
+    if buf.has_remaining() {
+        return Err(StorageError::Corrupt(format!("{} trailing bytes", buf.remaining())));
+    }
+    CompressedTable::from_parts(
+        schema,
+        metas,
+        chunks,
+        num_rows,
+        CompressionOptions::with_chunk_size(chunk_size.max(1)),
+    )
+}
+
+/// Write a compressed table to a file.
+pub fn write_file(table: &CompressedTable, path: &Path) -> Result<()> {
+    std::fs::write(path, to_bytes(table))?;
+    Ok(())
+}
+
+/// Read a compressed table from a file.
+pub fn read_file(path: &Path) -> Result<CompressedTable> {
+    let data = std::fs::read(path)?;
+    from_bytes(&data)
+}
+
+// ---------------------------------------------------------------- helpers
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8> {
+    if buf.remaining() < 1 {
+        return Err(StorageError::Corrupt("unexpected end of input".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(StorageError::Corrupt("unexpected end of input".into()));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(StorageError::Corrupt("unexpected end of input".into()));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_i64(buf: &mut &[u8]) -> Result<i64> {
+    Ok(get_u64(buf)? as i64)
+}
+
+fn write_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn read_str(buf: &mut &[u8]) -> Result<String> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(StorageError::Corrupt("string overruns input".into()));
+    }
+    let s = std::str::from_utf8(&buf[..len])
+        .map_err(|_| StorageError::Corrupt("invalid utf-8".into()))?
+        .to_string();
+    buf.advance(len);
+    Ok(s)
+}
+
+fn write_schema(buf: &mut BytesMut, schema: &Schema) {
+    buf.put_u16_le(schema.arity() as u16);
+    for attr in schema.attributes() {
+        write_str(buf, &attr.name);
+        buf.put_u8(match attr.vtype {
+            ValueType::Str => 0,
+            ValueType::Int => 1,
+        });
+        buf.put_u8(match attr.role {
+            AttributeRole::User => 0,
+            AttributeRole::Time => 1,
+            AttributeRole::Action => 2,
+            AttributeRole::Dimension => 3,
+            AttributeRole::Measure => 4,
+        });
+    }
+}
+
+fn read_schema(buf: &mut &[u8]) -> Result<Schema> {
+    if buf.remaining() < 2 {
+        return Err(StorageError::Corrupt("unexpected end of input".into()));
+    }
+    let arity = buf.get_u16_le() as usize;
+    let mut attrs = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let name = read_str(buf)?;
+        let vtype = match get_u8(buf)? {
+            0 => ValueType::Str,
+            1 => ValueType::Int,
+            t => return Err(StorageError::Corrupt(format!("bad value type {t}"))),
+        };
+        let role = match get_u8(buf)? {
+            0 => AttributeRole::User,
+            1 => AttributeRole::Time,
+            2 => AttributeRole::Action,
+            3 => AttributeRole::Dimension,
+            4 => AttributeRole::Measure,
+            r => return Err(StorageError::Corrupt(format!("bad role {r}"))),
+        };
+        attrs.push(Attribute::new(name, vtype, role));
+    }
+    Schema::new(attrs).map_err(|e| StorageError::Corrupt(e.to_string()))
+}
+
+fn write_dict(buf: &mut BytesMut, dict: &GlobalDict) {
+    buf.put_u32_le(dict.len() as u32);
+    for v in dict.values() {
+        write_str(buf, v);
+    }
+}
+
+fn read_dict(buf: &mut &[u8]) -> Result<GlobalDict> {
+    let n = get_u32(buf)? as usize;
+    // Each value consumes at least its 4-byte length prefix; a larger count
+    // is corruption, and guarding here prevents huge pre-allocations.
+    if n > buf.remaining() / 4 {
+        return Err(StorageError::Corrupt(format!("dictionary count {n} overruns input")));
+    }
+    let mut values: Vec<Arc<str>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(Arc::from(read_str(buf)?));
+    }
+    GlobalDict::from_sorted(values)
+}
+
+fn write_meta(buf: &mut BytesMut, meta: &ColumnMeta) {
+    match meta {
+        ColumnMeta::User { dict } => {
+            buf.put_u8(0);
+            write_dict(buf, dict);
+        }
+        ColumnMeta::Str { dict } => {
+            buf.put_u8(1);
+            write_dict(buf, dict);
+        }
+        ColumnMeta::Int { min, max } => {
+            buf.put_u8(2);
+            buf.put_u64_le(*min as u64);
+            buf.put_u64_le(*max as u64);
+        }
+    }
+}
+
+fn read_meta(buf: &mut &[u8]) -> Result<ColumnMeta> {
+    match get_u8(buf)? {
+        0 => Ok(ColumnMeta::User { dict: read_dict(buf)? }),
+        1 => Ok(ColumnMeta::Str { dict: read_dict(buf)? }),
+        2 => {
+            let min = get_i64(buf)?;
+            let max = get_i64(buf)?;
+            Ok(ColumnMeta::Int { min, max })
+        }
+        t => Err(StorageError::Corrupt(format!("bad meta tag {t}"))),
+    }
+}
+
+fn write_packed(buf: &mut BytesMut, packed: &BitPacked) {
+    buf.put_u8(packed.width());
+    buf.put_u64_le(packed.len() as u64);
+    for w in packed.words() {
+        buf.put_u64_le(*w);
+    }
+}
+
+fn read_packed(buf: &mut &[u8]) -> Result<BitPacked> {
+    let width = get_u8(buf)?;
+    if width > 64 {
+        return Err(StorageError::Corrupt(format!("bad bit width {width}")));
+    }
+    let len = get_u64(buf)? as usize;
+    // Guard against corrupt lengths before allocating: at `width > 0`, the
+    // packed words must actually be present in the input.
+    let num_words = if width == 0 {
+        0
+    } else {
+        len.div_ceil((64 / width as usize).max(1))
+    };
+    if num_words > buf.remaining() / 8 {
+        return Err(StorageError::Corrupt("bitpack words overrun input".into()));
+    }
+    let mut words = Vec::with_capacity(num_words);
+    for _ in 0..num_words {
+        words.push(buf.get_u64_le());
+    }
+    BitPacked::from_raw(width, len, words)
+}
+
+fn write_chunk(buf: &mut BytesMut, chunk: &Chunk) {
+    let (users, firsts, counts) = chunk.user_rle().parts();
+    write_packed(buf, users);
+    write_packed(buf, firsts);
+    write_packed(buf, counts);
+    buf.put_u16_le(chunk.columns().len() as u16);
+    for col in chunk.columns() {
+        match col {
+            None => buf.put_u8(0),
+            Some(ChunkColumn::Str { dict, codes }) => {
+                buf.put_u8(1);
+                buf.put_u32_le(dict.len() as u32);
+                for gid in dict.global_ids() {
+                    buf.put_u32_le(*gid);
+                }
+                write_packed(buf, codes);
+            }
+            Some(ChunkColumn::Int { min, max, deltas }) => {
+                buf.put_u8(2);
+                buf.put_u64_le(*min as u64);
+                buf.put_u64_le(*max as u64);
+                write_packed(buf, deltas);
+            }
+        }
+    }
+}
+
+fn read_chunk(buf: &mut &[u8], arity: usize) -> Result<Chunk> {
+    let users = read_packed(buf)?;
+    let firsts = read_packed(buf)?;
+    let counts = read_packed(buf)?;
+    let rle = UserRle::from_parts(users, firsts, counts)?;
+    if buf.remaining() < 2 {
+        return Err(StorageError::Corrupt("unexpected end of input".into()));
+    }
+    let ncols = buf.get_u16_le() as usize;
+    if ncols != arity {
+        return Err(StorageError::Corrupt(format!("chunk has {ncols} columns, schema {arity}")));
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        match get_u8(buf)? {
+            0 => columns.push(None),
+            1 => {
+                let n = get_u32(buf)? as usize;
+                if n > buf.remaining() / 4 {
+                    return Err(StorageError::Corrupt(format!(
+                        "chunk dictionary count {n} overruns input"
+                    )));
+                }
+                let mut gids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    gids.push(get_u32(buf)?);
+                }
+                let dict = ChunkDict::from_sorted(gids)?;
+                let codes = read_packed(buf)?;
+                columns.push(Some(ChunkColumn::Str { dict, codes }));
+            }
+            2 => {
+                let min = get_i64(buf)?;
+                let max = get_i64(buf)?;
+                let deltas = read_packed(buf)?;
+                columns.push(Some(ChunkColumn::Int { min, max, deltas }));
+            }
+            t => return Err(StorageError::Corrupt(format!("bad column tag {t}"))),
+        }
+    }
+    Chunk::new(rle, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohana_activity::{generate, GeneratorConfig};
+
+    fn compressed() -> CompressedTable {
+        let t = generate(&GeneratorConfig::small());
+        CompressedTable::build(&t, CompressionOptions::with_chunk_size(256)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let c = compressed();
+        let bytes = to_bytes(&c);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.num_rows(), c.num_rows());
+        assert_eq!(back.chunks(), c.chunks());
+        assert_eq!(back.schema(), c.schema());
+        // Full decode equality.
+        assert_eq!(back.decompress().unwrap().rows(), c.decompress().unwrap().rows());
+    }
+
+    #[test]
+    fn roundtrip_file() {
+        let c = compressed();
+        let dir = std::env::temp_dir().join("cohana-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.cohana");
+        write_file(&c, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.num_rows(), c.num_rows());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = to_bytes(&compressed()).to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(from_bytes(&bytes).unwrap_err(), StorageError::Corrupt(_)));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = to_bytes(&compressed()).to_vec();
+        bytes[4] = 99;
+        assert!(matches!(from_bytes(&bytes).unwrap_err(), StorageError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = to_bytes(&compressed()).to_vec();
+        // Truncating at any prefix must error, never panic.
+        for cut in (0..bytes.len().min(400)).chain([bytes.len() - 1]) {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = to_bytes(&compressed()).to_vec();
+        bytes.push(0);
+        assert!(matches!(from_bytes(&bytes).unwrap_err(), StorageError::Corrupt(_)));
+    }
+}

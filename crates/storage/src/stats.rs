@@ -1,0 +1,121 @@
+//! Storage statistics (powers the Figure 7 storage-size experiment).
+
+use crate::column::ChunkColumn;
+use crate::table::{ColumnMeta, CompressedTable};
+
+/// Byte-level accounting of a compressed table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Total tuples.
+    pub num_rows: usize,
+    /// Distinct users.
+    pub num_users: usize,
+    /// Number of chunks.
+    pub num_chunks: usize,
+    /// Bytes of all global dictionaries.
+    pub global_dict_bytes: usize,
+    /// Bytes of all chunk dictionaries.
+    pub chunk_dict_bytes: usize,
+    /// Bytes of bit-packed payloads (codes, deltas, RLE triples).
+    pub packed_bytes: usize,
+    /// Per-attribute payload bytes, indexed by schema position.
+    pub column_bytes: Vec<usize>,
+}
+
+impl StorageStats {
+    /// Compute statistics for a compressed table.
+    pub fn of(table: &CompressedTable) -> Self {
+        let arity = table.schema().arity();
+        let mut column_bytes = vec![0usize; arity];
+        let mut chunk_dict_bytes = 0usize;
+        let mut packed_bytes = 0usize;
+
+        let global_dict_bytes = table
+            .metas()
+            .iter()
+            .map(|m| match m {
+                ColumnMeta::User { dict } | ColumnMeta::Str { dict } => dict.heap_bytes(),
+                ColumnMeta::Int { .. } => 16,
+            })
+            .sum();
+
+        let user_idx = table.schema().user_idx();
+        for chunk in table.chunks() {
+            let rle_bytes = chunk.user_rle().packed_bytes();
+            column_bytes[user_idx] += rle_bytes;
+            packed_bytes += rle_bytes;
+            for (idx, col) in chunk.columns().iter().enumerate() {
+                if let Some(col) = col {
+                    column_bytes[idx] += col.packed_bytes();
+                    match col {
+                        ChunkColumn::Str { dict, codes } => {
+                            chunk_dict_bytes += dict.heap_bytes();
+                            packed_bytes += codes.packed_bytes();
+                        }
+                        ChunkColumn::Int { deltas, .. } => {
+                            packed_bytes += deltas.packed_bytes() + 16;
+                        }
+                    }
+                }
+            }
+        }
+
+        StorageStats {
+            num_rows: table.num_rows(),
+            num_users: table.num_users(),
+            num_chunks: table.chunks().len(),
+            global_dict_bytes,
+            chunk_dict_bytes,
+            packed_bytes,
+            column_bytes,
+        }
+    }
+
+    /// Total compressed footprint in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.global_dict_bytes + self.chunk_dict_bytes + self.packed_bytes
+    }
+
+    /// Bytes per tuple (compression quality measure).
+    pub fn bytes_per_tuple(&self) -> f64 {
+        if self.num_rows == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.num_rows as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{CompressionOptions, CompressedTable};
+    use cohana_activity::{generate, GeneratorConfig};
+
+    #[test]
+    fn stats_add_up() {
+        let t = generate(&GeneratorConfig::small());
+        let c = CompressedTable::build(&t, CompressionOptions::with_chunk_size(512)).unwrap();
+        let s = StorageStats::of(&c);
+        assert_eq!(s.num_rows, t.num_rows());
+        assert_eq!(s.num_users, t.num_users());
+        assert_eq!(s.num_chunks, c.chunks().len());
+        assert_eq!(s.column_bytes.iter().sum::<usize>(), s.packed_bytes + s.chunk_dict_bytes);
+        assert!(s.total_bytes() > 0);
+        assert!(s.bytes_per_tuple() > 0.0);
+    }
+
+    #[test]
+    fn larger_chunks_cost_more_bits_figure7() {
+        // Figure 7: storage grows with chunk size (more distinct values per
+        // chunk -> wider codes), though small datasets can be noisy; compare
+        // extreme settings on a moderately sized table.
+        let t = generate(&GeneratorConfig::new(400));
+        let small = CompressedTable::build(&t, CompressionOptions::with_chunk_size(512)).unwrap();
+        let large = CompressedTable::build(&t, CompressionOptions::with_chunk_size(1 << 22)).unwrap();
+        let sb = StorageStats::of(&small);
+        let lb = StorageStats::of(&large);
+        // Pure packed payload (codes) shrinks or stays equal with small chunks.
+        assert!(sb.packed_bytes <= lb.packed_bytes);
+    }
+}

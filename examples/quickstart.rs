@@ -1,0 +1,41 @@
+//! Quickstart: build an activity table, compress it, and run the paper's
+//! Example 1 cohort analysis.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cohana::prelude::*;
+use cohana::engine::AggFunc;
+use cohana::engine::Expr;
+
+fn main() {
+    // 1. A synthetic mobile-game activity table (deterministic).
+    let table = generate(&GeneratorConfig::new(300));
+    println!("Activity table: {} tuples from {} users", table.num_rows(), table.num_users());
+    println!("\nFirst rows (Table 1 of the paper):\n{}", table.preview(6));
+
+    // 2. Compress into COHANA's chunked columnar format and open an engine.
+    let engine = Cohana::from_activity_table(&table, CompressionOptions::default())
+        .expect("compression succeeds");
+
+    // 3. Example 1: players born (first launch) in the dwarf role, cohorted
+    //    by birth country; total gold spent on in-game shopping per age.
+    let query = CohortQuery::builder("launch")
+        .birth_where(Expr::attr("role").eq(Expr::lit_str("dwarf")))
+        .age_where(Expr::attr("action").eq(Expr::lit_str("shop")))
+        .cohort_by(["country"])
+        .aggregate(AggFunc::sum("gold"))
+        .build()
+        .expect("valid query");
+
+    println!("Query:\n{}\n", query.to_sql());
+    println!("Optimized plan (Figure 5):\n{}", engine.explain(&query).unwrap());
+
+    let report = engine.execute(&query).expect("query executes");
+    println!("First rows of the report:");
+    let mut preview = report.clone();
+    preview.rows.truncate(12);
+    println!("{}", preview.pretty());
+    println!("({} (cohort, age) rows total)", report.num_rows());
+}

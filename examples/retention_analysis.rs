@@ -1,0 +1,56 @@
+//! User-retention analysis (§4.5): the paper's Q1/Q2 — per-country launch
+//! cohorts with `UserCount()` retained users per age — plus an age-bounded
+//! variant (Q7).
+//!
+//! ```sh
+//! cargo run --release --example retention_analysis
+//! ```
+
+use cohana::engine::{paper, AggFunc, Expr};
+use cohana::prelude::*;
+
+fn main() {
+    let table = generate(&GeneratorConfig::new(500));
+    let engine =
+        Cohana::from_activity_table(&table, CompressionOptions::default()).expect("compress");
+
+    // Q1: how many users of each country cohort come back at each age?
+    let report = engine.execute(&paper::q1()).expect("Q1 executes");
+    println!("Q1 — country launch cohorts, retained users by age (day):");
+    println!("{}", report.pivot(0));
+
+    // Retention *rates* via the analysis helpers: measure / cohort size.
+    println!("Day-1 / day-7 retention rates per cohort:");
+    println!("{:<16} {:>6} {:>8} {:>8}", "cohort", "size", "day-1", "day-7");
+    for series in cohana::engine::analysis::retention_matrix(&report, 0) {
+        let rate = |age: i64| {
+            series
+                .points
+                .iter()
+                .find(|(a, _)| *a == age)
+                .and_then(|(_, v)| *v)
+                .map(|v| format!("{:.0}%", 100.0 * v))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!("{:<16} {:>6} {:>8} {:>8}", series.cohort[0], series.size, rate(1), rate(7));
+    }
+
+    // Q2: restrict to cohorts born in the first week.
+    let q2 = paper::q2();
+    let early = engine.execute(&q2).expect("Q2 executes");
+    println!("\nQ2 — cohorts born 2013-05-21..27 only: {} rows", early.num_rows());
+
+    // Q7-style: only the first week of each user's life, by role this time.
+    let q = CohortQuery::builder("launch")
+        .age_where(Expr::age().lt(Expr::lit_int(7)))
+        .cohort_by(["role"])
+        .aggregate(AggFunc::user_count())
+        .aggregate(AggFunc::count())
+        .build()
+        .expect("valid query");
+    let by_role = engine.execute(&q).expect("executes");
+    println!("\nFirst-week activity by birth role (UserCount + tuple Count):");
+    let mut preview = by_role.clone();
+    preview.rows.truncate(10);
+    println!("{}", preview.pretty());
+}

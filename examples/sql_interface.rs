@@ -1,0 +1,50 @@
+//! The extended SQL surface (§3.4) and mixed queries (§3.5): the exact
+//! query texts from the paper, parsed and executed.
+//!
+//! ```sh
+//! cargo run --release --example sql_interface
+//! ```
+
+use cohana::prelude::*;
+use cohana::sql::SqlExt;
+
+fn main() {
+    let table = generate(&GeneratorConfig::new(400));
+    let engine =
+        Cohana::from_activity_table(&table, CompressionOptions::default()).expect("compress");
+
+    // The paper's Q1, verbatim.
+    let q1 = "SELECT country, CohortSize, Age, UserCount() \
+              FROM GameActions BIRTH FROM action = \"launch\" \
+              COHORT BY country";
+    println!("-- Q1:\n{q1}\n");
+    println!("{}", engine.explain_sql(q1).unwrap());
+    let r1 = engine.query(q1).expect("Q1 runs");
+    println!("{} (cohort, age) rows\n", r1.num_rows());
+
+    // The paper's Q4: every operator at once.
+    let q4 = "SELECT country, COHORTSIZE, AGE, Avg(gold) \
+              FROM GameActions BIRTH FROM action = \"shop\" AND \
+              time BETWEEN \"2013-05-21\" AND \"2013-05-27\" AND \
+              role = \"dwarf\" AND \
+              country IN [\"China\", \"Australia\", \"United States\"] \
+              AGE ACTIVITIES IN action = \"shop\" AND country = Birth(country) \
+              COHORT BY country";
+    println!("-- Q4:\n{q4}\n");
+    let r4 = engine.query(q4).expect("Q4 runs");
+    println!("{}", r4.pretty());
+
+    // §3.5: a mixed query — SQL over a cohort sub-query.
+    let mixed = "WITH cohorts AS ( \
+                   SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent \
+                   FROM GameActions \
+                   AGE ACTIVITIES IN action = \"shop\" \
+                   BIRTH FROM action = \"launch\" \
+                   COHORT BY country ) \
+                 SELECT country, AGE, spent FROM cohorts \
+                 WHERE country IN [\"Australia\", \"China\"] \
+                 ORDER BY spent DESC LIMIT 8";
+    println!("-- Mixed query (§3.5):\n{mixed}\n");
+    let rm = engine.query_mixed(mixed).expect("mixed query runs");
+    println!("{}", rm.pretty());
+}

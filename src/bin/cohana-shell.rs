@@ -1,0 +1,224 @@
+//! `cohana-shell` — an interactive cohort-SQL shell over a synthetic or
+//! user-provided activity dataset.
+//!
+//! ```text
+//! cohana-shell [--users N] [--load FILE.cohana] [--csv FILE.csv]
+//!
+//! cohana> SELECT country, COHORTSIZE, AGE, UserCount()
+//!     ... FROM GameActions BIRTH FROM action = "launch"
+//!     ... COHORT BY country;
+//! cohana> .explain SELECT ... ;
+//! cohana> .pivot SELECT ... ;         -- render as a cohort matrix
+//! cohana> .schema | .stats | .save FILE | .help | .quit
+//! ```
+//!
+//! Statements end with `;`. `WITH … AS (…) SELECT …` mixed queries (§3.5)
+//! are supported.
+
+use cohana::prelude::*;
+use cohana::sql::SqlExt;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut users = 1_000usize;
+    let mut load: Option<String> = None;
+    let mut csv: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--users" => {
+                i += 1;
+                users = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bad --users value");
+                    std::process::exit(2);
+                });
+            }
+            "--load" => {
+                i += 1;
+                load = args.get(i).cloned();
+            }
+            "--csv" => {
+                i += 1;
+                csv = args.get(i).cloned();
+            }
+            "--help" | "-h" => {
+                println!("usage: cohana-shell [--users N] [--load FILE.cohana] [--csv FILE.csv]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let engine = Cohana::new(Default::default());
+    if let Some(path) = load {
+        match engine.load_file("GameActions", std::path::Path::new(&path)) {
+            Ok(t) => eprintln!("loaded {} tuples from {path}", t.num_rows()),
+            Err(e) => {
+                eprintln!("cannot load {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else if let Some(path) = csv {
+        let file = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let table = match cohana::activity::csv::read_csv(Schema::game_actions(), file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let compressed = CompressedTable::build(&table, CompressionOptions::default())
+            .expect("compression succeeds");
+        eprintln!("loaded {} tuples ({} users) from {path}", table.num_rows(), table.num_users());
+        engine.register("GameActions", compressed);
+    } else {
+        eprintln!("generating a synthetic dataset with {users} users…");
+        let table = generate(&GeneratorConfig::new(users));
+        let compressed = CompressedTable::build(&table, CompressionOptions::default())
+            .expect("compression succeeds");
+        eprintln!("ready: {} tuples, {} users", table.num_rows(), table.num_users());
+        engine.register("GameActions", compressed);
+    }
+    eprintln!("type .help for commands; statements end with `;`\n");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    let interactive = atty_stdin();
+    loop {
+        if interactive {
+            if buffer.is_empty() {
+                print!("cohana> ");
+            } else {
+                print!("    ... ");
+            }
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !meta_command(&engine, trimmed) {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let stmt = buffer.trim().trim_end_matches(';').trim().to_string();
+        buffer.clear();
+        if stmt.is_empty() {
+            continue;
+        }
+        run_statement(&engine, &stmt, Render::Table);
+    }
+}
+
+/// Best-effort interactivity detection without extra dependencies: honour
+/// an explicit override, default to showing prompts.
+fn atty_stdin() -> bool {
+    std::env::var("COHANA_SHELL_NO_PROMPT").is_err()
+}
+
+enum Render {
+    Table,
+    Pivot,
+}
+
+fn run_statement(engine: &Cohana, stmt: &str, render: Render) {
+    let started = std::time::Instant::now();
+    if stmt.trim_start().to_ascii_uppercase().starts_with("WITH") {
+        match engine.query_mixed(stmt) {
+            Ok(res) => {
+                println!("{}", res.pretty());
+                println!("({} rows in {:.1?})", res.num_rows(), started.elapsed());
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+        return;
+    }
+    match engine.query(stmt) {
+        Ok(report) => {
+            match render {
+                Render::Table => println!("{}", report.pretty()),
+                Render::Pivot => println!("{}", report.pivot(0)),
+            }
+            println!("({} rows in {:.1?})", report.num_rows(), started.elapsed());
+        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+/// Handle a `.command`; returns false to quit.
+fn meta_command(engine: &Cohana, cmd: &str) -> bool {
+    let (name, rest) = match cmd.split_once(' ') {
+        Some((n, r)) => (n, r.trim()),
+        None => (cmd, ""),
+    };
+    match name {
+        ".quit" | ".exit" => return false,
+        ".help" => {
+            println!(
+                ".schema            show the activity table schema\n\
+                 .stats             storage statistics\n\
+                 .explain <query>   show the optimized plan\n\
+                 .pivot <query>;    run and render as a cohort matrix\n\
+                 .save <file>       persist the compressed table\n\
+                 .quit              exit"
+            );
+        }
+        ".schema" => {
+            if let Some(t) = engine.table("GameActions") {
+                for a in t.schema().attributes() {
+                    println!("{:<10} {:<8} {:?}", a.name, a.vtype.name(), a.role);
+                }
+            }
+        }
+        ".stats" => {
+            if let Some(t) = engine.table("GameActions") {
+                let s = cohana::storage::StorageStats::of(&t);
+                println!(
+                    "{} tuples, {} users, {} chunks, {:.2} MB compressed ({:.2} bytes/tuple)",
+                    s.num_rows,
+                    s.num_users,
+                    s.num_chunks,
+                    s.total_bytes() as f64 / (1024.0 * 1024.0),
+                    s.bytes_per_tuple()
+                );
+            }
+        }
+        ".explain" => match engine.explain_sql(rest.trim_end_matches(';')) {
+            Ok(text) => println!("{text}"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ".pivot" => run_statement(engine, rest.trim_end_matches(';'), Render::Pivot),
+        ".save" => {
+            if rest.is_empty() {
+                eprintln!("usage: .save FILE");
+            } else if let Some(t) = engine.table("GameActions") {
+                match cohana::storage::persist::write_file(&t, std::path::Path::new(rest)) {
+                    Ok(()) => println!("saved to {rest}"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+        }
+        other => eprintln!("unknown command {other:?}; try .help"),
+    }
+    true
+}

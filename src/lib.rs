@@ -1,0 +1,59 @@
+//! # cohana
+//!
+//! Facade crate for the COHANA cohort query processing system, a from-scratch
+//! Rust reproduction of *"Cohort Query Processing"* (Jiang, Cai, Chen,
+//! Jagadish, Ooi, Tan, Tung — VLDB 2016).
+//!
+//! Cohort analysis groups users into *cohorts* by the circumstances of their
+//! *birth* (the first time they performed a chosen birth action) and tracks
+//! how each cohort's behaviour evolves with *age*, teasing apart the effect
+//! of aging from the effect of social change.
+//!
+//! This crate re-exports the individual subsystem crates:
+//!
+//! * [`activity`] — the activity-table data model and workload generator,
+//! * [`storage`] — COHANA's compressed, user-clustered columnar storage,
+//! * [`engine`] — the cohort algebra, planner, and physical operators,
+//! * [`sql`] — the extended SQL front end (`BIRTH FROM`, `AGE ACTIVITIES
+//!   IN`, `COHORT BY`),
+//! * [`relational`] — the row/columnar relational baselines (the paper's
+//!   Postgres / MonetDB stand-ins) with SQL- and materialized-view-based
+//!   cohort evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cohana::prelude::*;
+//!
+//! // Generate a small synthetic mobile-game dataset and compress it.
+//! let table = generate(&GeneratorConfig::small());
+//! let engine = Cohana::from_activity_table(&table, CompressionOptions::default()).unwrap();
+//!
+//! // Q1 of the paper: country launch cohorts, user retention by age.
+//! let report = engine
+//!     .query(
+//!         "SELECT country, COHORTSIZE, AGE, UserCount() \
+//!          FROM GameActions BIRTH FROM action = \"launch\" \
+//!          COHORT BY country",
+//!     )
+//!     .unwrap();
+//! assert!(report.num_rows() > 0);
+//! ```
+
+pub use cohana_activity as activity;
+pub use cohana_core as engine;
+pub use cohana_relational as relational;
+pub use cohana_sql as sql;
+pub use cohana_storage as storage;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use cohana_activity::{
+        generate, scale_table, ActivityTable, GeneratorConfig, Schema, TimeBin, Timestamp, Value,
+    };
+    pub use cohana_core::{
+        AggFunc, CohortQuery, CohortReport, Cohana, EngineOptions, PlannerOptions,
+    };
+    pub use cohana_sql::{parse_cohort_query, SqlExt};
+    pub use cohana_storage::{CompressedTable, CompressionOptions};
+}
