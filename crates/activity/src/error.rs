@@ -64,7 +64,9 @@ impl fmt::Display for ActivityError {
             ActivityError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
             ActivityError::UnknownAttribute(name) => write!(f, "unknown attribute {name:?}"),
             ActivityError::BadTimestamp(s) => write!(f, "cannot parse timestamp {s:?}"),
-            ActivityError::BadCsv { line, message } => write!(f, "csv error on line {line}: {message}"),
+            ActivityError::BadCsv { line, message } => {
+                write!(f, "csv error on line {line}: {message}")
+            }
             ActivityError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }

@@ -32,8 +32,22 @@ use std::sync::Arc;
 /// first action; `launch`, `shop`, and `achievement` are the birth actions
 /// used in the benchmark queries.
 pub const ACTIONS: [&str; 16] = [
-    "launch", "shop", "achievement", "fight", "quest", "chat", "trade", "upgrade", "craft",
-    "explore", "pvp", "daily", "gift", "guild", "tutorial", "logout",
+    "launch",
+    "shop",
+    "achievement",
+    "fight",
+    "quest",
+    "chat",
+    "trade",
+    "upgrade",
+    "craft",
+    "explore",
+    "pvp",
+    "daily",
+    "gift",
+    "guild",
+    "tutorial",
+    "logout",
 ];
 
 /// Relative frequencies for non-launch actions during a session.
@@ -73,7 +87,8 @@ const COUNTRIES: [(&str, u32, [&str; 3]); 12] = [
 
 /// Player roles; the role at birth drives the `role = "dwarf"` birth
 /// predicates of Q4.
-const ROLES: [&str; 8] = ["dwarf", "wizard", "assassin", "bandit", "knight", "archer", "mage", "priest"];
+const ROLES: [&str; 8] =
+    ["dwarf", "wizard", "assassin", "bandit", "knight", "archer", "mage", "priest"];
 
 /// Configuration for the synthetic workload.
 #[derive(Debug, Clone)]
@@ -148,11 +163,8 @@ pub fn generate(config: &GeneratorConfig) -> ActivityTable {
     let est_per_user = (config.base_intensity * config.retention_days) as usize + 4;
     let mut builder = TableBuilder::with_capacity(schema, config.num_users * est_per_user);
 
-    let country_items: Vec<((usize, &str), u32)> = COUNTRIES
-        .iter()
-        .enumerate()
-        .map(|(i, (name, w, _))| ((i, *name), *w))
-        .collect();
+    let country_items: Vec<((usize, &str), u32)> =
+        COUNTRIES.iter().enumerate().map(|(i, (name, w, _))| ((i, *name), *w)).collect();
     let action_arcs: Vec<(Arc<str>, u32)> =
         ACTION_WEIGHTS.iter().map(|(a, w)| (Arc::<str>::from(*a), *w)).collect();
     let launch: Arc<str> = Arc::from("launch");
@@ -176,8 +188,7 @@ fn emit_user(
 ) {
     let (country_idx, country) = *pick_weighted(rng, country_items);
     let country: Arc<str> = Arc::from(country);
-    let city: Arc<str> =
-        Arc::from(COUNTRIES[country_idx].2[rng.random_range(0..3usize)]);
+    let city: Arc<str> = Arc::from(COUNTRIES[country_idx].2[rng.random_range(0..3usize)]);
     let mut role: Arc<str> = Arc::from(ROLES[rng.random_range(0..ROLES.len())]);
 
     // Birth day: truncated exponential over the window -> concave CDF.
@@ -198,15 +209,15 @@ fn emit_user(
     // Occupied (time, action) pairs enforce the primary key.
     let mut used: HashSet<(i64, u32)> = HashSet::new();
     let push = |builder: &mut TableBuilder,
-                    used: &mut HashSet<(i64, u32)>,
-                    mut secs: i64,
-                    action: &Arc<str>,
-                    action_code: u32,
-                    role: &Arc<str>,
-                    gold: i64,
-                    session: i64,
-                    country: &Arc<str>,
-                    city: &Arc<str>| {
+                used: &mut HashSet<(i64, u32)>,
+                mut secs: i64,
+                action: &Arc<str>,
+                action_code: u32,
+                role: &Arc<str>,
+                gold: i64,
+                session: i64,
+                country: &Arc<str>,
+                city: &Arc<str>| {
         while !used.insert((secs, action_code)) {
             secs += 1;
         }
@@ -227,7 +238,18 @@ fn emit_user(
     // Birth tuple: the first launch.
     let birth_secs =
         birth_day as i64 * SECONDS_PER_DAY + rng.random_range(6 * 3600..23 * 3600) as i64;
-    push(builder, &mut used, birth_secs, launch, 0, &role, 0, rng.random_range(1..30), &country, &city);
+    push(
+        builder,
+        &mut used,
+        birth_secs,
+        launch,
+        0,
+        &role,
+        0,
+        rng.random_range(1..30),
+        &country,
+        &city,
+    );
 
     // Subsequent days: intensity decays with age (the aging effect).
     let remaining = config.num_days - birth_day;
@@ -245,7 +267,18 @@ fn emit_user(
         let day_base = (birth_day + age_day) as i64 * SECONDS_PER_DAY;
         if age_day > 0 {
             let secs = day_base + rng.random_range(6 * 3600..10 * 3600) as i64;
-            push(builder, &mut used, secs, launch, 0, &role, 0, rng.random_range(1..30), &country, &city);
+            push(
+                builder,
+                &mut used,
+                secs,
+                launch,
+                0,
+                &role,
+                0,
+                rng.random_range(1..30),
+                &country,
+                &city,
+            );
         }
         // On the birth day, activities must not precede the birth tuple
         // (every user's first action is `launch`).
@@ -282,7 +315,18 @@ fn emit_user(
                 0
             };
             let session = rng.random_range(1..120);
-            push(builder, &mut used, secs, action, action_code, &role, gold, session, &country, &city);
+            push(
+                builder,
+                &mut used,
+                secs,
+                action,
+                action_code,
+                &role,
+                gold,
+                session,
+                &country,
+                &city,
+            );
         }
     }
 }

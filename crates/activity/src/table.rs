@@ -213,9 +213,7 @@ impl Iterator for UserBlocks<'_> {
         let uidx = self.table.schema.user_idx();
         let user = self.table.rows[start].get(uidx).as_str().expect("user is a string");
         let mut end = start + 1;
-        while end < self.table.rows.len()
-            && self.table.rows[end].get(uidx).as_str() == Some(user)
-        {
+        while end < self.table.rows.len() && self.table.rows[end].get(uidx).as_str() == Some(user) {
             end += 1;
         }
         self.pos = end;
@@ -232,7 +230,16 @@ mod tests {
     fn paper_table() -> ActivityTable {
         // The ten tuples of Table 1 in the paper (with city/session filled in).
         let mut b = TableBuilder::new(Schema::game_actions());
-        type RawRow = (&'static str, &'static str, &'static str, &'static str, &'static str, &'static str, i64, i64);
+        type RawRow = (
+            &'static str,
+            &'static str,
+            &'static str,
+            &'static str,
+            &'static str,
+            &'static str,
+            i64,
+            i64,
+        );
         let rows: [RawRow; 10] = [
             ("001", "2013/05/19:1000", "launch", "Australia", "Sydney", "dwarf", 10, 0),
             ("001", "2013/05/20:0800", "shop", "Australia", "Sydney", "dwarf", 15, 50),
@@ -277,8 +284,10 @@ mod tests {
     fn time_ordering_within_user() {
         let t = paper_table();
         for b in t.user_blocks() {
-            let times: Vec<i64> =
-                b.range().map(|i| t.rows()[i].get(t.schema().time_idx()).as_int().unwrap()).collect();
+            let times: Vec<i64> = b
+                .range()
+                .map(|i| t.rows()[i].get(t.schema().time_idx()).as_int().unwrap())
+                .collect();
             let mut sorted = times.clone();
             sorted.sort_unstable();
             assert_eq!(times, sorted);

@@ -18,7 +18,10 @@ fn bench_preparation(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300));
 
     g.bench_function("cohana_compress", |b| {
-        b.iter(|| CompressedTable::build(std::hint::black_box(&table), CompressionOptions::default()).unwrap())
+        b.iter(|| {
+            CompressedTable::build(std::hint::black_box(&table), CompressionOptions::default())
+                .unwrap()
+        })
     });
     g.bench_function("monet_create_mv", |b| {
         b.iter_batched(

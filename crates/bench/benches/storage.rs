@@ -1,9 +1,14 @@
 //! Storage-layer microbenchmarks: bit-packing random access, dictionary
 //! lookups, table compression and decompression — the primitives behind
-//! Figure 7 and the TableScan.
+//! Figure 7 and the TableScan — plus the v2 footer-indexed format's
+//! headline trade-off: eager whole-file loading vs. O(footer) lazy opening
+//! with on-demand chunk decode on a Q2-style selective query.
 
 use cohana_activity::{generate, GeneratorConfig};
-use cohana_storage::{bitpack::BitPacked, CompressedTable, CompressionOptions, GlobalDict};
+use cohana_core::{execute_plan, execute_source, paper, plan_query, PlannerOptions};
+use cohana_storage::{
+    bitpack::BitPacked, persist, CompressedTable, CompressionOptions, FileSource, GlobalDict,
+};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::time::Duration;
 
@@ -73,11 +78,7 @@ fn bench_compress(c: &mut Criterion) {
         })
     });
     g.bench_function("decompress_300u", |b| {
-        b.iter_batched(
-            || compressed.clone(),
-            |ct| ct.decompress().unwrap(),
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(|| compressed.clone(), |ct| ct.decompress().unwrap(), BatchSize::SmallInput)
     });
     g.bench_function("persist_roundtrip_300u", |b| {
         b.iter(|| {
@@ -88,5 +89,53 @@ fn bench_compress(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_bitpack, bench_dict, bench_compress);
+/// Eager vs. lazy access to a persisted v2 table: cold open alone, and cold
+/// open followed by a selective Q2 query (birth date range). The lazy path
+/// reads only the footer at open and, thanks to index-entry pruning, decodes
+/// only the chunks the query's birth window touches.
+///
+/// On the synthetic generator every chunk's time range overlaps the Q2 birth
+/// window (chunks are user-clustered and users span the whole observation
+/// period), so open+query converges for both paths; the structural win here
+/// is the O(footer) open. On time-clustered data the lazy path also skips
+/// whole chunks — see the decode-counting tests in
+/// `cohana-core/tests/lazy_storage.rs`.
+fn bench_lazy_vs_eager(c: &mut Criterion) {
+    let table = generate(&GeneratorConfig::new(300));
+    let compressed =
+        CompressedTable::build(&table, CompressionOptions::with_chunk_size(4 * 1024)).unwrap();
+    let dir = std::env::temp_dir().join("cohana-storage-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench-table.cohana");
+    persist::write_file(&compressed, &path).unwrap();
+    let query = paper::q2();
+    let plan = plan_query(&query, compressed.schema(), PlannerOptions::default()).unwrap();
+
+    let mut g = c.benchmark_group("v2_open");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    g.bench_function("eager_open", |b| {
+        b.iter(|| persist::read_file(std::hint::black_box(&path)).unwrap())
+    });
+    g.bench_function("lazy_open", |b| {
+        b.iter(|| FileSource::open(std::hint::black_box(&path)).unwrap())
+    });
+    g.bench_function("eager_open_plus_q2", |b| {
+        b.iter(|| {
+            let t = persist::read_file(&path).unwrap();
+            execute_plan(&t, &plan, 1).unwrap()
+        })
+    });
+    g.bench_function("lazy_open_plus_q2", |b| {
+        b.iter(|| {
+            let src = FileSource::open(&path).unwrap();
+            execute_source(&src, &plan, 1).unwrap()
+        })
+    });
+    g.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_bitpack, bench_dict, bench_compress, bench_lazy_vs_eager);
 criterion_main!(benches);

@@ -87,10 +87,7 @@ impl DatasetCache {
         if scale == 1 {
             return self.base.clone();
         }
-        self.scaled
-            .entry(scale)
-            .or_insert_with(|| Arc::new(scale_table(&self.base, scale)))
-            .clone()
+        self.scaled.entry(scale).or_insert_with(|| Arc::new(scale_table(&self.base, scale))).clone()
     }
 
     /// The compressed table at `(scale, chunk_size)`.

@@ -92,10 +92,9 @@ pub fn table3(cache: &mut DatasetCache) -> ExperimentResult {
         let mut row = vec![cohort[0].to_string(), size.to_string()];
         for age in &ages {
             row.push(match report.find(cohort, *age) {
-                Some(r) => r.measures[0]
-                    .as_f64()
-                    .map(|v| format!("{v:.0}"))
-                    .unwrap_or_else(|| "-".into()),
+                Some(r) => {
+                    r.measures[0].as_f64().map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into())
+                }
                 None => "-".into(),
             });
         }
@@ -119,12 +118,7 @@ pub fn fig6(cache: &mut DatasetCache) -> ExperimentResult {
             for &scale in &config.scales {
                 let table = cache.compressed(scale, chunk);
                 let d = time_cohana(&table, &q, config.runs, PlannerOptions::default());
-                out.push_row(vec![
-                    name.into(),
-                    chunk_label(chunk),
-                    scale.to_string(),
-                    fmt_secs(d),
-                ]);
+                out.push_row(vec![name.into(), chunk_label(chunk), scale.to_string(), fmt_secs(d)]);
             }
         }
     }

@@ -1,11 +1,10 @@
 //! Experiment result tables: aligned text for the terminal, CSV and JSON
 //! for further analysis.
 
-use serde::Serialize;
 use std::path::Path;
 
 /// One experiment's output table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Experiment id (e.g. `fig11-q1`).
     pub name: String,
@@ -71,12 +70,44 @@ impl ExperimentResult {
         out
     }
 
+    /// JSON rendering (hand-rolled; the environment builds without serde).
+    pub fn to_json(&self) -> String {
+        fn quote(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn string_array(items: &[String], indent: &str) -> String {
+            let body: Vec<String> = items.iter().map(|s| quote(s)).collect();
+            format!("{indent}[{}]", body.join(", "))
+        }
+        let rows: Vec<String> = self.rows.iter().map(|r| string_array(r, "    ")).collect();
+        format!(
+            "{{\n  \"name\": {},\n  \"description\": {},\n  \"headers\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            quote(&self.name),
+            quote(&self.description),
+            string_array(&self.headers, "").trim_start(),
+            rows.join(",\n")
+        )
+    }
+
     /// Write `name.csv` and `name.json` into a directory.
     pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join(format!("{}.csv", self.name)), self.to_csv())?;
-        let json = serde_json::to_string_pretty(self).expect("results serialize");
-        std::fs::write(dir.join(format!("{}.json", self.name)), json)?;
+        std::fs::write(dir.join(format!("{}.json", self.name)), self.to_json())?;
         Ok(())
     }
 }
@@ -86,11 +117,7 @@ mod tests {
     use super::*;
 
     fn sample() -> ExperimentResult {
-        let mut r = ExperimentResult::new(
-            "fig0",
-            "demo",
-            vec!["scale".into(), "time".into()],
-        );
+        let mut r = ExperimentResult::new("fig0", "demo", vec!["scale".into(), "time".into()]);
         r.push_row(vec!["1".into(), "0.5".into()]);
         r.push_row(vec!["2".into(), "1.1".into()]);
         r

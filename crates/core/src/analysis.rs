@@ -61,11 +61,7 @@ pub fn retention_matrix(report: &CohortReport, measure_idx: usize) -> Vec<Series
 
 /// One cohort's measure as a function of age (a Table 3 row: the aging
 /// effect).
-pub fn aging_trend(
-    report: &CohortReport,
-    cohort: &[Value],
-    measure_idx: usize,
-) -> Vec<(i64, f64)> {
+pub fn aging_trend(report: &CohortReport, cohort: &[Value], measure_idx: usize) -> Vec<(i64, f64)> {
     report
         .rows
         .iter()
@@ -101,8 +97,7 @@ pub fn diagonal(report: &CohortReport, measure_idx: usize) -> BTreeMap<i64, f64>
         let Ok(start) = cohana_activity::Timestamp::parse(label) else { continue };
         if let Some(v) = r.measures[measure_idx].as_f64() {
             // Calendar bucket index: bin start plus age units.
-            *out.entry(start.secs() / cohana_activity::SECONDS_PER_DAY + r.age).or_insert(0.0) +=
-                v;
+            *out.entry(start.secs() / cohana_activity::SECONDS_PER_DAY + r.age).or_insert(0.0) += v;
         }
     }
     out
@@ -175,10 +170,7 @@ mod tests {
                     measures: vec![AggValue::Int(4)],
                 },
             ],
-            cohort_sizes: BTreeMap::from([
-                (cohort("2013-05-16"), 10),
-                (cohort("2013-05-23"), 4),
-            ]),
+            cohort_sizes: BTreeMap::from([(cohort("2013-05-16"), 10), (cohort("2013-05-23"), 4)]),
         }
     }
 

@@ -2,16 +2,15 @@
 //! (Figure 4; the parser module lives in the `cohana-sql` crate).
 
 use crate::error::EngineError;
-use crate::exec::execute_plan;
+use crate::exec::execute_source;
 use crate::plan::{plan_query, PhysicalPlan, PlannerOptions};
 use crate::query::CohortQuery;
 use crate::report::CohortReport;
-use cohana_activity::ActivityTable;
-use cohana_storage::{CompressedTable, CompressionOptions};
-use parking_lot::RwLock;
+use cohana_activity::{ActivityTable, Schema};
+use cohana_storage::{ChunkSource, CompressedTable, CompressionOptions, FileSource};
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Engine-level options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,12 +31,34 @@ impl Default for EngineOptions {
 /// The default table name used by [`Cohana::from_activity_table`].
 pub const DEFAULT_TABLE: &str = "GameActions";
 
+/// One catalog slot: either a fully resident table or an arbitrary (e.g.
+/// lazily file-backed) chunk source. A resident table keeps its concrete
+/// type so callers can still reach `CompressedTable`-only APIs (stats,
+/// decompression, re-saving); both kinds execute through [`ChunkSource`].
+#[derive(Clone)]
+enum CatalogEntry {
+    Memory(Arc<CompressedTable>),
+    Source(Arc<dyn ChunkSource>),
+}
+
+impl CatalogEntry {
+    fn as_source(&self) -> Arc<dyn ChunkSource> {
+        match self {
+            CatalogEntry::Memory(table) => table.clone(),
+            CatalogEntry::Source(source) => source.clone(),
+        }
+    }
+}
+
 /// The COHANA cohort query engine.
 ///
-/// Holds a catalog of compressed activity tables and executes
-/// [`CohortQuery`]s against them. Cloning is cheap (tables are shared).
+/// Holds a catalog of activity tables — fully resident
+/// ([`Cohana::register`], [`Cohana::load_file`]) or lazily file-backed
+/// ([`Cohana::open_file`], [`Cohana::register_source`]) — and executes
+/// [`CohortQuery`]s against them. Cloning entries is cheap (tables are
+/// shared).
 pub struct Cohana {
-    catalog: RwLock<HashMap<String, Arc<CompressedTable>>>,
+    catalog: RwLock<HashMap<String, CatalogEntry>>,
     default_table: RwLock<Option<String>>,
     options: EngineOptions,
 }
@@ -45,11 +66,7 @@ pub struct Cohana {
 impl Cohana {
     /// An empty engine with the given options.
     pub fn new(options: EngineOptions) -> Self {
-        Cohana {
-            catalog: RwLock::new(HashMap::new()),
-            default_table: RwLock::new(None),
-            options,
-        }
+        Cohana { catalog: RwLock::new(HashMap::new()), default_table: RwLock::new(None), options }
     }
 
     /// Compress an activity table and register it as [`DEFAULT_TABLE`].
@@ -84,50 +101,96 @@ impl Cohana {
         self.options
     }
 
-    /// Register a compressed table under a name; the first registered table
-    /// becomes the default.
-    pub fn register(&self, name: impl Into<String>, table: CompressedTable) -> Arc<CompressedTable> {
-        let name = name.into();
-        let arc = Arc::new(table);
-        self.catalog.write().insert(name.clone(), arc.clone());
-        let mut default = self.default_table.write();
+    fn insert(&self, name: String, entry: CatalogEntry) {
+        self.catalog.write().unwrap().insert(name.clone(), entry);
+        let mut default = self.default_table.write().unwrap();
         if default.is_none() {
             *default = Some(name);
         }
+    }
+
+    /// Register a fully resident compressed table under a name; the first
+    /// registered table becomes the default.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        table: CompressedTable,
+    ) -> Arc<CompressedTable> {
+        let arc = Arc::new(table);
+        self.insert(name.into(), CatalogEntry::Memory(arc.clone()));
         arc
     }
 
-    /// Load a persisted table file and register it.
-    pub fn load_file(&self, name: impl Into<String>, path: &Path) -> Result<Arc<CompressedTable>, EngineError> {
+    /// Register any chunk source (e.g. a shared [`FileSource`]) under a
+    /// name; the first registered table becomes the default.
+    pub fn register_source(&self, name: impl Into<String>, source: Arc<dyn ChunkSource>) {
+        self.insert(name.into(), CatalogEntry::Source(source));
+    }
+
+    /// Load a persisted table file **eagerly** (materializing every chunk)
+    /// and register it. Reads both v1 and v2 files.
+    pub fn load_file(
+        &self,
+        name: impl Into<String>,
+        path: &Path,
+    ) -> Result<Arc<CompressedTable>, EngineError> {
         let table = cohana_storage::persist::read_file(path)?;
         Ok(self.register(name, table))
     }
 
-    /// Fetch a registered table.
+    /// Open a v2 persisted table file **lazily** and register it: only the
+    /// footer is read now; chunks are fetched and decoded on demand as
+    /// queries touch them.
+    pub fn open_file(
+        &self,
+        name: impl Into<String>,
+        path: &Path,
+    ) -> Result<Arc<FileSource>, EngineError> {
+        let source = Arc::new(FileSource::open(path)?);
+        self.register_source(name, source.clone());
+        Ok(source)
+    }
+
+    /// Fetch a registered resident table (`None` for names registered as
+    /// non-resident sources; use [`Cohana::source`] for those).
     pub fn table(&self, name: &str) -> Option<Arc<CompressedTable>> {
-        self.catalog.read().get(name).cloned()
+        match self.catalog.read().unwrap().get(name)? {
+            CatalogEntry::Memory(table) => Some(table.clone()),
+            CatalogEntry::Source(_) => None,
+        }
+    }
+
+    /// Fetch a registered table as a chunk source (resident or lazy).
+    pub fn source(&self, name: &str) -> Option<Arc<dyn ChunkSource>> {
+        Some(self.catalog.read().unwrap().get(name)?.as_source())
+    }
+
+    /// The schema of a registered table, resident or lazy.
+    pub fn schema_of(&self, name: &str) -> Option<Schema> {
+        Some(self.source(name)?.table_meta().schema().clone())
     }
 
     /// Names of registered tables (sorted).
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.catalog.read().keys().cloned().collect();
+        let mut names: Vec<String> = self.catalog.read().unwrap().keys().cloned().collect();
         names.sort();
         names
     }
 
-    fn default_table_arc(&self) -> Result<Arc<CompressedTable>, EngineError> {
+    fn default_source(&self) -> Result<Arc<dyn ChunkSource>, EngineError> {
         let name = self
             .default_table
             .read()
+            .unwrap()
             .clone()
             .ok_or_else(|| EngineError::UnknownTable("<no tables registered>".into()))?;
-        self.table(&name).ok_or(EngineError::UnknownTable(name))
+        self.source(&name).ok_or(EngineError::UnknownTable(name))
     }
 
     /// Plan a query against the default table.
     pub fn plan(&self, query: &CohortQuery) -> Result<PhysicalPlan, EngineError> {
-        let table = self.default_table_arc()?;
-        plan_query(query, table.schema(), self.options.planner)
+        let source = self.default_source()?;
+        plan_query(query, source.table_meta().schema(), self.options.planner)
     }
 
     /// EXPLAIN: the optimized Figure-5 style plan.
@@ -137,16 +200,16 @@ impl Cohana {
 
     /// Execute a cohort query against the default table.
     pub fn execute(&self, query: &CohortQuery) -> Result<CohortReport, EngineError> {
-        let table = self.default_table_arc()?;
-        let plan = plan_query(query, table.schema(), self.options.planner)?;
-        execute_plan(&table, &plan, self.options.parallelism)
+        let source = self.default_source()?;
+        let plan = plan_query(query, source.table_meta().schema(), self.options.planner)?;
+        execute_source(source.as_ref(), &plan, self.options.parallelism)
     }
 
     /// Execute a cohort query against a named table.
     pub fn execute_on(&self, name: &str, query: &CohortQuery) -> Result<CohortReport, EngineError> {
-        let table = self.table(name).ok_or_else(|| EngineError::UnknownTable(name.into()))?;
-        let plan = plan_query(query, table.schema(), self.options.planner)?;
-        execute_plan(&table, &plan, self.options.parallelism)
+        let source = self.source(name).ok_or_else(|| EngineError::UnknownTable(name.into()))?;
+        let plan = plan_query(query, source.table_meta().schema(), self.options.planner)?;
+        execute_source(source.as_ref(), &plan, self.options.parallelism)
     }
 }
 

@@ -30,7 +30,7 @@ use crate::query::CohortAttr;
 use crate::report::{CohortReport, ReportRow};
 use crate::scan::{compile_predicate, ChunkScan, CompiledExpr, EvalCtx};
 use cohana_activity::{TimeBin, Timestamp, Value, ValueType};
-use cohana_storage::{Chunk, ColumnMeta, CompressedTable};
+use cohana_storage::{Chunk, ChunkIndexEntry, ChunkSource, ColumnMeta, CompressedTable, TableMeta};
 use std::collections::{BTreeMap, HashMap};
 
 /// Upper bound on dense-array cells (`cohorts × ages × aggregates`); beyond
@@ -94,32 +94,42 @@ struct ExecContext {
     aggs: Vec<AggFunc>,
     agg_attrs: Vec<Option<usize>>,
     age_bin: TimeBin,
-    time_idx: usize,
     /// Dense path: `(dict_len, age_domain)` when enabled.
     dense: Option<(usize, usize)>,
 }
 
-/// Execute a plan against a compressed table, merging per-chunk partials.
-/// `parallelism` > 1 processes chunks on that many worker threads.
+/// Execute a plan against a fully resident compressed table.
+///
+/// Convenience wrapper over [`execute_source`]; the table itself implements
+/// [`ChunkSource`] with every chunk borrowed from memory.
 pub fn execute_plan(
     table: &CompressedTable,
     plan: &PhysicalPlan,
     parallelism: usize,
 ) -> Result<CohortReport, EngineError> {
+    execute_source(table, plan, parallelism)
+}
+
+/// Execute a plan against any [`ChunkSource`], merging per-chunk partials.
+/// `parallelism` > 1 processes chunks on that many worker threads.
+///
+/// Chunk pruning (§4.2) runs against the source's [`ChunkIndexEntry`]
+/// metadata **before any chunk I/O**: for a lazy file-backed source, pruned
+/// chunks are never read from disk, let alone decoded.
+pub fn execute_source<S: ChunkSource + ?Sized>(
+    source: &S,
+    plan: &PhysicalPlan,
+    parallelism: usize,
+) -> Result<CohortReport, EngineError> {
+    let table = source.table_meta();
     let schema = table.schema();
     let query = &plan.query;
 
     let birth_gid = table.lookup_gid(schema.action_idx(), &query.birth_action);
-    let birth_pred = query
-        .birth_predicate
-        .as_ref()
-        .map(|p| compile_predicate(p, schema, table))
-        .transpose()?;
-    let age_pred = query
-        .age_predicate
-        .as_ref()
-        .map(|p| compile_predicate(p, schema, table))
-        .transpose()?;
+    let birth_pred =
+        query.birth_predicate.as_ref().map(|p| compile_predicate(p, schema, table)).transpose()?;
+    let age_pred =
+        query.age_predicate.as_ref().map(|p| compile_predicate(p, schema, table)).transpose()?;
 
     let mut key_parts = Vec::with_capacity(query.cohort_by.len());
     for c in &query.cohort_by {
@@ -149,9 +159,8 @@ pub fn execute_plan(
                 ColumnMeta::Int { min, max } => query.age_bin.age_units(max - min) as usize + 2,
                 _ => 0,
             };
-            let cells = dict_len
-                .saturating_mul(age_domain)
-                .saturating_mul(query.aggregates.len().max(1));
+            let cells =
+                dict_len.saturating_mul(age_domain).saturating_mul(query.aggregates.len().max(1));
             if dict_len > 0 && age_domain > 0 && cells <= DENSE_CELL_LIMIT {
                 Some((dict_len, age_domain))
             } else {
@@ -172,36 +181,42 @@ pub fn execute_plan(
         aggs: query.aggregates.clone(),
         agg_attrs,
         age_bin: query.age_bin,
-        time_idx: schema.time_idx(),
         dense,
     };
 
-    let chunks = table.chunks();
+    // Chunk pruning from index metadata alone (§4.1/§4.2): decided once
+    // here, before any chunk is loaded, and shared by the serial and
+    // parallel paths.
+    let live: Vec<usize> = (0..source.num_chunks())
+        .filter(|&i| !prune_chunk(source.index_entry(i), plan, &ctx))
+        .collect();
+
     let mut merged = Partial::default();
-    if parallelism <= 1 || chunks.len() <= 1 {
-        for chunk in chunks {
-            merged.merge(process_chunk(table, chunk, plan, &ctx)?)?;
+    if parallelism <= 1 || live.len() <= 1 {
+        for &i in &live {
+            let chunk = source.chunk(i)?;
+            merged.merge(process_chunk(table, &chunk, plan, &ctx)?)?;
         }
     } else {
-        let workers = parallelism.min(chunks.len());
-        let partials: Vec<Result<Vec<Partial>, EngineError>> =
-            crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(workers);
-                for w in 0..workers {
-                    let ctx = &ctx;
-                    handles.push(scope.spawn(move |_| {
-                        let mut out = Vec::new();
-                        let mut i = w;
-                        while i < chunks.len() {
-                            out.push(process_chunk(table, &chunks[i], plan, ctx)?);
-                            i += workers;
-                        }
-                        Ok(out)
-                    }));
-                }
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("scope panicked");
+        let workers = parallelism.min(live.len());
+        let partials: Vec<Result<Vec<Partial>, EngineError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let ctx = &ctx;
+                let live = &live;
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = w;
+                    while i < live.len() {
+                        let chunk = source.chunk(live[i])?;
+                        out.push(process_chunk(table, &chunk, plan, ctx)?);
+                        i += workers;
+                    }
+                    Ok(out)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
         for p in partials {
             for partial in p? {
                 merged.merge(partial)?;
@@ -212,33 +227,42 @@ pub fn execute_plan(
     build_report(table, plan, &ctx, merged)
 }
 
-/// Run the fused operators over one chunk.
+/// The hoisted §4.2 chunk-pruning decision, computed purely from a chunk's
+/// index entry (no chunk I/O): the chunk is skipped when the birth action is
+/// absent from its action dictionary, when the birth predicate's time bounds
+/// are disjoint from its time range, or when the compiled birth predicate is
+/// constant-false. With `prune_chunks` disabled (ablations) every chunk is
+/// processed.
+fn prune_chunk(entry: &ChunkIndexEntry, plan: &PhysicalPlan, ctx: &ExecContext) -> bool {
+    if !plan.options.prune_chunks {
+        return false;
+    }
+    // Birth action absent from the table (None) or from this chunk's action
+    // dictionary: no user can be born here, and chunking never splits a
+    // user, so the whole chunk is irrelevant.
+    match ctx.birth_gid {
+        None => return true,
+        Some(gid) if !entry.has_action(gid) => return true,
+        Some(_) => {}
+    }
+    if let Some((lo, hi)) = plan.birth_time_bounds {
+        if entry.time_disjoint(lo, hi) {
+            return true;
+        }
+    }
+    ctx.birth_pred.as_ref().is_some_and(|p| p.is_const_false())
+}
+
+/// Run the fused operators over one chunk. Chunk pruning has already been
+/// decided by [`prune_chunk`] from the chunk's index entry.
 fn process_chunk(
-    table: &CompressedTable,
+    table: &TableMeta,
     chunk: &Chunk,
     plan: &PhysicalPlan,
     ctx: &ExecContext,
 ) -> Result<Partial, EngineError> {
     let mut partial = Partial::default();
-    let prune = plan.options.prune_chunks;
     let mut scan = ChunkScan::open(table, chunk, ctx.birth_gid);
-
-    // Chunk pruning (two-level dictionary + range), §4.1.
-    if prune {
-        if !scan.chunk_has_birth_action() {
-            return Ok(partial);
-        }
-        if let Some((lo, hi)) = plan.birth_time_bounds {
-            if let Some((cmin, cmax)) = chunk.column_required(ctx.time_idx).int_range() {
-                if hi < cmin || lo > cmax {
-                    return Ok(partial);
-                }
-            }
-        }
-        if ctx.birth_pred.as_ref().is_some_and(|p| p.is_const_false()) {
-            return Ok(partial);
-        }
-    }
 
     // Dense or hash accumulators.
     let n_aggs = ctx.aggs.len();
@@ -258,11 +282,7 @@ fn process_chunk(
         };
         let birth_time = scan.time_at(birth_row);
         let birth_ctx = EvalCtx { row: birth_row, birth_row, age_units: 0 };
-        let qualified = ctx
-            .birth_pred
-            .as_ref()
-            .map(|p| p.eval(chunk, &birth_ctx))
-            .unwrap_or(true);
+        let qualified = ctx.birth_pred.as_ref().map(|p| p.eval(chunk, &birth_ctx)).unwrap_or(true);
 
         if !qualified {
             if plan.options.skip_unqualified_users {
@@ -400,7 +420,7 @@ impl DenseAgg {
 
 /// Decode merged partials into the final report, sorted by cohort then age.
 fn build_report(
-    table: &CompressedTable,
+    table: &TableMeta,
     plan: &PhysicalPlan,
     ctx: &ExecContext,
     merged: Partial,

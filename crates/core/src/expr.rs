@@ -213,10 +213,9 @@ impl Expr {
     pub fn referenced_attrs(&self) -> Vec<String> {
         let mut out = Vec::new();
         self.visit(&mut |e| match e {
-            Expr::Attr(a) | Expr::Birth(a)
-                if !out.contains(a) => {
-                    out.push(a.clone());
-                }
+            Expr::Attr(a) | Expr::Birth(a) if !out.contains(a) => {
+                out.push(a.clone());
+            }
             _ => {}
         });
         out
@@ -387,7 +386,8 @@ mod tests {
 
     #[test]
     fn int_bounds_inequalities() {
-        let e = Expr::attr("time").ge(Expr::lit_int(50)).and(Expr::attr("time").lt(Expr::lit_int(80)));
+        let e =
+            Expr::attr("time").ge(Expr::lit_int(50)).and(Expr::attr("time").lt(Expr::lit_int(80)));
         assert_eq!(e.int_bounds("time"), Some((50, 79)));
         // Flipped operand order.
         let e2 = Expr::lit_int(50).le(Expr::attr("time"));
@@ -396,7 +396,8 @@ mod tests {
 
     #[test]
     fn int_bounds_ignores_disjunctions() {
-        let e = Expr::attr("time").ge(Expr::lit_int(50)).or(Expr::attr("time").lt(Expr::lit_int(10)));
+        let e =
+            Expr::attr("time").ge(Expr::lit_int(50)).or(Expr::attr("time").lt(Expr::lit_int(10)));
         assert_eq!(e.int_bounds("time"), None);
     }
 

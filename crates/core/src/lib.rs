@@ -59,7 +59,7 @@ pub mod scan;
 pub use agg::{AggFunc, AggState, AggValue};
 pub use engine::{Cohana, EngineOptions};
 pub use error::EngineError;
-pub use exec::execute_plan;
+pub use exec::{execute_plan, execute_source};
 pub use expr::{CmpOp, Expr};
 pub use plan::{plan_query, PhysicalPlan, PlanNode, PlannerOptions};
 pub use query::{CohortAttr, CohortQuery, CohortQueryBuilder};

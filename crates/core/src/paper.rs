@@ -107,7 +107,9 @@ pub fn q7(g: i64) -> CohortQuery {
 /// Q8: Q3 with `AGE < g` (Figure 9 sweep).
 pub fn q8(g: i64) -> CohortQuery {
     CohortQuery::builder("shop")
-        .age_where(Expr::attr("action").eq(Expr::lit_str("shop")).and(Expr::age().lt(Expr::lit_int(g))))
+        .age_where(
+            Expr::attr("action").eq(Expr::lit_str("shop")).and(Expr::age().lt(Expr::lit_int(g))),
+        )
         .cohort_by(["country"])
         .aggregate(AggFunc::avg("gold"))
         .build()

@@ -232,8 +232,7 @@ pub fn plan_query(
         input: Box::new(node),
     };
 
-    let birth_time_bounds =
-        query.birth_predicate.as_ref().and_then(|p| p.int_bounds(&time_attr));
+    let birth_time_bounds = query.birth_predicate.as_ref().and_then(|p| p.int_bounds(&time_attr));
 
     Ok(PhysicalPlan { query: query.clone(), tree, birth_time_bounds, options })
 }
@@ -284,9 +283,9 @@ fn scalar_type(e: &Expr, schema: &Schema) -> Result<ValueType, EngineError> {
     match e {
         Expr::Attr(a) | Expr::Birth(a) => Ok(schema.attribute(schema.require(a)?).vtype),
         Expr::Age => Ok(ValueType::Int),
-        Expr::Lit(v) => v
-            .value_type()
-            .ok_or_else(|| EngineError::TypeError("NULL literal in predicate".into())),
+        Expr::Lit(v) => {
+            v.value_type().ok_or_else(|| EngineError::TypeError("NULL literal in predicate".into()))
+        }
         other => Err(EngineError::TypeError(format!("{other} is not a scalar"))),
     }
 }
@@ -361,7 +360,8 @@ mod tests {
 
     #[test]
     fn push_down_puts_birth_below_age() {
-        let plan = plan_query(&q4_like(), &Schema::game_actions(), PlannerOptions::default()).unwrap();
+        let plan =
+            plan_query(&q4_like(), &Schema::game_actions(), PlannerOptions::default()).unwrap();
         assert_eq!(
             plan.tree.operator_names(),
             vec!["CohortAgg", "AgeSelect", "BirthSelect", "TableScan"]
@@ -380,13 +380,15 @@ mod tests {
 
     #[test]
     fn extracts_birth_time_bounds() {
-        let plan = plan_query(&q4_like(), &Schema::game_actions(), PlannerOptions::default()).unwrap();
+        let plan =
+            plan_query(&q4_like(), &Schema::game_actions(), PlannerOptions::default()).unwrap();
         assert_eq!(plan.birth_time_bounds, Some((100, 200)));
     }
 
     #[test]
     fn explain_shows_figure5_shape() {
-        let plan = plan_query(&q4_like(), &Schema::game_actions(), PlannerOptions::default()).unwrap();
+        let plan =
+            plan_query(&q4_like(), &Schema::game_actions(), PlannerOptions::default()).unwrap();
         let text = plan.explain();
         let gamma = text.find("γc").unwrap();
         let sigma_g = text.find("σg").unwrap();
@@ -397,7 +399,8 @@ mod tests {
 
     #[test]
     fn projection_collects_referenced_columns() {
-        let plan = plan_query(&q4_like(), &Schema::game_actions(), PlannerOptions::default()).unwrap();
+        let plan =
+            plan_query(&q4_like(), &Schema::game_actions(), PlannerOptions::default()).unwrap();
         if let PlanNode::CohortAgg { input, .. } = &plan.tree {
             let mut node = input.as_ref();
             loop {

@@ -69,7 +69,11 @@ impl CohortQuery {
         select.push("COHORTSIZE".into());
         select.push("AGE".into());
         select.extend(self.aggregates.iter().map(|a| a.header()));
-        let mut s = format!("SELECT {}\nFROM D\nBIRTH FROM action = \"{}\"", select.join(", "), self.birth_action);
+        let mut s = format!(
+            "SELECT {}\nFROM D\nBIRTH FROM action = \"{}\"",
+            select.join(", "),
+            self.birth_action
+        );
         if let Some(p) = &self.birth_predicate {
             s.push_str(&format!(" AND {p}"));
         }
@@ -159,7 +163,9 @@ impl CohortQueryBuilder {
             return Err(EngineError::InvalidQuery("birth action must be non-empty".into()));
         }
         if self.cohort_by.is_empty() {
-            return Err(EngineError::InvalidQuery("COHORT BY must name at least one attribute".into()));
+            return Err(EngineError::InvalidQuery(
+                "COHORT BY must name at least one attribute".into(),
+            ));
         }
         if self.aggregates.is_empty() {
             return Err(EngineError::InvalidQuery("at least one aggregate is required".into()));

@@ -209,10 +209,7 @@ mod tests {
     fn find_and_cohorts() {
         let r = sample();
         assert_eq!(r.num_rows(), 3);
-        assert_eq!(
-            r.find(&[Value::str("Australia")], 2).unwrap().measures[0],
-            AggValue::Int(31)
-        );
+        assert_eq!(r.find(&[Value::str("Australia")], 2).unwrap().measures[0], AggValue::Int(31));
         assert!(r.find(&[Value::str("Australia")], 9).is_none());
         assert_eq!(r.cohorts().len(), 2);
     }

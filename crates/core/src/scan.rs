@@ -20,8 +20,8 @@
 use crate::error::EngineError;
 use crate::expr::{CmpOp, Expr};
 use cohana_activity::{Schema, Value, ValueType};
-use cohana_storage::{Chunk, CompressedTable};
 use cohana_storage::rle::UserRun;
+use cohana_storage::{Chunk, TableMeta};
 
 /// Evaluation context for one tuple of one user block.
 #[derive(Debug, Clone, Copy)]
@@ -48,11 +48,7 @@ pub struct ChunkScan<'a> {
 impl<'a> ChunkScan<'a> {
     /// Open a scan. `birth_action_gid` is the global id of the birth action
     /// (`None` if the action occurs nowhere in the table).
-    pub fn open(
-        table: &'a CompressedTable,
-        chunk: &'a Chunk,
-        birth_action_gid: Option<u32>,
-    ) -> Self {
+    pub fn open(table: &'a TableMeta, chunk: &'a Chunk, birth_action_gid: Option<u32>) -> Self {
         let schema = table.schema();
         let action_idx = schema.action_idx();
         let birth_action_code = birth_action_gid.and_then(|gid| {
@@ -63,13 +59,7 @@ impl<'a> ChunkScan<'a> {
                 .find(gid)
                 .map(|c| c as u64)
         });
-        ChunkScan {
-            chunk,
-            birth_action_code,
-            action_idx,
-            time_idx: schema.time_idx(),
-            next_run: 0,
-        }
+        ChunkScan { chunk, birth_action_code, action_idx, time_idx: schema.time_idx(), next_run: 0 }
     }
 
     /// Whether any tuple in the chunk performs the birth action. When false
@@ -199,7 +189,7 @@ impl CompiledExpr {
 pub fn compile_predicate(
     expr: &Expr,
     schema: &Schema,
-    table: &CompressedTable,
+    table: &TableMeta,
 ) -> Result<CompiledExpr, EngineError> {
     match expr {
         Expr::And(a, b) => Ok(CompiledExpr::And(
@@ -289,7 +279,7 @@ fn compile_cmp(
     lhs: &Expr,
     rhs: &Expr,
     schema: &Schema,
-    table: &CompressedTable,
+    table: &TableMeta,
 ) -> Result<CompiledExpr, EngineError> {
     // Normalize literal-on-the-left by flipping the comparison.
     if matches!(lhs, Expr::Lit(_)) && !matches!(rhs, Expr::Lit(_)) {
@@ -363,7 +353,7 @@ fn compile_cmp(
 mod tests {
     use super::*;
     use cohana_activity::{generate, GeneratorConfig, Timestamp};
-    use cohana_storage::CompressionOptions;
+    use cohana_storage::{CompressedTable, CompressionOptions};
 
     fn setup() -> (cohana_activity::ActivityTable, CompressedTable) {
         let t = generate(&GeneratorConfig::small());
@@ -377,7 +367,7 @@ mod tests {
         let gid = c.lookup_gid(t.schema().action_idx(), "launch");
         let mut total = 0usize;
         for chunk in c.chunks() {
-            let mut scan = ChunkScan::open(&c, chunk, gid);
+            let mut scan = ChunkScan::open(c.table_meta(), chunk, gid);
             while let Some(run) = scan.next_user() {
                 assert!(run.count > 0);
                 total += 1;
@@ -392,7 +382,7 @@ mod tests {
         let aidx = t.schema().action_idx();
         let gid = c.lookup_gid(aidx, "launch");
         for chunk in c.chunks() {
-            let mut scan = ChunkScan::open(&c, chunk, gid);
+            let mut scan = ChunkScan::open(c.table_meta(), chunk, gid);
             while let Some(run) = scan.next_user() {
                 // Every user's first action is launch, so the birth row is
                 // the first row of the block.
@@ -407,7 +397,7 @@ mod tests {
         let gid = c.lookup_gid(t.schema().action_idx(), "no-such-action");
         assert_eq!(gid, None);
         for chunk in c.chunks() {
-            let mut scan = ChunkScan::open(&c, chunk, gid);
+            let mut scan = ChunkScan::open(c.table_meta(), chunk, gid);
             assert!(!scan.chunk_has_birth_action());
             while let Some(run) = scan.next_user() {
                 assert_eq!(scan.find_birth_row(&run), None);
@@ -420,7 +410,7 @@ mod tests {
         let (t, c) = setup();
         let schema = t.schema();
         let e = Expr::attr("action").eq(Expr::lit_str("shop"));
-        let compiled = compile_predicate(&e, schema, &c).unwrap();
+        let compiled = compile_predicate(&e, schema, c.table_meta()).unwrap();
         let aidx = schema.action_idx();
         for (ci, chunk) in c.chunks().iter().enumerate() {
             for row in 0..chunk.num_rows() {
@@ -438,14 +428,14 @@ mod tests {
         let eq = compile_predicate(
             &Expr::attr("action").eq(Expr::lit_str("zzz-nope")),
             schema,
-            &c,
+            c.table_meta(),
         )
         .unwrap();
         assert!(eq.is_const_false());
         let ne = compile_predicate(
             &Expr::attr("action").ne(Expr::lit_str("zzz-nope")),
             schema,
-            &c,
+            c.table_meta(),
         )
         .unwrap();
         assert_eq!(ne, CompiledExpr::Const(true));
@@ -457,7 +447,7 @@ mod tests {
         let schema = t.schema();
         // "m" sits between action names; compare against decoded strings.
         let e = Expr::attr("action").lt(Expr::lit_str("m"));
-        let compiled = compile_predicate(&e, schema, &c).unwrap();
+        let compiled = compile_predicate(&e, schema, c.table_meta()).unwrap();
         let aidx = schema.action_idx();
         for (ci, chunk) in c.chunks().iter().enumerate() {
             for row in 0..chunk.num_rows().min(50) {
@@ -476,7 +466,7 @@ mod tests {
         let lo = Timestamp::parse("2013-05-21").unwrap().secs();
         let hi = Timestamp::parse("2013-05-27").unwrap().secs();
         let e = Expr::attr("time").between_int(lo, hi);
-        let compiled = compile_predicate(&e, schema, &c).unwrap();
+        let compiled = compile_predicate(&e, schema, c.table_meta()).unwrap();
         let tidx = schema.time_idx();
         for (ci, chunk) in c.chunks().iter().enumerate() {
             for row in 0..chunk.num_rows().min(50) {
@@ -491,10 +481,9 @@ mod tests {
     fn compiled_birth_reference_and_age() {
         let (t, c) = setup();
         let schema = t.schema();
-        let e = Expr::attr("country")
-            .eq(Expr::birth("country"))
-            .and(Expr::age().lt(Expr::lit_int(7)));
-        let compiled = compile_predicate(&e, schema, &c).unwrap();
+        let e =
+            Expr::attr("country").eq(Expr::birth("country")).and(Expr::age().lt(Expr::lit_int(7)));
+        let compiled = compile_predicate(&e, schema, c.table_meta()).unwrap();
         let chunk = &c.chunks()[0];
         // Same row as its own birth: country trivially equal; age gate decides.
         let ctx = EvalCtx { row: 0, birth_row: 0, age_units: 3 };
@@ -512,7 +501,7 @@ mod tests {
             Value::str("Australia"),
             Value::str("Atlantis"), // absent: ignored
         ]);
-        let compiled = compile_predicate(&e, schema, &c).unwrap();
+        let compiled = compile_predicate(&e, schema, c.table_meta()).unwrap();
         let cidx = schema.index_of("country").unwrap();
         for (ci, chunk) in c.chunks().iter().enumerate() {
             for row in 0..chunk.num_rows().min(80) {
@@ -529,7 +518,7 @@ mod tests {
         let (t, c) = setup();
         let gid = c.lookup_gid(t.schema().action_idx(), "launch");
         let chunk = &c.chunks()[0];
-        let mut scan = ChunkScan::open(&c, chunk, gid);
+        let mut scan = ChunkScan::open(c.table_meta(), chunk, gid);
         let first_pass: Vec<u32> =
             std::iter::from_fn(|| scan.next_user().map(|r| r.user_gid)).collect();
         assert!(!first_pass.is_empty());
@@ -547,14 +536,14 @@ mod tests {
         assert!(compile_predicate(
             &Expr::attr("gold").eq(Expr::lit_str("dwarf")),
             schema,
-            &c
+            c.table_meta()
         )
         .is_err());
-        assert!(compile_predicate(&Expr::attr("role"), schema, &c).is_err());
+        assert!(compile_predicate(&Expr::attr("role"), schema, c.table_meta()).is_err());
         assert!(compile_predicate(
             &Expr::attr("role").eq(Expr::attr("gold")),
             schema,
-            &c
+            c.table_meta()
         )
         .is_err());
     }

@@ -7,7 +7,7 @@ use cohana_activity::{generate, GeneratorConfig, Timestamp};
 use cohana_core::naive::naive_execute;
 use cohana_core::paper;
 use cohana_core::{
-    plan_query, execute_plan, AggFunc, Cohana, CohortQuery, CohortReport, EngineOptions, Expr,
+    execute_plan, plan_query, AggFunc, Cohana, CohortQuery, CohortReport, EngineOptions, Expr,
     PlannerOptions,
 };
 use cohana_storage::{CompressedTable, CompressionOptions};
@@ -56,8 +56,8 @@ fn check_query(query: &CohortQuery, what: &str) {
         ] {
             let plan = plan_query(query, table.schema(), options).expect("planning succeeds");
             for parallelism in [1usize, 4] {
-                let got = execute_plan(&compressed, &plan, parallelism)
-                    .expect("execution succeeds");
+                let got =
+                    execute_plan(&compressed, &plan, parallelism).expect("execution succeeds");
                 assert_reports_equal(
                     &got,
                     &reference,

@@ -1,0 +1,208 @@
+//! Differential tests for the storage-backed execution paths: the paper's
+//! benchmark queries Q1–Q8 must produce identical reports whether the table
+//! is fully resident in memory, eagerly loaded from a v2 file, or served by
+//! the lazy file-backed `ChunkSource` — at parallelism 1 and 4. Plus the
+//! headline property of the v2 format: selective queries on a lazy source
+//! decode strictly fewer chunks than the table contains.
+
+use cohana_activity::{generate, GeneratorConfig, Schema, TableBuilder, Timestamp, Value};
+use cohana_core::{execute_plan, execute_source, paper, plan_query, PlannerOptions};
+use cohana_core::{Cohana, CohortQuery, EngineOptions};
+use cohana_storage::{persist, ChunkSource, CompressedTable, CompressionOptions, FileSource};
+use std::path::PathBuf;
+
+fn temp_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("cohana-lazy-storage-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn paper_queries() -> Vec<(String, CohortQuery)> {
+    let d1 = Timestamp::parse("2013-05-21").unwrap().secs();
+    let d2 = Timestamp::parse("2013-05-27").unwrap().secs();
+    vec![
+        ("q1".into(), paper::q1()),
+        ("q2".into(), paper::q2()),
+        ("q3".into(), paper::q3()),
+        ("q4".into(), paper::q4()),
+        ("q5".into(), paper::q5(d1, d2)),
+        ("q6".into(), paper::q6(d1, d2)),
+        ("q7".into(), paper::q7(7)),
+        ("q8".into(), paper::q8(7)),
+    ]
+}
+
+#[test]
+fn q1_to_q8_identical_across_memory_eager_and_lazy_sources() {
+    let table = generate(&GeneratorConfig::small());
+    let memory = CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap();
+    assert!(memory.chunks().len() > 1, "need multiple chunks to be meaningful");
+
+    let path = temp_file("differential.cohana");
+    persist::write_file(&memory, &path).unwrap();
+    let eager = persist::read_file(&path).unwrap();
+    let lazy = FileSource::open(&path).unwrap();
+
+    for (name, query) in paper_queries() {
+        let plan = plan_query(&query, memory.schema(), PlannerOptions::default()).unwrap();
+        for parallelism in [1, 4] {
+            let expect = execute_plan(&memory, &plan, parallelism).unwrap();
+            let from_eager = execute_plan(&eager, &plan, parallelism).unwrap();
+            let from_lazy = execute_source(&lazy, &plan, parallelism).unwrap();
+            assert_eq!(expect.rows, from_eager.rows, "{name} eager p={parallelism}");
+            assert_eq!(expect.rows, from_lazy.rows, "{name} lazy p={parallelism}");
+            assert_eq!(
+                expect.cohort_sizes, from_eager.cohort_sizes,
+                "{name} eager sizes p={parallelism}"
+            );
+            assert_eq!(
+                expect.cohort_sizes, from_lazy.cohort_sizes,
+                "{name} lazy sizes p={parallelism}"
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn engine_open_file_matches_in_memory_engine() {
+    let table = generate(&GeneratorConfig::small());
+    let memory = CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap();
+    let path = temp_file("engine.cohana");
+    persist::write_file(&memory, &path).unwrap();
+
+    for parallelism in [1, 4] {
+        let options = EngineOptions { parallelism, ..Default::default() };
+        let resident = Cohana::from_compressed(memory.clone(), options);
+        let lazy_engine = Cohana::new(options);
+        lazy_engine.open_file("GameActions", &path).unwrap();
+        assert_eq!(lazy_engine.schema_of("GameActions"), Some(memory.schema().clone()));
+
+        for (name, query) in paper_queries() {
+            let a = resident.execute(&query).unwrap();
+            let b = lazy_engine.execute(&query).unwrap();
+            assert_eq!(a.rows, b.rows, "{name} p={parallelism}");
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// A handcrafted activity table whose users fall into two populations with
+/// disjoint activity windows and different action vocabularies, so chunk
+/// pruning provably fires:
+///
+/// * users `e00..e05` ("early"): launch + shop during days 0–4;
+/// * users `l06..l11` ("late"): launch + fight during days 20–24 — never
+///   a single `shop`.
+///
+/// User ids sort `e* < l*`, and chunking follows user order, so with a small
+/// chunk size the early and late populations land in different chunks.
+fn two_population_table() -> cohana_activity::ActivityTable {
+    const DAY: i64 = 86_400;
+    let mut b = TableBuilder::new(Schema::game_actions());
+    let mut push = |user: &str, day: i64, action: &str, gold: i64| {
+        b.push(vec![
+            Value::str(user),
+            Value::int(day * DAY + 3_600),
+            Value::str(action),
+            Value::str("China"),
+            Value::str("Beijing"),
+            Value::str("dwarf"),
+            Value::int(10),
+            Value::int(gold),
+        ])
+        .unwrap();
+    };
+    for u in 0..6 {
+        let user = format!("e{u:02}");
+        push(&user, 0, "launch", 0);
+        for day in 1..5 {
+            push(&user, day, "shop", 25);
+        }
+    }
+    for u in 6..12 {
+        let user = format!("l{u:02}");
+        push(&user, 20, "launch", 0);
+        for day in 21..25 {
+            push(&user, day, "fight", 5);
+        }
+    }
+    b.finish().unwrap()
+}
+
+#[test]
+fn time_selective_query_decodes_strictly_fewer_chunks() {
+    const DAY: i64 = 86_400;
+    let table = two_population_table();
+    // 15 tuples per chunk → at least one pure-early and one pure-late chunk.
+    let memory = CompressedTable::build(&table, CompressionOptions::with_chunk_size(15)).unwrap();
+    assert!(memory.chunks().len() >= 2);
+
+    let path = temp_file("selective-time.cohana");
+    persist::write_file(&memory, &path).unwrap();
+    let lazy = FileSource::open(&path).unwrap();
+    assert_eq!(lazy.chunks_decoded(), 0, "open must not touch chunk data");
+
+    // Q2-style: Q1 plus a birth date range covering only the early
+    // population (paper::q5 is exactly that sweep query).
+    let query = paper::q5(0, 5 * DAY);
+    let plan = plan_query(&query, memory.schema(), PlannerOptions::default()).unwrap();
+    let expect = execute_plan(&memory, &plan, 1).unwrap();
+    let got = execute_source(&lazy, &plan, 1).unwrap();
+
+    assert_eq!(expect.rows, got.rows);
+    assert_eq!(expect.cohort_sizes, got.cohort_sizes);
+    assert!(!got.rows.is_empty(), "the early population must qualify");
+    assert!(
+        lazy.chunks_decoded() < lazy.num_chunks(),
+        "decoded {} of {} chunks — time pruning never fired",
+        lazy.chunks_decoded(),
+        lazy.num_chunks()
+    );
+    assert!(lazy.chunks_decoded() > 0, "some chunk must have been decoded");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn birth_action_pruning_skips_chunks_without_the_action() {
+    let table = two_population_table();
+    let memory = CompressedTable::build(&table, CompressionOptions::with_chunk_size(15)).unwrap();
+    let path = temp_file("selective-action.cohana");
+    persist::write_file(&memory, &path).unwrap();
+    let lazy = FileSource::open(&path).unwrap();
+
+    // Birth action `shop` exists only in the early chunks; the late chunks'
+    // action dictionaries prove they can be skipped without I/O.
+    let query = paper::q3();
+    let plan = plan_query(&query, memory.schema(), PlannerOptions::default()).unwrap();
+    let expect = execute_plan(&memory, &plan, 1).unwrap();
+    let got = execute_source(&lazy, &plan, 1).unwrap();
+
+    assert_eq!(expect.rows, got.rows);
+    assert!(
+        lazy.chunks_decoded() < lazy.num_chunks(),
+        "decoded {} of {} chunks — action-dictionary pruning never fired",
+        lazy.chunks_decoded(),
+        lazy.num_chunks()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn disabled_pruning_still_correct_on_lazy_source() {
+    let table = two_population_table();
+    let memory = CompressedTable::build(&table, CompressionOptions::with_chunk_size(15)).unwrap();
+    let path = temp_file("no-prune.cohana");
+    persist::write_file(&memory, &path).unwrap();
+    let lazy = FileSource::open(&path).unwrap();
+
+    let options = PlannerOptions { prune_chunks: false, ..Default::default() };
+    let query = paper::q3();
+    let plan = plan_query(&query, memory.schema(), options).unwrap();
+    let expect = execute_plan(&memory, &plan, 1).unwrap();
+    let got = execute_source(&lazy, &plan, 1).unwrap();
+    assert_eq!(expect.rows, got.rows);
+    // Without pruning every chunk is materialized.
+    assert_eq!(lazy.chunks_decoded(), lazy.num_chunks());
+    std::fs::remove_file(&path).ok();
+}

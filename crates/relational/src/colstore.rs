@@ -317,8 +317,7 @@ impl ColEngine {
         let users = self.str_col(uidx);
         let extractors = cohort_extractors(query, schema)?;
         let mut groups = GroupTable::new(query, schema)?;
-        let mut seen_users: std::collections::HashSet<Arc<str>> =
-            std::collections::HashSet::new();
+        let mut seen_users: std::collections::HashSet<Arc<str>> = std::collections::HashSet::new();
 
         // Map attr idx -> position in birth_cols.
         let birth_pos: Vec<Option<usize>> = {

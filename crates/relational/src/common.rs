@@ -4,8 +4,8 @@
 
 use crate::error::BaselineError;
 use cohana_activity::{Schema, Timestamp, Value};
-use cohana_core::{AggFunc, AggState, CmpOp, CohortAttr, CohortQuery, Expr};
 use cohana_core::report::{CohortReport, ReportRow};
+use cohana_core::{AggFunc, AggState, CmpOp, CohortAttr, CohortQuery, Expr};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -122,11 +122,7 @@ pub enum CohortExtract {
 
 impl CohortExtract {
     /// Extract the component from a birth-tuple accessor.
-    pub fn extract<'a>(
-        &self,
-        birth: &impl Fn(usize) -> Scalar<'a>,
-        birth_time: i64,
-    ) -> Value {
+    pub fn extract<'a>(&self, birth: &impl Fn(usize) -> Scalar<'a>, birth_time: i64) -> Value {
         match self {
             CohortExtract::Attr(idx) => match birth(*idx) {
                 Scalar::S(s) => Value::Str(Arc::from(s)),
@@ -255,7 +251,8 @@ mod tests {
     fn eval_pred_with_birth_and_age() {
         let s = schema();
         let cidx = s.index_of("country").unwrap();
-        let e = Expr::attr("country").eq(Expr::birth("country")).and(Expr::age().lt(Expr::lit_int(5)));
+        let e =
+            Expr::attr("country").eq(Expr::birth("country")).and(Expr::age().lt(Expr::lit_int(5)));
         let cur = |idx: usize| if idx == cidx { Scalar::S("China") } else { Scalar::I(0) };
         let birth = |idx: usize| if idx == cidx { Scalar::S("China") } else { Scalar::I(0) };
         assert!(eval_pred(&e, &s, &cur, &birth, 3).unwrap());

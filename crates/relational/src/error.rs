@@ -24,7 +24,10 @@ impl fmt::Display for BaselineError {
             BaselineError::UnknownAttribute(a) => write!(f, "unknown attribute {a:?}"),
             BaselineError::TypeError(m) => write!(f, "type error: {m}"),
             BaselineError::MissingView { birth_action } => {
-                write!(f, "no materialized view for birth action {birth_action:?}; call create_mv first")
+                write!(
+                    f,
+                    "no materialized view for birth action {birth_action:?}; call create_mv first"
+                )
             }
             BaselineError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
         }

@@ -72,9 +72,7 @@ impl RowEngine {
         let mut data: RowViewData = self
             .rows
             .iter()
-            .filter(|row| {
-                row[uidx].as_str().map(|u| birth_tuples.contains_key(u)).unwrap_or(false)
-            })
+            .filter(|row| row[uidx].as_str().map(|u| birth_tuples.contains_key(u)).unwrap_or(false))
             .map(|row| {
                 let mut out = Vec::with_capacity(layout.width());
                 out.extend(row.iter().cloned());

@@ -32,10 +32,8 @@ impl SqlExt for Cohana {
             .cloned()
             .ok_or_else(|| SqlError::Engine("no tables registered".into()))?;
         let schema = self
-            .table(&table)
-            .ok_or_else(|| SqlError::Engine("no tables registered".into()))?
-            .schema()
-            .clone();
+            .schema_of(&table)
+            .ok_or_else(|| SqlError::Engine("no tables registered".into()))?;
         let query = parse_cohort_query(sql, &schema)?;
         Ok(self.execute(&query)?)
     }
@@ -52,10 +50,8 @@ impl SqlExt for Cohana {
             .cloned()
             .ok_or_else(|| SqlError::Engine("no tables registered".into()))?;
         let schema = self
-            .table(&table)
-            .ok_or_else(|| SqlError::Engine("no tables registered".into()))?
-            .schema()
-            .clone();
+            .schema_of(&table)
+            .ok_or_else(|| SqlError::Engine("no tables registered".into()))?;
         let query = parse_cohort_query(sql, &schema)?;
         Ok(self.explain(&query)?)
     }

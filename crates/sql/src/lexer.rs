@@ -212,10 +212,8 @@ mod tests {
 
     #[test]
     fn lexes_q1() {
-        let toks = lex(
-            "SELECT country, CohortSize, Age, UserCount() \
-             FROM GameActions BIRTH FROM action = \"launch\" COHORT BY country",
-        )
+        let toks = lex("SELECT country, CohortSize, Age, UserCount() \
+             FROM GameActions BIRTH FROM action = \"launch\" COHORT BY country")
         .unwrap();
         assert!(toks.iter().any(|t| t.is_kw("select")));
         assert!(toks.iter().any(|t| matches!(t, Token::Str(s) if s == "launch")));

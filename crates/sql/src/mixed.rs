@@ -25,8 +25,8 @@ use crate::ast::{SelectItem, SqlCohortQuery};
 use crate::error::SqlError;
 use crate::parser::Parser;
 use crate::translate::translate;
-use cohana_core::{AggValue, Cohana, CohortReport, Expr, ReportRow};
 use cohana_activity::Value;
+use cohana_core::{AggValue, Cohana, CohortReport, Expr, ReportRow};
 
 /// A parsed mixed query.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,10 +143,8 @@ impl MixedQuery {
             .cloned()
             .ok_or_else(|| SqlError::Engine("no tables registered".into()))?;
         let schema = engine
-            .table(&table_name)
-            .ok_or_else(|| SqlError::Engine("no tables registered".into()))?
-            .schema()
-            .clone();
+            .schema_of(&table_name)
+            .ok_or_else(|| SqlError::Engine("no tables registered".into()))?;
         let query = translate(&self.cohort, &schema)?;
         let report = engine.execute(&query)?;
         let resolver = ColumnResolver::new(&self.cohort, &report)?;
@@ -185,10 +183,8 @@ impl MixedQuery {
 
         let keys: Vec<Col> =
             self.select.iter().map(|c| resolver.resolve(c)).collect::<Result<_, _>>()?;
-        let out_rows = rows
-            .iter()
-            .map(|r| keys.iter().map(|k| cell_of(r, *k).display()).collect())
-            .collect();
+        let out_rows =
+            rows.iter().map(|r| keys.iter().map(|k| cell_of(r, *k).display()).collect()).collect();
         Ok(MixedResult { headers: self.select.clone(), rows: out_rows })
     }
 }
@@ -264,11 +260,8 @@ struct ColumnResolver {
 impl ColumnResolver {
     fn new(ast: &SqlCohortQuery, report: &CohortReport) -> Result<Self, SqlError> {
         let cohort_names = report.cohort_attrs.clone();
-        let mut measure_names: Vec<Vec<String>> = report
-            .agg_names
-            .iter()
-            .map(|n| vec![n.clone()])
-            .collect();
+        let mut measure_names: Vec<Vec<String>> =
+            report.agg_names.iter().map(|n| vec![n.clone()]).collect();
         let mut idx = 0usize;
         for item in &ast.select {
             if let SelectItem::Aggregate { alias, .. } = item {

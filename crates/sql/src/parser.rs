@@ -316,7 +316,9 @@ impl Parser {
                     self.pos += 1;
                     return Ok(Expr::Age);
                 }
-                if name.eq_ignore_ascii_case("BIRTH") && self.peek2() == Some(&Token::Symbol(Symbol::LParen)) {
+                if name.eq_ignore_ascii_case("BIRTH")
+                    && self.peek2() == Some(&Token::Symbol(Symbol::LParen))
+                {
                     self.pos += 2;
                     let attr = self.ident()?;
                     self.expect_sym(Symbol::RParen)?;
@@ -389,7 +391,9 @@ mod tests {
         assert_eq!(q.table, "GameActions");
         assert_eq!(q.cohort_by, vec![CohortKeyAst::Attr("country".into())]);
         assert_eq!(q.select.len(), 4);
-        assert!(matches!(q.select[3], SelectItem::Aggregate { ref func, arg: None, .. } if func == "UserCount"));
+        assert!(
+            matches!(q.select[3], SelectItem::Aggregate { ref func, arg: None, .. } if func == "UserCount")
+        );
     }
 
     #[test]
@@ -452,7 +456,8 @@ mod tests {
     #[test]
     fn rejects_missing_clauses() {
         assert!(parse_statement("SELECT a FROM D COHORT BY a").is_err()); // no BIRTH FROM
-        assert!(parse_statement("SELECT a FROM D BIRTH FROM action = \"x\"").is_err()); // no COHORT BY
+        assert!(parse_statement("SELECT a FROM D BIRTH FROM action = \"x\"").is_err());
+        // no COHORT BY
     }
 
     #[test]
@@ -465,10 +470,9 @@ mod tests {
 
     #[test]
     fn rejects_trailing_garbage() {
-        assert!(parse_statement(
-            "SELECT a FROM D BIRTH FROM action = \"x\" COHORT BY a EXTRA"
-        )
-        .is_err());
+        assert!(
+            parse_statement("SELECT a FROM D BIRTH FROM action = \"x\" COHORT BY a EXTRA").is_err()
+        );
     }
 
     #[test]

@@ -77,7 +77,10 @@ pub fn translate(ast: &SqlCohortQuery, schema: &Schema) -> Result<CohortQuery, S
 
 /// Extract the `action = "e"` conjunct (the birth action) from the BIRTH
 /// FROM predicate; the remaining conjuncts form the birth selection.
-fn split_birth_action(clause: &Expr, action_attr: &str) -> Result<(String, Option<Expr>), SqlError> {
+fn split_birth_action(
+    clause: &Expr,
+    action_attr: &str,
+) -> Result<(String, Option<Expr>), SqlError> {
     let mut action: Option<String> = None;
     let mut rest: Vec<Expr> = Vec::new();
     for c in clause.conjuncts() {
@@ -120,9 +123,9 @@ fn rewrite_dates(expr: &Expr, schema: &Schema) -> Result<Expr, SqlError> {
     };
     let conv = |v: &Value| -> Result<Value, SqlError> {
         match v {
-            Value::Str(s) => Timestamp::parse(s)
-                .map(|t| Value::Int(t.secs()))
-                .map_err(|_| SqlError::Translate(format!("expected a date/timestamp, got \"{s}\""))),
+            Value::Str(s) => Timestamp::parse(s).map(|t| Value::Int(t.secs())).map_err(|_| {
+                SqlError::Translate(format!("expected a date/timestamp, got \"{s}\""))
+            }),
             other => Ok(other.clone()),
         }
     };
@@ -143,7 +146,8 @@ fn rewrite_dates(expr: &Expr, schema: &Schema) -> Result<Expr, SqlError> {
         }
         Expr::Between(a, lo, hi) => {
             let a2 = rewrite_dates(a, schema)?;
-            let (lo2, hi2) = if is_int_attr(a) { (conv(lo)?, conv(hi)?) } else { (lo.clone(), hi.clone()) };
+            let (lo2, hi2) =
+                if is_int_attr(a) { (conv(lo)?, conv(hi)?) } else { (lo.clone(), hi.clone()) };
             Expr::Between(Box::new(a2), lo2, hi2)
         }
         Expr::InList(a, vs) => {
@@ -215,10 +219,8 @@ mod tests {
 
     #[test]
     fn q1_translates() {
-        let q = tr(
-            "SELECT country, CohortSize, Age, UserCount() \
-             FROM GameActions BIRTH FROM action = \"launch\" COHORT BY country",
-        )
+        let q = tr("SELECT country, CohortSize, Age, UserCount() \
+             FROM GameActions BIRTH FROM action = \"launch\" COHORT BY country")
         .unwrap();
         assert_eq!(q.birth_action, "launch");
         assert!(q.birth_predicate.is_none());
@@ -227,12 +229,10 @@ mod tests {
 
     #[test]
     fn q2_dates_convert() {
-        let q = tr(
-            "SELECT country, COHORTSIZE, AGE, UserCount() \
+        let q = tr("SELECT country, COHORTSIZE, AGE, UserCount() \
              FROM GameActions BIRTH FROM action = \"launch\" AND \
              time BETWEEN \"2013-05-21\" AND \"2013-05-27\" \
-             COHORT BY country",
-        )
+             COHORT BY country")
         .unwrap();
         let lo = Timestamp::parse("2013-05-21").unwrap().secs();
         let hi = Timestamp::parse("2013-05-27").unwrap().secs();
@@ -241,15 +241,13 @@ mod tests {
 
     #[test]
     fn q4_full_translation() {
-        let q = tr(
-            "SELECT country, COHORTSIZE, AGE, Avg(gold) \
+        let q = tr("SELECT country, COHORTSIZE, AGE, Avg(gold) \
              FROM GameActions BIRTH FROM action = \"shop\" AND \
              time BETWEEN \"2013-05-21\" AND \"2013-05-27\" AND \
              role = \"dwarf\" AND \
              country IN [\"China\", \"Australia\", \"United States\"] \
              AGE ACTIVITIES IN action = \"shop\" AND country = Birth(country) \
-             COHORT BY country",
-        )
+             COHORT BY country")
         .unwrap();
         assert_eq!(q.birth_action, "shop");
         assert!(q.age_predicate.unwrap().references_birth_or_age());
@@ -260,40 +258,32 @@ mod tests {
     fn equals_paper_module_queries() {
         // The SQL texts of §5.2 translate to exactly the programmatic
         // queries in cohana_core::paper.
-        let q1 = tr(
-            "SELECT country, CohortSize, Age, UserCount() \
-             FROM GameActions BIRTH FROM action = \"launch\" COHORT BY country",
-        )
+        let q1 = tr("SELECT country, CohortSize, Age, UserCount() \
+             FROM GameActions BIRTH FROM action = \"launch\" COHORT BY country")
         .unwrap();
         assert_eq!(q1, cohana_core::paper::q1());
 
-        let q3 = tr(
-            "SELECT country, COHORTSIZE, AGE, Avg(gold) \
+        let q3 = tr("SELECT country, COHORTSIZE, AGE, Avg(gold) \
              FROM GameActions BIRTH FROM action = \"shop\" \
              AGE ACTIVITIES IN action = \"shop\" \
-             COHORT BY country",
-        )
+             COHORT BY country")
         .unwrap();
         assert_eq!(q3, cohana_core::paper::q3());
 
-        let q7 = tr(
-            "SELECT country, COHORTSIZE, AGE, UserCount() \
+        let q7 = tr("SELECT country, COHORTSIZE, AGE, UserCount() \
              FROM GameActions BIRTH FROM action = \"launch\" \
              AGE ACTIVITIES in AGE < 14 \
-             COHORT BY country",
-        )
+             COHORT BY country")
         .unwrap();
         assert_eq!(q7, cohana_core::paper::q7(14));
     }
 
     #[test]
     fn time_bin_cohort() {
-        let q = tr(
-            "SELECT COHORTSIZE, AGE, Avg(gold) FROM D \
+        let q = tr("SELECT COHORTSIZE, AGE, Avg(gold) FROM D \
              BIRTH FROM action = \"launch\" \
              AGE ACTIVITIES IN action = \"shop\" \
-             COHORT BY time(week) AGE UNIT week",
-        )
+             COHORT BY time(week) AGE UNIT week")
         .unwrap();
         assert_eq!(q.cohort_by, vec![CohortAttr::TimeBin(TimeBin::Week)]);
         assert_eq!(q.age_bin, TimeBin::Week);
@@ -302,51 +292,41 @@ mod tests {
 
     #[test]
     fn missing_birth_action_conjunct() {
-        let e = tr(
-            "SELECT country, COHORTSIZE, AGE, Count() FROM D \
-             BIRTH FROM role = \"dwarf\" COHORT BY country",
-        )
+        let e = tr("SELECT country, COHORTSIZE, AGE, Count() FROM D \
+             BIRTH FROM role = \"dwarf\" COHORT BY country")
         .unwrap_err();
         assert!(matches!(e, SqlError::Translate(_)));
     }
 
     #[test]
     fn rejects_non_cohort_select_column() {
-        let e = tr(
-            "SELECT city, COHORTSIZE, AGE, Count() FROM D \
-             BIRTH FROM action = \"launch\" COHORT BY country",
-        )
+        let e = tr("SELECT city, COHORTSIZE, AGE, Count() FROM D \
+             BIRTH FROM action = \"launch\" COHORT BY country")
         .unwrap_err();
         assert!(matches!(e, SqlError::Translate(_)));
     }
 
     #[test]
     fn rejects_unknown_aggregate() {
-        let e = tr(
-            "SELECT country, COHORTSIZE, AGE, Median(gold) FROM D \
-             BIRTH FROM action = \"launch\" COHORT BY country",
-        )
+        let e = tr("SELECT country, COHORTSIZE, AGE, Median(gold) FROM D \
+             BIRTH FROM action = \"launch\" COHORT BY country")
         .unwrap_err();
         assert!(matches!(e, SqlError::Translate(_)));
     }
 
     #[test]
     fn rejects_bad_date_literal() {
-        let e = tr(
-            "SELECT country, COHORTSIZE, AGE, Count() FROM D \
+        let e = tr("SELECT country, COHORTSIZE, AGE, Count() FROM D \
              BIRTH FROM action = \"launch\" AND time > \"not-a-date\" \
-             COHORT BY country",
-        )
+             COHORT BY country")
         .unwrap_err();
         assert!(matches!(e, SqlError::Translate(_)));
     }
 
     #[test]
     fn rejects_count_with_argument() {
-        let e = tr(
-            "SELECT country, COHORTSIZE, AGE, Count(gold) FROM D \
-             BIRTH FROM action = \"launch\" COHORT BY country",
-        )
+        let e = tr("SELECT country, COHORTSIZE, AGE, Count(gold) FROM D \
+             BIRTH FROM action = \"launch\" COHORT BY country")
         .unwrap_err();
         assert!(matches!(e, SqlError::Translate(_)));
     }

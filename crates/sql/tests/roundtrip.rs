@@ -100,8 +100,7 @@ fn paper_queries_roundtrip() {
         paper::shopping_trend(),
     ] {
         let sql = q.to_sql();
-        let back = parse_cohort_query(&sql, &schema)
-            .unwrap_or_else(|e| panic!("{e}\n{sql}"));
+        let back = parse_cohort_query(&sql, &schema).unwrap_or_else(|e| panic!("{e}\n{sql}"));
         assert_eq!(back, q, "round-trip failed for:\n{sql}");
     }
 }

@@ -22,10 +22,7 @@ pub struct Chunk {
 impl Chunk {
     /// Assemble a chunk, validating that every segment covers the same
     /// number of rows as the user RLE.
-    pub fn new(
-        user_rle: UserRle,
-        columns: Vec<Option<ChunkColumn>>,
-    ) -> Result<Self, StorageError> {
+    pub fn new(user_rle: UserRle, columns: Vec<Option<ChunkColumn>>) -> Result<Self, StorageError> {
         let num_rows = user_rle.num_rows();
         for (i, col) in columns.iter().enumerate() {
             if let Some(c) = col {
@@ -104,7 +101,11 @@ mod tests {
     fn accessors() {
         let c = Chunk::new(
             rle3(),
-            vec![None, Some(ChunkColumn::from_ints(&[10, 20, 30])), Some(ChunkColumn::from_gids(&[0, 1, 0]))],
+            vec![
+                None,
+                Some(ChunkColumn::from_ints(&[10, 20, 30])),
+                Some(ChunkColumn::from_gids(&[0, 1, 0])),
+            ],
         )
         .unwrap();
         assert_eq!(c.num_rows(), 3);

@@ -168,7 +168,7 @@ mod tests {
         assert_eq!(d.rank("a"), 0); // before everything
         assert_eq!(d.rank("m"), 2); // between launch and shop
         assert_eq!(d.rank("z"), 3); // after everything
-        // gid < rank(v)  <=>  dict[gid] < v
+                                    // gid < rank(v)  <=>  dict[gid] < v
         for v in ["a", "fight", "g", "launch", "m", "shop", "z"] {
             for gid in 0..d.len() as u32 {
                 assert_eq!(gid < d.rank(v), d.value(gid).as_ref() < v);

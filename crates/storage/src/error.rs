@@ -9,6 +9,10 @@ pub enum StorageError {
     Corrupt(String),
     /// Unsupported format version in the file header.
     BadVersion(u32),
+    /// The file is well-formed but the requested access mode does not
+    /// support it (e.g. lazily opening a v1 blob that has no chunk index
+    /// footer). The message includes a migration hint.
+    Unsupported(String),
     /// Underlying I/O failure.
     Io(String),
     /// Attempted to read a row or column that does not exist.
@@ -29,6 +33,7 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
             StorageError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            StorageError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
             StorageError::Io(m) => write!(f, "io error: {m}"),
             StorageError::OutOfBounds { what, index, len } => {
                 write!(f, "{what} index {index} out of bounds (len {len})")

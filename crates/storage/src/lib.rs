@@ -26,8 +26,23 @@
 //!   value can be read randomly without decompression.
 //!
 //! [`CompressedTable::build`] compresses an
-//! [`ActivityTable`](cohana_activity::ActivityTable); [`persist`] serializes
-//! the compressed form to a compact binary file.
+//! [`ActivityTable`](cohana_activity::ActivityTable).
+//!
+//! ## Persistence and lazy access
+//!
+//! [`persist`] serializes the compressed form into the **v2 footer-indexed
+//! format**: chunk blobs back-to-back, then a footer holding the schema,
+//! compression options, global column metadata, and one
+//! [`ChunkIndexEntry`] per chunk (byte location, row/user counts, time
+//! bounds, and the chunk's action-dictionary membership), terminated by the
+//! footer length + magic — the Parquet row-group metadata layout adapted to
+//! COHANA's user-clustered chunks.
+//!
+//! The [`ChunkSource`] trait splits "metadata for pruning" from "chunk
+//! payload": [`CompressedTable`] implements it with everything resident,
+//! while [`FileSource`] opens a v2 file in O(footer) and loads + decodes
+//! individual chunks on demand, so a selective query pays decode cost only
+//! for the chunks it touches.
 
 pub mod bitpack;
 pub mod chunk;
@@ -36,6 +51,7 @@ pub mod dict;
 pub mod error;
 pub mod persist;
 pub mod rle;
+pub mod source;
 pub mod stats;
 pub mod table;
 
@@ -45,8 +61,9 @@ pub use column::ChunkColumn;
 pub use dict::{ChunkDict, GlobalDict};
 pub use error::StorageError;
 pub use rle::UserRle;
+pub use source::{ChunkIndexEntry, ChunkRef, ChunkSource, FileSource};
 pub use stats::StorageStats;
-pub use table::{ColumnMeta, CompressedTable, CompressionOptions};
+pub use table::{ColumnMeta, CompressedTable, CompressionOptions, TableMeta};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -60,7 +60,11 @@ impl UserRle {
     }
 
     /// Rebuild from raw parts (persistence path).
-    pub(crate) fn from_parts(users: BitPacked, firsts: BitPacked, counts: BitPacked) -> crate::Result<Self> {
+    pub(crate) fn from_parts(
+        users: BitPacked,
+        firsts: BitPacked,
+        counts: BitPacked,
+    ) -> crate::Result<Self> {
         if users.len() != firsts.len() || users.len() != counts.len() {
             return Err(crate::StorageError::Corrupt("user RLE arrays disagree in length".into()));
         }

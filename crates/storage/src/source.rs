@@ -1,0 +1,362 @@
+//! Chunk sources: uniform, lazily-loadable access to a table's chunks.
+//!
+//! The executor processes a table one chunk at a time and, thanks to the
+//! per-chunk metadata COHANA keeps (§4.1), can often prove from metadata
+//! alone that a chunk contributes nothing to a query (birth action absent
+//! from the chunk's action dictionary, or birth-time bounds disjoint from
+//! the chunk's time range). [`ChunkSource`] makes that split explicit:
+//!
+//! * [`ChunkIndexEntry`] carries exactly the pruning metadata, available for
+//!   *every* chunk without touching chunk payloads;
+//! * [`ChunkSource::chunk`] materializes one chunk's payload on demand.
+//!
+//! Two implementations exist: [`CompressedTable`] (everything resident in
+//! memory — `chunk` is a borrow) and [`FileSource`] (a v2 footer-indexed
+//! file — `chunk` seeks, reads, and decodes one chunk, caching the result).
+//! Opening a `FileSource` costs O(footer): a selective query on a cold table
+//! pays decode cost only for the chunks it actually touches, mirroring the
+//! row-group metadata designs of Parquet and GBAM.
+
+use crate::chunk::Chunk;
+use crate::persist;
+use crate::table::{validate_chunk, CompressedTable, TableMeta};
+use crate::{Result, StorageError};
+use cohana_activity::Schema;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::ops::Deref;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Per-chunk metadata: everything the executor needs to decide whether a
+/// chunk can contribute to a query, without loading the chunk itself. The
+/// v2 persistence footer stores one entry per chunk (the analogue of
+/// Parquet's `RowGroupMetaData` + the column-chunk statistics it wraps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkIndexEntry {
+    /// Tuples in the chunk.
+    pub num_rows: u64,
+    /// Distinct users in the chunk.
+    pub num_users: u64,
+    /// Minimum of the time attribute over the chunk.
+    pub time_min: i64,
+    /// Maximum of the time attribute over the chunk.
+    pub time_max: i64,
+    /// The chunk's action dictionary: sorted global ids of every action that
+    /// occurs in the chunk. Membership here decides birth-action pruning.
+    pub action_gids: Vec<u32>,
+}
+
+impl ChunkIndexEntry {
+    /// Compute the entry for an in-memory chunk.
+    pub fn of_chunk(chunk: &Chunk, schema: &Schema) -> Self {
+        let (time_min, time_max) = chunk
+            .column_required(schema.time_idx())
+            .int_range()
+            .expect("time column is integer-encoded");
+        let action_gids = chunk
+            .column_required(schema.action_idx())
+            .dict()
+            .expect("action column is dictionary-encoded")
+            .global_ids()
+            .to_vec();
+        ChunkIndexEntry {
+            num_rows: chunk.num_rows() as u64,
+            num_users: chunk.num_users() as u64,
+            time_min,
+            time_max,
+            action_gids,
+        }
+    }
+
+    /// Whether any tuple in the chunk performs the action with this global
+    /// id.
+    pub fn has_action(&self, gid: u32) -> bool {
+        self.action_gids.binary_search(&gid).is_ok()
+    }
+
+    /// Whether the chunk's time range is disjoint from `[lo, hi]`.
+    pub fn time_disjoint(&self, lo: i64, hi: i64) -> bool {
+        hi < self.time_min || lo > self.time_max
+    }
+}
+
+/// A loaded chunk: either borrowed from a resident table or owned by the
+/// caller after a lazy decode.
+///
+/// Both in-repo sources currently return `Borrowed` (`CompressedTable` is
+/// resident; `FileSource` pins every decode in its cache). `Owned` is the
+/// contract's room for sources that cannot hand out `&self`-lifetime
+/// borrows — e.g. a bounded cache with eviction — without which the trait
+/// would force unbounded retention on every future implementation.
+pub enum ChunkRef<'a> {
+    /// Chunk resident in the source (memory table or warm cache).
+    Borrowed(&'a Chunk),
+    /// Chunk decoded for this call; the source retains no copy.
+    Owned(Box<Chunk>),
+}
+
+impl Deref for ChunkRef<'_> {
+    type Target = Chunk;
+    fn deref(&self) -> &Chunk {
+        match self {
+            ChunkRef::Borrowed(c) => c,
+            ChunkRef::Owned(c) => c,
+        }
+    }
+}
+
+/// Uniform access to a table's chunks, with pruning metadata available
+/// before any chunk I/O.
+pub trait ChunkSource: Send + Sync {
+    /// The chunk-independent table metadata (schema, global dictionaries,
+    /// integer ranges, row count).
+    fn table_meta(&self) -> &TableMeta;
+
+    /// Number of chunks.
+    fn num_chunks(&self) -> usize;
+
+    /// Pruning metadata of one chunk. Always available without chunk I/O.
+    fn index_entry(&self, idx: usize) -> &ChunkIndexEntry;
+
+    /// Materialize one chunk, loading and decoding it if necessary.
+    fn chunk(&self, idx: usize) -> Result<ChunkRef<'_>>;
+
+    /// How many chunks this source has decoded from backing storage since it
+    /// was opened (0 for fully resident sources). Diagnostics: lets tests
+    /// and benchmarks assert that pruning avoided I/O.
+    fn chunks_decoded(&self) -> usize;
+}
+
+impl ChunkSource for CompressedTable {
+    fn table_meta(&self) -> &TableMeta {
+        self.table_meta()
+    }
+
+    fn num_chunks(&self) -> usize {
+        self.chunks().len()
+    }
+
+    fn index_entry(&self, idx: usize) -> &ChunkIndexEntry {
+        &self.index_entries()[idx]
+    }
+
+    fn chunk(&self, idx: usize) -> Result<ChunkRef<'_>> {
+        Ok(ChunkRef::Borrowed(&self.chunks()[idx]))
+    }
+
+    fn chunks_decoded(&self) -> usize {
+        0
+    }
+}
+
+/// A lazily-loaded, file-backed table in the v2 footer-indexed format.
+///
+/// [`FileSource::open`] reads only the 8-byte header and the footer — O(1)
+/// in the number of tuples. Chunks are fetched and decoded on first access
+/// and cached; [`FileSource::chunks_decoded`] reports how many chunk decodes
+/// actually happened, which selective queries keep strictly below
+/// [`num_chunks`](ChunkSource::num_chunks).
+#[derive(Debug)]
+pub struct FileSource {
+    path: PathBuf,
+    file: Mutex<File>,
+    meta: TableMeta,
+    entries: Vec<ChunkIndexEntry>,
+    /// Byte `(offset, length)` of each chunk blob within the file.
+    locations: Vec<(u64, u64)>,
+    cache: Vec<OnceLock<Chunk>>,
+    decoded: AtomicUsize,
+}
+
+impl FileSource {
+    /// Open a v2 file by reading its footer; no chunk data is touched.
+    ///
+    /// Returns [`StorageError::Unsupported`] for v1 files, which have no
+    /// footer: load those eagerly with [`persist::read_file`] and re-save to
+    /// migrate them to v2.
+    pub fn open(path: &Path) -> Result<FileSource> {
+        let mut file = File::open(path)?;
+        let footer = persist::read_footer_from_file(&mut file)?;
+        let num_chunks = footer.locations.len();
+        Ok(FileSource {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            meta: footer.meta,
+            entries: footer.entries,
+            locations: footer.locations,
+            cache: (0..num_chunks).map(|_| OnceLock::new()).collect(),
+            decoded: AtomicUsize::new(0),
+        })
+    }
+
+    /// The file backing this source.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// How many chunks are currently resident in the cache.
+    pub fn chunks_resident(&self) -> usize {
+        self.cache.iter().filter(|c| c.get().is_some()).count()
+    }
+
+    /// Read one chunk's raw bytes from the file.
+    fn read_blob(&self, idx: usize) -> Result<Vec<u8>> {
+        let (offset, len) = self.locations[idx];
+        let mut buf = vec![0u8; len as usize];
+        let mut file = self.file.lock().expect("file lock poisoned");
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+}
+
+impl ChunkSource for FileSource {
+    fn table_meta(&self) -> &TableMeta {
+        &self.meta
+    }
+
+    fn num_chunks(&self) -> usize {
+        self.locations.len()
+    }
+
+    fn index_entry(&self, idx: usize) -> &ChunkIndexEntry {
+        &self.entries[idx]
+    }
+
+    fn chunk(&self, idx: usize) -> Result<ChunkRef<'_>> {
+        if let Some(chunk) = self.cache[idx].get() {
+            return Ok(ChunkRef::Borrowed(chunk));
+        }
+        let blob = self.read_blob(idx)?;
+        let chunk = persist::decode_chunk_blob(&blob, self.meta.schema().arity())?;
+        validate_chunk(&self.meta, idx, &chunk)?;
+        // The footer's index entry is untrusted input that already steered
+        // pruning; now that the payload is decoded, the whole entry must
+        // agree with it (row/user counts, time bounds, action dictionary) —
+        // the lazy-path analogue of the eager reader's footer/payload
+        // comparison.
+        if ChunkIndexEntry::of_chunk(&chunk, self.meta.schema()) != self.entries[idx] {
+            return Err(StorageError::Corrupt(format!(
+                "chunk {idx}: footer index entry disagrees with chunk payload"
+            )));
+        }
+        self.decoded.fetch_add(1, Ordering::Relaxed);
+        // Under concurrent access another thread may have decoded the same
+        // chunk meanwhile; `get_or_init` keeps exactly one copy.
+        Ok(ChunkRef::Borrowed(self.cache[idx].get_or_init(|| chunk)))
+    }
+
+    fn chunks_decoded(&self) -> usize {
+        self.decoded.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::CompressionOptions;
+    use cohana_activity::{generate, GeneratorConfig};
+
+    fn compressed() -> CompressedTable {
+        let t = generate(&GeneratorConfig::small());
+        CompressedTable::build(&t, CompressionOptions::with_chunk_size(256)).unwrap()
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("cohana-source-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn index_entries_describe_chunks() {
+        let c = compressed();
+        assert!(c.chunks().len() > 1);
+        let schema = c.schema().clone();
+        for (chunk, entry) in c.chunks().iter().zip(c.index_entries()) {
+            assert_eq!(entry.num_rows, chunk.num_rows() as u64);
+            assert_eq!(entry.num_users, chunk.num_users() as u64);
+            assert!(entry.time_min <= entry.time_max);
+            // Every action in the chunk is in the entry and vice versa.
+            let dict = chunk.column_required(schema.action_idx()).dict().unwrap();
+            assert_eq!(entry.action_gids, dict.global_ids());
+        }
+        let rows: u64 = c.index_entries().iter().map(|e| e.num_rows).sum();
+        assert_eq!(rows, c.num_rows() as u64);
+    }
+
+    #[test]
+    fn entry_pruning_predicates() {
+        let entry = ChunkIndexEntry {
+            num_rows: 10,
+            num_users: 2,
+            time_min: 100,
+            time_max: 200,
+            action_gids: vec![1, 4, 9],
+        };
+        assert!(entry.has_action(4));
+        assert!(!entry.has_action(5));
+        assert!(entry.time_disjoint(0, 99));
+        assert!(entry.time_disjoint(201, 300));
+        assert!(!entry.time_disjoint(150, 160));
+        assert!(!entry.time_disjoint(0, 100));
+        assert!(!entry.time_disjoint(200, 300));
+    }
+
+    #[test]
+    fn memory_source_borrows_everything() {
+        let c = compressed();
+        let src: &dyn ChunkSource = &c;
+        assert_eq!(src.num_chunks(), c.chunks().len());
+        for i in 0..src.num_chunks() {
+            let chunk = src.chunk(i).unwrap();
+            assert_eq!(chunk.num_rows(), c.chunks()[i].num_rows());
+        }
+        assert_eq!(src.chunks_decoded(), 0);
+    }
+
+    #[test]
+    fn file_source_loads_lazily_and_caches() {
+        let c = compressed();
+        let path = temp_path("lazy.cohana");
+        persist::write_file(&c, &path).unwrap();
+
+        let src = FileSource::open(&path).unwrap();
+        assert_eq!(src.num_chunks(), c.chunks().len());
+        assert_eq!(src.table_meta().num_rows(), c.num_rows());
+        assert_eq!(src.chunks_decoded(), 0);
+        assert_eq!(src.chunks_resident(), 0);
+
+        // First access decodes; the chunk equals the in-memory one.
+        let chunk = src.chunk(1).unwrap();
+        assert_eq!(&*chunk, &c.chunks()[1]);
+        drop(chunk);
+        assert_eq!(src.chunks_decoded(), 1);
+        assert_eq!(src.chunks_resident(), 1);
+
+        // Second access is served from cache.
+        let again = src.chunk(1).unwrap();
+        assert!(matches!(again, ChunkRef::Borrowed(_)));
+        drop(again);
+        assert_eq!(src.chunks_decoded(), 1);
+
+        // Entries agree with the in-memory index.
+        for i in 0..src.num_chunks() {
+            assert_eq!(src.index_entry(i), &c.index_entries()[i]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_source_rejects_v1_files() {
+        let c = compressed();
+        let path = temp_path("v1.cohana");
+        std::fs::write(&path, persist::to_bytes_v1(&c)).unwrap();
+        assert!(matches!(FileSource::open(&path).unwrap_err(), StorageError::Unsupported(_)));
+        // Eager loading still understands v1.
+        assert_eq!(persist::read_file(&path).unwrap().num_rows(), c.num_rows());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -89,7 +89,7 @@ impl StorageStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::table::{CompressionOptions, CompressedTable};
+    use crate::table::{CompressedTable, CompressionOptions};
     use cohana_activity::{generate, GeneratorConfig};
 
     #[test]
@@ -112,7 +112,8 @@ mod tests {
         // extreme settings on a moderately sized table.
         let t = generate(&GeneratorConfig::new(400));
         let small = CompressedTable::build(&t, CompressionOptions::with_chunk_size(512)).unwrap();
-        let large = CompressedTable::build(&t, CompressionOptions::with_chunk_size(1 << 22)).unwrap();
+        let large =
+            CompressedTable::build(&t, CompressionOptions::with_chunk_size(1 << 22)).unwrap();
         let sb = StorageStats::of(&small);
         let lb = StorageStats::of(&large);
         // Pure packed payload (codes) shrinks or stays equal with small chunks.

@@ -4,6 +4,7 @@ use crate::chunk::Chunk;
 use crate::column::ChunkColumn;
 use crate::dict::GlobalDict;
 use crate::rle::UserRle;
+use crate::source::ChunkIndexEntry;
 use crate::{Result, StorageError};
 use cohana_activity::{ActivityTable, AttributeRole, Schema, TableBuilder, Value, ValueType};
 use std::sync::Arc;
@@ -57,147 +58,39 @@ pub enum ColumnMeta {
     },
 }
 
-/// A compressed activity table.
+/// The chunk-independent part of a compressed table: schema, per-attribute
+/// global metadata (dictionaries / ranges), row count, and compression
+/// options.
+///
+/// This is everything a query needs *before* touching chunk data — predicate
+/// compilation, cohort-key resolution, and report decoding all run against
+/// `TableMeta` alone, which is what lets a file-backed
+/// [`ChunkSource`](crate::source::ChunkSource) plan and prune without
+/// materializing a single chunk.
 #[derive(Debug, Clone)]
-pub struct CompressedTable {
+pub struct TableMeta {
     schema: Schema,
     metas: Vec<ColumnMeta>,
-    chunks: Vec<Chunk>,
     num_rows: usize,
     options: CompressionOptions,
 }
 
-impl CompressedTable {
-    /// Compress an activity table (§4.1). The input is already in
-    /// primary-key order, which provides the clustering and time-ordering
-    /// properties the format needs.
-    pub fn build(table: &ActivityTable, options: CompressionOptions) -> Result<Self> {
-        if options.chunk_size == 0 {
-            return Err(StorageError::Invalid("chunk_size must be positive".into()));
-        }
-        let schema = table.schema().clone();
-        let metas = build_metas(table);
-
-        // Hash-based value→gid encoders: O(1) per value instead of a
-        // binary search in the global dictionary.
-        let encoders: Vec<Option<std::collections::HashMap<&str, u32>>> = metas
-            .iter()
-            .map(|m| match m {
-                ColumnMeta::User { dict } | ColumnMeta::Str { dict } => Some(
-                    dict.values()
-                        .iter()
-                        .enumerate()
-                        .map(|(i, v)| (v.as_ref(), i as u32))
-                        .collect(),
-                ),
-                ColumnMeta::Int { .. } => None,
-            })
-            .collect();
-
-        let mut chunks = Vec::new();
-        let blocks: Vec<_> = table.user_blocks().collect();
-        let mut chunk_start_block = 0usize;
-        while chunk_start_block < blocks.len() {
-            let first_row = blocks[chunk_start_block].start;
-            let mut end_block = chunk_start_block;
-            let mut rows = 0usize;
-            while end_block < blocks.len() && rows < options.chunk_size {
-                rows += blocks[end_block].len;
-                end_block += 1;
-            }
-            let row_range = first_row..first_row + rows;
-            chunks.push(build_chunk(table, &schema, &metas, &encoders, row_range)?);
-            chunk_start_block = end_block;
-        }
-
-        Ok(CompressedTable { schema, metas, chunks, num_rows: table.num_rows(), options })
-    }
-
-    /// Assemble from parts (persistence path). Validates global row count.
-    pub(crate) fn from_parts(
+impl TableMeta {
+    /// Assemble from parts (used by the persistence layer).
+    pub(crate) fn new(
         schema: Schema,
         metas: Vec<ColumnMeta>,
-        chunks: Vec<Chunk>,
         num_rows: usize,
         options: CompressionOptions,
     ) -> Result<Self> {
         if metas.len() != schema.arity() {
             return Err(StorageError::Corrupt("meta count != schema arity".into()));
         }
-        let chunk_rows: usize = chunks.iter().map(|c| c.num_rows()).sum();
-        if chunk_rows != num_rows {
-            return Err(StorageError::Corrupt(format!(
-                "chunks cover {chunk_rows} rows, header claims {num_rows}"
-            )));
+        let meta = TableMeta { schema, metas, num_rows, options };
+        match &meta.metas[meta.schema.user_idx()] {
+            ColumnMeta::User { .. } => Ok(meta),
+            _ => Err(StorageError::Corrupt("user meta missing at user index".into())),
         }
-        let table = CompressedTable { schema, metas, chunks, num_rows, options };
-        table.validate_consistency()?;
-        Ok(table)
-    }
-
-    /// Deep consistency check used when loading untrusted images: every
-    /// chunk-dictionary id must resolve into the global dictionary, every
-    /// packed code into its chunk dictionary, and the RLE user column must
-    /// describe contiguous runs covering exactly the chunk's rows. Without
-    /// this, a corrupted file could drive decode paths out of bounds.
-    pub fn validate_consistency(&self) -> Result<()> {
-        let user_idx = self.schema.user_idx();
-        let user_dict_len = match &self.metas[user_idx] {
-            ColumnMeta::User { dict } => dict.len() as u64,
-            _ => return Err(StorageError::Corrupt("user meta missing at user index".into())),
-        };
-        for (ci, chunk) in self.chunks.iter().enumerate() {
-            let corrupt = |msg: String| StorageError::Corrupt(format!("chunk {ci}: {msg}"));
-            // RLE: contiguous runs, in-range users, counts covering rows.
-            let mut expected_first = 0u64;
-            for run in chunk.user_rle().runs() {
-                if (run.user_gid as u64) >= user_dict_len {
-                    return Err(corrupt(format!("user gid {} out of range", run.user_gid)));
-                }
-                if run.first as u64 != expected_first || run.count == 0 {
-                    return Err(corrupt("user runs not contiguous".into()));
-                }
-                expected_first += run.count as u64;
-            }
-            if expected_first != chunk.num_rows() as u64 {
-                return Err(corrupt("user runs do not cover chunk rows".into()));
-            }
-            // Columns: chunk dict ids within global dicts, codes within
-            // chunk dicts.
-            for (idx, col) in chunk.columns().iter().enumerate() {
-                match (col, &self.metas[idx]) {
-                    (None, _) if idx == user_idx => {}
-                    (Some(ChunkColumn::Str { dict, codes }), ColumnMeta::Str { dict: global }) => {
-                        if let Some(&max_gid) = dict.global_ids().last() {
-                            if (max_gid as usize) >= global.len() {
-                                return Err(corrupt(format!(
-                                    "column {idx}: chunk dict gid {max_gid} out of range"
-                                )));
-                            }
-                        }
-                        let dict_len = dict.len() as u64;
-                        if codes.iter().any(|c| c >= dict_len) {
-                            return Err(corrupt(format!("column {idx}: code out of range")));
-                        }
-                    }
-                    (Some(ChunkColumn::Int { min, max, deltas }), ColumnMeta::Int { .. }) => {
-                        if min > max {
-                            return Err(corrupt(format!("column {idx}: min > max")));
-                        }
-                        let span = max.wrapping_sub(*min) as u64;
-                        if deltas.iter().any(|d| d > span) {
-                            return Err(corrupt(format!("column {idx}: delta out of range")));
-                        }
-                    }
-                    _ => {
-                        return Err(corrupt(format!(
-                            "column {idx}: segment kind disagrees with metadata"
-                        )))
-                    }
-                }
-            }
-        }
-        Ok(())
     }
 
     /// The schema.
@@ -221,11 +114,6 @@ impl CompressedTable {
             ColumnMeta::User { dict } => dict.len(),
             _ => unreachable!("user meta at user index"),
         }
-    }
-
-    /// The chunks.
-    pub fn chunks(&self) -> &[Chunk] {
-        &self.chunks
     }
 
     /// Global metadata of an attribute.
@@ -255,11 +143,158 @@ impl CompressedTable {
     pub fn gid_value(&self, attr_idx: usize, gid: u32) -> &Arc<str> {
         self.global_dict(attr_idx).expect("string attribute").value(gid)
     }
+}
+
+/// A compressed activity table with every chunk resident in memory.
+#[derive(Debug, Clone)]
+pub struct CompressedTable {
+    meta: TableMeta,
+    chunks: Vec<Chunk>,
+    index: Vec<ChunkIndexEntry>,
+}
+
+impl CompressedTable {
+    /// Compress an activity table (§4.1). The input is already in
+    /// primary-key order, which provides the clustering and time-ordering
+    /// properties the format needs.
+    pub fn build(table: &ActivityTable, options: CompressionOptions) -> Result<Self> {
+        if options.chunk_size == 0 {
+            return Err(StorageError::Invalid("chunk_size must be positive".into()));
+        }
+        let schema = table.schema().clone();
+        let metas = build_metas(table);
+
+        // Hash-based value→gid encoders: O(1) per value instead of a
+        // binary search in the global dictionary.
+        let encoders: Vec<Option<std::collections::HashMap<&str, u32>>> = metas
+            .iter()
+            .map(|m| match m {
+                ColumnMeta::User { dict } | ColumnMeta::Str { dict } => Some(
+                    dict.values().iter().enumerate().map(|(i, v)| (v.as_ref(), i as u32)).collect(),
+                ),
+                ColumnMeta::Int { .. } => None,
+            })
+            .collect();
+
+        let mut chunks = Vec::new();
+        let blocks: Vec<_> = table.user_blocks().collect();
+        let mut chunk_start_block = 0usize;
+        while chunk_start_block < blocks.len() {
+            let first_row = blocks[chunk_start_block].start;
+            let mut end_block = chunk_start_block;
+            let mut rows = 0usize;
+            while end_block < blocks.len() && rows < options.chunk_size {
+                rows += blocks[end_block].len;
+                end_block += 1;
+            }
+            let row_range = first_row..first_row + rows;
+            chunks.push(build_chunk(table, &schema, &metas, &encoders, row_range)?);
+            chunk_start_block = end_block;
+        }
+
+        let meta = TableMeta::new(schema, metas, table.num_rows(), options)?;
+        let index = chunks.iter().map(|c| ChunkIndexEntry::of_chunk(c, meta.schema())).collect();
+        Ok(CompressedTable { meta, chunks, index })
+    }
+
+    /// Assemble from parts (persistence path). Validates global row count.
+    pub(crate) fn from_parts(
+        schema: Schema,
+        metas: Vec<ColumnMeta>,
+        chunks: Vec<Chunk>,
+        num_rows: usize,
+        options: CompressionOptions,
+    ) -> Result<Self> {
+        let meta = TableMeta::new(schema, metas, num_rows, options)?;
+        let chunk_rows: usize = chunks.iter().map(|c| c.num_rows()).sum();
+        if chunk_rows != num_rows {
+            return Err(StorageError::Corrupt(format!(
+                "chunks cover {chunk_rows} rows, header claims {num_rows}"
+            )));
+        }
+        let index = chunks.iter().map(|c| ChunkIndexEntry::of_chunk(c, meta.schema())).collect();
+        let table = CompressedTable { meta, chunks, index };
+        table.validate_consistency()?;
+        Ok(table)
+    }
+
+    /// Deep consistency check used when loading untrusted images: every
+    /// chunk-dictionary id must resolve into the global dictionary, every
+    /// packed code into its chunk dictionary, and the RLE user column must
+    /// describe contiguous runs covering exactly the chunk's rows. Without
+    /// this, a corrupted file could drive decode paths out of bounds.
+    pub fn validate_consistency(&self) -> Result<()> {
+        for (ci, chunk) in self.chunks.iter().enumerate() {
+            validate_chunk(&self.meta, ci, chunk)?;
+        }
+        Ok(())
+    }
+
+    /// The chunk-independent metadata (schema, dictionaries, ranges).
+    pub fn table_meta(&self) -> &TableMeta {
+        &self.meta
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        self.meta.schema()
+    }
+
+    /// Compression options used to build the table.
+    pub fn options(&self) -> CompressionOptions {
+        self.meta.options()
+    }
+
+    /// Total number of tuples.
+    pub fn num_rows(&self) -> usize {
+        self.meta.num_rows()
+    }
+
+    /// Total number of distinct users.
+    pub fn num_users(&self) -> usize {
+        self.meta.num_users()
+    }
+
+    /// The chunks.
+    pub fn chunks(&self) -> &[Chunk] {
+        &self.chunks
+    }
+
+    /// Per-chunk index entries (the metadata the executor prunes against and
+    /// the v2 persistence footer serializes).
+    pub fn index_entries(&self) -> &[ChunkIndexEntry] {
+        &self.index
+    }
+
+    /// Global metadata of an attribute.
+    pub fn meta(&self, attr_idx: usize) -> &ColumnMeta {
+        self.meta.meta(attr_idx)
+    }
+
+    /// All metas.
+    pub fn metas(&self) -> &[ColumnMeta] {
+        self.meta.metas()
+    }
+
+    /// The global dictionary of a string (or user) attribute.
+    pub fn global_dict(&self, attr_idx: usize) -> Option<&GlobalDict> {
+        self.meta.global_dict(attr_idx)
+    }
+
+    /// Resolve a string to its global id in an attribute's dictionary.
+    pub fn lookup_gid(&self, attr_idx: usize, value: &str) -> Option<u32> {
+        self.meta.lookup_gid(attr_idx, value)
+    }
+
+    /// The string for a global id of an attribute.
+    pub fn gid_value(&self, attr_idx: usize, gid: u32) -> &Arc<str> {
+        self.meta.gid_value(attr_idx, gid)
+    }
 
     /// Decode one value (slow path, used by tests/decompression).
     pub fn decode_value(&self, chunk_idx: usize, row: usize, attr_idx: usize) -> Value {
         let chunk = &self.chunks[chunk_idx];
-        if attr_idx == self.schema.user_idx() {
+        if attr_idx == self.schema().user_idx() {
             let gid = chunk.user_rle().user_at_row(row).expect("row within chunk");
             return Value::Str(self.gid_value(attr_idx, gid).clone());
         }
@@ -274,14 +309,14 @@ impl CompressedTable {
     /// Fully decompress back to an [`ActivityTable`] (round-trip testing and
     /// export).
     pub fn decompress(&self) -> Result<ActivityTable> {
-        let mut builder = TableBuilder::with_capacity(self.schema.clone(), self.num_rows);
+        let mut builder = TableBuilder::with_capacity(self.schema().clone(), self.num_rows());
         for (ci, chunk) in self.chunks.iter().enumerate() {
             for run in chunk.user_rle().runs() {
-                let user = self.gid_value(self.schema.user_idx(), run.user_gid).clone();
+                let user = self.gid_value(self.schema().user_idx(), run.user_gid).clone();
                 for row in run.first as usize..(run.first + run.count) as usize {
-                    let mut values = Vec::with_capacity(self.schema.arity());
-                    for attr in 0..self.schema.arity() {
-                        if attr == self.schema.user_idx() {
+                    let mut values = Vec::with_capacity(self.schema().arity());
+                    for attr in 0..self.schema().arity() {
+                        if attr == self.schema().user_idx() {
                             values.push(Value::Str(user.clone()));
                         } else {
                             values.push(self.decode_value(ci, row, attr));
@@ -295,6 +330,68 @@ impl CompressedTable {
     }
 }
 
+/// Validate one chunk against the table-level metadata: the RLE user column
+/// must describe contiguous runs covering exactly the chunk's rows with
+/// in-range user gids; chunk-dictionary ids must resolve into the global
+/// dictionary; packed codes/deltas must stay within their chunk dictionary /
+/// range. Shared between the eager [`CompressedTable::validate_consistency`]
+/// pass and the lazy per-chunk decode of
+/// [`FileSource`](crate::source::FileSource).
+pub(crate) fn validate_chunk(meta: &TableMeta, ci: usize, chunk: &Chunk) -> Result<()> {
+    let user_idx = meta.schema().user_idx();
+    let user_dict_len = match meta.meta(user_idx) {
+        ColumnMeta::User { dict } => dict.len() as u64,
+        _ => return Err(StorageError::Corrupt("user meta missing at user index".into())),
+    };
+    let corrupt = |msg: String| StorageError::Corrupt(format!("chunk {ci}: {msg}"));
+    // RLE: contiguous runs, in-range users, counts covering rows.
+    let mut expected_first = 0u64;
+    for run in chunk.user_rle().runs() {
+        if (run.user_gid as u64) >= user_dict_len {
+            return Err(corrupt(format!("user gid {} out of range", run.user_gid)));
+        }
+        if run.first as u64 != expected_first || run.count == 0 {
+            return Err(corrupt("user runs not contiguous".into()));
+        }
+        expected_first += run.count as u64;
+    }
+    if expected_first != chunk.num_rows() as u64 {
+        return Err(corrupt("user runs do not cover chunk rows".into()));
+    }
+    // Columns: chunk dict ids within global dicts, codes within chunk dicts.
+    for (idx, col) in chunk.columns().iter().enumerate() {
+        match (col, meta.meta(idx)) {
+            (None, _) if idx == user_idx => {}
+            (Some(ChunkColumn::Str { dict, codes }), ColumnMeta::Str { dict: global }) => {
+                if let Some(&max_gid) = dict.global_ids().last() {
+                    if (max_gid as usize) >= global.len() {
+                        return Err(corrupt(format!(
+                            "column {idx}: chunk dict gid {max_gid} out of range"
+                        )));
+                    }
+                }
+                let dict_len = dict.len() as u64;
+                if codes.iter().any(|c| c >= dict_len) {
+                    return Err(corrupt(format!("column {idx}: code out of range")));
+                }
+            }
+            (Some(ChunkColumn::Int { min, max, deltas }), ColumnMeta::Int { .. }) => {
+                if min > max {
+                    return Err(corrupt(format!("column {idx}: min > max")));
+                }
+                let span = max.wrapping_sub(*min) as u64;
+                if deltas.iter().any(|d| d > span) {
+                    return Err(corrupt(format!("column {idx}: delta out of range")));
+                }
+            }
+            _ => {
+                return Err(corrupt(format!("column {idx}: segment kind disagrees with metadata")))
+            }
+        }
+    }
+    Ok(())
+}
+
 fn build_metas(table: &ActivityTable) -> Vec<ColumnMeta> {
     table
         .schema()
@@ -302,12 +399,12 @@ fn build_metas(table: &ActivityTable) -> Vec<ColumnMeta> {
         .iter()
         .enumerate()
         .map(|(idx, attr)| match (attr.role, attr.vtype) {
-            (AttributeRole::User, _) => ColumnMeta::User {
-                dict: GlobalDict::build(table.distinct_strings(idx)),
-            },
-            (_, ValueType::Str) => ColumnMeta::Str {
-                dict: GlobalDict::build(table.distinct_strings(idx)),
-            },
+            (AttributeRole::User, _) => {
+                ColumnMeta::User { dict: GlobalDict::build(table.distinct_strings(idx)) }
+            }
+            (_, ValueType::Str) => {
+                ColumnMeta::Str { dict: GlobalDict::build(table.distinct_strings(idx)) }
+            }
             (_, ValueType::Int) => {
                 let (min, max) = table.int_range(idx).unwrap_or((0, 0));
                 ColumnMeta::Int { min, max }

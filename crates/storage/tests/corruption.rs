@@ -1,23 +1,53 @@
 //! Robustness: deserializing corrupted or truncated table images must fail
-//! gracefully (an `Err`, never a panic, never an out-of-bounds read).
+//! gracefully (an `Err`, never a panic, never an out-of-bounds read) — for
+//! both the legacy v1 eager blobs and the v2 footer-indexed format, and for
+//! both the eager (`from_bytes`) and lazy (`FileSource`) read paths.
 
 use cohana_activity::{generate, GeneratorConfig};
-use cohana_storage::persist::{from_bytes, to_bytes};
-use cohana_storage::{CompressedTable, CompressionOptions};
+use cohana_storage::persist::{from_bytes, to_bytes, to_bytes_v1};
+use cohana_storage::{ChunkSource, CompressedTable, CompressionOptions, FileSource};
 use proptest::prelude::*;
 
-fn image() -> Vec<u8> {
+fn compressed() -> CompressedTable {
     let t = generate(&GeneratorConfig::small());
-    let c = CompressedTable::build(&t, CompressionOptions::with_chunk_size(256)).unwrap();
-    to_bytes(&c).to_vec()
+    CompressedTable::build(&t, CompressionOptions::with_chunk_size(256)).unwrap()
+}
+
+/// A serialized image in the requested format version.
+fn image(version: u32) -> Vec<u8> {
+    let c = compressed();
+    match version {
+        1 => to_bytes_v1(&c).to_vec(),
+        2 => to_bytes(&c).to_vec(),
+        v => panic!("no writer for version {v}"),
+    }
+}
+
+/// Open `bytes` as a temp file with a lazy `FileSource` and touch every
+/// chunk; any outcome but a panic is fine.
+fn exercise_lazy(bytes: &[u8], tag: &str) {
+    let dir = std::env::temp_dir().join("cohana-corruption-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("corrupt-{tag}-{:x}.cohana", bytes.len()));
+    std::fs::write(&path, bytes).unwrap();
+    if let Ok(src) = FileSource::open(&path) {
+        for i in 0..src.num_chunks() {
+            let _ = src.chunk(i);
+        }
+    }
+    std::fs::remove_file(&path).ok();
 }
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
 
     #[test]
-    fn random_single_byte_flip_never_panics(pos in 0usize..60_000, xor in 1u8..=255) {
-        let mut bytes = image();
+    fn random_single_byte_flip_never_panics(
+        version in prop::sample::select(vec![1u32, 2]),
+        pos in 0usize..60_000,
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = image(version);
         let pos = pos % bytes.len();
         bytes[pos] ^= xor;
         // Either it still parses (the flip hit padding/payload that decodes
@@ -28,24 +58,72 @@ proptest! {
             // consistent enough to decompress or cleanly error.
             let _ = table.decompress();
         }
+        if version == 2 {
+            exercise_lazy(&bytes, "flip");
+        }
     }
 
     #[test]
-    fn random_truncation_never_panics(cut_fraction in 0.0f64..1.0) {
-        let bytes = image();
+    fn random_truncation_never_panics(
+        version in prop::sample::select(vec![1u32, 2]),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let bytes = image(version);
         let cut = ((bytes.len() as f64) * cut_fraction) as usize;
         prop_assert!(from_bytes(&bytes[..cut]).is_err());
+        if version == 2 {
+            exercise_lazy(&bytes[..cut], "cut");
+        }
     }
 
     #[test]
     fn random_garbage_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..2_000)) {
         let _ = from_bytes(&garbage);
+        exercise_lazy(&garbage, "garbage");
     }
 }
 
 #[test]
-fn valid_image_roundtrips() {
-    let bytes = image();
-    let table = from_bytes(&bytes).unwrap();
-    assert!(table.num_rows() > 0);
+fn valid_images_roundtrip_both_versions() {
+    for version in [1, 2] {
+        let bytes = image(version);
+        let table = from_bytes(&bytes).unwrap();
+        assert!(table.num_rows() > 0, "v{version}");
+        assert_eq!(table.decompress().unwrap().num_rows(), table.num_rows(), "v{version}");
+    }
+}
+
+#[test]
+fn bad_magic_rejected_both_versions() {
+    for version in [1, 2] {
+        let mut bytes = image(version);
+        bytes[0] ^= 0xFF;
+        assert!(from_bytes(&bytes).is_err(), "v{version}");
+    }
+}
+
+#[test]
+fn lazy_decode_of_tampered_chunk_errors_not_panics() {
+    // Flip bytes inside the chunk payload region only: the footer parses
+    // fine, so FileSource::open succeeds, and the corruption must surface
+    // as a per-chunk decode error (or a changed-but-consistent payload),
+    // never a panic.
+    let bytes = image(2);
+    let dir = std::env::temp_dir().join("cohana-corruption-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for pos in [9usize, 40, 200, 1000] {
+        let mut tampered = bytes.clone();
+        if pos >= tampered.len() / 2 {
+            continue;
+        }
+        tampered[pos] ^= 0x5A;
+        let path = dir.join(format!("tamper-{pos}.cohana"));
+        std::fs::write(&path, &tampered).unwrap();
+        if let Ok(src) = FileSource::open(&path) {
+            for i in 0..src.num_chunks() {
+                let _ = src.chunk(i);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
 }

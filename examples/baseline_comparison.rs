@@ -15,11 +15,9 @@ fn main() {
     println!("dataset: {} tuples, {} users\n", table.num_rows(), table.num_users());
 
     // Prepare all five schemes.
-    let engine = Cohana::from_activity_table(
-        &table,
-        CompressionOptions::with_chunk_size(16 * 1024),
-    )
-    .expect("compress");
+    let engine =
+        Cohana::from_activity_table(&table, CompressionOptions::with_chunk_size(16 * 1024))
+            .expect("compress");
     let mut col = ColEngine::load(&table);
     let mut row = RowEngine::load(&table);
     for action in ["launch", "shop"] {

@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cohana::prelude::*;
 use cohana::engine::AggFunc;
 use cohana::engine::Expr;
+use cohana::prelude::*;
 
 fn main() {
     // 1. A synthetic mobile-game activity table (deterministic).

@@ -2,7 +2,7 @@
 //! user-provided activity dataset.
 //!
 //! ```text
-//! cohana-shell [--users N] [--load FILE.cohana] [--csv FILE.csv]
+//! cohana-shell [--users N] [--load FILE.cohana] [--open FILE.cohana] [--csv FILE.csv]
 //!
 //! cohana> SELECT country, COHORTSIZE, AGE, UserCount()
 //!     ... FROM GameActions BIRTH FROM action = "launch"
@@ -23,6 +23,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut users = 1_000usize;
     let mut load: Option<String> = None;
+    let mut open: Option<String> = None;
     let mut csv: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -38,12 +39,21 @@ fn main() {
                 i += 1;
                 load = args.get(i).cloned();
             }
+            "--open" => {
+                i += 1;
+                open = args.get(i).cloned();
+            }
             "--csv" => {
                 i += 1;
                 csv = args.get(i).cloned();
             }
             "--help" | "-h" => {
-                println!("usage: cohana-shell [--users N] [--load FILE.cohana] [--csv FILE.csv]");
+                println!(
+                    "usage: cohana-shell [--users N] [--load FILE.cohana] \
+                     [--open FILE.cohana] [--csv FILE.csv]\n\
+                     --load reads the whole file into memory; --open reads only the\n\
+                     footer and fetches chunks on demand as queries touch them (v2 files)."
+                );
                 return;
             }
             other => {
@@ -55,7 +65,19 @@ fn main() {
     }
 
     let engine = Cohana::new(Default::default());
-    if let Some(path) = load {
+    if let Some(path) = open {
+        match engine.open_file("GameActions", std::path::Path::new(&path)) {
+            Ok(src) => eprintln!(
+                "opened {path} lazily: {} tuples in {} chunks (0 decoded)",
+                src.table_meta().num_rows(),
+                src.num_chunks(),
+            ),
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else if let Some(path) = load {
         match engine.load_file("GameActions", std::path::Path::new(&path)) {
             Ok(t) => eprintln!("loaded {} tuples from {path}", t.num_rows()),
             Err(e) => {
@@ -184,8 +206,8 @@ fn meta_command(engine: &Cohana, cmd: &str) -> bool {
             );
         }
         ".schema" => {
-            if let Some(t) = engine.table("GameActions") {
-                for a in t.schema().attributes() {
+            if let Some(schema) = engine.schema_of("GameActions") {
+                for a in schema.attributes() {
                     println!("{:<10} {:<8} {:?}", a.name, a.vtype.name(), a.role);
                 }
             }
@@ -200,6 +222,15 @@ fn meta_command(engine: &Cohana, cmd: &str) -> bool {
                     s.num_chunks,
                     s.total_bytes() as f64 / (1024.0 * 1024.0),
                     s.bytes_per_tuple()
+                );
+            } else if let Some(src) = engine.source("GameActions") {
+                let meta = src.table_meta();
+                println!(
+                    "{} tuples, {} users, {} chunks (file-backed, {} decoded so far)",
+                    meta.num_rows(),
+                    meta.num_users(),
+                    src.num_chunks(),
+                    src.chunks_decoded()
                 );
             }
         }
@@ -216,6 +247,8 @@ fn meta_command(engine: &Cohana, cmd: &str) -> bool {
                     Ok(()) => println!("saved to {rest}"),
                     Err(e) => eprintln!("error: {e}"),
                 }
+            } else {
+                eprintln!("table is file-backed already; copy the source file instead");
             }
         }
         other => eprintln!("unknown command {other:?}; try .help"),

@@ -52,8 +52,8 @@ pub mod prelude {
         generate, scale_table, ActivityTable, GeneratorConfig, Schema, TimeBin, Timestamp, Value,
     };
     pub use cohana_core::{
-        AggFunc, CohortQuery, CohortReport, Cohana, EngineOptions, PlannerOptions,
+        AggFunc, Cohana, CohortQuery, CohortReport, EngineOptions, PlannerOptions,
     };
     pub use cohana_sql::{parse_cohort_query, SqlExt};
-    pub use cohana_storage::{CompressedTable, CompressionOptions};
+    pub use cohana_storage::{ChunkSource, CompressedTable, CompressionOptions, FileSource};
 }

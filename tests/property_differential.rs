@@ -73,9 +73,8 @@ fn query_strategy() -> impl Strategy<Value = CohortQuery> {
         Just(None),
         prop::sample::select(ROLES.to_vec())
             .prop_map(|r| Some(Expr::attr("role").eq(Expr::lit_str(r)))),
-        (0i64..30).prop_map(|d| Some(
-            Expr::attr("time").between_int(d * 86_400, (d + 10) * 86_400)
-        )),
+        (0i64..30)
+            .prop_map(|d| Some(Expr::attr("time").between_int(d * 86_400, (d + 10) * 86_400))),
     ];
     let age_pred = prop_oneof![
         Just(None),

@@ -1,0 +1,263 @@
+//! Minimal vendored subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the API surface the workspace's `benches/` use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher` (`iter` / `iter_batched`), `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical analysis it runs a short warm-up, then
+//! measures for the configured measurement time and prints the mean
+//! iteration latency. Good enough to compare order-of-magnitude effects,
+//! which is what the paper-reproduction benches are after.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value/computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch setup granularity for [`Bencher::iter_batched`]; accepted for
+/// source compatibility, the shim always runs one setup per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// (total elapsed, iterations) of the measurement phase.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let deadline = start + self.measurement;
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(routine(setup()));
+        }
+        let deadline = Instant::now() + self.measurement;
+        let mut iters = 0u64;
+        let mut measured = Duration::ZERO;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.result = Some((measured, iters));
+    }
+}
+
+/// A named collection of related benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the measurement phase duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the warm-up phase duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Accepted for source compatibility; the shim is time-budgeted, not
+    /// sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher =
+            Bencher { warm_up: self.warm_up, measurement: self.measurement, result: None };
+        f(&mut bencher);
+        self.report(&id.to_string(), bencher.result);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher =
+            Bencher { warm_up: self.warm_up, measurement: self.measurement, result: None };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), bencher.result);
+        self
+    }
+
+    fn report(&mut self, id: &str, result: Option<(Duration, u64)>) {
+        let full = format!("{}/{}", self.name, id);
+        match result {
+            Some((elapsed, iters)) if iters > 0 => {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                self.criterion
+                    .println(&format!("{full:<52} {:>12}  ({iters} iters)", format_time(per_iter)));
+            }
+            _ => self.criterion.println(&format!("{full:<52} {:>12}", "no samples")),
+        }
+    }
+
+    /// Finish the group (formatting no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    quiet: bool,
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+
+    /// Run one stand-alone benchmark with default timing settings.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+        self
+    }
+
+    fn println(&mut self, line: &str) {
+        if !self.quiet {
+            println!("{line}");
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_runs() {
+        let mut c = Criterion { quiet: true };
+        let mut g = c.benchmark_group("g");
+        g.measurement_time(Duration::from_millis(5)).warm_up_time(Duration::from_millis(1));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + 1));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,504 @@
+//! Minimal vendored subset of the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! reimplements the slice of the proptest API the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`, range / tuple / `Just` /
+//! `select` / `vec` / simple-regex strategies, the `proptest!`,
+//! `prop_oneof!`, `prop_assert!`, and `prop_assert_eq!` macros, and
+//! [`ProptestConfig`] with a `cases` knob.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case fails with its concrete inputs; the
+//!   deterministic seed (derived from the test name) makes reruns reproduce
+//!   it exactly;
+//! * **regex strategies** support only the `[class]{m,n}` shape (optionally
+//!   a bare class or literal), which is what the tests use;
+//! * `prop_assert*` are plain `assert*` — failures panic immediately.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG handed to strategies by the [`proptest!`] runner.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator seeded from the test's name, so every test has a stable
+    /// but distinct stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw from an integer range.
+    pub fn in_range<T, R: rand::SampleRange<T>>(&mut self, r: R) -> T {
+        self.0.random_range(r)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.random::<f64>()
+    }
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_for_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.in_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.in_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuples! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+}
+
+/// Types with a canonical full-domain strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Draw one value uniformly over the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Full-domain strategy for `T` (see [`Arbitrary`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// One arm of a [`Union`]: a boxed generator function.
+type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// Union of same-valued strategies; built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<UnionArm<T>>,
+}
+
+impl<T> Union<T> {
+    /// An empty union (must gain at least one arm before generating).
+    pub fn empty() -> Self {
+        Union { arms: Vec::new() }
+    }
+
+    /// Add an arm.
+    pub fn or<S>(mut self, strategy: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        self.arms.push(Box::new(move |rng| strategy.generate(rng)));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = rng.in_range(0..self.arms.len());
+        (self.arms[idx])(rng)
+    }
+}
+
+/// Strategy for `&str` patterns of the shape `[class]{m,n}` (plus bare
+/// classes and literals) — the subset the workspace's tests use.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_simple_pattern(self);
+        let len = rng.in_range(lo..hi + 1);
+        (0..len).map(|_| alphabet[rng.in_range(0..alphabet.len())]).collect()
+    }
+}
+
+/// Parse `[a-z]{1,6}`-style patterns into (alphabet, min_len, max_len).
+fn parse_simple_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let mut chars = pattern.chars().peekable();
+    let mut alphabet = Vec::new();
+    if chars.peek() == Some(&'[') {
+        chars.next();
+        let mut class: Vec<char> = Vec::new();
+        for c in chars.by_ref() {
+            if c == ']' {
+                break;
+            }
+            class.push(c);
+        }
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (a, b) = (class[i], class[i + 2]);
+                assert!(a <= b, "bad char range in pattern {pattern:?}");
+                for c in a..=b {
+                    alphabet.push(c);
+                }
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+    } else {
+        // Literal prefix (no class): every non-brace char is the alphabet of
+        // a fixed string; treated as a one-symbol-at-a-time choice.
+        for c in chars.by_ref() {
+            if c == '{' {
+                break;
+            }
+            alphabet.push(c);
+        }
+        assert!(
+            !alphabet.is_empty(),
+            "unsupported regex pattern {pattern:?} (vendored proptest supports [class]{{m,n}})"
+        );
+        return (alphabet.clone(), alphabet.len(), alphabet.len());
+    }
+    let rest: String = chars.collect();
+    if rest.is_empty() {
+        return (alphabet, 1, 1);
+    }
+    let body = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported regex pattern {pattern:?}"));
+    let (lo, hi) = match body.split_once(',') {
+        Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+        None => {
+            let n = body.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    assert!(!alphabet.is_empty() && lo <= hi, "bad pattern {pattern:?}");
+    (alphabet, lo, hi)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, len_range)`: vectors of `element` draws.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.in_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespaced strategy constructors mirroring `proptest::prop`.
+pub mod prop {
+    /// Sampling from explicit value lists.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform choice from a vector of values.
+        #[derive(Debug, Clone)]
+        pub struct Select<T: Clone>(Vec<T>);
+
+        /// Strategy choosing uniformly among `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select(options)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.0[rng.in_range(0..self.0.len())].clone()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for a fair coin flip.
+        #[derive(Debug, Clone, Copy)]
+        pub struct AnyBool;
+
+        /// Either boolean, uniformly.
+        pub const ANY: AnyBool = AnyBool;
+
+        impl Strategy for AnyBool {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+
+    pub use super::collection;
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Assert within a property test (no shrinking; plain panic on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform union of strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let union = $crate::Union::empty();
+        $(let union = union.or($arm);)+
+        union
+    }};
+}
+
+/// Define property tests: each function runs `config.cases` times with
+/// freshly generated inputs from the `in` strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @config $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @config $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@config $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            let strategy = ($($strategy,)+);
+            for _case in 0..config.cases {
+                let ($($arg,)+) = $crate::Strategy::generate(&strategy, &mut rng);
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = crate::TestRng::deterministic("ranges_and_tuples");
+        let s = (0u8..10, 5i64..6, 0usize..3);
+        for _ in 0..200 {
+            let (a, b, c) = crate::Strategy::generate(&s, &mut rng);
+            assert!(a < 10 && b == 5 && c < 3);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_and_select() {
+        let mut rng = crate::TestRng::deterministic("oneof");
+        let s = prop_oneof![Just(None), prop::sample::select(vec![1i64, 2, 3]).prop_map(Some),];
+        let mut seen_none = false;
+        let mut seen_some = false;
+        for _ in 0..100 {
+            match crate::Strategy::generate(&s, &mut rng) {
+                None => seen_none = true,
+                Some(v) => {
+                    assert!((1..=3).contains(&v));
+                    seen_some = true;
+                }
+            }
+        }
+        assert!(seen_none && seen_some);
+    }
+
+    #[test]
+    fn regex_and_vec_strategies() {
+        let mut rng = crate::TestRng::deterministic("regex");
+        let words = crate::collection::vec("[a-z]{1,6}", 0..10);
+        for _ in 0..50 {
+            for w in crate::Strategy::generate(&words, &mut rng) {
+                assert!((1..=6).contains(&w.len()));
+                assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_form_works(x in 0u64..100, flip in prop::bool::ANY, byte in any::<u8>()) {
+            prop_assert!(x < 100);
+            let _ = (flip, byte);
+            prop_assert_eq!(x + 1, 1 + x, "commutes for {}", x);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Minimal vendored subset of the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the small deterministic-PRNG surface the workspace uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `RngExt` sampling
+//! helpers (`random`, `random_range`, `random_bool`).
+//!
+//! The generator is SplitMix64 — not cryptographic, but fast, seedable, and
+//! fully deterministic, which is all the synthetic data generator needs.
+//! Streams differ from the real `rand` crate; the workspace only relies on
+//! determinism for a fixed seed, not on a specific stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// PRNG implementations.
+pub mod rngs {
+    /// The standard deterministic PRNG (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        /// Next raw 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = StdRng { state: seed ^ 0x5DEE_CE66_D0BE_E7E5 };
+            // Warm up so nearby seeds diverge immediately.
+            rng.next_u64();
+            rng
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Types samplable uniformly over their full domain via [`RngExt::random`].
+pub trait RandomValue {
+    /// Draw one value.
+    fn random(rng: &mut StdRng) -> Self;
+}
+
+impl RandomValue for f64 {
+    #[inline]
+    fn random(rng: &mut StdRng) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl RandomValue for u64 {
+    #[inline]
+    fn random(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl RandomValue for bool {
+    #[inline]
+    fn random(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable via [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range. Panics on an empty range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty random_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty random_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Sampling helpers on a PRNG.
+pub trait RngExt {
+    /// A uniform value over the type's full domain (`[0, 1)` for floats).
+    fn random<T: RandomValue>(&mut self) -> T;
+
+    /// A uniform value from a range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl RngExt for StdRng {
+    #[inline]
+    fn random<T: RandomValue>(&mut self) -> T {
+        T::random(self)
+    }
+
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i64 = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let u: usize = rng.random_range(0usize..3);
+            assert!(u < 3);
+            let w: u8 = rng.random_range(1u8..=255);
+            assert!(w >= 1);
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_probability_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_000..4_000).contains(&hits), "{hits}");
+    }
+}
