@@ -90,6 +90,26 @@ const COUNTRIES: [(&str, u32, [&str; 3]); 12] = [
 const ROLES: [&str; 8] =
     ["dwarf", "wizard", "assassin", "bandit", "knight", "archer", "mage", "priest"];
 
+/// How user births are distributed across the observation window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalModel {
+    /// Births follow a truncated exponential skewed towards the early days
+    /// (the paper's Figure 8 shape). Every user can stay active until the
+    /// end of the window, so chunk time-bounds all overlap.
+    EarlySkew,
+    /// Cohort-clustered arrival: the birth day ramps deterministically with
+    /// the user id across the window and each user stays active for at
+    /// most `active_days` days after birth. Because user ids order the
+    /// table and chunking follows user order, chunks far apart in user
+    /// space get **disjoint time bounds** — making §4.2 time-range chunk
+    /// pruning visible on synthetic data (the paper's pruning wins come
+    /// from exactly this kind of arrival clustering in real logs).
+    CohortClustered {
+        /// Maximum days of activity after a user's birth.
+        active_days: u32,
+    },
+}
+
 /// Configuration for the synthetic workload.
 #[derive(Debug, Clone)]
 pub struct GeneratorConfig {
@@ -102,13 +122,15 @@ pub struct GeneratorConfig {
     /// RNG seed; identical configs generate identical tables.
     pub seed: u64,
     /// Mean of the exponential birth-day distribution, in days. Smaller
-    /// values skew births earlier.
+    /// values skew births earlier. ([`ArrivalModel::EarlySkew`] only.)
     pub birth_mean_days: f64,
     /// Retention half-life in days: daily activity decays as
     /// `exp(-age/retention)`.
     pub retention_days: f64,
     /// Expected number of activities in a user's *first* active day.
     pub base_intensity: f64,
+    /// How births are placed across the window.
+    pub arrival: ArrivalModel,
 }
 
 impl GeneratorConfig {
@@ -123,6 +145,7 @@ impl GeneratorConfig {
             birth_mean_days: 9.0,
             retention_days: 9.0,
             base_intensity: 10.0,
+            arrival: ArrivalModel::EarlySkew,
         }
     }
 
@@ -134,6 +157,16 @@ impl GeneratorConfig {
     /// The default benchmarking base dataset (scale factor 1).
     pub fn benchmark_base() -> Self {
         GeneratorConfig::new(1_000)
+    }
+
+    /// Cohort-clustered arrival: births ramp over the window with the user
+    /// id and each user is active for at most 5 days, so chunk time-bounds
+    /// are (mostly) disjoint and time-range pruning fires.
+    pub fn cohort_clustered(num_users: usize) -> Self {
+        GeneratorConfig {
+            arrival: ArrivalModel::CohortClustered { active_days: 5 },
+            ..GeneratorConfig::new(num_users)
+        }
     }
 }
 
@@ -171,7 +204,16 @@ pub fn generate(config: &GeneratorConfig) -> ActivityTable {
 
     for uid in 0..config.num_users {
         let user: Arc<str> = Arc::from(format!("{uid:07}"));
-        emit_user(&mut rng, config, &mut builder, &user, &country_items, &action_arcs, &launch);
+        emit_user(
+            &mut rng,
+            config,
+            uid,
+            &mut builder,
+            &user,
+            &country_items,
+            &action_arcs,
+            &launch,
+        );
     }
     builder.finish().expect("generator emits unique keys")
 }
@@ -180,6 +222,7 @@ pub fn generate(config: &GeneratorConfig) -> ActivityTable {
 fn emit_user(
     rng: &mut StdRng,
     config: &GeneratorConfig,
+    uid: usize,
     builder: &mut TableBuilder,
     user: &Arc<str>,
     country_items: &[((usize, &str), u32)],
@@ -191,11 +234,19 @@ fn emit_user(
     let city: Arc<str> = Arc::from(COUNTRIES[country_idx].2[rng.random_range(0..3usize)]);
     let mut role: Arc<str> = Arc::from(ROLES[rng.random_range(0..ROLES.len())]);
 
-    // Birth day: truncated exponential over the window -> concave CDF.
-    let birth_day = loop {
-        let x = -config.birth_mean_days * (1.0 - rng.random::<f64>()).ln();
-        if x < config.num_days as f64 {
-            break x as u32;
+    let birth_day = match config.arrival {
+        // Truncated exponential over the window -> concave CDF.
+        ArrivalModel::EarlySkew => loop {
+            let x = -config.birth_mean_days * (1.0 - rng.random::<f64>()).ln();
+            if x < config.num_days as f64 {
+                break x as u32;
+            }
+        },
+        // Deterministic ramp: birth day is non-decreasing in the user id,
+        // so user-ordered chunks cluster births in time.
+        ArrivalModel::CohortClustered { .. } => {
+            ((uid as u64 * config.num_days as u64 / config.num_users.max(1) as u64) as u32)
+                .min(config.num_days - 1)
         }
     };
     let birth_week = birth_day / 7;
@@ -251,8 +302,15 @@ fn emit_user(
         &city,
     );
 
-    // Subsequent days: intensity decays with age (the aging effect).
-    let remaining = config.num_days - birth_day;
+    // Subsequent days: intensity decays with age (the aging effect). Under
+    // cohort-clustered arrival the activity window is additionally capped,
+    // which is what keeps distant chunks' time bounds disjoint.
+    let remaining = match config.arrival {
+        ArrivalModel::EarlySkew => config.num_days - birth_day,
+        ArrivalModel::CohortClustered { active_days } => {
+            (config.num_days - birth_day).min(active_days)
+        }
+    };
     for age_day in 0..remaining {
         let intensity =
             config.base_intensity * personal * (-(age_day as f64) / config.retention_days).exp();
@@ -488,6 +546,54 @@ mod tests {
         let base = generate(&GeneratorConfig::small());
         let scaled = scale_table(&base, 1);
         assert_eq!(scaled.rows(), base.rows());
+    }
+
+    #[test]
+    fn cohort_clustered_is_deterministic() {
+        let cfg = GeneratorConfig::cohort_clustered(80);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.num_users(), 80);
+    }
+
+    #[test]
+    fn cohort_clustered_births_ramp_with_user_id() {
+        let cfg = GeneratorConfig::cohort_clustered(120);
+        let t = generate(&cfg);
+        let tidx = t.schema().time_idx();
+        let mut last_birth_day = i64::MIN;
+        let mut distinct_days = std::collections::HashSet::new();
+        for block in t.user_blocks() {
+            let birth = t.rows()[block.start].get(tidx).as_int().unwrap();
+            let day = (birth - cfg.start.secs()) / SECONDS_PER_DAY;
+            assert!(day >= last_birth_day, "births must be non-decreasing in user order");
+            last_birth_day = day;
+            distinct_days.insert(day);
+        }
+        // The ramp spans (most of) the window instead of collapsing early.
+        assert!(distinct_days.len() as u32 >= cfg.num_days / 2, "{distinct_days:?}");
+    }
+
+    #[test]
+    fn cohort_clustered_bounds_activity_window() {
+        let active_days = match GeneratorConfig::cohort_clustered(1).arrival {
+            ArrivalModel::CohortClustered { active_days } => active_days,
+            _ => unreachable!(),
+        };
+        let cfg = GeneratorConfig::cohort_clustered(100);
+        let t = generate(&cfg);
+        let tidx = t.schema().time_idx();
+        for block in t.user_blocks() {
+            let birth = t.rows()[block.start].get(tidx).as_int().unwrap();
+            for i in block.range() {
+                let secs = t.rows()[i].get(tidx).as_int().unwrap();
+                assert!(
+                    secs - birth <= (active_days as i64) * SECONDS_PER_DAY,
+                    "activity escapes the cohort window"
+                );
+            }
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod value;
 
 pub use builder::TableBuilder;
 pub use error::ActivityError;
-pub use generate::{generate, scale_table, GeneratorConfig};
+pub use generate::{generate, scale_table, ArrivalModel, GeneratorConfig};
 pub use schema::{Attribute, AttributeRole, Schema};
 pub use table::{ActivityTable, UserBlock};
 pub use time::{TimeBin, Timestamp, SECONDS_PER_DAY};

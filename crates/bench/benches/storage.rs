@@ -1,13 +1,19 @@
 //! Storage-layer microbenchmarks: bit-packing random access, dictionary
 //! lookups, table compression and decompression — the primitives behind
-//! Figure 7 and the TableScan — plus the v2 footer-indexed format's
-//! headline trade-off: eager whole-file loading vs. O(footer) lazy opening
-//! with on-demand chunk decode on a Q2-style selective query.
+//! Figure 7 and the TableScan — plus the footer-indexed formats' headline
+//! trade-offs: eager whole-file loading vs. O(footer) lazy opening with
+//! on-demand decode on a Q2-style selective query, §4.2 chunk pruning made
+//! visible by cohort-clustered arrival, and v3 projection pushdown vs. the
+//! v2 whole-chunk fetch.
+//!
+//! CI runs this bench in smoke mode (`COHANA_BENCH_SMOKE=1`, one iteration
+//! per bench) so format or harness bit-rot fails the workflow.
 
-use cohana_activity::{generate, GeneratorConfig};
+use cohana_activity::{generate, GeneratorConfig, SECONDS_PER_DAY};
 use cohana_core::{execute_plan, execute_source, paper, plan_query, PlannerOptions};
 use cohana_storage::{
-    bitpack::BitPacked, persist, CompressedTable, CompressionOptions, FileSource, GlobalDict,
+    bitpack::BitPacked, persist, ChunkSource, CompressedTable, CompressionOptions, FileSource,
+    GlobalDict,
 };
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::time::Duration;
@@ -89,17 +95,17 @@ fn bench_compress(c: &mut Criterion) {
     g.finish();
 }
 
-/// Eager vs. lazy access to a persisted v2 table: cold open alone, and cold
+/// Eager vs. lazy access to a persisted table: cold open alone, and cold
 /// open followed by a selective Q2 query (birth date range). The lazy path
-/// reads only the footer at open and, thanks to index-entry pruning, decodes
-/// only the chunks the query's birth window touches.
+/// reads only the footer at open and, thanks to index-entry pruning and
+/// projection pushdown, reads and decodes only the chunk columns the query
+/// touches.
 ///
-/// On the synthetic generator every chunk's time range overlaps the Q2 birth
+/// On the default generator every chunk's time range overlaps the Q2 birth
 /// window (chunks are user-clustered and users span the whole observation
-/// period), so open+query converges for both paths; the structural win here
-/// is the O(footer) open. On time-clustered data the lazy path also skips
-/// whole chunks — see the decode-counting tests in
-/// `cohana-core/tests/lazy_storage.rs`.
+/// period), so the structural wins here are the O(footer) open and the
+/// per-column fetch; [`bench_pruning_cohort_clustered`] shows chunk pruning
+/// proper on time-clustered data.
 fn bench_lazy_vs_eager(c: &mut Criterion) {
     let table = generate(&GeneratorConfig::new(300));
     let compressed =
@@ -111,7 +117,7 @@ fn bench_lazy_vs_eager(c: &mut Criterion) {
     let query = paper::q2();
     let plan = plan_query(&query, compressed.schema(), PlannerOptions::default()).unwrap();
 
-    let mut g = c.benchmark_group("v2_open");
+    let mut g = c.benchmark_group("v3_open");
     g.sample_size(20)
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(300));
@@ -137,5 +143,110 @@ fn bench_lazy_vs_eager(c: &mut Criterion) {
     std::fs::remove_file(&path).ok();
 }
 
-criterion_group!(benches, bench_bitpack, bench_dict, bench_compress, bench_lazy_vs_eager);
+/// v3 projection pushdown vs. the v2 whole-chunk fetch: the same Q1 (which
+/// projects 4 of the 8 game-schema attributes) against the same table
+/// persisted in both formats. The v3 run reads strictly fewer bytes; the
+/// per-source I/O counters are printed once after the timed runs.
+fn bench_projection_v3_vs_v2(c: &mut Criterion) {
+    let table = generate(&GeneratorConfig::new(300));
+    let compressed =
+        CompressedTable::build(&table, CompressionOptions::with_chunk_size(4 * 1024)).unwrap();
+    let dir = std::env::temp_dir().join("cohana-storage-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let v2_path = dir.join("bench-proj-v2.cohana");
+    let v3_path = dir.join("bench-proj-v3.cohana");
+    std::fs::write(&v2_path, persist::to_bytes_v2(&compressed)).unwrap();
+    persist::write_file(&compressed, &v3_path).unwrap();
+    let plan = plan_query(&paper::q1(), compressed.schema(), PlannerOptions::default()).unwrap();
+
+    let mut g = c.benchmark_group("projection");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    g.bench_function("q1_v2_whole_chunks", |b| {
+        b.iter(|| {
+            let src = FileSource::open(&v2_path).unwrap();
+            execute_source(&src, &plan, 1).unwrap()
+        })
+    });
+    g.bench_function("q1_v3_projected_columns", |b| {
+        b.iter(|| {
+            let src = FileSource::open(&v3_path).unwrap();
+            execute_source(&src, &plan, 1).unwrap()
+        })
+    });
+    g.finish();
+
+    // One cold report of what each path actually did (not timed).
+    let v2 = FileSource::open(&v2_path).unwrap();
+    let v3 = FileSource::open(&v3_path).unwrap();
+    execute_source(&v2, &plan, 1).unwrap();
+    execute_source(&v3, &plan, 1).unwrap();
+    let (a, b) = (v2.io_stats(), v3.io_stats());
+    eprintln!(
+        "# projection/q1 io: v2 read {} bytes ({} chunks); v3 read {} bytes ({} chunks, {} \
+         columns)",
+        a.bytes_read, a.chunks_decoded, b.bytes_read, b.chunks_decoded, b.columns_decoded
+    );
+    std::fs::remove_file(&v2_path).ok();
+    std::fs::remove_file(&v3_path).ok();
+}
+
+/// §4.2 chunk pruning made visible (the ROADMAP item): cohort-clustered
+/// arrival gives chunks disjoint time bounds, so a birth date-range query
+/// (Q5 over the first five days) skips most chunks entirely — no I/O, no
+/// decode — while the same query on the default early-skew data touches
+/// every chunk.
+fn bench_pruning_cohort_clustered(c: &mut Criterion) {
+    let cfg = GeneratorConfig::cohort_clustered(300);
+    let table = generate(&cfg);
+    let compressed =
+        CompressedTable::build(&table, CompressionOptions::with_chunk_size(4 * 1024)).unwrap();
+    let dir = std::env::temp_dir().join("cohana-storage-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench-clustered.cohana");
+    persist::write_file(&compressed, &path).unwrap();
+    let start = cfg.start.secs();
+    let query = paper::q5(start, start + 5 * SECONDS_PER_DAY);
+    let plan = plan_query(&query, compressed.schema(), PlannerOptions::default()).unwrap();
+
+    let mut g = c.benchmark_group("pruning_clustered");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    g.bench_function("eager_open_plus_q5_early", |b| {
+        b.iter(|| {
+            let t = persist::read_file(&path).unwrap();
+            execute_plan(&t, &plan, 1).unwrap()
+        })
+    });
+    g.bench_function("lazy_open_plus_q5_early", |b| {
+        b.iter(|| {
+            let src = FileSource::open(&path).unwrap();
+            execute_source(&src, &plan, 1).unwrap()
+        })
+    });
+    g.finish();
+
+    let src = FileSource::open(&path).unwrap();
+    execute_source(&src, &plan, 1).unwrap();
+    let io = src.io_stats();
+    eprintln!(
+        "# pruning_clustered/q5 io: decoded {} of {} chunks, read {} bytes",
+        io.chunks_decoded,
+        src.num_chunks(),
+        io.bytes_read
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(
+    benches,
+    bench_bitpack,
+    bench_dict,
+    bench_compress,
+    bench_lazy_vs_eager,
+    bench_projection_v3_vs_v2,
+    bench_pruning_cohort_clustered
+);
 criterion_main!(benches);

@@ -138,15 +138,28 @@ impl Cohana {
         Ok(self.register(name, table))
     }
 
-    /// Open a v2 persisted table file **lazily** and register it: only the
-    /// footer is read now; chunks are fetched and decoded on demand as
-    /// queries touch them.
+    /// Open a v2/v3 persisted table file **lazily** and register it: only
+    /// the footer is read now; chunk segments are fetched and decoded on
+    /// demand as queries touch them, within the default cache byte budget.
     pub fn open_file(
         &self,
         name: impl Into<String>,
         path: &Path,
     ) -> Result<Arc<FileSource>, EngineError> {
-        let source = Arc::new(FileSource::open(path)?);
+        self.open_file_with_budget(name, path, cohana_storage::DEFAULT_CACHE_BUDGET)
+    }
+
+    /// Like [`Cohana::open_file`] with an explicit segment-cache byte
+    /// budget: decoded chunk segments are retained up to `cache_bytes`
+    /// compressed bytes and evicted least-recently-used beyond that, so a
+    /// table much larger than RAM can be queried within a fixed budget.
+    pub fn open_file_with_budget(
+        &self,
+        name: impl Into<String>,
+        path: &Path,
+        cache_bytes: usize,
+    ) -> Result<Arc<FileSource>, EngineError> {
+        let source = Arc::new(FileSource::open_with_budget(path, cache_bytes)?);
         self.register_source(name, source.clone());
         Ok(source)
     }

@@ -115,7 +115,10 @@ pub fn execute_plan(
 ///
 /// Chunk pruning (§4.2) runs against the source's [`ChunkIndexEntry`]
 /// metadata **before any chunk I/O**: for a lazy file-backed source, pruned
-/// chunks are never read from disk, let alone decoded.
+/// chunks are never read from disk, let alone decoded. Surviving chunks are
+/// fetched through the projection-aware [`ChunkSource::chunk_columns`] with
+/// the plan's TableScan projection list, so a column-addressable (v3)
+/// source reads and decodes only the columns the query names.
 pub fn execute_source<S: ChunkSource + ?Sized>(
     source: &S,
     plan: &PhysicalPlan,
@@ -194,7 +197,7 @@ pub fn execute_source<S: ChunkSource + ?Sized>(
     let mut merged = Partial::default();
     if parallelism <= 1 || live.len() <= 1 {
         for &i in &live {
-            let chunk = source.chunk(i)?;
+            let chunk = source.chunk_columns(i, &plan.projected_idxs)?;
             merged.merge(process_chunk(table, &chunk, plan, &ctx)?)?;
         }
     } else {
@@ -208,7 +211,7 @@ pub fn execute_source<S: ChunkSource + ?Sized>(
                     let mut out = Vec::new();
                     let mut i = w;
                     while i < live.len() {
-                        let chunk = source.chunk(live[i])?;
+                        let chunk = source.chunk_columns(live[i], &plan.projected_idxs)?;
                         out.push(process_chunk(table, &chunk, plan, ctx)?);
                         i += workers;
                     }

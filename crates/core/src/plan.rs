@@ -161,6 +161,13 @@ pub struct PhysicalPlan {
     /// Birth-time bounds extracted from the birth predicate, for range
     /// pruning (`None` when unconstrained).
     pub birth_time_bounds: Option<(i64, i64)>,
+    /// Schema positions of the TableScan's projection list — every attribute
+    /// the query touches (always includes user, time, and action). The
+    /// executor hands this to [`ChunkSource::chunk_columns`] so a
+    /// column-addressable source reads only these columns from disk.
+    ///
+    /// [`ChunkSource::chunk_columns`]: cohana_storage::ChunkSource::chunk_columns
+    pub projected_idxs: Vec<usize>,
     /// Option flags.
     pub options: PlannerOptions,
 }
@@ -206,6 +213,11 @@ pub fn plan_query(
         }
     }
 
+    // Resolve the projection to schema positions once; the executor passes
+    // these to the source so column-addressable storage fetches only them.
+    let projected_idxs: Vec<usize> =
+        projected.iter().map(|n| schema.require(n)).collect::<Result<_, _>>()?;
+
     // Build the plan in query order: scan -> σg -> σb -> γ would be the
     // pushed-down form; the written form has σb above σg.
     let mut node = PlanNode::TableScan { projected };
@@ -234,7 +246,7 @@ pub fn plan_query(
 
     let birth_time_bounds = query.birth_predicate.as_ref().and_then(|p| p.int_bounds(&time_attr));
 
-    Ok(PhysicalPlan { query: query.clone(), tree, birth_time_bounds, options })
+    Ok(PhysicalPlan { query: query.clone(), tree, birth_time_bounds, projected_idxs, options })
 }
 
 fn validate(query: &CohortQuery, schema: &Schema) -> Result<(), EngineError> {
@@ -423,6 +435,24 @@ mod tests {
         } else {
             panic!("root must be CohortAgg");
         }
+    }
+
+    #[test]
+    fn projected_idxs_mirror_projection_names() {
+        let schema = Schema::game_actions();
+        let plan = plan_query(&q4_like(), &schema, PlannerOptions::default()).unwrap();
+        let names: Vec<&str> =
+            plan.projected_idxs.iter().map(|&i| schema.attribute(i).name.as_str()).collect();
+        for col in ["player", "time", "action", "country", "role", "gold"] {
+            assert!(names.contains(&col), "missing {col}");
+        }
+        assert!(!names.contains(&"city"));
+        assert!(!names.contains(&"session"));
+        // User, time, and action are always projected (the executor's
+        // ChunkScan needs them for every query).
+        assert!(plan.projected_idxs.contains(&schema.user_idx()));
+        assert!(plan.projected_idxs.contains(&schema.time_idx()));
+        assert!(plan.projected_idxs.contains(&schema.action_idx()));
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Differential tests for the storage-backed execution paths: the paper's
 //! benchmark queries Q1–Q8 must produce identical reports whether the table
-//! is fully resident in memory, eagerly loaded from a v2 file, or served by
-//! the lazy file-backed `ChunkSource` — at parallelism 1 and 4. Plus the
-//! headline property of the v2 format: selective queries on a lazy source
-//! decode strictly fewer chunks than the table contains.
+//! is fully resident in memory, eagerly loaded from a persisted file, or
+//! served by the lazy file-backed `ChunkSource` — at parallelism 1 and 4.
+//! Plus the headline property of the footer-indexed formats: selective
+//! queries on a lazy source decode strictly fewer chunks than the table
+//! contains. (The full v1/v2/v3 version matrix lives in
+//! `version_matrix.rs`.)
 
 use cohana_activity::{generate, GeneratorConfig, Schema, TableBuilder, Timestamp, Value};
 use cohana_core::{execute_plan, execute_source, paper, plan_query, PlannerOptions};

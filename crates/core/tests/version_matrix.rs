@@ -1,0 +1,197 @@
+//! The on-disk version matrix: the paper's benchmark queries Q1–Q8 must
+//! produce identical reports over every supported format and access path —
+//! v1 (eager only), v2 (lazy, whole-chunk fetch), and v3 (lazy,
+//! per-column fetch) — at parallelism 1 and 4. Plus the two headline
+//! properties of the v3 refactor:
+//!
+//! * **projection pushdown**: a query decodes strictly fewer columns than
+//!   `arity × chunks_touched`, because unprojected columns are never read;
+//! * **bounded cache**: under an arbitrarily small byte budget, resident
+//!   cache bytes never exceed the budget while results stay identical to
+//!   the eager path.
+
+use cohana_activity::{generate, GeneratorConfig, Timestamp};
+use cohana_core::{execute_plan, execute_source, paper, plan_query, CohortQuery, PlannerOptions};
+use cohana_storage::{persist, ChunkSource, CompressedTable, CompressionOptions, FileSource};
+use std::path::PathBuf;
+
+fn temp_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("cohana-version-matrix-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn paper_queries() -> Vec<(String, CohortQuery)> {
+    let d1 = Timestamp::parse("2013-05-21").unwrap().secs();
+    let d2 = Timestamp::parse("2013-05-27").unwrap().secs();
+    vec![
+        ("q1".into(), paper::q1()),
+        ("q2".into(), paper::q2()),
+        ("q3".into(), paper::q3()),
+        ("q4".into(), paper::q4()),
+        ("q5".into(), paper::q5(d1, d2)),
+        ("q6".into(), paper::q6(d1, d2)),
+        ("q7".into(), paper::q7(7)),
+        ("q8".into(), paper::q8(7)),
+    ]
+}
+
+#[test]
+fn q1_to_q8_identical_across_v1_v2_v3() {
+    let table = generate(&GeneratorConfig::small());
+    let memory = CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap();
+    assert!(memory.chunks().len() > 1, "need multiple chunks to be meaningful");
+
+    let v1_path = temp_file("matrix-v1.cohana");
+    let v2_path = temp_file("matrix-v2.cohana");
+    let v3_path = temp_file("matrix-v3.cohana");
+    std::fs::write(&v1_path, persist::to_bytes_v1(&memory)).unwrap();
+    std::fs::write(&v2_path, persist::to_bytes_v2(&memory)).unwrap();
+    persist::write_file(&memory, &v3_path).unwrap();
+
+    // v1 has no footer: eager load only.
+    let v1_eager = persist::read_file(&v1_path).unwrap();
+    // v2: lazy open degrades to whole-chunk fetches.
+    let v2_lazy = FileSource::open(&v2_path).unwrap();
+    assert!(!v2_lazy.is_column_addressable());
+    // v3: lazy open with per-column fetches.
+    let v3_lazy = FileSource::open(&v3_path).unwrap();
+    assert!(v3_lazy.is_column_addressable());
+
+    for (name, query) in paper_queries() {
+        let plan = plan_query(&query, memory.schema(), PlannerOptions::default()).unwrap();
+        for parallelism in [1, 4] {
+            let expect = execute_plan(&memory, &plan, parallelism).unwrap();
+            let from_v1 = execute_plan(&v1_eager, &plan, parallelism).unwrap();
+            let from_v2 = execute_source(&v2_lazy, &plan, parallelism).unwrap();
+            let from_v3 = execute_source(&v3_lazy, &plan, parallelism).unwrap();
+            assert_eq!(expect.rows, from_v1.rows, "{name} v1 p={parallelism}");
+            assert_eq!(expect.rows, from_v2.rows, "{name} v2 p={parallelism}");
+            assert_eq!(expect.rows, from_v3.rows, "{name} v3 p={parallelism}");
+            assert_eq!(expect.cohort_sizes, from_v2.cohort_sizes, "{name} v2 sizes");
+            assert_eq!(expect.cohort_sizes, from_v3.cohort_sizes, "{name} v3 sizes");
+        }
+    }
+    // The v2 source never decodes individual columns; the v3 source did.
+    assert_eq!(v2_lazy.columns_decoded(), 0);
+    assert!(v3_lazy.columns_decoded() > 0);
+    for p in [v1_path, v2_path, v3_path] {
+        std::fs::remove_file(&p).ok();
+    }
+}
+
+/// The acceptance-criterion decode-counting test: a selective projected
+/// query against a v3 file decodes strictly fewer *columns* than
+/// `arity × chunks_touched`.
+#[test]
+fn projected_query_decodes_fewer_columns_than_arity_times_chunks() {
+    let table = generate(&GeneratorConfig::small());
+    let memory = CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap();
+    let arity = memory.schema().arity();
+    let path = temp_file("projection-count.cohana");
+    persist::write_file(&memory, &path).unwrap();
+
+    // Q1 projects user, time, action, country — half of the 8-attribute
+    // game schema.
+    let query = paper::q1();
+    let plan = plan_query(&query, memory.schema(), PlannerOptions::default()).unwrap();
+    assert!(plan.projected_idxs.len() < arity, "Q1 must be a selective projection");
+
+    let lazy = FileSource::open(&path).unwrap();
+    let expect = execute_plan(&memory, &plan, 1).unwrap();
+    let got = execute_source(&lazy, &plan, 1).unwrap();
+    assert_eq!(expect.rows, got.rows);
+
+    let chunks_touched = lazy.chunks_decoded();
+    assert!(chunks_touched > 0, "Q1 touches every chunk");
+    assert!(lazy.columns_decoded() > 0);
+    assert!(
+        lazy.columns_decoded() < arity * chunks_touched,
+        "decoded {} columns over {chunks_touched} chunks of arity {arity} — projection pushdown \
+         never fired",
+        lazy.columns_decoded(),
+    );
+    // Exactly the projected non-user columns decode: nothing else.
+    let non_user_projected = plan.projected_idxs.len() - 1;
+    assert_eq!(lazy.columns_decoded(), non_user_projected * chunks_touched);
+    std::fs::remove_file(&path).ok();
+}
+
+/// The acceptance-criterion cache test: resident bytes never exceed the
+/// configured budget while Q1–Q8 results stay identical to the eager path.
+#[test]
+fn bounded_cache_stays_within_budget_with_identical_results() {
+    let table = generate(&GeneratorConfig::small());
+    let memory = CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap();
+    let path = temp_file("budget.cohana");
+    persist::write_file(&memory, &path).unwrap();
+
+    // A budget far below the table's compressed size forces eviction.
+    let budget = 4 * 1024;
+    let lazy = FileSource::open_with_budget(&path, budget).unwrap();
+    assert_eq!(lazy.cache_budget_bytes(), budget);
+
+    for (name, query) in paper_queries() {
+        let plan = plan_query(&query, memory.schema(), PlannerOptions::default()).unwrap();
+        for parallelism in [1, 4] {
+            let expect = execute_plan(&memory, &plan, parallelism).unwrap();
+            let got = execute_source(&lazy, &plan, parallelism).unwrap();
+            assert_eq!(expect.rows, got.rows, "{name} p={parallelism}");
+            assert_eq!(expect.cohort_sizes, got.cohort_sizes, "{name} p={parallelism}");
+            assert!(
+                lazy.cache_resident_bytes() <= budget,
+                "{name}: resident {} exceeds budget {budget}",
+                lazy.cache_resident_bytes()
+            );
+        }
+    }
+    assert!(lazy.cache_evictions() > 0, "a tiny budget must evict");
+    std::fs::remove_file(&path).ok();
+}
+
+/// Cohort-clustered arrival makes chunk time-bounds disjoint, so a birth
+/// date-range query on a v3 file skips whole chunks — no RLE decode, no
+/// column decode, no bytes read for them.
+#[test]
+fn cohort_clustered_data_prunes_chunks_and_bytes() {
+    const DAY: i64 = 86_400;
+    let cfg = GeneratorConfig::cohort_clustered(120);
+    let table = generate(&cfg);
+    let memory = CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap();
+    assert!(memory.chunks().len() >= 4, "need several chunks");
+    // The arrival mode really does produce disjoint chunk time-bounds.
+    let first = &memory.index_entries()[0];
+    let last = memory.index_entries().last().unwrap();
+    assert!(
+        first.time_max < last.time_min,
+        "first chunk [{}, {}] overlaps last [{}, {}]",
+        first.time_min,
+        first.time_max,
+        last.time_min,
+        last.time_max
+    );
+
+    let path = temp_file("clustered.cohana");
+    persist::write_file(&memory, &path).unwrap();
+    let lazy = FileSource::open(&path).unwrap();
+
+    // Births during the first five days: only the earliest chunks qualify.
+    let start = cfg.start.secs();
+    let query = paper::q5(start, start + 5 * DAY);
+    let plan = plan_query(&query, memory.schema(), PlannerOptions::default()).unwrap();
+    let expect = execute_plan(&memory, &plan, 1).unwrap();
+    let got = execute_source(&lazy, &plan, 1).unwrap();
+    assert_eq!(expect.rows, got.rows);
+    assert!(!got.rows.is_empty(), "the early cohorts must qualify");
+    assert!(
+        lazy.chunks_decoded() < lazy.num_chunks(),
+        "decoded {} of {} chunks — time pruning never fired",
+        lazy.chunks_decoded(),
+        lazy.num_chunks()
+    );
+
+    // Bytes read stay below the full payload: pruned chunks cost zero I/O.
+    let file_len = std::fs::metadata(&path).unwrap().len();
+    assert!(lazy.bytes_read() < file_len, "read {} of {file_len} file bytes", lazy.bytes_read());
+    std::fs::remove_file(&path).ok();
+}

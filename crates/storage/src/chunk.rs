@@ -4,25 +4,48 @@
 //! contained in exactly one chunk (§4.1). This property is what makes the
 //! per-chunk `UserCount` aggregation of §4.5 correct and lets chunks be
 //! processed independently (and in parallel) with a trivial merge.
+//!
+//! Segments are reference-counted so a chunk can be assembled from columns
+//! that also live elsewhere (e.g. the byte-budgeted segment cache of
+//! [`FileSource`](crate::source::FileSource)) without copying the packed
+//! words. A chunk may be **partial**: the v3 on-disk format addresses every
+//! column independently, and a projection-aware fetch materializes only the
+//! columns a query names — the positions of unfetched columns hold `None`,
+//! exactly like the user column (whose data lives in `user_rle`).
 
 use crate::column::ChunkColumn;
 use crate::rle::UserRle;
 use crate::StorageError;
+use std::sync::Arc;
 
 /// One chunk: the RLE user column plus one compressed segment per other
 /// attribute, indexed by schema attribute position (`None` at the user
-/// attribute's position, whose data lives in `user_rle`).
+/// attribute's position, whose data lives in `user_rle`, and at the
+/// positions of columns a partial fetch did not materialize).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Chunk {
     num_rows: usize,
-    user_rle: UserRle,
-    columns: Vec<Option<ChunkColumn>>,
+    user_rle: Arc<UserRle>,
+    columns: Vec<Option<Arc<ChunkColumn>>>,
 }
 
 impl Chunk {
-    /// Assemble a chunk, validating that every segment covers the same
-    /// number of rows as the user RLE.
+    /// Assemble a chunk from owned segments, validating that every segment
+    /// covers the same number of rows as the user RLE.
     pub fn new(user_rle: UserRle, columns: Vec<Option<ChunkColumn>>) -> Result<Self, StorageError> {
+        Chunk::from_shared(
+            Arc::new(user_rle),
+            columns.into_iter().map(|c| c.map(Arc::new)).collect(),
+        )
+    }
+
+    /// Assemble a chunk from shared segments (the path used when columns are
+    /// served out of a segment cache), with the same validation as
+    /// [`Chunk::new`].
+    pub fn from_shared(
+        user_rle: Arc<UserRle>,
+        columns: Vec<Option<Arc<ChunkColumn>>>,
+    ) -> Result<Self, StorageError> {
         let num_rows = user_rle.num_rows();
         for (i, col) in columns.iter().enumerate() {
             if let Some(c) = col {
@@ -55,26 +78,34 @@ impl Chunk {
         &self.user_rle
     }
 
-    /// The compressed segment of an attribute (`None` for the user column).
+    /// The RLE user column as a shared handle.
     #[inline]
-    pub fn column(&self, attr_idx: usize) -> Option<&ChunkColumn> {
-        self.columns.get(attr_idx).and_then(|c| c.as_ref())
+    pub fn shared_rle(&self) -> &Arc<UserRle> {
+        &self.user_rle
     }
 
-    /// The segment of an attribute, panicking if it is the user column.
-    /// The executor resolves attribute indexes at plan time, so a miss here
-    /// is a planner bug.
+    /// The compressed segment of an attribute (`None` for the user column
+    /// and for columns not materialized by a partial fetch).
+    #[inline]
+    pub fn column(&self, attr_idx: usize) -> Option<&ChunkColumn> {
+        self.columns.get(attr_idx).and_then(|c| c.as_deref())
+    }
+
+    /// The segment of an attribute, panicking if it is the user column or an
+    /// unmaterialized column. The executor resolves attribute indexes at
+    /// plan time and projects every attribute it touches, so a miss here is
+    /// a planner bug.
     #[inline]
     pub fn column_required(&self, attr_idx: usize) -> &ChunkColumn {
-        self.columns[attr_idx].as_ref().expect("attribute has a column segment")
+        self.columns[attr_idx].as_deref().expect("attribute has a materialized column segment")
     }
 
     /// All segments.
-    pub fn columns(&self) -> &[Option<ChunkColumn>] {
+    pub fn columns(&self) -> &[Option<Arc<ChunkColumn>>] {
         &self.columns
     }
 
-    /// Compressed payload bytes of the chunk.
+    /// Compressed payload bytes of the chunk (materialized segments only).
     pub fn packed_bytes(&self) -> usize {
         self.user_rle.packed_bytes()
             + self.columns.iter().flatten().map(|c| c.packed_bytes()).sum::<usize>()
@@ -114,5 +145,35 @@ mod tests {
         assert_eq!(c.column(1).unwrap().int_value(2), 30);
         assert_eq!(c.column_required(2).gid_at(1), 1);
         assert!(c.packed_bytes() > 0);
+    }
+
+    #[test]
+    fn shared_segments_compare_equal_to_owned() {
+        let rle = Arc::new(rle3());
+        let col = Arc::new(ChunkColumn::from_ints(&[10, 20, 30]));
+        let shared = Chunk::from_shared(rle.clone(), vec![None, Some(col.clone())]).unwrap();
+        let owned =
+            Chunk::new(rle3(), vec![None, Some(ChunkColumn::from_ints(&[10, 20, 30]))]).unwrap();
+        assert_eq!(shared, owned);
+        // A second assembly from the same Arcs shares, not copies.
+        let again = Chunk::from_shared(rle, vec![None, Some(col)]).unwrap();
+        assert_eq!(shared, again);
+    }
+
+    #[test]
+    fn partial_chunk_skips_unmaterialized_columns() {
+        let partial = Chunk::from_shared(
+            Arc::new(rle3()),
+            vec![None, None, Some(Arc::new(ChunkColumn::from_gids(&[0, 1, 0])))],
+        )
+        .unwrap();
+        assert!(partial.column(1).is_none());
+        assert_eq!(partial.column_required(2).gid_at(0), 0);
+        // Row-count validation still applies to materialized columns.
+        let bad = Chunk::from_shared(
+            Arc::new(rle3()),
+            vec![None, None, Some(Arc::new(ChunkColumn::from_gids(&[0, 1])))],
+        );
+        assert!(bad.is_err());
     }
 }

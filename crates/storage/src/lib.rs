@@ -30,19 +30,24 @@
 //!
 //! ## Persistence and lazy access
 //!
-//! [`persist`] serializes the compressed form into the **v2 footer-indexed
-//! format**: chunk blobs back-to-back, then a footer holding the schema,
-//! compression options, global column metadata, and one
-//! [`ChunkIndexEntry`] per chunk (byte location, row/user counts, time
-//! bounds, and the chunk's action-dictionary membership), terminated by the
-//! footer length + magic — the Parquet row-group metadata layout adapted to
-//! COHANA's user-clustered chunks.
+//! [`persist`] serializes the compressed form into the **v3
+//! column-addressable format**: every chunk's segments (RLE user column +
+//! one blob per attribute) are written as independently addressable blobs,
+//! then a footer holding the schema, compression options, global column
+//! metadata, and one [`ChunkIndexEntry`] per chunk (per-blob byte
+//! locations, row/user counts, time bounds, the chunk's action-dictionary
+//! membership, and per-column [`ColumnStats`]), terminated by the footer
+//! length + magic — the Parquet row-group/column-chunk metadata layout
+//! adapted to COHANA's user-clustered chunks. v2 (whole-chunk blobs) and
+//! v1 (eager) files stay readable.
 //!
 //! The [`ChunkSource`] trait splits "metadata for pruning" from "chunk
 //! payload": [`CompressedTable`] implements it with everything resident,
-//! while [`FileSource`] opens a v2 file in O(footer) and loads + decodes
-//! individual chunks on demand, so a selective query pays decode cost only
-//! for the chunks it touches.
+//! while [`FileSource`] opens a v2/v3 file in O(footer) and loads + decodes
+//! individual segments on demand into a **bounded, byte-budgeted LRU
+//! cache** keyed by `(chunk, column)`. With the projection-aware
+//! [`ChunkSource::chunk_columns`], a selective query pays I/O and decode
+//! cost only for the chunk columns it actually names.
 
 pub mod bitpack;
 pub mod chunk;
@@ -61,7 +66,10 @@ pub use column::ChunkColumn;
 pub use dict::{ChunkDict, GlobalDict};
 pub use error::StorageError;
 pub use rle::UserRle;
-pub use source::{ChunkIndexEntry, ChunkRef, ChunkSource, FileSource};
+pub use source::{
+    ChunkIndexEntry, ChunkRef, ChunkSource, ColumnStats, FileSource, SourceIoStats,
+    DEFAULT_CACHE_BUDGET,
+};
 pub use stats::StorageStats;
 pub use table::{ColumnMeta, CompressedTable, CompressionOptions, TableMeta};
 

@@ -1,52 +1,60 @@
 //! Binary persistence of compressed tables.
 //!
-//! # v2: the footer-indexed, chunk-addressable format
+//! # v3: the column-addressable format
 //!
-//! Chunks are serialized back-to-back right after the header, followed by a
-//! footer that holds everything needed to plan and prune queries — schema,
-//! compression options, global column metadata, and one index entry per
-//! chunk — and finally the footer length + magic, so a reader can open a
-//! table by reading only the file tail (the Parquet
-//! `RowGroupMetaData`/`ColumnChunkMetaData` layout, adapted to COHANA's
-//! user-clustered chunks):
+//! Every chunk's segments are written as **independently addressable
+//! blobs** — the RLE user column first, then one blob per remaining
+//! attribute — followed by a footer that records, per chunk, the byte
+//! location of every blob plus per-column statistics, and finally the
+//! footer length + magic (the Parquet `RowGroupMetaData` /
+//! `ColumnChunkMetaData` layout, adapted to COHANA's user-clustered
+//! chunks):
 //!
 //! ```text
 //! ┌────────────────────────────────────────────────────────────────────┐
-//! │ magic "COHA" u32 │ version=2 u32                                   │  header
+//! │ magic "COHA" u32 │ version=3 u32                                   │  header
 //! ├────────────────────────────────────────────────────────────────────┤
-//! │ chunk 0 blob │ chunk 1 blob │ …                                    │  payload
+//! │ chunk 0: rle blob │ col 1 blob │ col 2 blob │ …                    │  payload
+//! │ chunk 1: rle blob │ col 1 blob │ …                                 │
 //! ├────────────────────────────────────────────────────────────────────┤
 //! │ chunk_size u64                                                     │  footer
 //! │ schema (arity u16, then name │ vtype u8 │ role u8 per attribute)   │
 //! │ one ColumnMeta per attribute (dictionaries / ranges)               │
 //! │ num_rows u64 │ chunk_count u32                                     │
-//! │ per chunk: offset u64 │ len u64 │ rows u64 │ users u64             │
-//! │            time_min i64 │ time_max i64 │ n_actions u32 │ gids…     │
+//! │ per chunk: rle offset u64 │ rle len u64                            │
+//! │            per attribute: offset u64 │ len u64  ((0,0) for user)   │
+//! │            rows u64 │ users u64 │ time_min i64 │ time_max i64      │
+//! │            n_actions u32 │ gids…                                   │
+//! │            per attribute: stats (user u8=0 │ str u8=1 + distinct   │
+//! │                                  u32 │ int u8=2 + min i64 + max)   │
 //! ├────────────────────────────────────────────────────────────────────┤
 //! │ footer_len u64 │ magic "COHA" u32                                  │  tail
 //! └────────────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! All integers are little-endian. Each chunk blob is self-contained (RLE
-//! user triples + one tagged column segment per attribute, bit-packed as
-//! `width u8 | len u64 | words…`), so any chunk can be fetched and decoded
-//! from its `(offset, len)` alone — the random-access property
-//! [`FileSource`](crate::source::FileSource) builds on: open in O(footer),
-//! prune chunks from index entries, decode only what a query touches.
+//! All integers are little-endian. Each blob is self-contained, so any
+//! single column of any chunk can be fetched and decoded from its
+//! `(offset, len)` alone — the property projection pushdown builds on:
+//! [`FileSource`](crate::source::FileSource) opens in O(footer), prunes
+//! chunks from index entries, and then reads **only the bytes of the
+//! columns the plan projects**.
 //!
-//! # v1 compatibility
+//! # v2 and v1 compatibility
 //!
-//! v1 files (a single eager header-first blob, no footer) are still read by
-//! [`from_bytes`]/[`read_file`]; [`to_bytes_v1`] keeps the writer around for
-//! round-trip tests and downgrades. Lazy opening requires v2 — re-save a v1
-//! file to migrate.
+//! v2 files (whole-chunk blobs, footer-indexed; the PR-1 format) are still
+//! fully supported: eagerly via [`from_bytes`]/[`read_file`] and lazily via
+//! `FileSource`, which degrades to whole-chunk fetches since a v2 chunk is
+//! one blob. [`to_bytes_v2`] keeps the writer around. v1 files (a single
+//! eager header-first blob, no footer) are read by [`from_bytes`];
+//! [`to_bytes_v1`] keeps that writer for round-trip tests and downgrades.
+//! Lazy opening requires v2+ — re-save a v1 file to migrate.
 
 use crate::bitpack::BitPacked;
 use crate::chunk::Chunk;
 use crate::column::ChunkColumn;
 use crate::dict::{ChunkDict, GlobalDict};
 use crate::rle::UserRle;
-use crate::source::ChunkIndexEntry;
+use crate::source::{ChunkIndexEntry, ColumnStats};
 use crate::table::{ColumnMeta, CompressedTable, CompressionOptions, TableMeta};
 use crate::{Result, StorageError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -56,18 +64,77 @@ use std::path::Path;
 use std::sync::Arc;
 
 const MAGIC: u32 = 0x434F_4841; // "COHA"
-/// Current on-disk format version (footer-indexed).
-pub const VERSION: u32 = 2;
-/// Bytes before the first chunk blob: magic + version.
+/// Current on-disk format version (column-addressable).
+pub const VERSION: u32 = 3;
+/// Bytes before the first blob: magic + version.
 const HEADER_LEN: u64 = 8;
 /// Bytes after the footer: footer_len u64 + magic u32.
 const TAIL_LEN: u64 = 12;
 
-/// Serialize a compressed table into the v2 footer-indexed format.
+/// Serialize a compressed table into the current (v3, column-addressable)
+/// format.
 pub fn to_bytes(table: &CompressedTable) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(VERSION);
+
+    let arity = table.schema().arity();
+    let user_idx = table.schema().user_idx();
+
+    // Blobs back-to-back; remember every location for the footer.
+    let mut layouts = Vec::with_capacity(table.chunks().len());
+    for chunk in table.chunks() {
+        let rle_offset = buf.len() as u64;
+        write_rle_blob(&mut buf, chunk.user_rle());
+        let rle = (rle_offset, buf.len() as u64 - rle_offset);
+        let mut cols = vec![(0u64, 0u64); arity];
+        for (idx, slot) in cols.iter_mut().enumerate() {
+            if idx == user_idx {
+                continue;
+            }
+            let offset = buf.len() as u64;
+            write_column_blob(&mut buf, chunk.column_required(idx));
+            *slot = (offset, buf.len() as u64 - offset);
+        }
+        layouts.push(ChunkLayout { rle, cols });
+    }
+
+    // Footer.
+    let footer_start = buf.len() as u64;
+    buf.put_u64_le(table.options().chunk_size as u64);
+    write_schema(&mut buf, table.schema());
+    for meta in table.metas() {
+        write_meta(&mut buf, meta);
+    }
+    buf.put_u64_le(table.num_rows() as u64);
+    buf.put_u32_le(table.chunks().len() as u32);
+    for (layout, entry) in layouts.iter().zip(table.index_entries()) {
+        buf.put_u64_le(layout.rle.0);
+        buf.put_u64_le(layout.rle.1);
+        for (offset, len) in &layout.cols {
+            buf.put_u64_le(*offset);
+            buf.put_u64_le(*len);
+        }
+        write_entry_base(&mut buf, entry);
+        debug_assert_eq!(entry.column_stats.len(), arity);
+        for stats in &entry.column_stats {
+            write_column_stats(&mut buf, stats);
+        }
+    }
+    let footer_len = buf.len() as u64 - footer_start;
+
+    // Tail.
+    buf.put_u64_le(footer_len);
+    buf.put_u32_le(MAGIC);
+    buf.freeze()
+}
+
+/// Serialize in the v2 footer-indexed whole-chunk format (kept for
+/// round-trip tests and for producing files readable by v2-only consumers).
+pub fn to_bytes_v2(table: &CompressedTable) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(2);
 
     // Chunk blobs, back-to-back; remember (offset, len) for the footer.
     let mut locations = Vec::with_capacity(table.chunks().len());
@@ -89,14 +156,7 @@ pub fn to_bytes(table: &CompressedTable) -> Bytes {
     for ((offset, len), entry) in locations.iter().zip(table.index_entries()) {
         buf.put_u64_le(*offset);
         buf.put_u64_le(*len);
-        buf.put_u64_le(entry.num_rows);
-        buf.put_u64_le(entry.num_users);
-        buf.put_u64_le(entry.time_min as u64);
-        buf.put_u64_le(entry.time_max as u64);
-        buf.put_u32_le(entry.action_gids.len() as u32);
-        for gid in &entry.action_gids {
-            buf.put_u32_le(*gid);
-        }
+        write_entry_base(&mut buf, entry);
     }
     let footer_len = buf.len() as u64 - footer_start;
 
@@ -125,7 +185,7 @@ pub fn to_bytes_v1(table: &CompressedTable) -> Bytes {
     buf.freeze()
 }
 
-/// Deserialize a compressed table from bytes (v1 or v2), materializing
+/// Deserialize a compressed table from bytes (v1, v2 or v3), materializing
 /// every chunk.
 pub fn from_bytes(data: &[u8]) -> Result<CompressedTable> {
     let mut buf = data;
@@ -135,7 +195,8 @@ pub fn from_bytes(data: &[u8]) -> Result<CompressedTable> {
     }
     match get_u32(&mut buf)? {
         1 => from_bytes_v1(buf),
-        2 => from_bytes_v2(data),
+        2 => from_bytes_footered(data, 2),
+        3 => from_bytes_footered(data, 3),
         v => Err(StorageError::BadVersion(v)),
     }
 }
@@ -166,15 +227,42 @@ fn from_bytes_v1(mut buf: &[u8]) -> Result<CompressedTable> {
     )
 }
 
-/// v2: parse the footer from the tail, then decode every chunk blob.
-fn from_bytes_v2(data: &[u8]) -> Result<CompressedTable> {
-    let footer = parse_footer_region(data)?;
+/// v2/v3: parse the footer from the tail, then decode every blob.
+fn from_bytes_footered(data: &[u8], version: u32) -> Result<CompressedTable> {
+    let footer = parse_footer_region(data, version)?;
+    let arity = footer.meta.schema().arity();
     let mut chunks = Vec::with_capacity(footer.locations.len());
-    for (ci, (offset, len)) in footer.locations.iter().enumerate() {
-        let (start, end) = (*offset as usize, (*offset + *len) as usize);
-        let chunk = decode_chunk_blob(&data[start..end], footer.meta.schema().arity())
-            .map_err(|e| StorageError::Corrupt(format!("chunk {ci}: {e}")))?;
-        chunks.push(chunk);
+    match &footer.layouts {
+        // v3: assemble each chunk from its independently addressed blobs.
+        Some(layouts) => {
+            let user_idx = footer.meta.schema().user_idx();
+            for (ci, layout) in layouts.iter().enumerate() {
+                let corrupt = |e: StorageError| StorageError::Corrupt(format!("chunk {ci}: {e}"));
+                let (start, end) = (layout.rle.0 as usize, (layout.rle.0 + layout.rle.1) as usize);
+                let rle = decode_rle_blob(&data[start..end]).map_err(corrupt)?;
+                let mut columns: Vec<Option<Arc<ChunkColumn>>> = vec![None; arity];
+                for (idx, col_loc) in layout.cols.iter().enumerate() {
+                    if idx == user_idx {
+                        continue;
+                    }
+                    let (start, end) = (col_loc.0 as usize, (col_loc.0 + col_loc.1) as usize);
+                    let col = decode_column_blob(&data[start..end]).map_err(|e| {
+                        StorageError::Corrupt(format!("chunk {ci}: col {idx}: {e}"))
+                    })?;
+                    columns[idx] = Some(Arc::new(col));
+                }
+                chunks.push(Chunk::from_shared(Arc::new(rle), columns)?);
+            }
+        }
+        // v2: one self-contained blob per chunk.
+        None => {
+            for (ci, (offset, len)) in footer.locations.iter().enumerate() {
+                let (start, end) = (*offset as usize, (*offset + *len) as usize);
+                let chunk = decode_chunk_blob(&data[start..end], arity)
+                    .map_err(|e| StorageError::Corrupt(format!("chunk {ci}: {e}")))?;
+                chunks.push(chunk);
+            }
+        }
     }
     let table = CompressedTable::from_parts(
         footer.meta.schema().clone(),
@@ -185,21 +273,27 @@ fn from_bytes_v2(data: &[u8]) -> Result<CompressedTable> {
     )?;
     // The footer's index entries are untrusted input: they must agree with
     // the entries recomputed from the decoded chunks, or pruning decisions
-    // would silently disagree with the data.
-    if table.index_entries() != footer.entries.as_slice() {
+    // would silently disagree with the data. (v2 entries carry no column
+    // stats and compare on their base fields.)
+    let consistent = table
+        .index_entries()
+        .iter()
+        .zip(footer.entries.iter())
+        .all(|(computed, stored)| stored.matches(computed));
+    if !consistent || table.index_entries().len() != footer.entries.len() {
         return Err(StorageError::Corrupt("footer index disagrees with chunk payloads".into()));
     }
     Ok(table)
 }
 
-/// Write a compressed table to a file (v2 format).
+/// Write a compressed table to a file (current v3 format).
 pub fn write_file(table: &CompressedTable, path: &Path) -> Result<()> {
     std::fs::write(path, to_bytes(table))?;
     Ok(())
 }
 
-/// Read a compressed table from a file (v1 or v2), materializing every
-/// chunk. For lazy access to v2 files use
+/// Read a compressed table from a file (any version), materializing every
+/// chunk. For lazy access to v2/v3 files use
 /// [`FileSource`](crate::source::FileSource) instead.
 pub fn read_file(path: &Path) -> Result<CompressedTable> {
     let data = std::fs::read(path)?;
@@ -208,19 +302,33 @@ pub fn read_file(path: &Path) -> Result<CompressedTable> {
 
 // ------------------------------------------------------------------ footer
 
-/// Parsed v2 footer: table metadata, per-chunk index entries, and per-chunk
-/// byte locations.
+/// Byte locations of one v3 chunk's blobs: the RLE user column plus one
+/// entry per attribute (`(0, 0)` at the user attribute's position).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ChunkLayout {
+    /// `(offset, len)` of the RLE blob.
+    pub(crate) rle: (u64, u64),
+    /// `(offset, len)` of each attribute's column blob.
+    pub(crate) cols: Vec<(u64, u64)>,
+}
+
+/// Parsed footer: table metadata, per-chunk index entries, per-chunk payload
+/// spans, and (v3) per-blob layouts.
 pub(crate) struct Footer {
     pub(crate) meta: TableMeta,
     pub(crate) entries: Vec<ChunkIndexEntry>,
+    /// `(offset, len)` of each chunk's whole payload span (v2: the chunk
+    /// blob; v3: RLE through last column, which tile contiguously).
     pub(crate) locations: Vec<(u64, u64)>,
+    /// v3 only: the per-blob layout of every chunk.
+    pub(crate) layouts: Option<Vec<ChunkLayout>>,
 }
 
-/// Validate tail + header of a full v2 image and parse its footer.
-fn parse_footer_region(data: &[u8]) -> Result<Footer> {
+/// Validate tail + header of a full footered image and parse its footer.
+fn parse_footer_region(data: &[u8], version: u32) -> Result<Footer> {
     let total = data.len() as u64;
     if total < HEADER_LEN + TAIL_LEN {
-        return Err(StorageError::Corrupt("file too short for v2 header + tail".into()));
+        return Err(StorageError::Corrupt("file too short for header + tail".into()));
     }
     let mut tail = &data[(total - TAIL_LEN) as usize..];
     let footer_len = get_u64(&mut tail)?;
@@ -233,13 +341,13 @@ fn parse_footer_region(data: &[u8]) -> Result<Footer> {
     }
     let footer_start = total - TAIL_LEN - footer_len;
     let footer_bytes = &data[footer_start as usize..(total - TAIL_LEN) as usize];
-    read_footer(footer_bytes, footer_start)
+    read_footer(footer_bytes, footer_start, version)
 }
 
-/// Parse the footer bytes; `footer_start` is the file offset where the
-/// footer begins (== the end of the chunk payload region), used to validate
-/// chunk locations.
-fn read_footer(mut buf: &[u8], footer_start: u64) -> Result<Footer> {
+/// Parse the footer bytes of a v2 or v3 image; `footer_start` is the file
+/// offset where the footer begins (== the end of the payload region), used
+/// to validate blob locations.
+fn read_footer(mut buf: &[u8], footer_start: u64, version: u32) -> Result<Footer> {
     let chunk_size = get_u64(&mut buf)? as usize;
     // The writer never produces 0 (CompressedTable::build rejects it), so a
     // zero here is corruption, not a value to repair.
@@ -253,27 +361,62 @@ fn read_footer(mut buf: &[u8], footer_start: u64) -> Result<Footer> {
     }
     let num_rows = get_u64(&mut buf)? as usize;
     let num_chunks = get_u32(&mut buf)? as usize;
-    // Each entry is at least 52 bytes; guard before allocating.
-    if num_chunks > buf.remaining() / 52 {
+    let arity = schema.arity();
+    // Guard the chunk count before allocating: every entry needs at least
+    // its fixed-size fields.
+    let min_entry = match version {
+        2 => 52,
+        // rle loc + per-attr locs + counts/bounds + n_actions + 1-byte
+        // stats tags.
+        _ => 16 + 16 * arity + 32 + 4 + arity,
+    };
+    if num_chunks > buf.remaining() / min_entry {
         return Err(StorageError::Corrupt(format!("chunk count {num_chunks} overruns footer")));
     }
     let mut entries = Vec::with_capacity(num_chunks);
     let mut locations = Vec::with_capacity(num_chunks);
+    let mut layouts = (version >= 3).then(|| Vec::with_capacity(num_chunks));
     let mut expected_offset = HEADER_LEN;
     for ci in 0..num_chunks {
-        let offset = get_u64(&mut buf)?;
-        let len = get_u64(&mut buf)?;
-        // Chunk blobs must tile the payload region exactly: monotone,
-        // gap-free, and inside [HEADER_LEN, footer_start). The length is
+        // Blob locations must tile the payload region exactly: monotone,
+        // gap-free, and inside [HEADER_LEN, footer_start). Lengths are
         // compared by subtraction (`expected_offset <= footer_start` holds
         // inductively), so a crafted length near u64::MAX cannot wrap the
         // bound check.
-        if offset != expected_offset || len == 0 || len > footer_start - offset {
-            return Err(StorageError::Corrupt(format!(
-                "chunk {ci}: location ({offset}, {len}) does not tile the payload region"
-            )));
-        }
-        expected_offset = offset + len;
+        let span_start = expected_offset;
+        let mut take_blob = |buf: &mut &[u8], what: &str| -> Result<(u64, u64)> {
+            let offset = get_u64(buf)?;
+            let len = get_u64(buf)?;
+            if offset != expected_offset || len == 0 || len > footer_start - offset {
+                return Err(StorageError::Corrupt(format!(
+                    "chunk {ci}: {what} location ({offset}, {len}) does not tile the payload \
+                     region"
+                )));
+            }
+            expected_offset = offset + len;
+            Ok((offset, len))
+        };
+        let layout = if version >= 3 {
+            let rle = take_blob(&mut buf, "rle")?;
+            let mut cols = vec![(0u64, 0u64); arity];
+            for (idx, slot) in cols.iter_mut().enumerate() {
+                if idx == schema.user_idx() {
+                    let offset = get_u64(&mut buf)?;
+                    let len = get_u64(&mut buf)?;
+                    if (offset, len) != (0, 0) {
+                        return Err(StorageError::Corrupt(format!(
+                            "chunk {ci}: user column has a blob location"
+                        )));
+                    }
+                } else {
+                    *slot = take_blob(&mut buf, "column")?;
+                }
+            }
+            Some(ChunkLayout { rle, cols })
+        } else {
+            take_blob(&mut buf, "chunk")?;
+            None
+        };
         let num_rows = get_u64(&mut buf)?;
         let num_users = get_u64(&mut buf)?;
         let time_min = get_i64(&mut buf)?;
@@ -291,12 +434,44 @@ fn read_footer(mut buf: &[u8], footer_start: u64) -> Result<Footer> {
         if !action_gids.windows(2).all(|w| w[0] < w[1]) {
             return Err(StorageError::Corrupt(format!("chunk {ci}: action gids not sorted")));
         }
-        entries.push(ChunkIndexEntry { num_rows, num_users, time_min, time_max, action_gids });
-        locations.push((offset, len));
+        let column_stats = if version >= 3 {
+            let mut stats = Vec::with_capacity(arity);
+            for (idx, meta) in metas.iter().enumerate() {
+                let s = read_column_stats(&mut buf)?;
+                // Stats kinds must agree with the attribute metadata.
+                let agrees = matches!(
+                    (&s, meta),
+                    (ColumnStats::User, ColumnMeta::User { .. })
+                        | (ColumnStats::Str { .. }, ColumnMeta::Str { .. })
+                        | (ColumnStats::Int { .. }, ColumnMeta::Int { .. })
+                );
+                if !agrees {
+                    return Err(StorageError::Corrupt(format!(
+                        "chunk {ci}: column {idx} stats kind disagrees with metadata"
+                    )));
+                }
+                stats.push(s);
+            }
+            stats
+        } else {
+            Vec::new()
+        };
+        entries.push(ChunkIndexEntry {
+            num_rows,
+            num_users,
+            time_min,
+            time_max,
+            action_gids,
+            column_stats,
+        });
+        locations.push((span_start, expected_offset - span_start));
+        if let (Some(layouts), Some(layout)) = (layouts.as_mut(), layout) {
+            layouts.push(layout);
+        }
     }
     if expected_offset != footer_start {
         return Err(StorageError::Corrupt(format!(
-            "chunk payload ends at {expected_offset}, footer starts at {footer_start}"
+            "payload ends at {expected_offset}, footer starts at {footer_start}"
         )));
     }
     if buf.has_remaining() {
@@ -310,15 +485,16 @@ fn read_footer(mut buf: &[u8], footer_start: u64) -> Result<Footer> {
     }
     let meta =
         TableMeta::new(schema, metas, num_rows, CompressionOptions::with_chunk_size(chunk_size))?;
-    Ok(Footer { meta, entries, locations })
+    Ok(Footer { meta, entries, locations, layouts })
 }
 
-/// Open a v2 file for lazy access: verify the header, then read and parse
-/// only the footer. Rejects v1 files (no footer) with a migration hint.
+/// Open a v2/v3 file for lazy access: verify the header, then read and
+/// parse only the footer. Rejects v1 files (no footer) with a migration
+/// hint.
 pub(crate) fn read_footer_from_file(file: &mut std::fs::File) -> Result<Footer> {
     let total = file.seek(SeekFrom::End(0))?;
     if total < HEADER_LEN + TAIL_LEN {
-        return Err(StorageError::Corrupt("file too short for v2 header + tail".into()));
+        return Err(StorageError::Corrupt("file too short for header + tail".into()));
     }
 
     let mut header = [0u8; HEADER_LEN as usize];
@@ -329,17 +505,17 @@ pub(crate) fn read_footer_from_file(file: &mut std::fs::File) -> Result<Footer> 
     if magic != MAGIC {
         return Err(StorageError::Corrupt(format!("bad magic {magic:#x}")));
     }
-    match get_u32(&mut cur)? {
-        2 => {}
+    let version = match get_u32(&mut cur)? {
+        v @ (2 | 3) => v,
         1 => {
             return Err(StorageError::Unsupported(
                 "version 1 files have no chunk index footer and cannot be opened lazily; \
-                 load eagerly with persist::read_file and re-save to migrate to v2"
+                 load eagerly with persist::read_file and re-save to migrate"
                     .into(),
             ))
         }
         v => return Err(StorageError::BadVersion(v)),
-    }
+    };
 
     let mut tail = [0u8; TAIL_LEN as usize];
     file.seek(SeekFrom::Start(total - TAIL_LEN))?;
@@ -357,10 +533,10 @@ pub(crate) fn read_footer_from_file(file: &mut std::fs::File) -> Result<Footer> 
     let mut footer_bytes = vec![0u8; footer_len as usize];
     file.seek(SeekFrom::Start(footer_start))?;
     file.read_exact(&mut footer_bytes)?;
-    read_footer(&footer_bytes, footer_start)
+    read_footer(&footer_bytes, footer_start, version)
 }
 
-/// Decode one self-contained chunk blob (as located by the v2 footer).
+/// Decode one self-contained whole-chunk blob (as located by a v2 footer).
 pub(crate) fn decode_chunk_blob(blob: &[u8], arity: usize) -> Result<Chunk> {
     let mut buf = blob;
     let chunk = read_chunk(&mut buf, arity)?;
@@ -371,6 +547,36 @@ pub(crate) fn decode_chunk_blob(blob: &[u8], arity: usize) -> Result<Chunk> {
         )));
     }
     Ok(chunk)
+}
+
+/// Decode one self-contained RLE blob (as located by a v3 footer).
+pub(crate) fn decode_rle_blob(blob: &[u8]) -> Result<UserRle> {
+    let mut buf = blob;
+    let users = read_packed(&mut buf)?;
+    let firsts = read_packed(&mut buf)?;
+    let counts = read_packed(&mut buf)?;
+    let rle = UserRle::from_parts(users, firsts, counts)?;
+    if buf.has_remaining() {
+        return Err(StorageError::Corrupt(format!(
+            "{} trailing bytes after rle payload",
+            buf.remaining()
+        )));
+    }
+    Ok(rle)
+}
+
+/// Decode one self-contained column blob (as located by a v3 footer).
+pub(crate) fn decode_column_blob(blob: &[u8]) -> Result<ChunkColumn> {
+    let mut buf = blob;
+    let col = read_column(&mut buf)?
+        .ok_or_else(|| StorageError::Corrupt("column blob holds no segment".into()))?;
+    if buf.has_remaining() {
+        return Err(StorageError::Corrupt(format!(
+            "{} trailing bytes after column payload",
+            buf.remaining()
+        )));
+    }
+    Ok(col)
 }
 
 // ---------------------------------------------------------------- helpers
@@ -513,6 +719,50 @@ fn read_meta(buf: &mut &[u8]) -> Result<ColumnMeta> {
     }
 }
 
+/// The base (stats-less) fields of an index entry, shared by the v2 and v3
+/// footers.
+fn write_entry_base(buf: &mut BytesMut, entry: &ChunkIndexEntry) {
+    buf.put_u64_le(entry.num_rows);
+    buf.put_u64_le(entry.num_users);
+    buf.put_u64_le(entry.time_min as u64);
+    buf.put_u64_le(entry.time_max as u64);
+    buf.put_u32_le(entry.action_gids.len() as u32);
+    for gid in &entry.action_gids {
+        buf.put_u32_le(*gid);
+    }
+}
+
+fn write_column_stats(buf: &mut BytesMut, stats: &ColumnStats) {
+    match stats {
+        ColumnStats::User => buf.put_u8(0),
+        ColumnStats::Str { distinct } => {
+            buf.put_u8(1);
+            buf.put_u32_le(*distinct);
+        }
+        ColumnStats::Int { min, max } => {
+            buf.put_u8(2);
+            buf.put_u64_le(*min as u64);
+            buf.put_u64_le(*max as u64);
+        }
+    }
+}
+
+fn read_column_stats(buf: &mut &[u8]) -> Result<ColumnStats> {
+    match get_u8(buf)? {
+        0 => Ok(ColumnStats::User),
+        1 => Ok(ColumnStats::Str { distinct: get_u32(buf)? }),
+        2 => {
+            let min = get_i64(buf)?;
+            let max = get_i64(buf)?;
+            if min > max {
+                return Err(StorageError::Corrupt(format!("column stats min {min} > max {max}")));
+            }
+            Ok(ColumnStats::Int { min, max })
+        }
+        t => Err(StorageError::Corrupt(format!("bad column stats tag {t}"))),
+    }
+}
+
 fn write_packed(buf: &mut BytesMut, packed: &BitPacked) {
     buf.put_u8(packed.width());
     buf.put_u64_le(packed.len() as u64);
@@ -540,29 +790,71 @@ fn read_packed(buf: &mut &[u8]) -> Result<BitPacked> {
     BitPacked::from_raw(width, len, words)
 }
 
-fn write_chunk(buf: &mut BytesMut, chunk: &Chunk) {
-    let (users, firsts, counts) = chunk.user_rle().parts();
+/// The RLE user column as a self-contained blob.
+fn write_rle_blob(buf: &mut BytesMut, rle: &UserRle) {
+    let (users, firsts, counts) = rle.parts();
     write_packed(buf, users);
     write_packed(buf, firsts);
     write_packed(buf, counts);
+}
+
+/// One column segment, tagged (1 = string, 2 = integer).
+fn write_column_blob(buf: &mut BytesMut, col: &ChunkColumn) {
+    match col {
+        ChunkColumn::Str { dict, codes } => {
+            buf.put_u8(1);
+            buf.put_u32_le(dict.len() as u32);
+            for gid in dict.global_ids() {
+                buf.put_u32_le(*gid);
+            }
+            write_packed(buf, codes);
+        }
+        ChunkColumn::Int { min, max, deltas } => {
+            buf.put_u8(2);
+            buf.put_u64_le(*min as u64);
+            buf.put_u64_le(*max as u64);
+            write_packed(buf, deltas);
+        }
+    }
+}
+
+/// One tagged column segment (0 = absent, 1 = string, 2 = integer).
+fn read_column(buf: &mut &[u8]) -> Result<Option<ChunkColumn>> {
+    match get_u8(buf)? {
+        0 => Ok(None),
+        1 => {
+            let n = get_u32(buf)? as usize;
+            if n > buf.remaining() / 4 {
+                return Err(StorageError::Corrupt(format!(
+                    "chunk dictionary count {n} overruns input"
+                )));
+            }
+            let mut gids = Vec::with_capacity(n);
+            for _ in 0..n {
+                gids.push(get_u32(buf)?);
+            }
+            let dict = ChunkDict::from_sorted(gids)?;
+            let codes = read_packed(buf)?;
+            Ok(Some(ChunkColumn::Str { dict, codes }))
+        }
+        2 => {
+            let min = get_i64(buf)?;
+            let max = get_i64(buf)?;
+            let deltas = read_packed(buf)?;
+            Ok(Some(ChunkColumn::Int { min, max, deltas }))
+        }
+        t => Err(StorageError::Corrupt(format!("bad column tag {t}"))),
+    }
+}
+
+/// One whole chunk as a self-contained blob (the v1/v2 chunk encoding).
+fn write_chunk(buf: &mut BytesMut, chunk: &Chunk) {
+    write_rle_blob(buf, chunk.user_rle());
     buf.put_u16_le(chunk.columns().len() as u16);
     for col in chunk.columns() {
         match col {
             None => buf.put_u8(0),
-            Some(ChunkColumn::Str { dict, codes }) => {
-                buf.put_u8(1);
-                buf.put_u32_le(dict.len() as u32);
-                for gid in dict.global_ids() {
-                    buf.put_u32_le(*gid);
-                }
-                write_packed(buf, codes);
-            }
-            Some(ChunkColumn::Int { min, max, deltas }) => {
-                buf.put_u8(2);
-                buf.put_u64_le(*min as u64);
-                buf.put_u64_le(*max as u64);
-                write_packed(buf, deltas);
-            }
+            Some(col) => write_column_blob(buf, col),
         }
     }
 }
@@ -581,31 +873,7 @@ fn read_chunk(buf: &mut &[u8], arity: usize) -> Result<Chunk> {
     }
     let mut columns = Vec::with_capacity(ncols);
     for _ in 0..ncols {
-        match get_u8(buf)? {
-            0 => columns.push(None),
-            1 => {
-                let n = get_u32(buf)? as usize;
-                if n > buf.remaining() / 4 {
-                    return Err(StorageError::Corrupt(format!(
-                        "chunk dictionary count {n} overruns input"
-                    )));
-                }
-                let mut gids = Vec::with_capacity(n);
-                for _ in 0..n {
-                    gids.push(get_u32(buf)?);
-                }
-                let dict = ChunkDict::from_sorted(gids)?;
-                let codes = read_packed(buf)?;
-                columns.push(Some(ChunkColumn::Str { dict, codes }));
-            }
-            2 => {
-                let min = get_i64(buf)?;
-                let max = get_i64(buf)?;
-                let deltas = read_packed(buf)?;
-                columns.push(Some(ChunkColumn::Int { min, max, deltas }));
-            }
-            t => return Err(StorageError::Corrupt(format!("bad column tag {t}"))),
-        }
+        columns.push(read_column(buf)?);
     }
     Chunk::new(rle, columns)
 }
@@ -621,7 +889,7 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_bytes_v2() {
+    fn roundtrip_bytes_v3() {
         let c = compressed();
         let bytes = to_bytes(&c);
         let back = from_bytes(&bytes).unwrap();
@@ -630,6 +898,17 @@ mod tests {
         assert_eq!(back.schema(), c.schema());
         assert_eq!(back.index_entries(), c.index_entries());
         // Full decode equality.
+        assert_eq!(back.decompress().unwrap().rows(), c.decompress().unwrap().rows());
+    }
+
+    #[test]
+    fn roundtrip_bytes_v2() {
+        let c = compressed();
+        let bytes = to_bytes_v2(&c);
+        assert_eq!(&bytes[4..8], 2u32.to_le_bytes());
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.num_rows(), c.num_rows());
+        assert_eq!(back.chunks(), c.chunks());
         assert_eq!(back.decompress().unwrap().rows(), c.decompress().unwrap().rows());
     }
 
@@ -645,7 +924,7 @@ mod tests {
     }
 
     #[test]
-    fn v2_header_declares_version_2() {
+    fn v3_header_declares_version_3() {
         let bytes = to_bytes(&compressed());
         assert_eq!(&bytes[0..4], MAGIC.to_le_bytes());
         assert_eq!(&bytes[4..8], VERSION.to_le_bytes());
@@ -667,7 +946,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        for writer in [to_bytes, to_bytes_v1] {
+        for writer in [to_bytes, to_bytes_v2, to_bytes_v1] {
             let mut bytes = writer(&compressed()).to_vec();
             bytes[0] ^= 0xFF;
             assert!(matches!(from_bytes(&bytes).unwrap_err(), StorageError::Corrupt(_)));
@@ -676,10 +955,12 @@ mod tests {
 
     #[test]
     fn rejects_bad_tail_magic() {
-        let mut bytes = to_bytes(&compressed()).to_vec();
-        let last = bytes.len() - 1;
-        bytes[last] ^= 0xFF;
-        assert!(matches!(from_bytes(&bytes).unwrap_err(), StorageError::Corrupt(_)));
+        for writer in [to_bytes, to_bytes_v2] {
+            let mut bytes = writer(&compressed()).to_vec();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xFF;
+            assert!(matches!(from_bytes(&bytes).unwrap_err(), StorageError::Corrupt(_)));
+        }
     }
 
     #[test]
@@ -691,7 +972,7 @@ mod tests {
 
     #[test]
     fn rejects_truncation_everywhere() {
-        for writer in [to_bytes, to_bytes_v1] {
+        for writer in [to_bytes, to_bytes_v2, to_bytes_v1] {
             let bytes = writer(&compressed()).to_vec();
             // Truncating at any prefix must error, never panic.
             for cut in (0..bytes.len().min(400)).chain([bytes.len() - 1]) {
@@ -702,31 +983,35 @@ mod tests {
 
     #[test]
     fn rejects_trailing_garbage() {
-        // v1 detects trailing bytes directly; v2's tail magic lands on the
-        // wrong bytes once anything is appended.
-        for writer in [to_bytes, to_bytes_v1] {
+        // v1 detects trailing bytes directly; v2/v3's tail magic lands on
+        // the wrong bytes once anything is appended.
+        for writer in [to_bytes, to_bytes_v2, to_bytes_v1] {
             let mut bytes = writer(&compressed()).to_vec();
             bytes.push(0);
             assert!(from_bytes(&bytes).is_err());
         }
     }
 
+    /// Byte size of one v2 footer entry.
+    fn v2_entry_size(e: &ChunkIndexEntry) -> usize {
+        52 + 4 * e.action_gids.len()
+    }
+
     #[test]
-    fn rejects_crafted_overflow_locations() {
+    fn rejects_crafted_overflow_locations_v2() {
         // A footer whose first chunk length is near u64::MAX so that
         // `offset + len` wraps past the bound check, with the second entry
         // repaired to keep the tiling chain consistent. Must be rejected by
         // the subtraction-based bound check, never reach the slicing code.
         let c = compressed();
         assert!(c.chunks().len() >= 2);
-        let bytes = to_bytes(&c).to_vec();
+        let bytes = to_bytes_v2(&c).to_vec();
         let tail = bytes.len() - 12;
         let footer_len = u64::from_le_bytes(bytes[tail..tail + 8].try_into().unwrap()) as usize;
         let footer_start = (tail - footer_len) as u64;
-        let entry_size = |e: &ChunkIndexEntry| 52 + 4 * e.action_gids.len();
-        let entries_size: usize = c.index_entries().iter().map(entry_size).sum();
+        let entries_size: usize = c.index_entries().iter().map(v2_entry_size).sum();
         let e0 = tail - entries_size;
-        let e1 = e0 + entry_size(&c.index_entries()[0]);
+        let e1 = e0 + v2_entry_size(&c.index_entries()[0]);
         let mut crafted = bytes.clone();
         crafted[e0 + 8..e0 + 16].copy_from_slice(&(u64::MAX - 7).to_le_bytes());
         crafted[e1..e1 + 8].copy_from_slice(&0u64.to_le_bytes());
@@ -734,34 +1019,81 @@ mod tests {
         assert!(matches!(from_bytes(&crafted), Err(StorageError::Corrupt(_))));
     }
 
+    /// Byte size of one v3 footer entry.
+    fn v3_entry_size(arity: usize, e: &ChunkIndexEntry) -> usize {
+        let stats: usize = e
+            .column_stats
+            .iter()
+            .map(|s| match s {
+                ColumnStats::User => 1,
+                ColumnStats::Str { .. } => 5,
+                ColumnStats::Int { .. } => 17,
+            })
+            .sum();
+        16 + 16 * arity + 36 + 4 * e.action_gids.len() + stats
+    }
+
     #[test]
-    fn rejects_zero_chunk_size_footer() {
-        let bytes = to_bytes(&compressed()).to_vec();
+    fn rejects_crafted_overflow_locations_v3() {
+        // Same attack on the v3 footer: a near-u64::MAX RLE blob length in
+        // the first chunk's layout must be rejected by the subtraction-based
+        // tiling check — no wrap, no huge allocation, no panic.
+        let c = compressed();
+        assert!(c.chunks().len() >= 2);
+        let arity = c.schema().arity();
+        let bytes = to_bytes(&c).to_vec();
         let tail = bytes.len() - 12;
-        let footer_len = u64::from_le_bytes(bytes[tail..tail + 8].try_into().unwrap()) as usize;
-        let footer_start = tail - footer_len;
-        let mut crafted = bytes;
-        crafted[footer_start..footer_start + 8].copy_from_slice(&0u64.to_le_bytes());
+        let entries_size: usize = c.index_entries().iter().map(|e| v3_entry_size(arity, e)).sum();
+        let e0 = tail - entries_size;
+        let mut crafted = bytes.clone();
+        // rle_len is the second u64 of the first entry.
+        crafted[e0 + 8..e0 + 16].copy_from_slice(&(u64::MAX - 7).to_le_bytes());
         assert!(matches!(from_bytes(&crafted), Err(StorageError::Corrupt(_))));
     }
 
     #[test]
-    fn rejects_tampered_footer_index() {
-        let c = compressed();
-        let bytes = to_bytes(&c).to_vec();
-        // Locate the footer and flip one byte inside it; either the footer
-        // parse or the recomputed-index comparison must reject the image.
-        let tail = bytes.len() - 12;
-        let footer_len = u64::from_le_bytes(bytes[tail..tail + 8].try_into().unwrap()) as usize;
-        let footer_start = tail - footer_len;
-        let mut seen_reject = false;
-        for pos in [footer_start + 8, footer_start + footer_len / 2, tail - 1] {
-            let mut tampered = bytes.clone();
-            tampered[pos] ^= 0x01;
-            if from_bytes(&tampered).is_err() {
-                seen_reject = true;
-            }
+    fn rejects_zero_chunk_size_footer() {
+        for writer in [to_bytes, to_bytes_v2] {
+            let bytes = writer(&compressed()).to_vec();
+            let tail = bytes.len() - 12;
+            let footer_len = u64::from_le_bytes(bytes[tail..tail + 8].try_into().unwrap()) as usize;
+            let footer_start = tail - footer_len;
+            let mut crafted = bytes;
+            crafted[footer_start..footer_start + 8].copy_from_slice(&0u64.to_le_bytes());
+            assert!(matches!(from_bytes(&crafted), Err(StorageError::Corrupt(_))));
         }
-        assert!(seen_reject, "no footer tampering detected");
+    }
+
+    #[test]
+    fn rejects_tampered_footer_index() {
+        for writer in [to_bytes, to_bytes_v2] {
+            let c = compressed();
+            let bytes = writer(&c).to_vec();
+            // Locate the footer and flip one byte inside it; either the
+            // footer parse or the recomputed-index comparison must reject
+            // the image.
+            let tail = bytes.len() - 12;
+            let footer_len = u64::from_le_bytes(bytes[tail..tail + 8].try_into().unwrap()) as usize;
+            let footer_start = tail - footer_len;
+            let mut seen_reject = false;
+            for pos in [footer_start + 8, footer_start + footer_len / 2, tail - 1] {
+                let mut tampered = bytes.clone();
+                tampered[pos] ^= 0x01;
+                if from_bytes(&tampered).is_err() {
+                    seen_reject = true;
+                }
+            }
+            assert!(seen_reject, "no footer tampering detected");
+        }
+    }
+
+    #[test]
+    fn v2_and_v3_images_decode_identically() {
+        let c = compressed();
+        let v2 = from_bytes(&to_bytes_v2(&c)).unwrap();
+        let v3 = from_bytes(&to_bytes(&c)).unwrap();
+        assert_eq!(v2.chunks(), v3.chunks());
+        assert_eq!(v2.schema(), v3.schema());
+        assert_eq!(v2.num_rows(), v3.num_rows());
     }
 }

@@ -8,31 +8,65 @@
 //!
 //! * [`ChunkIndexEntry`] carries exactly the pruning metadata, available for
 //!   *every* chunk without touching chunk payloads;
-//! * [`ChunkSource::chunk`] materializes one chunk's payload on demand.
+//! * [`ChunkSource::chunk`] materializes one chunk's payload on demand;
+//! * [`ChunkSource::chunk_columns`] materializes only the columns named by
+//!   the plan's projection list — on a v3 column-addressable file, columns
+//!   the query never names are never read from disk.
 //!
 //! Two implementations exist: [`CompressedTable`] (everything resident in
-//! memory — `chunk` is a borrow) and [`FileSource`] (a v2 footer-indexed
-//! file — `chunk` seeks, reads, and decodes one chunk, caching the result).
+//! memory — `chunk` is a borrow) and [`FileSource`] (a footer-indexed v2/v3
+//! file — segments are seeked, read, and decoded on demand and retained in a
+//! **bounded, byte-budgeted LRU cache** over `(chunk, column)` entries, so a
+//! table much larger than RAM can be queried within a fixed memory budget).
 //! Opening a `FileSource` costs O(footer): a selective query on a cold table
-//! pays decode cost only for the chunks it actually touches, mirroring the
-//! row-group metadata designs of Parquet and GBAM.
+//! pays I/O and decode cost only for the chunk columns it actually touches,
+//! mirroring the row-group/column-chunk metadata designs of Parquet and
+//! GBAM.
 
 use crate::chunk::Chunk;
-use crate::persist;
-use crate::table::{validate_chunk, CompressedTable, TableMeta};
+use crate::column::ChunkColumn;
+use crate::persist::{self, ChunkLayout};
+use crate::rle::UserRle;
+use crate::table::{validate_chunk, validate_column, validate_rle, CompressedTable, TableMeta};
 use crate::{Result, StorageError};
 use cohana_activity::Schema;
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::ops::Deref;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-column statistics recorded in a v3 footer's [`ChunkIndexEntry`]: the
+/// analogue of Parquet's `ColumnChunkMetaData` statistics, computable from
+/// the chunk payload and therefore verifiable after a lazy decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnStats {
+    /// The user column: its data is the RLE triple array, described by the
+    /// entry's row/user counts.
+    User,
+    /// A dictionary-encoded string column: number of distinct values in the
+    /// chunk.
+    Str {
+        /// Size of the chunk dictionary.
+        distinct: u32,
+    },
+    /// A delta-encoded integer column: the chunk's value range.
+    Int {
+        /// Minimum value in the chunk.
+        min: i64,
+        /// Maximum value in the chunk.
+        max: i64,
+    },
+}
 
 /// Per-chunk metadata: everything the executor needs to decide whether a
 /// chunk can contribute to a query, without loading the chunk itself. The
-/// v2 persistence footer stores one entry per chunk (the analogue of
-/// Parquet's `RowGroupMetaData` + the column-chunk statistics it wraps).
+/// persistence footer stores one entry per chunk (the analogue of Parquet's
+/// `RowGroupMetaData` + the column-chunk statistics it wraps). v3 footers
+/// additionally record one [`ColumnStats`] per attribute; v2 footers predate
+/// column stats and leave the vector empty.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChunkIndexEntry {
     /// Tuples in the chunk.
@@ -46,10 +80,14 @@ pub struct ChunkIndexEntry {
     /// The chunk's action dictionary: sorted global ids of every action that
     /// occurs in the chunk. Membership here decides birth-action pruning.
     pub action_gids: Vec<u32>,
+    /// Per-attribute statistics (one per schema position; empty for entries
+    /// parsed from v2 footers, which do not record them).
+    pub column_stats: Vec<ColumnStats>,
 }
 
 impl ChunkIndexEntry {
-    /// Compute the entry for an in-memory chunk.
+    /// Compute the entry (including per-column stats) for a fully
+    /// materialized in-memory chunk.
     pub fn of_chunk(chunk: &Chunk, schema: &Schema) -> Self {
         let (time_min, time_max) = chunk
             .column_required(schema.time_idx())
@@ -61,13 +99,40 @@ impl ChunkIndexEntry {
             .expect("action column is dictionary-encoded")
             .global_ids()
             .to_vec();
+        let column_stats = (0..schema.arity())
+            .map(|idx| {
+                if idx == schema.user_idx() {
+                    return ColumnStats::User;
+                }
+                let col = chunk.column_required(idx);
+                match col.int_range() {
+                    Some((min, max)) => ColumnStats::Int { min, max },
+                    None => ColumnStats::Str {
+                        distinct: col.dict().expect("string column").len() as u32,
+                    },
+                }
+            })
+            .collect();
         ChunkIndexEntry {
             num_rows: chunk.num_rows() as u64,
             num_users: chunk.num_users() as u64,
             time_min,
             time_max,
             action_gids,
+            column_stats,
         }
+    }
+
+    /// Whether this (possibly untrusted, footer-parsed) entry agrees with an
+    /// entry recomputed from the decoded payload. Entries from v2 footers
+    /// carry no column stats; those compare on the base fields only.
+    pub fn matches(&self, computed: &ChunkIndexEntry) -> bool {
+        self.num_rows == computed.num_rows
+            && self.num_users == computed.num_users
+            && self.time_min == computed.time_min
+            && self.time_max == computed.time_max
+            && self.action_gids == computed.action_gids
+            && (self.column_stats.is_empty() || self.column_stats == computed.column_stats)
     }
 
     /// Whether any tuple in the chunk performs the action with this global
@@ -82,19 +147,22 @@ impl ChunkIndexEntry {
     }
 }
 
-/// A loaded chunk: either borrowed from a resident table or owned by the
-/// caller after a lazy decode.
+/// A loaded chunk: borrowed from a resident table, owned by the caller, or
+/// shared with a bounded cache.
 ///
-/// Both in-repo sources currently return `Borrowed` (`CompressedTable` is
-/// resident; `FileSource` pins every decode in its cache). `Owned` is the
-/// contract's room for sources that cannot hand out `&self`-lifetime
-/// borrows — e.g. a bounded cache with eviction — without which the trait
-/// would force unbounded retention on every future implementation.
+/// `Owned` and `Shared` are what make cache eviction possible: a source that
+/// hands out only `&self`-lifetime borrows is forced to retain every decode
+/// for its whole life. [`FileSource`] returns `Shared`/`Owned` values whose
+/// segments are reference-counted with the cache, so eviction never
+/// invalidates an in-flight chunk.
 pub enum ChunkRef<'a> {
-    /// Chunk resident in the source (memory table or warm cache).
+    /// Chunk resident in the source (memory table).
     Borrowed(&'a Chunk),
-    /// Chunk decoded for this call; the source retains no copy.
+    /// Chunk assembled for this call (segments may still be shared with the
+    /// source's cache via `Arc`).
     Owned(Box<Chunk>),
+    /// Whole chunk shared with the source's cache.
+    Shared(Arc<Chunk>),
 }
 
 impl Deref for ChunkRef<'_> {
@@ -103,8 +171,30 @@ impl Deref for ChunkRef<'_> {
         match self {
             ChunkRef::Borrowed(c) => c,
             ChunkRef::Owned(c) => c,
+            ChunkRef::Shared(c) => c,
         }
     }
+}
+
+/// I/O and cache counters of a source (all zero for fully resident
+/// sources). Diagnostics: lets tests, benches, and the shell's `.stats`
+/// assert that pruning and projection pushdown actually avoided work.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SourceIoStats {
+    /// Chunks whose skeleton (RLE user column, or the whole blob on v2) was
+    /// decoded from backing storage.
+    pub chunks_decoded: usize,
+    /// Individual column segments decoded (v3 sources; 0 on v2, which only
+    /// decodes whole chunks).
+    pub columns_decoded: usize,
+    /// Payload bytes read from backing storage (excludes the footer).
+    pub bytes_read: u64,
+    /// Cache entries evicted to stay within the byte budget.
+    pub cache_evictions: u64,
+    /// Bytes currently retained by the cache.
+    pub cache_resident_bytes: usize,
+    /// The configured cache byte budget.
+    pub cache_budget_bytes: usize,
 }
 
 /// Uniform access to a table's chunks, with pruning metadata available
@@ -123,10 +213,25 @@ pub trait ChunkSource: Send + Sync {
     /// Materialize one chunk, loading and decoding it if necessary.
     fn chunk(&self, idx: usize) -> Result<ChunkRef<'_>>;
 
+    /// Materialize one chunk **partially**: the returned chunk is guaranteed
+    /// to carry the user RLE plus the column segments of every attribute in
+    /// `cols` (the user attribute's data is always in the RLE; other
+    /// attributes may or may not be materialized). Sources without
+    /// column-addressable storage fall back to the whole chunk.
+    fn chunk_columns(&self, idx: usize, cols: &[usize]) -> Result<ChunkRef<'_>> {
+        let _ = cols;
+        self.chunk(idx)
+    }
+
     /// How many chunks this source has decoded from backing storage since it
     /// was opened (0 for fully resident sources). Diagnostics: lets tests
     /// and benchmarks assert that pruning avoided I/O.
     fn chunks_decoded(&self) -> usize;
+
+    /// I/O and cache counters (all zero for fully resident sources).
+    fn io_stats(&self) -> SourceIoStats {
+        SourceIoStats::default()
+    }
 }
 
 impl ChunkSource for CompressedTable {
@@ -151,43 +256,159 @@ impl ChunkSource for CompressedTable {
     }
 }
 
-/// A lazily-loaded, file-backed table in the v2 footer-indexed format.
+/// Default byte budget of a [`FileSource`]'s segment cache (256 MiB).
+pub const DEFAULT_CACHE_BUDGET: usize = 256 * 1024 * 1024;
+
+/// Cache key: `(chunk index, segment id)` where segment 0 is the whole
+/// chunk (v2), 1 the RLE user column, and `2 + attr` a column segment.
+type SegKey = (u32, u32);
+
+const SEG_WHOLE: u32 = 0;
+const SEG_RLE: u32 = 1;
+
+fn seg_col(attr: usize) -> u32 {
+    2 + attr as u32
+}
+
+/// One decoded segment retained by the cache. Cloning is an `Arc` bump.
+#[derive(Clone)]
+enum CacheSlot {
+    Rle(Arc<UserRle>),
+    Col(Arc<ChunkColumn>),
+    Whole(Arc<Chunk>),
+}
+
+struct CacheEntry {
+    slot: CacheSlot,
+    bytes: usize,
+    tick: u64,
+}
+
+/// Bounded LRU over decoded segments, keyed `(chunk, column)`, accounted in
+/// compressed payload bytes. Eviction happens **before** insertion, so the
+/// resident total never exceeds the budget, even transiently; a segment
+/// larger than the whole budget is simply never retained.
+struct SegmentCache {
+    budget: usize,
+    resident: usize,
+    tick: u64,
+    evictions: u64,
+    map: HashMap<SegKey, CacheEntry>,
+}
+
+impl SegmentCache {
+    fn new(budget: usize) -> Self {
+        SegmentCache { budget, resident: 0, tick: 0, evictions: 0, map: HashMap::new() }
+    }
+
+    fn get(&mut self, key: SegKey) -> Option<CacheSlot> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|e| {
+            e.tick = tick;
+            e.slot.clone()
+        })
+    }
+
+    fn insert(&mut self, key: SegKey, slot: CacheSlot, bytes: usize) {
+        if let Some(old) = self.map.remove(&key) {
+            self.resident -= old.bytes;
+        }
+        if bytes > self.budget {
+            // A segment larger than the whole budget is never retained.
+            // Nothing resident is displaced, so this is not an eviction.
+            return;
+        }
+        while self.resident + bytes > self.budget {
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| *k)
+                .expect("resident > 0 implies a cached entry");
+            let evicted = self.map.remove(&lru).expect("lru key present");
+            self.resident -= evicted.bytes;
+            self.evictions += 1;
+        }
+        self.tick += 1;
+        self.map.insert(key, CacheEntry { slot, bytes, tick: self.tick });
+        self.resident += bytes;
+    }
+
+    fn chunks_resident(&self) -> usize {
+        let mut chunks: Vec<u32> = self.map.keys().map(|(c, _)| *c).collect();
+        chunks.sort_unstable();
+        chunks.dedup();
+        chunks.len()
+    }
+}
+
+/// A lazily-loaded, file-backed table in the footer-indexed v2 or v3
+/// format.
 ///
 /// [`FileSource::open`] reads only the 8-byte header and the footer — O(1)
-/// in the number of tuples. Chunks are fetched and decoded on first access
-/// and cached; [`FileSource::chunks_decoded`] reports how many chunk decodes
-/// actually happened, which selective queries keep strictly below
-/// [`num_chunks`](ChunkSource::num_chunks).
+/// in the number of tuples. On a v3 file every chunk's columns are
+/// independently addressable: [`FileSource::chunk_columns`] seeks and
+/// decodes only the RLE user column plus the projected column segments. On
+/// a v2 file (whole-chunk blobs) any access degrades to fetching the full
+/// chunk. Decoded segments live in a bounded byte-budgeted LRU cache
+/// ([`FileSource::open_with_budget`]) so resident memory never exceeds the
+/// configured budget regardless of table size.
 #[derive(Debug)]
 pub struct FileSource {
     path: PathBuf,
     file: Mutex<File>,
     meta: TableMeta,
     entries: Vec<ChunkIndexEntry>,
-    /// Byte `(offset, length)` of each chunk blob within the file.
+    /// Byte `(offset, length)` of each chunk's full payload span.
     locations: Vec<(u64, u64)>,
-    cache: Vec<OnceLock<Chunk>>,
+    /// Per-chunk blob layout (`Some` for v3 column-addressable files).
+    layouts: Option<Vec<ChunkLayout>>,
+    cache: Mutex<SegmentCache>,
     decoded: AtomicUsize,
+    columns_decoded: AtomicUsize,
+    bytes_read: AtomicU64,
+}
+
+impl std::fmt::Debug for SegmentCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentCache")
+            .field("budget", &self.budget)
+            .field("resident", &self.resident)
+            .field("entries", &self.map.len())
+            .field("evictions", &self.evictions)
+            .finish()
+    }
 }
 
 impl FileSource {
-    /// Open a v2 file by reading its footer; no chunk data is touched.
+    /// Open a v2/v3 file by reading its footer, with the default cache
+    /// budget ([`DEFAULT_CACHE_BUDGET`]); no chunk data is touched.
     ///
     /// Returns [`StorageError::Unsupported`] for v1 files, which have no
     /// footer: load those eagerly with [`persist::read_file`] and re-save to
-    /// migrate them to v2.
+    /// migrate them.
     pub fn open(path: &Path) -> Result<FileSource> {
+        Self::open_with_budget(path, DEFAULT_CACHE_BUDGET)
+    }
+
+    /// Like [`FileSource::open`] with an explicit segment-cache byte budget.
+    /// A budget of 0 disables caching entirely (every access re-reads and
+    /// re-decodes).
+    pub fn open_with_budget(path: &Path, cache_budget: usize) -> Result<FileSource> {
         let mut file = File::open(path)?;
         let footer = persist::read_footer_from_file(&mut file)?;
-        let num_chunks = footer.locations.len();
         Ok(FileSource {
             path: path.to_path_buf(),
             file: Mutex::new(file),
             meta: footer.meta,
             entries: footer.entries,
             locations: footer.locations,
-            cache: (0..num_chunks).map(|_| OnceLock::new()).collect(),
+            layouts: footer.layouts,
+            cache: Mutex::new(SegmentCache::new(cache_budget)),
             decoded: AtomicUsize::new(0),
+            columns_decoded: AtomicUsize::new(0),
+            bytes_read: AtomicU64::new(0),
         })
     }
 
@@ -196,19 +417,202 @@ impl FileSource {
         &self.path
     }
 
-    /// How many chunks are currently resident in the cache.
-    pub fn chunks_resident(&self) -> usize {
-        self.cache.iter().filter(|c| c.get().is_some()).count()
+    /// Whether the backing file addresses each column independently (v3).
+    pub fn is_column_addressable(&self) -> bool {
+        self.layouts.is_some()
     }
 
-    /// Read one chunk's raw bytes from the file.
-    fn read_blob(&self, idx: usize) -> Result<Vec<u8>> {
-        let (offset, len) = self.locations[idx];
+    /// How many chunks currently have at least one cached segment.
+    pub fn chunks_resident(&self) -> usize {
+        self.cache.lock().expect("cache lock poisoned").chunks_resident()
+    }
+
+    /// Bytes currently retained by the segment cache.
+    pub fn cache_resident_bytes(&self) -> usize {
+        self.cache.lock().expect("cache lock poisoned").resident
+    }
+
+    /// The configured cache byte budget.
+    pub fn cache_budget_bytes(&self) -> usize {
+        self.cache.lock().expect("cache lock poisoned").budget
+    }
+
+    /// Cache entries evicted so far to stay within the budget.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.lock().expect("cache lock poisoned").evictions
+    }
+
+    /// Payload bytes read from the file so far (excludes the footer).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Column segments decoded so far (v3; 0 on v2 files).
+    pub fn columns_decoded(&self) -> usize {
+        self.columns_decoded.load(Ordering::Relaxed)
+    }
+
+    /// Read `len` bytes at `offset` from the backing file.
+    fn read_range(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
         let mut buf = vec![0u8; len as usize];
-        let mut file = self.file.lock().expect("file lock poisoned");
-        file.seek(SeekFrom::Start(offset))?;
-        file.read_exact(&mut buf)?;
+        {
+            let mut file = self.file.lock().expect("file lock poisoned");
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(&mut buf)?;
+        }
+        self.bytes_read.fetch_add(len, Ordering::Relaxed);
         Ok(buf)
+    }
+
+    /// Fetch (cache or decode) the RLE user column of a v3 chunk.
+    fn fetch_rle(&self, idx: usize, layout: &ChunkLayout) -> Result<Arc<UserRle>> {
+        let key = (idx as u32, SEG_RLE);
+        if let Some(CacheSlot::Rle(rle)) = self.cache.lock().expect("cache lock poisoned").get(key)
+        {
+            return Ok(rle);
+        }
+        let entry = &self.entries[idx];
+        let blob = self.read_range(layout.rle.0, layout.rle.1)?;
+        let rle = persist::decode_rle_blob(&blob)?;
+        validate_rle(&self.meta, idx, &rle, rle.num_rows())?;
+        if rle.num_rows() as u64 != entry.num_rows || rle.num_users() as u64 != entry.num_users {
+            return Err(StorageError::Corrupt(format!(
+                "chunk {idx}: footer row/user counts disagree with the RLE user column"
+            )));
+        }
+        self.decoded.fetch_add(1, Ordering::Relaxed);
+        let rle = Arc::new(rle);
+        let bytes = rle.packed_bytes();
+        self.cache.lock().expect("cache lock poisoned").insert(
+            key,
+            CacheSlot::Rle(rle.clone()),
+            bytes,
+        );
+        Ok(rle)
+    }
+
+    /// Fetch (cache or decode) one column segment of a v3 chunk, verifying
+    /// it against the footer's per-column statistics.
+    fn fetch_column(
+        &self,
+        idx: usize,
+        attr: usize,
+        layout: &ChunkLayout,
+    ) -> Result<Arc<ChunkColumn>> {
+        let key = (idx as u32, seg_col(attr));
+        if let Some(CacheSlot::Col(col)) = self.cache.lock().expect("cache lock poisoned").get(key)
+        {
+            return Ok(col);
+        }
+        let entry = &self.entries[idx];
+        let (offset, len) = layout.cols[attr];
+        let blob = self.read_range(offset, len)?;
+        let col = persist::decode_column_blob(&blob)?;
+        validate_column(&self.meta, idx, attr, &col)?;
+        if col.len() as u64 != entry.num_rows {
+            return Err(StorageError::Corrupt(format!(
+                "chunk {idx}: column {attr} has {} rows, footer claims {}",
+                col.len(),
+                entry.num_rows
+            )));
+        }
+        // The footer's stats steered pruning before any I/O; now that the
+        // payload is decoded they must agree with it — the per-column
+        // analogue of the whole-chunk footer/payload comparison.
+        let stats_ok = match (entry.column_stats.get(attr), &col) {
+            (Some(ColumnStats::Str { distinct }), ChunkColumn::Str { dict, .. }) => {
+                *distinct as usize == dict.len()
+            }
+            (Some(ColumnStats::Int { min, max }), ChunkColumn::Int { .. }) => {
+                col.int_range() == Some((*min, *max))
+            }
+            _ => false,
+        };
+        if !stats_ok {
+            return Err(StorageError::Corrupt(format!(
+                "chunk {idx}: column {attr} stats disagree with payload"
+            )));
+        }
+        let schema = self.meta.schema();
+        if attr == schema.time_idx() && col.int_range() != Some((entry.time_min, entry.time_max)) {
+            return Err(StorageError::Corrupt(format!(
+                "chunk {idx}: footer time bounds disagree with the time column"
+            )));
+        }
+        if attr == schema.action_idx()
+            && col.dict().map(|d| d.global_ids()) != Some(entry.action_gids.as_slice())
+        {
+            return Err(StorageError::Corrupt(format!(
+                "chunk {idx}: footer action dictionary disagrees with the action column"
+            )));
+        }
+        self.columns_decoded.fetch_add(1, Ordering::Relaxed);
+        let col = Arc::new(col);
+        let bytes = col.packed_bytes();
+        self.cache.lock().expect("cache lock poisoned").insert(
+            key,
+            CacheSlot::Col(col.clone()),
+            bytes,
+        );
+        Ok(col)
+    }
+
+    /// Assemble a (possibly partial) chunk from a v3 file: RLE + the
+    /// requested columns.
+    fn assemble_v3(
+        &self,
+        idx: usize,
+        layouts: &[ChunkLayout],
+        cols: &[usize],
+    ) -> Result<ChunkRef<'_>> {
+        let layout = &layouts[idx];
+        let arity = self.meta.schema().arity();
+        let user_idx = self.meta.schema().user_idx();
+        let rle = self.fetch_rle(idx, layout)?;
+        let mut columns: Vec<Option<Arc<ChunkColumn>>> = vec![None; arity];
+        for &attr in cols {
+            if attr >= arity {
+                return Err(StorageError::Invalid(format!(
+                    "projected column {attr} out of range (arity {arity})"
+                )));
+            }
+            if attr == user_idx || columns[attr].is_some() {
+                continue;
+            }
+            columns[attr] = Some(self.fetch_column(idx, attr, layout)?);
+        }
+        Ok(ChunkRef::Owned(Box::new(Chunk::from_shared(rle, columns)?)))
+    }
+
+    /// Fetch and decode one whole v2 chunk blob.
+    fn whole_chunk_v2(&self, idx: usize) -> Result<ChunkRef<'_>> {
+        let key = (idx as u32, SEG_WHOLE);
+        if let Some(CacheSlot::Whole(chunk)) =
+            self.cache.lock().expect("cache lock poisoned").get(key)
+        {
+            return Ok(ChunkRef::Shared(chunk));
+        }
+        let (offset, len) = self.locations[idx];
+        let blob = self.read_range(offset, len)?;
+        let chunk = persist::decode_chunk_blob(&blob, self.meta.schema().arity())?;
+        validate_chunk(&self.meta, idx, &chunk)?;
+        // The footer's index entry is untrusted input that already steered
+        // pruning; now that the payload is decoded, the whole entry must
+        // agree with it (row/user counts, time bounds, action dictionary).
+        if !self.entries[idx].matches(&ChunkIndexEntry::of_chunk(&chunk, self.meta.schema())) {
+            return Err(StorageError::Corrupt(format!(
+                "chunk {idx}: footer index entry disagrees with chunk payload"
+            )));
+        }
+        self.decoded.fetch_add(1, Ordering::Relaxed);
+        let chunk = Arc::new(chunk);
+        let bytes = chunk.packed_bytes();
+        self.cache.lock().expect("cache lock poisoned").insert(
+            key,
+            CacheSlot::Whole(chunk.clone()),
+            bytes,
+        );
+        Ok(ChunkRef::Shared(chunk))
     }
 }
 
@@ -226,30 +630,38 @@ impl ChunkSource for FileSource {
     }
 
     fn chunk(&self, idx: usize) -> Result<ChunkRef<'_>> {
-        if let Some(chunk) = self.cache[idx].get() {
-            return Ok(ChunkRef::Borrowed(chunk));
+        match &self.layouts {
+            Some(layouts) => {
+                let all: Vec<usize> = (0..self.meta.schema().arity()).collect();
+                self.assemble_v3(idx, layouts, &all)
+            }
+            None => self.whole_chunk_v2(idx),
         }
-        let blob = self.read_blob(idx)?;
-        let chunk = persist::decode_chunk_blob(&blob, self.meta.schema().arity())?;
-        validate_chunk(&self.meta, idx, &chunk)?;
-        // The footer's index entry is untrusted input that already steered
-        // pruning; now that the payload is decoded, the whole entry must
-        // agree with it (row/user counts, time bounds, action dictionary) —
-        // the lazy-path analogue of the eager reader's footer/payload
-        // comparison.
-        if ChunkIndexEntry::of_chunk(&chunk, self.meta.schema()) != self.entries[idx] {
-            return Err(StorageError::Corrupt(format!(
-                "chunk {idx}: footer index entry disagrees with chunk payload"
-            )));
+    }
+
+    fn chunk_columns(&self, idx: usize, cols: &[usize]) -> Result<ChunkRef<'_>> {
+        match &self.layouts {
+            Some(layouts) => self.assemble_v3(idx, layouts, cols),
+            // v2 blobs are not column-addressable: degrade to a whole-chunk
+            // fetch, which materializes a superset of `cols`.
+            None => self.whole_chunk_v2(idx),
         }
-        self.decoded.fetch_add(1, Ordering::Relaxed);
-        // Under concurrent access another thread may have decoded the same
-        // chunk meanwhile; `get_or_init` keeps exactly one copy.
-        Ok(ChunkRef::Borrowed(self.cache[idx].get_or_init(|| chunk)))
     }
 
     fn chunks_decoded(&self) -> usize {
         self.decoded.load(Ordering::Relaxed)
+    }
+
+    fn io_stats(&self) -> SourceIoStats {
+        let cache = self.cache.lock().expect("cache lock poisoned");
+        SourceIoStats {
+            chunks_decoded: self.decoded.load(Ordering::Relaxed),
+            columns_decoded: self.columns_decoded.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            cache_evictions: cache.evictions,
+            cache_resident_bytes: cache.resident,
+            cache_budget_bytes: cache.budget,
+        }
     }
 }
 
@@ -282,6 +694,17 @@ mod tests {
             // Every action in the chunk is in the entry and vice versa.
             let dict = chunk.column_required(schema.action_idx()).dict().unwrap();
             assert_eq!(entry.action_gids, dict.global_ids());
+            // One stat per attribute, agreeing with the segments.
+            assert_eq!(entry.column_stats.len(), schema.arity());
+            assert_eq!(entry.column_stats[schema.user_idx()], ColumnStats::User);
+            assert_eq!(
+                entry.column_stats[schema.time_idx()],
+                ColumnStats::Int { min: entry.time_min, max: entry.time_max }
+            );
+            assert_eq!(
+                entry.column_stats[schema.action_idx()],
+                ColumnStats::Str { distinct: dict.len() as u32 }
+            );
         }
         let rows: u64 = c.index_entries().iter().map(|e| e.num_rows).sum();
         assert_eq!(rows, c.num_rows() as u64);
@@ -295,6 +718,7 @@ mod tests {
             time_min: 100,
             time_max: 200,
             action_gids: vec![1, 4, 9],
+            column_stats: vec![],
         };
         assert!(entry.has_action(4));
         assert!(!entry.has_action(5));
@@ -306,6 +730,22 @@ mod tests {
     }
 
     #[test]
+    fn stat_less_entry_matches_computed() {
+        let c = compressed();
+        let computed = &c.index_entries()[0];
+        let mut statless = computed.clone();
+        statless.column_stats.clear();
+        assert!(statless.matches(computed));
+        assert!(computed.matches(computed));
+        let mut wrong = computed.clone();
+        wrong.num_users += 1;
+        assert!(!wrong.matches(computed));
+        let mut wrong_stats = computed.clone();
+        wrong_stats.column_stats[1] = ColumnStats::Int { min: -1, max: -1 };
+        assert!(!wrong_stats.matches(computed));
+    }
+
+    #[test]
     fn memory_source_borrows_everything() {
         let c = compressed();
         let src: &dyn ChunkSource = &c;
@@ -313,39 +753,151 @@ mod tests {
         for i in 0..src.num_chunks() {
             let chunk = src.chunk(i).unwrap();
             assert_eq!(chunk.num_rows(), c.chunks()[i].num_rows());
+            // Projection requests on a resident table serve the whole chunk.
+            let partial = src.chunk_columns(i, &[c.schema().time_idx()]).unwrap();
+            assert!(matches!(partial, ChunkRef::Borrowed(_)));
         }
         assert_eq!(src.chunks_decoded(), 0);
+        assert_eq!(src.io_stats(), SourceIoStats::default());
     }
 
     #[test]
-    fn file_source_loads_lazily_and_caches() {
+    fn v3_file_source_loads_columns_lazily_and_caches() {
         let c = compressed();
-        let path = temp_path("lazy.cohana");
+        let arity = c.schema().arity();
+        let path = temp_path("lazy-v3.cohana");
         persist::write_file(&c, &path).unwrap();
 
         let src = FileSource::open(&path).unwrap();
+        assert!(src.is_column_addressable());
         assert_eq!(src.num_chunks(), c.chunks().len());
         assert_eq!(src.table_meta().num_rows(), c.num_rows());
         assert_eq!(src.chunks_decoded(), 0);
+        assert_eq!(src.columns_decoded(), 0);
+        assert_eq!(src.bytes_read(), 0);
         assert_eq!(src.chunks_resident(), 0);
 
-        // First access decodes; the chunk equals the in-memory one.
+        // Full fetch decodes the RLE + every non-user column.
         let chunk = src.chunk(1).unwrap();
         assert_eq!(&*chunk, &c.chunks()[1]);
         drop(chunk);
         assert_eq!(src.chunks_decoded(), 1);
+        assert_eq!(src.columns_decoded(), arity - 1);
+        assert!(src.bytes_read() > 0);
         assert_eq!(src.chunks_resident(), 1);
 
-        // Second access is served from cache.
+        // Second access is served from cache: no new decodes, no new reads.
+        let bytes_before = src.bytes_read();
         let again = src.chunk(1).unwrap();
-        assert!(matches!(again, ChunkRef::Borrowed(_)));
         drop(again);
         assert_eq!(src.chunks_decoded(), 1);
+        assert_eq!(src.columns_decoded(), arity - 1);
+        assert_eq!(src.bytes_read(), bytes_before);
 
         // Entries agree with the in-memory index.
         for i in 0..src.num_chunks() {
             assert_eq!(src.index_entry(i), &c.index_entries()[i]);
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_projection_decodes_only_named_columns() {
+        let c = compressed();
+        let time_idx = c.schema().time_idx();
+        let user_idx = c.schema().user_idx();
+        let path = temp_path("projected-v3.cohana");
+        persist::write_file(&c, &path).unwrap();
+
+        let src = FileSource::open(&path).unwrap();
+        let chunk = src.chunk_columns(0, &[user_idx, time_idx]).unwrap();
+        assert_eq!(src.columns_decoded(), 1, "only the time column decodes");
+        assert_eq!(src.chunks_decoded(), 1);
+        // The requested column is materialized and correct.
+        assert_eq!(
+            chunk.column_required(time_idx).int_value(0),
+            c.chunks()[0].column_required(time_idx).int_value(0)
+        );
+        // Unprojected columns are absent, not wrong.
+        let other = (0..c.schema().arity())
+            .find(|&i| i != time_idx && i != user_idx)
+            .expect("schema has more attributes");
+        assert!(chunk.column(other).is_none());
+        drop(chunk);
+
+        // Widening the projection only decodes the delta.
+        let wide = src.chunk_columns(0, &[user_idx, time_idx, other]).unwrap();
+        assert_eq!(src.columns_decoded(), 2);
+        assert!(wide.column(other).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_file_source_degrades_to_whole_chunk_fetch() {
+        let c = compressed();
+        let path = temp_path("lazy-v2.cohana");
+        std::fs::write(&path, persist::to_bytes_v2(&c)).unwrap();
+
+        let src = FileSource::open(&path).unwrap();
+        assert!(!src.is_column_addressable());
+        let chunk = src.chunk_columns(1, &[c.schema().time_idx()]).unwrap();
+        // The whole chunk is materialized despite the narrow projection.
+        assert_eq!(&*chunk, &c.chunks()[1]);
+        drop(chunk);
+        assert_eq!(src.chunks_decoded(), 1);
+        assert_eq!(src.columns_decoded(), 0);
+
+        // v2 entries carry no column stats.
+        assert!(src.index_entry(0).column_stats.is_empty());
+
+        // Cached: a second fetch decodes nothing.
+        let again = src.chunk(1).unwrap();
+        assert!(matches!(again, ChunkRef::Shared(_)));
+        drop(again);
+        assert_eq!(src.chunks_decoded(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cache_respects_byte_budget_for_both_versions() {
+        let c = compressed();
+        for (name, bytes) in [
+            ("budget-v3.cohana", persist::to_bytes(&c)),
+            ("budget-v2.cohana", persist::to_bytes_v2(&c)),
+        ] {
+            let path = temp_path(name);
+            std::fs::write(&path, &bytes).unwrap();
+            // A budget far smaller than the table forces constant eviction.
+            let budget = 2 * 1024;
+            let src = FileSource::open_with_budget(&path, budget).unwrap();
+            for round in 0..2 {
+                for i in 0..src.num_chunks() {
+                    let chunk = src.chunk(i).unwrap();
+                    assert_eq!(chunk.num_rows(), c.chunks()[i].num_rows(), "round {round}");
+                    assert!(
+                        src.cache_resident_bytes() <= budget,
+                        "{name}: resident {} exceeds budget {budget}",
+                        src.cache_resident_bytes()
+                    );
+                }
+            }
+            assert!(src.cache_evictions() > 0, "{name}: no evictions under a tiny budget");
+            // With eviction in play, later rounds re-decode.
+            assert!(src.chunks_decoded() > src.num_chunks(), "{name}: eviction forced re-decodes");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let c = compressed();
+        let path = temp_path("budget-zero.cohana");
+        persist::write_file(&c, &path).unwrap();
+        let src = FileSource::open_with_budget(&path, 0).unwrap();
+        src.chunk(0).unwrap();
+        src.chunk(0).unwrap();
+        assert_eq!(src.cache_resident_bytes(), 0);
+        assert_eq!(src.chunks_decoded(), 2, "every access re-decodes");
         std::fs::remove_file(&path).ok();
     }
 

@@ -47,7 +47,7 @@ impl StorageStats {
             for (idx, col) in chunk.columns().iter().enumerate() {
                 if let Some(col) = col {
                     column_bytes[idx] += col.packed_bytes();
-                    match col {
+                    match &**col {
                         ChunkColumn::Str { dict, codes } => {
                             chunk_dict_bytes += dict.heap_bytes();
                             packed_bytes += codes.packed_bytes();

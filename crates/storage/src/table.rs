@@ -336,17 +336,42 @@ impl CompressedTable {
 /// dictionary; packed codes/deltas must stay within their chunk dictionary /
 /// range. Shared between the eager [`CompressedTable::validate_consistency`]
 /// pass and the lazy per-chunk decode of
-/// [`FileSource`](crate::source::FileSource).
+/// [`FileSource`](crate::source::FileSource). Every non-user column must be
+/// materialized; partial chunks validate each piece as it is decoded with
+/// [`validate_rle`] / [`validate_column`] instead.
 pub(crate) fn validate_chunk(meta: &TableMeta, ci: usize, chunk: &Chunk) -> Result<()> {
+    validate_rle(meta, ci, chunk.user_rle(), chunk.num_rows())?;
+    let user_idx = meta.schema().user_idx();
+    for (idx, col) in chunk.columns().iter().enumerate() {
+        match col {
+            None if idx == user_idx => {}
+            None => {
+                return Err(StorageError::Corrupt(format!(
+                    "chunk {ci}: column {idx}: segment missing"
+                )))
+            }
+            Some(col) => validate_column(meta, ci, idx, col)?,
+        }
+    }
+    Ok(())
+}
+
+/// Validate an RLE user column on its own: contiguous runs, in-range user
+/// gids, counts covering exactly `num_rows` rows.
+pub(crate) fn validate_rle(
+    meta: &TableMeta,
+    ci: usize,
+    rle: &crate::rle::UserRle,
+    num_rows: usize,
+) -> Result<()> {
     let user_idx = meta.schema().user_idx();
     let user_dict_len = match meta.meta(user_idx) {
         ColumnMeta::User { dict } => dict.len() as u64,
         _ => return Err(StorageError::Corrupt("user meta missing at user index".into())),
     };
     let corrupt = |msg: String| StorageError::Corrupt(format!("chunk {ci}: {msg}"));
-    // RLE: contiguous runs, in-range users, counts covering rows.
     let mut expected_first = 0u64;
-    for run in chunk.user_rle().runs() {
+    for run in rle.runs() {
         if (run.user_gid as u64) >= user_dict_len {
             return Err(corrupt(format!("user gid {} out of range", run.user_gid)));
         }
@@ -355,41 +380,49 @@ pub(crate) fn validate_chunk(meta: &TableMeta, ci: usize, chunk: &Chunk) -> Resu
         }
         expected_first += run.count as u64;
     }
-    if expected_first != chunk.num_rows() as u64 {
+    if expected_first != num_rows as u64 {
         return Err(corrupt("user runs do not cover chunk rows".into()));
     }
-    // Columns: chunk dict ids within global dicts, codes within chunk dicts.
-    for (idx, col) in chunk.columns().iter().enumerate() {
-        match (col, meta.meta(idx)) {
-            (None, _) if idx == user_idx => {}
-            (Some(ChunkColumn::Str { dict, codes }), ColumnMeta::Str { dict: global }) => {
-                if let Some(&max_gid) = dict.global_ids().last() {
-                    if (max_gid as usize) >= global.len() {
-                        return Err(corrupt(format!(
-                            "column {idx}: chunk dict gid {max_gid} out of range"
-                        )));
-                    }
-                }
-                let dict_len = dict.len() as u64;
-                if codes.iter().any(|c| c >= dict_len) {
-                    return Err(corrupt(format!("column {idx}: code out of range")));
-                }
-            }
-            (Some(ChunkColumn::Int { min, max, deltas }), ColumnMeta::Int { .. }) => {
-                if min > max {
-                    return Err(corrupt(format!("column {idx}: min > max")));
-                }
-                let span = max.wrapping_sub(*min) as u64;
-                if deltas.iter().any(|d| d > span) {
-                    return Err(corrupt(format!("column {idx}: delta out of range")));
-                }
-            }
-            _ => {
-                return Err(corrupt(format!("column {idx}: segment kind disagrees with metadata")))
-            }
-        }
-    }
     Ok(())
+}
+
+/// Validate one column segment on its own: chunk dict ids within the global
+/// dictionary, codes within the chunk dictionary, deltas within the chunk
+/// range, and the segment kind agreeing with the attribute's metadata.
+pub(crate) fn validate_column(
+    meta: &TableMeta,
+    ci: usize,
+    idx: usize,
+    col: &ChunkColumn,
+) -> Result<()> {
+    let corrupt = |msg: String| StorageError::Corrupt(format!("chunk {ci}: {msg}"));
+    match (col, meta.meta(idx)) {
+        (ChunkColumn::Str { dict, codes }, ColumnMeta::Str { dict: global }) => {
+            if let Some(&max_gid) = dict.global_ids().last() {
+                if (max_gid as usize) >= global.len() {
+                    return Err(corrupt(format!(
+                        "column {idx}: chunk dict gid {max_gid} out of range"
+                    )));
+                }
+            }
+            let dict_len = dict.len() as u64;
+            if codes.iter().any(|c| c >= dict_len) {
+                return Err(corrupt(format!("column {idx}: code out of range")));
+            }
+            Ok(())
+        }
+        (ChunkColumn::Int { min, max, deltas }, ColumnMeta::Int { .. }) => {
+            if min > max {
+                return Err(corrupt(format!("column {idx}: min > max")));
+            }
+            let span = max.wrapping_sub(*min) as u64;
+            if deltas.iter().any(|d| d > span) {
+                return Err(corrupt(format!("column {idx}: delta out of range")));
+            }
+            Ok(())
+        }
+        _ => Err(corrupt(format!("column {idx}: segment kind disagrees with metadata"))),
+    }
 }
 
 fn build_metas(table: &ActivityTable) -> Vec<ColumnMeta> {
@@ -522,7 +555,7 @@ mod tests {
                     ch.columns()
                         .iter()
                         .flatten()
-                        .map(|c| match c {
+                        .map(|c| match &**c {
                             ChunkColumn::Str { codes, .. } => codes.packed_bytes(),
                             ChunkColumn::Int { deltas, .. } => deltas.packed_bytes(),
                         })

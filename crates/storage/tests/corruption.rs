@@ -1,10 +1,11 @@
 //! Robustness: deserializing corrupted or truncated table images must fail
 //! gracefully (an `Err`, never a panic, never an out-of-bounds read) — for
-//! both the legacy v1 eager blobs and the v2 footer-indexed format, and for
-//! both the eager (`from_bytes`) and lazy (`FileSource`) read paths.
+//! the legacy v1 eager blobs, the v2 whole-chunk footer-indexed format, and
+//! the v3 column-addressable format, on both the eager (`from_bytes`) and
+//! lazy (`FileSource`, whole-chunk and projected per-column) read paths.
 
 use cohana_activity::{generate, GeneratorConfig};
-use cohana_storage::persist::{from_bytes, to_bytes, to_bytes_v1};
+use cohana_storage::persist::{from_bytes, to_bytes, to_bytes_v1, to_bytes_v2};
 use cohana_storage::{ChunkSource, CompressedTable, CompressionOptions, FileSource};
 use proptest::prelude::*;
 
@@ -18,21 +19,25 @@ fn image(version: u32) -> Vec<u8> {
     let c = compressed();
     match version {
         1 => to_bytes_v1(&c).to_vec(),
-        2 => to_bytes(&c).to_vec(),
+        2 => to_bytes_v2(&c).to_vec(),
+        3 => to_bytes(&c).to_vec(),
         v => panic!("no writer for version {v}"),
     }
 }
 
 /// Open `bytes` as a temp file with a lazy `FileSource` and touch every
-/// chunk; any outcome but a panic is fine.
+/// chunk — once fully and once through a narrow projection; any outcome but
+/// a panic is fine.
 fn exercise_lazy(bytes: &[u8], tag: &str) {
     let dir = std::env::temp_dir().join("cohana-corruption-test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join(format!("corrupt-{tag}-{:x}.cohana", bytes.len()));
     std::fs::write(&path, bytes).unwrap();
     if let Ok(src) = FileSource::open(&path) {
+        let time_idx = src.table_meta().schema().time_idx();
         for i in 0..src.num_chunks() {
             let _ = src.chunk(i);
+            let _ = src.chunk_columns(i, &[time_idx]);
         }
     }
     std::fs::remove_file(&path).ok();
@@ -43,7 +48,7 @@ proptest! {
 
     #[test]
     fn random_single_byte_flip_never_panics(
-        version in prop::sample::select(vec![1u32, 2]),
+        version in prop::sample::select(vec![1u32, 2, 3]),
         pos in 0usize..60_000,
         xor in 1u8..=255,
     ) {
@@ -58,20 +63,20 @@ proptest! {
             // consistent enough to decompress or cleanly error.
             let _ = table.decompress();
         }
-        if version == 2 {
+        if version >= 2 {
             exercise_lazy(&bytes, "flip");
         }
     }
 
     #[test]
     fn random_truncation_never_panics(
-        version in prop::sample::select(vec![1u32, 2]),
+        version in prop::sample::select(vec![1u32, 2, 3]),
         cut_fraction in 0.0f64..1.0,
     ) {
         let bytes = image(version);
         let cut = ((bytes.len() as f64) * cut_fraction) as usize;
         prop_assert!(from_bytes(&bytes[..cut]).is_err());
-        if version == 2 {
+        if version >= 2 {
             exercise_lazy(&bytes[..cut], "cut");
         }
     }
@@ -84,8 +89,8 @@ proptest! {
 }
 
 #[test]
-fn valid_images_roundtrip_both_versions() {
-    for version in [1, 2] {
+fn valid_images_roundtrip_every_version() {
+    for version in [1, 2, 3] {
         let bytes = image(version);
         let table = from_bytes(&bytes).unwrap();
         assert!(table.num_rows() > 0, "v{version}");
@@ -94,8 +99,8 @@ fn valid_images_roundtrip_both_versions() {
 }
 
 #[test]
-fn bad_magic_rejected_both_versions() {
-    for version in [1, 2] {
+fn bad_magic_rejected_every_version() {
+    for version in [1, 2, 3] {
         let mut bytes = image(version);
         bytes[0] ^= 0xFF;
         assert!(from_bytes(&bytes).is_err(), "v{version}");
@@ -104,26 +109,73 @@ fn bad_magic_rejected_both_versions() {
 
 #[test]
 fn lazy_decode_of_tampered_chunk_errors_not_panics() {
-    // Flip bytes inside the chunk payload region only: the footer parses
-    // fine, so FileSource::open succeeds, and the corruption must surface
-    // as a per-chunk decode error (or a changed-but-consistent payload),
-    // never a panic.
-    let bytes = image(2);
+    // Flip bytes inside the payload region only: the footer parses fine, so
+    // FileSource::open succeeds, and the corruption must surface as a
+    // per-segment decode error (or a changed-but-consistent payload), never
+    // a panic — on both the whole-chunk (v2) and per-column (v3) paths.
+    for version in [2, 3] {
+        let bytes = image(version);
+        let dir = std::env::temp_dir().join("cohana-corruption-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for pos in [9usize, 40, 200, 1000] {
+            let mut tampered = bytes.clone();
+            if pos >= tampered.len() / 2 {
+                continue;
+            }
+            tampered[pos] ^= 0x5A;
+            let path = dir.join(format!("tamper-v{version}-{pos}.cohana"));
+            std::fs::write(&path, &tampered).unwrap();
+            if let Ok(src) = FileSource::open(&path) {
+                let time_idx = src.table_meta().schema().time_idx();
+                for i in 0..src.num_chunks() {
+                    let _ = src.chunk(i);
+                    let _ = src.chunk_columns(i, &[time_idx]);
+                }
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+#[test]
+fn v3_tampered_column_stats_detected_on_projected_fetch() {
+    // Stats live at the end of each footer entry; flipping footer bytes
+    // must surface as an open-time or fetch-time error, never a silent
+    // wrong answer the executor would prune by. Either the footer parse
+    // rejects the image or the decoded payload disagrees with the stats.
+    let bytes = image(3);
+    let tail = bytes.len() - 12;
+    let footer_len = u64::from_le_bytes(bytes[tail..tail + 8].try_into().unwrap()) as usize;
+    let footer_start = tail - footer_len;
     let dir = std::env::temp_dir().join("cohana-corruption-test");
     std::fs::create_dir_all(&dir).unwrap();
-    for pos in [9usize, 40, 200, 1000] {
+    let mut seen_reject = false;
+    for frac in [2usize, 3, 4, 5] {
+        let pos = footer_start + footer_len - footer_len / frac;
         let mut tampered = bytes.clone();
-        if pos >= tampered.len() / 2 {
-            continue;
-        }
-        tampered[pos] ^= 0x5A;
-        let path = dir.join(format!("tamper-{pos}.cohana"));
+        tampered[pos] ^= 0x10;
+        let path = dir.join(format!("stats-tamper-{frac}.cohana"));
         std::fs::write(&path, &tampered).unwrap();
-        if let Ok(src) = FileSource::open(&path) {
-            for i in 0..src.num_chunks() {
-                let _ = src.chunk(i);
+        match FileSource::open(&path) {
+            Err(_) => seen_reject = true,
+            Ok(src) => {
+                // Exercise both the full fetch and a narrow projected fetch
+                // of a non-time, non-action column, so per-column stats
+                // verification runs on exactly the chunk_columns path.
+                let schema = src.table_meta().schema();
+                let other = (0..schema.arity())
+                    .find(|&i| {
+                        i != schema.user_idx() && i != schema.time_idx() && i != schema.action_idx()
+                    })
+                    .expect("schema has a plain column");
+                for i in 0..src.num_chunks() {
+                    if src.chunk(i).is_err() || src.chunk_columns(i, &[other]).is_err() {
+                        seen_reject = true;
+                    }
+                }
             }
         }
         std::fs::remove_file(&path).ok();
     }
+    assert!(seen_reject, "no tampering detected anywhere in the v3 footer");
 }

@@ -2,7 +2,8 @@
 //! user-provided activity dataset.
 //!
 //! ```text
-//! cohana-shell [--users N] [--load FILE.cohana] [--open FILE.cohana] [--csv FILE.csv]
+//! cohana-shell [--users N] [--load FILE.cohana] [--open FILE.cohana]
+//!              [--cache-bytes N[k|m|g]] [--csv FILE.csv]
 //!
 //! cohana> SELECT country, COHORTSIZE, AGE, UserCount()
 //!     ... FROM GameActions BIRTH FROM action = "launch"
@@ -25,6 +26,7 @@ fn main() {
     let mut load: Option<String> = None;
     let mut open: Option<String> = None;
     let mut csv: Option<String> = None;
+    let mut cache_bytes = cohana::storage::DEFAULT_CACHE_BUDGET;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -43,6 +45,13 @@ fn main() {
                 i += 1;
                 open = args.get(i).cloned();
             }
+            "--cache-bytes" => {
+                i += 1;
+                cache_bytes = args.get(i).and_then(|v| parse_bytes(v)).unwrap_or_else(|| {
+                    eprintln!("bad --cache-bytes value (expected e.g. 1048576, 64m, 2g)");
+                    std::process::exit(2);
+                });
+            }
             "--csv" => {
                 i += 1;
                 csv = args.get(i).cloned();
@@ -50,9 +59,11 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: cohana-shell [--users N] [--load FILE.cohana] \
-                     [--open FILE.cohana] [--csv FILE.csv]\n\
+                     [--open FILE.cohana] [--cache-bytes N[k|m|g]] [--csv FILE.csv]\n\
                      --load reads the whole file into memory; --open reads only the\n\
-                     footer and fetches chunks on demand as queries touch them (v2 files)."
+                     footer and fetches chunk columns on demand as queries touch them\n\
+                     (v2/v3 files), keeping at most --cache-bytes of decoded segments\n\
+                     resident."
                 );
                 return;
             }
@@ -66,11 +77,13 @@ fn main() {
 
     let engine = Cohana::new(Default::default());
     if let Some(path) = open {
-        match engine.open_file("GameActions", std::path::Path::new(&path)) {
+        match engine.open_file_with_budget("GameActions", std::path::Path::new(&path), cache_bytes)
+        {
             Ok(src) => eprintln!(
-                "opened {path} lazily: {} tuples in {} chunks (0 decoded)",
+                "opened {path} lazily: {} tuples in {} chunks (0 decoded, cache budget {} bytes)",
                 src.table_meta().num_rows(),
                 src.num_chunks(),
+                cache_bytes,
             ),
             Err(e) => {
                 eprintln!("cannot open {path}: {e}");
@@ -158,6 +171,20 @@ fn atty_stdin() -> bool {
     std::env::var("COHANA_SHELL_NO_PROMPT").is_err()
 }
 
+/// Parse a byte count with an optional k/m/g suffix (powers of 1024).
+fn parse_bytes(s: &str) -> Option<usize> {
+    let lower = s.trim().to_ascii_lowercase();
+    let (digits, mult) = match lower.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => match lower.as_bytes()[lower.len() - 1] {
+            b'k' => (d, 1usize << 10),
+            b'm' => (d, 1 << 20),
+            _ => (d, 1 << 30),
+        },
+        None => (lower.as_str(), 1),
+    };
+    digits.parse::<usize>().ok().and_then(|n| n.checked_mul(mult))
+}
+
 enum Render {
     Table,
     Pivot,
@@ -225,12 +252,20 @@ fn meta_command(engine: &Cohana, cmd: &str) -> bool {
                 );
             } else if let Some(src) = engine.source("GameActions") {
                 let meta = src.table_meta();
+                let io = src.io_stats();
                 println!(
-                    "{} tuples, {} users, {} chunks (file-backed, {} decoded so far)",
+                    "{} tuples, {} users, {} chunks (file-backed)\n\
+                     io: {} chunks / {} columns decoded, {} bytes read\n\
+                     cache: {} of {} bytes resident, {} evictions",
                     meta.num_rows(),
                     meta.num_users(),
                     src.num_chunks(),
-                    src.chunks_decoded()
+                    io.chunks_decoded,
+                    io.columns_decoded,
+                    io.bytes_read,
+                    io.cache_resident_bytes,
+                    io.cache_budget_bytes,
+                    io.cache_evictions,
                 );
             }
         }

@@ -49,11 +49,14 @@ pub use cohana_storage as storage;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use cohana_activity::{
-        generate, scale_table, ActivityTable, GeneratorConfig, Schema, TimeBin, Timestamp, Value,
+        generate, scale_table, ActivityTable, ArrivalModel, GeneratorConfig, Schema, TimeBin,
+        Timestamp, Value,
     };
     pub use cohana_core::{
         AggFunc, Cohana, CohortQuery, CohortReport, EngineOptions, PlannerOptions,
     };
     pub use cohana_sql::{parse_cohort_query, SqlExt};
-    pub use cohana_storage::{ChunkSource, CompressedTable, CompressionOptions, FileSource};
+    pub use cohana_storage::{
+        ChunkSource, CompressedTable, CompressionOptions, FileSource, SourceIoStats,
+    };
 }

@@ -117,18 +117,23 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     warm_up: Duration,
     measurement: Duration,
+    smoke: bool,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Set the measurement phase duration.
+    /// Set the measurement phase duration (ignored in smoke mode).
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.measurement = d;
+        if !self.smoke {
+            self.measurement = d;
+        }
         self
     }
 
-    /// Set the warm-up phase duration.
+    /// Set the warm-up phase duration (ignored in smoke mode).
     pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
-        self.warm_up = d;
+        if !self.smoke {
+            self.warm_up = d;
+        }
         self
     }
 
@@ -191,20 +196,31 @@ fn format_time(secs: f64) -> String {
 }
 
 /// The benchmark harness entry point.
-#[derive(Default)]
 pub struct Criterion {
     quiet: bool,
+    /// Smoke mode (`COHANA_BENCH_SMOKE=1`): run each benchmark for exactly
+    /// one iteration with no warm-up, so CI can execute every bench binary
+    /// as a cheap bit-rot check instead of a measurement.
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { quiet: false, smoke: std::env::var_os("COHANA_BENCH_SMOKE").is_some() }
+    }
 }
 
 impl Criterion {
     /// Start a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            name: name.into(),
-            criterion: self,
-            warm_up: Duration::from_millis(300),
-            measurement: Duration::from_secs(1),
-        }
+        let (warm_up, measurement) = if self.smoke {
+            // Zero budgets: the timing loops always run one iteration.
+            (Duration::ZERO, Duration::ZERO)
+        } else {
+            (Duration::from_millis(300), Duration::from_secs(1))
+        };
+        let smoke = self.smoke;
+        BenchmarkGroup { name: name.into(), criterion: self, warm_up, measurement, smoke }
     }
 
     /// Run one stand-alone benchmark with default timing settings.
@@ -251,7 +267,7 @@ mod tests {
 
     #[test]
     fn smoke_bench_runs() {
-        let mut c = Criterion { quiet: true };
+        let mut c = Criterion { quiet: true, smoke: false };
         let mut g = c.benchmark_group("g");
         g.measurement_time(Duration::from_millis(5)).warm_up_time(Duration::from_millis(1));
         g.bench_function("add", |b| b.iter(|| black_box(1u64) + 1));
@@ -259,5 +275,17 @@ mod tests {
             b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
         });
         g.finish();
+    }
+
+    #[test]
+    fn smoke_mode_runs_single_iterations() {
+        let mut c = Criterion { quiet: true, smoke: true };
+        let mut g = c.benchmark_group("g");
+        // Settings are ignored in smoke mode: still exactly one iteration.
+        g.measurement_time(Duration::from_secs(60)).warm_up_time(Duration::from_secs(60));
+        let mut iters = 0u32;
+        g.bench_function("count", |b| b.iter(|| iters += 1));
+        g.finish();
+        assert_eq!(iters, 1);
     }
 }
