@@ -3,15 +3,17 @@
 //! most selective query) shows the largest effect of user skipping.
 
 use cohana_activity::{generate, GeneratorConfig};
-use cohana_core::{execute_plan, paper, plan_query, PlannerOptions};
+use cohana_core::{paper, PlannerOptions, Statement};
 use cohana_storage::{CompressedTable, CompressionOptions};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn bench_ablation(c: &mut Criterion) {
     let table = generate(&GeneratorConfig::new(500));
-    let compressed =
-        CompressedTable::build(&table, CompressionOptions::with_chunk_size(8 * 1024)).unwrap();
+    let compressed = Arc::new(
+        CompressedTable::build(&table, CompressionOptions::with_chunk_size(8 * 1024)).unwrap(),
+    );
     let variants: Vec<(&str, PlannerOptions)> = vec![
         ("full", PlannerOptions::default()),
         ("no_pushdown", PlannerOptions { push_down_birth_selection: false, ..Default::default() }),
@@ -27,9 +29,9 @@ fn bench_ablation(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300));
     for (qname, q) in [("q1", paper::q1()), ("q4", paper::q4())] {
         for (vname, opts) in &variants {
-            let plan = plan_query(&q, compressed.schema(), *opts).unwrap();
+            let stmt = Statement::over(compressed.clone(), &q, *opts, 1).unwrap();
             g.bench_with_input(BenchmarkId::new(qname, vname), &q, |b, _| {
-                b.iter(|| execute_plan(&compressed, &plan, 1).unwrap())
+                b.iter(|| stmt.execute().unwrap())
             });
         }
     }

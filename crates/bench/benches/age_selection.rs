@@ -4,30 +4,34 @@
 //! with age — the aging effect).
 
 use cohana_activity::{generate, GeneratorConfig};
-use cohana_core::{execute_plan, paper, plan_query, PlannerOptions};
+use cohana_core::{paper, PlannerOptions, Statement};
 use cohana_storage::{CompressedTable, CompressionOptions};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn bench_age_selectivity(c: &mut Criterion) {
     let table = generate(&GeneratorConfig::new(500));
-    let compressed =
-        CompressedTable::build(&table, CompressionOptions::with_chunk_size(8 * 1024)).unwrap();
+    let compressed = Arc::new(
+        CompressedTable::build(&table, CompressionOptions::with_chunk_size(8 * 1024)).unwrap(),
+    );
 
     let mut g = c.benchmark_group("fig9_age_selection");
     g.sample_size(20)
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(300));
     for age in [1i64, 4, 7, 14] {
-        let q7 = paper::q7(age);
-        let plan7 = plan_query(&q7, compressed.schema(), PlannerOptions::default()).unwrap();
+        let stmt7 =
+            Statement::over(compressed.clone(), &paper::q7(age), PlannerOptions::default(), 1)
+                .unwrap();
         g.bench_with_input(BenchmarkId::new("q7_g", age), &age, |b, _| {
-            b.iter(|| execute_plan(&compressed, &plan7, 1).unwrap())
+            b.iter(|| stmt7.execute().unwrap())
         });
-        let q8 = paper::q8(age);
-        let plan8 = plan_query(&q8, compressed.schema(), PlannerOptions::default()).unwrap();
+        let stmt8 =
+            Statement::over(compressed.clone(), &paper::q8(age), PlannerOptions::default(), 1)
+                .unwrap();
         g.bench_with_input(BenchmarkId::new("q8_g", age), &age, |b, _| {
-            b.iter(|| execute_plan(&compressed, &plan8, 1).unwrap())
+            b.iter(|| stmt8.execute().unwrap())
         });
     }
     g.finish();

@@ -3,16 +3,18 @@
 //! engine skips every tuple of unqualified users.
 
 use cohana_activity::{generate, GeneratorConfig, SECONDS_PER_DAY};
-use cohana_core::{execute_plan, paper, plan_query, PlannerOptions};
+use cohana_core::{paper, PlannerOptions, Statement};
 use cohana_storage::{CompressedTable, CompressionOptions};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn bench_birth_selectivity(c: &mut Criterion) {
     let cfg = GeneratorConfig::new(500);
     let table = generate(&cfg);
-    let compressed =
-        CompressedTable::build(&table, CompressionOptions::with_chunk_size(8 * 1024)).unwrap();
+    let compressed = Arc::new(
+        CompressedTable::build(&table, CompressionOptions::with_chunk_size(8 * 1024)).unwrap(),
+    );
     let start = cfg.start.secs();
 
     let mut g = c.benchmark_group("fig8_birth_selection");
@@ -21,14 +23,14 @@ fn bench_birth_selectivity(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300));
     for days in [2i64, 9, 19, 38] {
         let q5 = paper::q5(start, start + days * SECONDS_PER_DAY);
-        let plan = plan_query(&q5, compressed.schema(), PlannerOptions::default()).unwrap();
+        let stmt5 = Statement::over(compressed.clone(), &q5, PlannerOptions::default(), 1).unwrap();
         g.bench_with_input(BenchmarkId::new("q5_d2", days), &days, |b, _| {
-            b.iter(|| execute_plan(&compressed, &plan, 1).unwrap())
+            b.iter(|| stmt5.execute().unwrap())
         });
         let q6 = paper::q6(start, start + days * SECONDS_PER_DAY);
-        let plan6 = plan_query(&q6, compressed.schema(), PlannerOptions::default()).unwrap();
+        let stmt6 = Statement::over(compressed.clone(), &q6, PlannerOptions::default(), 1).unwrap();
         g.bench_with_input(BenchmarkId::new("q6_d2", days), &days, |b, _| {
-            b.iter(|| execute_plan(&compressed, &plan6, 1).unwrap())
+            b.iter(|| stmt6.execute().unwrap())
         });
     }
     g.finish();

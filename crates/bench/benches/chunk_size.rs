@@ -3,9 +3,10 @@
 //! runs the full scale sweep.
 
 use cohana_activity::{generate, GeneratorConfig};
-use cohana_core::{execute_plan, paper, plan_query, PlannerOptions};
+use cohana_core::{paper, PlannerOptions, Statement};
 use cohana_storage::{CompressedTable, CompressionOptions};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn bench_chunk_sizes(c: &mut Criterion) {
@@ -19,14 +20,16 @@ fn bench_chunk_sizes(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(300));
     for &chunk in &chunk_sizes {
-        let compressed =
-            CompressedTable::build(&table, CompressionOptions::with_chunk_size(chunk)).unwrap();
+        let compressed = Arc::new(
+            CompressedTable::build(&table, CompressionOptions::with_chunk_size(chunk)).unwrap(),
+        );
         for (name, q) in &queries {
-            let plan = plan_query(q, compressed.schema(), PlannerOptions::default()).unwrap();
+            let stmt =
+                Statement::over(compressed.clone(), q, PlannerOptions::default(), 1).unwrap();
             g.bench_with_input(
                 BenchmarkId::new(*name, format!("{}K", chunk / 1024)),
                 &chunk,
-                |b, _| b.iter(|| execute_plan(&compressed, &plan, 1).unwrap()),
+                |b, _| b.iter(|| stmt.execute().unwrap()),
             );
         }
     }

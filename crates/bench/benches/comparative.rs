@@ -3,16 +3,18 @@
 //! spanning orders of magnitude.
 
 use cohana_activity::{generate, GeneratorConfig};
-use cohana_core::{execute_plan, paper, plan_query, PlannerOptions};
+use cohana_core::{paper, PlannerOptions, Statement};
 use cohana_relational::{ColEngine, RowEngine};
 use cohana_storage::{CompressedTable, CompressionOptions};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn bench_schemes(c: &mut Criterion) {
     let table = generate(&GeneratorConfig::new(400));
-    let compressed =
-        CompressedTable::build(&table, CompressionOptions::with_chunk_size(16 * 1024)).unwrap();
+    let compressed = Arc::new(
+        CompressedTable::build(&table, CompressionOptions::with_chunk_size(16 * 1024)).unwrap(),
+    );
     let mut col = ColEngine::load(&table);
     let mut row = RowEngine::load(&table);
     for action in ["launch", "shop"] {
@@ -27,9 +29,9 @@ fn bench_schemes(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(300));
     for (name, q) in &queries {
-        let plan = plan_query(q, compressed.schema(), PlannerOptions::default()).unwrap();
+        let stmt = Statement::over(compressed.clone(), q, PlannerOptions::default(), 1).unwrap();
         g.bench_with_input(BenchmarkId::new("cohana", name), q, |b, _| {
-            b.iter(|| execute_plan(&compressed, &plan, 1).unwrap())
+            b.iter(|| stmt.execute().unwrap())
         });
         g.bench_with_input(BenchmarkId::new("monet_m", name), q, |b, q| {
             b.iter(|| col.execute_mv(q).unwrap())

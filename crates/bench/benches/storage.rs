@@ -10,12 +10,13 @@
 //! per bench) so format or harness bit-rot fails the workflow.
 
 use cohana_activity::{generate, GeneratorConfig, SECONDS_PER_DAY};
-use cohana_core::{execute_plan, execute_source, paper, plan_query, PlannerOptions};
+use cohana_core::{paper, plan_query, PlannerOptions, Statement};
 use cohana_storage::{
     bitpack::BitPacked, persist, ChunkSource, CompressedTable, CompressionOptions, FileSource,
     GlobalDict,
 };
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn bench_bitpack(c: &mut Criterion) {
@@ -130,13 +131,13 @@ fn bench_lazy_vs_eager(c: &mut Criterion) {
     g.bench_function("eager_open_plus_q2", |b| {
         b.iter(|| {
             let t = persist::read_file(&path).unwrap();
-            execute_plan(&t, &plan, 1).unwrap()
+            Statement::with_plan(Arc::new(t), plan.clone(), 1).unwrap().execute().unwrap()
         })
     });
     g.bench_function("lazy_open_plus_q2", |b| {
         b.iter(|| {
             let src = FileSource::open(&path).unwrap();
-            execute_source(&src, &plan, 1).unwrap()
+            Statement::with_plan(Arc::new(src), plan.clone(), 1).unwrap().execute().unwrap()
         })
     });
     g.finish();
@@ -166,22 +167,22 @@ fn bench_projection_v3_vs_v2(c: &mut Criterion) {
     g.bench_function("q1_v2_whole_chunks", |b| {
         b.iter(|| {
             let src = FileSource::open(&v2_path).unwrap();
-            execute_source(&src, &plan, 1).unwrap()
+            Statement::with_plan(Arc::new(src), plan.clone(), 1).unwrap().execute().unwrap()
         })
     });
     g.bench_function("q1_v3_projected_columns", |b| {
         b.iter(|| {
             let src = FileSource::open(&v3_path).unwrap();
-            execute_source(&src, &plan, 1).unwrap()
+            Statement::with_plan(Arc::new(src), plan.clone(), 1).unwrap().execute().unwrap()
         })
     });
     g.finish();
 
     // One cold report of what each path actually did (not timed).
-    let v2 = FileSource::open(&v2_path).unwrap();
-    let v3 = FileSource::open(&v3_path).unwrap();
-    execute_source(&v2, &plan, 1).unwrap();
-    execute_source(&v3, &plan, 1).unwrap();
+    let v2 = Arc::new(FileSource::open(&v2_path).unwrap());
+    let v3 = Arc::new(FileSource::open(&v3_path).unwrap());
+    Statement::with_plan(v2.clone(), plan.clone(), 1).unwrap().execute().unwrap();
+    Statement::with_plan(v3.clone(), plan.clone(), 1).unwrap().execute().unwrap();
     let (a, b) = (v2.io_stats(), v3.io_stats());
     eprintln!(
         "# projection/q1 io: v2 read {} bytes ({} chunks); v3 read {} bytes ({} chunks, {} \
@@ -217,19 +218,19 @@ fn bench_pruning_cohort_clustered(c: &mut Criterion) {
     g.bench_function("eager_open_plus_q5_early", |b| {
         b.iter(|| {
             let t = persist::read_file(&path).unwrap();
-            execute_plan(&t, &plan, 1).unwrap()
+            Statement::with_plan(Arc::new(t), plan.clone(), 1).unwrap().execute().unwrap()
         })
     });
     g.bench_function("lazy_open_plus_q5_early", |b| {
         b.iter(|| {
             let src = FileSource::open(&path).unwrap();
-            execute_source(&src, &plan, 1).unwrap()
+            Statement::with_plan(Arc::new(src), plan.clone(), 1).unwrap().execute().unwrap()
         })
     });
     g.finish();
 
-    let src = FileSource::open(&path).unwrap();
-    execute_source(&src, &plan, 1).unwrap();
+    let src = Arc::new(FileSource::open(&path).unwrap());
+    Statement::with_plan(src.clone(), plan.clone(), 1).unwrap().execute().unwrap();
     let io = src.io_stats();
     eprintln!(
         "# pruning_clustered/q5 io: decoded {} of {} chunks, read {} bytes",

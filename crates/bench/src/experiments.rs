@@ -9,22 +9,25 @@ use crate::datasets::DatasetCache;
 use crate::report::ExperimentResult;
 use crate::timing::{fmt_secs, time_avg};
 use cohana_activity::{ActivityTable, TimeBin, Timestamp, SECONDS_PER_DAY};
-use cohana_core::{execute_plan, execute_source, paper, plan_query, CohortQuery, PlannerOptions};
+use cohana_core::{paper, CohortQuery, PlannerOptions, Statement};
 use cohana_relational::{ColEngine, RowEngine};
 use cohana_storage::{
     persist, ChunkSource, CompressedTable, CompressionOptions, FileSource, StorageStats,
 };
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Average execution time of a cohort query on COHANA.
+/// Average execution time of a cohort query on COHANA: prepare the
+/// statement once, execute it `runs` times.
 fn time_cohana(
-    table: &CompressedTable,
+    table: &Arc<CompressedTable>,
     query: &CohortQuery,
     runs: usize,
     options: PlannerOptions,
 ) -> Duration {
-    let plan = plan_query(query, table.schema(), options).expect("benchmark queries plan");
-    time_avg(runs, || execute_plan(table, &plan, 1).expect("benchmark queries execute"))
+    let stmt =
+        Statement::over(table.clone(), query, options, 1).expect("benchmark queries prepare");
+    time_avg(runs, || stmt.execute().expect("benchmark queries execute"))
 }
 
 /// The four §5.2 benchmark queries.
@@ -73,8 +76,10 @@ pub fn table2(cache: &mut DatasetCache) -> ExperimentResult {
 pub fn table3(cache: &mut DatasetCache) -> ExperimentResult {
     let compressed = cache.compressed(1, 256 * 1024);
     let q = paper::shopping_trend();
-    let plan = plan_query(&q, compressed.schema(), PlannerOptions::default()).unwrap();
-    let report = execute_plan(&compressed, &plan, 1).unwrap();
+    let report = Statement::over(compressed, &q, PlannerOptions::default(), 1)
+        .expect("shopping trend plans")
+        .execute()
+        .unwrap();
 
     let ages: Vec<i64> = {
         let mut a: Vec<i64> = report.rows.iter().map(|r| r.age).collect();
@@ -405,12 +410,11 @@ pub fn parallel(cache: &mut DatasetCache) -> ExperimentResult {
         vec!["query".into(), "1".into(), "2".into(), "4".into(), "8".into()],
     );
     for (name, q) in [("Q1", paper::q1()), ("Q3", paper::q3())] {
-        let plan = plan_query(&q, compressed.schema(), PlannerOptions::default()).unwrap();
         let mut row = vec![name.to_string()];
         for workers in [1usize, 2, 4, 8] {
-            let d = time_avg(config.runs, || {
-                execute_plan(&compressed, &plan, workers).expect("executes")
-            });
+            let stmt = Statement::over(compressed.clone(), &q, PlannerOptions::default(), workers)
+                .expect("plans");
+            let d = time_avg(config.runs, || stmt.execute().expect("executes"));
             row.push(fmt_secs(d));
         }
         out.push_row(row);
@@ -462,9 +466,9 @@ pub fn lazy_io(cache: &mut DatasetCache) -> ExperimentResult {
         ],
     );
     for (name, q) in &queries {
-        let plan = plan_query(q, compressed.schema(), PlannerOptions::default()).unwrap();
-        let src = FileSource::open(&path).expect("open v3 file");
-        execute_source(&src, &plan, 1).expect("query executes");
+        let src = Arc::new(FileSource::open(&path).expect("open v3 file"));
+        let stmt = Statement::over(src.clone(), q, PlannerOptions::default(), 1).expect("plans");
+        stmt.execute().expect("query executes");
         let io = src.io_stats();
         out.push_row(vec![
             name.to_string(),
@@ -480,10 +484,12 @@ pub fn lazy_io(cache: &mut DatasetCache) -> ExperimentResult {
     // Bounded-budget pass: all eight queries through one small shared
     // cache; the eviction counter shows the budget doing its job.
     let budget = (file_len as usize / 8).max(1);
-    let src = FileSource::open_with_budget(&path, budget).expect("open v3 file");
+    let src = Arc::new(FileSource::open_with_budget(&path, budget).expect("open v3 file"));
     for (_, q) in &queries {
-        let plan = plan_query(q, compressed.schema(), PlannerOptions::default()).unwrap();
-        execute_source(&src, &plan, 1).expect("query executes");
+        Statement::over(src.clone(), q, PlannerOptions::default(), 1)
+            .expect("plans")
+            .execute()
+            .expect("query executes");
     }
     let io = src.io_stats();
     out.push_note(format!(

@@ -171,6 +171,7 @@ mod tests {
                 },
             ],
             cohort_sizes: BTreeMap::from([(cohort("2013-05-16"), 10), (cohort("2013-05-23"), 4)]),
+            stats: None,
         }
     }
 

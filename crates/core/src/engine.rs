@@ -2,10 +2,10 @@
 //! (Figure 4; the parser module lives in the `cohana-sql` crate).
 
 use crate::error::EngineError;
-use crate::exec::execute_source;
 use crate::plan::{plan_query, PhysicalPlan, PlannerOptions};
 use crate::query::CohortQuery;
 use crate::report::CohortReport;
+use crate::session::Session;
 use cohana_activity::{ActivityTable, Schema};
 use cohana_storage::{ChunkSource, CompressedTable, CompressionOptions, FileSource};
 use std::collections::HashMap;
@@ -190,39 +190,46 @@ impl Cohana {
         names
     }
 
-    fn default_source(&self) -> Result<Arc<dyn ChunkSource>, EngineError> {
-        let name = self
-            .default_table
-            .read()
-            .unwrap()
-            .clone()
-            .ok_or_else(|| EngineError::UnknownTable("<no tables registered>".into()))?;
-        self.source(&name).ok_or(EngineError::UnknownTable(name))
+    /// The engine's default table (the first table registered), if any.
+    pub fn default_table_name(&self) -> Option<String> {
+        self.default_table.read().unwrap().clone()
     }
 
-    /// Plan a query against the default table.
+    /// Open a [`Session`]: a cheap per-caller handle carrying option
+    /// overrides (parallelism, planner flags, default table) that never
+    /// touch the shared engine. Sessions prepare [`Statement`]s; statements
+    /// execute eagerly or stream per-chunk batches.
+    ///
+    /// [`Statement`]: crate::Statement
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
+    }
+
+    /// Plan a query against the default table (planning only — predicate
+    /// compilation happens when a [`Statement`] is prepared).
+    ///
+    /// [`Statement`]: crate::Statement
     pub fn plan(&self, query: &CohortQuery) -> Result<PhysicalPlan, EngineError> {
-        let source = self.default_source()?;
-        plan_query(query, source.table_meta().schema(), self.options.planner)
+        plan_query(query, &self.session().schema()?, self.options.planner)
     }
 
-    /// EXPLAIN: the optimized Figure-5 style plan.
+    /// EXPLAIN: the optimized Figure-5 style plan plus scan projection,
+    /// pruning predicate, and parallelism.
     pub fn explain(&self, query: &CohortQuery) -> Result<String, EngineError> {
-        Ok(self.plan(query)?.explain())
+        self.session().explain(query)
     }
 
-    /// Execute a cohort query against the default table.
+    /// Execute a cohort query against the default table. Convenience for
+    /// `self.session().execute(query)` — one-shot callers that don't need
+    /// prepared statements or streaming.
     pub fn execute(&self, query: &CohortQuery) -> Result<CohortReport, EngineError> {
-        let source = self.default_source()?;
-        let plan = plan_query(query, source.table_meta().schema(), self.options.planner)?;
-        execute_source(source.as_ref(), &plan, self.options.parallelism)
+        self.session().execute(query)
     }
 
-    /// Execute a cohort query against a named table.
+    /// Execute a cohort query against a named table. Convenience for
+    /// `self.session().on_table(name).execute(query)`.
     pub fn execute_on(&self, name: &str, query: &CohortQuery) -> Result<CohortReport, EngineError> {
-        let source = self.source(name).ok_or_else(|| EngineError::UnknownTable(name.into()))?;
-        let plan = plan_query(query, source.table_meta().schema(), self.options.planner)?;
-        execute_source(source.as_ref(), &plan, self.options.parallelism)
+        self.session().on_table(name).execute(query)
     }
 }
 

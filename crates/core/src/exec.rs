@@ -1,10 +1,16 @@
-//! Physical execution of cohort query plans (§4.2–§4.5).
+//! The chunk pipeline: physical execution of cohort query plans (§4.2–§4.5).
 //!
 //! The optimized plan is executed **against each data chunk** independently
 //! and the per-chunk partial results are merged — valid because chunking
-//! never splits a user. Per chunk the executor fuses Algorithm 1 (birth
-//! selection), the age selection, and Algorithm 2 (cohort aggregation) into
-//! a single pass over user blocks:
+//! never splits a user. This module is organised as a pull-based pipeline:
+//! [`QueryCore`] owns everything resolved once per statement (the source,
+//! the plan, the compiled [`ExecContext`]) and turns one chunk into one
+//! [`ResultBatch`] on demand; the public [`QueryStream`](crate::QueryStream)
+//! drives it either serially (one chunk per pull — a consumer that stops
+//! pulling stops chunk decode) or with worker threads feeding a bounded
+//! channel. Per chunk the executor fuses Algorithm 1 (birth selection), the
+//! age selection, and Algorithm 2 (cohort aggregation) into a single pass
+//! over user blocks:
 //!
 //! 1. **chunk pruning** — skip the chunk if the birth action is absent from
 //!    its action chunk-dictionary, or if the birth predicate's time bounds
@@ -30,8 +36,11 @@ use crate::query::CohortAttr;
 use crate::report::{CohortReport, ReportRow};
 use crate::scan::{compile_predicate, ChunkScan, CompiledExpr, EvalCtx};
 use cohana_activity::{TimeBin, Timestamp, Value, ValueType};
-use cohana_storage::{Chunk, ChunkIndexEntry, ChunkSource, ColumnMeta, CompressedTable, TableMeta};
+use cohana_storage::{Chunk, ChunkIndexEntry, ChunkSource, ColumnMeta, TableMeta};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// Upper bound on dense-array cells (`cohorts × ages × aggregates`); beyond
 /// this the executor falls back to hash aggregation.
@@ -54,7 +63,7 @@ enum KeyPart {
 
 /// Per-chunk (and merged) partial aggregation result.
 #[derive(Debug, Default)]
-struct Partial {
+pub(crate) struct Partial {
     /// Cohort → number of qualified users.
     sizes: HashMap<Key, u64>,
     /// Cohort → age → one state per aggregate.
@@ -62,7 +71,7 @@ struct Partial {
 }
 
 impl Partial {
-    fn merge(&mut self, other: Partial) -> Result<(), EngineError> {
+    pub(crate) fn merge(&mut self, other: Partial) -> Result<(), EngineError> {
         for (k, s) in other.sizes {
             *self.sizes.entry(k).or_insert(0) += s;
         }
@@ -85,8 +94,45 @@ impl Partial {
     }
 }
 
-/// Everything resolved once per query before touching chunks.
-struct ExecContext {
+/// One per-chunk batch of partial results, as yielded by a
+/// [`QueryStream`](crate::QueryStream).
+///
+/// A batch is a *partial* cohort aggregation: the same `(cohort, age)` cell
+/// may appear in many batches and their contributions add (chunking never
+/// splits a user, so cohort sizes and aggregate states are additive across
+/// chunks). Merge batches back into a full report with
+/// [`Statement::report_from_batches`](crate::Statement::report_from_batches)
+/// or let [`QueryStream::collect`](crate::QueryStream::collect) do it.
+#[derive(Debug)]
+pub struct ResultBatch {
+    pub(crate) chunk_index: usize,
+    pub(crate) partial: Partial,
+}
+
+impl ResultBatch {
+    /// Index of the source chunk that produced this batch.
+    pub fn chunk_index(&self) -> usize {
+        self.chunk_index
+    }
+
+    /// Cohorts with at least one qualified user in this chunk.
+    pub fn num_cohorts(&self) -> usize {
+        self.partial.sizes.len()
+    }
+
+    /// `(cohort, age)` cells this chunk contributed to.
+    pub fn num_cells(&self) -> usize {
+        self.partial.cells.values().map(BTreeMap::len).sum()
+    }
+
+    /// Qualified users this chunk contributed (summed over cohorts).
+    pub fn num_users(&self) -> u64 {
+        self.partial.sizes.values().sum()
+    }
+}
+
+/// Everything resolved once per statement before touching chunks.
+pub(crate) struct ExecContext {
     birth_gid: Option<u32>,
     birth_pred: Option<CompiledExpr>,
     age_pred: Option<CompiledExpr>,
@@ -98,140 +144,157 @@ struct ExecContext {
     dense: Option<(usize, usize)>,
 }
 
-/// Execute a plan against a fully resident compressed table.
-///
-/// Convenience wrapper over [`execute_source`]; the table itself implements
-/// [`ChunkSource`] with every chunk borrowed from memory.
-pub fn execute_plan(
-    table: &CompressedTable,
-    plan: &PhysicalPlan,
-    parallelism: usize,
-) -> Result<CohortReport, EngineError> {
-    execute_source(table, plan, parallelism)
-}
+impl ExecContext {
+    fn new(table: &TableMeta, plan: &PhysicalPlan) -> Result<ExecContext, EngineError> {
+        let schema = table.schema();
+        let query = &plan.query;
 
-/// Execute a plan against any [`ChunkSource`], merging per-chunk partials.
-/// `parallelism` > 1 processes chunks on that many worker threads.
-///
-/// Chunk pruning (§4.2) runs against the source's [`ChunkIndexEntry`]
-/// metadata **before any chunk I/O**: for a lazy file-backed source, pruned
-/// chunks are never read from disk, let alone decoded. Surviving chunks are
-/// fetched through the projection-aware [`ChunkSource::chunk_columns`] with
-/// the plan's TableScan projection list, so a column-addressable (v3)
-/// source reads and decodes only the columns the query names.
-pub fn execute_source<S: ChunkSource + ?Sized>(
-    source: &S,
-    plan: &PhysicalPlan,
-    parallelism: usize,
-) -> Result<CohortReport, EngineError> {
-    let table = source.table_meta();
-    let schema = table.schema();
-    let query = &plan.query;
+        let birth_gid = table.lookup_gid(schema.action_idx(), &query.birth_action);
+        let birth_pred = query
+            .birth_predicate
+            .as_ref()
+            .map(|p| compile_predicate(p, schema, table))
+            .transpose()?;
+        let age_pred = query
+            .age_predicate
+            .as_ref()
+            .map(|p| compile_predicate(p, schema, table))
+            .transpose()?;
 
-    let birth_gid = table.lookup_gid(schema.action_idx(), &query.birth_action);
-    let birth_pred =
-        query.birth_predicate.as_ref().map(|p| compile_predicate(p, schema, table)).transpose()?;
-    let age_pred =
-        query.age_predicate.as_ref().map(|p| compile_predicate(p, schema, table)).transpose()?;
-
-    let mut key_parts = Vec::with_capacity(query.cohort_by.len());
-    for c in &query.cohort_by {
-        key_parts.push(match c {
-            CohortAttr::Attr(a) => {
-                let idx = schema.require(a)?;
-                match schema.attribute(idx).vtype {
-                    ValueType::Str => KeyPart::Str(idx),
-                    ValueType::Int => KeyPart::Int(idx),
+        let mut key_parts = Vec::with_capacity(query.cohort_by.len());
+        for c in &query.cohort_by {
+            key_parts.push(match c {
+                CohortAttr::Attr(a) => {
+                    let idx = schema.require(a)?;
+                    match schema.attribute(idx).vtype {
+                        ValueType::Str => KeyPart::Str(idx),
+                        ValueType::Int => KeyPart::Int(idx),
+                    }
                 }
-            }
-            CohortAttr::TimeBin(bin) => KeyPart::TimeBin(*bin),
-        });
-    }
+                CohortAttr::TimeBin(bin) => KeyPart::TimeBin(*bin),
+            });
+        }
 
-    let agg_attrs: Vec<Option<usize>> = query
-        .aggregates
-        .iter()
-        .map(|a| a.attr().map(|n| schema.require(n)).transpose())
-        .collect::<Result<_, _>>()?;
+        let agg_attrs: Vec<Option<usize>> = query
+            .aggregates
+            .iter()
+            .map(|a| a.attr().map(|n| schema.require(n)).transpose())
+            .collect::<Result<_, _>>()?;
 
-    // Dense path: single string cohort attribute with a small domain.
-    let dense = if plan.options.array_aggregation && key_parts.len() == 1 {
-        if let KeyPart::Str(idx) = key_parts[0] {
-            let dict_len = table.global_dict(idx).map(|d| d.len()).unwrap_or(0);
-            let age_domain = match table.meta(schema.time_idx()) {
-                ColumnMeta::Int { min, max } => query.age_bin.age_units(max - min) as usize + 2,
-                _ => 0,
-            };
-            let cells =
-                dict_len.saturating_mul(age_domain).saturating_mul(query.aggregates.len().max(1));
-            if dict_len > 0 && age_domain > 0 && cells <= DENSE_CELL_LIMIT {
-                Some((dict_len, age_domain))
+        // Dense path: single string cohort attribute with a small domain.
+        let dense = if plan.options.array_aggregation && key_parts.len() == 1 {
+            if let KeyPart::Str(idx) = key_parts[0] {
+                let dict_len = table.global_dict(idx).map(|d| d.len()).unwrap_or(0);
+                let age_domain = match table.meta(schema.time_idx()) {
+                    ColumnMeta::Int { min, max } => query.age_bin.age_units(max - min) as usize + 2,
+                    _ => 0,
+                };
+                let cells = dict_len
+                    .saturating_mul(age_domain)
+                    .saturating_mul(query.aggregates.len().max(1));
+                if dict_len > 0 && age_domain > 0 && cells <= DENSE_CELL_LIMIT {
+                    Some((dict_len, age_domain))
+                } else {
+                    None
+                }
             } else {
                 None
             }
         } else {
             None
-        }
-    } else {
-        None
-    };
+        };
 
-    let ctx = ExecContext {
-        birth_gid,
-        birth_pred,
-        age_pred,
-        key_parts,
-        aggs: query.aggregates.clone(),
-        agg_attrs,
-        age_bin: query.age_bin,
-        dense,
-    };
-
-    // Chunk pruning from index metadata alone (§4.1/§4.2): decided once
-    // here, before any chunk is loaded, and shared by the serial and
-    // parallel paths.
-    let live: Vec<usize> = (0..source.num_chunks())
-        .filter(|&i| !prune_chunk(source.index_entry(i), plan, &ctx))
-        .collect();
-
-    let mut merged = Partial::default();
-    if parallelism <= 1 || live.len() <= 1 {
-        for &i in &live {
-            let chunk = source.chunk_columns(i, &plan.projected_idxs)?;
-            merged.merge(process_chunk(table, &chunk, plan, &ctx)?)?;
-        }
-    } else {
-        let workers = parallelism.min(live.len());
-        let partials: Vec<Result<Vec<Partial>, EngineError>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for w in 0..workers {
-                let ctx = &ctx;
-                let live = &live;
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut i = w;
-                    while i < live.len() {
-                        let chunk = source.chunk_columns(live[i], &plan.projected_idxs)?;
-                        out.push(process_chunk(table, &chunk, plan, ctx)?);
-                        i += workers;
-                    }
-                    Ok(out)
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
-        for p in partials {
-            for partial in p? {
-                merged.merge(partial)?;
-            }
-        }
+        Ok(ExecContext {
+            birth_gid,
+            birth_pred,
+            age_pred,
+            key_parts,
+            aggs: query.aggregates.clone(),
+            agg_attrs,
+            age_bin: query.age_bin,
+            dense,
+        })
     }
-
-    build_report(table, plan, &ctx, merged)
 }
 
-/// The hoisted §4.2 chunk-pruning decision, computed purely from a chunk's
-/// index entry (no chunk I/O): the chunk is skipped when the birth action is
+/// The shared, thread-safe heart of one prepared statement: the chunk
+/// source, the physical plan, and the per-statement [`ExecContext`]. All
+/// three sit behind `Arc`s so serial pulls, parallel workers, and the
+/// statement itself can share them freely; cloning a `QueryCore` is three
+/// reference-count bumps.
+#[derive(Clone)]
+pub(crate) struct QueryCore {
+    pub(crate) source: Arc<dyn ChunkSource>,
+    pub(crate) plan: Arc<PhysicalPlan>,
+    ctx: Arc<ExecContext>,
+}
+
+impl QueryCore {
+    pub(crate) fn new(
+        source: Arc<dyn ChunkSource>,
+        plan: Arc<PhysicalPlan>,
+    ) -> Result<QueryCore, EngineError> {
+        let ctx = Arc::new(ExecContext::new(source.table_meta(), &plan)?);
+        Ok(QueryCore { source, plan, ctx })
+    }
+
+    /// The hoisted §4.2 chunk-pruning pass: decide from index metadata
+    /// alone — before any chunk I/O — which chunks can contribute. For a
+    /// lazy file-backed source, pruned chunks are never read from disk, let
+    /// alone decoded.
+    pub(crate) fn live_chunks(&self) -> Vec<usize> {
+        (0..self.source.num_chunks())
+            .filter(|&i| !prune_chunk(self.source.index_entry(i), &self.plan, &self.ctx))
+            .collect()
+    }
+
+    /// Run the fused per-chunk pass over one chunk, fetching it through the
+    /// projection-aware [`ChunkSource::chunk_columns`] so a
+    /// column-addressable (v3) source reads and decodes only the columns the
+    /// query names.
+    pub(crate) fn run_chunk(&self, idx: usize) -> Result<ResultBatch, EngineError> {
+        let chunk = self.source.chunk_columns(idx, &self.plan.projected_idxs)?;
+        let partial = process_chunk(self.source.table_meta(), &chunk, &self.plan, &self.ctx)?;
+        Ok(ResultBatch { chunk_index: idx, partial })
+    }
+
+    /// Spawn `workers` threads that stride over `live` and feed batches into
+    /// a bounded channel. The bound gives backpressure: workers run at most
+    /// one chunk (plus one buffered batch each) ahead of the consumer, and a
+    /// dropped receiver stops every worker at its next send — the parallel
+    /// form of early termination.
+    pub(crate) fn spawn_workers(
+        &self,
+        live: &[usize],
+        workers: usize,
+    ) -> (mpsc::Receiver<Result<ResultBatch, EngineError>>, Vec<JoinHandle<()>>) {
+        let (tx, rx) = mpsc::sync_channel::<Result<ResultBatch, EngineError>>(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let core = self.clone();
+            let tx = tx.clone();
+            let assigned: Vec<usize> = live.iter().skip(w).step_by(workers).copied().collect();
+            handles.push(std::thread::spawn(move || {
+                for idx in assigned {
+                    let out = core.run_chunk(idx);
+                    let stop = out.is_err();
+                    if tx.send(out).is_err() || stop {
+                        return;
+                    }
+                }
+            }));
+        }
+        (rx, handles)
+    }
+
+    /// Decode merged partials into the final report.
+    pub(crate) fn build_report(&self, merged: Partial) -> Result<CohortReport, EngineError> {
+        build_report(self.source.table_meta(), &self.plan, &self.ctx, merged)
+    }
+}
+
+/// The §4.2 chunk-pruning decision, computed purely from a chunk's index
+/// entry (no chunk I/O): the chunk is skipped when the birth action is
 /// absent from its action dictionary, when the birth predicate's time bounds
 /// are disjoint from its time range, or when the compiled birth predicate is
 /// constant-false. With `prune_chunks` disabled (ablations) every chunk is
@@ -466,5 +529,6 @@ fn build_report(
             .iter()
             .map(|(k, s)| (decode_key(k), *s))
             .collect::<BTreeMap<_, _>>(),
+        stats: None,
     })
 }

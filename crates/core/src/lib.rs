@@ -25,6 +25,11 @@
 //!
 //! ## Example
 //!
+//! The query surface is session-based: open a cheap [`Session`] on a shared
+//! engine, [`Session::prepare`] a [`Statement`] once, then execute it
+//! eagerly or stream per-chunk batches — each execution reports its own
+//! [`QueryStats`].
+//!
 //! ```
 //! use cohana_activity::{generate, GeneratorConfig};
 //! use cohana_core::{AggFunc, Cohana, CohortQuery};
@@ -39,8 +44,10 @@
 //!     .aggregate(AggFunc::user_count())
 //!     .build()
 //!     .unwrap();
-//! let report = engine.execute(&q1).unwrap();
+//! let stmt = engine.session().prepare(&q1).unwrap();
+//! let report = stmt.execute().unwrap();
 //! assert!(report.num_rows() > 0);
+//! assert!(report.stats.unwrap().chunks_scanned > 0);
 //! ```
 
 pub mod agg;
@@ -55,15 +62,19 @@ pub mod plan;
 pub mod query;
 pub mod report;
 pub mod scan;
+pub mod session;
+pub mod stats;
 
 pub use agg::{AggFunc, AggState, AggValue};
 pub use engine::{Cohana, EngineOptions};
 pub use error::EngineError;
-pub use exec::{execute_plan, execute_source};
+pub use exec::ResultBatch;
 pub use expr::{CmpOp, Expr};
 pub use plan::{plan_query, PhysicalPlan, PlanNode, PlannerOptions};
 pub use query::{CohortAttr, CohortQuery, CohortQueryBuilder};
 pub use report::{CohortReport, ReportRow};
+pub use session::{QueryStream, Session, Statement};
+pub use stats::QueryStats;
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, EngineError>;

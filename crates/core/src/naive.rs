@@ -180,6 +180,7 @@ pub fn naive_execute(
         agg_names: query.aggregates.iter().map(|a| a.header()).collect(),
         rows,
         cohort_sizes: sizes,
+        stats: None,
     })
 }
 

@@ -7,6 +7,7 @@
 //! pivoted cohort matrix.
 
 use crate::agg::AggValue;
+use crate::stats::QueryStats;
 use cohana_activity::Value;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -25,7 +26,7 @@ pub struct ReportRow {
 }
 
 /// The result of a cohort query.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CohortReport {
     /// Header names of the cohort attributes.
     pub cohort_attrs: Vec<String>,
@@ -36,6 +37,23 @@ pub struct CohortReport {
     /// Size of every cohort that had at least one qualified user, including
     /// cohorts that produced no (cohort, age) rows.
     pub cohort_sizes: BTreeMap<Vec<Value>, u64>,
+    /// What the execution that produced this report cost (`None` for
+    /// reports assembled outside the streaming executor, e.g. the naive
+    /// reference evaluator or manually merged batches).
+    pub stats: Option<QueryStats>,
+}
+
+/// Equality compares the query *result* — headers, rows, cohort sizes —
+/// and deliberately ignores [`CohortReport::stats`]: two executions of the
+/// same query are equal even though their wall times and cache hit rates
+/// never are.
+impl PartialEq for CohortReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.cohort_attrs == other.cohort_attrs
+            && self.agg_names == other.agg_names
+            && self.rows == other.rows
+            && self.cohort_sizes == other.cohort_sizes
+    }
 }
 
 impl CohortReport {
@@ -202,6 +220,7 @@ mod tests {
                 (vec![Value::str("Australia")], 3),
                 (vec![Value::str("China")], 5),
             ]),
+            stats: None,
         }
     }
 

@@ -1,0 +1,150 @@
+//! Per-query execution statistics.
+//!
+//! [`QueryStats`] is the query-scoped counterpart of the *source-lifetime*
+//! [`SourceIoStats`](cohana_storage::SourceIoStats): every
+//! [`QueryStream`](crate::QueryStream) snapshots its source's I/O counters
+//! when it starts and attributes the delta to the query it executes. The
+//! delta is exact when the query has the source to itself for its lifetime
+//! (the common case, and everything this crate's own paths do); when other
+//! queries run on the *same* source during the window, their I/O lands in
+//! the delta too, so treat the I/O fields as an upper bound under
+//! source-level concurrency. The executor adds the purely query-level
+//! dimensions the storage layer cannot know — and which are exact
+//! regardless of concurrency: how many chunks the planner's §4.2 metadata
+//! pruning skipped, how many the stream actually scanned, and the wall
+//! time.
+
+use cohana_storage::SourceIoStats;
+use std::fmt;
+use std::time::Duration;
+
+/// What one query execution cost, measured at the chunk pipeline.
+///
+/// The chunk/batch/wall-time counters are exact. The I/O fields
+/// (`chunks_decoded`, `columns_decoded`, `bytes_read`, `cache_evictions`)
+/// are deltas of the source's lifetime counters over the query's lifetime:
+/// exact while the query is alone on its source (chunks decoded by parallel
+/// workers whose batches were never pulled — early termination — are still
+/// attributed to the query that caused them), an upper bound when other
+/// queries hit the same source concurrently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Chunks the source holds.
+    pub chunks_total: usize,
+    /// Chunks skipped from index metadata alone (§4.2), with zero I/O.
+    pub chunks_pruned: usize,
+    /// Chunks whose batch was pulled through the stream.
+    pub chunks_scanned: usize,
+    /// Chunk skeletons decoded from backing storage (0 for resident tables,
+    /// and less than `chunks_scanned` when the segment cache hits).
+    pub chunks_decoded: usize,
+    /// Individual column segments decoded (v3 column-addressable sources).
+    pub columns_decoded: usize,
+    /// Payload bytes read from backing storage.
+    pub bytes_read: u64,
+    /// Segment-cache entries evicted while this query ran.
+    pub cache_evictions: u64,
+    /// Result batches the stream yielded (one per scanned chunk).
+    pub batches: usize,
+    /// Wall-clock time from stream creation to exhaustion (or drop).
+    pub wall_time: Duration,
+}
+
+impl QueryStats {
+    /// Attribute a source I/O delta (see [`SourceIoStats::delta_since`]) to
+    /// this query.
+    pub(crate) fn add_io(&mut self, delta: &SourceIoStats) {
+        self.chunks_decoded += delta.chunks_decoded;
+        self.columns_decoded += delta.columns_decoded;
+        self.bytes_read += delta.bytes_read;
+        self.cache_evictions += delta.cache_evictions;
+    }
+
+    /// Fold another execution's counters into a cumulative total (used by
+    /// [`Statement::cumulative_stats`](crate::Statement::cumulative_stats)).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.chunks_total += other.chunks_total;
+        self.chunks_pruned += other.chunks_pruned;
+        self.chunks_scanned += other.chunks_scanned;
+        self.chunks_decoded += other.chunks_decoded;
+        self.columns_decoded += other.columns_decoded;
+        self.bytes_read += other.bytes_read;
+        self.cache_evictions += other.cache_evictions;
+        self.batches += other.batches;
+        self.wall_time += other.wall_time;
+    }
+
+    /// Whether every counter of `self` is at least the corresponding counter
+    /// of `earlier` — the invariant of a statement's cumulative stats across
+    /// re-executions.
+    pub fn dominates(&self, earlier: &QueryStats) -> bool {
+        self.chunks_total >= earlier.chunks_total
+            && self.chunks_pruned >= earlier.chunks_pruned
+            && self.chunks_scanned >= earlier.chunks_scanned
+            && self.chunks_decoded >= earlier.chunks_decoded
+            && self.columns_decoded >= earlier.columns_decoded
+            && self.bytes_read >= earlier.bytes_read
+            && self.cache_evictions >= earlier.cache_evictions
+            && self.batches >= earlier.batches
+            && self.wall_time >= earlier.wall_time
+    }
+}
+
+impl fmt::Display for QueryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} chunks scanned ({} pruned), {} chunks / {} columns decoded, \
+             {} bytes read, {} evictions, {:.1?}",
+            self.chunks_scanned,
+            self.chunks_total,
+            self.chunks_pruned,
+            self.chunks_decoded,
+            self.columns_decoded,
+            self.bytes_read,
+            self.cache_evictions,
+            self.wall_time,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryStats {
+        QueryStats {
+            chunks_total: 4,
+            chunks_pruned: 1,
+            chunks_scanned: 3,
+            chunks_decoded: 3,
+            columns_decoded: 9,
+            bytes_read: 1024,
+            cache_evictions: 2,
+            batches: 3,
+            wall_time: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn absorb_sums_and_dominates() {
+        let one = sample();
+        let mut cum = QueryStats::default();
+        cum.absorb(&one);
+        assert_eq!(cum, one);
+        let first = cum;
+        cum.absorb(&one);
+        assert_eq!(cum.chunks_scanned, 6);
+        assert_eq!(cum.bytes_read, 2048);
+        assert!(cum.dominates(&first));
+        assert!(!first.dominates(&cum));
+        assert!(first.dominates(&first));
+    }
+
+    #[test]
+    fn display_mentions_chunks_and_bytes() {
+        let s = sample().to_string();
+        assert!(s.contains("3 of 4 chunks"));
+        assert!(s.contains("1024 bytes"));
+    }
+}

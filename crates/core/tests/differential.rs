@@ -7,10 +7,10 @@ use cohana_activity::{generate, GeneratorConfig, Timestamp};
 use cohana_core::naive::naive_execute;
 use cohana_core::paper;
 use cohana_core::{
-    execute_plan, plan_query, AggFunc, Cohana, CohortQuery, CohortReport, EngineOptions, Expr,
-    PlannerOptions,
+    AggFunc, Cohana, CohortQuery, CohortReport, EngineOptions, Expr, PlannerOptions, Statement,
 };
 use cohana_storage::{CompressedTable, CompressionOptions};
+use std::sync::Arc;
 
 fn dataset() -> cohana_activity::ActivityTable {
     generate(&GeneratorConfig::new(150))
@@ -43,9 +43,10 @@ fn check_query(query: &CohortQuery, what: &str) {
     let table = dataset();
     let reference = naive_execute(&table, query).expect("naive evaluation succeeds");
     for chunk_size in [64usize, 1024, 1 << 20] {
-        let compressed =
+        let compressed = Arc::new(
             CompressedTable::build(&table, CompressionOptions::with_chunk_size(chunk_size))
-                .expect("compression succeeds");
+                .expect("compression succeeds"),
+        );
         for options in [
             PlannerOptions::default(),
             PlannerOptions::naive(),
@@ -54,10 +55,10 @@ fn check_query(query: &CohortQuery, what: &str) {
             PlannerOptions { prune_chunks: false, ..Default::default() },
             PlannerOptions { array_aggregation: false, ..Default::default() },
         ] {
-            let plan = plan_query(query, table.schema(), options).expect("planning succeeds");
             for parallelism in [1usize, 4] {
-                let got =
-                    execute_plan(&compressed, &plan, parallelism).expect("execution succeeds");
+                let stmt = Statement::over(compressed.clone(), query, options, parallelism)
+                    .expect("planning succeeds");
+                let got = stmt.execute().expect("execution succeeds");
                 assert_reports_equal(
                     &got,
                     &reference,
@@ -305,8 +306,10 @@ fn empty_in_list_yields_empty_age_rows() {
         .build()
         .unwrap();
     let compressed = CompressedTable::build(&table, CompressionOptions::default()).unwrap();
-    let plan = plan_query(&q, table.schema(), PlannerOptions::default()).unwrap();
-    let got = execute_plan(&compressed, &plan, 1).unwrap();
+    let got = Statement::over(Arc::new(compressed), &q, PlannerOptions::default(), 1)
+        .unwrap()
+        .execute()
+        .unwrap();
     assert!(got.rows.is_empty());
     // Cohort sizes survive: users still qualify via the (absent) birth
     // predicate even though no age tuple passes.

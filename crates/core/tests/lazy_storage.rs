@@ -8,10 +8,24 @@
 //! `version_matrix.rs`.)
 
 use cohana_activity::{generate, GeneratorConfig, Schema, TableBuilder, Timestamp, Value};
-use cohana_core::{execute_plan, execute_source, paper, plan_query, PlannerOptions};
+use cohana_core::{paper, PlannerOptions, Statement};
 use cohana_core::{Cohana, CohortQuery, EngineOptions};
 use cohana_storage::{persist, ChunkSource, CompressedTable, CompressionOptions, FileSource};
 use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Execute one query over any source through the session-layer Statement.
+fn run(
+    source: Arc<dyn ChunkSource>,
+    query: &CohortQuery,
+    options: PlannerOptions,
+    parallelism: usize,
+) -> cohana_core::CohortReport {
+    Statement::over(source, query, options, parallelism)
+        .expect("query plans")
+        .execute()
+        .expect("query executes")
+}
 
 fn temp_file(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("cohana-lazy-storage-test");
@@ -42,15 +56,15 @@ fn q1_to_q8_identical_across_memory_eager_and_lazy_sources() {
 
     let path = temp_file("differential.cohana");
     persist::write_file(&memory, &path).unwrap();
-    let eager = persist::read_file(&path).unwrap();
-    let lazy = FileSource::open(&path).unwrap();
+    let memory = Arc::new(memory);
+    let eager = Arc::new(persist::read_file(&path).unwrap());
+    let lazy = Arc::new(FileSource::open(&path).unwrap());
 
     for (name, query) in paper_queries() {
-        let plan = plan_query(&query, memory.schema(), PlannerOptions::default()).unwrap();
         for parallelism in [1, 4] {
-            let expect = execute_plan(&memory, &plan, parallelism).unwrap();
-            let from_eager = execute_plan(&eager, &plan, parallelism).unwrap();
-            let from_lazy = execute_source(&lazy, &plan, parallelism).unwrap();
+            let expect = run(memory.clone(), &query, PlannerOptions::default(), parallelism);
+            let from_eager = run(eager.clone(), &query, PlannerOptions::default(), parallelism);
+            let from_lazy = run(lazy.clone(), &query, PlannerOptions::default(), parallelism);
             assert_eq!(expect.rows, from_eager.rows, "{name} eager p={parallelism}");
             assert_eq!(expect.rows, from_lazy.rows, "{name} lazy p={parallelism}");
             assert_eq!(
@@ -142,15 +156,14 @@ fn time_selective_query_decodes_strictly_fewer_chunks() {
 
     let path = temp_file("selective-time.cohana");
     persist::write_file(&memory, &path).unwrap();
-    let lazy = FileSource::open(&path).unwrap();
+    let lazy = Arc::new(FileSource::open(&path).unwrap());
     assert_eq!(lazy.chunks_decoded(), 0, "open must not touch chunk data");
 
     // Q2-style: Q1 plus a birth date range covering only the early
     // population (paper::q5 is exactly that sweep query).
     let query = paper::q5(0, 5 * DAY);
-    let plan = plan_query(&query, memory.schema(), PlannerOptions::default()).unwrap();
-    let expect = execute_plan(&memory, &plan, 1).unwrap();
-    let got = execute_source(&lazy, &plan, 1).unwrap();
+    let expect = run(Arc::new(memory), &query, PlannerOptions::default(), 1);
+    let got = run(lazy.clone(), &query, PlannerOptions::default(), 1);
 
     assert_eq!(expect.rows, got.rows);
     assert_eq!(expect.cohort_sizes, got.cohort_sizes);
@@ -171,14 +184,13 @@ fn birth_action_pruning_skips_chunks_without_the_action() {
     let memory = CompressedTable::build(&table, CompressionOptions::with_chunk_size(15)).unwrap();
     let path = temp_file("selective-action.cohana");
     persist::write_file(&memory, &path).unwrap();
-    let lazy = FileSource::open(&path).unwrap();
+    let lazy = Arc::new(FileSource::open(&path).unwrap());
 
     // Birth action `shop` exists only in the early chunks; the late chunks'
     // action dictionaries prove they can be skipped without I/O.
     let query = paper::q3();
-    let plan = plan_query(&query, memory.schema(), PlannerOptions::default()).unwrap();
-    let expect = execute_plan(&memory, &plan, 1).unwrap();
-    let got = execute_source(&lazy, &plan, 1).unwrap();
+    let expect = run(Arc::new(memory), &query, PlannerOptions::default(), 1);
+    let got = run(lazy.clone(), &query, PlannerOptions::default(), 1);
 
     assert_eq!(expect.rows, got.rows);
     assert!(
@@ -196,13 +208,12 @@ fn disabled_pruning_still_correct_on_lazy_source() {
     let memory = CompressedTable::build(&table, CompressionOptions::with_chunk_size(15)).unwrap();
     let path = temp_file("no-prune.cohana");
     persist::write_file(&memory, &path).unwrap();
-    let lazy = FileSource::open(&path).unwrap();
+    let lazy = Arc::new(FileSource::open(&path).unwrap());
 
     let options = PlannerOptions { prune_chunks: false, ..Default::default() };
     let query = paper::q3();
-    let plan = plan_query(&query, memory.schema(), options).unwrap();
-    let expect = execute_plan(&memory, &plan, 1).unwrap();
-    let got = execute_source(&lazy, &plan, 1).unwrap();
+    let expect = run(Arc::new(memory), &query, options, 1);
+    let got = run(lazy.clone(), &query, options, 1);
     assert_eq!(expect.rows, got.rows);
     // Without pruning every chunk is materialized.
     assert_eq!(lazy.chunks_decoded(), lazy.num_chunks());

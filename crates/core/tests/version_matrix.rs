@@ -1,8 +1,10 @@
 //! The on-disk version matrix: the paper's benchmark queries Q1–Q8 must
 //! produce identical reports over every supported format and access path —
 //! v1 (eager only), v2 (lazy, whole-chunk fetch), and v3 (lazy,
-//! per-column fetch) — at parallelism 1 and 4. Plus the two headline
-//! properties of the v3 refactor:
+//! per-column fetch) — at parallelism 1 and 4, through *both* execution
+//! shapes of the session API: the eager [`Statement::execute`] and the
+//! streaming [`Statement::stream`] with its per-chunk batches merged by
+//! hand. Plus the two headline properties of the v3 refactor:
 //!
 //! * **projection pushdown**: a query decodes strictly fewer columns than
 //!   `arity × chunks_touched`, because unprojected columns are never read;
@@ -11,9 +13,10 @@
 //!   the eager path.
 
 use cohana_activity::{generate, GeneratorConfig, Timestamp};
-use cohana_core::{execute_plan, execute_source, paper, plan_query, CohortQuery, PlannerOptions};
+use cohana_core::{paper, CohortQuery, CohortReport, PlannerOptions, Statement};
 use cohana_storage::{persist, ChunkSource, CompressedTable, CompressionOptions, FileSource};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 fn temp_file(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("cohana-version-matrix-test");
@@ -36,10 +39,31 @@ fn paper_queries() -> Vec<(String, CohortQuery)> {
     ]
 }
 
+fn prepare(source: Arc<dyn ChunkSource>, query: &CohortQuery, parallelism: usize) -> Statement {
+    Statement::over(source, query, PlannerOptions::default(), parallelism).expect("query plans")
+}
+
+/// Execute a statement by pulling its stream batch by batch and merging the
+/// batches manually — the streaming consumer's path. Must agree exactly with
+/// the eager [`Statement::execute`].
+fn execute_via_stream(stmt: &Statement) -> CohortReport {
+    let mut stream = stmt.stream();
+    let mut batches = Vec::new();
+    for batch in &mut stream {
+        batches.push(batch.expect("batch executes"));
+    }
+    let stats = stream.stats();
+    assert_eq!(stats.batches, batches.len());
+    assert_eq!(stats.chunks_scanned + stats.chunks_pruned, stats.chunks_total);
+    drop(stream);
+    stmt.report_from_batches(batches).expect("batches merge")
+}
+
 #[test]
-fn q1_to_q8_identical_across_v1_v2_v3() {
+fn q1_to_q8_identical_across_v1_v2_v3_eager_and_streamed() {
     let table = generate(&GeneratorConfig::small());
-    let memory = CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap();
+    let memory =
+        Arc::new(CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap());
     assert!(memory.chunks().len() > 1, "need multiple chunks to be meaningful");
 
     let v1_path = temp_file("matrix-v1.cohana");
@@ -50,26 +74,35 @@ fn q1_to_q8_identical_across_v1_v2_v3() {
     persist::write_file(&memory, &v3_path).unwrap();
 
     // v1 has no footer: eager load only.
-    let v1_eager = persist::read_file(&v1_path).unwrap();
+    let v1_eager = Arc::new(persist::read_file(&v1_path).unwrap());
     // v2: lazy open degrades to whole-chunk fetches.
-    let v2_lazy = FileSource::open(&v2_path).unwrap();
+    let v2_lazy = Arc::new(FileSource::open(&v2_path).unwrap());
     assert!(!v2_lazy.is_column_addressable());
     // v3: lazy open with per-column fetches.
-    let v3_lazy = FileSource::open(&v3_path).unwrap();
+    let v3_lazy = Arc::new(FileSource::open(&v3_path).unwrap());
     assert!(v3_lazy.is_column_addressable());
 
     for (name, query) in paper_queries() {
-        let plan = plan_query(&query, memory.schema(), PlannerOptions::default()).unwrap();
         for parallelism in [1, 4] {
-            let expect = execute_plan(&memory, &plan, parallelism).unwrap();
-            let from_v1 = execute_plan(&v1_eager, &plan, parallelism).unwrap();
-            let from_v2 = execute_source(&v2_lazy, &plan, parallelism).unwrap();
-            let from_v3 = execute_source(&v3_lazy, &plan, parallelism).unwrap();
-            assert_eq!(expect.rows, from_v1.rows, "{name} v1 p={parallelism}");
-            assert_eq!(expect.rows, from_v2.rows, "{name} v2 p={parallelism}");
-            assert_eq!(expect.rows, from_v3.rows, "{name} v3 p={parallelism}");
-            assert_eq!(expect.cohort_sizes, from_v2.cohort_sizes, "{name} v2 sizes");
-            assert_eq!(expect.cohort_sizes, from_v3.cohort_sizes, "{name} v3 sizes");
+            let expect = prepare(memory.clone(), &query, parallelism).execute().unwrap();
+            for (vname, source) in [
+                ("v1", Arc::clone(&v1_eager) as Arc<dyn ChunkSource>),
+                ("v2", Arc::clone(&v2_lazy) as Arc<dyn ChunkSource>),
+                ("v3", Arc::clone(&v3_lazy) as Arc<dyn ChunkSource>),
+            ] {
+                let stmt = prepare(source, &query, parallelism);
+                let eager = stmt.execute().unwrap();
+                let streamed = execute_via_stream(&stmt);
+                assert_eq!(expect.rows, eager.rows, "{name} {vname} eager p={parallelism}");
+                assert_eq!(
+                    expect.cohort_sizes, eager.cohort_sizes,
+                    "{name} {vname} sizes p={parallelism}"
+                );
+                assert_eq!(eager, streamed, "{name} {vname} streamed p={parallelism}");
+                // Two executions ran through the statement; its cumulative
+                // stats saw both.
+                assert_eq!(stmt.executions(), 2, "{name} {vname}");
+            }
         }
     }
     // The v2 source never decodes individual columns; the v3 source did.
@@ -82,11 +115,13 @@ fn q1_to_q8_identical_across_v1_v2_v3() {
 
 /// The acceptance-criterion decode-counting test: a selective projected
 /// query against a v3 file decodes strictly fewer *columns* than
-/// `arity × chunks_touched`.
+/// `arity × chunks_touched`, and its per-query stats agree with the
+/// source's lifetime counters.
 #[test]
 fn projected_query_decodes_fewer_columns_than_arity_times_chunks() {
     let table = generate(&GeneratorConfig::small());
-    let memory = CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap();
+    let memory =
+        Arc::new(CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap());
     let arity = memory.schema().arity();
     let path = temp_file("projection-count.cohana");
     persist::write_file(&memory, &path).unwrap();
@@ -94,12 +129,12 @@ fn projected_query_decodes_fewer_columns_than_arity_times_chunks() {
     // Q1 projects user, time, action, country — half of the 8-attribute
     // game schema.
     let query = paper::q1();
-    let plan = plan_query(&query, memory.schema(), PlannerOptions::default()).unwrap();
-    assert!(plan.projected_idxs.len() < arity, "Q1 must be a selective projection");
+    let lazy = Arc::new(FileSource::open(&path).unwrap());
+    let stmt = prepare(lazy.clone(), &query, 1);
+    assert!(stmt.plan().projected_idxs.len() < arity, "Q1 must be a selective projection");
 
-    let lazy = FileSource::open(&path).unwrap();
-    let expect = execute_plan(&memory, &plan, 1).unwrap();
-    let got = execute_source(&lazy, &plan, 1).unwrap();
+    let expect = prepare(memory, &query, 1).execute().unwrap();
+    let got = stmt.execute().unwrap();
     assert_eq!(expect.rows, got.rows);
 
     let chunks_touched = lazy.chunks_decoded();
@@ -112,8 +147,15 @@ fn projected_query_decodes_fewer_columns_than_arity_times_chunks() {
         lazy.columns_decoded(),
     );
     // Exactly the projected non-user columns decode: nothing else.
-    let non_user_projected = plan.projected_idxs.len() - 1;
+    let non_user_projected = stmt.plan().projected_idxs.len() - 1;
     assert_eq!(lazy.columns_decoded(), non_user_projected * chunks_touched);
+
+    // The per-query stats attributed to this execution match the lifetime
+    // counters (the query was alone on a cold source).
+    let stats = got.stats.expect("executor attaches stats");
+    assert_eq!(stats.chunks_decoded, lazy.chunks_decoded());
+    assert_eq!(stats.columns_decoded, lazy.columns_decoded());
+    assert_eq!(stats.bytes_read, lazy.bytes_read());
     std::fs::remove_file(&path).ok();
 }
 
@@ -122,20 +164,20 @@ fn projected_query_decodes_fewer_columns_than_arity_times_chunks() {
 #[test]
 fn bounded_cache_stays_within_budget_with_identical_results() {
     let table = generate(&GeneratorConfig::small());
-    let memory = CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap();
+    let memory =
+        Arc::new(CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap());
     let path = temp_file("budget.cohana");
     persist::write_file(&memory, &path).unwrap();
 
     // A budget far below the table's compressed size forces eviction.
     let budget = 4 * 1024;
-    let lazy = FileSource::open_with_budget(&path, budget).unwrap();
+    let lazy = Arc::new(FileSource::open_with_budget(&path, budget).unwrap());
     assert_eq!(lazy.cache_budget_bytes(), budget);
 
     for (name, query) in paper_queries() {
-        let plan = plan_query(&query, memory.schema(), PlannerOptions::default()).unwrap();
         for parallelism in [1, 4] {
-            let expect = execute_plan(&memory, &plan, parallelism).unwrap();
-            let got = execute_source(&lazy, &plan, parallelism).unwrap();
+            let expect = prepare(memory.clone(), &query, parallelism).execute().unwrap();
+            let got = prepare(lazy.clone(), &query, parallelism).execute().unwrap();
             assert_eq!(expect.rows, got.rows, "{name} p={parallelism}");
             assert_eq!(expect.cohort_sizes, got.cohort_sizes, "{name} p={parallelism}");
             assert!(
@@ -151,13 +193,15 @@ fn bounded_cache_stays_within_budget_with_identical_results() {
 
 /// Cohort-clustered arrival makes chunk time-bounds disjoint, so a birth
 /// date-range query on a v3 file skips whole chunks — no RLE decode, no
-/// column decode, no bytes read for them.
+/// column decode, no bytes read for them — and the per-query stats say so:
+/// `chunks_pruned > 0` and `chunks_decoded < chunks_total`.
 #[test]
 fn cohort_clustered_data_prunes_chunks_and_bytes() {
     const DAY: i64 = 86_400;
     let cfg = GeneratorConfig::cohort_clustered(120);
     let table = generate(&cfg);
-    let memory = CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap();
+    let memory =
+        Arc::new(CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap());
     assert!(memory.chunks().len() >= 4, "need several chunks");
     // The arrival mode really does produce disjoint chunk time-bounds.
     let first = &memory.index_entries()[0];
@@ -173,14 +217,13 @@ fn cohort_clustered_data_prunes_chunks_and_bytes() {
 
     let path = temp_file("clustered.cohana");
     persist::write_file(&memory, &path).unwrap();
-    let lazy = FileSource::open(&path).unwrap();
+    let lazy = Arc::new(FileSource::open(&path).unwrap());
 
     // Births during the first five days: only the earliest chunks qualify.
     let start = cfg.start.secs();
     let query = paper::q5(start, start + 5 * DAY);
-    let plan = plan_query(&query, memory.schema(), PlannerOptions::default()).unwrap();
-    let expect = execute_plan(&memory, &plan, 1).unwrap();
-    let got = execute_source(&lazy, &plan, 1).unwrap();
+    let expect = prepare(memory, &query, 1).execute().unwrap();
+    let got = prepare(lazy.clone(), &query, 1).execute().unwrap();
     assert_eq!(expect.rows, got.rows);
     assert!(!got.rows.is_empty(), "the early cohorts must qualify");
     assert!(
@@ -189,6 +232,17 @@ fn cohort_clustered_data_prunes_chunks_and_bytes() {
         lazy.chunks_decoded(),
         lazy.num_chunks()
     );
+
+    // The acceptance criterion, straight off the per-query stats.
+    let stats = got.stats.expect("executor attaches stats");
+    assert!(stats.chunks_pruned > 0, "pruning must show in QueryStats");
+    assert!(
+        stats.chunks_decoded < stats.chunks_total,
+        "stats: decoded {} of {} chunks",
+        stats.chunks_decoded,
+        stats.chunks_total
+    );
+    assert_eq!(stats.chunks_scanned, stats.chunks_total - stats.chunks_pruned);
 
     // Bytes read stay below the full payload: pruned chunks cost zero I/O.
     let file_len = std::fs::metadata(&path).unwrap().len();

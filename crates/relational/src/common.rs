@@ -225,6 +225,7 @@ impl GroupTable {
             agg_names: query.aggregates.iter().map(|a| a.header()).collect(),
             rows,
             cohort_sizes: sizes,
+            stats: None,
         }
     }
 }

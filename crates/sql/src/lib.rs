@@ -24,10 +24,14 @@
 //! Parsing is schema-aware only at the last step: date literals compared
 //! against the time attribute are converted to epoch seconds.
 //!
-//! The [`SqlExt`] extension trait adds a convenient
-//! `engine.query("SELECT …")` entry point to [`cohana_core::Cohana`], and
-//! [`mixed`] implements the §3.5 mixed-query extension (a SQL outer query
-//! over a cohort sub-query).
+//! The [`SessionSqlExt`] extension trait is the primary entry point: it adds
+//! `session.prepare_sql("SELECT …")` (a re-executable, streamable
+//! [`cohana_core::Statement`]), one-shot `session.query(…)`, and the
+//! dispatching `session.run_sql(…)` — which also understands
+//! `EXPLAIN <query>` — to [`cohana_core::session::Session`]. The legacy
+//! [`SqlExt`] trait keeps the one-shot `engine.query("SELECT …")` methods on
+//! [`cohana_core::Cohana`], and [`mixed`] implements the §3.5 mixed-query
+//! extension (a SQL outer query over a cohort sub-query).
 
 pub mod ast;
 pub mod error;
@@ -39,8 +43,8 @@ pub mod translate;
 
 pub use ast::{CohortKeyAst, SelectItem, SqlCohortQuery};
 pub use error::SqlError;
-pub use ext::SqlExt;
-pub use mixed::{parse_mixed_query, MixedQuery};
+pub use ext::{SessionSqlExt, SqlAnswer, SqlExt};
+pub use mixed::{parse_mixed_query, MixedQuery, MixedResult};
 pub use parser::parse_statement;
 pub use translate::translate;
 

@@ -26,7 +26,8 @@ use crate::error::SqlError;
 use crate::parser::Parser;
 use crate::translate::translate;
 use cohana_activity::Value;
-use cohana_core::{AggValue, Cohana, CohortReport, Expr, ReportRow};
+use cohana_core::session::Session;
+use cohana_core::{AggValue, Cohana, CohortReport, Expr, QueryStats, ReportRow};
 
 /// A parsed mixed query.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,12 +48,23 @@ pub struct MixedQuery {
 }
 
 /// The outer query's result: a plain relational table.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MixedResult {
     /// Output column names.
     pub headers: Vec<String>,
     /// Rows as display values.
     pub rows: Vec<Vec<String>>,
+    /// Stats of the cohort sub-query execution (the outer SQL pass is an
+    /// in-memory post-pass and costs no storage I/O).
+    pub stats: Option<QueryStats>,
+}
+
+/// Equality compares the relational result only, ignoring
+/// [`MixedResult::stats`] (wall times differ between identical runs).
+impl PartialEq for MixedResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.headers == other.headers && self.rows == other.rows
+    }
 }
 
 impl MixedResult {
@@ -134,19 +146,19 @@ pub fn parse_mixed_query(sql: &str) -> Result<MixedQuery, SqlError> {
 }
 
 impl MixedQuery {
-    /// Evaluate: cohort sub-query first, then the outer filter / order /
-    /// limit / projection over its result table.
+    /// Evaluate through a fresh default session; see
+    /// [`MixedQuery::execute_in`].
     pub fn execute(&self, engine: &Cohana) -> Result<MixedResult, SqlError> {
-        let table_name = engine
-            .table_names()
-            .first()
-            .cloned()
-            .ok_or_else(|| SqlError::Engine("no tables registered".into()))?;
-        let schema = engine
-            .schema_of(&table_name)
-            .ok_or_else(|| SqlError::Engine("no tables registered".into()))?;
+        self.execute_in(&engine.session())
+    }
+
+    /// Evaluate: cohort sub-query first (prepared and executed through the
+    /// session, honouring its option overrides), then the outer filter /
+    /// order / limit / projection over its result table.
+    pub fn execute_in(&self, session: &Session<'_>) -> Result<MixedResult, SqlError> {
+        let schema = session.schema()?;
         let query = translate(&self.cohort, &schema)?;
-        let report = engine.execute(&query)?;
+        let report = session.prepare(&query)?.execute()?;
         let resolver = ColumnResolver::new(&self.cohort, &report)?;
 
         let mut rows: Vec<&ReportRow> = report
@@ -185,7 +197,7 @@ impl MixedQuery {
             self.select.iter().map(|c| resolver.resolve(c)).collect::<Result<_, _>>()?;
         let out_rows =
             rows.iter().map(|r| keys.iter().map(|k| cell_of(r, *k).display()).collect()).collect();
-        Ok(MixedResult { headers: self.select.clone(), rows: out_rows })
+        Ok(MixedResult { headers: self.select.clone(), rows: out_rows, stats: report.stats })
     }
 }
 

@@ -197,6 +197,27 @@ pub struct SourceIoStats {
     pub cache_budget_bytes: usize,
 }
 
+impl SourceIoStats {
+    /// The I/O performed since `baseline` was snapshotted from the same
+    /// source: monotone counters are subtracted, gauge fields
+    /// (`cache_resident_bytes`, `cache_budget_bytes`) keep their current
+    /// values. This is the per-query attribution primitive: snapshot before
+    /// a query, subtract after, and the difference is what happened on the
+    /// source during the query. That is exactly the query's own cost while
+    /// it has the source to itself; concurrent queries on the same source
+    /// fall into each other's windows, making the delta an upper bound.
+    pub fn delta_since(&self, baseline: &SourceIoStats) -> SourceIoStats {
+        SourceIoStats {
+            chunks_decoded: self.chunks_decoded.saturating_sub(baseline.chunks_decoded),
+            columns_decoded: self.columns_decoded.saturating_sub(baseline.columns_decoded),
+            bytes_read: self.bytes_read.saturating_sub(baseline.bytes_read),
+            cache_evictions: self.cache_evictions.saturating_sub(baseline.cache_evictions),
+            cache_resident_bytes: self.cache_resident_bytes,
+            cache_budget_bytes: self.cache_budget_bytes,
+        }
+    }
+}
+
 /// Uniform access to a table's chunks, with pruning metadata available
 /// before any chunk I/O.
 pub trait ChunkSource: Send + Sync {

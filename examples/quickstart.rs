@@ -1,5 +1,8 @@
 //! Quickstart: build an activity table, compress it, and run the paper's
-//! Example 1 cohort analysis.
+//! Example 1 cohort analysis through the session/statement API — open a
+//! [`Session`] on the engine, [`Session::prepare`] a [`Statement`] once,
+//! inspect its plan with [`Statement::explain`], execute it, and read the
+//! per-query [`QueryStats`] attached to the report.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -15,9 +18,12 @@ fn main() {
     println!("Activity table: {} tuples from {} users", table.num_rows(), table.num_users());
     println!("\nFirst rows (Table 1 of the paper):\n{}", table.preview(6));
 
-    // 2. Compress into COHANA's chunked columnar format and open an engine.
+    // 2. Compress into COHANA's chunked columnar format, open an engine,
+    //    and start a session (a cheap per-caller handle with its own
+    //    option overrides).
     let engine = Cohana::from_activity_table(&table, CompressionOptions::default())
         .expect("compression succeeds");
+    let session = engine.session();
 
     // 3. Example 1: players born (first launch) in the dwarf role, cohorted
     //    by birth country; total gold spent on in-game shopping per age.
@@ -29,13 +35,19 @@ fn main() {
         .build()
         .expect("valid query");
 
+    // 4. Prepare once: the statement is validated, planned, and
+    //    re-executable.
+    let stmt = session.prepare(&query).expect("query plans");
     println!("Query:\n{}\n", query.to_sql());
-    println!("Optimized plan (Figure 5):\n{}", engine.explain(&query).unwrap());
+    println!("Optimized plan (Figure 5):\n{}", stmt.explain());
 
-    let report = engine.execute(&query).expect("query executes");
+    let report = stmt.execute().expect("query executes");
     println!("First rows of the report:");
     let mut preview = report.clone();
     preview.rows.truncate(12);
     println!("{}", preview.pretty());
     println!("({} (cohort, age) rows total)", report.num_rows());
+
+    // 5. Every execution reports what it cost.
+    println!("\nQuery stats: {}", report.stats.expect("executor attaches stats"));
 }

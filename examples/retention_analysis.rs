@@ -13,9 +13,10 @@ fn main() {
     let table = generate(&GeneratorConfig::new(500));
     let engine =
         Cohana::from_activity_table(&table, CompressionOptions::default()).expect("compress");
+    let session = engine.session();
 
     // Q1: how many users of each country cohort come back at each age?
-    let report = engine.execute(&paper::q1()).expect("Q1 executes");
+    let report = session.execute(&paper::q1()).expect("Q1 executes");
     println!("Q1 — country launch cohorts, retained users by age (day):");
     println!("{}", report.pivot(0));
 
@@ -37,7 +38,7 @@ fn main() {
 
     // Q2: restrict to cohorts born in the first week.
     let q2 = paper::q2();
-    let early = engine.execute(&q2).expect("Q2 executes");
+    let early = session.execute(&q2).expect("Q2 executes");
     println!("\nQ2 — cohorts born 2013-05-21..27 only: {} rows", early.num_rows());
 
     // Q7-style: only the first week of each user's life, by role this time.
@@ -48,7 +49,7 @@ fn main() {
         .aggregate(AggFunc::count())
         .build()
         .expect("valid query");
-    let by_role = engine.execute(&q).expect("executes");
+    let by_role = session.execute(&q).expect("executes");
     println!("\nFirst-week activity by birth role (UserCount + tuple Count):");
     let mut preview = by_role.clone();
     preview.rows.truncate(10);

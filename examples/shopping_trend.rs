@@ -36,7 +36,7 @@ fn main() {
 
     // ---- Table 3 / Figure 1: the cohort view of the same data.
     let query = cohana::engine::paper::shopping_trend();
-    let report = engine.execute(&query).expect("execute");
+    let report = engine.session().execute(&query).expect("execute");
     println!("\nTable 3 — weekly launch cohorts, Avg(gold) on shopping by age week:");
     println!("{}", report.pivot(0));
 

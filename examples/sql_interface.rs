@@ -1,28 +1,37 @@
-//! The extended SQL surface (§3.4) and mixed queries (§3.5): the exact
-//! query texts from the paper, parsed and executed.
+//! The extended SQL surface (§3.4) and mixed queries (§3.5) through the
+//! session API: the exact query texts from the paper, prepared as
+//! re-executable statements via [`SessionSqlExt::prepare_sql`], explained
+//! with `EXPLAIN <query>` dispatch through [`SessionSqlExt::run_sql`], and
+//! executed with per-query stats.
 //!
 //! ```sh
 //! cargo run --release --example sql_interface
 //! ```
 
 use cohana::prelude::*;
-use cohana::sql::SqlExt;
 
 fn main() {
     let table = generate(&GeneratorConfig::new(400));
     let engine =
         Cohana::from_activity_table(&table, CompressionOptions::default()).expect("compress");
+    let session = engine.session();
 
-    // The paper's Q1, verbatim.
+    // The paper's Q1, verbatim — prepared once, executed twice (the second
+    // run reuses the validated plan and compiled predicates).
     let q1 = "SELECT country, CohortSize, Age, UserCount() \
               FROM GameActions BIRTH FROM action = \"launch\" \
               COHORT BY country";
     println!("-- Q1:\n{q1}\n");
-    println!("{}", engine.explain_sql(q1).unwrap());
-    let r1 = engine.query(q1).expect("Q1 runs");
-    println!("{} (cohort, age) rows\n", r1.num_rows());
+    let stmt = session.prepare_sql(q1).expect("Q1 prepares");
+    println!("{}", stmt.explain());
+    let r1 = stmt.execute().expect("Q1 runs");
+    let r1_again = stmt.execute().expect("Q1 re-runs");
+    assert_eq!(r1, r1_again);
+    println!("{} (cohort, age) rows; stats: {}", r1.num_rows(), r1.stats.unwrap());
+    println!("cumulative over {} executions: {}\n", stmt.executions(), stmt.cumulative_stats());
 
-    // The paper's Q4: every operator at once.
+    // The paper's Q4: every operator at once, via EXPLAIN dispatch and then
+    // the one-shot path.
     let q4 = "SELECT country, COHORTSIZE, AGE, Avg(gold) \
               FROM GameActions BIRTH FROM action = \"shop\" AND \
               time BETWEEN \"2013-05-21\" AND \"2013-05-27\" AND \
@@ -31,10 +40,14 @@ fn main() {
               AGE ACTIVITIES IN action = \"shop\" AND country = Birth(country) \
               COHORT BY country";
     println!("-- Q4:\n{q4}\n");
-    let r4 = engine.query(q4).expect("Q4 runs");
+    if let SqlAnswer::Plan(plan) = session.run_sql(&format!("EXPLAIN {q4}")).expect("explains") {
+        println!("{plan}");
+    }
+    let r4 = session.query(q4).expect("Q4 runs");
     println!("{}", r4.pretty());
 
-    // §3.5: a mixed query — SQL over a cohort sub-query.
+    // §3.5: a mixed query — SQL over a cohort sub-query — dispatched
+    // through the same entry point the shell uses.
     let mixed = "WITH cohorts AS ( \
                    SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent \
                    FROM GameActions \
@@ -45,6 +58,8 @@ fn main() {
                  WHERE country IN [\"Australia\", \"China\"] \
                  ORDER BY spent DESC LIMIT 8";
     println!("-- Mixed query (§3.5):\n{mixed}\n");
-    let rm = engine.query_mixed(mixed).expect("mixed query runs");
-    println!("{}", rm.pretty());
+    match session.run_sql(mixed).expect("mixed query runs") {
+        SqlAnswer::Mixed(rm) => println!("{}", rm.pretty()),
+        other => panic!("expected a mixed result, got {other:?}"),
+    }
 }

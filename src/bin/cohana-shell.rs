@@ -8,16 +8,20 @@
 //! cohana> SELECT country, COHORTSIZE, AGE, UserCount()
 //!     ... FROM GameActions BIRTH FROM action = "launch"
 //!     ... COHORT BY country;
-//! cohana> .explain SELECT ... ;
+//! cohana> EXPLAIN SELECT ... ;        -- show the optimized plan
+//! cohana> .stats                      -- per-query stats of the last query
+//! cohana> .stats source               -- lifetime source/cache counters
 //! cohana> .pivot SELECT ... ;         -- render as a cohort matrix
-//! cohana> .schema | .stats | .save FILE | .help | .quit
+//! cohana> .schema | .save FILE | .help | .quit
 //! ```
 //!
 //! Statements end with `;`. `WITH … AS (…) SELECT …` mixed queries (§3.5)
-//! are supported.
+//! and `EXPLAIN <query>` are supported. Every statement runs through one
+//! [`Session`](cohana::engine::session::Session) on the shared engine.
 
+use cohana::engine::QueryStats;
 use cohana::prelude::*;
-use cohana::sql::SqlExt;
+use cohana::sql::{SessionSqlExt, SqlAnswer};
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -127,6 +131,8 @@ fn main() {
     }
     eprintln!("type .help for commands; statements end with `;`\n");
 
+    let session = engine.session();
+    let mut last_stats: Option<QueryStats> = None;
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     let interactive = atty_stdin();
@@ -147,7 +153,7 @@ fn main() {
         }
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('.') {
-            if !meta_command(&engine, trimmed) {
+            if !meta_command(&session, trimmed, &mut last_stats) {
                 break;
             }
             continue;
@@ -161,7 +167,7 @@ fn main() {
         if stmt.is_empty() {
             continue;
         }
-        run_statement(&engine, &stmt, Render::Table);
+        run_statement(&session, &stmt, Render::Table, &mut last_stats);
     }
 }
 
@@ -190,32 +196,46 @@ enum Render {
     Pivot,
 }
 
-fn run_statement(engine: &Cohana, stmt: &str, render: Render) {
+/// Run one SQL statement through the session, remembering its per-query
+/// stats for `.stats`.
+fn run_statement(
+    session: &Session<'_>,
+    stmt: &str,
+    render: Render,
+    last_stats: &mut Option<QueryStats>,
+) {
     let started = std::time::Instant::now();
-    if stmt.trim_start().to_ascii_uppercase().starts_with("WITH") {
-        match engine.query_mixed(stmt) {
-            Ok(res) => {
-                println!("{}", res.pretty());
-                println!("({} rows in {:.1?})", res.num_rows(), started.elapsed());
-            }
-            Err(e) => eprintln!("error: {e}"),
+    match session.run_sql(stmt) {
+        Ok(SqlAnswer::Plan(text)) => {
+            println!("{text}");
+            // EXPLAIN executes nothing: leaving stats from an earlier
+            // query would misattribute them to this statement.
+            *last_stats = None;
         }
-        return;
-    }
-    match engine.query(stmt) {
-        Ok(report) => {
+        Ok(SqlAnswer::Mixed(res)) => {
+            println!("{}", res.pretty());
+            println!("({} rows in {:.1?})", res.num_rows(), started.elapsed());
+            *last_stats = res.stats;
+        }
+        Ok(SqlAnswer::Report(report)) => {
             match render {
                 Render::Table => println!("{}", report.pretty()),
                 Render::Pivot => println!("{}", report.pivot(0)),
             }
             println!("({} rows in {:.1?})", report.num_rows(), started.elapsed());
+            *last_stats = report.stats;
         }
-        Err(e) => eprintln!("error: {e}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            // Don't let `.stats` report an earlier query as the last one.
+            *last_stats = None;
+        }
     }
 }
 
 /// Handle a `.command`; returns false to quit.
-fn meta_command(engine: &Cohana, cmd: &str) -> bool {
+fn meta_command(session: &Session<'_>, cmd: &str, last_stats: &mut Option<QueryStats>) -> bool {
+    let engine = session.engine();
     let (name, rest) = match cmd.split_once(' ') {
         Some((n, r)) => (n, r.trim()),
         None => (cmd, ""),
@@ -225,8 +245,9 @@ fn meta_command(engine: &Cohana, cmd: &str) -> bool {
         ".help" => {
             println!(
                 ".schema            show the activity table schema\n\
-                 .stats             storage statistics\n\
-                 .explain <query>   show the optimized plan\n\
+                 .stats             per-query stats of the last query\n\
+                 .stats source      lifetime storage/cache counters\n\
+                 .explain <query>   show the optimized plan (or: EXPLAIN <query>;)\n\
                  .pivot <query>;    run and render as a cohort matrix\n\
                  .save <file>       persist the compressed table\n\
                  .quit              exit"
@@ -239,41 +260,19 @@ fn meta_command(engine: &Cohana, cmd: &str) -> bool {
                 }
             }
         }
-        ".stats" => {
-            if let Some(t) = engine.table("GameActions") {
-                let s = cohana::storage::StorageStats::of(&t);
-                println!(
-                    "{} tuples, {} users, {} chunks, {:.2} MB compressed ({:.2} bytes/tuple)",
-                    s.num_rows,
-                    s.num_users,
-                    s.num_chunks,
-                    s.total_bytes() as f64 / (1024.0 * 1024.0),
-                    s.bytes_per_tuple()
-                );
-            } else if let Some(src) = engine.source("GameActions") {
-                let meta = src.table_meta();
-                let io = src.io_stats();
-                println!(
-                    "{} tuples, {} users, {} chunks (file-backed)\n\
-                     io: {} chunks / {} columns decoded, {} bytes read\n\
-                     cache: {} of {} bytes resident, {} evictions",
-                    meta.num_rows(),
-                    meta.num_users(),
-                    src.num_chunks(),
-                    io.chunks_decoded,
-                    io.columns_decoded,
-                    io.bytes_read,
-                    io.cache_resident_bytes,
-                    io.cache_budget_bytes,
-                    io.cache_evictions,
-                );
-            }
-        }
-        ".explain" => match engine.explain_sql(rest.trim_end_matches(';')) {
+        ".stats" if rest == "source" => source_stats(engine),
+        ".stats" => match last_stats {
+            Some(stats) => println!("last query: {stats}"),
+            None => println!(
+                "no stats for the last statement (none run yet, or it failed); \
+                 `.stats source` shows lifetime counters"
+            ),
+        },
+        ".explain" => match session.explain_sql(rest.trim_end_matches(';')) {
             Ok(text) => println!("{text}"),
             Err(e) => eprintln!("error: {e}"),
         },
-        ".pivot" => run_statement(engine, rest.trim_end_matches(';'), Render::Pivot),
+        ".pivot" => run_statement(session, rest.trim_end_matches(';'), Render::Pivot, last_stats),
         ".save" => {
             if rest.is_empty() {
                 eprintln!("usage: .save FILE");
@@ -289,4 +288,36 @@ fn meta_command(engine: &Cohana, cmd: &str) -> bool {
         other => eprintln!("unknown command {other:?}; try .help"),
     }
     true
+}
+
+/// Lifetime counters of the backing table or source (`.stats source`).
+fn source_stats(engine: &Cohana) {
+    if let Some(t) = engine.table("GameActions") {
+        let s = cohana::storage::StorageStats::of(&t);
+        println!(
+            "{} tuples, {} users, {} chunks, {:.2} MB compressed ({:.2} bytes/tuple)",
+            s.num_rows,
+            s.num_users,
+            s.num_chunks,
+            s.total_bytes() as f64 / (1024.0 * 1024.0),
+            s.bytes_per_tuple()
+        );
+    } else if let Some(src) = engine.source("GameActions") {
+        let meta = src.table_meta();
+        let io = src.io_stats();
+        println!(
+            "{} tuples, {} users, {} chunks (file-backed)\n\
+             io: {} chunks / {} columns decoded, {} bytes read\n\
+             cache: {} of {} bytes resident, {} evictions",
+            meta.num_rows(),
+            meta.num_users(),
+            src.num_chunks(),
+            io.chunks_decoded,
+            io.columns_decoded,
+            io.bytes_read,
+            io.cache_resident_bytes,
+            io.cache_budget_bytes,
+            io.cache_evictions,
+        );
+    }
 }

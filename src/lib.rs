@@ -29,15 +29,19 @@
 //! let table = generate(&GeneratorConfig::small());
 //! let engine = Cohana::from_activity_table(&table, CompressionOptions::default()).unwrap();
 //!
-//! // Q1 of the paper: country launch cohorts, user retention by age.
-//! let report = engine
-//!     .query(
+//! // Open a session, prepare Q1 of the paper (country launch cohorts,
+//! // user retention by age), execute, and observe what it cost.
+//! let session = engine.session();
+//! let stmt = session
+//!     .prepare_sql(
 //!         "SELECT country, COHORTSIZE, AGE, UserCount() \
 //!          FROM GameActions BIRTH FROM action = \"launch\" \
 //!          COHORT BY country",
 //!     )
 //!     .unwrap();
+//! let report = stmt.execute().unwrap();
 //! assert!(report.num_rows() > 0);
+//! assert!(report.stats.unwrap().chunks_scanned > 0);
 //! ```
 
 pub use cohana_activity as activity;
@@ -53,9 +57,10 @@ pub mod prelude {
         Timestamp, Value,
     };
     pub use cohana_core::{
-        AggFunc, Cohana, CohortQuery, CohortReport, EngineOptions, PlannerOptions,
+        AggFunc, Cohana, CohortQuery, CohortReport, EngineOptions, PlannerOptions, QueryStats,
+        QueryStream, ResultBatch, Session, Statement,
     };
-    pub use cohana_sql::{parse_cohort_query, SqlExt};
+    pub use cohana_sql::{parse_cohort_query, SessionSqlExt, SqlAnswer, SqlExt};
     pub use cohana_storage::{
         ChunkSource, CompressedTable, CompressionOptions, FileSource, SourceIoStats,
     };

@@ -3,11 +3,12 @@
 //! executor, the naive reference evaluator, and both relational baselines.
 
 use cohana::engine::naive::naive_execute;
-use cohana::engine::{execute_plan, plan_query, AggFunc, CohortQuery, Expr, PlannerOptions};
+use cohana::engine::{plan_query, AggFunc, CohortQuery, Expr, PlannerOptions, Statement};
 use cohana::prelude::*;
 use cohana::relational::{ColEngine, RowEngine};
 use cohana_activity::{Schema, TableBuilder};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 const ACTIONS: [&str; 4] = ["launch", "shop", "fight", "quest"];
 const COUNTRIES: [&str; 3] = ["China", "Australia", "Japan"];
@@ -121,7 +122,7 @@ proptest! {
             CompressionOptions::with_chunk_size(chunk_size),
         ).unwrap();
         let plan = plan_query(&query, table.schema(), PlannerOptions::default()).unwrap();
-        let got = execute_plan(&compressed, &plan, 1).unwrap();
+        let got = Statement::with_plan(Arc::new(compressed), plan, 1).unwrap().execute().unwrap();
 
         prop_assert_eq!(got.rows.len(), reference.rows.len(), "query {}", query);
         for (a, b) in got.rows.iter().zip(reference.rows.iter()) {
