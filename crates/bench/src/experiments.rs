@@ -500,6 +500,110 @@ pub fn lazy_io(cache: &mut DatasetCache) -> ExperimentResult {
     out
 }
 
+// ------------------------------------------------------------------ Ingest
+
+/// Extension experiment (not in the paper): the incremental-ingest write
+/// path. The cohort-clustered dataset (births ramp with user id — the
+/// realistic live-traffic shape) is split into contiguous time slices; the
+/// first becomes a fresh v3 file and the rest are appended one by one,
+/// measuring append throughput, chunk-count growth, rewrites forced by
+/// returning users, and dead bytes. Afterwards Q1 latency is compared on
+/// the appended file vs the same file compacted — the §4.2 pruning quality
+/// compaction restores.
+pub fn ingest(cache: &mut DatasetCache) -> ExperimentResult {
+    let runs = cache.config().runs;
+    let users = cache.config().base_users;
+    let cfg = cohana_activity::GeneratorConfig::cohort_clustered(users);
+    let table = cohana_activity::generate(&cfg);
+    let batches = time_slices(&table, 5);
+
+    let dir = std::env::temp_dir().join("cohana-bench-ingest");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ingest.cohana");
+    let chunk = 16 * 1024;
+    let first = CompressedTable::build(&batches[0], CompressionOptions::with_chunk_size(chunk))
+        .expect("first batch compresses");
+    persist::write_file(&first, &path).expect("initial file writes");
+
+    let mut out = ExperimentResult::new(
+        "ingest",
+        "append throughput per batch, then Q1 latency post-append vs post-compact",
+        vec![
+            "batch".into(),
+            "rows".into(),
+            "seconds".into(),
+            "rowsPerSec".into(),
+            "chunks".into(),
+            "rewritten".into(),
+            "deadBytes".into(),
+            "fileBytes".into(),
+        ],
+    );
+    out.push_row(vec![
+        "0 (build)".into(),
+        batches[0].num_rows().to_string(),
+        "-".into(),
+        "-".into(),
+        first.chunks().len().to_string(),
+        "0".into(),
+        "0".into(),
+        std::fs::metadata(&path).expect("stat").len().to_string(),
+    ]);
+    for (i, batch) in batches[1..].iter().enumerate() {
+        let (stats, d) =
+            crate::timing::time_once(|| persist::append(&path, batch).expect("append succeeds"));
+        out.push_row(vec![
+            (i + 1).to_string(),
+            stats.rows_appended.to_string(),
+            fmt_secs(d),
+            format!("{:.0}", stats.rows_appended as f64 / d.as_secs_f64().max(1e-9)),
+            stats.chunks_after.to_string(),
+            stats.chunks_rewritten.to_string(),
+            stats.dead_bytes.to_string(),
+            stats.file_bytes.to_string(),
+        ]);
+    }
+
+    let time_q1 = |path: &std::path::Path| {
+        let src = Arc::new(FileSource::open(path).expect("open"));
+        let stmt = Statement::over(src, &paper::q1(), PlannerOptions::default(), 1).expect("plans");
+        time_avg(runs, || stmt.execute().expect("q1 executes"))
+    };
+    let appended = time_q1(&path);
+    let cstats = persist::compact(&path).expect("compact succeeds");
+    let compacted = time_q1(&path);
+    out.push_note(format!(
+        "Q1 post-append {} vs post-compact {} (x{:.2}); compact reclaimed {} bytes, {} -> {} \
+         chunks",
+        fmt_secs(appended),
+        fmt_secs(compacted),
+        appended.as_secs_f64() / compacted.as_secs_f64().max(1e-9),
+        cstats.reclaimed_bytes,
+        cstats.chunks_before,
+        cstats.chunks_after,
+    ));
+    std::fs::remove_file(&path).ok();
+    out
+}
+
+/// Contiguous time slices of a table (the streaming-arrival shape).
+fn time_slices(table: &ActivityTable, k: usize) -> Vec<ActivityTable> {
+    let tidx = table.schema().time_idx();
+    let mut order: Vec<usize> = (0..table.num_rows()).collect();
+    order.sort_by_key(|&r| table.rows()[r].get(tidx).as_int().expect("time"));
+    let per = table.num_rows().div_ceil(k).max(1);
+    order
+        .chunks(per)
+        .map(|rows| {
+            let mut b = cohana_activity::TableBuilder::new(table.schema().clone());
+            for &r in rows {
+                b.push(table.rows()[r].values().to_vec()).expect("row pushes");
+            }
+            b.finish().expect("slice sorts")
+        })
+        .collect()
+}
+
 /// Run every experiment in paper order.
 pub fn all(cache: &mut DatasetCache) -> Vec<ExperimentResult> {
     vec![
@@ -514,6 +618,7 @@ pub fn all(cache: &mut DatasetCache) -> Vec<ExperimentResult> {
         ablation(cache),
         parallel(cache),
         lazy_io(cache),
+        ingest(cache),
     ]
 }
 
@@ -563,6 +668,17 @@ mod tests {
         let r = ablation(&mut quick_cache());
         assert_eq!(r.headers.len(), 7);
         assert_eq!(r.rows.len(), 4);
+    }
+
+    #[test]
+    fn ingest_reports_appends_and_compaction() {
+        let r = ingest(&mut quick_cache());
+        assert_eq!(r.rows.len(), 5, "one build row + four append rows");
+        assert_eq!(r.notes.len(), 1);
+        let last = r.rows.last().unwrap();
+        let dead: u64 = last[6].parse().unwrap();
+        assert!(dead > 0, "appends leave dead bytes for compaction to reclaim");
+        assert!(r.notes[0].contains("reclaimed"));
     }
 
     #[test]

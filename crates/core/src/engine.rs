@@ -31,13 +31,16 @@ impl Default for EngineOptions {
 /// The default table name used by [`Cohana::from_activity_table`].
 pub const DEFAULT_TABLE: &str = "GameActions";
 
-/// One catalog slot: either a fully resident table or an arbitrary (e.g.
-/// lazily file-backed) chunk source. A resident table keeps its concrete
-/// type so callers can still reach `CompressedTable`-only APIs (stats,
-/// decompression, re-saving); both kinds execute through [`ChunkSource`].
+/// One catalog slot: a fully resident table, an engine-opened file, or an
+/// arbitrary (caller-provided) chunk source. Resident tables and files keep
+/// their concrete types so callers can still reach type-specific APIs
+/// (stats, decompression, re-saving) and so [`Cohana::ingest`] /
+/// [`Cohana::compact`] know how to grow them; all three kinds execute
+/// through [`ChunkSource`].
 #[derive(Clone)]
 enum CatalogEntry {
     Memory(Arc<CompressedTable>),
+    File(Arc<FileSource>),
     Source(Arc<dyn ChunkSource>),
 }
 
@@ -45,6 +48,7 @@ impl CatalogEntry {
     fn as_source(&self) -> Arc<dyn ChunkSource> {
         match self {
             CatalogEntry::Memory(table) => table.clone(),
+            CatalogEntry::File(source) => source.clone(),
             CatalogEntry::Source(source) => source.clone(),
         }
     }
@@ -60,13 +64,25 @@ impl CatalogEntry {
 pub struct Cohana {
     catalog: RwLock<HashMap<String, CatalogEntry>>,
     default_table: RwLock<Option<String>>,
+    /// Serializes [`Cohana::ingest`] / [`Cohana::compact`]: both are
+    /// read-modify-write sequences (read entry → grow file or rebuild table
+    /// → swap entry), and two of them interleaving on the same table would
+    /// corrupt a file-backed table (overlapping tail writes) or silently
+    /// drop one batch on a resident one. Queries are unaffected — they go
+    /// through `catalog`'s own lock.
+    write_lock: std::sync::Mutex<()>,
     options: EngineOptions,
 }
 
 impl Cohana {
     /// An empty engine with the given options.
     pub fn new(options: EngineOptions) -> Self {
-        Cohana { catalog: RwLock::new(HashMap::new()), default_table: RwLock::new(None), options }
+        Cohana {
+            catalog: RwLock::new(HashMap::new()),
+            default_table: RwLock::new(None),
+            write_lock: std::sync::Mutex::new(()),
+            options,
+        }
     }
 
     /// Compress an activity table and register it as [`DEFAULT_TABLE`].
@@ -160,7 +176,7 @@ impl Cohana {
         cache_bytes: usize,
     ) -> Result<Arc<FileSource>, EngineError> {
         let source = Arc::new(FileSource::open_with_budget(path, cache_bytes)?);
-        self.register_source(name, source.clone());
+        self.insert(name.into(), CatalogEntry::File(source.clone()));
         Ok(source)
     }
 
@@ -169,7 +185,136 @@ impl Cohana {
     pub fn table(&self, name: &str) -> Option<Arc<CompressedTable>> {
         match self.catalog.read().unwrap().get(name)? {
             CatalogEntry::Memory(table) => Some(table.clone()),
-            CatalogEntry::Source(_) => None,
+            CatalogEntry::File(_) | CatalogEntry::Source(_) => None,
+        }
+    }
+
+    /// Ingest a batch of activity tuples into a registered table, making it
+    /// queryable by everything prepared *after* this call.
+    ///
+    /// * A file-backed table (registered via [`Cohana::open_file`]) grows via
+    ///   [`persist::append`](cohana_storage::persist::append): new chunks are
+    ///   appended to the file, chunks holding returning users are rewritten
+    ///   at the tail, and the catalog entry is swapped for a freshly opened
+    ///   source (same cache budget) describing the grown file.
+    /// * A resident table is rebuilt in memory from its rows plus the batch
+    ///   and swapped.
+    /// * Generic sources registered with [`Cohana::register_source`] are not
+    ///   ingestable — the engine does not know what backs them.
+    ///
+    /// **Snapshot semantics:** prepared [`Statement`]s pin the chunk source
+    /// they were planned against, and both growth paths leave that source's
+    /// view of its bytes intact, so existing statements keep answering from
+    /// the pre-ingest snapshot; re-prepare to see the new data.
+    ///
+    /// [`Statement`]: crate::Statement
+    pub fn ingest(
+        &self,
+        name: &str,
+        batch: &cohana_activity::ActivityTable,
+    ) -> Result<cohana_storage::AppendStats, EngineError> {
+        let _write = self.write_lock.lock().expect("write lock poisoned");
+        let entry = self
+            .catalog
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownTable(name.into()))?;
+        match entry {
+            CatalogEntry::File(source) => {
+                let stats = cohana_storage::persist::append(source.path(), batch)?;
+                let reopened = Arc::new(FileSource::open_with_budget(
+                    source.path(),
+                    source.cache_budget_bytes(),
+                )?);
+                self.insert(name.to_string(), CatalogEntry::File(reopened));
+                Ok(stats)
+            }
+            CatalogEntry::Memory(table) => {
+                if table.schema() != batch.schema() {
+                    return Err(EngineError::Unsupported(
+                        "ingest batch schema differs from the table's schema".into(),
+                    ));
+                }
+                let chunks_before = table.chunks().len();
+                let mut rows = table.decompress()?;
+                let mut builder = cohana_activity::TableBuilder::with_capacity(
+                    table.schema().clone(),
+                    rows.num_rows() + batch.num_rows(),
+                );
+                for row in rows.rows().iter().chain(batch.rows()) {
+                    builder.push(row.values().to_vec())?;
+                }
+                rows = builder.finish().map_err(|e| {
+                    EngineError::Unsupported(format!(
+                        "ingest batch conflicts with existing data: {e}"
+                    ))
+                })?;
+                let rebuilt = CompressedTable::build(&rows, table.options())?;
+                let chunks_after = rebuilt.chunks().len();
+                self.register(name, rebuilt);
+                Ok(cohana_storage::AppendStats {
+                    rows_appended: batch.num_rows(),
+                    chunks_before,
+                    chunks_after,
+                    // The in-memory path re-sorts globally, so every chunk is
+                    // effectively rewritten and nothing goes dead.
+                    chunks_rewritten: chunks_before,
+                    ..Default::default()
+                })
+            }
+            CatalogEntry::Source(_) => Err(EngineError::Unsupported(format!(
+                "table {name:?} is a generic registered source; only resident tables and \
+                 engine-opened files can be ingested into"
+            ))),
+        }
+    }
+
+    /// Compact a registered table: merge the under-filled chunks appends
+    /// leave behind, restore the `(user, time)` primary ordering (and with
+    /// it the §4.2 pruning quality), and reclaim dead bytes.
+    ///
+    /// File-backed tables are compacted on disk via
+    /// [`persist::compact`](cohana_storage::persist::compact) (atomic
+    /// temp-file + rename) and the catalog entry swapped; resident tables
+    /// are rebuilt in memory. Prepared statements keep their pre-compact
+    /// snapshot, exactly as with [`Cohana::ingest`].
+    pub fn compact(&self, name: &str) -> Result<cohana_storage::CompactStats, EngineError> {
+        let _write = self.write_lock.lock().expect("write lock poisoned");
+        let entry = self
+            .catalog
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownTable(name.into()))?;
+        match entry {
+            CatalogEntry::File(source) => {
+                let stats = cohana_storage::persist::compact(source.path())?;
+                let reopened = Arc::new(FileSource::open_with_budget(
+                    source.path(),
+                    source.cache_budget_bytes(),
+                )?);
+                self.insert(name.to_string(), CatalogEntry::File(reopened));
+                Ok(stats)
+            }
+            CatalogEntry::Memory(table) => {
+                let chunks_before = table.chunks().len();
+                let rebuilt = CompressedTable::build(&table.decompress()?, table.options())?;
+                let chunks_after = rebuilt.chunks().len();
+                let rows = rebuilt.num_rows();
+                self.register(name, rebuilt);
+                Ok(cohana_storage::CompactStats {
+                    chunks_before,
+                    chunks_after,
+                    rows,
+                    ..Default::default()
+                })
+            }
+            CatalogEntry::Source(_) => Err(EngineError::Unsupported(format!(
+                "table {name:?} is a generic registered source and cannot be compacted"
+            ))),
         }
     }
 

@@ -19,6 +19,10 @@ pub enum EngineError {
     Storage(String),
     /// Propagated activity-model failure.
     Activity(String),
+    /// The operation is not supported on this catalog entry or input (e.g.
+    /// ingesting into a generic registered source, or a batch whose schema
+    /// differs from the table's).
+    Unsupported(String),
 }
 
 impl fmt::Display for EngineError {
@@ -30,6 +34,7 @@ impl fmt::Display for EngineError {
             EngineError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
             EngineError::Storage(m) => write!(f, "storage error: {m}"),
             EngineError::Activity(m) => write!(f, "activity error: {m}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
         }
     }
 }

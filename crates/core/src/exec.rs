@@ -3,8 +3,8 @@
 //! The optimized plan is executed **against each data chunk** independently
 //! and the per-chunk partial results are merged — valid because chunking
 //! never splits a user. This module is organised as a pull-based pipeline:
-//! [`QueryCore`] owns everything resolved once per statement (the source,
-//! the plan, the compiled [`ExecContext`]) and turns one chunk into one
+//! `QueryCore` owns everything resolved once per statement (the source,
+//! the plan, the compiled `ExecContext`) and turns one chunk into one
 //! [`ResultBatch`] on demand; the public [`QueryStream`](crate::QueryStream)
 //! drives it either serially (one chunk per pull — a consumer that stops
 //! pulling stops chunk decode) or with worker threads feeding a bounded

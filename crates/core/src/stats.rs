@@ -1,7 +1,7 @@
 //! Per-query execution statistics.
 //!
 //! [`QueryStats`] is the query-scoped counterpart of the *source-lifetime*
-//! [`SourceIoStats`](cohana_storage::SourceIoStats): every
+//! [`SourceIoStats`]: every
 //! [`QueryStream`](crate::QueryStream) snapshots its source's I/O counters
 //! when it starts and attributes the delta to the query it executes. The
 //! delta is exact when the query has the source to itself for its lifetime

@@ -1,0 +1,260 @@
+//! Engine-level incremental-ingest tests: a table built by N-batch
+//! `Cohana::ingest` (optionally followed by `compact`) must answer Q1–Q8
+//! identically to the same table built once, across parallelism levels, and
+//! prepared statements must keep snapshot semantics across ingest/compact.
+
+use cohana_activity::{generate, ActivityTable, GeneratorConfig, TableBuilder, TimeBin, Timestamp};
+use cohana_core::{paper, Cohana, CohortQuery, CohortReport, EngineError, EngineOptions};
+use cohana_storage::{persist, CompressedTable, CompressionOptions};
+use std::path::PathBuf;
+
+const CHUNK: usize = 256;
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("cohana-ingest-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn base_table() -> ActivityTable {
+    generate(&GeneratorConfig::small())
+}
+
+/// Contiguous time slices: later batches revisit users of earlier ones, the
+/// worst case for append (forces chunk rewrites).
+fn split_by_time(table: &ActivityTable, k: usize) -> Vec<ActivityTable> {
+    let tidx = table.schema().time_idx();
+    let mut order: Vec<usize> = (0..table.num_rows()).collect();
+    order.sort_by_key(|&r| table.rows()[r].get(tidx).as_int().unwrap());
+    let per = table.num_rows().div_ceil(k);
+    order
+        .chunks(per)
+        .map(|rows| {
+            let mut b = TableBuilder::new(table.schema().clone());
+            for &r in rows {
+                b.push(table.rows()[r].values().to_vec()).unwrap();
+            }
+            b.finish().unwrap()
+        })
+        .collect()
+}
+
+/// The paper's eight benchmark queries, with the birth-range bounds derived
+/// from the dataset window.
+fn q1_to_q8(table: &ActivityTable) -> Vec<CohortQuery> {
+    let tidx = table.schema().time_idx();
+    let start = table.int_range(tidx).map(|(lo, _)| lo).unwrap_or(0);
+    let day = TimeBin::Day.bin_start(Timestamp(start)).secs();
+    let (d1, d2) = (day + 86_400, day + 7 * 86_400);
+    vec![
+        paper::q1(),
+        paper::q2(),
+        paper::q3(),
+        paper::q4(),
+        paper::q5(d1, d2),
+        paper::q6(d1, d2),
+        paper::q7(7),
+        paper::q8(7),
+    ]
+}
+
+/// Execute every query at the given parallelism against an engine's default
+/// table.
+fn run_all(engine: &Cohana, queries: &[CohortQuery], parallelism: usize) -> Vec<CohortReport> {
+    let session = engine.session().with_parallelism(parallelism);
+    queries.iter().map(|q| session.execute(q).expect("query executes")).collect()
+}
+
+/// Build an engine over a file assembled by K `ingest` calls.
+fn engine_by_ingest(name: &str, batches: &[ActivityTable]) -> (Cohana, PathBuf) {
+    let path = temp_path(name);
+    let first =
+        CompressedTable::build(&batches[0], CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    persist::write_file(&first, &path).unwrap();
+    let engine = Cohana::new(EngineOptions::default());
+    engine.open_file("GameActions", &path).unwrap();
+    for batch in &batches[1..] {
+        let stats = engine.ingest("GameActions", batch).unwrap();
+        assert_eq!(stats.rows_appended, batch.num_rows());
+    }
+    (engine, path)
+}
+
+#[test]
+fn n_batch_ingest_matches_build_once_across_queries_and_parallelism() {
+    let table = base_table();
+    let queries = q1_to_q8(&table);
+
+    // Build-once reference over a file source, like the ingested engine.
+    let once_path = temp_path("build-once.cohana");
+    let once = CompressedTable::build(&table, CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    persist::write_file(&once, &once_path).unwrap();
+    let reference = Cohana::new(EngineOptions::default());
+    reference.open_file("GameActions", &once_path).unwrap();
+
+    let batches = split_by_time(&table, 3);
+    let (ingested, path) = engine_by_ingest("three-batches.cohana", &batches);
+
+    for parallelism in [1, 4] {
+        let expect = run_all(&reference, &queries, parallelism);
+        let got = run_all(&ingested, &queries, parallelism);
+        assert_eq!(expect, got, "ingested reports diverge at parallelism {parallelism}");
+
+        // Compaction must not change a single answer either.
+        let cstats = ingested.compact("GameActions").unwrap();
+        assert_eq!(cstats.rows, table.num_rows());
+        let compacted = run_all(&ingested, &queries, parallelism);
+        assert_eq!(expect, compacted, "compacted reports diverge at parallelism {parallelism}");
+    }
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&once_path).ok();
+}
+
+#[test]
+fn ingest_into_memory_table_matches_build_once() {
+    let table = base_table();
+    let queries = q1_to_q8(&table);
+    let batches = split_by_time(&table, 3);
+
+    let reference =
+        Cohana::from_activity_table(&table, CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    let engine =
+        Cohana::from_activity_table(&batches[0], CompressionOptions::with_chunk_size(CHUNK))
+            .unwrap();
+    for batch in &batches[1..] {
+        engine.ingest("GameActions", batch).unwrap();
+    }
+    assert_eq!(run_all(&reference, &queries, 1), run_all(&engine, &queries, 1));
+    // A memory compact is a rebuild; answers are unchanged.
+    engine.compact("GameActions").unwrap();
+    assert_eq!(run_all(&reference, &queries, 1), run_all(&engine, &queries, 1));
+}
+
+#[test]
+fn ingested_file_reopens_identically() {
+    let table = base_table();
+    let queries = q1_to_q8(&table);
+    let batches = split_by_time(&table, 4);
+    let (ingested, path) = engine_by_ingest("reopen.cohana", &batches);
+    let before = run_all(&ingested, &queries, 1);
+
+    // A fresh process opening the appended file sees the same answers, both
+    // lazily and eagerly.
+    let lazy = Cohana::new(EngineOptions::default());
+    lazy.open_file("GameActions", &path).unwrap();
+    assert_eq!(before, run_all(&lazy, &queries, 1));
+    let eager = Cohana::new(EngineOptions::default());
+    eager.load_file("GameActions", &path).unwrap();
+    assert_eq!(before, run_all(&eager, &queries, 1));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn prepared_statements_keep_snapshot_semantics_across_ingest() {
+    let table = base_table();
+    let batches = split_by_time(&table, 2);
+    let (engine, path) = {
+        let path = temp_path("snapshot-stmt.cohana");
+        let first = CompressedTable::build(&batches[0], CompressionOptions::with_chunk_size(CHUNK))
+            .unwrap();
+        persist::write_file(&first, &path).unwrap();
+        let engine = Cohana::new(EngineOptions::default());
+        engine.open_file("GameActions", &path).unwrap();
+        (engine, path)
+    };
+
+    let session = engine.session();
+    let q1 = paper::q1();
+    let stmt = session.prepare(&q1).unwrap();
+    let before = stmt.execute().unwrap();
+
+    engine.ingest("GameActions", &batches[1]).unwrap();
+
+    // The old statement pins the pre-ingest source: same answer, then and
+    // now — even after the file is compacted underneath it.
+    assert_eq!(stmt.execute().unwrap(), before);
+    engine.compact("GameActions").unwrap();
+    assert_eq!(stmt.execute().unwrap(), before);
+
+    // A statement prepared after the ingest sees the grown table: every
+    // user launches, so total cohort size equals the user count.
+    let fresh = session.prepare(&q1).unwrap().execute().unwrap();
+    let total: u64 = fresh.cohort_sizes.values().sum();
+    assert_eq!(total as usize, table.num_users());
+    assert!(fresh.cohort_sizes.values().sum::<u64>() > before.cohort_sizes.values().sum::<u64>());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn concurrent_ingests_serialize_and_lose_nothing() {
+    // The engine's write lock must serialize racing ingests: every batch
+    // lands exactly once, on both the file-backed and the resident path.
+    let table = base_table();
+    let batches = split_by_time(&table, 5);
+    let queries = q1_to_q8(&table);
+
+    let (engine, path) = {
+        let path = temp_path("concurrent.cohana");
+        let first = CompressedTable::build(&batches[0], CompressionOptions::with_chunk_size(CHUNK))
+            .unwrap();
+        persist::write_file(&first, &path).unwrap();
+        let engine = Cohana::new(EngineOptions::default());
+        engine.open_file("GameActions", &path).unwrap();
+        (engine, path)
+    };
+    std::thread::scope(|s| {
+        for batch in &batches[1..] {
+            s.spawn(|| engine.ingest("GameActions", batch).unwrap());
+        }
+    });
+    let reference =
+        Cohana::from_activity_table(&table, CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    assert_eq!(run_all(&reference, &queries, 1), run_all(&engine, &queries, 1));
+
+    let memory =
+        Cohana::from_activity_table(&batches[0], CompressionOptions::with_chunk_size(CHUNK))
+            .unwrap();
+    std::thread::scope(|s| {
+        for batch in &batches[1..] {
+            s.spawn(|| memory.ingest("GameActions", batch).unwrap());
+        }
+    });
+    assert_eq!(run_all(&reference, &queries, 1), run_all(&memory, &queries, 1));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn ingest_rejects_generic_sources_and_unknown_tables() {
+    let table = base_table();
+    let engine =
+        Cohana::from_activity_table(&table, CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    let compressed =
+        CompressedTable::build(&table, CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    engine.register_source("generic", std::sync::Arc::new(compressed));
+
+    let batch = split_by_time(&table, 2).remove(1);
+    assert!(matches!(engine.ingest("generic", &batch).unwrap_err(), EngineError::Unsupported(_)));
+    assert!(matches!(engine.compact("generic").unwrap_err(), EngineError::Unsupported(_)));
+    assert!(matches!(engine.ingest("nope", &batch).unwrap_err(), EngineError::UnknownTable(_)));
+}
+
+#[test]
+fn ingest_of_v1_file_is_cleanly_rejected() {
+    // An engine can only open v2/v3 lazily, but a v2 file-backed table must
+    // reject ingest with the migration hint rather than corrupting the file.
+    let table = base_table();
+    let compressed =
+        CompressedTable::build(&table, CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    let path = temp_path("v2-ingest.cohana");
+    std::fs::write(&path, persist::to_bytes_v2(&compressed)).unwrap();
+    let engine = Cohana::new(EngineOptions::default());
+    engine.open_file("GameActions", &path).unwrap();
+    let batch = split_by_time(&table, 2).remove(1);
+    let err = engine.ingest("GameActions", &batch).unwrap_err();
+    match err {
+        EngineError::Storage(msg) => assert!(msg.contains("re-save"), "no migration hint: {msg}"),
+        other => panic!("expected Storage(Unsupported), got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}

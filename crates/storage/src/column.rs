@@ -101,6 +101,38 @@ impl ChunkColumn {
         }
     }
 
+    /// Re-base a string segment's chunk dictionary onto a merged global
+    /// dictionary: each stored global id is replaced by `remap[gid]` (the
+    /// decode path for chunks written under an older dictionary epoch). The
+    /// per-row codes are untouched — a strictly increasing remap preserves
+    /// both the sortedness of the chunk dictionary and every value's
+    /// position in it.
+    pub(crate) fn remap_gids(&self, remap: &[u32]) -> crate::Result<ChunkColumn> {
+        match self {
+            ChunkColumn::Str { dict, codes } => {
+                let mapped: crate::Result<Vec<u32>> = dict
+                    .global_ids()
+                    .iter()
+                    .map(|&g| {
+                        remap.get(g as usize).copied().ok_or_else(|| {
+                            crate::StorageError::Corrupt(format!(
+                                "chunk dict gid {g} outside its dictionary epoch (size {})",
+                                remap.len()
+                            ))
+                        })
+                    })
+                    .collect();
+                Ok(ChunkColumn::Str {
+                    dict: ChunkDict::from_sorted(mapped?)?,
+                    codes: codes.clone(),
+                })
+            }
+            ChunkColumn::Int { .. } => Err(crate::StorageError::Corrupt(
+                "dictionary remap addressed to an integer segment".into(),
+            )),
+        }
+    }
+
     /// Compressed payload size in bytes (dictionary + codes).
     pub fn packed_bytes(&self) -> usize {
         match self {

@@ -62,6 +62,46 @@ impl GlobalDict {
         }
     }
 
+    /// Merge new values into the dictionary, keeping it sorted: returns the
+    /// merged dictionary plus the **remap** of this dictionary's global ids
+    /// into the merged one (`remap[old_gid] == merged gid of the same
+    /// value`). Because both dictionaries are sorted by value, the remap is
+    /// strictly increasing — which is what lets already-encoded chunk
+    /// dictionaries be re-based onto the merged dictionary without
+    /// re-sorting, and keeps the `rank`-based ordering-predicate compilation
+    /// valid after an append introduces values that sort into the middle.
+    pub fn merge_with<'a>(
+        &self,
+        new_values: impl IntoIterator<Item = &'a str>,
+    ) -> (Self, Vec<u32>) {
+        let mut incoming: Vec<&str> = new_values.into_iter().collect();
+        incoming.sort_unstable();
+        incoming.dedup();
+
+        let mut merged: Vec<Arc<str>> = Vec::with_capacity(self.values.len() + incoming.len());
+        let mut remap = Vec::with_capacity(self.values.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.values.len() || j < incoming.len() {
+            let take_old = match (self.values.get(i), incoming.get(j)) {
+                (Some(old), Some(new)) => old.as_ref() <= *new,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_old {
+                if incoming.get(j).is_some_and(|n| *n == self.values[i].as_ref()) {
+                    j += 1; // value present on both sides: one merged entry
+                }
+                remap.push(merged.len() as u32);
+                merged.push(self.values[i].clone());
+                i += 1;
+            } else {
+                merged.push(Arc::from(incoming[j]));
+                j += 1;
+            }
+        }
+        (GlobalDict { values: merged }, remap)
+    }
+
     /// Number of distinct values.
     pub fn len(&self) -> usize {
         self.values.len()
@@ -194,6 +234,29 @@ mod tests {
         assert!(GlobalDict::from_sorted(vec![Arc::from("a"), Arc::from("a")]).is_err());
         assert!(ChunkDict::from_sorted(vec![3, 1]).is_err());
         assert!(ChunkDict::from_sorted(vec![1, 1]).is_err());
+    }
+
+    #[test]
+    fn merge_with_keeps_sorted_and_remaps_monotonically() {
+        let d = GlobalDict::build(["fight", "launch", "shop"]);
+        let (merged, remap) = d.merge_with(["craft", "launch", "quest", "zoom"]);
+        let values: Vec<&str> = merged.values().iter().map(|v| v.as_ref()).collect();
+        assert_eq!(values, ["craft", "fight", "launch", "quest", "shop", "zoom"]);
+        // Every old value keeps its identity under the remap.
+        assert_eq!(remap.len(), d.len());
+        for (old_gid, new_gid) in remap.iter().enumerate() {
+            assert_eq!(merged.value(*new_gid).as_ref(), d.value(old_gid as u32).as_ref());
+        }
+        // Strictly increasing: re-based chunk dictionaries stay sorted.
+        assert!(remap.windows(2).all(|w| w[0] < w[1]));
+        // No new values: identity remap.
+        let (same, id) = d.merge_with(["shop", "fight"]);
+        assert_eq!(same.values(), d.values());
+        assert_eq!(id, vec![0, 1, 2]);
+        // Merging into an empty dictionary.
+        let (fresh, none) = GlobalDict::default().merge_with(["b", "a"]);
+        assert_eq!(fresh.len(), 2);
+        assert!(none.is_empty());
     }
 
     #[test]

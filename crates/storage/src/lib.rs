@@ -48,6 +48,18 @@
 //! cache** keyed by `(chunk, column)`. With the projection-aware
 //! [`ChunkSource::chunk_columns`], a selective query pays I/O and decode
 //! cost only for the chunk columns it actually names.
+//!
+//! ## Incremental ingest
+//!
+//! v3 files are not build-once: [`persist::append`] grows a file in place
+//! (new blobs after the old footer, fresh footer at the tail, dictionary
+//! growth handled by per-epoch gid remaps, returning users' chunks
+//! rewritten to preserve the one-chunk-per-user invariant),
+//! [`persist::compact`] merges appended chunks back into full-sized,
+//! time-clustered, dead-byte-free form, [`TableWriter`] buffers and encodes
+//! incoming batches, and [`FileSource::refresh`] lets an open source adopt
+//! the grown file without serving stale cache entries. See
+//! `docs/FORMAT.md`.
 
 pub mod bitpack;
 pub mod chunk;
@@ -59,19 +71,22 @@ pub mod rle;
 pub mod source;
 pub mod stats;
 pub mod table;
+pub mod writer;
 
 pub use bitpack::BitPacked;
 pub use chunk::Chunk;
 pub use column::ChunkColumn;
 pub use dict::{ChunkDict, GlobalDict};
 pub use error::StorageError;
+pub use persist::{AppendStats, CompactStats};
 pub use rle::UserRle;
 pub use source::{
-    ChunkIndexEntry, ChunkRef, ChunkSource, ColumnStats, FileSource, SourceIoStats,
+    ChunkIndexEntry, ChunkRef, ChunkSource, ColumnStats, FileSource, RefreshStats, SourceIoStats,
     DEFAULT_CACHE_BUDGET,
 };
 pub use stats::StorageStats;
 pub use table::{ColumnMeta, CompressedTable, CompressionOptions, TableMeta};
+pub use writer::TableWriter;
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, StorageError>;

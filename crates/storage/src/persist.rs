@@ -39,6 +39,18 @@
 //! chunks from index entries, and then reads **only the bytes of the
 //! columns the plan projects**.
 //!
+//! # Appending
+//!
+//! v3 files grow in place: [`append`] writes a batch's chunks after the old
+//! end of file and re-serializes the footer at the new tail, leaving every
+//! previously written byte untouched (old footers and superseded chunk
+//! versions become dead bytes until [`compact`] reclaims them). Dictionary
+//! growth is recorded as per-epoch gid remaps in the footer instead of
+//! rewriting blobs; chunks holding users that reappear in a batch are
+//! re-encoded so no user ever spans two chunks. See `docs/FORMAT.md` for
+//! the exact layout and `crate::writer::TableWriter` for the batching
+//! front end.
+//!
 //! # v2 and v1 compatibility
 //!
 //! v2 files (whole-chunk blobs, footer-indexed; the PR-1 format) are still
@@ -58,8 +70,8 @@ use crate::source::{ChunkIndexEntry, ColumnStats};
 use crate::table::{ColumnMeta, CompressedTable, CompressionOptions, TableMeta};
 use crate::{Result, StorageError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use cohana_activity::{Attribute, AttributeRole, Schema, ValueType};
-use std::io::{Read, Seek, SeekFrom};
+use cohana_activity::{ActivityTable, Attribute, AttributeRole, Schema, TableBuilder, ValueType};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -77,56 +89,119 @@ pub fn to_bytes(table: &CompressedTable) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(VERSION);
+    let layouts = write_v3_blobs(&mut buf, table.chunks(), table.schema(), 0);
+    let footer_start = buf.len() as u64;
+    write_v3_footer(
+        &mut buf,
+        table.options().chunk_size,
+        table.schema(),
+        table.metas(),
+        table.num_rows() as u64,
+        &layouts,
+        table.index_entries(),
+        &[],
+        &[],
+    );
+    let footer_len = buf.len() as u64 - footer_start;
+    buf.put_u64_le(footer_len);
+    buf.put_u32_le(MAGIC);
+    buf.freeze()
+}
 
-    let arity = table.schema().arity();
-    let user_idx = table.schema().user_idx();
-
-    // Blobs back-to-back; remember every location for the footer.
-    let mut layouts = Vec::with_capacity(table.chunks().len());
-    for chunk in table.chunks() {
-        let rle_offset = buf.len() as u64;
-        write_rle_blob(&mut buf, chunk.user_rle());
-        let rle = (rle_offset, buf.len() as u64 - rle_offset);
+/// Write every chunk's blobs back-to-back into `buf`, returning their
+/// layouts with offsets shifted by `base` (the file offset `buf[0]` will
+/// land at — 0 when writing a whole image, the old file size when writing an
+/// appended region).
+fn write_v3_blobs(
+    buf: &mut BytesMut,
+    chunks: &[Chunk],
+    schema: &Schema,
+    base: u64,
+) -> Vec<ChunkLayout> {
+    let arity = schema.arity();
+    let user_idx = schema.user_idx();
+    let mut layouts = Vec::with_capacity(chunks.len());
+    for chunk in chunks {
+        let rle_offset = base + buf.len() as u64;
+        write_rle_blob(buf, chunk.user_rle());
+        let rle = (rle_offset, base + buf.len() as u64 - rle_offset);
         let mut cols = vec![(0u64, 0u64); arity];
         for (idx, slot) in cols.iter_mut().enumerate() {
             if idx == user_idx {
                 continue;
             }
-            let offset = buf.len() as u64;
-            write_column_blob(&mut buf, chunk.column_required(idx));
-            *slot = (offset, buf.len() as u64 - offset);
+            let offset = base + buf.len() as u64;
+            write_column_blob(buf, chunk.column_required(idx));
+            *slot = (offset, base + buf.len() as u64 - offset);
         }
         layouts.push(ChunkLayout { rle, cols });
     }
+    layouts
+}
 
-    // Footer.
-    let footer_start = buf.len() as u64;
-    buf.put_u64_le(table.options().chunk_size as u64);
-    write_schema(&mut buf, table.schema());
-    for meta in table.metas() {
-        write_meta(&mut buf, meta);
+/// Write a v3 footer (everything between the last blob and the tail):
+/// options + schema + global column metadata, the per-chunk index, and — for
+/// appended files — the dictionary-epoch extension. `epochs` and
+/// `chunk_epochs` must be empty or sized together (`chunk_epochs.len() ==
+/// layouts.len()`).
+#[allow(clippy::too_many_arguments)]
+fn write_v3_footer(
+    buf: &mut BytesMut,
+    chunk_size: usize,
+    schema: &Schema,
+    metas: &[ColumnMeta],
+    num_rows: u64,
+    layouts: &[ChunkLayout],
+    entries: &[ChunkIndexEntry],
+    epochs: &[EpochRemaps],
+    chunk_epochs: &[u32],
+) {
+    let arity = schema.arity();
+    buf.put_u64_le(chunk_size as u64);
+    write_schema(buf, schema);
+    for meta in metas {
+        write_meta(buf, meta);
     }
-    buf.put_u64_le(table.num_rows() as u64);
-    buf.put_u32_le(table.chunks().len() as u32);
-    for (layout, entry) in layouts.iter().zip(table.index_entries()) {
+    buf.put_u64_le(num_rows);
+    buf.put_u32_le(layouts.len() as u32);
+    for (layout, entry) in layouts.iter().zip(entries) {
         buf.put_u64_le(layout.rle.0);
         buf.put_u64_le(layout.rle.1);
         for (offset, len) in &layout.cols {
             buf.put_u64_le(*offset);
             buf.put_u64_le(*len);
         }
-        write_entry_base(&mut buf, entry);
+        write_entry_base(buf, entry);
         debug_assert_eq!(entry.column_stats.len(), arity);
         for stats in &entry.column_stats {
-            write_column_stats(&mut buf, stats);
+            write_column_stats(buf, stats);
         }
     }
-    let footer_len = buf.len() as u64 - footer_start;
-
-    // Tail.
-    buf.put_u64_le(footer_len);
-    buf.put_u32_le(MAGIC);
-    buf.freeze()
+    // The epoch extension is omitted entirely when every chunk is current,
+    // keeping never-appended images byte-identical to the original v3
+    // layout.
+    if !epochs.is_empty() {
+        debug_assert_eq!(chunk_epochs.len(), layouts.len());
+        buf.put_u32_le(epochs.len() as u32);
+        for epoch in chunk_epochs {
+            buf.put_u32_le(*epoch);
+        }
+        for per_attr in epochs {
+            debug_assert_eq!(per_attr.len(), arity);
+            for remap in per_attr {
+                match remap {
+                    None => buf.put_u8(0),
+                    Some(remap) => {
+                        buf.put_u8(1);
+                        buf.put_u32_le(remap.len() as u32);
+                        for gid in remap.iter() {
+                            buf.put_u32_le(*gid);
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Serialize in the v2 footer-indexed whole-chunk format (kept for
@@ -239,16 +314,23 @@ fn from_bytes_footered(data: &[u8], version: u32) -> Result<CompressedTable> {
             for (ci, layout) in layouts.iter().enumerate() {
                 let corrupt = |e: StorageError| StorageError::Corrupt(format!("chunk {ci}: {e}"));
                 let (start, end) = (layout.rle.0 as usize, (layout.rle.0 + layout.rle.1) as usize);
-                let rle = decode_rle_blob(&data[start..end]).map_err(corrupt)?;
+                let mut rle = decode_rle_blob(&data[start..end]).map_err(corrupt)?;
+                if let Some(remap) = footer.remap_for(ci, user_idx) {
+                    rle = rle.remap_users(remap).map_err(corrupt)?;
+                }
                 let mut columns: Vec<Option<Arc<ChunkColumn>>> = vec![None; arity];
                 for (idx, col_loc) in layout.cols.iter().enumerate() {
                     if idx == user_idx {
                         continue;
                     }
                     let (start, end) = (col_loc.0 as usize, (col_loc.0 + col_loc.1) as usize);
-                    let col = decode_column_blob(&data[start..end]).map_err(|e| {
+                    let col_err = |e: StorageError| {
                         StorageError::Corrupt(format!("chunk {ci}: col {idx}: {e}"))
-                    })?;
+                    };
+                    let mut col = decode_column_blob(&data[start..end]).map_err(col_err)?;
+                    if let Some(remap) = footer.remap_for(ci, idx) {
+                        col = col.remap_gids(remap).map_err(col_err)?;
+                    }
                     columns[idx] = Some(Arc::new(col));
                 }
                 chunks.push(Chunk::from_shared(Arc::new(rle), columns)?);
@@ -300,6 +382,410 @@ pub fn read_file(path: &Path) -> Result<CompressedTable> {
     from_bytes(&data)
 }
 
+// ----------------------------------------------------------------- append
+
+/// What one [`append`] did to a file.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AppendStats {
+    /// Tuples in the appended batch.
+    pub rows_appended: usize,
+    /// Chunks in the file before the append.
+    pub chunks_before: usize,
+    /// Chunks in the file after the append.
+    pub chunks_after: usize,
+    /// Old chunks that had to be re-encoded because the batch contained
+    /// activity of users already living in them (chunking never splits a
+    /// user, so a returning user's old and new tuples must land in one
+    /// chunk). Their previous blob versions become dead bytes.
+    pub chunks_rewritten: usize,
+    /// Bytes written at the tail (new blobs + footer + tail marker).
+    pub bytes_appended: u64,
+    /// Dead bytes now in the file: superseded footers and rewritten chunk
+    /// versions, reclaimable by [`compact`].
+    pub dead_bytes: u64,
+    /// Total file size after the append.
+    pub file_bytes: u64,
+}
+
+/// What one [`compact`] reclaimed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// File size before compaction.
+    pub bytes_before: u64,
+    /// File size after compaction.
+    pub bytes_after: u64,
+    /// `bytes_before - bytes_after` (0 if the rewrite grew the file).
+    pub reclaimed_bytes: u64,
+    /// Chunks before compaction (appends leave under-filled chunks).
+    pub chunks_before: usize,
+    /// Chunks after re-chunking at the configured target size.
+    pub chunks_after: usize,
+    /// Total tuples (unchanged by compaction).
+    pub rows: usize,
+}
+
+/// Check that a file starts with the v3 header, with an operation-specific
+/// hint for v1/v2 files (which are immutable snapshots in those formats).
+fn require_v3(header: &[u8], what: &str) -> Result<()> {
+    let mut cur = header;
+    let magic = get_u32(&mut cur)?;
+    if magic != MAGIC {
+        return Err(StorageError::Corrupt(format!("bad magic {magic:#x}")));
+    }
+    match get_u32(&mut cur)? {
+        3 => Ok(()),
+        v @ (1 | 2) => Err(StorageError::Unsupported(format!(
+            "cannot {what} a version {v} file: only v3 column-addressable files support in-place \
+             growth; load it eagerly with persist::read_file and re-save with persist::write_file \
+             to migrate"
+        ))),
+        v => Err(StorageError::BadVersion(v)),
+    }
+}
+
+fn read_exact_at(file: &mut std::fs::File, offset: u64, len: u64) -> Result<Vec<u8>> {
+    let mut buf = vec![0u8; len as usize];
+    file.seek(SeekFrom::Start(offset))?;
+    file.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Decode one chunk of an open v3 file into current-dictionary terms.
+/// `rle` is the chunk's already-decoded (and remapped) user column when the
+/// caller has it — the returning-user scan decodes every RLE anyway.
+fn read_chunk_at(
+    file: &mut std::fs::File,
+    footer: &Footer,
+    layout: &ChunkLayout,
+    ci: usize,
+    rle: Option<UserRle>,
+) -> Result<Chunk> {
+    let schema = footer.meta.schema();
+    let rle = match rle {
+        Some(rle) => rle,
+        None => {
+            let mut rle = decode_rle_blob(&read_exact_at(file, layout.rle.0, layout.rle.1)?)?;
+            if let Some(remap) = footer.remap_for(ci, schema.user_idx()) {
+                rle = rle.remap_users(remap)?;
+            }
+            rle
+        }
+    };
+    let mut columns: Vec<Option<Arc<ChunkColumn>>> = vec![None; schema.arity()];
+    for (idx, loc) in layout.cols.iter().enumerate() {
+        if idx == schema.user_idx() {
+            continue;
+        }
+        let mut col = decode_column_blob(&read_exact_at(file, loc.0, loc.1)?)?;
+        if let Some(remap) = footer.remap_for(ci, idx) {
+            col = col.remap_gids(remap)?;
+        }
+        columns[idx] = Some(Arc::new(col));
+    }
+    let chunk = Chunk::from_shared(Arc::new(rle), columns)?;
+    crate::table::validate_chunk(&footer.meta, ci, &chunk)?;
+    Ok(chunk)
+}
+
+/// Compose two remap steps: `a` maps an epoch's gids into the previous
+/// current dictionary, `step` maps the previous current dictionary into the
+/// new one. `None` is the identity.
+fn compose_remaps(a: &EpochRemaps, step: &EpochRemaps) -> Result<EpochRemaps> {
+    a.iter()
+        .zip(step)
+        .map(|(a, s)| match (a, s) {
+            (None, None) => Ok(None),
+            (None, Some(s)) => Ok(Some(s.clone())),
+            (Some(a), None) => Ok(Some(a.clone())),
+            (Some(a), Some(s)) => {
+                let composed: Result<Vec<u32>> = a
+                    .iter()
+                    .map(|&g| {
+                        s.get(g as usize).copied().ok_or_else(|| {
+                            StorageError::Corrupt(format!(
+                                "epoch remap gid {g} outside the next step (size {})",
+                                s.len()
+                            ))
+                        })
+                    })
+                    .collect();
+                Ok(Some(Arc::new(composed?)))
+            }
+        })
+        .collect()
+}
+
+/// Extend an existing v3 file **in place** with a batch of activity tuples.
+///
+/// The batch is sorted and encoded into chunk-sized runs against the file's
+/// dictionaries *merged* with the batch's new values; the new chunks' blobs
+/// are written after the old footer position and a fresh footer is
+/// serialized at the tail. Nothing already on disk is re-encoded **except**
+/// chunks holding users that also appear in the batch: a returning user's
+/// old and new tuples must live in one chunk (the §4.1 invariant every
+/// executor pass relies on), so those chunks are decoded, merged with the
+/// user's new activity, and re-appended — their old blob versions, like the
+/// old footer, become dead bytes until [`compact`] reclaims them.
+///
+/// New dictionary values that sort into the middle of a global dictionary do
+/// **not** shift the ids stored in existing blobs: the footer records, per
+/// dictionary *epoch*, the strictly increasing remap from that epoch's gids
+/// into the merged dictionary, and the decode path re-bases old chunks
+/// through it. The merged dictionaries stay sorted, so `rank`-based ordering
+/// predicates remain valid.
+///
+/// v1/v2 files are rejected with [`StorageError::Unsupported`] — re-save
+/// them as v3 first. The batch must have the file's schema, and its primary
+/// keys must not collide with existing tuples.
+///
+/// Readers holding the file open (e.g. a
+/// [`FileSource`](crate::source::FileSource)) are unaffected: their footer
+/// still describes exactly the bytes it did at open time. Call
+/// [`FileSource::refresh`](crate::source::FileSource::refresh) (or re-open)
+/// to observe the appended data.
+///
+/// **Single writer.** Appends are not internally synchronized: two
+/// concurrent `append`s to one file would read the same footer and write
+/// overlapping tails, corrupting it. Serialize writers externally — the
+/// engine's `Cohana::ingest` does (one write lock per engine);
+/// out-of-engine callers own the coordination.
+pub fn append(path: &Path, batch: &ActivityTable) -> Result<AppendStats> {
+    let mut file = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+    let total = file.seek(SeekFrom::End(0))?;
+    if total < HEADER_LEN + TAIL_LEN {
+        return Err(StorageError::Corrupt("file too short for header + tail".into()));
+    }
+    let header = read_exact_at(&mut file, 0, HEADER_LEN)?;
+    require_v3(&header, "append to")?;
+    let footer = read_footer_from_file(&mut file)?;
+    let schema = footer.meta.schema().clone();
+    if &schema != batch.schema() {
+        return Err(StorageError::Invalid(
+            "append batch schema differs from the file's schema".into(),
+        ));
+    }
+    let chunks_before = footer.locations.len();
+    if batch.is_empty() {
+        return Ok(AppendStats {
+            chunks_before,
+            chunks_after: chunks_before,
+            file_bytes: total,
+            dead_bytes: dead_bytes(total, &footer),
+            ..AppendStats::default()
+        });
+    }
+    let layouts = footer.layouts.as_ref().expect("v3 footers always carry layouts").clone();
+
+    // Merge the batch's new values into every dictionary, remembering the
+    // strictly increasing remap of each old dictionary into its merged form;
+    // widen integer ranges.
+    let old_is_empty = footer.meta.num_rows() == 0;
+    let mut metas = Vec::with_capacity(schema.arity());
+    let mut step: EpochRemaps = Vec::with_capacity(schema.arity());
+    for (idx, meta) in footer.meta.metas().iter().enumerate() {
+        match meta {
+            ColumnMeta::User { dict } | ColumnMeta::Str { dict } => {
+                let (merged, remap) = dict.merge_with(batch.distinct_strings(idx));
+                let identity = merged.len() == dict.len();
+                step.push((!identity).then(|| Arc::new(remap)));
+                metas.push(if matches!(meta, ColumnMeta::User { .. }) {
+                    ColumnMeta::User { dict: merged }
+                } else {
+                    ColumnMeta::Str { dict: merged }
+                });
+            }
+            ColumnMeta::Int { min, max } => {
+                let (bmin, bmax) = batch.int_range(idx).expect("batch is non-empty");
+                let (min, max) =
+                    if old_is_empty { (bmin, bmax) } else { ((*min).min(bmin), (*max).max(bmax)) };
+                step.push(None);
+                metas.push(ColumnMeta::Int { min, max });
+            }
+        }
+    }
+
+    // Old chunks containing users that also appear in the batch must be
+    // rewritten (their RLE blobs are cheap to scan relative to full chunk
+    // payloads). Remapping the whole RLE up front surfaces any gid outside
+    // its dictionary epoch as corruption instead of silently misclassifying
+    // the chunk, and hands the decoded user column to the rewrite below.
+    let user_idx = schema.user_idx();
+    let old_user_dict = footer.meta.global_dict(user_idx).expect("user dictionary");
+    let returning: std::collections::HashSet<u32> = batch
+        .distinct_strings(user_idx)
+        .into_iter()
+        .filter_map(|u| old_user_dict.lookup(u))
+        .collect();
+    let mut affected = vec![false; chunks_before];
+    let mut affected_rles: Vec<Option<UserRle>> = (0..chunks_before).map(|_| None).collect();
+    if !returning.is_empty() {
+        for (ci, layout) in layouts.iter().enumerate() {
+            let mut rle = decode_rle_blob(&read_exact_at(&mut file, layout.rle.0, layout.rle.1)?)
+                .map_err(|e| StorageError::Corrupt(format!("chunk {ci}: {e}")))?;
+            if let Some(remap) = footer.remap_for(ci, user_idx) {
+                rle = rle
+                    .remap_users(remap)
+                    .map_err(|e| StorageError::Corrupt(format!("chunk {ci}: {e}")))?;
+            }
+            if rle.runs().any(|run| returning.contains(&run.user_gid)) {
+                affected[ci] = true;
+                affected_rles[ci] = Some(rle);
+            }
+        }
+    }
+
+    // The delta: every rewritten chunk's rows plus the batch, re-sorted into
+    // primary-key order and encoded against the merged dictionaries.
+    let mut builder = TableBuilder::with_capacity(schema.clone(), batch.num_rows());
+    for (ci, layout) in layouts.iter().enumerate() {
+        if !affected[ci] {
+            continue;
+        }
+        let chunk = read_chunk_at(&mut file, &footer, layout, ci, affected_rles[ci].take())?;
+        for values in crate::table::chunk_rows(&footer.meta, &chunk) {
+            builder.push(values).map_err(|e| StorageError::Corrupt(e.to_string()))?;
+        }
+    }
+    for row in batch.rows() {
+        builder.push(row.values().to_vec()).map_err(|e| StorageError::Invalid(e.to_string()))?;
+    }
+    let delta = builder.finish().map_err(|e| {
+        StorageError::Invalid(format!("append batch conflicts with existing data: {e}"))
+    })?;
+    let delta_ct = CompressedTable::build_with_metas(&delta, metas.clone(), footer.meta.options())?;
+
+    // Compose the dictionary epochs. Surviving chunks keep their numeric
+    // epoch tag: when the step is non-trivial it is pushed as a new epoch at
+    // index `old epochs.len()`, exactly the tag previously meaning
+    // "current". If nothing survives, the epoch history resets.
+    let old_epoch_of = |ci: usize| -> u32 {
+        footer.chunk_epochs.get(ci).copied().unwrap_or(footer.epochs.len() as u32)
+    };
+    let surviving: Vec<usize> = (0..chunks_before).filter(|&ci| !affected[ci]).collect();
+    let step_identity = step.iter().all(Option::is_none);
+    let epochs: Vec<EpochRemaps> = if surviving.is_empty() {
+        Vec::new()
+    } else if step_identity {
+        footer.epochs.clone()
+    } else {
+        let mut composed: Vec<EpochRemaps> =
+            footer.epochs.iter().map(|e| compose_remaps(e, &step)).collect::<Result<_>>()?;
+        composed.push(step.clone());
+        composed
+    };
+    let current_epoch = epochs.len() as u32;
+
+    // Assemble the new footer: surviving old chunks (offsets untouched,
+    // action gids re-based onto the merged dictionary) followed by the delta
+    // chunks at the tail.
+    let action_remap = step[schema.action_idx()].as_ref();
+    let mut all_layouts: Vec<ChunkLayout> =
+        Vec::with_capacity(surviving.len() + delta_ct.chunks().len());
+    let mut all_entries: Vec<ChunkIndexEntry> = Vec::with_capacity(all_layouts.capacity());
+    let mut chunk_epochs: Vec<u32> = Vec::with_capacity(all_layouts.capacity());
+    for &ci in &surviving {
+        let mut entry = footer.entries[ci].clone();
+        if let Some(remap) = action_remap {
+            for gid in &mut entry.action_gids {
+                *gid = *remap.get(*gid as usize).ok_or_else(|| {
+                    StorageError::Corrupt(format!(
+                        "chunk {ci}: action gid {gid} outside the old dictionary"
+                    ))
+                })?;
+            }
+        }
+        all_layouts.push(layouts[ci].clone());
+        all_entries.push(entry);
+        chunk_epochs.push(old_epoch_of(ci));
+    }
+    let mut tail_buf = BytesMut::new();
+    let new_layouts = write_v3_blobs(&mut tail_buf, delta_ct.chunks(), &schema, total);
+    for (layout, entry) in new_layouts.into_iter().zip(delta_ct.index_entries()) {
+        all_layouts.push(layout);
+        all_entries.push(entry.clone());
+        chunk_epochs.push(current_epoch);
+    }
+    let num_rows: u64 = all_entries.iter().map(|e| e.num_rows).sum();
+
+    let footer_start = total + tail_buf.len() as u64;
+    write_v3_footer(
+        &mut tail_buf,
+        footer.meta.options().chunk_size,
+        &schema,
+        &metas,
+        num_rows,
+        &all_layouts,
+        &all_entries,
+        &epochs,
+        if epochs.is_empty() { &[] } else { &chunk_epochs },
+    );
+    let footer_len = total + tail_buf.len() as u64 - footer_start;
+    tail_buf.put_u64_le(footer_len);
+    tail_buf.put_u32_le(MAGIC);
+
+    // One contiguous write at the old EOF: the old footer (still describing
+    // exactly the old bytes) is left in place as dead bytes, so a reader
+    // that opened the file before this append keeps a consistent snapshot.
+    file.seek(SeekFrom::Start(total))?;
+    file.write_all(&tail_buf)?;
+
+    let file_bytes = total + tail_buf.len() as u64;
+    let live_payload: u64 =
+        all_layouts.iter().map(|l| l.rle.1 + l.cols.iter().map(|(_, len)| *len).sum::<u64>()).sum();
+    Ok(AppendStats {
+        rows_appended: batch.num_rows(),
+        chunks_before,
+        chunks_after: all_layouts.len(),
+        chunks_rewritten: affected.iter().filter(|a| **a).count(),
+        bytes_appended: tail_buf.len() as u64,
+        dead_bytes: file_bytes - HEADER_LEN - live_payload - footer_len - TAIL_LEN,
+        file_bytes,
+    })
+}
+
+/// Dead (unreferenced) payload bytes in a parsed file image.
+fn dead_bytes(total: u64, footer: &Footer) -> u64 {
+    let live: u64 = footer.locations.iter().map(|(_, len)| *len).sum();
+    let footer_len = total - TAIL_LEN - footer.payload_end;
+    total - HEADER_LEN - live - footer_len - TAIL_LEN
+}
+
+/// Rewrite a v3 file compactly: decode everything (through any dictionary
+/// epochs), re-sort into the paper's §3 `(user, time, action)` primary
+/// order, re-chunk at the configured target size, rebuild minimal sorted
+/// dictionaries, and atomically replace the file (write to a sibling temp
+/// file, then rename). This merges the under-filled chunks appends leave
+/// behind, restores the §4.2 pruning quality of time-clustered chunks, drops
+/// every dead byte, and resets the epoch history.
+pub fn compact(path: &Path) -> Result<CompactStats> {
+    let data = std::fs::read(path)?;
+    let bytes_before = data.len() as u64;
+    if data.len() < HEADER_LEN as usize {
+        return Err(StorageError::Corrupt("file too short for header".into()));
+    }
+    require_v3(&data[..HEADER_LEN as usize], "compact")?;
+    let table = from_bytes(&data)?;
+    let chunks_before = table.chunks().len();
+    let rows = table.decompress()?;
+    let rebuilt = CompressedTable::build(&rows, table.options())?;
+    let bytes = to_bytes(&rebuilt);
+
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".compact-tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+
+    Ok(CompactStats {
+        bytes_before,
+        bytes_after: bytes.len() as u64,
+        reclaimed_bytes: bytes_before.saturating_sub(bytes.len() as u64),
+        chunks_before,
+        chunks_after: rebuilt.chunks().len(),
+        rows: rebuilt.num_rows(),
+    })
+}
+
 // ------------------------------------------------------------------ footer
 
 /// Byte locations of one v3 chunk's blobs: the RLE user column plus one
@@ -312,16 +798,47 @@ pub(crate) struct ChunkLayout {
     pub(crate) cols: Vec<(u64, u64)>,
 }
 
+/// One dictionary epoch's gid remaps: for every attribute, either `None`
+/// (integer attribute, or a dictionary unchanged since that epoch) or the
+/// strictly increasing map from the epoch's global ids into the file's
+/// current (merged) dictionary. Chunks encoded under an older epoch are
+/// re-based through their epoch's remap at decode time, which is what lets
+/// [`append`] grow a dictionary **without rewriting any existing blob** while
+/// keeping the current dictionary sorted (so `rank`-based ordering
+/// predicates stay valid).
+pub(crate) type EpochRemaps = Vec<Option<Arc<Vec<u32>>>>;
+
 /// Parsed footer: table metadata, per-chunk index entries, per-chunk payload
 /// spans, and (v3) per-blob layouts.
 pub(crate) struct Footer {
     pub(crate) meta: TableMeta,
     pub(crate) entries: Vec<ChunkIndexEntry>,
     /// `(offset, len)` of each chunk's whole payload span (v2: the chunk
-    /// blob; v3: RLE through last column, which tile contiguously).
+    /// blob; v3: RLE through last column, which tile contiguously). Appended
+    /// files may have dead-byte gaps *between* spans (superseded chunk
+    /// versions and earlier footers), never inside one.
     pub(crate) locations: Vec<(u64, u64)>,
     /// v3 only: the per-blob layout of every chunk.
     pub(crate) layouts: Option<Vec<ChunkLayout>>,
+    /// Non-current dictionary epochs, oldest first (empty for files never
+    /// appended to, or fully rewritten by [`compact`]).
+    pub(crate) epochs: Vec<EpochRemaps>,
+    /// Per chunk, the dictionary epoch its blobs were encoded under
+    /// (`epochs.len()` = the current dictionary, needing no remap). An empty
+    /// vector means every chunk is current.
+    pub(crate) chunk_epochs: Vec<u32>,
+    /// File offset where the footer begins — the exclusive upper bound of
+    /// every payload blob.
+    pub(crate) payload_end: u64,
+}
+
+impl Footer {
+    /// The gid remap a given chunk needs for a given attribute (`None`:
+    /// already in current-dictionary terms).
+    pub(crate) fn remap_for(&self, chunk: usize, attr: usize) -> Option<&Arc<Vec<u32>>> {
+        let epoch = self.chunk_epochs.get(chunk).copied().unwrap_or(self.epochs.len() as u32);
+        self.epochs.get(epoch as usize).and_then(|per_attr| per_attr[attr].as_ref())
+    }
 }
 
 /// Validate tail + header of a full footered image and parse its footer.
@@ -337,11 +854,24 @@ fn parse_footer_region(data: &[u8], version: u32) -> Result<Footer> {
         return Err(StorageError::Corrupt(format!("bad tail magic {tail_magic:#x}")));
     }
     if footer_len > total - HEADER_LEN - TAIL_LEN {
-        return Err(StorageError::Corrupt(format!("footer length {footer_len} overruns file")));
+        return Err(footer_overrun(footer_len, total));
     }
     let footer_start = total - TAIL_LEN - footer_len;
     let footer_bytes = &data[footer_start as usize..(total - TAIL_LEN) as usize];
     read_footer(footer_bytes, footer_start, version)
+}
+
+/// The error for a tail whose footer length points outside the file — the
+/// signature of a truncated or mis-appended image. Names the offsets so the
+/// operator can see where the file ends versus where the footer claims to
+/// live.
+fn footer_overrun(footer_len: u64, total: u64) -> StorageError {
+    let claimed_start = total as i128 - TAIL_LEN as i128 - footer_len as i128;
+    StorageError::Corrupt(format!(
+        "footer of length {footer_len} would start at offset {claimed_start}, outside the valid \
+         payload region [{HEADER_LEN}, {}) of this {total}-byte file (truncated or corrupt tail)",
+        total - TAIL_LEN,
+    ))
 }
 
 /// Parse the footer bytes of a v2 or v3 image; `footer_start` is the file
@@ -378,16 +908,20 @@ fn read_footer(mut buf: &[u8], footer_start: u64, version: u32) -> Result<Footer
     let mut layouts = (version >= 3).then(|| Vec::with_capacity(num_chunks));
     let mut expected_offset = HEADER_LEN;
     for ci in 0..num_chunks {
-        // Blob locations must tile the payload region exactly: monotone,
-        // gap-free, and inside [HEADER_LEN, footer_start). Lengths are
-        // compared by subtraction (`expected_offset <= footer_start` holds
-        // inductively), so a crafted length near u64::MAX cannot wrap the
-        // bound check.
-        let span_start = expected_offset;
-        let mut take_blob = |buf: &mut &[u8], what: &str| -> Result<(u64, u64)> {
+        // Blob locations must be monotone, non-overlapping, and inside
+        // [HEADER_LEN, footer_start). A chunk's first blob may start past
+        // the previous chunk's end — appended files carry dead bytes there
+        // (superseded footers and rewritten chunks) — but within one chunk
+        // the blobs tile exactly. Lengths are compared by subtraction
+        // (`offset < footer_start` is checked first), so a crafted length
+        // near u64::MAX cannot wrap the bound check.
+        let span_start;
+        let mut take_blob = |buf: &mut &[u8], what: &str, gap_ok: bool| -> Result<(u64, u64)> {
             let offset = get_u64(buf)?;
             let len = get_u64(buf)?;
-            if offset != expected_offset || len == 0 || len > footer_start - offset {
+            let misplaced =
+                if gap_ok { offset < expected_offset } else { offset != expected_offset };
+            if misplaced || len == 0 || offset >= footer_start || len > footer_start - offset {
                 return Err(StorageError::Corrupt(format!(
                     "chunk {ci}: {what} location ({offset}, {len}) does not tile the payload \
                      region"
@@ -397,7 +931,8 @@ fn read_footer(mut buf: &[u8], footer_start: u64, version: u32) -> Result<Footer
             Ok((offset, len))
         };
         let layout = if version >= 3 {
-            let rle = take_blob(&mut buf, "rle")?;
+            let rle = take_blob(&mut buf, "rle", true)?;
+            span_start = rle.0;
             let mut cols = vec![(0u64, 0u64); arity];
             for (idx, slot) in cols.iter_mut().enumerate() {
                 if idx == schema.user_idx() {
@@ -409,12 +944,13 @@ fn read_footer(mut buf: &[u8], footer_start: u64, version: u32) -> Result<Footer
                         )));
                     }
                 } else {
-                    *slot = take_blob(&mut buf, "column")?;
+                    *slot = take_blob(&mut buf, "column", false)?;
                 }
             }
             Some(ChunkLayout { rle, cols })
         } else {
-            take_blob(&mut buf, "chunk")?;
+            let chunk = take_blob(&mut buf, "chunk", true)?;
+            span_start = chunk.0;
             None
         };
         let num_rows = get_u64(&mut buf)?;
@@ -469,10 +1005,73 @@ fn read_footer(mut buf: &[u8], footer_start: u64, version: u32) -> Result<Footer
             layouts.push(layout);
         }
     }
-    if expected_offset != footer_start {
-        return Err(StorageError::Corrupt(format!(
-            "payload ends at {expected_offset}, footer starts at {footer_start}"
-        )));
+    // Optional dictionary-epoch extension, present only in files that have
+    // been appended to: per-chunk epoch tags, then one gid remap per
+    // dictionary attribute for every non-current epoch.
+    let mut epochs: Vec<EpochRemaps> = Vec::new();
+    let mut chunk_epochs: Vec<u32> = Vec::new();
+    if version >= 3 && buf.has_remaining() {
+        let epoch_count = get_u32(&mut buf)? as usize;
+        // Every epoch needs at least one tag byte per attribute, every chunk
+        // a 4-byte tag; guard before allocating.
+        if epoch_count == 0 || epoch_count > buf.remaining() / arity.max(1) {
+            return Err(StorageError::Corrupt(format!(
+                "epoch count {epoch_count} is invalid for this footer"
+            )));
+        }
+        if num_chunks > buf.remaining() / 4 {
+            return Err(StorageError::Corrupt("chunk epoch tags overrun footer".into()));
+        }
+        for ci in 0..num_chunks {
+            let epoch = get_u32(&mut buf)?;
+            if epoch as usize > epoch_count {
+                return Err(StorageError::Corrupt(format!(
+                    "chunk {ci}: epoch {epoch} exceeds epoch count {epoch_count}"
+                )));
+            }
+            chunk_epochs.push(epoch);
+        }
+        for e in 0..epoch_count {
+            let mut per_attr: EpochRemaps = Vec::with_capacity(arity);
+            for (idx, meta) in metas.iter().enumerate() {
+                match get_u8(&mut buf)? {
+                    0 => per_attr.push(None),
+                    1 => {
+                        let dict_len = match meta {
+                            ColumnMeta::User { dict } | ColumnMeta::Str { dict } => dict.len(),
+                            ColumnMeta::Int { .. } => {
+                                return Err(StorageError::Corrupt(format!(
+                                    "epoch {e}: remap addressed to integer attribute {idx}"
+                                )))
+                            }
+                        };
+                        let n = get_u32(&mut buf)? as usize;
+                        if n > buf.remaining() / 4 {
+                            return Err(StorageError::Corrupt(format!(
+                                "epoch {e}: remap length {n} overruns footer"
+                            )));
+                        }
+                        let mut remap = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            remap.push(get_u32(&mut buf)?);
+                        }
+                        let sorted = remap.windows(2).all(|w| w[0] < w[1]);
+                        let in_range = remap.last().is_none_or(|&g| (g as usize) < dict_len);
+                        if !sorted || !in_range {
+                            return Err(StorageError::Corrupt(format!(
+                                "epoch {e}: remap of attribute {idx} is not a sorted injection \
+                                 into the current dictionary"
+                            )));
+                        }
+                        per_attr.push(Some(Arc::new(remap)));
+                    }
+                    t => {
+                        return Err(StorageError::Corrupt(format!("bad epoch remap tag {t}")));
+                    }
+                }
+            }
+            epochs.push(per_attr);
+        }
     }
     if buf.has_remaining() {
         return Err(StorageError::Corrupt(format!("{} trailing footer bytes", buf.remaining())));
@@ -485,7 +1084,15 @@ fn read_footer(mut buf: &[u8], footer_start: u64, version: u32) -> Result<Footer
     }
     let meta =
         TableMeta::new(schema, metas, num_rows, CompressionOptions::with_chunk_size(chunk_size))?;
-    Ok(Footer { meta, entries, locations, layouts })
+    Ok(Footer {
+        meta,
+        entries,
+        locations,
+        layouts,
+        epochs,
+        chunk_epochs,
+        payload_end: footer_start,
+    })
 }
 
 /// Open a v2/v3 file for lazy access: verify the header, then read and
@@ -527,7 +1134,7 @@ pub(crate) fn read_footer_from_file(file: &mut std::fs::File) -> Result<Footer> 
         return Err(StorageError::Corrupt(format!("bad tail magic {tail_magic:#x}")));
     }
     if footer_len > total - HEADER_LEN - TAIL_LEN {
-        return Err(StorageError::Corrupt(format!("footer length {footer_len} overruns file")));
+        return Err(footer_overrun(footer_len, total));
     }
     let footer_start = total - TAIL_LEN - footer_len;
     let mut footer_bytes = vec![0u8; footer_len as usize];

@@ -104,6 +104,29 @@ impl UserRle {
             .map(|r| r.user_gid)
     }
 
+    /// Re-base the user gids onto a merged dictionary: every gid is replaced
+    /// by `remap[gid]` (the decode path for chunks written under an older
+    /// dictionary epoch). Run boundaries are untouched; only the gid array
+    /// is re-packed, since the merged gids may need a wider bit width.
+    pub(crate) fn remap_users(&self, remap: &[u32]) -> crate::Result<UserRle> {
+        let mut users = Vec::with_capacity(self.users.len());
+        for i in 0..self.users.len() {
+            let gid = self.users.get(i) as usize;
+            let mapped = remap.get(gid).ok_or_else(|| {
+                crate::StorageError::Corrupt(format!(
+                    "user gid {gid} outside its dictionary epoch (size {})",
+                    remap.len()
+                ))
+            })?;
+            users.push(*mapped as u64);
+        }
+        Ok(UserRle {
+            users: BitPacked::from_slice(&users),
+            firsts: self.firsts.clone(),
+            counts: self.counts.clone(),
+        })
+    }
+
     /// Bytes consumed by the packed arrays.
     pub fn packed_bytes(&self) -> usize {
         self.users.packed_bytes() + self.firsts.packed_bytes() + self.counts.packed_bytes()

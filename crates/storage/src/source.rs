@@ -280,6 +280,25 @@ impl ChunkSource for CompressedTable {
 /// Default byte budget of a [`FileSource`]'s segment cache (256 MiB).
 pub const DEFAULT_CACHE_BUDGET: usize = 256 * 1024 * 1024;
 
+/// Whether two open handles name the same underlying file. Appends grow a
+/// file strictly in place (same inode); compaction and external rewrites
+/// replace it (new inode), after which old byte locations say nothing about
+/// the new content. On platforms without inode identity, always report
+/// "different" — the refresh path then conservatively drops its cache.
+#[cfg(unix)]
+fn same_inode(a: &File, b: &File) -> bool {
+    use std::os::unix::fs::MetadataExt;
+    match (a.metadata(), b.metadata()) {
+        (Ok(x), Ok(y)) => x.dev() == y.dev() && x.ino() == y.ino(),
+        _ => false,
+    }
+}
+
+#[cfg(not(unix))]
+fn same_inode(_a: &File, _b: &File) -> bool {
+    false
+}
+
 /// Cache key: `(chunk index, segment id)` where segment 0 is the whole
 /// chunk (v2), 1 the RLE user column, and `2 + attr` a column segment.
 type SegKey = (u32, u32);
@@ -356,6 +375,19 @@ impl SegmentCache {
         self.resident += bytes;
     }
 
+    /// Drop one entry, returning whether it was present. Not counted as an
+    /// eviction: the entry is removed because it went stale, not to make
+    /// room.
+    fn remove(&mut self, key: &SegKey) -> bool {
+        match self.map.remove(key) {
+            Some(e) => {
+                self.resident -= e.bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
     fn chunks_resident(&self) -> usize {
         let mut chunks: Vec<u32> = self.map.keys().map(|(c, _)| *c).collect();
         chunks.sort_unstable();
@@ -385,10 +417,31 @@ pub struct FileSource {
     locations: Vec<(u64, u64)>,
     /// Per-chunk blob layout (`Some` for v3 column-addressable files).
     layouts: Option<Vec<ChunkLayout>>,
+    /// Non-current dictionary epochs of an appended file (see
+    /// [`persist::append`]): chunks encoded under an older dictionary are
+    /// re-based through their epoch's gid remaps at decode time.
+    epochs: Vec<persist::EpochRemaps>,
+    /// Per-chunk epoch tags (empty: every chunk is current).
+    chunk_epochs: Vec<u32>,
+    /// File offset where the footer begins — no payload blob may reach past
+    /// it.
+    payload_end: u64,
     cache: Mutex<SegmentCache>,
     decoded: AtomicUsize,
     columns_decoded: AtomicUsize,
     bytes_read: AtomicU64,
+}
+
+/// What a [`FileSource::refresh`] changed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Chunks visible before the refresh.
+    pub chunks_before: usize,
+    /// Chunks visible after the refresh.
+    pub chunks_after: usize,
+    /// Cached segments dropped because their backing blob or dictionary
+    /// epoch changed; surviving entries keep serving without re-decode.
+    pub segments_invalidated: usize,
 }
 
 impl std::fmt::Debug for SegmentCache {
@@ -426,11 +479,100 @@ impl FileSource {
             entries: footer.entries,
             locations: footer.locations,
             layouts: footer.layouts,
+            epochs: footer.epochs,
+            chunk_epochs: footer.chunk_epochs,
+            payload_end: footer.payload_end,
             cache: Mutex::new(SegmentCache::new(cache_budget)),
             decoded: AtomicUsize::new(0),
             columns_decoded: AtomicUsize::new(0),
             bytes_read: AtomicU64::new(0),
         })
+    }
+
+    /// Re-read the footer from the file's current state on disk, picking up
+    /// anything [`persist::append`] (or
+    /// [`persist::compact`]) wrote since this
+    /// source opened — without disturbing other holders of the old state:
+    /// until `refresh` is called, the source keeps serving its original
+    /// footer snapshot, which is why prepared statements pinning a source
+    /// keep snapshot semantics while the engine swaps refreshed sources into
+    /// its catalog.
+    ///
+    /// Cached segments survive a refresh only when their bytes provably did
+    /// not change: the file must still be the **same inode** (appends are
+    /// strictly append-only, so on the same inode an unchanged blob
+    /// location means unchanged bytes) *and* the segment's blob location
+    /// and dictionary epoch must be unchanged. A rewrite that replaced the
+    /// path ([`persist::compact`]'s temp-file + rename, or any external
+    /// rewrite) drops the whole cache — locations are meaningless across a
+    /// re-encoded image even when they numerically coincide. Everything
+    /// stale is dropped before the new footer is adopted, so no stale
+    /// segment can ever be served.
+    pub fn refresh(&mut self) -> Result<RefreshStats> {
+        let mut file = File::open(&self.path)?;
+        let footer = persist::read_footer_from_file(&mut file)?;
+        let chunks_before = self.locations.len();
+
+        let grown_in_place = same_inode(&self.file.lock().expect("file lock poisoned"), &file);
+        let same_remap = |chunk: usize, attr: usize| {
+            self.remap_for(chunk, attr).map(|r| r.as_slice())
+                == footer.remap_for(chunk, attr).map(|r| r.as_slice())
+        };
+        let arity = footer.meta.schema().arity();
+
+        let segments_invalidated = {
+            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            let keys: Vec<SegKey> = cache.map.keys().copied().collect();
+            let mut dropped = 0usize;
+            for key in keys {
+                let (chunk, seg) = (key.0 as usize, key.1);
+                let keep = grown_in_place
+                    && match (seg, &self.layouts, &footer.layouts) {
+                        (SEG_WHOLE, None, None) => {
+                            self.locations.get(chunk).is_some()
+                                && self.locations.get(chunk) == footer.locations.get(chunk)
+                        }
+                        (SEG_RLE, Some(old), Some(new)) => {
+                            matches!((old.get(chunk), new.get(chunk)),
+                            (Some(a), Some(b)) if a.rle == b.rle)
+                                && same_remap(chunk, footer.meta.schema().user_idx())
+                        }
+                        (col, Some(old), Some(new)) if col >= 2 => {
+                            let attr = (col - 2) as usize;
+                            attr < arity
+                                && matches!((old.get(chunk), new.get(chunk)),
+                                (Some(a), Some(b)) if a.cols.get(attr) == b.cols.get(attr))
+                                && same_remap(chunk, attr)
+                        }
+                        _ => false,
+                    };
+                if !keep && cache.remove(&key) {
+                    dropped += 1;
+                }
+            }
+            dropped
+        };
+
+        let chunks_after = footer.locations.len();
+        self.meta = footer.meta;
+        self.entries = footer.entries;
+        self.locations = footer.locations;
+        self.layouts = footer.layouts;
+        self.epochs = footer.epochs;
+        self.chunk_epochs = footer.chunk_epochs;
+        self.payload_end = footer.payload_end;
+        // Swap the file handle too: after a compact the path names a new
+        // inode, and the old handle would keep reading the pre-compact
+        // image.
+        *self.file.lock().expect("file lock poisoned") = file;
+        Ok(RefreshStats { chunks_before, chunks_after, segments_invalidated })
+    }
+
+    /// The gid remap a chunk needs for an attribute (`None`: the chunk is
+    /// already in current-dictionary terms).
+    fn remap_for(&self, chunk: usize, attr: usize) -> Option<&Arc<Vec<u32>>> {
+        let epoch = self.chunk_epochs.get(chunk).copied().unwrap_or(self.epochs.len() as u32);
+        self.epochs.get(epoch as usize).and_then(|per_attr| per_attr[attr].as_ref())
     }
 
     /// The file backing this source.
@@ -473,13 +615,32 @@ impl FileSource {
         self.columns_decoded.load(Ordering::Relaxed)
     }
 
-    /// Read `len` bytes at `offset` from the backing file.
+    /// Read `len` bytes at `offset` from the backing file. A short read is
+    /// reported as corruption naming the blob's offsets — the footer
+    /// promised these bytes, so their absence means the file was truncated
+    /// (e.g. a torn append) behind our back.
     fn read_range(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        if len > self.payload_end.saturating_sub(offset) {
+            return Err(StorageError::Corrupt(format!(
+                "blob at offset {offset} (length {len}) reaches past the payload region end \
+                 {}",
+                self.payload_end
+            )));
+        }
         let mut buf = vec![0u8; len as usize];
         {
             let mut file = self.file.lock().expect("file lock poisoned");
             file.seek(SeekFrom::Start(offset))?;
-            file.read_exact(&mut buf)?;
+            file.read_exact(&mut buf).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    StorageError::Corrupt(format!(
+                        "blob at offset {offset} (length {len}) reaches past the end of the \
+                         file (truncated?)"
+                    ))
+                } else {
+                    StorageError::Io(e.to_string())
+                }
+            })?;
         }
         self.bytes_read.fetch_add(len, Ordering::Relaxed);
         Ok(buf)
@@ -494,7 +655,10 @@ impl FileSource {
         }
         let entry = &self.entries[idx];
         let blob = self.read_range(layout.rle.0, layout.rle.1)?;
-        let rle = persist::decode_rle_blob(&blob)?;
+        let mut rle = persist::decode_rle_blob(&blob)?;
+        if let Some(remap) = self.remap_for(idx, self.meta.schema().user_idx()) {
+            rle = rle.remap_users(remap)?;
+        }
         validate_rle(&self.meta, idx, &rle, rle.num_rows())?;
         if rle.num_rows() as u64 != entry.num_rows || rle.num_users() as u64 != entry.num_users {
             return Err(StorageError::Corrupt(format!(
@@ -528,7 +692,10 @@ impl FileSource {
         let entry = &self.entries[idx];
         let (offset, len) = layout.cols[attr];
         let blob = self.read_range(offset, len)?;
-        let col = persist::decode_column_blob(&blob)?;
+        let mut col = persist::decode_column_blob(&blob)?;
+        if let Some(remap) = self.remap_for(idx, attr) {
+            col = col.remap_gids(remap)?;
+        }
         validate_column(&self.meta, idx, attr, &col)?;
         if col.len() as u64 != entry.num_rows {
             return Err(StorageError::Corrupt(format!(

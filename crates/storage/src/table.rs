@@ -158,11 +158,25 @@ impl CompressedTable {
     /// primary-key order, which provides the clustering and time-ordering
     /// properties the format needs.
     pub fn build(table: &ActivityTable, options: CompressionOptions) -> Result<Self> {
+        Self::build_with_metas(table, build_metas(table), options)
+    }
+
+    /// Like [`CompressedTable::build`] but encoding against **given**
+    /// column metadata instead of metadata derived from the table. The
+    /// dictionaries must cover every value in the table (a superset is
+    /// fine); integer ranges may be wider than the table's. This is the
+    /// incremental-ingest path: a batch is encoded against the dictionaries
+    /// *merged* with an existing file's, so its chunks can be appended to
+    /// that file without re-encoding anything already on disk.
+    pub fn build_with_metas(
+        table: &ActivityTable,
+        metas: Vec<ColumnMeta>,
+        options: CompressionOptions,
+    ) -> Result<Self> {
         if options.chunk_size == 0 {
             return Err(StorageError::Invalid("chunk_size must be positive".into()));
         }
         let schema = table.schema().clone();
-        let metas = build_metas(table);
 
         // Hash-based value→gid encoders: O(1) per value instead of a
         // binary search in the global dictionary.
@@ -310,24 +324,42 @@ impl CompressedTable {
     /// export).
     pub fn decompress(&self) -> Result<ActivityTable> {
         let mut builder = TableBuilder::with_capacity(self.schema().clone(), self.num_rows());
-        for (ci, chunk) in self.chunks.iter().enumerate() {
-            for run in chunk.user_rle().runs() {
-                let user = self.gid_value(self.schema().user_idx(), run.user_gid).clone();
-                for row in run.first as usize..(run.first + run.count) as usize {
-                    let mut values = Vec::with_capacity(self.schema().arity());
-                    for attr in 0..self.schema().arity() {
-                        if attr == self.schema().user_idx() {
-                            values.push(Value::Str(user.clone()));
-                        } else {
-                            values.push(self.decode_value(ci, row, attr));
-                        }
-                    }
-                    builder.push(values).map_err(|e| StorageError::Corrupt(e.to_string()))?;
-                }
+        for chunk in &self.chunks {
+            for values in chunk_rows(&self.meta, chunk) {
+                builder.push(values).map_err(|e| StorageError::Corrupt(e.to_string()))?;
             }
         }
         builder.finish().map_err(|e| StorageError::Corrupt(e.to_string()))
     }
+}
+
+/// Decode every row of one fully materialized chunk back into values, in
+/// storage order (shared by [`CompressedTable::decompress`] and the append
+/// path, which must re-encode the chunks of returning users).
+pub(crate) fn chunk_rows(meta: &TableMeta, chunk: &Chunk) -> Vec<Vec<Value>> {
+    let schema = meta.schema();
+    let user_idx = schema.user_idx();
+    let mut out = Vec::with_capacity(chunk.num_rows());
+    for run in chunk.user_rle().runs() {
+        let user = meta.gid_value(user_idx, run.user_gid).clone();
+        for row in run.first as usize..(run.first + run.count) as usize {
+            let mut values = Vec::with_capacity(schema.arity());
+            for attr in 0..schema.arity() {
+                if attr == user_idx {
+                    values.push(Value::Str(user.clone()));
+                    continue;
+                }
+                values.push(match chunk.column_required(attr) {
+                    col @ ChunkColumn::Str { .. } => {
+                        Value::Str(meta.gid_value(attr, col.gid_at(row)).clone())
+                    }
+                    col @ ChunkColumn::Int { .. } => Value::Int(col.int_value(row)),
+                });
+            }
+            out.push(values);
+        }
+    }
+    out
 }
 
 /// Validate one chunk against the table-level metadata: the RLE user column
@@ -454,14 +486,19 @@ fn build_chunk(
     rows: std::ops::Range<usize>,
 ) -> Result<Chunk> {
     let user_idx = schema.user_idx();
+    let missing = |idx: usize, value: &str| {
+        StorageError::Invalid(format!(
+            "value {value:?} of attribute {idx} is not covered by the provided dictionary"
+        ))
+    };
     let user_enc = encoders[user_idx].as_ref().expect("user encoder");
     let user_gids: Vec<u32> = rows
         .clone()
         .map(|r| {
             let u = table.rows()[r].get(user_idx).as_str().expect("user is a string");
-            user_enc[u]
+            user_enc.get(u).copied().ok_or_else(|| missing(user_idx, u))
         })
-        .collect();
+        .collect::<Result<_>>()?;
     let user_rle = UserRle::from_rows(&user_gids);
 
     let mut columns: Vec<Option<ChunkColumn>> = Vec::with_capacity(schema.arity());
@@ -477,9 +514,9 @@ fn build_chunk(
                     .clone()
                     .map(|r| {
                         let s = table.rows()[r].get(idx).as_str().expect("string attribute");
-                        enc[s]
+                        enc.get(s).copied().ok_or_else(|| missing(idx, s))
                     })
-                    .collect();
+                    .collect::<Result<_>>()?;
                 columns.push(Some(ChunkColumn::from_gids(&gids)));
             }
             ColumnMeta::Int { .. } => {

@@ -1,0 +1,332 @@
+//! Integration tests for incremental ingest at the storage layer: appending
+//! batches to v3 files, dictionary-epoch remapping, refresh-based cache
+//! invalidation, and compaction.
+
+use cohana_activity::{generate, ActivityTable, GeneratorConfig, TableBuilder};
+use cohana_storage::{
+    persist, ChunkSource, CompressedTable, CompressionOptions, FileSource, StorageError,
+    TableWriter,
+};
+use std::path::PathBuf;
+
+const CHUNK: usize = 256;
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("cohana-append-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn base_table() -> ActivityTable {
+    generate(&GeneratorConfig::small())
+}
+
+/// Split a table's rows into `k` batches by a row-index round-robin over
+/// users (no user spans batches).
+fn split_by_user(table: &ActivityTable, k: usize) -> Vec<ActivityTable> {
+    let mut builders: Vec<TableBuilder> =
+        (0..k).map(|_| TableBuilder::new(table.schema().clone())).collect();
+    for (bi, block) in table.user_blocks().enumerate() {
+        for row in block.range() {
+            builders[bi % k].push(table.rows()[row].values().to_vec()).unwrap();
+        }
+    }
+    builders.into_iter().map(|b| b.finish().unwrap()).collect()
+}
+
+/// Split a table's rows into `k` contiguous time slices: users active across
+/// the whole observation window return in every later batch.
+fn split_by_time(table: &ActivityTable, k: usize) -> Vec<ActivityTable> {
+    let tidx = table.schema().time_idx();
+    let mut order: Vec<usize> = (0..table.num_rows()).collect();
+    order.sort_by_key(|&r| table.rows()[r].get(tidx).as_int().unwrap());
+    let per = table.num_rows().div_ceil(k);
+    order
+        .chunks(per)
+        .map(|rows| {
+            let mut b = TableBuilder::new(table.schema().clone());
+            for &r in rows {
+                b.push(table.rows()[r].values().to_vec()).unwrap();
+            }
+            b.finish().unwrap()
+        })
+        .collect()
+}
+
+/// Write the first batch as a fresh v3 file, append the rest, and return the
+/// path plus the per-append stats.
+fn build_by_appends(name: &str, batches: &[ActivityTable]) -> (PathBuf, Vec<persist::AppendStats>) {
+    let path = temp_path(name);
+    let first =
+        CompressedTable::build(&batches[0], CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    persist::write_file(&first, &path).unwrap();
+    let stats = batches[1..].iter().map(|b| persist::append(&path, b).unwrap()).collect();
+    (path, stats)
+}
+
+#[test]
+fn user_sliced_appends_never_rewrite_and_roundtrip() {
+    let table = base_table();
+    let batches = split_by_user(&table, 3);
+    let (path, stats) = build_by_appends("user-sliced.cohana", &batches);
+    for s in &stats {
+        assert_eq!(s.chunks_rewritten, 0, "user-disjoint batches are pure appends");
+        assert!(s.bytes_appended > 0);
+        assert!(s.dead_bytes > 0, "superseded footers become dead bytes");
+    }
+    // Eager read-back decompresses to exactly the build-once table.
+    let eager = persist::read_file(&path).unwrap();
+    assert_eq!(eager.decompress().unwrap().rows(), table.rows());
+    // Merged dictionaries equal the build-once dictionaries (sorted, no
+    // gid drift).
+    let once = CompressedTable::build(&table, CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    assert_eq!(eager.metas(), once.metas());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn time_sliced_appends_rewrite_returning_users_and_roundtrip() {
+    let table = base_table();
+    let batches = split_by_time(&table, 4);
+    let (path, stats) = build_by_appends("time-sliced.cohana", &batches);
+    assert!(
+        stats.iter().any(|s| s.chunks_rewritten > 0),
+        "time slices revisit users, forcing chunk rewrites"
+    );
+    let eager = persist::read_file(&path).unwrap();
+    assert_eq!(eager.decompress().unwrap().rows(), table.rows());
+    // No user is split across chunks — the §4.1 invariant survives appends.
+    let mut seen = std::collections::HashSet::new();
+    for chunk in eager.chunks() {
+        for run in chunk.user_rle().runs() {
+            assert!(seen.insert(run.user_gid), "user {} split across chunks", run.user_gid);
+        }
+    }
+    // The lazy path agrees with the eager one, chunk by chunk.
+    let src = FileSource::open(&path).unwrap();
+    assert_eq!(src.num_chunks(), eager.chunks().len());
+    for i in 0..src.num_chunks() {
+        assert_eq!(&*src.chunk(i).unwrap(), &eager.chunks()[i]);
+        assert_eq!(src.index_entry(i), &eager.index_entries()[i]);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn table_writer_appends_buffered_batches() {
+    let table = base_table();
+    let batches = split_by_time(&table, 3);
+    let path = temp_path("writer.cohana");
+    let mut w = TableWriter::new(table.schema().clone());
+    w.push_batch(&batches[0]).unwrap();
+    persist::write_file(&w.build(CompressionOptions::with_chunk_size(CHUNK)).unwrap(), &path)
+        .unwrap();
+    // Buffer the remaining batches and flush them in one append.
+    for b in &batches[1..] {
+        w.push_batch(b).unwrap();
+    }
+    let stats = w.append_to(&path).unwrap();
+    assert_eq!(stats.rows_appended, batches[1..].iter().map(|b| b.num_rows()).sum::<usize>());
+    assert!(w.is_empty());
+    let eager = persist::read_file(&path).unwrap();
+    assert_eq!(eager.decompress().unwrap().rows(), table.rows());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn append_onto_empty_file() {
+    let schema = base_table().schema().clone();
+    let empty = TableBuilder::new(schema).finish().unwrap();
+    let path = temp_path("from-empty.cohana");
+    let c = CompressedTable::build(&empty, CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    persist::write_file(&c, &path).unwrap();
+
+    let table = base_table();
+    let stats = persist::append(&path, &table).unwrap();
+    assert_eq!(stats.chunks_before, 0);
+    assert!(stats.chunks_after > 0);
+    let eager = persist::read_file(&path).unwrap();
+    assert_eq!(eager.decompress().unwrap().rows(), table.rows());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn empty_batch_append_is_a_noop() {
+    let table = base_table();
+    let path = temp_path("noop.cohana");
+    let c = CompressedTable::build(&table, CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    persist::write_file(&c, &path).unwrap();
+    let before = std::fs::read(&path).unwrap();
+    let empty = TableBuilder::new(table.schema().clone()).finish().unwrap();
+    let stats = persist::append(&path, &empty).unwrap();
+    assert_eq!(stats.rows_appended, 0);
+    assert_eq!(stats.chunks_before, stats.chunks_after);
+    assert_eq!(std::fs::read(&path).unwrap(), before, "no bytes written");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn append_rejects_v1_and_v2_files() {
+    let table = base_table();
+    let c = CompressedTable::build(&table, CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    for (name, bytes) in [
+        ("reject-v1.cohana", persist::to_bytes_v1(&c)),
+        ("reject-v2.cohana", persist::to_bytes_v2(&c)),
+    ] {
+        let path = temp_path(name);
+        std::fs::write(&path, &bytes).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        let err = persist::append(&path, &table).unwrap_err();
+        match &err {
+            StorageError::Unsupported(msg) => {
+                assert!(msg.contains("re-save"), "error should carry a migration hint: {msg}")
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        // A rejected append must not touch the file.
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        assert!(matches!(persist::compact(&path).unwrap_err(), StorageError::Unsupported(_)));
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn append_rejects_duplicate_keys_and_foreign_schema() {
+    let table = base_table();
+    let path = temp_path("conflict.cohana");
+    let c = CompressedTable::build(&table, CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    persist::write_file(&c, &path).unwrap();
+    // Re-appending the same rows collides on every primary key.
+    assert!(matches!(persist::append(&path, &table).unwrap_err(), StorageError::Invalid(_)));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn refresh_picks_up_appends_without_serving_stale_segments() {
+    let table = base_table();
+    let batches = split_by_time(&table, 2);
+    let path = temp_path("refresh.cohana");
+    let first =
+        CompressedTable::build(&batches[0], CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    persist::write_file(&first, &path).unwrap();
+
+    let mut src = FileSource::open(&path).unwrap();
+    // Warm the cache with every chunk, then grow the file behind the source.
+    for i in 0..src.num_chunks() {
+        src.chunk(i).unwrap();
+    }
+    let chunks_before = src.num_chunks();
+    persist::append(&path, &batches[1]).unwrap();
+
+    // Until refresh, the source still serves its open-time snapshot.
+    assert_eq!(src.num_chunks(), chunks_before);
+    assert_eq!(src.table_meta().num_rows(), batches[0].num_rows());
+
+    let stats = src.refresh().unwrap();
+    assert_eq!(stats.chunks_before, chunks_before);
+    assert_eq!(stats.chunks_after, src.num_chunks());
+    assert!(stats.segments_invalidated > 0, "rewritten/re-based segments must drop");
+    assert_eq!(src.table_meta().num_rows(), table.num_rows());
+
+    // Every chunk served after the refresh matches the eager read of the
+    // appended file — nothing stale survives.
+    let eager = persist::read_file(&path).unwrap();
+    assert_eq!(src.num_chunks(), eager.chunks().len());
+    for i in 0..src.num_chunks() {
+        assert_eq!(&*src.chunk(i).unwrap(), &eager.chunks()[i], "chunk {i} diverges");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn refresh_after_compact_switches_to_the_new_image() {
+    let table = base_table();
+    let batches = split_by_time(&table, 3);
+    let (path, _) = build_by_appends("refresh-compact.cohana", &batches);
+    let mut src = FileSource::open(&path).unwrap();
+    for i in 0..src.num_chunks() {
+        src.chunk(i).unwrap();
+    }
+    let warm_chunks = src.num_chunks();
+    let arity = persist::read_file(&path).unwrap().schema().arity();
+    persist::compact(&path).unwrap();
+    let stats = src.refresh().unwrap();
+    // Compaction replaces the inode; byte locations mean nothing across the
+    // rewrite, so *every* cached segment (RLE + each non-user column per
+    // chunk) must drop, even where offsets happen to coincide.
+    assert_eq!(stats.segments_invalidated, warm_chunks * arity);
+    let eager = persist::read_file(&path).unwrap();
+    assert_eq!(src.num_chunks(), eager.chunks().len());
+    for i in 0..src.num_chunks() {
+        assert_eq!(&*src.chunk(i).unwrap(), &eager.chunks()[i]);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn compact_reclaims_dead_bytes_and_restores_build_once_image() {
+    let table = base_table();
+    let batches = split_by_time(&table, 4);
+    let (path, stats) = build_by_appends("compact.cohana", &batches);
+    let appended_size = std::fs::metadata(&path).unwrap().len();
+    assert!(stats.last().unwrap().dead_bytes > 0);
+
+    let cstats = persist::compact(&path).unwrap();
+    assert_eq!(cstats.bytes_before, appended_size);
+    assert_eq!(cstats.rows, table.num_rows());
+    assert!(cstats.reclaimed_bytes > 0, "compaction reclaims dead bytes");
+    assert!(cstats.bytes_after < cstats.bytes_before);
+
+    // Compaction restores the exact build-once image: same primary order,
+    // same chunking, same dictionaries — byte for byte.
+    let once = CompressedTable::build(&table, CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    assert_eq!(std::fs::read(&path).unwrap(), persist::to_bytes(&once).to_vec());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn open_snapshot_survives_append_and_compact() {
+    let table = base_table();
+    let batches = split_by_time(&table, 2);
+    let path = temp_path("snapshot.cohana");
+    let first =
+        CompressedTable::build(&batches[0], CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    persist::write_file(&first, &path).unwrap();
+
+    let src = FileSource::open(&path).unwrap();
+    persist::append(&path, &batches[1]).unwrap();
+    persist::compact(&path).unwrap();
+    // The old handle still reads the pre-append image: the append left the
+    // old footer's bytes untouched and the compact replaced the path via
+    // rename, keeping the old inode alive through the open fd.
+    assert_eq!(src.table_meta().num_rows(), batches[0].num_rows());
+    for i in 0..src.num_chunks() {
+        assert_eq!(&*src.chunk(i).unwrap(), &first.chunks()[i]);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_appended_file_reports_named_corruption() {
+    let table = base_table();
+    let batches = split_by_time(&table, 2);
+    let (path, _) = build_by_appends("truncated.cohana", &batches);
+    let bytes = std::fs::read(&path).unwrap();
+    // A tail whose footer length reaches past the start of the file must
+    // name the impossible offset, not panic or report a bare UnexpectedEof.
+    let mut crafted = bytes.clone();
+    let tail = crafted.len() - 12;
+    crafted[tail..tail + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    match persist::from_bytes(&crafted).unwrap_err() {
+        StorageError::Corrupt(msg) => {
+            assert!(msg.contains("would start at offset"), "unhelpful message: {msg}")
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    // Any truncation of an appended image errors cleanly (the tail magic or
+    // the footer bounds catch it), never panics.
+    for cut in [bytes.len() - 1, bytes.len() - 13, bytes.len() / 2, 9] {
+        assert!(persist::from_bytes(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+    }
+    std::fs::remove_file(&path).ok();
+}

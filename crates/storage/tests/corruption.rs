@@ -108,6 +108,38 @@ fn bad_magic_rejected_every_version() {
 }
 
 #[test]
+fn footer_past_eof_names_the_offset_every_footered_version() {
+    // A tail claiming a footer longer than the file (the signature of a
+    // truncated or torn-append image) must produce a corruption error that
+    // names the impossible offset — not a bare UnexpectedEof, and never a
+    // slice panic. Both the eager and the lazy open paths report it.
+    use cohana_storage::StorageError;
+    for version in [2, 3] {
+        let mut bytes = image(version);
+        let tail = bytes.len() - 12;
+        let bogus_len = bytes.len() as u64 * 2;
+        bytes[tail..tail + 8].copy_from_slice(&bogus_len.to_le_bytes());
+        match from_bytes(&bytes).unwrap_err() {
+            StorageError::Corrupt(msg) => {
+                assert!(msg.contains("would start at offset"), "v{version}: weak message: {msg}")
+            }
+            other => panic!("v{version}: expected Corrupt, got {other:?}"),
+        }
+        let dir = std::env::temp_dir().join("cohana-corruption-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("footer-eof-v{version}.cohana"));
+        std::fs::write(&path, &bytes).unwrap();
+        match FileSource::open(&path).unwrap_err() {
+            StorageError::Corrupt(msg) => {
+                assert!(msg.contains("would start at offset"), "v{version}: weak message: {msg}")
+            }
+            other => panic!("v{version}: expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
 fn lazy_decode_of_tampered_chunk_errors_not_panics() {
     // Flip bytes inside the payload region only: the footer parses fine, so
     // FileSource::open succeeds, and the corruption must surface as a

@@ -17,7 +17,7 @@
 //!
 //! Statements end with `;`. `WITH … AS (…) SELECT …` mixed queries (§3.5)
 //! and `EXPLAIN <query>` are supported. Every statement runs through one
-//! [`Session`](cohana::engine::session::Session) on the shared engine.
+//! [`Session`] on the shared engine.
 
 use cohana::engine::QueryStats;
 use cohana::prelude::*;
@@ -249,6 +249,8 @@ fn meta_command(session: &Session<'_>, cmd: &str, last_stats: &mut Option<QueryS
                  .stats source      lifetime storage/cache counters\n\
                  .explain <query>   show the optimized plan (or: EXPLAIN <query>;)\n\
                  .pivot <query>;    run and render as a cohort matrix\n\
+                 .ingest <file.csv> append new activity records to the table\n\
+                 .compact           merge appended chunks, restore sort order\n\
                  .save <file>       persist the compressed table\n\
                  .quit              exit"
             );
@@ -273,6 +275,20 @@ fn meta_command(session: &Session<'_>, cmd: &str, last_stats: &mut Option<QueryS
             Err(e) => eprintln!("error: {e}"),
         },
         ".pivot" => run_statement(session, rest.trim_end_matches(';'), Render::Pivot, last_stats),
+        ".ingest" => {
+            if rest.is_empty() {
+                eprintln!("usage: .ingest FILE.csv");
+            } else {
+                ingest_csv(engine, rest);
+            }
+        }
+        ".compact" => match engine.compact("GameActions") {
+            Ok(s) => println!(
+                "compacted: {} -> {} chunks over {} rows, reclaimed {} of {} bytes",
+                s.chunks_before, s.chunks_after, s.rows, s.reclaimed_bytes, s.bytes_before
+            ),
+            Err(e) => eprintln!("error: {e}"),
+        },
         ".save" => {
             if rest.is_empty() {
                 eprintln!("usage: .save FILE");
@@ -288,6 +304,42 @@ fn meta_command(session: &Session<'_>, cmd: &str, last_stats: &mut Option<QueryS
         other => eprintln!("unknown command {other:?}; try .help"),
     }
     true
+}
+
+/// `.ingest FILE.csv`: parse new activity records against the table's
+/// schema and append them (in place for file-backed tables, rebuilding for
+/// resident ones). Queries prepared afterwards see the new data.
+fn ingest_csv(engine: &Cohana, path: &str) {
+    let Some(schema) = engine.schema_of("GameActions") else {
+        eprintln!("no GameActions table registered");
+        return;
+    };
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return;
+        }
+    };
+    let batch = match cohana::activity::csv::read_csv(schema, file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return;
+        }
+    };
+    match engine.ingest("GameActions", &batch) {
+        Ok(s) => {
+            println!(
+                "ingested {} rows: {} -> {} chunks ({} rewritten for returning users)",
+                s.rows_appended, s.chunks_before, s.chunks_after, s.chunks_rewritten
+            );
+            if s.dead_bytes > 0 {
+                println!("{} dead bytes in the file; run .compact to reclaim them", s.dead_bytes);
+            }
+        }
+        Err(e) => eprintln!("error: {e}"),
+    }
 }
 
 /// Lifetime counters of the backing table or source (`.stats source`).

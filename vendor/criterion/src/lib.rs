@@ -174,6 +174,7 @@ impl BenchmarkGroup<'_> {
                 let per_iter = elapsed.as_secs_f64() / iters as f64;
                 self.criterion
                     .println(&format!("{full:<52} {:>12}  ({iters} iters)", format_time(per_iter)));
+                self.criterion.record(&full, per_iter, iters);
             }
             _ => self.criterion.println(&format!("{full:<52} {:>12}", "no samples")),
         }
@@ -202,11 +203,21 @@ pub struct Criterion {
     /// one iteration with no warm-up, so CI can execute every bench binary
     /// as a cheap bit-rot check instead of a measurement.
     smoke: bool,
+    /// Machine-readable report (`COHANA_BENCH_REPORT=path`): every finished
+    /// benchmark appends one JSON line `{"bench", "seconds_per_iter",
+    /// "iters"}` to the file. Bench binaries run sequentially, so appending
+    /// from each is race-free; CI uploads the accumulated file as the
+    /// per-push perf-trajectory artifact.
+    report_path: Option<std::path::PathBuf>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { quiet: false, smoke: std::env::var_os("COHANA_BENCH_SMOKE").is_some() }
+        Criterion {
+            quiet: false,
+            smoke: std::env::var_os("COHANA_BENCH_SMOKE").is_some(),
+            report_path: std::env::var_os("COHANA_BENCH_REPORT").map(Into::into),
+        }
     }
 }
 
@@ -238,6 +249,30 @@ impl Criterion {
             println!("{line}");
         }
     }
+
+    /// Append one benchmark's result to the JSON-lines report file, if
+    /// configured. Best-effort: an unwritable report never fails a bench.
+    fn record(&mut self, bench: &str, seconds_per_iter: f64, iters: u64) {
+        let Some(path) = &self.report_path else { return };
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            use std::io::Write;
+            let escaped: String = bench
+                .chars()
+                .flat_map(|c| match c {
+                    '"' | '\\' => vec!['\\', c],
+                    c => vec![c],
+                })
+                .collect();
+            let _ = writeln!(
+                f,
+                "{{\"bench\": \"{escaped}\", \"seconds_per_iter\": {seconds_per_iter:e}, \
+                 \"iters\": {iters}}}"
+            );
+        }
+    }
 }
 
 /// Collect benchmark functions into a runnable group function.
@@ -267,7 +302,7 @@ mod tests {
 
     #[test]
     fn smoke_bench_runs() {
-        let mut c = Criterion { quiet: true, smoke: false };
+        let mut c = Criterion { quiet: true, smoke: false, report_path: None };
         let mut g = c.benchmark_group("g");
         g.measurement_time(Duration::from_millis(5)).warm_up_time(Duration::from_millis(1));
         g.bench_function("add", |b| b.iter(|| black_box(1u64) + 1));
@@ -278,8 +313,26 @@ mod tests {
     }
 
     #[test]
+    fn report_file_gets_one_json_line_per_bench() {
+        let path = std::env::temp_dir().join("criterion-shim-report-test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut c = Criterion { quiet: true, smoke: true, report_path: Some(path.clone()) };
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("one", |b| b.iter(|| black_box(1u64) + 1));
+        g.bench_function("two", |b| b.iter(|| black_box(2u64) + 2));
+        g.finish();
+        let report = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = report.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"bench\": \"grp/one\""));
+        assert!(lines[0].contains("\"iters\": 1"));
+        assert!(lines[1].contains("\"bench\": \"grp/two\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn smoke_mode_runs_single_iterations() {
-        let mut c = Criterion { quiet: true, smoke: true };
+        let mut c = Criterion { quiet: true, smoke: true, report_path: None };
         let mut g = c.benchmark_group("g");
         // Settings are ignored in smoke mode: still exactly one iteration.
         g.measurement_time(Duration::from_secs(60)).warm_up_time(Duration::from_secs(60));
