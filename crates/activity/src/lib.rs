@@ -47,7 +47,7 @@ pub use error::ActivityError;
 pub use generate::{generate, scale_table, ArrivalModel, GeneratorConfig};
 pub use schema::{Attribute, AttributeRole, Schema};
 pub use table::{ActivityTable, UserBlock};
-pub use time::{TimeBin, Timestamp, SECONDS_PER_DAY};
+pub use time::{TimeBin, Timestamp, SECONDS_PER_DAY, SECONDS_PER_WEEK};
 pub use tuple::Tuple;
 pub use value::{Value, ValueType};
 

@@ -586,6 +586,55 @@ pub fn ingest(cache: &mut DatasetCache) -> ExperimentResult {
     out
 }
 
+// ------------------------------------------------------- Scan throughput
+
+/// Extension experiment (not in the paper): end-to-end rows/sec of the
+/// vectorized chunk executor (block time decode, per-chunk predicate
+/// specialization, allocation-free inner loop — `docs/PERF.md`). Q1–Q4 run
+/// as prepared statements on the resident compressed table and on a warmed
+/// v3 `FileSource`; each row records the executor-attributed `rows_scanned`
+/// and the derived rows/sec straight from `QueryStats`, so scan-rate
+/// regressions show up in the recorded numbers, not just in criterion
+/// timings.
+pub fn scan_throughput(cache: &mut DatasetCache) -> ExperimentResult {
+    let runs = cache.config().runs;
+    let compressed = cache.compressed(1, 64 * 1024);
+    let dir = std::env::temp_dir().join("cohana-bench-scan-throughput");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scan-throughput.cohana");
+    persist::write_file(&compressed, &path).expect("write v3 file");
+    let v3 = Arc::new(FileSource::open(&path).expect("open v3 file"));
+
+    let mut out = ExperimentResult::new(
+        "scan-throughput",
+        "vectorized executor scan rate: rows scanned and rows/sec per query and source",
+        vec!["query".into(), "source".into(), "rows".into(), "seconds".into(), "rowsPerSec".into()],
+    );
+    for (name, q) in q1_to_q4() {
+        for (src_name, src) in [
+            ("resident", Arc::clone(&compressed) as Arc<dyn ChunkSource>),
+            ("v3-warm", Arc::clone(&v3) as Arc<dyn ChunkSource>),
+        ] {
+            let stmt = Statement::over(src, &q, PlannerOptions::default(), 1).expect("query plans");
+            stmt.execute().expect("warm-up executes"); // warm the segment cache
+            let mut last_stats = None;
+            let d = time_avg(runs, || {
+                last_stats = stmt.execute().expect("query executes").stats;
+            });
+            let stats = last_stats.expect("executor attaches stats");
+            out.push_row(vec![
+                name.into(),
+                src_name.into(),
+                stats.rows_scanned.to_string(),
+                fmt_secs(d),
+                format!("{:.0}", stats.rows_scanned as f64 / d.as_secs_f64().max(1e-9)),
+            ]);
+        }
+    }
+    std::fs::remove_file(&path).ok();
+    out
+}
+
 /// Contiguous time slices of a table (the streaming-arrival shape).
 fn time_slices(table: &ActivityTable, k: usize) -> Vec<ActivityTable> {
     let tidx = table.schema().time_idx();
@@ -618,6 +667,7 @@ pub fn all(cache: &mut DatasetCache) -> Vec<ExperimentResult> {
         ablation(cache),
         parallel(cache),
         lazy_io(cache),
+        scan_throughput(cache),
         ingest(cache),
     ]
 }
@@ -668,6 +718,18 @@ mod tests {
         let r = ablation(&mut quick_cache());
         assert_eq!(r.headers.len(), 7);
         assert_eq!(r.rows.len(), 4);
+    }
+
+    #[test]
+    fn scan_throughput_records_rows_per_sec() {
+        let r = scan_throughput(&mut quick_cache());
+        assert_eq!(r.rows.len(), 8, "Q1-Q4 x resident/v3-warm");
+        for row in &r.rows {
+            let rows: u64 = row[2].parse().unwrap();
+            let rate: f64 = row[4].parse().unwrap();
+            assert!(rows > 0, "{}: no rows attributed", row[0]);
+            assert!(rate > 0.0, "{}: no rate recorded", row[0]);
+        }
     }
 
     #[test]

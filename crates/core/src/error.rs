@@ -17,6 +17,9 @@ pub enum EngineError {
     InvalidQuery(String),
     /// Propagated storage failure.
     Storage(String),
+    /// Decoded data contradicts a format invariant the executor relies on
+    /// (e.g. a chunk whose action column is not dictionary-encoded).
+    Corrupt(String),
     /// Propagated activity-model failure.
     Activity(String),
     /// The operation is not supported on this catalog entry or input (e.g.
@@ -33,6 +36,7 @@ impl fmt::Display for EngineError {
             EngineError::TypeError(m) => write!(f, "type error: {m}"),
             EngineError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
             EngineError::Storage(m) => write!(f, "storage error: {m}"),
+            EngineError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             EngineError::Activity(m) => write!(f, "activity error: {m}"),
             EngineError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
         }

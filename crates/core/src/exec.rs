@@ -28,6 +28,14 @@
 //!    (time-ordering property), so "distinct users at age g" needs only a
 //!    last-age check per user, and per-chunk counts sum exactly because no
 //!    user spans chunks.
+//!
+//! The per-chunk pass is **vectorized** (see `docs/PERF.md`): columns are
+//! resolved once per chunk into [`ChunkCursors`](cohana_storage::ChunkCursors),
+//! predicates are re-specialized against each chunk's dictionaries and
+//! ranges ([`CompiledExpr::specialize`]), each user block's time column is
+//! block-decoded into scratch buffers reused across users, and the inner
+//! loop performs no column lookups, no hardware divisions, and no
+//! allocations.
 
 use crate::agg::{AggFunc, AggState};
 use crate::error::EngineError;
@@ -76,7 +84,15 @@ impl Partial {
             *self.sizes.entry(k).or_insert(0) += s;
         }
         for (k, ages) in other.cells {
+            // One hash lookup per cohort; the per-age loop below works on
+            // the resolved tree, never re-hashing the cohort key.
             let into = self.cells.entry(k).or_default();
+            if into.is_empty() {
+                // Common case (each cohort usually first seen whole): adopt
+                // the other side's tree instead of inserting age by age.
+                *into = ages;
+                continue;
+            }
             for (age, states) in ages {
                 match into.entry(age) {
                     std::collections::btree_map::Entry::Vacant(v) => {
@@ -92,6 +108,11 @@ impl Partial {
         }
         Ok(())
     }
+
+    /// Total `(cohort, age)` cells across all cohorts.
+    pub(crate) fn num_cells(&self) -> usize {
+        self.cells.values().map(BTreeMap::len).sum()
+    }
 }
 
 /// One per-chunk batch of partial results, as yielded by a
@@ -106,6 +127,7 @@ impl Partial {
 #[derive(Debug)]
 pub struct ResultBatch {
     pub(crate) chunk_index: usize,
+    pub(crate) rows_scanned: usize,
     pub(crate) partial: Partial,
 }
 
@@ -115,6 +137,11 @@ impl ResultBatch {
         self.chunk_index
     }
 
+    /// Rows of the source chunk this batch's scan covered.
+    pub fn rows_scanned(&self) -> usize {
+        self.rows_scanned
+    }
+
     /// Cohorts with at least one qualified user in this chunk.
     pub fn num_cohorts(&self) -> usize {
         self.partial.sizes.len()
@@ -122,7 +149,7 @@ impl ResultBatch {
 
     /// `(cohort, age)` cells this chunk contributed to.
     pub fn num_cells(&self) -> usize {
-        self.partial.cells.values().map(BTreeMap::len).sum()
+        self.partial.num_cells()
     }
 
     /// Qualified users this chunk contributed (summed over cohorts).
@@ -139,6 +166,10 @@ pub(crate) struct ExecContext {
     key_parts: Vec<KeyPart>,
     aggs: Vec<AggFunc>,
     agg_attrs: Vec<Option<usize>>,
+    /// Whether any aggregate folds tuple values (vs. per-user counting
+    /// only); when false, repeated-age tuples cannot change any state and
+    /// the inner loop skips cell resolution for them.
+    has_value_aggs: bool,
     age_bin: TimeBin,
     /// Dense path: `(dict_len, age_domain)` when enabled.
     dense: Option<(usize, usize)>,
@@ -211,6 +242,7 @@ impl ExecContext {
             key_parts,
             aggs: query.aggregates.clone(),
             agg_attrs,
+            has_value_aggs: query.aggregates.iter().any(|a| !a.per_user()),
             age_bin: query.age_bin,
             dense,
         })
@@ -254,8 +286,9 @@ impl QueryCore {
     /// query names.
     pub(crate) fn run_chunk(&self, idx: usize) -> Result<ResultBatch, EngineError> {
         let chunk = self.source.chunk_columns(idx, &self.plan.projected_idxs)?;
-        let partial = process_chunk(self.source.table_meta(), &chunk, &self.plan, &self.ctx)?;
-        Ok(ResultBatch { chunk_index: idx, partial })
+        let (partial, rows_scanned) =
+            process_chunk(self.source.table_meta(), &chunk, &self.plan, &self.ctx)?;
+        Ok(ResultBatch { chunk_index: idx, rows_scanned, partial })
     }
 
     /// Spawn `workers` threads that stride over `live` and feed batches into
@@ -321,14 +354,41 @@ fn prune_chunk(entry: &ChunkIndexEntry, plan: &PhysicalPlan, ctx: &ExecContext) 
 
 /// Run the fused operators over one chunk. Chunk pruning has already been
 /// decided by [`prune_chunk`] from the chunk's index entry.
+///
+/// This is the vectorized path: columns are resolved **once** into
+/// [`ChunkCursors`], predicates are specialized against this chunk's
+/// dictionaries and ranges ([`CompiledExpr::specialize`]), and each user
+/// block's time column is block-decoded into a scratch buffer reused across
+/// users — the inner loop performs no column lookups, no per-element
+/// div/mod, and no allocations.
+///
+/// Returns the partial plus the rows the pass actually covered:
+/// `chunk.num_rows()` normally, 0 when the specialized birth predicate
+/// proved the whole chunk irrelevant without touching a row — so
+/// `rows_scanned`-derived scan rates never credit work that never ran.
 fn process_chunk(
     table: &TableMeta,
     chunk: &Chunk,
     plan: &PhysicalPlan,
     ctx: &ExecContext,
-) -> Result<Partial, EngineError> {
+) -> Result<(Partial, usize), EngineError> {
     let mut partial = Partial::default();
-    let mut scan = ChunkScan::open(table, chunk, ctx.birth_gid);
+    let mut scan = ChunkScan::open(table, chunk, ctx.birth_gid)?;
+    let cursors = chunk.cursors();
+
+    // §4.3 "compile once per chunk": fold against this chunk's metadata and
+    // rewrite gid comparisons to raw chunk codes.
+    let birth_pred = ctx.birth_pred.as_ref().map(|p| p.specialize(chunk));
+    let age_pred = ctx.age_pred.as_ref().map(|p| p.specialize(chunk));
+    if plan.options.skip_unqualified_users
+        && birth_pred.as_ref().is_some_and(CompiledExpr::is_const_false)
+    {
+        // No user in this chunk can qualify; nothing to scan.
+        return Ok((partial, 0));
+    }
+    // A constant-false age predicate still lets users qualify (their cohort
+    // sizes count), but no tuple ever reaches the aggregates.
+    let age_dead = age_pred.as_ref().is_some_and(CompiledExpr::is_const_false);
 
     // Dense or hash accumulators.
     let n_aggs = ctx.aggs.len();
@@ -340,15 +400,25 @@ fn process_chunk(
         inits: ctx.aggs.iter().map(|a| a.init()).collect(),
     });
 
+    // Scratch reused across users: one growth to the largest block, then
+    // allocation-free. `tbuf` holds the block's decoded time deltas, `abuf`
+    // the normalized age of every tuple.
+    let time_deltas = scan.time_deltas();
+    let time_min = scan.time_min();
+    let mut tbuf: Vec<u64> = Vec::new();
+    let mut abuf: Vec<i64> = Vec::new();
     let mut key_buf: Key = Vec::with_capacity(ctx.key_parts.len());
+
     while let Some(run) = scan.next_user() {
         let birth_row = match scan.find_birth_row(&run) {
             Some(r) => r,
             None => continue, // user never performed the birth action
         };
-        let birth_time = scan.time_at(birth_row);
         let birth_ctx = EvalCtx { row: birth_row, birth_row, age_units: 0 };
-        let qualified = ctx.birth_pred.as_ref().map(|p| p.eval(chunk, &birth_ctx)).unwrap_or(true);
+        let qualified = birth_pred.as_ref().map(|p| p.eval(&cursors, &birth_ctx)).unwrap_or(true);
+        let start = run.first as usize;
+        let count = run.count as usize;
+        let birth_delta = time_deltas.get(birth_row) as i64;
 
         if !qualified {
             if plan.options.skip_unqualified_users {
@@ -358,61 +428,111 @@ fn process_chunk(
             // Ablation mode: perform the per-tuple scan work the skip would
             // have avoided, discarding results. black_box prevents the
             // optimizer from deleting the loop.
-            let start = run.first as usize;
-            let end = start + run.count as usize;
-            for row in start..end {
-                let age_secs = scan.time_at(row) - birth_time;
-                let age_units = ctx.age_bin.age_units(age_secs);
-                let tctx = EvalCtx { row, birth_row, age_units };
-                let keep = age_secs > 0
-                    && ctx.age_pred.as_ref().map(|p| p.eval(chunk, &tctx)).unwrap_or(true);
+            tbuf.resize(count, 0);
+            time_deltas.unpack_range(start, start + count, &mut tbuf);
+            abuf.resize(count, 0);
+            fill_age_units(ctx.age_bin, &tbuf, birth_delta, &mut abuf);
+            for (off, &age_units) in abuf.iter().enumerate() {
+                let tctx = EvalCtx { row: start + off, birth_row, age_units };
+                let keep = age_units > 0
+                    && age_pred.as_ref().map(|p| p.eval(&cursors, &tctx)).unwrap_or(true);
                 std::hint::black_box(keep);
             }
             continue;
         }
 
+        let birth_time = time_min + birth_delta;
+
         // Cohort assignment from the birth tuple (Definition 6).
         key_buf.clear();
         for part in &ctx.key_parts {
             key_buf.push(match part {
-                KeyPart::Str(idx) => chunk.column_required(*idx).gid_at(birth_row) as u64,
-                KeyPart::Int(idx) => chunk.column_required(*idx).int_value(birth_row) as u64,
+                KeyPart::Str(idx) => cursors.gid(*idx, birth_row) as u64,
+                KeyPart::Int(idx) => cursors.int(*idx, birth_row) as u64,
                 KeyPart::TimeBin(bin) => bin.bin_start(Timestamp(birth_time)).secs() as u64,
             });
         }
 
-        // Cohort size counts every qualified user exactly once.
+        // Cohort size counts every qualified user exactly once. The hash
+        // path gets then inserts: the key is cloned only the first time a
+        // cohort appears, not per user.
         let dense_cohort = dense_state.as_ref().map(|_| key_buf[0] as usize);
         match (&mut dense_state, dense_cohort) {
             (Some(d), Some(c)) => d.sizes[c] += 1,
-            _ => *partial.sizes.entry(key_buf.clone()).or_insert(0) += 1,
+            _ => match partial.sizes.get_mut(&key_buf) {
+                Some(size) => *size += 1,
+                None => {
+                    partial.sizes.insert(key_buf.clone(), 1);
+                }
+            },
+        }
+        if age_dead || count == 1 {
+            continue; // no tuple of this user can reach the aggregates
         }
 
-        // Fold this user's age activity tuples.
-        let start = run.first as usize;
-        let end = start + run.count as usize;
+        // Block-decode this user's time deltas once and normalize every
+        // tuple's age in one pass; ages fall out as delta differences (the
+        // chunk minimum cancels) and the per-bin division is by a
+        // compile-time constant.
+        tbuf.resize(count, 0);
+        time_deltas.unpack_range(start, start + count, &mut tbuf);
+        abuf.resize(count, 0);
+        fill_age_units(ctx.age_bin, &tbuf, birth_delta, &mut abuf);
+
+        // Locate the first tuple the aggregation will touch *before*
+        // resolving any accumulator state: a user whose every tuple fails
+        // the age selection leaves no trace (and costs no hash traffic).
+        // The first positive-age tuple that passes the predicate always
+        // contributes (its age is trivially fresh).
+        let first_contrib = abuf.iter().enumerate().position(|(off, &age_units)| {
+            age_units > 0
+                && age_pred
+                    .as_ref()
+                    .map(|p| p.eval(&cursors, &EvalCtx { row: start + off, birth_row, age_units }))
+                    .unwrap_or(true)
+        });
+        let Some(first_off) = first_contrib else { continue };
+
+        // Resolve the cohort's age table once per contributing user (hash
+        // path); the inner loop then updates it without hashing or cloning
+        // the key.
+        let mut user_cells: Option<&mut BTreeMap<i64, Vec<AggState>>> = match dense_cohort {
+            Some(_) => None,
+            None => {
+                if !partial.cells.contains_key(&key_buf) {
+                    partial.cells.insert(key_buf.clone(), BTreeMap::new());
+                }
+                partial.cells.get_mut(&key_buf)
+            }
+        };
+
+        // Fold this user's age activity tuples in a tight loop over the
+        // decoded age buffer.
         let mut last_age_contributed = i64::MIN;
-        for row in start..end {
-            let age_secs = scan.time_at(row) - birth_time;
-            if age_secs <= 0 {
+        for (off, &age_units) in abuf.iter().enumerate().skip(first_off) {
+            if age_units <= 0 {
                 continue; // birth tuple or pre-birth tuple: g ≤ 0 excluded
             }
-            let age_units = ctx.age_bin.age_units(age_secs);
-            let tctx = EvalCtx { row, birth_row, age_units };
-            if let Some(p) = &ctx.age_pred {
-                if !p.eval(chunk, &tctx) {
+            let row = start + off;
+            if let Some(p) = &age_pred {
+                let tctx = EvalCtx { row, birth_row, age_units };
+                if !p.eval(&cursors, &tctx) {
                     continue;
                 }
             }
             let fresh_age = age_units != last_age_contributed;
             last_age_contributed = age_units;
+            if !fresh_age && !ctx.has_value_aggs {
+                // Every aggregate is per-user (e.g. USER_COUNT) and this age
+                // was already credited: nothing can change.
+                continue;
+            }
 
             let states: &mut [AggState] = match (&mut dense_state, dense_cohort) {
                 (Some(d), Some(c)) => d.cell(c, age_units as usize, n_aggs),
-                _ => partial
-                    .cells
-                    .entry(key_buf.clone())
-                    .or_default()
+                _ => user_cells
+                    .as_deref_mut()
+                    .expect("hash path resolved the cohort's age table")
                     .entry(age_units)
                     .or_insert_with(|| ctx.aggs.iter().map(|a| a.init()).collect()),
             };
@@ -425,7 +545,7 @@ fn process_chunk(
                     }
                 } else {
                     let v = match ctx.agg_attrs[i] {
-                        Some(idx) => chunk.column_required(idx).int_value(row),
+                        Some(idx) => cursors.int(idx, row),
                         None => 0,
                     };
                     states[i].update(v);
@@ -437,7 +557,31 @@ fn process_chunk(
     if let Some(d) = dense_state {
         d.drain_into(&mut partial, n_aggs);
     }
-    Ok(partial)
+    Ok((partial, chunk.num_rows()))
+}
+
+/// Normalize one user block's ages into `out`, dispatching once per block so
+/// the per-row division inside is by a **compile-time constant** (the
+/// optimizer strength-reduces it to a multiply — no hardware division in the
+/// loop). Semantics are exactly [`TimeBin::age_units`] of
+/// `delta - birth_delta`: 0 for non-positive ages, else whole units counted
+/// from 1.
+fn fill_age_units(bin: TimeBin, deltas: &[u64], birth_delta: i64, out: &mut [i64]) {
+    use cohana_activity::{SECONDS_PER_DAY, SECONDS_PER_WEEK};
+    const MONTH: i64 = 30 * SECONDS_PER_DAY;
+    match bin {
+        TimeBin::Day => fill_age_units_const::<{ SECONDS_PER_DAY }>(deltas, birth_delta, out),
+        TimeBin::Week => fill_age_units_const::<{ SECONDS_PER_WEEK }>(deltas, birth_delta, out),
+        TimeBin::Month => fill_age_units_const::<MONTH>(deltas, birth_delta, out),
+    }
+}
+
+#[inline(always)]
+fn fill_age_units_const<const UNIT: i64>(deltas: &[u64], birth_delta: i64, out: &mut [i64]) {
+    for (slot, &d) in out.iter_mut().zip(deltas) {
+        let age_secs = d as i64 - birth_delta;
+        *slot = if age_secs <= 0 { 0 } else { (age_secs - 1).div_euclid(UNIT) + 1 };
+    }
 }
 
 /// Dense `(cohort gid × age)` aggregation table (§4.4).
@@ -502,7 +646,8 @@ fn build_report(
             .collect()
     };
 
-    let mut rows = Vec::new();
+    // One row per (cohort, age) cell: size the vector once up front.
+    let mut rows = Vec::with_capacity(merged.num_cells());
     for (key, ages) in &merged.cells {
         let cohort = decode_key(key);
         let size = merged.sizes.get(key).copied().unwrap_or(0);
@@ -531,4 +676,25 @@ fn build_report(
             .collect::<BTreeMap<_, _>>(),
         stats: None,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_age_units_matches_timebin_age_units() {
+        let deltas: Vec<u64> = vec![0, 1, 86_399, 86_400, 86_401, 604_800, 2_591_999, 2_592_001];
+        for bin in [TimeBin::Day, TimeBin::Week, TimeBin::Month] {
+            for birth_delta in [0i64, 1, 86_400, 700_000] {
+                let mut out = vec![i64::MAX; deltas.len()];
+                fill_age_units(bin, &deltas, birth_delta, &mut out);
+                for (i, &d) in deltas.iter().enumerate() {
+                    let age_secs = d as i64 - birth_delta;
+                    let expect = if age_secs <= 0 { 0 } else { bin.age_units(age_secs) };
+                    assert_eq!(out[i], expect, "{bin:?} delta {d} birth {birth_delta}");
+                }
+            }
+        }
+    }
 }

@@ -6,8 +6,8 @@
 //! rows of a skipped user — no file pointers need to move because the
 //! bit-packed columns are randomly addressable.
 //!
-//! Predicates are compiled once per chunk into [`CompiledExpr`]s that
-//! operate directly on compressed codes:
+//! Predicates are compiled in two stages. [`compile_predicate`] runs once
+//! per statement, translating values through the **global** dictionaries:
 //!
 //! * string equality/ordering is translated to integer comparisons on
 //!   **global ids** (dictionary order equals value order);
@@ -16,12 +16,24 @@
 //! * integer columns decode as `chunk_min + delta` — one add per access;
 //! * `Birth(A)` terms read the same columns at the user's birth row;
 //! * `AGE` reads the pre-computed age of the current tuple.
+//!
+//! [`CompiledExpr::specialize`] then runs once per **chunk**, the paper's
+//! "compile once per chunk" claim made literal: terms are const-folded
+//! against the chunk's integer ranges and chunk-dictionary membership (a
+//! `time BETWEEN` wholly containing the chunk's range becomes
+//! `Const(true)`; a gid absent from the chunk dictionary becomes
+//! `Const(false)`), and surviving gid comparisons are rewritten to **raw
+//! chunk-code** comparisons — valid because each chunk dictionary is sorted
+//! by gid, so code order equals gid order equals value order. Evaluation
+//! reads columns through pre-resolved [`ChunkCursors`], never re-matching
+//! the column enum per tuple.
 
 use crate::error::EngineError;
 use crate::expr::{CmpOp, Expr};
 use cohana_activity::{Schema, Value, ValueType};
+use cohana_storage::bitpack::BitPacked;
 use cohana_storage::rle::UserRun;
-use cohana_storage::{Chunk, TableMeta};
+use cohana_storage::{Chunk, ChunkCursors, ChunkDict, TableMeta};
 
 /// Evaluation context for one tuple of one user block.
 #[derive(Debug, Clone, Copy)]
@@ -34,32 +46,68 @@ pub struct EvalCtx {
     pub age_units: i64,
 }
 
-/// Scan over one chunk with the two cohort extensions.
+/// Scan over one chunk with the two cohort extensions. Opening resolves the
+/// action and time columns into cursors once; every subsequent access is a
+/// packed-word read with no column lookup.
+#[derive(Debug)]
 pub struct ChunkScan<'a> {
     chunk: &'a Chunk,
     /// Chunk code of the birth action in this chunk's action dictionary
     /// (`None` means no tuple in this chunk performs the birth action).
     birth_action_code: Option<u64>,
-    action_idx: usize,
-    time_idx: usize,
+    /// Packed per-row action chunk-codes.
+    action_codes: &'a BitPacked,
+    /// Chunk minimum of the time column.
+    time_min: i64,
+    /// Packed per-row time deltas from `time_min`.
+    time_deltas: &'a BitPacked,
     next_run: usize,
 }
 
 impl<'a> ChunkScan<'a> {
     /// Open a scan. `birth_action_gid` is the global id of the birth action
-    /// (`None` if the action occurs nowhere in the table).
-    pub fn open(table: &'a TableMeta, chunk: &'a Chunk, birth_action_gid: Option<u32>) -> Self {
+    /// (`None` if the action occurs nowhere in the table). Returns
+    /// [`EngineError::Corrupt`] when the chunk's action column is not
+    /// dictionary-encoded or its time column is not an integer segment —
+    /// format invariants every valid file upholds.
+    pub fn open(
+        table: &'a TableMeta,
+        chunk: &'a Chunk,
+        birth_action_gid: Option<u32>,
+    ) -> Result<Self, EngineError> {
         let schema = table.schema();
         let action_idx = schema.action_idx();
-        let birth_action_code = birth_action_gid.and_then(|gid| {
-            chunk
-                .column_required(action_idx)
-                .dict()
-                .expect("action column is dictionary-encoded")
-                .find(gid)
-                .map(|c| c as u64)
-        });
-        ChunkScan { chunk, birth_action_code, action_idx, time_idx: schema.time_idx(), next_run: 0 }
+        let time_idx = schema.time_idx();
+        let action_col = chunk.column(action_idx).ok_or_else(|| {
+            EngineError::Corrupt("action column has no materialized segment".into())
+        })?;
+        let action_dict = action_col.dict().ok_or_else(|| {
+            EngineError::Corrupt(
+                "action column decodes as an integer segment; the format guarantees a \
+                 dictionary-encoded action column"
+                    .into(),
+            )
+        })?;
+        let time_col = chunk.column(time_idx).ok_or_else(|| {
+            EngineError::Corrupt("time column has no materialized segment".into())
+        })?;
+        let (time_min, _) = time_col.int_range().ok_or_else(|| {
+            EngineError::Corrupt(
+                "time column decodes as a string segment; the format guarantees an integer time \
+                 column"
+                    .into(),
+            )
+        })?;
+        let birth_action_code =
+            birth_action_gid.and_then(|gid| action_dict.find(gid).map(|c| c as u64));
+        Ok(ChunkScan {
+            chunk,
+            birth_action_code,
+            action_codes: action_col.packed(),
+            time_min,
+            time_deltas: time_col.packed(),
+            next_run: 0,
+        })
     }
 
     /// Whether any tuple in the chunk performs the birth action. When false
@@ -91,16 +139,28 @@ impl<'a> ChunkScan<'a> {
     /// exploiting the time-ordering property (Algorithm 1, lines 1–5).
     pub fn find_birth_row(&self, run: &UserRun) -> Option<usize> {
         let code = self.birth_action_code?;
-        let col = self.chunk.column_required(self.action_idx);
         let start = run.first as usize;
         let end = start + run.count as usize;
-        (start..end).find(|&row| col.code(row) == code)
+        (start..end).find(|&row| self.action_codes.get(row) == code)
     }
 
     /// Timestamp (seconds) of a row.
     #[inline]
     pub fn time_at(&self, row: usize) -> i64 {
-        self.chunk.column_required(self.time_idx).int_value(row)
+        self.time_min + self.time_deltas.get(row) as i64
+    }
+
+    /// Chunk minimum of the time column (`time == time_min + delta`).
+    #[inline]
+    pub fn time_min(&self) -> i64 {
+        self.time_min
+    }
+
+    /// The packed per-row time deltas, for block decode via
+    /// [`BitPacked::unpack_range`].
+    #[inline]
+    pub fn time_deltas(&self) -> &'a BitPacked {
+        self.time_deltas
     }
 
     /// The underlying chunk.
@@ -113,7 +173,10 @@ impl<'a> ChunkScan<'a> {
 /// A scalar operand of a compiled comparison, yielding an `i64`.
 ///
 /// Strings evaluate to their global dictionary ids, whose order matches
-/// value order.
+/// value order. The `Code*` forms exist only in chunk-specialized
+/// predicates (see [`CompiledExpr::specialize`]): they read the **raw chunk
+/// code** without the code→gid translation, valid because the chunk
+/// dictionary is sorted by gid.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Scalar {
     /// Global id of a string attribute at the current row.
@@ -124,6 +187,12 @@ pub enum Scalar {
     IntAttr(usize),
     /// Integer attribute at the birth row.
     IntBirth(usize),
+    /// Raw chunk code of a string attribute at the current row
+    /// (specialized form).
+    CodeAttr(usize),
+    /// Raw chunk code of a string attribute at the birth row
+    /// (specialized form).
+    CodeBirth(usize),
     /// The tuple's age in normalized units.
     Age,
     /// A constant.
@@ -132,19 +201,32 @@ pub enum Scalar {
 
 impl Scalar {
     #[inline]
-    fn eval(&self, chunk: &Chunk, ctx: &EvalCtx) -> i64 {
+    fn eval(&self, cur: &ChunkCursors<'_>, ctx: &EvalCtx) -> i64 {
         match self {
-            Scalar::GidAttr(idx) => chunk.column_required(*idx).gid_at(ctx.row) as i64,
-            Scalar::GidBirth(idx) => chunk.column_required(*idx).gid_at(ctx.birth_row) as i64,
-            Scalar::IntAttr(idx) => chunk.column_required(*idx).int_value(ctx.row),
-            Scalar::IntBirth(idx) => chunk.column_required(*idx).int_value(ctx.birth_row),
+            Scalar::GidAttr(idx) => cur.gid(*idx, ctx.row) as i64,
+            Scalar::GidBirth(idx) => cur.gid(*idx, ctx.birth_row) as i64,
+            Scalar::IntAttr(idx) => cur.int(*idx, ctx.row),
+            Scalar::IntBirth(idx) => cur.int(*idx, ctx.birth_row),
+            Scalar::CodeAttr(idx) => cur.code(*idx, ctx.row) as i64,
+            Scalar::CodeBirth(idx) => cur.code(*idx, ctx.birth_row) as i64,
             Scalar::Age => ctx.age_units,
             Scalar::Const(v) => *v,
         }
     }
+
+    /// The attribute index this scalar reads, with the birth/current flag
+    /// (`None` for `Age` and constants).
+    fn column(&self) -> Option<(usize, bool)> {
+        match self {
+            Scalar::GidAttr(i) | Scalar::IntAttr(i) | Scalar::CodeAttr(i) => Some((*i, false)),
+            Scalar::GidBirth(i) | Scalar::IntBirth(i) | Scalar::CodeBirth(i) => Some((*i, true)),
+            Scalar::Age | Scalar::Const(_) => None,
+        }
+    }
 }
 
-/// A predicate compiled against one chunk.
+/// A predicate compiled against the table's global dictionaries, and —
+/// after [`CompiledExpr::specialize`] — against one chunk's.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompiledExpr {
     /// Constant outcome (e.g. equality with a value absent from the global
@@ -163,16 +245,17 @@ pub enum CompiledExpr {
 }
 
 impl CompiledExpr {
-    /// Evaluate for one tuple.
+    /// Evaluate for one tuple, reading columns through pre-resolved
+    /// cursors.
     #[inline]
-    pub fn eval(&self, chunk: &Chunk, ctx: &EvalCtx) -> bool {
+    pub fn eval(&self, cur: &ChunkCursors<'_>, ctx: &EvalCtx) -> bool {
         match self {
             CompiledExpr::Const(b) => *b,
-            CompiledExpr::Cmp(op, a, b) => op.test(a.eval(chunk, ctx).cmp(&b.eval(chunk, ctx))),
-            CompiledExpr::And(a, b) => a.eval(chunk, ctx) && b.eval(chunk, ctx),
-            CompiledExpr::Or(a, b) => a.eval(chunk, ctx) || b.eval(chunk, ctx),
-            CompiledExpr::Not(a) => !a.eval(chunk, ctx),
-            CompiledExpr::InSet(s, set) => set.binary_search(&s.eval(chunk, ctx)).is_ok(),
+            CompiledExpr::Cmp(op, a, b) => op.test(a.eval(cur, ctx).cmp(&b.eval(cur, ctx))),
+            CompiledExpr::And(a, b) => a.eval(cur, ctx) && b.eval(cur, ctx),
+            CompiledExpr::Or(a, b) => a.eval(cur, ctx) || b.eval(cur, ctx),
+            CompiledExpr::Not(a) => !a.eval(cur, ctx),
+            CompiledExpr::InSet(s, set) => set.binary_search(&s.eval(cur, ctx)).is_ok(),
         }
     }
 
@@ -180,6 +263,244 @@ impl CompiledExpr {
     /// skip whole chunks or users without per-tuple work).
     pub fn is_const_false(&self) -> bool {
         matches!(self, CompiledExpr::Const(false))
+    }
+
+    /// The §4.3 per-chunk specialization pass: fold terms whose outcome the
+    /// chunk metadata already decides and rewrite gid comparisons to raw
+    /// chunk-code comparisons.
+    ///
+    /// * An integer comparison is folded to a constant when the chunk's
+    ///   `[min, max]` range puts every row on one side (`time BETWEEN`
+    ///   wholly containing the chunk's range becomes `Const(true)`; a
+    ///   disjoint range becomes `Const(false)`).
+    /// * A gid equality whose value is absent from the chunk dictionary
+    ///   becomes `Const(false)`; gid comparisons that survive are rewritten
+    ///   to chunk-code comparisons (the chunk dictionary is sorted by gid,
+    ///   so code order ≡ gid order ≡ value order), skipping the code→gid
+    ///   LUT per tuple.
+    /// * `And`/`Or`/`Not` fold through constant sub-terms.
+    ///
+    /// Every rewrite is row-independent — sound for birth and age
+    /// predicates alike, at any row of this chunk (including `Birth(A)`
+    /// terms, which read other rows of the *same* chunk).
+    pub fn specialize(&self, chunk: &Chunk) -> CompiledExpr {
+        match self {
+            CompiledExpr::Const(b) => CompiledExpr::Const(*b),
+            CompiledExpr::And(a, b) => match (a.specialize(chunk), b.specialize(chunk)) {
+                (CompiledExpr::Const(false), _) | (_, CompiledExpr::Const(false)) => {
+                    CompiledExpr::Const(false)
+                }
+                (CompiledExpr::Const(true), x) | (x, CompiledExpr::Const(true)) => x,
+                (a, b) => CompiledExpr::And(Box::new(a), Box::new(b)),
+            },
+            CompiledExpr::Or(a, b) => match (a.specialize(chunk), b.specialize(chunk)) {
+                (CompiledExpr::Const(true), _) | (_, CompiledExpr::Const(true)) => {
+                    CompiledExpr::Const(true)
+                }
+                (CompiledExpr::Const(false), x) | (x, CompiledExpr::Const(false)) => x,
+                (a, b) => CompiledExpr::Or(Box::new(a), Box::new(b)),
+            },
+            CompiledExpr::Not(a) => match a.specialize(chunk) {
+                CompiledExpr::Const(b) => CompiledExpr::Const(!b),
+                x => CompiledExpr::Not(Box::new(x)),
+            },
+            CompiledExpr::Cmp(op, a, b) => specialize_cmp(*op, a, b, chunk),
+            CompiledExpr::InSet(s, set) => specialize_in_set(s, set, chunk),
+        }
+    }
+}
+
+/// The chunk dictionary of the column a gid scalar reads, if materialized.
+fn scalar_chunk_dict<'c>(chunk: &'c Chunk, s: &Scalar) -> Option<&'c ChunkDict> {
+    chunk.column(s.column()?.0)?.dict()
+}
+
+/// The chunk `[min, max]` of the column an integer scalar reads.
+fn scalar_int_range(chunk: &Chunk, s: &Scalar) -> Option<(i64, i64)> {
+    chunk.column(s.column()?.0)?.int_range()
+}
+
+/// Re-aim a gid scalar at the raw chunk codes of the same column.
+fn to_code(s: &Scalar) -> Scalar {
+    match s {
+        Scalar::GidAttr(i) => Scalar::CodeAttr(*i),
+        Scalar::GidBirth(i) => Scalar::CodeBirth(*i),
+        other => other.clone(),
+    }
+}
+
+/// Specialize one comparison against a chunk (see
+/// [`CompiledExpr::specialize`]).
+fn specialize_cmp(op: CmpOp, a: &Scalar, b: &Scalar, chunk: &Chunk) -> CompiledExpr {
+    // Constant vs constant: decide now.
+    if let (Scalar::Const(x), Scalar::Const(y)) = (a, b) {
+        return CompiledExpr::Const(op.test(x.cmp(y)));
+    }
+
+    // gid-column vs constant: translate the gid constant to chunk-code
+    // space and compare raw codes.
+    if let (Scalar::GidAttr(_) | Scalar::GidBirth(_), Scalar::Const(k)) = (a, b) {
+        if let Some(dict) = scalar_chunk_dict(chunk, a) {
+            return specialize_gid_const_cmp(op, to_code(a), *k, dict);
+        }
+    }
+
+    // Same string column at current and birth rows: the shared chunk
+    // dictionary's code→gid map is strictly increasing, so comparing codes
+    // is comparing gids.
+    if let (Scalar::GidAttr(i) | Scalar::GidBirth(i), Scalar::GidAttr(j) | Scalar::GidBirth(j)) =
+        (a, b)
+    {
+        if i == j && chunk.column(*i).is_some_and(|c| c.dict().is_some()) {
+            return CompiledExpr::Cmp(op, to_code(a), to_code(b));
+        }
+    }
+
+    // Integer column vs constant: fold when the chunk range decides the
+    // outcome for every row.
+    if let (Scalar::IntAttr(_) | Scalar::IntBirth(_), Scalar::Const(k)) = (a, b) {
+        if let Some((mn, mx)) = scalar_int_range(chunk, a) {
+            if let Some(v) = fold_int_range_cmp(op, mn, mx, *k) {
+                return CompiledExpr::Const(v);
+            }
+        }
+    }
+
+    CompiledExpr::Cmp(op, a.clone(), b.clone())
+}
+
+/// Decide `value <op> k` from `value ∈ [mn, mx]` when every row agrees;
+/// `None` when the chunk straddles the constant.
+fn fold_int_range_cmp(op: CmpOp, mn: i64, mx: i64, k: i64) -> Option<bool> {
+    match op {
+        CmpOp::Lt => (mx < k).then_some(true).or((mn >= k).then_some(false)),
+        CmpOp::Le => (mx <= k).then_some(true).or((mn > k).then_some(false)),
+        CmpOp::Gt => (mn > k).then_some(true).or((mx <= k).then_some(false)),
+        CmpOp::Ge => (mn >= k).then_some(true).or((mx < k).then_some(false)),
+        CmpOp::Eq => {
+            if k < mn || k > mx {
+                Some(false)
+            } else {
+                (mn == mx).then_some(true)
+            }
+        }
+        CmpOp::Ne => {
+            if k < mn || k > mx {
+                Some(true)
+            } else {
+                (mn == mx).then_some(false)
+            }
+        }
+    }
+}
+
+/// Rewrite `gid_scalar <op> gid-constant` into chunk-code space.
+///
+/// `codes_below` = number of chunk-dictionary entries with gid < k, so
+/// `gid < k ⟺ code < codes_below` — the chunk-level analogue of
+/// [`cohana_storage::GlobalDict::rank`]. Comparisons decided for the whole
+/// chunk (every code below / none below) fold to constants.
+fn specialize_gid_const_cmp(
+    op: CmpOp,
+    code_scalar: Scalar,
+    k: i64,
+    dict: &ChunkDict,
+) -> CompiledExpr {
+    let gids = dict.global_ids();
+    let len = gids.len() as i64;
+    let codes_below = gids.partition_point(|&g| (g as i64) < k) as i64;
+    let member_code = if k >= 0 && k <= u32::MAX as i64 { dict.find(k as u32) } else { None };
+    match op {
+        CmpOp::Eq => match member_code {
+            // A single-entry chunk dictionary means every row holds k.
+            Some(_) if len == 1 => CompiledExpr::Const(true),
+            Some(c) => CompiledExpr::Cmp(CmpOp::Eq, code_scalar, Scalar::Const(c as i64)),
+            None => CompiledExpr::Const(false),
+        },
+        CmpOp::Ne => match member_code {
+            Some(c) if len == 1 => {
+                debug_assert_eq!(c, 0);
+                CompiledExpr::Const(false)
+            }
+            Some(c) => CompiledExpr::Cmp(CmpOp::Ne, code_scalar, Scalar::Const(c as i64)),
+            None => CompiledExpr::Const(true),
+        },
+        // gid < k ⟺ code < codes_below; ≤ k ⟺ < (codes at or below).
+        CmpOp::Lt | CmpOp::Ge => {
+            let bound = codes_below;
+            let fold = match bound {
+                0 => Some(false),            // no code is below: `<` never holds
+                b if b == len => Some(true), // every code is below
+                _ => None,
+            };
+            match (op, fold) {
+                (CmpOp::Lt, Some(v)) => CompiledExpr::Const(v),
+                (CmpOp::Ge, Some(v)) => CompiledExpr::Const(!v),
+                (CmpOp::Lt, None) => {
+                    CompiledExpr::Cmp(CmpOp::Lt, code_scalar, Scalar::Const(bound))
+                }
+                _ => CompiledExpr::Cmp(CmpOp::Ge, code_scalar, Scalar::Const(bound)),
+            }
+        }
+        CmpOp::Le | CmpOp::Gt => {
+            let bound = gids.partition_point(|&g| (g as i64) <= k) as i64;
+            let fold = match bound {
+                0 => Some(false),
+                b if b == len => Some(true),
+                _ => None,
+            };
+            match (op, fold) {
+                (CmpOp::Le, Some(v)) => CompiledExpr::Const(v),
+                (CmpOp::Gt, Some(v)) => CompiledExpr::Const(!v),
+                (CmpOp::Le, None) => {
+                    CompiledExpr::Cmp(CmpOp::Lt, code_scalar, Scalar::Const(bound))
+                }
+                _ => CompiledExpr::Cmp(CmpOp::Ge, code_scalar, Scalar::Const(bound)),
+            }
+        }
+    }
+}
+
+/// Specialize sorted-set membership: gid sets translate to chunk-code sets
+/// (values absent from the chunk drop out — an empty intersection proves
+/// `Const(false)`); integer sets are clipped to the chunk range.
+fn specialize_in_set(s: &Scalar, set: &[i64], chunk: &Chunk) -> CompiledExpr {
+    match s {
+        Scalar::GidAttr(_) | Scalar::GidBirth(_) => {
+            if let Some(dict) = scalar_chunk_dict(chunk, s) {
+                let codes: Vec<i64> = set
+                    .iter()
+                    .filter_map(|&gid| {
+                        u32::try_from(gid).ok().and_then(|g| dict.find(g)).map(|c| c as i64)
+                    })
+                    .collect();
+                // `set` is sorted by gid and code order mirrors gid order,
+                // so `codes` is already sorted for binary search.
+                debug_assert!(codes.windows(2).all(|w| w[0] < w[1]));
+                if codes.is_empty() {
+                    return CompiledExpr::Const(false);
+                }
+                return CompiledExpr::InSet(to_code(s), codes);
+            }
+            CompiledExpr::InSet(s.clone(), set.to_vec())
+        }
+        Scalar::IntAttr(_) | Scalar::IntBirth(_) => {
+            if let Some((mn, mx)) = scalar_int_range(chunk, s) {
+                let clipped: Vec<i64> =
+                    set.iter().copied().filter(|v| (mn..=mx).contains(v)).collect();
+                if clipped.is_empty() {
+                    return CompiledExpr::Const(false);
+                }
+                if mn == mx {
+                    // Single-valued chunk: membership is already decided.
+                    return CompiledExpr::Const(true);
+                }
+                return CompiledExpr::InSet(s.clone(), clipped);
+            }
+            CompiledExpr::InSet(s.clone(), set.to_vec())
+        }
+        Scalar::Const(v) => CompiledExpr::Const(set.binary_search(v).is_ok()),
+        _ => CompiledExpr::InSet(s.clone(), set.to_vec()),
     }
 }
 
@@ -367,7 +688,7 @@ mod tests {
         let gid = c.lookup_gid(t.schema().action_idx(), "launch");
         let mut total = 0usize;
         for chunk in c.chunks() {
-            let mut scan = ChunkScan::open(c.table_meta(), chunk, gid);
+            let mut scan = ChunkScan::open(c.table_meta(), chunk, gid).unwrap();
             while let Some(run) = scan.next_user() {
                 assert!(run.count > 0);
                 total += 1;
@@ -382,7 +703,7 @@ mod tests {
         let aidx = t.schema().action_idx();
         let gid = c.lookup_gid(aidx, "launch");
         for chunk in c.chunks() {
-            let mut scan = ChunkScan::open(c.table_meta(), chunk, gid);
+            let mut scan = ChunkScan::open(c.table_meta(), chunk, gid).unwrap();
             while let Some(run) = scan.next_user() {
                 // Every user's first action is launch, so the birth row is
                 // the first row of the block.
@@ -397,7 +718,7 @@ mod tests {
         let gid = c.lookup_gid(t.schema().action_idx(), "no-such-action");
         assert_eq!(gid, None);
         for chunk in c.chunks() {
-            let mut scan = ChunkScan::open(c.table_meta(), chunk, gid);
+            let mut scan = ChunkScan::open(c.table_meta(), chunk, gid).unwrap();
             assert!(!scan.chunk_has_birth_action());
             while let Some(run) = scan.next_user() {
                 assert_eq!(scan.find_birth_row(&run), None);
@@ -413,10 +734,13 @@ mod tests {
         let compiled = compile_predicate(&e, schema, c.table_meta()).unwrap();
         let aidx = schema.action_idx();
         for (ci, chunk) in c.chunks().iter().enumerate() {
+            let cur = chunk.cursors();
+            let spec = compiled.specialize(chunk);
             for row in 0..chunk.num_rows() {
                 let ctx = EvalCtx { row, birth_row: row, age_units: 0 };
                 let expect = c.decode_value(ci, row, aidx).as_str() == Some("shop");
-                assert_eq!(compiled.eval(chunk, &ctx), expect);
+                assert_eq!(compiled.eval(&cur, &ctx), expect);
+                assert_eq!(spec.eval(&cur, &ctx), expect, "specialized disagrees at row {row}");
             }
         }
     }
@@ -450,11 +774,14 @@ mod tests {
         let compiled = compile_predicate(&e, schema, c.table_meta()).unwrap();
         let aidx = schema.action_idx();
         for (ci, chunk) in c.chunks().iter().enumerate() {
+            let cur = chunk.cursors();
+            let spec = compiled.specialize(chunk);
             for row in 0..chunk.num_rows().min(50) {
                 let ctx = EvalCtx { row, birth_row: row, age_units: 0 };
                 let decoded = c.decode_value(ci, row, aidx);
                 let expect = decoded.as_str().unwrap() < "m";
-                assert_eq!(compiled.eval(chunk, &ctx), expect, "row {row}: {decoded}");
+                assert_eq!(compiled.eval(&cur, &ctx), expect, "row {row}: {decoded}");
+                assert_eq!(spec.eval(&cur, &ctx), expect, "specialized: row {row}: {decoded}");
             }
         }
     }
@@ -469,10 +796,13 @@ mod tests {
         let compiled = compile_predicate(&e, schema, c.table_meta()).unwrap();
         let tidx = schema.time_idx();
         for (ci, chunk) in c.chunks().iter().enumerate() {
+            let cur = chunk.cursors();
+            let spec = compiled.specialize(chunk);
             for row in 0..chunk.num_rows().min(50) {
                 let ctx = EvalCtx { row, birth_row: row, age_units: 0 };
                 let v = c.decode_value(ci, row, tidx).as_int().unwrap();
-                assert_eq!(compiled.eval(chunk, &ctx), (lo..=hi).contains(&v));
+                assert_eq!(compiled.eval(&cur, &ctx), (lo..=hi).contains(&v));
+                assert_eq!(spec.eval(&cur, &ctx), (lo..=hi).contains(&v), "specialized row {row}");
             }
         }
     }
@@ -485,11 +815,14 @@ mod tests {
             Expr::attr("country").eq(Expr::birth("country")).and(Expr::age().lt(Expr::lit_int(7)));
         let compiled = compile_predicate(&e, schema, c.table_meta()).unwrap();
         let chunk = &c.chunks()[0];
+        let cur = chunk.cursors();
         // Same row as its own birth: country trivially equal; age gate decides.
         let ctx = EvalCtx { row: 0, birth_row: 0, age_units: 3 };
-        assert!(compiled.eval(chunk, &ctx));
+        assert!(compiled.eval(&cur, &ctx));
+        assert!(compiled.specialize(chunk).eval(&cur, &ctx));
         let ctx = EvalCtx { row: 0, birth_row: 0, age_units: 9 };
-        assert!(!compiled.eval(chunk, &ctx));
+        assert!(!compiled.eval(&cur, &ctx));
+        assert!(!compiled.specialize(chunk).eval(&cur, &ctx));
     }
 
     #[test]
@@ -504,11 +837,14 @@ mod tests {
         let compiled = compile_predicate(&e, schema, c.table_meta()).unwrap();
         let cidx = schema.index_of("country").unwrap();
         for (ci, chunk) in c.chunks().iter().enumerate() {
+            let cur = chunk.cursors();
+            let spec = compiled.specialize(chunk);
             for row in 0..chunk.num_rows().min(80) {
                 let ctx = EvalCtx { row, birth_row: row, age_units: 0 };
                 let v = c.decode_value(ci, row, cidx);
                 let expect = matches!(v.as_str(), Some("China") | Some("Australia"));
-                assert_eq!(compiled.eval(chunk, &ctx), expect);
+                assert_eq!(compiled.eval(&cur, &ctx), expect);
+                assert_eq!(spec.eval(&cur, &ctx), expect, "specialized row {row}");
             }
         }
     }
@@ -518,7 +854,7 @@ mod tests {
         let (t, c) = setup();
         let gid = c.lookup_gid(t.schema().action_idx(), "launch");
         let chunk = &c.chunks()[0];
-        let mut scan = ChunkScan::open(c.table_meta(), chunk, gid);
+        let mut scan = ChunkScan::open(c.table_meta(), chunk, gid).unwrap();
         let first_pass: Vec<u32> =
             std::iter::from_fn(|| scan.next_user().map(|r| r.user_gid)).collect();
         assert!(!first_pass.is_empty());
@@ -527,6 +863,170 @@ mod tests {
         let second_pass: Vec<u32> =
             std::iter::from_fn(|| scan.next_user().map(|r| r.user_gid)).collect();
         assert_eq!(first_pass, second_pass);
+    }
+
+    // ---------------------------------------------------------------------
+    // Per-chunk specialization (§4.3 "compile once per chunk")
+
+    use cohana_storage::{ChunkColumn, UserRle};
+
+    /// A hand-built chunk: attr 1 is an integer column with range
+    /// `[100, 150]`, attr 2 a string column whose chunk dictionary holds
+    /// gids {2, 5, 9}.
+    fn spec_chunk() -> Chunk {
+        Chunk::new(
+            UserRle::from_rows(&[1, 1, 2]),
+            vec![
+                None,
+                Some(ChunkColumn::from_ints(&[100, 150, 120])),
+                Some(ChunkColumn::from_gids(&[2, 5, 9])),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn int_cmp(op: CmpOp, k: i64) -> CompiledExpr {
+        CompiledExpr::Cmp(op, Scalar::IntAttr(1), Scalar::Const(k))
+    }
+
+    fn gid_cmp(op: CmpOp, k: i64) -> CompiledExpr {
+        CompiledExpr::Cmp(op, Scalar::GidAttr(2), Scalar::Const(k))
+    }
+
+    #[test]
+    fn specialize_folds_chunk_subsumed_between() {
+        let chunk = spec_chunk();
+        // BETWEEN compiles to Ge AND Le; chunk range [100, 150] ⊆ [50, 200].
+        let between =
+            CompiledExpr::And(Box::new(int_cmp(CmpOp::Ge, 50)), Box::new(int_cmp(CmpOp::Le, 200)));
+        assert_eq!(between.specialize(&chunk), CompiledExpr::Const(true));
+        // Disjoint range: the whole conjunction folds to false.
+        let disjoint =
+            CompiledExpr::And(Box::new(int_cmp(CmpOp::Ge, 500)), Box::new(int_cmp(CmpOp::Le, 900)));
+        assert_eq!(disjoint.specialize(&chunk), CompiledExpr::Const(false));
+        // Straddling bound: the undecidable half survives, the decided half
+        // folds away.
+        let straddle =
+            CompiledExpr::And(Box::new(int_cmp(CmpOp::Ge, 50)), Box::new(int_cmp(CmpOp::Le, 120)));
+        assert_eq!(straddle.specialize(&chunk), int_cmp(CmpOp::Le, 120));
+    }
+
+    #[test]
+    fn specialize_folds_chunk_dict_absent_gid() {
+        let chunk = spec_chunk();
+        // gid 4 is in no row of this chunk: equality is decided.
+        assert_eq!(gid_cmp(CmpOp::Eq, 4).specialize(&chunk), CompiledExpr::Const(false));
+        assert_eq!(gid_cmp(CmpOp::Ne, 4).specialize(&chunk), CompiledExpr::Const(true));
+        // gid 5 is present at chunk code 1: equality becomes a raw-code
+        // comparison.
+        assert_eq!(
+            gid_cmp(CmpOp::Eq, 5).specialize(&chunk),
+            CompiledExpr::Cmp(CmpOp::Eq, Scalar::CodeAttr(2), Scalar::Const(1))
+        );
+        // Orderings translate through the chunk dictionary: gid < 6 holds
+        // for codes {0, 1} (gids 2, 5).
+        assert_eq!(
+            gid_cmp(CmpOp::Lt, 6).specialize(&chunk),
+            CompiledExpr::Cmp(CmpOp::Lt, Scalar::CodeAttr(2), Scalar::Const(2))
+        );
+        // Bounds outside the chunk's gid range fold entirely.
+        assert_eq!(gid_cmp(CmpOp::Lt, 1).specialize(&chunk), CompiledExpr::Const(false));
+        assert_eq!(gid_cmp(CmpOp::Lt, 100).specialize(&chunk), CompiledExpr::Const(true));
+        assert_eq!(gid_cmp(CmpOp::Ge, 1).specialize(&chunk), CompiledExpr::Const(true));
+    }
+
+    #[test]
+    fn specialize_folds_mixed_and_or_not() {
+        let chunk = spec_chunk();
+        let t = || int_cmp(CmpOp::Ge, 50); // folds true
+        let f = || gid_cmp(CmpOp::Eq, 4); // folds false
+        let live = || int_cmp(CmpOp::Le, 120); // survives
+                                               // Not(false) = true; Or(true, _) short-circuits.
+        let e = CompiledExpr::Or(Box::new(CompiledExpr::Not(Box::new(f()))), Box::new(live()));
+        assert_eq!(e.specialize(&chunk), CompiledExpr::Const(true));
+        // And(true, live) = live; Or(false, live) = live.
+        let e = CompiledExpr::And(Box::new(t()), Box::new(live()));
+        assert_eq!(e.specialize(&chunk), live());
+        let e = CompiledExpr::Or(Box::new(f()), Box::new(live()));
+        assert_eq!(e.specialize(&chunk), live());
+        // Not survives over an undecided term.
+        let e = CompiledExpr::Not(Box::new(live()));
+        assert_eq!(e.specialize(&chunk), CompiledExpr::Not(Box::new(live())));
+    }
+
+    #[test]
+    fn specialize_in_set_translates_to_chunk_codes() {
+        let chunk = spec_chunk();
+        // Gid set {4, 5, 7}: only gid 5 occurs here, at code 1.
+        let e = CompiledExpr::InSet(Scalar::GidAttr(2), vec![4, 5, 7]);
+        assert_eq!(e.specialize(&chunk), CompiledExpr::InSet(Scalar::CodeAttr(2), vec![1]));
+        // Entirely absent set: proved false.
+        let e = CompiledExpr::InSet(Scalar::GidAttr(2), vec![0, 4, 7]);
+        assert_eq!(e.specialize(&chunk), CompiledExpr::Const(false));
+        // Integer set clipped to the chunk range.
+        let e = CompiledExpr::InSet(Scalar::IntAttr(1), vec![10, 120, 999]);
+        assert_eq!(e.specialize(&chunk), CompiledExpr::InSet(Scalar::IntAttr(1), vec![120]));
+        let e = CompiledExpr::InSet(Scalar::IntAttr(1), vec![10, 999]);
+        assert_eq!(e.specialize(&chunk), CompiledExpr::Const(false));
+    }
+
+    #[test]
+    fn specialize_agrees_with_original_on_every_row() {
+        // The full differential: on real generated chunks, the specialized
+        // predicate must agree with the statement-level compilation on
+        // every row, for a predicate exercising gids, ints, birth refs,
+        // AND/OR/NOT, and IN.
+        let (t, c) = setup();
+        let schema = t.schema();
+        let e = Expr::attr("country")
+            .eq(Expr::birth("country"))
+            .and(Expr::attr("gold").gt(Expr::lit_int(3)))
+            .or(Expr::attr("action").in_list([Value::str("shop"), Value::str("zzz")]).not());
+        let compiled = compile_predicate(&e, schema, c.table_meta()).unwrap();
+        for chunk in c.chunks() {
+            let cur = chunk.cursors();
+            let spec = compiled.specialize(chunk);
+            for row in 0..chunk.num_rows() {
+                for birth_row in [0, row] {
+                    let ctx = EvalCtx { row, birth_row, age_units: 1 };
+                    assert_eq!(
+                        compiled.eval(&cur, &ctx),
+                        spec.eval(&cur, &ctx),
+                        "row {row} birth {birth_row}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn open_rejects_integer_action_column() {
+        // A chunk whose action position decodes as an integer segment is
+        // corrupt: the executor must surface a typed error, not panic.
+        let (_, c) = setup();
+        let schema = c.schema();
+        let arity = schema.arity();
+        let mut cols: Vec<Option<ChunkColumn>> = (0..arity).map(|_| None).collect();
+        cols[schema.time_idx()] = Some(ChunkColumn::from_ints(&[1000, 1001, 1002]));
+        cols[schema.action_idx()] = Some(ChunkColumn::from_ints(&[1, 2, 3]));
+        let chunk = Chunk::new(UserRle::from_rows(&[1, 1, 2]), cols).unwrap();
+        let err = ChunkScan::open(c.table_meta(), &chunk, Some(0)).unwrap_err();
+        assert!(matches!(err, EngineError::Corrupt(_)), "got {err:?}");
+        assert!(err.to_string().contains("action column"));
+    }
+
+    #[test]
+    fn open_rejects_string_time_column() {
+        let (_, c) = setup();
+        let schema = c.schema();
+        let arity = schema.arity();
+        let mut cols: Vec<Option<ChunkColumn>> = (0..arity).map(|_| None).collect();
+        cols[schema.time_idx()] = Some(ChunkColumn::from_gids(&[0, 1, 2]));
+        cols[schema.action_idx()] = Some(ChunkColumn::from_gids(&[1, 2, 3]));
+        let chunk = Chunk::new(UserRle::from_rows(&[1, 1, 2]), cols).unwrap();
+        let err = ChunkScan::open(c.table_meta(), &chunk, None).unwrap_err();
+        assert!(matches!(err, EngineError::Corrupt(_)), "got {err:?}");
+        assert!(err.to_string().contains("time column"));
     }
 
     #[test]

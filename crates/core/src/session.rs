@@ -402,6 +402,7 @@ impl Iterator for QueryStream<'_> {
         match item {
             Some(Ok(batch)) => {
                 self.stats.chunks_scanned += 1;
+                self.stats.rows_scanned += batch.rows_scanned as u64;
                 self.stats.batches += 1;
                 Some(Ok(batch))
             }

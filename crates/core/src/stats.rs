@@ -35,6 +35,12 @@ pub struct QueryStats {
     pub chunks_pruned: usize,
     /// Chunks whose batch was pulled through the stream.
     pub chunks_scanned: usize,
+    /// Rows covered by the scanned chunks' fused per-chunk passes. A chunk
+    /// whose per-chunk specialized predicates prove it irrelevant without
+    /// touching a row contributes 0, so together with `wall_time` this
+    /// yields an honest end-to-end scan rate
+    /// ([`QueryStats::rows_per_sec`]).
+    pub rows_scanned: u64,
     /// Chunk skeletons decoded from backing storage (0 for resident tables,
     /// and less than `chunks_scanned` when the segment cache hits).
     pub chunks_decoded: usize,
@@ -60,12 +66,24 @@ impl QueryStats {
         self.cache_evictions += delta.cache_evictions;
     }
 
+    /// End-to-end scan rate: rows covered per wall-clock second (0.0 when
+    /// no time was measured).
+    pub fn rows_per_sec(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.rows_scanned as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
     /// Fold another execution's counters into a cumulative total (used by
     /// [`Statement::cumulative_stats`](crate::Statement::cumulative_stats)).
     pub fn absorb(&mut self, other: &QueryStats) {
         self.chunks_total += other.chunks_total;
         self.chunks_pruned += other.chunks_pruned;
         self.chunks_scanned += other.chunks_scanned;
+        self.rows_scanned += other.rows_scanned;
         self.chunks_decoded += other.chunks_decoded;
         self.columns_decoded += other.columns_decoded;
         self.bytes_read += other.bytes_read;
@@ -81,6 +99,7 @@ impl QueryStats {
         self.chunks_total >= earlier.chunks_total
             && self.chunks_pruned >= earlier.chunks_pruned
             && self.chunks_scanned >= earlier.chunks_scanned
+            && self.rows_scanned >= earlier.rows_scanned
             && self.chunks_decoded >= earlier.chunks_decoded
             && self.columns_decoded >= earlier.columns_decoded
             && self.bytes_read >= earlier.bytes_read
@@ -94,16 +113,18 @@ impl fmt::Display for QueryStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} of {} chunks scanned ({} pruned), {} chunks / {} columns decoded, \
-             {} bytes read, {} evictions, {:.1?}",
+            "{} of {} chunks scanned ({} pruned), {} rows, {} chunks / {} columns decoded, \
+             {} bytes read, {} evictions, {:.1?} ({:.1}M rows/s)",
             self.chunks_scanned,
             self.chunks_total,
             self.chunks_pruned,
+            self.rows_scanned,
             self.chunks_decoded,
             self.columns_decoded,
             self.bytes_read,
             self.cache_evictions,
             self.wall_time,
+            self.rows_per_sec() / 1e6,
         )
     }
 }
@@ -117,6 +138,7 @@ mod tests {
             chunks_total: 4,
             chunks_pruned: 1,
             chunks_scanned: 3,
+            rows_scanned: 600,
             chunks_decoded: 3,
             columns_decoded: 9,
             bytes_read: 1024,
@@ -142,9 +164,18 @@ mod tests {
     }
 
     #[test]
-    fn display_mentions_chunks_and_bytes() {
+    fn display_mentions_chunks_rows_and_bytes() {
         let s = sample().to_string();
         assert!(s.contains("3 of 4 chunks"));
+        assert!(s.contains("600 rows"));
         assert!(s.contains("1024 bytes"));
+        assert!(s.contains("rows/s"));
+    }
+
+    #[test]
+    fn rows_per_sec_derives_from_rows_and_wall_time() {
+        let s = sample();
+        assert_eq!(s.rows_per_sec(), 600.0 / 0.005);
+        assert_eq!(QueryStats::default().rows_per_sec(), 0.0);
     }
 }

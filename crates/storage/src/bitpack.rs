@@ -9,13 +9,37 @@
 
 use std::fmt;
 
+/// Exponent of the fixed-point reciprocal used to divide indexes by
+/// `per_word` without a hardware division (see [`BitPacked::get`]). With
+/// `per_word ≤ 64` the magic-multiply `⌊i·m / 2^57⌋` equals `⌊i / per_word⌋`
+/// exactly for every `i < 2^51` — far beyond any array this format can
+/// address (row positions are `u32` on disk).
+const RECIP_SHIFT: u32 = 57;
+
 /// A bit-packed array of `u64` values.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct BitPacked {
     width: u8,
+    /// `⌊64 / width⌋`, cached at construction so neither random access nor
+    /// block decode pays a `64 / width` recompute (`1` when `width == 0`, a
+    /// value the accessors never reach — they short-circuit to zero).
+    per_word: u8,
+    /// `⌊2^RECIP_SHIFT / per_word⌋ + 1`: the fixed-point reciprocal that
+    /// turns the index→word division of random access into a multiply.
+    recip: u64,
     len: usize,
     words: Vec<u64>,
 }
+
+impl PartialEq for BitPacked {
+    fn eq(&self, other: &Self) -> bool {
+        // `per_word` is derived from `width`; comparing it would be
+        // redundant.
+        self.width == other.width && self.len == other.len && self.words == other.words
+    }
+}
+
+impl Eq for BitPacked {}
 
 impl BitPacked {
     /// Pack a slice. The width is the minimum number of bits representing
@@ -32,7 +56,13 @@ impl BitPacked {
         assert!(width <= 64, "width must be <= 64");
         if width == 0 {
             debug_assert!(values.iter().all(|&v| v == 0));
-            return BitPacked { width: 0, len: values.len(), words: Vec::new() };
+            return BitPacked {
+                width: 0,
+                per_word: 1,
+                recip: recip_for(1),
+                len: values.len(),
+                words: Vec::new(),
+            };
         }
         let per_word = (64 / width as usize).max(1);
         let num_words = values.len().div_ceil(per_word);
@@ -43,7 +73,13 @@ impl BitPacked {
             let shift = (i % per_word) * width as usize;
             words[w] |= v << shift;
         }
-        BitPacked { width, len: values.len(), words }
+        BitPacked {
+            width,
+            per_word: per_word as u8,
+            recip: recip_for(per_word),
+            len: values.len(),
+            words,
+        }
     }
 
     /// Number of packed values.
@@ -66,6 +102,10 @@ impl BitPacked {
 
     /// Random access without decompression. Panics if out of range (all
     /// call sites index within `len`, checked by the chunk layer).
+    /// **Division-free**: the index→word split uses the reciprocal cached
+    /// at construction (one widening multiply + shift), not a hardware
+    /// division — this path runs once per tuple in predicate evaluation and
+    /// birth-row search.
     #[inline]
     pub fn get(&self, i: usize) -> u64 {
         debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
@@ -73,13 +113,56 @@ impl BitPacked {
             return 0;
         }
         let width = self.width as usize;
-        let per_word = (64 / width).max(1);
-        let word = self.words[i / per_word];
-        let shift = (i % per_word) * width;
+        let per_word = self.per_word as usize;
+        let word_idx = (((i as u128) * (self.recip as u128)) >> RECIP_SHIFT) as usize;
+        debug_assert_eq!(word_idx, i / per_word);
+        let word = self.words[word_idx];
+        let shift = (i - word_idx * per_word) * width;
         if width == 64 {
             word
         } else {
             (word >> shift) & ((1u64 << width) - 1)
+        }
+    }
+
+    /// Block decode: write values `start..end` into `out` (whose length must
+    /// be `end - start`), one packed word at a time. Unlike repeated
+    /// [`BitPacked::get`], the inner loop performs no per-element div/mod —
+    /// it walks each word's lanes with a running shift, the standard
+    /// word-at-a-time unpacking idiom.
+    pub fn unpack_range(&self, start: usize, end: usize, out: &mut [u64]) {
+        assert!(start <= end && end <= self.len, "range {start}..{end} out of bounds");
+        assert_eq!(out.len(), end - start, "output buffer length mismatch");
+        if start == end {
+            return;
+        }
+        if self.width == 0 {
+            out.fill(0);
+            return;
+        }
+        let width = self.width as usize;
+        if width == 64 {
+            out.copy_from_slice(&self.words[start..end]);
+            return;
+        }
+        let per_word = self.per_word as usize;
+        let mask = (1u64 << width) - 1;
+        // One div/mod pair for the whole block, not one per element.
+        let mut word_idx = start / per_word;
+        let mut lane = start % per_word;
+        let mut word = self.words[word_idx] >> (lane * width);
+        for slot in out.iter_mut() {
+            *slot = word & mask;
+            lane += 1;
+            if lane == per_word {
+                lane = 0;
+                word_idx += 1;
+                // The last word may be past the end when the block finishes
+                // exactly on a word boundary.
+                word = self.words.get(word_idx).copied().unwrap_or(0);
+            } else {
+                word >>= width;
+            }
         }
     }
 
@@ -117,7 +200,8 @@ impl BitPacked {
                 words.len()
             )));
         }
-        Ok(BitPacked { width, len, words })
+        let per_word = if width == 0 { 1 } else { (64 / width as usize).max(1) as u8 };
+        Ok(BitPacked { width, per_word, recip: recip_for(per_word as usize), len, words })
     }
 }
 
@@ -131,6 +215,18 @@ impl fmt::Debug for BitPacked {
 #[inline]
 pub fn bits_for(v: u64) -> u8 {
     (64 - v.leading_zeros()) as u8
+}
+
+/// The fixed-point reciprocal of `per_word`: `⌊2^RECIP_SHIFT/d⌋ + 1`.
+///
+/// Exactness: write `2^p = d·Q + R` (`0 ≤ R < d`, `m = Q + 1`) and
+/// `i = d·a + b` (`b < d`); then `m·i = a·2^p + a·(d−R) + b·(Q+1)`, so
+/// `⌊m·i/2^p⌋ = a = ⌊i/d⌋` exactly when `a·(d−R) + b·(Q+1) < 2^p`, which
+/// with `d ≤ 64` and `p = 57` holds for every `i < 2^51`.
+#[inline]
+fn recip_for(per_word: usize) -> u64 {
+    debug_assert!((1..=64).contains(&per_word));
+    ((1u64 << RECIP_SHIFT) / per_word as u64) + 1
 }
 
 #[cfg(test)]
@@ -197,7 +293,80 @@ mod tests {
         assert!(BitPacked::from_raw(0, 10, vec![0]).is_err());
     }
 
+    /// `unpack_range` ≡ repeated `get` for every width 0–64, with ranges
+    /// chosen to hit word-boundary starts, mid-word starts, and the tail.
+    #[test]
+    fn unpack_range_matches_get_all_widths() {
+        for width in 0u8..=64 {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let vals: Vec<u64> =
+                (0..137u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask).collect();
+            let p = BitPacked::from_slice_with_width(&vals, width);
+            let per_word = (64 / width.max(1) as usize).max(1);
+            // Word-aligned, mid-word, empty, and full ranges.
+            let starts = [0, 1, per_word, per_word + 1, 2 * per_word, vals.len() - 1, vals.len()];
+            for &start in &starts {
+                for &end in &[start, vals.len().min(start + per_word), vals.len()] {
+                    if end < start {
+                        continue;
+                    }
+                    let mut out = vec![u64::MAX; end - start];
+                    p.unpack_range(start, end, &mut out);
+                    let expect: Vec<u64> = (start..end).map(|i| p.get(i)).collect();
+                    assert_eq!(out, expect, "width {width}, range {start}..{end}");
+                    assert_eq!(&out[..], &vals[start..end], "width {width} roundtrip");
+                }
+            }
+        }
+    }
+
+    /// The reciprocal index→word split must equal true division for every
+    /// divisor 1–64 across representative and adversarial indexes.
+    #[test]
+    fn reciprocal_division_is_exact() {
+        for d in 1usize..=64 {
+            let m = recip_for(d) as u128;
+            let mut probes: Vec<usize> = vec![0, 1, d - 1, d, d + 1, 1 << 20, (1 << 32) - 1];
+            probes.extend((0..1000).map(|k| k * 7919 + d));
+            // Near multiples of d at the top of the supported range.
+            let top = (1usize << 51) - 1;
+            probes.extend([top, top - 1, (top / d) * d, (top / d) * d - 1]);
+            for i in probes {
+                let q = ((i as u128 * m) >> RECIP_SHIFT) as usize;
+                assert_eq!(q, i / d, "i={i}, d={d}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn unpack_range_rejects_out_of_bounds() {
+        let p = BitPacked::from_slice(&[1, 2, 3]);
+        let mut out = vec![0; 2];
+        p.unpack_range(2, 4, &mut out);
+    }
+
     proptest! {
+        #[test]
+        fn prop_unpack_range_matches_get(
+            vals in proptest::collection::vec(0u64..u64::MAX, 1..300),
+            cut in 0usize..300,
+            width_extra in 0u8..3,
+        ) {
+            // Vary the width beyond the minimum so lanes include slack bits.
+            let min_width = bits_for(vals.iter().copied().max().unwrap_or(0));
+            let width = (min_width + width_extra).min(64);
+            let p = BitPacked::from_slice_with_width(&vals, width);
+            let start = cut % vals.len();
+            let end = start + (cut * 7 + 1) % (vals.len() - start + 1);
+            let mut out = vec![0u64; end - start];
+            p.unpack_range(start, end, &mut out);
+            for (off, v) in out.iter().enumerate() {
+                prop_assert_eq!(*v, p.get(start + off));
+                prop_assert_eq!(*v, vals[start + off]);
+            }
+        }
+
         #[test]
         fn prop_roundtrip(vals in proptest::collection::vec(0u64..u64::MAX, 0..300)) {
             let p = BitPacked::from_slice(&vals);

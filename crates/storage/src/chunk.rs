@@ -105,6 +105,13 @@ impl Chunk {
         &self.columns
     }
 
+    /// Resolve every materialized segment into flat typed cursors — the
+    /// once-per-chunk column resolution the vectorized executor reads
+    /// through (see [`crate::cursor::ChunkCursors`]).
+    pub fn cursors(&self) -> crate::cursor::ChunkCursors<'_> {
+        crate::cursor::ChunkCursors::new(self)
+    }
+
     /// Compressed payload bytes of the chunk (materialized segments only).
     pub fn packed_bytes(&self) -> usize {
         self.user_rle.packed_bytes()

@@ -85,6 +85,17 @@ impl ChunkColumn {
         }
     }
 
+    /// The packed per-row code words: chunk ids for string segments, deltas
+    /// for integer segments — the array [`ChunkColumn::code`] reads one
+    /// element of, exposed whole for cursor construction and block decode.
+    #[inline]
+    pub fn packed(&self) -> &BitPacked {
+        match self {
+            ChunkColumn::Str { codes, .. } => codes,
+            ChunkColumn::Int { deltas, .. } => deltas,
+        }
+    }
+
     /// The chunk dictionary, if a string segment.
     pub fn dict(&self) -> Option<&ChunkDict> {
         match self {

@@ -64,6 +64,7 @@
 pub mod bitpack;
 pub mod chunk;
 pub mod column;
+pub mod cursor;
 pub mod dict;
 pub mod error;
 pub mod persist;
@@ -76,6 +77,7 @@ pub mod writer;
 pub use bitpack::BitPacked;
 pub use chunk::Chunk;
 pub use column::ChunkColumn;
+pub use cursor::ChunkCursors;
 pub use dict::{ChunkDict, GlobalDict};
 pub use error::StorageError;
 pub use persist::{AppendStats, CompactStats};

@@ -31,6 +31,20 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Work performed per iteration, used to derive throughput rates.
+///
+/// Set on a group via [`BenchmarkGroup::throughput`]; the per-iteration
+/// element/byte count is divided by the measured iteration latency and the
+/// rate is printed alongside it and written into the JSON-lines report
+/// (`elements_per_sec` / `bytes_per_sec`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical elements (e.g. rows scanned) per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
 /// Identifier of one benchmark within a group.
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {
@@ -118,6 +132,7 @@ pub struct BenchmarkGroup<'a> {
     warm_up: Duration,
     measurement: Duration,
     smoke: bool,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -126,6 +141,13 @@ impl BenchmarkGroup<'_> {
         if !self.smoke {
             self.measurement = d;
         }
+        self
+    }
+
+    /// Declare the work each iteration performs; subsequent benches in the
+    /// group report a derived rate next to the iteration latency.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -172,9 +194,12 @@ impl BenchmarkGroup<'_> {
         match result {
             Some((elapsed, iters)) if iters > 0 => {
                 let per_iter = elapsed.as_secs_f64() / iters as f64;
-                self.criterion
-                    .println(&format!("{full:<52} {:>12}  ({iters} iters)", format_time(per_iter)));
-                self.criterion.record(&full, per_iter, iters);
+                let rate = self.throughput.map(|t| format_rate(t, per_iter)).unwrap_or_default();
+                self.criterion.println(&format!(
+                    "{full:<52} {:>12}  ({iters} iters){rate}",
+                    format_time(per_iter)
+                ));
+                self.criterion.record(&full, per_iter, iters, self.throughput);
             }
             _ => self.criterion.println(&format!("{full:<52} {:>12}", "no samples")),
         }
@@ -182,6 +207,23 @@ impl BenchmarkGroup<'_> {
 
     /// Finish the group (formatting no-op in the shim).
     pub fn finish(&mut self) {}
+}
+
+fn format_rate(t: Throughput, seconds_per_iter: f64) -> String {
+    let (n, unit) = match t {
+        Throughput::Elements(n) => (n, "elem/s"),
+        Throughput::Bytes(n) => (n, "B/s"),
+    };
+    let rate = n as f64 / seconds_per_iter.max(f64::MIN_POSITIVE);
+    if rate >= 1e9 {
+        format!("  {:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("  {:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("  {:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("  {rate:.1} {unit}")
+    }
 }
 
 fn format_time(secs: f64) -> String {
@@ -231,7 +273,14 @@ impl Criterion {
             (Duration::from_millis(300), Duration::from_secs(1))
         };
         let smoke = self.smoke;
-        BenchmarkGroup { name: name.into(), criterion: self, warm_up, measurement, smoke }
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            warm_up,
+            measurement,
+            smoke,
+            throughput: None,
+        }
     }
 
     /// Run one stand-alone benchmark with default timing settings.
@@ -252,7 +301,13 @@ impl Criterion {
 
     /// Append one benchmark's result to the JSON-lines report file, if
     /// configured. Best-effort: an unwritable report never fails a bench.
-    fn record(&mut self, bench: &str, seconds_per_iter: f64, iters: u64) {
+    fn record(
+        &mut self,
+        bench: &str,
+        seconds_per_iter: f64,
+        iters: u64,
+        throughput: Option<Throughput>,
+    ) {
         let Some(path) = &self.report_path else { return };
         if let Some(parent) = path.parent() {
             let _ = std::fs::create_dir_all(parent);
@@ -266,10 +321,21 @@ impl Criterion {
                     c => vec![c],
                 })
                 .collect();
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => format!(
+                    ", \"elements_per_iter\": {n}, \"elements_per_sec\": {:e}",
+                    n as f64 / seconds_per_iter.max(f64::MIN_POSITIVE)
+                ),
+                Some(Throughput::Bytes(n)) => format!(
+                    ", \"bytes_per_iter\": {n}, \"bytes_per_sec\": {:e}",
+                    n as f64 / seconds_per_iter.max(f64::MIN_POSITIVE)
+                ),
+                None => String::new(),
+            };
             let _ = writeln!(
                 f,
                 "{{\"bench\": \"{escaped}\", \"seconds_per_iter\": {seconds_per_iter:e}, \
-                 \"iters\": {iters}}}"
+                 \"iters\": {iters}{rate}}}"
             );
         }
     }
@@ -327,6 +393,21 @@ mod tests {
         assert!(lines[0].contains("\"bench\": \"grp/one\""));
         assert!(lines[0].contains("\"iters\": 1"));
         assert!(lines[1].contains("\"bench\": \"grp/two\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn throughput_rate_lands_in_report() {
+        let path = std::env::temp_dir().join("criterion-shim-throughput-test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut c = Criterion { quiet: true, smoke: true, report_path: Some(path.clone()) };
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(1_000));
+        g.bench_function("rows", |b| b.iter(|| black_box(1u64) + 1));
+        g.finish();
+        let report = std::fs::read_to_string(&path).unwrap();
+        assert!(report.contains("\"elements_per_iter\": 1000"));
+        assert!(report.contains("\"elements_per_sec\": "));
         std::fs::remove_file(&path).ok();
     }
 
