@@ -131,6 +131,11 @@ pub struct GeneratorConfig {
     pub base_intensity: f64,
     /// How births are placed across the window.
     pub arrival: ArrivalModel,
+    /// Share of the final table's rows emitted as a single "whale" user's
+    /// block (0 = none). Because chunking never splits a user, a 0.5 share
+    /// forces one chunk to hold about half of all rows — the skew fixture
+    /// for scheduler-balance experiments ([`GeneratorConfig::skewed`]).
+    pub whale_row_share: f64,
 }
 
 impl GeneratorConfig {
@@ -146,6 +151,7 @@ impl GeneratorConfig {
             retention_days: 9.0,
             base_intensity: 10.0,
             arrival: ArrivalModel::EarlySkew,
+            whale_row_share: 0.0,
         }
     }
 
@@ -167,6 +173,15 @@ impl GeneratorConfig {
             arrival: ArrivalModel::CohortClustered { active_days: 5 },
             ..GeneratorConfig::new(num_users)
         }
+    }
+
+    /// Heavily skewed dataset: `num_users` ordinary users plus one "whale"
+    /// user holding ~50% of all rows. Since chunking never splits a user,
+    /// one chunk ends up with about half the table — the worst case for
+    /// static per-chunk work division and the fixture the
+    /// `morsel_scheduler` bench uses to measure work-stealing balance.
+    pub fn skewed(num_users: usize) -> Self {
+        GeneratorConfig { whale_row_share: 0.5, ..GeneratorConfig::new(num_users) }
     }
 }
 
@@ -215,7 +230,62 @@ pub fn generate(config: &GeneratorConfig) -> ActivityTable {
             &launch,
         );
     }
+    if config.whale_row_share > 0.0 {
+        emit_whale(&mut rng, config, &mut builder, &action_arcs, &launch);
+    }
     builder.finish().expect("generator emits unique keys")
+}
+
+/// Emit the single "whale" user whose block holds `whale_row_share` of the
+/// final table's rows (sized against what the ordinary users produced).
+/// Timestamps are strictly increasing, so the primary key stays unique and
+/// the block is time-ordered; the first tuple is a `launch`, preserving the
+/// generator's first-action invariant.
+fn emit_whale(
+    rng: &mut StdRng,
+    config: &GeneratorConfig,
+    builder: &mut TableBuilder,
+    action_arcs: &[(Arc<str>, u32)],
+    launch: &Arc<str>,
+) {
+    let share = config.whale_row_share.clamp(0.0, 0.9);
+    let normal_rows = builder.len();
+    let n_rows = ((normal_rows as f64) * share / (1.0 - share)).round() as usize;
+    if n_rows == 0 {
+        return;
+    }
+    // finish() sorts users lexicographically and ids are zero-padded, so
+    // this id drops the whale's block near the middle of the table.
+    let user: Arc<str> = Arc::from(format!("{:07}-whale", config.num_users / 2));
+    let country: Arc<str> = Arc::from("China");
+    let city: Arc<str> = Arc::from("Beijing");
+    let role: Arc<str> = Arc::from(ROLES[rng.random_range(0..ROLES.len())]);
+    let window = config.num_days as i64 * SECONDS_PER_DAY;
+    // One tuple every `stride` seconds fills the window; a dense whale
+    // (more rows than window seconds) packs one per second past its end.
+    let birth_secs = 3600i64;
+    let stride = ((window - 2 * birth_secs) / n_rows as i64).max(1);
+    let mut push = |secs: i64, action: &Arc<str>, gold: i64, session: i64| {
+        builder
+            .push(vec![
+                Value::Str(user.clone()),
+                Value::int(config.start.secs() + secs),
+                Value::Str(action.clone()),
+                Value::Str(country.clone()),
+                Value::Str(city.clone()),
+                Value::Str(role.clone()),
+                Value::int(session),
+                Value::int(gold),
+            ])
+            .expect("whale tuples are well-typed");
+    };
+    push(birth_secs, launch, 0, rng.random_range(1..30));
+    for i in 1..n_rows {
+        let secs = birth_secs + i as i64 * stride;
+        let action = pick_weighted(rng, action_arcs);
+        let gold = if action.as_ref() == "shop" { rng.random_range(1..80) } else { 0 };
+        push(secs, action, gold, rng.random_range(1..120));
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -594,6 +664,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn skewed_emits_one_whale_holding_half_the_rows() {
+        let cfg = GeneratorConfig::skewed(60);
+        let t = generate(&cfg);
+        assert_eq!(t.num_users(), cfg.num_users + 1, "ordinary users plus the whale");
+        let largest = t.user_blocks().map(|b| b.range().len()).max().unwrap();
+        let share = largest as f64 / t.num_rows() as f64;
+        assert!((0.4..=0.6).contains(&share), "whale holds {share:.2} of rows");
+        // The generator invariants hold for the whale too.
+        let aidx = t.schema().action_idx();
+        for block in t.user_blocks() {
+            assert_eq!(t.rows()[block.start].get(aidx).as_str(), Some("launch"));
+        }
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn skewed_is_deterministic() {
+        let cfg = GeneratorConfig::skewed(40);
+        assert_eq!(generate(&cfg).rows(), generate(&cfg).rows());
     }
 
     #[test]

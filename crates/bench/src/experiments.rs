@@ -635,6 +635,88 @@ pub fn scan_throughput(cache: &mut DatasetCache) -> ExperimentResult {
     out
 }
 
+// ------------------------------------------------------ Morsel scheduler
+
+/// Extension experiment (not in the paper): morsel-driven work stealing on
+/// a skewed chunk-size distribution. `GeneratorConfig::skewed` plants one
+/// whale user holding ~half the table's rows — since chunks never split
+/// users, that is one chunk with ~50% of the data, the worst case for the
+/// static per-chunk worker stride this scheduler replaced. Q1/Q3 run at
+/// parallelism 1 and 4, reporting p50/p99 latency (tight tails mean the
+/// whale was stolen morsel by morsel, not serialized on one worker) and
+/// the per-worker busy-time split of a parallel-4 streamed run.
+pub fn morsel_scheduler(cache: &mut DatasetCache) -> ExperimentResult {
+    let config = cache.config().clone();
+    // Enough runs for the p99 of a *distribution*, not just a max of 5.
+    let runs = config.runs.max(10);
+    let table = cohana_activity::generate(&cohana_activity::GeneratorConfig::skewed(
+        config.base_users.max(8),
+    ));
+    let compressed = Arc::new(
+        CompressedTable::build(&table, CompressionOptions::with_chunk_size(16 * 1024))
+            .expect("skewed table compresses"),
+    );
+    let whale_share = compressed.chunks().iter().map(|c| c.num_rows()).max().unwrap_or(0) as f64
+        / table.num_rows() as f64;
+
+    let mut out = ExperimentResult::new(
+        "morsel-scheduler",
+        format!(
+            "work-stealing on a skewed table ({} chunks, largest {:.0}% of rows): latency \
+             percentiles by worker count",
+            compressed.chunks().len(),
+            whale_share * 100.0
+        ),
+        vec![
+            "query".into(),
+            "workers".into(),
+            "p50".into(),
+            "p99".into(),
+            "p99/p50".into(),
+            "morsels".into(),
+        ],
+    );
+    for (name, q) in [("Q1", paper::q1()), ("Q3", paper::q3())] {
+        for workers in [1usize, 4] {
+            let stmt = Statement::over(compressed.clone(), &q, PlannerOptions::default(), workers)
+                .expect("plans");
+            let mut last_stats = None;
+            let samples = crate::timing::time_samples(runs, || {
+                last_stats = stmt.execute().expect("executes").stats;
+            });
+            let p50 = crate::timing::percentile(&samples, 50.0).expect("runs > 0");
+            let p99 = crate::timing::percentile(&samples, 99.0).expect("runs > 0");
+            out.push_row(vec![
+                name.into(),
+                workers.to_string(),
+                fmt_secs(p50),
+                fmt_secs(p99),
+                format!("{:.2}", p99.as_secs_f64() / p50.as_secs_f64().max(1e-9)),
+                last_stats.expect("executor attaches stats").morsels_executed.to_string(),
+            ]);
+        }
+    }
+
+    // Busy-time split of one parallel-4 streamed run: stealing spreads the
+    // whale chunk's morsels, a static stride would pile them on one worker.
+    let stmt =
+        Statement::over(compressed, &paper::q3(), PlannerOptions::default(), 4).expect("plans");
+    let mut stream = stmt.stream();
+    for batch in &mut stream {
+        batch.expect("batch executes");
+    }
+    let busy = stream.worker_busy();
+    let stats = stream.stats();
+    let total: u64 = busy.iter().sum::<u64>().max(1);
+    out.push_note(format!(
+        "Q3 workers=4: {} morsels, per-worker busy ms {:?} (shares {:?}%)",
+        stats.morsels_executed,
+        busy.iter().map(|ns| ns / 1_000_000).collect::<Vec<_>>(),
+        busy.iter().map(|ns| 100 * ns / total).collect::<Vec<_>>(),
+    ));
+    out
+}
+
 /// Contiguous time slices of a table (the streaming-arrival shape).
 fn time_slices(table: &ActivityTable, k: usize) -> Vec<ActivityTable> {
     let tidx = table.schema().time_idx();
@@ -668,6 +750,7 @@ pub fn all(cache: &mut DatasetCache) -> Vec<ExperimentResult> {
         parallel(cache),
         lazy_io(cache),
         scan_throughput(cache),
+        morsel_scheduler(cache),
         ingest(cache),
     ]
 }
@@ -730,6 +813,19 @@ mod tests {
             assert!(rows > 0, "{}: no rows attributed", row[0]);
             assert!(rate > 0.0, "{}: no rate recorded", row[0]);
         }
+    }
+
+    #[test]
+    fn morsel_scheduler_reports_percentiles_and_busy_split() {
+        let r = morsel_scheduler(&mut quick_cache());
+        assert_eq!(r.rows.len(), 4, "Q1/Q3 x workers 1/4");
+        for row in &r.rows {
+            assert!(row[2].parse::<f64>().unwrap() > 0.0, "{}: no p50", row[0]);
+            assert!(row[3].parse::<f64>().unwrap() > 0.0, "{}: no p99", row[0]);
+            assert!(row[5].parse::<u64>().unwrap() > 0, "{}: no morsels", row[0]);
+        }
+        assert_eq!(r.notes.len(), 1);
+        assert!(r.notes[0].contains("per-worker busy"));
     }
 
     #[test]

@@ -44,11 +44,13 @@ use crate::query::CohortAttr;
 use crate::report::{CohortReport, ReportRow};
 use crate::scan::{compile_predicate, ChunkScan, CompiledExpr, EvalCtx};
 use cohana_activity::{TimeBin, Timestamp, Value, ValueType};
-use cohana_storage::{Chunk, ChunkIndexEntry, ChunkSource, ColumnMeta, TableMeta};
+use cohana_storage::rle::{UserRle, UserRun};
+use cohana_storage::{Chunk, ChunkCursors, ChunkIndexEntry, ChunkSource, ColumnMeta, TableMeta};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Upper bound on dense-array cells (`cohorts × ages × aggregates`); beyond
 /// this the executor falls back to hash aggregation.
@@ -57,6 +59,11 @@ const DENSE_CELL_LIMIT: usize = 1 << 22;
 /// Encoded cohort key: one `u64` per cohort attribute (global id for
 /// strings, bit-cast `i64` for integers and binned birth times).
 type Key = Vec<u64>;
+
+/// Return bundle of [`ExecCore::spawn_workers`]: the result receiver, the
+/// worker join handles, and one busy-nanoseconds counter per worker.
+pub(crate) type SpawnedWorkers =
+    (mpsc::Receiver<Result<ResultBatch, EngineError>>, Vec<JoinHandle<()>>, Arc<Vec<AtomicU64>>);
 
 /// How one cohort attribute is extracted from a birth tuple.
 #[derive(Debug, Clone, Copy)]
@@ -128,6 +135,7 @@ impl Partial {
 pub struct ResultBatch {
     pub(crate) chunk_index: usize,
     pub(crate) rows_scanned: usize,
+    pub(crate) morsels: u64,
     pub(crate) partial: Partial,
 }
 
@@ -140,6 +148,12 @@ impl ResultBatch {
     /// Rows of the source chunk this batch's scan covered.
     pub fn rows_scanned(&self) -> usize {
         self.rows_scanned
+    }
+
+    /// User-block morsels executed to produce this batch (0 when the chunk
+    /// was skipped without touching a row).
+    pub fn morsels(&self) -> u64 {
+        self.morsels
     }
 
     /// Cohorts with at least one qualified user in this chunk.
@@ -283,41 +297,94 @@ impl QueryCore {
     /// Run the fused per-chunk pass over one chunk, fetching it through the
     /// projection-aware [`ChunkSource::chunk_columns`] so a
     /// column-addressable (v3) source reads and decodes only the columns the
-    /// query names.
-    pub(crate) fn run_chunk(&self, idx: usize) -> Result<ResultBatch, EngineError> {
+    /// query names. The chunk is processed morsel by morsel (same ranges the
+    /// parallel scheduler would hand out), which both bounds the scratch
+    /// buffers and makes `morsels_executed` meaningful on the serial path.
+    pub(crate) fn run_chunk(
+        &self,
+        idx: usize,
+        morsel_rows: usize,
+    ) -> Result<ResultBatch, EngineError> {
         let chunk = self.source.chunk_columns(idx, &self.plan.projected_idxs)?;
-        let (partial, rows_scanned) =
-            process_chunk(self.source.table_meta(), &chunk, &self.plan, &self.ctx)?;
-        Ok(ResultBatch { chunk_index: idx, rows_scanned, partial })
+        let mut proc = RunProcessor::new(self.source.table_meta(), &chunk, &self.plan, &self.ctx)?;
+        if proc.skip_chunk {
+            // No user in this chunk can qualify; nothing to scan.
+            return Ok(ResultBatch {
+                chunk_index: idx,
+                rows_scanned: 0,
+                morsels: 0,
+                partial: Partial::default(),
+            });
+        }
+        let morsels = chunk.morsel_run_ranges(morsel_rows);
+        for &(lo, hi) in &morsels {
+            proc.process_runs(lo, hi);
+        }
+        Ok(ResultBatch {
+            chunk_index: idx,
+            rows_scanned: chunk.num_rows(),
+            morsels: morsels.len() as u64,
+            partial: proc.finish(),
+        })
     }
 
-    /// Spawn `workers` threads that stride over `live` and feed batches into
-    /// a bounded channel. The bound gives backpressure: workers run at most
-    /// one chunk (plus one buffered batch each) ahead of the consumer, and a
-    /// dropped receiver stops every worker at its next send — the parallel
-    /// form of early termination.
+    /// Spawn `workers` threads running the **morsel-driven work-stealing
+    /// scheduler**: chunks are claimed dynamically (not strided), each
+    /// claimer decodes its chunk and publishes a list of ~`morsel_rows`-row
+    /// user-block morsels, and workers — including workers whose own chunks
+    /// ran dry — pull morsels from any published chunk through a shared
+    /// atomic claim counter. Each worker accumulates into a thread-local
+    /// [`Partial`]; per-chunk locals are merged under the chunk's slot lock
+    /// and the worker whose flush completes a chunk emits its single
+    /// [`ResultBatch`], so consumers still see one batch per chunk.
+    ///
+    /// The bounded channel keeps the backpressure of the old static-stride
+    /// path, and cancellation stays pull-based: a dropped receiver fails the
+    /// next send, which raises the shared `cancelled` flag every worker
+    /// checks at each morsel claim — early termination now stops at the next
+    /// **morsel** boundary, not the next whole chunk.
+    ///
+    /// Returns the receiver, the worker handles, and one busy-time counter
+    /// (nanoseconds of decode + morsel execution, excluding send blocking
+    /// and steal polling) per worker.
     pub(crate) fn spawn_workers(
         &self,
-        live: &[usize],
+        live: Vec<usize>,
         workers: usize,
-    ) -> (mpsc::Receiver<Result<ResultBatch, EngineError>>, Vec<JoinHandle<()>>) {
+        morsel_rows: usize,
+    ) -> SpawnedWorkers {
         let (tx, rx) = mpsc::sync_channel::<Result<ResultBatch, EngineError>>(workers);
+        let sched = Arc::new(MorselScheduler {
+            core: self.clone(),
+            slots: live.iter().map(|_| ChunkSlot::default()).collect(),
+            live,
+            morsel_rows: morsel_rows.max(1),
+            next_chunk: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
+        });
+        let busy: Arc<Vec<AtomicU64>> = Arc::new((0..workers).map(|_| AtomicU64::new(0)).collect());
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
-            let core = self.clone();
+            let sched = sched.clone();
             let tx = tx.clone();
-            let assigned: Vec<usize> = live.iter().skip(w).step_by(workers).copied().collect();
+            let busy = busy.clone();
             handles.push(std::thread::spawn(move || {
-                for idx in assigned {
-                    let out = core.run_chunk(idx);
-                    let stop = out.is_err();
-                    if tx.send(out).is_err() || stop {
-                        return;
+                // A worker that panics can no longer flush or claim; cancel
+                // the whole query so its peers don't wait on the chunk it
+                // held forever.
+                struct PanicCancel<'a>(&'a MorselScheduler);
+                impl Drop for PanicCancel<'_> {
+                    fn drop(&mut self) {
+                        if std::thread::panicking() {
+                            self.0.cancel();
+                        }
                     }
                 }
+                let _guard = PanicCancel(&sched);
+                worker_loop(&sched, &tx, &busy[w]);
             }));
         }
-        (rx, handles)
+        (rx, handles, busy)
     }
 
     /// Decode merged partials into the final report.
@@ -352,212 +419,618 @@ fn prune_chunk(entry: &ChunkIndexEntry, plan: &PhysicalPlan, ctx: &ExecContext) 
     ctx.birth_pred.as_ref().is_some_and(|p| p.is_const_false())
 }
 
-/// Run the fused operators over one chunk. Chunk pruning has already been
-/// decided by [`prune_chunk`] from the chunk's index entry.
+/// The fused per-chunk operator pipeline, restructured around **morsels**:
+/// instead of one monolithic pass over the whole chunk, the executor
+/// processes half-open run ranges (user-block morsels, see
+/// [`Chunk::morsel_run_ranges`]) so the same machinery serves both the
+/// serial path (one processor walks every morsel) and the work-stealing
+/// scheduler (many workers each hold their own processor over the shared
+/// decoded chunk and claim morsels from an atomic counter).
 ///
 /// This is the vectorized path: columns are resolved **once** into
 /// [`ChunkCursors`], predicates are specialized against this chunk's
-/// dictionaries and ranges ([`CompiledExpr::specialize`]), and each user
-/// block's time column is block-decoded into a scratch buffer reused across
-/// users — the inner loop performs no column lookups, no per-element
-/// div/mod, and no allocations.
-///
-/// Returns the partial plus the rows the pass actually covered:
-/// `chunk.num_rows()` normally, 0 when the specialized birth predicate
-/// proved the whole chunk irrelevant without touching a row — so
-/// `rows_scanned`-derived scan rates never credit work that never ran.
-fn process_chunk(
-    table: &TableMeta,
-    chunk: &Chunk,
-    plan: &PhysicalPlan,
-    ctx: &ExecContext,
-) -> Result<(Partial, usize), EngineError> {
-    let mut partial = Partial::default();
-    let mut scan = ChunkScan::open(table, chunk, ctx.birth_gid)?;
-    let cursors = chunk.cursors();
+/// dictionaries and ranges ([`CompiledExpr::specialize`]), each user block's
+/// time column — and, for value aggregates, its value columns — are
+/// block-decoded into scratch buffers reused across users through
+/// [`cohana_storage::BitPacked::unpack_range`] (the SIMD lane path when
+/// compiled in), and birth rows are located for a whole morsel at once with
+/// [`ChunkScan::find_birth_rows_batch`]. The inner loop performs no column
+/// lookups, no per-element div/mod, and no allocations.
+pub(crate) struct RunProcessor<'a> {
+    scan: ChunkScan<'a>,
+    cursors: ChunkCursors<'a>,
+    rle: &'a UserRle,
+    plan: &'a PhysicalPlan,
+    ctx: &'a ExecContext,
+    time_deltas: &'a cohana_storage::BitPacked,
+    time_min: i64,
+    /// §4.3 "compile once per chunk": predicates folded against this chunk's
+    /// metadata, gid comparisons rewritten to raw chunk codes.
+    birth_pred: Option<CompiledExpr>,
+    age_pred: Option<CompiledExpr>,
+    /// A constant-false age predicate still lets users qualify (their cohort
+    /// sizes count), but no tuple ever reaches the aggregates.
+    age_dead: bool,
+    /// The age predicate with every current-row column read bound to a
+    /// block-decoded slot ([`CompiledExpr::bind_slots`]); `None` when there
+    /// is no age predicate or it cannot be bound (the mask loop then falls
+    /// back to per-row [`CompiledExpr::eval`]).
+    age_block_pred: Option<CompiledExpr>,
+    /// Columns the bound age predicate reads, decoded per user block into
+    /// `pbufs` (slot order).
+    age_slot_cols: Vec<usize>,
+    /// The specialized birth predicate proved no user in this chunk can
+    /// qualify: callers should not run any morsel.
+    pub(crate) skip_chunk: bool,
+    n_aggs: usize,
+    dense: Option<DenseAgg>,
+    partial: Partial,
+    /// Deduplicated attribute indexes of the value columns the aggregates
+    /// read, the per-aggregate slot into them, and their chunk minima.
+    vattrs: Vec<usize>,
+    agg_vslots: Vec<Option<usize>>,
+    vmins: Vec<i64>,
+    // Scratch reused across users and morsels: one growth to the largest
+    // block, then allocation-free. `tbuf` holds a block's decoded time
+    // deltas, `abuf` the normalized age of every tuple, `vbufs` the decoded
+    // value columns of a contributing user's block.
+    tbuf: Vec<u64>,
+    abuf: Vec<i64>,
+    key_buf: Key,
+    runs_buf: Vec<UserRun>,
+    birth_rows: Vec<Option<usize>>,
+    vbufs: Vec<Vec<u64>>,
+    pbufs: Vec<Vec<u64>>,
+    /// Per-row age-selection outcome of the current user block (`age > 0`
+    /// AND the age predicate), computed in one pass before any accumulator
+    /// or value-column work.
+    mbuf: Vec<bool>,
+}
 
-    // §4.3 "compile once per chunk": fold against this chunk's metadata and
-    // rewrite gid comparisons to raw chunk codes.
-    let birth_pred = ctx.birth_pred.as_ref().map(|p| p.specialize(chunk));
-    let age_pred = ctx.age_pred.as_ref().map(|p| p.specialize(chunk));
-    if plan.options.skip_unqualified_users
-        && birth_pred.as_ref().is_some_and(CompiledExpr::is_const_false)
-    {
-        // No user in this chunk can qualify; nothing to scan.
-        return Ok((partial, 0));
-    }
-    // A constant-false age predicate still lets users qualify (their cohort
-    // sizes count), but no tuple ever reaches the aggregates.
-    let age_dead = age_pred.as_ref().is_some_and(CompiledExpr::is_const_false);
+impl<'a> RunProcessor<'a> {
+    pub(crate) fn new(
+        table: &'a TableMeta,
+        chunk: &'a Chunk,
+        plan: &'a PhysicalPlan,
+        ctx: &'a ExecContext,
+    ) -> Result<RunProcessor<'a>, EngineError> {
+        let scan = ChunkScan::open(table, chunk, ctx.birth_gid)?;
+        let cursors = chunk.cursors();
+        let birth_pred = ctx.birth_pred.as_ref().map(|p| p.specialize(chunk));
+        let age_pred = ctx.age_pred.as_ref().map(|p| p.specialize(chunk));
+        let skip_chunk = plan.options.skip_unqualified_users
+            && birth_pred.as_ref().is_some_and(CompiledExpr::is_const_false);
+        let age_dead = age_pred.as_ref().is_some_and(CompiledExpr::is_const_false);
 
-    // Dense or hash accumulators.
-    let n_aggs = ctx.aggs.len();
-    let mut dense_state: Option<DenseAgg> = ctx.dense.map(|(cohorts, ages)| DenseAgg {
-        ages,
-        sizes: vec![0u64; cohorts],
-        states: vec![AggState::Count(0); cohorts * ages * n_aggs],
-        touched: vec![false; cohorts * ages],
-        inits: ctx.aggs.iter().map(|a| a.init()).collect(),
-    });
-
-    // Scratch reused across users: one growth to the largest block, then
-    // allocation-free. `tbuf` holds the block's decoded time deltas, `abuf`
-    // the normalized age of every tuple.
-    let time_deltas = scan.time_deltas();
-    let time_min = scan.time_min();
-    let mut tbuf: Vec<u64> = Vec::new();
-    let mut abuf: Vec<i64> = Vec::new();
-    let mut key_buf: Key = Vec::with_capacity(ctx.key_parts.len());
-
-    while let Some(run) = scan.next_user() {
-        let birth_row = match scan.find_birth_row(&run) {
-            Some(r) => r,
-            None => continue, // user never performed the birth action
+        // Bind the age predicate's current-row reads to block-decoded
+        // slots: the per-block mask loop then reads flat buffers instead of
+        // random-accessing packed bits per row.
+        let mut age_slot_cols = Vec::new();
+        let age_block_pred = match &age_pred {
+            Some(p) if !age_dead => p.bind_slots(&cursors, &mut age_slot_cols),
+            _ => None,
         };
-        let birth_ctx = EvalCtx { row: birth_row, birth_row, age_units: 0 };
-        let qualified = birth_pred.as_ref().map(|p| p.eval(&cursors, &birth_ctx)).unwrap_or(true);
-        let start = run.first as usize;
-        let count = run.count as usize;
-        let birth_delta = time_deltas.get(birth_row) as i64;
-
-        if !qualified {
-            if plan.options.skip_unqualified_users {
-                // SkipCurUser(): do not touch this user's remaining tuples.
-                continue;
-            }
-            // Ablation mode: perform the per-tuple scan work the skip would
-            // have avoided, discarding results. black_box prevents the
-            // optimizer from deleting the loop.
-            tbuf.resize(count, 0);
-            time_deltas.unpack_range(start, start + count, &mut tbuf);
-            abuf.resize(count, 0);
-            fill_age_units(ctx.age_bin, &tbuf, birth_delta, &mut abuf);
-            for (off, &age_units) in abuf.iter().enumerate() {
-                let tctx = EvalCtx { row: start + off, birth_row, age_units };
-                let keep = age_units > 0
-                    && age_pred.as_ref().map(|p| p.eval(&cursors, &tctx)).unwrap_or(true);
-                std::hint::black_box(keep);
-            }
-            continue;
+        if age_block_pred.is_none() {
+            age_slot_cols.clear();
         }
+        let pbufs = vec![Vec::new(); age_slot_cols.len()];
 
-        let birth_time = time_min + birth_delta;
+        // Dense or hash accumulators.
+        let n_aggs = ctx.aggs.len();
+        let dense = ctx.dense.map(|(cohorts, ages)| DenseAgg {
+            ages,
+            sizes: vec![0u64; cohorts],
+            states: vec![AggState::Count(0); cohorts * ages * n_aggs],
+            touched: vec![false; cohorts * ages],
+            inits: ctx.aggs.iter().map(|a| a.init()).collect(),
+        });
 
-        // Cohort assignment from the birth tuple (Definition 6).
-        key_buf.clear();
-        for part in &ctx.key_parts {
-            key_buf.push(match part {
-                KeyPart::Str(idx) => cursors.gid(*idx, birth_row) as u64,
-                KeyPart::Int(idx) => cursors.int(*idx, birth_row) as u64,
-                KeyPart::TimeBin(bin) => bin.bin_start(Timestamp(birth_time)).secs() as u64,
+        // Resolve which value columns the aggregates read, deduplicated so
+        // two aggregates over the same attribute share one decoded buffer.
+        let mut vattrs: Vec<usize> = Vec::new();
+        let mut agg_vslots: Vec<Option<usize>> = Vec::with_capacity(n_aggs);
+        for (agg, attr) in ctx.aggs.iter().zip(&ctx.agg_attrs) {
+            agg_vslots.push(match (agg.per_user(), attr) {
+                (false, Some(idx)) => Some(match vattrs.iter().position(|v| v == idx) {
+                    Some(s) => s,
+                    None => {
+                        vattrs.push(*idx);
+                        vattrs.len() - 1
+                    }
+                }),
+                _ => None,
             });
         }
+        let vmins: Vec<i64> = vattrs.iter().map(|&i| cursors.int_min(i)).collect();
+        let vbufs = vec![Vec::new(); vattrs.len()];
 
-        // Cohort size counts every qualified user exactly once. The hash
-        // path gets then inserts: the key is cloned only the first time a
-        // cohort appears, not per user.
-        let dense_cohort = dense_state.as_ref().map(|_| key_buf[0] as usize);
-        match (&mut dense_state, dense_cohort) {
-            (Some(d), Some(c)) => d.sizes[c] += 1,
-            _ => match partial.sizes.get_mut(&key_buf) {
-                Some(size) => *size += 1,
-                None => {
-                    partial.sizes.insert(key_buf.clone(), 1);
-                }
-            },
+        let time_deltas = scan.time_deltas();
+        let time_min = scan.time_min();
+        Ok(RunProcessor {
+            scan,
+            cursors,
+            rle: chunk.user_rle(),
+            plan,
+            ctx,
+            time_deltas,
+            time_min,
+            birth_pred,
+            age_pred,
+            age_dead,
+            age_block_pred,
+            age_slot_cols,
+            skip_chunk,
+            n_aggs,
+            dense,
+            partial: Partial::default(),
+            vattrs,
+            agg_vslots,
+            vmins,
+            tbuf: Vec::new(),
+            abuf: Vec::new(),
+            key_buf: Vec::with_capacity(ctx.key_parts.len()),
+            runs_buf: Vec::new(),
+            birth_rows: Vec::new(),
+            vbufs,
+            pbufs,
+            mbuf: Vec::new(),
+        })
+    }
+
+    /// Run the fused birth-selection / age-selection / aggregation pass over
+    /// the user runs `lo..hi` (one morsel), accumulating into this
+    /// processor's partial. Correct for any tiling of the chunk's runs
+    /// because every per-user operator is local to the user's block.
+    pub(crate) fn process_runs(&mut self, lo: usize, hi: usize) {
+        // Copy-out references so the per-user body borrows only the fields
+        // it mutates.
+        let ctx = self.ctx;
+        let plan = self.plan;
+        let time_deltas = self.time_deltas;
+        let time_min = self.time_min;
+        let n_aggs = self.n_aggs;
+        let age_dead = self.age_dead;
+        let birth_pred = self.birth_pred.as_ref();
+        let age_pred = self.age_pred.as_ref();
+        let cursors = &self.cursors;
+
+        self.runs_buf.clear();
+        for i in lo..hi {
+            self.runs_buf.push(self.rle.run(i));
         }
-        if age_dead || count == 1 {
-            continue; // no tuple of this user can reach the aggregates
-        }
+        // Batch birth search: locate every user's birth row (early-exit
+        // word-walking scan per run) before any per-user work.
+        self.scan.find_birth_rows_batch(&self.runs_buf, &mut self.birth_rows);
 
-        // Block-decode this user's time deltas once and normalize every
-        // tuple's age in one pass; ages fall out as delta differences (the
-        // chunk minimum cancels) and the per-bin division is by a
-        // compile-time constant.
-        tbuf.resize(count, 0);
-        time_deltas.unpack_range(start, start + count, &mut tbuf);
-        abuf.resize(count, 0);
-        fill_age_units(ctx.age_bin, &tbuf, birth_delta, &mut abuf);
+        for j in 0..self.runs_buf.len() {
+            let run = self.runs_buf[j];
+            let Some(birth_row) = self.birth_rows[j] else {
+                continue; // user never performed the birth action
+            };
+            let birth_ctx = EvalCtx { row: birth_row, birth_row, age_units: 0 };
+            let qualified = birth_pred.map(|p| p.eval(cursors, &birth_ctx)).unwrap_or(true);
+            let start = run.first as usize;
+            let count = run.count as usize;
+            let birth_delta = time_deltas.get(birth_row) as i64;
 
-        // Locate the first tuple the aggregation will touch *before*
-        // resolving any accumulator state: a user whose every tuple fails
-        // the age selection leaves no trace (and costs no hash traffic).
-        // The first positive-age tuple that passes the predicate always
-        // contributes (its age is trivially fresh).
-        let first_contrib = abuf.iter().enumerate().position(|(off, &age_units)| {
-            age_units > 0
-                && age_pred
-                    .as_ref()
-                    .map(|p| p.eval(&cursors, &EvalCtx { row: start + off, birth_row, age_units }))
-                    .unwrap_or(true)
-        });
-        let Some(first_off) = first_contrib else { continue };
-
-        // Resolve the cohort's age table once per contributing user (hash
-        // path); the inner loop then updates it without hashing or cloning
-        // the key.
-        let mut user_cells: Option<&mut BTreeMap<i64, Vec<AggState>>> = match dense_cohort {
-            Some(_) => None,
-            None => {
-                if !partial.cells.contains_key(&key_buf) {
-                    partial.cells.insert(key_buf.clone(), BTreeMap::new());
-                }
-                partial.cells.get_mut(&key_buf)
-            }
-        };
-
-        // Fold this user's age activity tuples in a tight loop over the
-        // decoded age buffer.
-        let mut last_age_contributed = i64::MIN;
-        for (off, &age_units) in abuf.iter().enumerate().skip(first_off) {
-            if age_units <= 0 {
-                continue; // birth tuple or pre-birth tuple: g ≤ 0 excluded
-            }
-            let row = start + off;
-            if let Some(p) = &age_pred {
-                let tctx = EvalCtx { row, birth_row, age_units };
-                if !p.eval(&cursors, &tctx) {
+            if !qualified {
+                if plan.options.skip_unqualified_users {
+                    // SkipCurUser(): do not touch this user's remaining tuples.
                     continue;
                 }
-            }
-            let fresh_age = age_units != last_age_contributed;
-            last_age_contributed = age_units;
-            if !fresh_age && !ctx.has_value_aggs {
-                // Every aggregate is per-user (e.g. USER_COUNT) and this age
-                // was already credited: nothing can change.
+                // Ablation mode: perform the per-tuple scan work the skip
+                // would have avoided, discarding results. black_box prevents
+                // the optimizer from deleting the loop.
+                self.tbuf.resize(count, 0);
+                time_deltas.unpack_range(start, start + count, &mut self.tbuf);
+                self.abuf.resize(count, 0);
+                fill_age_units(ctx.age_bin, &self.tbuf, birth_delta, &mut self.abuf);
+                for (off, &age_units) in self.abuf.iter().enumerate() {
+                    let tctx = EvalCtx { row: start + off, birth_row, age_units };
+                    let keep =
+                        age_units > 0 && age_pred.map(|p| p.eval(cursors, &tctx)).unwrap_or(true);
+                    std::hint::black_box(keep);
+                }
                 continue;
             }
 
-            let states: &mut [AggState] = match (&mut dense_state, dense_cohort) {
-                (Some(d), Some(c)) => d.cell(c, age_units as usize, n_aggs),
-                _ => user_cells
-                    .as_deref_mut()
-                    .expect("hash path resolved the cohort's age table")
-                    .entry(age_units)
-                    .or_insert_with(|| ctx.aggs.iter().map(|a| a.init()).collect()),
-            };
-            for (i, agg) in ctx.aggs.iter().enumerate() {
-                if agg.per_user() {
-                    // Ages within a user block are non-decreasing
-                    // (time-ordering), so this counts each user once per age.
-                    if fresh_age {
-                        states[i].update_user();
+            let birth_time = time_min + birth_delta;
+
+            // Cohort assignment from the birth tuple (Definition 6).
+            self.key_buf.clear();
+            for part in &ctx.key_parts {
+                self.key_buf.push(match part {
+                    KeyPart::Str(idx) => cursors.gid(*idx, birth_row) as u64,
+                    KeyPart::Int(idx) => cursors.int(*idx, birth_row) as u64,
+                    KeyPart::TimeBin(bin) => bin.bin_start(Timestamp(birth_time)).secs() as u64,
+                });
+            }
+
+            // Cohort size counts every qualified user exactly once. The hash
+            // path gets then inserts: the key is cloned only the first time
+            // a cohort appears, not per user.
+            let dense_cohort = self.dense.as_ref().map(|_| self.key_buf[0] as usize);
+            match (&mut self.dense, dense_cohort) {
+                (Some(d), Some(c)) => d.sizes[c] += 1,
+                _ => match self.partial.sizes.get_mut(&self.key_buf) {
+                    Some(size) => *size += 1,
+                    None => {
+                        self.partial.sizes.insert(self.key_buf.clone(), 1);
                     }
-                } else {
-                    let v = match ctx.agg_attrs[i] {
-                        Some(idx) => cursors.int(idx, row),
-                        None => 0,
-                    };
-                    states[i].update(v);
+                },
+            }
+            if age_dead || count == 1 {
+                continue; // no tuple of this user can reach the aggregates
+            }
+
+            // Block-decode this user's time deltas once and normalize every
+            // tuple's age in one pass; ages fall out as delta differences
+            // (the chunk minimum cancels) and the per-bin division is by a
+            // compile-time constant.
+            self.tbuf.resize(count, 0);
+            time_deltas.unpack_range(start, start + count, &mut self.tbuf);
+            self.abuf.resize(count, 0);
+            fill_age_units(ctx.age_bin, &self.tbuf, birth_delta, &mut self.abuf);
+
+            // Ages within a user block are non-decreasing (time-ordering),
+            // so `age > 0` splits the block at a partition point: binary-
+            // search the first post-birth tuple instead of scanning — and
+            // masking — the pre-birth prefix.
+            let pos0 = self.abuf.partition_point(|&a| a <= 0);
+            if pos0 == count {
+                continue; // every tuple is at or before the birth tuple
+            }
+            let mlen = count - pos0;
+
+            // Evaluate the whole post-birth span's age predicate into a
+            // mask *before* resolving any accumulator state or decoding
+            // value columns: a user whose every tuple fails the age
+            // selection leaves no trace (no hash traffic, no value decode),
+            // and each tuple's predicate is evaluated exactly once. The
+            // slot-bound form runs vectorized lane loops over block-decoded
+            // columns (`CompiledExpr::and_into_mask`); without an age
+            // predicate no mask is materialized at all.
+            self.mbuf.clear();
+            if let Some(bp) = self.age_block_pred.as_ref() {
+                self.mbuf.resize(mlen, true);
+                for s in 0..self.age_slot_cols.len() {
+                    self.pbufs[s].resize(mlen, 0);
+                    cursors.unpack(
+                        self.age_slot_cols[s],
+                        start + pos0,
+                        start + count,
+                        &mut self.pbufs[s],
+                    );
+                }
+                bp.and_into_mask(
+                    cursors,
+                    birth_row,
+                    start + pos0,
+                    &self.pbufs,
+                    &self.abuf[pos0..],
+                    &mut self.mbuf,
+                );
+            } else if let Some(p) = age_pred {
+                self.mbuf.resize(mlen, false);
+                for i in 0..mlen {
+                    let age_units = self.abuf[pos0 + i];
+                    self.mbuf[i] =
+                        p.eval(cursors, &EvalCtx { row: start + pos0 + i, birth_row, age_units });
+                }
+            }
+            // The first masked tuple always contributes (its age is
+            // trivially fresh); with no age predicate that is offset 0.
+            let first_i = if self.mbuf.is_empty() {
+                0
+            } else {
+                match self.mbuf.iter().position(|&m| m) {
+                    Some(i) => i,
+                    None => continue, // every tuple failed the age selection
+                }
+            };
+
+            // Block-decode the value columns of this contributing user's
+            // post-birth span through the same (SIMD when enabled) path as
+            // the time column; the inner loop then reads a flat local
+            // buffer instead of re-extracting bits per row.
+            for s in 0..self.vattrs.len() {
+                self.vbufs[s].resize(mlen, 0);
+                cursors.unpack(self.vattrs[s], start + pos0, start + count, &mut self.vbufs[s]);
+            }
+
+            // Resolve the cohort's age table once per contributing user
+            // (hash path); the inner loop then updates it without hashing or
+            // cloning the key.
+            let mut user_cells: Option<&mut BTreeMap<i64, Vec<AggState>>> = match dense_cohort {
+                Some(_) => None,
+                None => {
+                    if !self.partial.cells.contains_key(&self.key_buf) {
+                        self.partial.cells.insert(self.key_buf.clone(), BTreeMap::new());
+                    }
+                    self.partial.cells.get_mut(&self.key_buf)
+                }
+            };
+
+            // Fold this user's age activity tuples in a tight loop over the
+            // precomputed mask and decoded age buffer.
+            let mut last_age_contributed = i64::MIN;
+            let masked = !self.mbuf.is_empty();
+            for off in first_i..mlen {
+                if masked && !self.mbuf[off] {
+                    continue; // failed the age selection
+                }
+                let age_units = self.abuf[pos0 + off];
+                let fresh_age = age_units != last_age_contributed;
+                last_age_contributed = age_units;
+                if !fresh_age && !ctx.has_value_aggs {
+                    // Every aggregate is per-user (e.g. USER_COUNT) and this
+                    // age was already credited: nothing can change.
+                    continue;
+                }
+
+                let states: &mut [AggState] = match (&mut self.dense, dense_cohort) {
+                    (Some(d), Some(c)) => d.cell(c, age_units as usize, n_aggs),
+                    _ => user_cells
+                        .as_deref_mut()
+                        .expect("hash path resolved the cohort's age table")
+                        .entry(age_units)
+                        .or_insert_with(|| ctx.aggs.iter().map(|a| a.init()).collect()),
+                };
+                for (i, agg) in ctx.aggs.iter().enumerate() {
+                    if agg.per_user() {
+                        // Ages within a user block are non-decreasing
+                        // (time-ordering), so this counts each user once per
+                        // age.
+                        if fresh_age {
+                            states[i].update_user();
+                        }
+                    } else {
+                        let v = match self.agg_vslots[i] {
+                            Some(s) => self.vmins[s] + self.vbufs[s][off] as i64,
+                            None => 0,
+                        };
+                        states[i].update(v);
+                    }
                 }
             }
         }
     }
 
-    if let Some(d) = dense_state {
-        d.drain_into(&mut partial, n_aggs);
+    /// Drain the dense accumulator (if any) and yield the accumulated
+    /// partial.
+    pub(crate) fn finish(mut self) -> Partial {
+        if let Some(d) = self.dense.take() {
+            d.drain_into(&mut self.partial, self.n_aggs);
+        }
+        self.partial
     }
-    Ok((partial, chunk.num_rows()))
+}
+
+/// One decoded chunk published to the work-stealing pool: the materialized
+/// columns plus the morsel tiling every worker claims from.
+struct DecodedChunk {
+    chunk: Chunk,
+    morsels: Vec<(usize, usize)>,
+}
+
+/// Per-live-chunk scheduler state.
+#[derive(Default)]
+struct ChunkSlot {
+    /// `None` until the chunk's claimer has decoded it. `Some(None)` means
+    /// there is nothing to drain — the chunk was skipped, empty, or errored,
+    /// and its batch (or error) has already been sent. `Some(Some(_))` holds
+    /// the decoded chunk stealers execute against.
+    decoded: OnceLock<Option<Arc<DecodedChunk>>>,
+    /// Next morsel index to claim; claims past `morsels.len()` are no-ops.
+    next_morsel: AtomicUsize,
+    /// Morsels claimed-and-flushed accounting: starts at `morsels.len()`,
+    /// decremented by each worker's flush; the worker whose flush brings it
+    /// to zero emits the chunk's single [`ResultBatch`]. Published *before*
+    /// `decoded` (release/acquire pair via the `OnceLock`).
+    pending: AtomicUsize,
+    /// Merged per-worker partials for this chunk.
+    partial: Mutex<Partial>,
+}
+
+/// Shared state of one parallel query execution: the morsel-driven
+/// work-stealing scheduler of `spawn_workers`.
+struct MorselScheduler {
+    core: QueryCore,
+    live: Vec<usize>,
+    morsel_rows: usize,
+    next_chunk: AtomicUsize,
+    slots: Vec<ChunkSlot>,
+    cancelled: AtomicBool,
+}
+
+impl MorselScheduler {
+    /// Stop every worker at its next morsel boundary. Raised when the
+    /// consumer drops the receiver (pull-based early termination), on the
+    /// first execution error, and by a panicking worker's drop guard.
+    fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+type BatchSender = mpsc::SyncSender<Result<ResultBatch, EngineError>>;
+
+/// One worker thread's life: claim-and-decode chunks while any remain, then
+/// steal morsels from chunks other workers are still draining, until every
+/// slot is finished or the query is cancelled.
+fn worker_loop(sched: &MorselScheduler, tx: &BatchSender, busy: &AtomicU64) {
+    // Phase 1: claim undecoded chunks round-robin; decode, publish, then
+    // drain own morsels (stealers may already be helping).
+    loop {
+        if sched.is_cancelled() {
+            return;
+        }
+        let k = sched.next_chunk.fetch_add(1, Ordering::Relaxed);
+        if k >= sched.live.len() {
+            break;
+        }
+        decode_slot(sched, k, tx, busy);
+        if drain_slot(sched, k, tx, busy).is_err() {
+            return;
+        }
+    }
+    // Phase 2: no chunks left to claim — steal from published chunks with
+    // unclaimed or in-flight morsels until the whole query has drained.
+    loop {
+        if sched.is_cancelled() {
+            return;
+        }
+        let mut unfinished = false;
+        for k in 0..sched.slots.len() {
+            match sched.slots[k].decoded.get() {
+                None => unfinished = true, // claimer still decoding
+                Some(None) => {}           // skipped/empty/errored: done
+                Some(Some(_)) => {
+                    if sched.slots[k].pending.load(Ordering::Acquire) > 0 {
+                        unfinished = true;
+                        if drain_slot(sched, k, tx, busy).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        if !unfinished {
+            return;
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Decode slot `k`'s chunk and publish its morsels, or — for chunks with
+/// nothing to execute (specialized-predicate skip, empty chunk, fetch
+/// error) — emit the batch/error directly and publish "nothing to drain".
+fn decode_slot(sched: &MorselScheduler, k: usize, tx: &BatchSender, busy: &AtomicU64) {
+    let slot = &sched.slots[k];
+    let idx = sched.live[k];
+    let core = &sched.core;
+    let t = Instant::now();
+    match core.source.chunk_columns(idx, &core.plan.projected_idxs) {
+        Ok(chunk) => {
+            // Same skip decision as `RunProcessor::skip_chunk`, taken before
+            // publishing so stealers never see a skippable chunk.
+            let skip = core.plan.options.skip_unqualified_users
+                && core
+                    .ctx
+                    .birth_pred
+                    .as_ref()
+                    .map(|p| p.specialize(&chunk))
+                    .is_some_and(|p| p.is_const_false());
+            let morsels =
+                if skip { Vec::new() } else { chunk.morsel_run_ranges(sched.morsel_rows) };
+            busy.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            if morsels.is_empty() {
+                slot.pending.store(0, Ordering::Release);
+                let batch = ResultBatch {
+                    chunk_index: idx,
+                    rows_scanned: if skip { 0 } else { chunk.num_rows() },
+                    morsels: 0,
+                    partial: Partial::default(),
+                };
+                if tx.send(Ok(batch)).is_err() {
+                    sched.cancel();
+                }
+                let _ = slot.decoded.set(None);
+            } else {
+                slot.pending.store(morsels.len(), Ordering::Release);
+                // Detach the chunk from the source borrow: segments are
+                // Arc-shared, so this clone is reference-count bumps.
+                let chunk = Chunk::clone(&chunk);
+                let _ = slot.decoded.set(Some(Arc::new(DecodedChunk { chunk, morsels })));
+            }
+        }
+        Err(e) => {
+            busy.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            slot.pending.store(0, Ordering::Release);
+            sched.cancel();
+            let _ = tx.send(Err(e.into()));
+            let _ = slot.decoded.set(None);
+        }
+    }
+}
+
+/// Claim and execute morsels from slot `k` into a worker-local
+/// [`RunProcessor`] (constructed lazily on the first claim), flush the local
+/// partial into the slot, and emit the chunk's single batch if this flush
+/// completed it. `Err(())` means the query is cancelled and the worker
+/// should exit.
+fn drain_slot(
+    sched: &MorselScheduler,
+    k: usize,
+    tx: &BatchSender,
+    busy: &AtomicU64,
+) -> Result<(), ()> {
+    let slot = &sched.slots[k];
+    let Some(Some(dc)) = slot.decoded.get() else { return Ok(()) };
+    if slot.next_morsel.load(Ordering::Relaxed) >= dc.morsels.len() {
+        return Ok(()); // every morsel already claimed (possibly in flight)
+    }
+    let core = &sched.core;
+    let mut proc: Option<RunProcessor<'_>> = None;
+    let mut claimed = 0usize;
+    let t = Instant::now();
+    loop {
+        if sched.is_cancelled() {
+            busy.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            return Err(());
+        }
+        let m = slot.next_morsel.fetch_add(1, Ordering::Relaxed);
+        if m >= dc.morsels.len() {
+            break;
+        }
+        if proc.is_none() {
+            match RunProcessor::new(core.source.table_meta(), &dc.chunk, &core.plan, &core.ctx) {
+                Ok(p) => proc = Some(p),
+                Err(e) => {
+                    busy.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    sched.cancel();
+                    let _ = tx.send(Err(e));
+                    return Err(());
+                }
+            }
+        }
+        let (lo, hi) = dc.morsels[m];
+        proc.as_mut().expect("processor constructed on first claim").process_runs(lo, hi);
+        claimed += 1;
+    }
+    busy.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    let Some(proc) = proc else { return Ok(()) };
+
+    // Flush this worker's thread-local accumulation into the chunk slot.
+    let local = proc.finish();
+    {
+        let mut merged = slot.partial.lock().expect("chunk partial lock");
+        if let Err(e) = merged.merge(local) {
+            drop(merged);
+            sched.cancel();
+            let _ = tx.send(Err(e));
+            return Err(());
+        }
+    }
+    // The worker whose flush retires the last claimed morsel emits the
+    // chunk's batch — consumers still see exactly one batch per live chunk.
+    if slot.pending.fetch_sub(claimed, Ordering::AcqRel) == claimed {
+        let partial = std::mem::take(&mut *slot.partial.lock().expect("chunk partial lock"));
+        let batch = ResultBatch {
+            chunk_index: sched.live[k],
+            rows_scanned: dc.chunk.num_rows(),
+            morsels: dc.morsels.len() as u64,
+            partial,
+        };
+        if tx.send(Ok(batch)).is_err() {
+            sched.cancel();
+            return Err(());
+        }
+    }
+    Ok(())
 }
 
 /// Normalize one user block's ages into `out`, dispatching once per block so

@@ -59,6 +59,18 @@ impl CmpOp {
         )
     }
 
+    /// The operator with its operands swapped: `a op b` ⇔ `b op.swapped() a`.
+    pub(crate) fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
     /// SQL rendering.
     pub fn symbol(&self) -> &'static str {
         match self {

@@ -66,7 +66,7 @@ pub mod session;
 pub mod stats;
 
 pub use agg::{AggFunc, AggState, AggValue};
-pub use engine::{Cohana, EngineOptions};
+pub use engine::{Cohana, EngineOptions, DEFAULT_MORSEL_ROWS};
 pub use error::EngineError;
 pub use exec::ResultBatch;
 pub use expr::{CmpOp, Expr};

@@ -137,11 +137,34 @@ impl<'a> ChunkScan<'a> {
     /// `GetBirthTuple`: find the row of the user's birth activity tuple —
     /// the first tuple of the block whose action is the birth action —
     /// exploiting the time-ordering property (Algorithm 1, lines 1–5).
+    ///
+    /// The birth-action chunk code was resolved **once** at scan open;
+    /// scanning goes through [`BitPacked::find_first`], which walks packed
+    /// words with a running shift instead of re-dividing the index per
+    /// element — a win on the scalar path too.
     pub fn find_birth_row(&self, run: &UserRun) -> Option<usize> {
         let code = self.birth_action_code?;
         let start = run.first as usize;
-        let end = start + run.count as usize;
-        (start..end).find(|&row| self.action_codes.get(row) == code)
+        self.action_codes.find_first(start, start + run.count as usize, code)
+    }
+
+    /// Batch `GetBirthTuple` for all users of one morsel: the birth-action
+    /// code is resolved once, then each run is searched with the
+    /// word-walking early-exit scan ([`BitPacked::find_first`]). The
+    /// time-ordering property puts a qualified user's birth at (or near)
+    /// the front of their block, so the search typically touches a single
+    /// packed word per user — which is why early exit beats block-decoding
+    /// the morsel's whole action column and searching the decoded slice.
+    /// `out` receives one entry per run, parallel to `runs`.
+    pub fn find_birth_rows_batch(&self, runs: &[UserRun], out: &mut Vec<Option<usize>>) {
+        out.clear();
+        if self.birth_action_code.is_none() {
+            out.resize(runs.len(), None);
+            return;
+        }
+        for run in runs {
+            out.push(self.find_birth_row(run));
+        }
     }
 
     /// Timestamp (seconds) of a row.
@@ -197,6 +220,13 @@ pub enum Scalar {
     Age,
     /// A constant.
     Const(i64),
+    /// Raw chunk code of slot `s` of a block-decoded buffer set at the
+    /// current row (block-bound form, see [`CompiledExpr::bind_slots`]).
+    /// Only valid under [`CompiledExpr::eval_slots`].
+    CodeSlot(usize),
+    /// Integer attribute served as `min + raw` from slot `s` of a
+    /// block-decoded buffer set (block-bound form).
+    IntSlot(usize, i64),
 }
 
 impl Scalar {
@@ -211,17 +241,58 @@ impl Scalar {
             Scalar::CodeBirth(idx) => cur.code(*idx, ctx.birth_row) as i64,
             Scalar::Age => ctx.age_units,
             Scalar::Const(v) => *v,
+            Scalar::CodeSlot(_) | Scalar::IntSlot(..) => {
+                unreachable!("slot-bound scalar evaluated without block buffers")
+            }
+        }
+    }
+
+    /// Evaluate under block-decoded buffers: slot scalars read offset `off`
+    /// of their buffer, everything else falls back to the row path.
+    #[inline]
+    fn eval_slots(
+        &self,
+        cur: &ChunkCursors<'_>,
+        ctx: &EvalCtx,
+        bufs: &[Vec<u64>],
+        off: usize,
+    ) -> i64 {
+        match self {
+            Scalar::CodeSlot(s) => bufs[*s][off] as i64,
+            Scalar::IntSlot(s, min) => min + bufs[*s][off] as i64,
+            other => other.eval(cur, ctx),
         }
     }
 
     /// The attribute index this scalar reads, with the birth/current flag
-    /// (`None` for `Age` and constants).
+    /// (`None` for `Age`, constants, and already-bound slot forms).
     fn column(&self) -> Option<(usize, bool)> {
         match self {
             Scalar::GidAttr(i) | Scalar::IntAttr(i) | Scalar::CodeAttr(i) => Some((*i, false)),
             Scalar::GidBirth(i) | Scalar::IntBirth(i) | Scalar::CodeBirth(i) => Some((*i, true)),
-            Scalar::Age | Scalar::Const(_) => None,
+            Scalar::Age | Scalar::Const(_) | Scalar::CodeSlot(_) | Scalar::IntSlot(..) => None,
         }
+    }
+}
+
+/// Rewrite a current-row column scalar to its slot-bound form, registering
+/// the column in `cols` (deduplicated). Birth-row scalars, `Age`, and
+/// constants pass through; `GidAttr` (a dictionary column the chunk holds
+/// no dictionary for, so specialization could not rewrite it to codes)
+/// aborts binding — the caller stays on the row path.
+fn bind_scalar(s: &Scalar, cur: &ChunkCursors<'_>, cols: &mut Vec<usize>) -> Option<Scalar> {
+    let mut slot = |idx: usize| match cols.iter().position(|c| *c == idx) {
+        Some(s) => s,
+        None => {
+            cols.push(idx);
+            cols.len() - 1
+        }
+    };
+    match s {
+        Scalar::CodeAttr(i) => Some(Scalar::CodeSlot(slot(*i))),
+        Scalar::IntAttr(i) => Some(Scalar::IntSlot(slot(*i), cur.int_min(*i))),
+        Scalar::GidAttr(_) => None,
+        other => Some(other.clone()),
     }
 }
 
@@ -263,6 +334,151 @@ impl CompiledExpr {
     /// skip whole chunks or users without per-tuple work).
     pub fn is_const_false(&self) -> bool {
         matches!(self, CompiledExpr::Const(false))
+    }
+
+    /// Bind every current-row column read to a slot of a block-decoded
+    /// buffer set (the executor decodes each registered column once per
+    /// user block through `BitPacked::unpack_range` — the SIMD lane path
+    /// when compiled in — instead of random-accessing packed bits per
+    /// row). Returns `None` when the predicate holds a current-row scalar
+    /// that cannot be served from raw decoded words (`GidAttr` on a
+    /// dictionary-less chunk column); the caller then stays on the
+    /// per-row [`CompiledExpr::eval`] path.
+    pub fn bind_slots(
+        &self,
+        cur: &ChunkCursors<'_>,
+        cols: &mut Vec<usize>,
+    ) -> Option<CompiledExpr> {
+        match self {
+            CompiledExpr::Const(b) => Some(CompiledExpr::Const(*b)),
+            CompiledExpr::Cmp(op, a, b) => {
+                Some(CompiledExpr::Cmp(*op, bind_scalar(a, cur, cols)?, bind_scalar(b, cur, cols)?))
+            }
+            CompiledExpr::And(a, b) => Some(CompiledExpr::And(
+                Box::new(a.bind_slots(cur, cols)?),
+                Box::new(b.bind_slots(cur, cols)?),
+            )),
+            CompiledExpr::Or(a, b) => Some(CompiledExpr::Or(
+                Box::new(a.bind_slots(cur, cols)?),
+                Box::new(b.bind_slots(cur, cols)?),
+            )),
+            CompiledExpr::Not(a) => Some(CompiledExpr::Not(Box::new(a.bind_slots(cur, cols)?))),
+            CompiledExpr::InSet(s, set) => {
+                Some(CompiledExpr::InSet(bind_scalar(s, cur, cols)?, set.clone()))
+            }
+        }
+    }
+
+    /// Evaluate a slot-bound predicate (see [`CompiledExpr::bind_slots`])
+    /// for the tuple at buffer offset `off`; `bufs` holds the decoded
+    /// columns in registration order. Birth-row and `Age` terms still read
+    /// through `cur` / `ctx`.
+    #[inline]
+    pub fn eval_slots(
+        &self,
+        cur: &ChunkCursors<'_>,
+        ctx: &EvalCtx,
+        bufs: &[Vec<u64>],
+        off: usize,
+    ) -> bool {
+        match self {
+            CompiledExpr::Const(b) => *b,
+            CompiledExpr::Cmp(op, a, b) => {
+                op.test(a.eval_slots(cur, ctx, bufs, off).cmp(&b.eval_slots(cur, ctx, bufs, off)))
+            }
+            CompiledExpr::And(a, b) => {
+                a.eval_slots(cur, ctx, bufs, off) && b.eval_slots(cur, ctx, bufs, off)
+            }
+            CompiledExpr::Or(a, b) => {
+                a.eval_slots(cur, ctx, bufs, off) || b.eval_slots(cur, ctx, bufs, off)
+            }
+            CompiledExpr::Not(a) => !a.eval_slots(cur, ctx, bufs, off),
+            CompiledExpr::InSet(s, set) => {
+                set.binary_search(&s.eval_slots(cur, ctx, bufs, off)).is_ok()
+            }
+        }
+    }
+
+    /// Whether every scalar the predicate reads is constant within one
+    /// user block (birth-row reads and literals only — not current-row
+    /// slots, not `Age`). Such a predicate has one outcome for the whole
+    /// block and is evaluated once per user, not once per tuple.
+    fn is_block_invariant(&self) -> bool {
+        fn scalar_inv(s: &Scalar) -> bool {
+            matches!(
+                s,
+                Scalar::GidBirth(_) | Scalar::IntBirth(_) | Scalar::CodeBirth(_) | Scalar::Const(_)
+            )
+        }
+        match self {
+            CompiledExpr::Const(_) => true,
+            CompiledExpr::Cmp(_, a, b) => scalar_inv(a) && scalar_inv(b),
+            CompiledExpr::And(a, b) | CompiledExpr::Or(a, b) => {
+                a.is_block_invariant() && b.is_block_invariant()
+            }
+            CompiledExpr::Not(a) => a.is_block_invariant(),
+            CompiledExpr::InSet(s, _) => scalar_inv(s),
+        }
+    }
+
+    /// AND a slot-bound predicate (see [`CompiledExpr::bind_slots`]) into
+    /// `mask` over one user block, vectorized where the shape allows:
+    ///
+    /// * slot-vs-constant comparisons run a branch-free lane loop over the
+    ///   decoded buffer (the common §4.3-specialized shape — e.g. Q3's
+    ///   `action = 'shop'` is `code == c` by this point);
+    /// * conjunctions distribute, AND-ing each side into the mask in turn;
+    /// * block-invariant subtrees (birth-row reads, constants) evaluate
+    ///   **once per user** and either keep or clear the whole mask;
+    /// * anything else falls back to per-offset
+    ///   [`CompiledExpr::eval_slots`], guarded by the mask so each tuple is
+    ///   tested at most once.
+    ///
+    /// `mask[i]` corresponds to row `base_row + i`, offset `i` of every
+    /// buffer in `bufs`, and age `ages[i]`.
+    pub fn and_into_mask(
+        &self,
+        cur: &ChunkCursors<'_>,
+        birth_row: usize,
+        base_row: usize,
+        bufs: &[Vec<u64>],
+        ages: &[i64],
+        mask: &mut [bool],
+    ) {
+        match self {
+            CompiledExpr::Const(true) => {}
+            CompiledExpr::Const(false) => mask.fill(false),
+            CompiledExpr::And(a, b) => {
+                a.and_into_mask(cur, birth_row, base_row, bufs, ages, mask);
+                b.and_into_mask(cur, birth_row, base_row, bufs, ages, mask);
+            }
+            CompiledExpr::Cmp(op, Scalar::CodeSlot(s), Scalar::Const(c)) => {
+                and_cmp_mask(*op, &bufs[*s], 0, *c, mask);
+            }
+            CompiledExpr::Cmp(op, Scalar::IntSlot(s, min), Scalar::Const(c)) => {
+                and_cmp_mask(*op, &bufs[*s], *min, *c, mask);
+            }
+            CompiledExpr::Cmp(op, Scalar::Const(c), Scalar::CodeSlot(s)) => {
+                and_cmp_mask(op.swapped(), &bufs[*s], 0, *c, mask);
+            }
+            CompiledExpr::Cmp(op, Scalar::Const(c), Scalar::IntSlot(s, min)) => {
+                and_cmp_mask(op.swapped(), &bufs[*s], *min, *c, mask);
+            }
+            inv if inv.is_block_invariant() => {
+                let ctx = EvalCtx { row: birth_row, birth_row, age_units: 0 };
+                if !inv.eval(cur, &ctx) {
+                    mask.fill(false);
+                }
+            }
+            other => {
+                for (i, m) in mask.iter_mut().enumerate() {
+                    if *m {
+                        let ctx = EvalCtx { row: base_row + i, birth_row, age_units: ages[i] };
+                        *m = other.eval_slots(cur, &ctx, bufs, i);
+                    }
+                }
+            }
+        }
     }
 
     /// The §4.3 per-chunk specialization pass: fold terms whose outcome the
@@ -307,6 +523,27 @@ impl CompiledExpr {
             CompiledExpr::Cmp(op, a, b) => specialize_cmp(*op, a, b, chunk),
             CompiledExpr::InSet(s, set) => specialize_in_set(s, set, chunk),
         }
+    }
+}
+
+/// Branch-free lane loop ANDing `(min + raw) op c` into `mask`. The
+/// operator match is hoisted out of the loop so every arm is a plain
+/// compare-and-mask pass the autovectorizer can turn into SIMD compares.
+fn and_cmp_mask(op: CmpOp, raw: &[u64], min: i64, c: i64, mask: &mut [bool]) {
+    macro_rules! lanes {
+        ($cmp:tt) => {
+            for (m, &v) in mask.iter_mut().zip(raw) {
+                *m &= (min + v as i64) $cmp c;
+            }
+        };
+    }
+    match op {
+        CmpOp::Eq => lanes!(==),
+        CmpOp::Ne => lanes!(!=),
+        CmpOp::Lt => lanes!(<),
+        CmpOp::Le => lanes!(<=),
+        CmpOp::Gt => lanes!(>),
+        CmpOp::Ge => lanes!(>=),
     }
 }
 
@@ -710,6 +947,39 @@ mod tests {
                 assert_eq!(scan.find_birth_row(&run), Some(run.first as usize));
             }
         }
+    }
+
+    #[test]
+    fn batch_birth_rows_match_per_user_search() {
+        let (t, c) = setup();
+        let aidx = t.schema().action_idx();
+        // "shop" births exercise non-trivial search depth (unlike "launch",
+        // which always matches the first row of a block).
+        for action in ["launch", "shop"] {
+            let gid = c.lookup_gid(aidx, action);
+            let mut batch = Vec::new();
+            for chunk in c.chunks() {
+                let scan = ChunkScan::open(c.table_meta(), chunk, gid).unwrap();
+                let runs: Vec<UserRun> = chunk.user_rle().runs().collect();
+                // Whole chunk as one morsel, then split morsels.
+                scan.find_birth_rows_batch(&runs, &mut batch);
+                let expect: Vec<Option<usize>> =
+                    runs.iter().map(|r| scan.find_birth_row(r)).collect();
+                assert_eq!(batch, expect, "action {action}");
+                let mid = runs.len() / 2;
+                scan.find_birth_rows_batch(&runs[mid..], &mut batch);
+                assert_eq!(batch, expect[mid..], "action {action}, tail morsel");
+            }
+            // Empty morsel.
+            scan_empty_batch(&c, gid, &mut batch);
+        }
+    }
+
+    fn scan_empty_batch(c: &CompressedTable, gid: Option<u32>, batch: &mut Vec<Option<usize>>) {
+        let chunk = &c.chunks()[0];
+        let scan = ChunkScan::open(c.table_meta(), chunk, gid).unwrap();
+        scan.find_birth_rows_batch(&[], batch);
+        assert!(batch.is_empty());
     }
 
     #[test]

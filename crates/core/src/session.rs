@@ -47,6 +47,7 @@ use crate::report::CohortReport;
 use crate::stats::QueryStats;
 use cohana_activity::Schema;
 use cohana_storage::{ChunkSource, SourceIoStats};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -92,6 +93,13 @@ impl<'e> Session<'e> {
         self
     }
 
+    /// Override the morsel size (rows per work-stealing unit) for statements
+    /// prepared here. See [`crate::DEFAULT_MORSEL_ROWS`].
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.options.morsel_rows = rows.max(1);
+        self
+    }
+
     /// Override this session's default table (the engine default otherwise).
     pub fn on_table(mut self, name: impl Into<String>) -> Self {
         self.table = Some(name.into());
@@ -125,7 +133,8 @@ impl<'e> Session<'e> {
     /// [`Statement`] is self-contained (it pins the table's chunk source)
     /// and re-executable.
     pub fn prepare(&self, query: &CohortQuery) -> Result<Statement, EngineError> {
-        Statement::over(self.source()?, query, self.options.planner, self.options.parallelism)
+        Ok(Statement::over(self.source()?, query, self.options.planner, self.options.parallelism)?
+            .with_morsel_rows(self.options.morsel_rows))
     }
 
     /// Prepare and execute in one call (the eager convenience path).
@@ -148,6 +157,9 @@ impl<'e> Session<'e> {
 pub struct Statement {
     core: QueryCore,
     parallelism: usize,
+    /// Target rows per morsel (work-stealing unit); see
+    /// [`crate::DEFAULT_MORSEL_ROWS`].
+    morsel_rows: usize,
     /// `(cumulative stats, execution count)` under one lock, so the two
     /// never present a torn snapshot.
     lifetime: Mutex<(QueryStats, u64)>,
@@ -178,8 +190,23 @@ impl Statement {
         Ok(Statement {
             core: QueryCore::new(source, Arc::new(plan))?,
             parallelism: parallelism.max(1),
+            morsel_rows: crate::engine::DEFAULT_MORSEL_ROWS,
             lifetime: Mutex::new((QueryStats::default(), 0)),
         })
+    }
+
+    /// Override the target rows per morsel — the unit of work the parallel
+    /// scheduler's workers claim and steal, and the granularity at which a
+    /// dropped stream cancels in-flight chunks. Smaller morsels balance
+    /// skewed chunks better at slightly higher scheduling cost.
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = rows.max(1);
+        self
+    }
+
+    /// Target rows per work-stealing morsel.
+    pub fn morsel_rows(&self) -> usize {
+        self.morsel_rows
     }
 
     /// The physical plan.
@@ -302,6 +329,9 @@ pub struct QueryStream<'s> {
     stmt: &'s Statement,
     state: StreamState,
     stats: QueryStats,
+    /// Per-worker busy-time counters of a parallel execution (kept outside
+    /// [`StreamState`] so they survive shutdown for [`QueryStream::worker_busy`]).
+    busy: Option<Arc<Vec<AtomicU64>>>,
     io_start: SourceIoStats,
     started: Instant,
     recorded: bool,
@@ -319,13 +349,13 @@ impl<'s> QueryStream<'s> {
         let io_start = stmt.core.source.io_stats();
         let started = Instant::now();
         let workers = stmt.parallelism.min(live.len());
-        let state = if workers <= 1 {
-            StreamState::Serial { live: live.into_iter() }
+        let (state, busy) = if workers <= 1 {
+            (StreamState::Serial { live: live.into_iter() }, None)
         } else {
-            let (rx, handles) = stmt.core.spawn_workers(&live, workers);
-            StreamState::Parallel { rx, handles }
+            let (rx, handles, busy) = stmt.core.spawn_workers(live, workers, stmt.morsel_rows);
+            (StreamState::Parallel { rx, handles }, Some(busy))
         };
-        QueryStream { stmt, state, stats, io_start, started, recorded: false }
+        QueryStream { stmt, state, stats, busy, io_start, started, recorded: false }
     }
 
     /// The statement this stream executes.
@@ -342,7 +372,21 @@ impl<'s> QueryStream<'s> {
         let mut snap = self.stats;
         snap.add_io(&self.stmt.core.source.io_stats().delta_since(&self.io_start));
         snap.wall_time = self.started.elapsed();
+        if let Some(busy) = &self.busy {
+            snap.worker_busy_ns += busy.iter().map(|b| b.load(Ordering::Relaxed)).sum::<u64>();
+        }
         snap
+    }
+
+    /// Per-worker busy time (nanoseconds of chunk decode plus morsel
+    /// execution) of a parallel execution; empty on the serial path, whose
+    /// busy time goes straight into [`QueryStats::worker_busy_ns`]. Useful
+    /// for observing scheduler balance under skew.
+    pub fn worker_busy(&self) -> Vec<u64> {
+        self.busy
+            .as_ref()
+            .map(|b| b.iter().map(|w| w.load(Ordering::Relaxed)).collect())
+            .unwrap_or_default()
     }
 
     /// Drain the remaining batches and merge everything into the eager
@@ -372,6 +416,11 @@ impl<'s> QueryStream<'s> {
         if !self.recorded {
             self.stats.add_io(&self.stmt.core.source.io_stats().delta_since(&self.io_start));
             self.stats.wall_time = self.started.elapsed();
+            if let Some(busy) = &self.busy {
+                // Workers are joined: fold their final busy counters in once.
+                self.stats.worker_busy_ns +=
+                    busy.iter().map(|b| b.load(Ordering::Relaxed)).sum::<u64>();
+            }
             self.recorded = true;
             self.stmt.record(&self.stats);
         }
@@ -395,7 +444,12 @@ impl Iterator for QueryStream<'_> {
             StreamState::Done => Step::End,
         };
         let item = match step {
-            Step::Run(idx) => Some(self.stmt.core.run_chunk(idx)),
+            Step::Run(idx) => {
+                let t = Instant::now();
+                let out = self.stmt.core.run_chunk(idx, self.stmt.morsel_rows);
+                self.stats.worker_busy_ns += t.elapsed().as_nanos() as u64;
+                Some(out)
+            }
             Step::Got(result) => Some(result),
             Step::End => None,
         };
@@ -404,6 +458,7 @@ impl Iterator for QueryStream<'_> {
                 self.stats.chunks_scanned += 1;
                 self.stats.rows_scanned += batch.rows_scanned as u64;
                 self.stats.batches += 1;
+                self.stats.morsels_executed += batch.morsels;
                 Some(Ok(batch))
             }
             Some(Err(e)) => {

@@ -52,6 +52,15 @@ pub struct QueryStats {
     pub cache_evictions: u64,
     /// Result batches the stream yielded (one per scanned chunk).
     pub batches: usize,
+    /// User-block morsels the scheduler executed — the work units of the
+    /// morsel-driven scan (also counted on the serial path, which walks the
+    /// same morsel tiling). Skipped chunks contribute 0.
+    pub morsels_executed: u64,
+    /// Total nanoseconds workers spent decoding chunks and executing
+    /// morsels, summed across workers (serial executions accumulate their
+    /// per-chunk run time here). `worker_busy_ns / (workers × wall_time)`
+    /// is the scheduler's utilization; the gap to 1.0 is idle/steal time.
+    pub worker_busy_ns: u64,
     /// Wall-clock time from stream creation to exhaustion (or drop).
     pub wall_time: Duration,
 }
@@ -89,6 +98,8 @@ impl QueryStats {
         self.bytes_read += other.bytes_read;
         self.cache_evictions += other.cache_evictions;
         self.batches += other.batches;
+        self.morsels_executed += other.morsels_executed;
+        self.worker_busy_ns += other.worker_busy_ns;
         self.wall_time += other.wall_time;
     }
 
@@ -105,6 +116,8 @@ impl QueryStats {
             && self.bytes_read >= earlier.bytes_read
             && self.cache_evictions >= earlier.cache_evictions
             && self.batches >= earlier.batches
+            && self.morsels_executed >= earlier.morsels_executed
+            && self.worker_busy_ns >= earlier.worker_busy_ns
             && self.wall_time >= earlier.wall_time
     }
 }
@@ -113,16 +126,18 @@ impl fmt::Display for QueryStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} of {} chunks scanned ({} pruned), {} rows, {} chunks / {} columns decoded, \
-             {} bytes read, {} evictions, {:.1?} ({:.1}M rows/s)",
+            "{} of {} chunks scanned ({} pruned), {} rows, {} morsels, {} chunks / {} columns \
+             decoded, {} bytes read, {} evictions, {:.2}ms busy, {:.1?} ({:.1}M rows/s)",
             self.chunks_scanned,
             self.chunks_total,
             self.chunks_pruned,
             self.rows_scanned,
+            self.morsels_executed,
             self.chunks_decoded,
             self.columns_decoded,
             self.bytes_read,
             self.cache_evictions,
+            self.worker_busy_ns as f64 / 1e6,
             self.wall_time,
             self.rows_per_sec() / 1e6,
         )
@@ -144,6 +159,8 @@ mod tests {
             bytes_read: 1024,
             cache_evictions: 2,
             batches: 3,
+            morsels_executed: 12,
+            worker_busy_ns: 4_000_000,
             wall_time: Duration::from_millis(5),
         }
     }
@@ -168,7 +185,9 @@ mod tests {
         let s = sample().to_string();
         assert!(s.contains("3 of 4 chunks"));
         assert!(s.contains("600 rows"));
+        assert!(s.contains("12 morsels"));
         assert!(s.contains("1024 bytes"));
+        assert!(s.contains("4.00ms busy"));
         assert!(s.contains("rows/s"));
     }
 

@@ -41,7 +41,12 @@ fn paper_queries() -> Vec<(String, CohortQuery)> {
 }
 
 fn prepare(source: Arc<dyn ChunkSource>, query: &CohortQuery, parallelism: usize) -> Statement {
-    Statement::over(source, query, PlannerOptions::default(), parallelism).expect("query plans")
+    // A morsel budget far below the 256-row chunk size splits every chunk
+    // into several work-stealing morsels, so the whole matrix exercises the
+    // morsel-driven scheduler (serial and parallel), not one-morsel chunks.
+    Statement::over(source, query, PlannerOptions::default(), parallelism)
+        .expect("query plans")
+        .with_morsel_rows(96)
 }
 
 /// Execute a statement by pulling its stream batch by batch and merging the
@@ -127,6 +132,19 @@ fn q1_to_q8_identical_across_v1_v2_v3_eager_and_streamed() {
                         stats.rows_scanned as usize,
                         table.num_rows(),
                         "{name} {vname} rows_scanned p={parallelism}"
+                    );
+                    // Every scanned chunk split into >1 morsel (96-row
+                    // morsels over 256-row chunks) and every executed
+                    // morsel was timed.
+                    assert!(
+                        stats.morsels_executed > stats.chunks_scanned as u64,
+                        "{name} {vname} p={parallelism}: {} morsels over {} chunks",
+                        stats.morsels_executed,
+                        stats.chunks_scanned
+                    );
+                    assert!(
+                        stats.worker_busy_ns > 0,
+                        "{name} {vname} p={parallelism}: busy time untracked"
                     );
                 }
             }
@@ -216,6 +234,80 @@ fn bounded_cache_stays_within_budget_with_identical_results() {
     }
     assert!(lazy.cache_evictions() > 0, "a tiny budget must evict");
     std::fs::remove_file(&path).ok();
+}
+
+/// Skewed data (one whale user ≈ half the table, never split by chunking)
+/// is the worst case for static per-chunk work division; the work-stealing
+/// scheduler must still reproduce the naive reference exactly, at every
+/// parallelism and morsel size — including morsels so small the whale's
+/// chunk shatters into hundreds of them.
+#[test]
+fn skewed_whale_chunk_identical_across_parallelism_and_morsel_sizes() {
+    let table = generate(&GeneratorConfig::skewed(60));
+    let source =
+        Arc::new(CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap());
+    let whale_chunk =
+        source.chunks().iter().map(|c| c.num_rows()).max().expect("chunks exist") as f64;
+    assert!(
+        whale_chunk / table.num_rows() as f64 >= 0.4,
+        "the whale chunk must dominate the table"
+    );
+
+    for (name, query) in paper_queries() {
+        let reference = naive_execute(&table, &query).expect("naive reference evaluates");
+        for parallelism in [1, 4] {
+            for morsel_rows in [16, 256, usize::MAX] {
+                let stmt = Statement::over(
+                    Arc::clone(&source) as Arc<dyn ChunkSource>,
+                    &query,
+                    PlannerOptions::default(),
+                    parallelism,
+                )
+                .unwrap()
+                .with_morsel_rows(morsel_rows);
+                let got = stmt.execute().unwrap();
+                assert_eq!(
+                    reference.rows, got.rows,
+                    "{name} p={parallelism} morsel_rows={morsel_rows}"
+                );
+                assert_eq!(
+                    reference.cohort_sizes, got.cohort_sizes,
+                    "{name} sizes p={parallelism} morsel_rows={morsel_rows}"
+                );
+            }
+        }
+    }
+}
+
+/// Early termination under the morsel scheduler: dropping a parallel stream
+/// after one batch stops workers at their next **morsel** boundary, the
+/// query records what ran, and nothing hangs — even when the remaining
+/// chunks still hold many unclaimed morsels.
+#[test]
+fn early_drop_under_morsel_scheduler_stops_at_morsel_boundary() {
+    let table = generate(&GeneratorConfig::small());
+    let source =
+        Arc::new(CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap());
+    assert!(source.chunks().len() > 2, "need chunks left over after the first batch");
+
+    // One-row morsels maximize the number of cancellation points.
+    let stmt =
+        Statement::over(source as Arc<dyn ChunkSource>, &paper::q1(), PlannerOptions::default(), 4)
+            .unwrap()
+            .with_morsel_rows(1);
+    let first_morsels;
+    {
+        let mut stream = stmt.stream();
+        let first = stream.next().expect("at least one batch").expect("batch executes");
+        // One-row morsels split the chunk per user run (a single-whale-user
+        // chunk legitimately yields one morsel).
+        first_morsels = first.morsels();
+        assert!(first_morsels >= 1);
+    } // drop: disconnects the channel, workers cancel at a morsel boundary
+    let cum = stmt.cumulative_stats();
+    assert_eq!(stmt.executions(), 1);
+    assert!(cum.chunks_scanned >= 1, "the pulled batch was recorded");
+    assert!(cum.morsels_executed >= first_morsels, "morsel accounting survived the early drop");
 }
 
 /// Cohort-clustered arrival makes chunk time-bounds disjoint, so a birth

@@ -27,8 +27,25 @@ pub struct BitPacked {
     /// `⌊2^RECIP_SHIFT / per_word⌋ + 1`: the fixed-point reciprocal that
     /// turns the index→word division of random access into a multiply.
     recip: u64,
+    /// Whether [`BitPacked::unpack_range`] takes the SIMD lane path.
+    /// Decided once at construction (table-open time for persisted chunks):
+    /// the `simd` feature must be compiled in and the width must pack at
+    /// least four lanes per word (1–16; width 0 and 64 have cheaper
+    /// dedicated paths, wider widths keep the scalar walk).
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    use_simd: bool,
     len: usize,
     words: Vec<u64>,
+}
+
+/// Whether a width qualifies for the SIMD block-decode path: at least four
+/// lanes must share a packed word (width ≤ 16) so the four-lane vector body
+/// has work per word. Wider widths decode a handful of values per word and
+/// the scalar running-shift walk with its sequential stores is already the
+/// fastest layout.
+#[inline]
+fn simd_eligible(width: u8) -> bool {
+    cfg!(feature = "simd") && (1..=16).contains(&width)
 }
 
 impl PartialEq for BitPacked {
@@ -60,6 +77,7 @@ impl BitPacked {
                 width: 0,
                 per_word: 1,
                 recip: recip_for(1),
+                use_simd: false,
                 len: values.len(),
                 words: Vec::new(),
             };
@@ -77,6 +95,7 @@ impl BitPacked {
             width,
             per_word: per_word as u8,
             recip: recip_for(per_word),
+            use_simd: simd_eligible(width),
             len: values.len(),
             words,
         }
@@ -126,10 +145,12 @@ impl BitPacked {
     }
 
     /// Block decode: write values `start..end` into `out` (whose length must
-    /// be `end - start`), one packed word at a time. Unlike repeated
-    /// [`BitPacked::get`], the inner loop performs no per-element div/mod —
-    /// it walks each word's lanes with a running shift, the standard
-    /// word-at-a-time unpacking idiom.
+    /// be `end - start`). Unlike repeated [`BitPacked::get`], no per-element
+    /// div/mod is performed. With the `simd` feature the word-aligned body
+    /// runs the four-words-at-a-time lane path ([`Self::unpack_range_simd`]);
+    /// otherwise (and for the unaligned head/tail) the scalar word-walking
+    /// loop runs. Which path a given array takes is fixed at construction —
+    /// table-open time for persisted chunks.
     pub fn unpack_range(&self, start: usize, end: usize, out: &mut [u64]) {
         assert!(start <= end && end <= self.len, "range {start}..{end} out of bounds");
         assert_eq!(out.len(), end - start, "output buffer length mismatch");
@@ -140,11 +161,23 @@ impl BitPacked {
             out.fill(0);
             return;
         }
-        let width = self.width as usize;
-        if width == 64 {
+        if self.width == 64 {
             out.copy_from_slice(&self.words[start..end]);
             return;
         }
+        #[cfg(feature = "simd")]
+        if self.use_simd {
+            self.unpack_range_simd(start, out);
+            return;
+        }
+        self.unpack_range_scalar(start, out);
+    }
+
+    /// The scalar block-decode loop: walk each word's lanes with a running
+    /// shift, the standard word-at-a-time unpacking idiom. Callers have
+    /// validated the range and excluded widths 0 and 64.
+    fn unpack_range_scalar(&self, start: usize, out: &mut [u64]) {
+        let width = self.width as usize;
         let per_word = self.per_word as usize;
         let mask = (1u64 << width) - 1;
         // One div/mod pair for the whole block, not one per element.
@@ -164,6 +197,106 @@ impl BitPacked {
                 word >>= width;
             }
         }
+    }
+
+    /// SIMD block decode (`simd` feature, widths 1–16): after a scalar head
+    /// up to the next word boundary, each packed word is **broadcast** into
+    /// a [`U64x4`] and its lanes extracted four at a time with a vector of
+    /// per-lane shifts ([`LANE_SHIFTS`], lowered to `vpsrlvq`-style
+    /// variable shifts) and one shared mask — then stored **sequentially**,
+    /// so the store side stays a contiguous streaming write (a transposed
+    /// scatter layout benchmarked slower than the scalar walk). Lanes past
+    /// the last multiple of four and partial trailing words fall back to
+    /// the scalar walk.
+    #[cfg(feature = "simd")]
+    fn unpack_range_simd(&self, start: usize, out: &mut [u64]) {
+        let width = self.width as usize;
+        let per_word = self.per_word as usize;
+        let mask = MASKS[width];
+        let shifts = &LANE_SHIFTS[width][..per_word];
+
+        // Scalar head: decode up to the next packed-word boundary.
+        let head = (per_word - start % per_word) % per_word;
+        let head = head.min(out.len());
+        if head > 0 {
+            self.unpack_range_scalar(start, &mut out[..head]);
+        }
+        let mut word_idx = (start + head) / per_word;
+        let mut o = head;
+
+        // Body: one packed word -> per_word consecutive outputs, four lanes
+        // per vector op. `lanes4` is per_word rounded down to a multiple of
+        // four (eligibility guarantees per_word ≥ 4).
+        let lanes4 = per_word & !3;
+        while out.len() - o >= per_word {
+            let w = self.words[word_idx];
+            let v = U64x4::splat(w);
+            let mut k = 0;
+            while k < lanes4 {
+                v.shr_lanes([
+                    shifts[k] as u32,
+                    shifts[k + 1] as u32,
+                    shifts[k + 2] as u32,
+                    shifts[k + 3] as u32,
+                ])
+                .and(mask)
+                .store(&mut out[o + k..o + k + 4]);
+                k += 4;
+            }
+            while k < per_word {
+                out[o + k] = (w >> shifts[k]) & mask;
+                k += 1;
+            }
+            word_idx += 1;
+            o += per_word;
+        }
+
+        // Scalar tail: the final partial word.
+        if o < out.len() {
+            self.unpack_range_scalar(word_idx * per_word, &mut out[o..]);
+        }
+    }
+
+    /// First position in `start..end` holding `value`, scanning packed words
+    /// with a running shift instead of per-element [`BitPacked::get`]
+    /// probes: one word load serves every lane it packs, and the index→word
+    /// division happens once per call, not once per element. This is the
+    /// birth-row search primitive ([`find_birth_row`] in `cohana-core`
+    /// resolves the dictionary code once and scans raw codes through here).
+    pub fn find_first(&self, start: usize, end: usize, value: u64) -> Option<usize> {
+        assert!(start <= end && end <= self.len, "range {start}..{end} out of bounds");
+        if start == end {
+            return None;
+        }
+        if self.width == 0 {
+            return (value == 0).then_some(start);
+        }
+        let width = self.width as usize;
+        if width == 64 {
+            return self.words[start..end].iter().position(|&w| w == value).map(|p| p + start);
+        }
+        let mask = (1u64 << width) - 1;
+        if value > mask {
+            return None; // wider than any packed value
+        }
+        let per_word = self.per_word as usize;
+        let mut word_idx = start / per_word;
+        let mut lane = start % per_word;
+        let mut word = self.words[word_idx] >> (lane * width);
+        for i in start..end {
+            if word & mask == value {
+                return Some(i);
+            }
+            lane += 1;
+            if lane == per_word {
+                lane = 0;
+                word_idx += 1;
+                word = self.words.get(word_idx).copied().unwrap_or(0);
+            } else {
+                word >>= width;
+            }
+        }
+        None
     }
 
     /// Iterate over all values in order.
@@ -201,9 +334,89 @@ impl BitPacked {
             )));
         }
         let per_word = if width == 0 { 1 } else { (64 / width as usize).max(1) as u8 };
-        Ok(BitPacked { width, per_word, recip: recip_for(per_word as usize), len, words })
+        Ok(BitPacked {
+            width,
+            per_word,
+            recip: recip_for(per_word as usize),
+            use_simd: simd_eligible(width),
+            len,
+            words,
+        })
     }
 }
+
+/// Four `u64` lanes, the manual-SIMD working registers of
+/// [`BitPacked::unpack_range`]'s block decode. Each op touches all four
+/// lanes in straight-line code with no cross-lane dependency, which is the
+/// shape LLVM auto-vectorizes to `vpsrlq`/`vpandq` on AVX2 (and the NEON
+/// equivalents) — explicit lanes without a platform intrinsic dependency.
+#[cfg(feature = "simd")]
+#[derive(Clone, Copy)]
+struct U64x4([u64; 4]);
+
+#[cfg(feature = "simd")]
+impl U64x4 {
+    /// Broadcast one packed word into all four lanes.
+    #[inline(always)]
+    fn splat(w: u64) -> Self {
+        U64x4([w, w, w, w])
+    }
+
+    /// Per-lane logical right shift (the variable-shift form hardware
+    /// exposes as `vpsrlvq` / NEON `ushl` with negated shifts).
+    #[inline(always)]
+    fn shr_lanes(self, sh: [u32; 4]) -> Self {
+        let [a, b, c, d] = self.0;
+        U64x4([a >> sh[0], b >> sh[1], c >> sh[2], d >> sh[3]])
+    }
+
+    /// Lane-wise mask.
+    #[inline(always)]
+    fn and(self, mask: u64) -> Self {
+        let [a, b, c, d] = self.0;
+        U64x4([a & mask, b & mask, c & mask, d & mask])
+    }
+
+    /// Store the four lanes contiguously.
+    #[inline(always)]
+    fn store(self, out: &mut [u64]) {
+        out[..4].copy_from_slice(&self.0);
+    }
+}
+
+/// `MASKS[w]` = the `w`-bit value mask, precomputed for widths 0–63 (width
+/// 64 never reaches the lane path).
+#[cfg(feature = "simd")]
+const MASKS: [u64; 64] = {
+    let mut m = [0u64; 64];
+    let mut w = 1;
+    while w < 64 {
+        m[w] = (1u64 << w) - 1;
+        w += 1;
+    }
+    m
+};
+
+/// `LANE_SHIFTS[w][l]` = the right shift extracting lane `l` of a word
+/// packed at width `w` (`l · w`), precomputed for every width so the lane
+/// loop reads a table instead of multiplying. Row length 64 covers the
+/// widest case (`per_word = 64` at width 1); only the first `⌊64/w⌋`
+/// entries of a row are meaningful.
+#[cfg(feature = "simd")]
+static LANE_SHIFTS: [[u8; 64]; 64] = {
+    let mut t = [[0u8; 64]; 64];
+    let mut w = 1;
+    while w < 64 {
+        let per_word = 64 / w;
+        let mut l = 0;
+        while l < per_word {
+            t[w][l] = (l * w) as u8;
+            l += 1;
+        }
+        w += 1;
+    }
+    t
+};
 
 impl fmt::Debug for BitPacked {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -346,6 +559,70 @@ mod tests {
         p.unpack_range(2, 4, &mut out);
     }
 
+    /// `unpack_range` (SIMD path when the feature is on) ≡ the scalar loop
+    /// for every width 0–64, exercising word-boundary starts, mid-word
+    /// starts, and short tails that never reach the 4-word body.
+    #[test]
+    fn unpack_range_matches_scalar_all_widths() {
+        for width in 0u8..=64 {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width).wrapping_sub(1) };
+            let vals: Vec<u64> =
+                (0..301u64).map(|i| i.wrapping_mul(0x5851_F42D_4C95_7F2D) & mask).collect();
+            let p = BitPacked::from_slice_with_width(&vals, width);
+            let per_word = (64 / width.max(1) as usize).max(1);
+            let starts = [0, 1, per_word - 1, per_word, per_word + 1, 4 * per_word, vals.len() - 1];
+            for &start in &starts {
+                for &end in
+                    &[start, start + 1, (start + 4 * per_word + 3).min(vals.len()), vals.len()]
+                {
+                    if end < start || end > vals.len() {
+                        continue;
+                    }
+                    let mut got = vec![u64::MAX; end - start];
+                    p.unpack_range(start, end, &mut got);
+                    if width != 0 && width != 64 {
+                        let mut scalar = vec![u64::MAX; end - start];
+                        p.unpack_range_scalar(start, &mut scalar);
+                        assert_eq!(got, scalar, "width {width}, range {start}..{end}");
+                    }
+                    assert_eq!(&got[..], &vals[start..end], "width {width}, range {start}..{end}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn find_first_matches_linear_probe() {
+        for width in [0u8, 1, 3, 4, 13, 22, 31, 64] {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width).wrapping_sub(1) };
+            let vals: Vec<u64> = (0..97u64).map(|i| (i * 37 + 11) & mask & 0xF).collect();
+            let p = BitPacked::from_slice_with_width(&vals, width);
+            for start in [0usize, 1, 17, 96, 97] {
+                for value in 0u64..16 {
+                    let expect = (start..vals.len()).find(|&i| vals[i] == value);
+                    assert_eq!(
+                        p.find_first(start, vals.len(), value),
+                        expect,
+                        "width {width}, start {start}, value {value}"
+                    );
+                }
+            }
+            // A value wider than the packing can never match.
+            if width < 60 {
+                assert_eq!(p.find_first(0, vals.len(), mask.wrapping_add(10)), None);
+            }
+        }
+    }
+
+    #[test]
+    fn find_first_respects_range_end() {
+        let p = BitPacked::from_slice(&[5, 1, 5, 2]);
+        assert_eq!(p.find_first(0, 4, 5), Some(0));
+        assert_eq!(p.find_first(1, 4, 5), Some(2));
+        assert_eq!(p.find_first(1, 2, 5), None);
+        assert_eq!(p.find_first(3, 3, 2), None);
+    }
+
     proptest! {
         #[test]
         fn prop_unpack_range_matches_get(
@@ -365,6 +642,50 @@ mod tests {
                 prop_assert_eq!(*v, p.get(start + off));
                 prop_assert_eq!(*v, vals[start + off]);
             }
+        }
+
+        /// The dispatched `unpack_range` (SIMD when compiled in) must agree
+        /// with the scalar loop for arbitrary widths and ranges — including
+        /// the word-boundary starts `word_sel` forces below.
+        #[test]
+        fn prop_unpack_range_matches_scalar(
+            vals in proptest::collection::vec(0u64..u64::MAX, 1..400),
+            width in 1u8..64,
+            cut in 0usize..400,
+            word_sel in 0usize..8,
+            aligned in proptest::prop::bool::ANY,
+        ) {
+            let mask = (1u64 << width) - 1;
+            let masked: Vec<u64> = vals.iter().map(|v| v & mask).collect();
+            let p = BitPacked::from_slice_with_width(&masked, width);
+            let per_word = (64 / width as usize).max(1);
+            let start = if aligned {
+                // Force a word-boundary start.
+                (word_sel * per_word).min(masked.len())
+            } else {
+                cut % masked.len()
+            };
+            let end = start + (cut * 13 + 1) % (masked.len() - start + 1);
+            let mut got = vec![u64::MAX; end - start];
+            p.unpack_range(start, end, &mut got);
+            let mut scalar = vec![u64::MAX; end - start];
+            if start < end {
+                p.unpack_range_scalar(start, &mut scalar);
+            }
+            prop_assert_eq!(&got, &scalar);
+            prop_assert_eq!(&got[..], &masked[start..end]);
+        }
+
+        #[test]
+        fn prop_find_first_matches_scan(
+            vals in proptest::collection::vec(0u64..32, 1..300),
+            start in 0usize..300,
+            value in 0u64..40,
+        ) {
+            let p = BitPacked::from_slice(&vals);
+            let start = start % (vals.len() + 1);
+            let expect = (start..vals.len()).find(|&i| vals[i] == value);
+            prop_assert_eq!(p.find_first(start, vals.len(), value), expect);
         }
 
         #[test]

@@ -112,6 +112,33 @@ impl Chunk {
         crate::cursor::ChunkCursors::new(self)
     }
 
+    /// Split the chunk's user runs into morsels of roughly `target_rows`
+    /// rows each, returned as `(run_lo, run_hi)` half-open run-index ranges.
+    /// A morsel closes at the first user boundary at or past the target —
+    /// the same rule chunk building uses — so a user's tuples are never
+    /// split across morsels and per-user operators (birth search, age
+    /// aggregation) stay morsel-local. A "whale" user longer than the target
+    /// becomes a single-run morsel.
+    pub fn morsel_run_ranges(&self, target_rows: usize) -> Vec<(usize, usize)> {
+        let target = target_rows.max(1);
+        let num_users = self.user_rle.num_users();
+        let mut morsels = Vec::new();
+        let mut lo = 0usize;
+        let mut rows = 0usize;
+        for i in 0..num_users {
+            rows += self.user_rle.run(i).count as usize;
+            if rows >= target {
+                morsels.push((lo, i + 1));
+                lo = i + 1;
+                rows = 0;
+            }
+        }
+        if lo < num_users {
+            morsels.push((lo, num_users));
+        }
+        morsels
+    }
+
     /// Compressed payload bytes of the chunk (materialized segments only).
     pub fn packed_bytes(&self) -> usize {
         self.user_rle.packed_bytes()
@@ -165,6 +192,35 @@ mod tests {
         // A second assembly from the same Arcs shares, not copies.
         let again = Chunk::from_shared(rle, vec![None, Some(col)]).unwrap();
         assert_eq!(shared, again);
+    }
+
+    #[test]
+    fn morsel_ranges_cover_runs_without_splitting_users() {
+        // Users: 3 rows, 1 row, 4 rows, 2 rows, 2 rows.
+        let rle = UserRle::from_rows(&[7, 7, 7, 8, 9, 9, 9, 9, 10, 10, 11, 11]);
+        let c = Chunk::new(rle, vec![None]).unwrap();
+        // Target 4: [7,8] = 4 rows closes; [9] = 4 rows closes; [10,11].
+        assert_eq!(c.morsel_run_ranges(4), vec![(0, 2), (2, 3), (3, 5)]);
+        // Target 1: every run its own morsel.
+        assert_eq!(c.morsel_run_ranges(1), vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        // Target larger than the chunk: one morsel.
+        assert_eq!(c.morsel_run_ranges(100), vec![(0, 5)]);
+        // A whale user (run 2, 4 rows) overshoots its morsel's target of 2
+        // but is never split across morsels.
+        assert_eq!(c.morsel_run_ranges(2), vec![(0, 1), (1, 3), (3, 4), (4, 5)]);
+        // Ranges tile 0..num_users.
+        let ranges = c.morsel_run_ranges(3);
+        assert_eq!(ranges.first().unwrap().0, 0);
+        assert_eq!(ranges.last().unwrap().1, 5);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn morsel_ranges_empty_chunk() {
+        let c = Chunk::new(UserRle::from_rows(&[]), vec![None]).unwrap();
+        assert!(c.morsel_run_ranges(16).is_empty());
     }
 
     #[test]

@@ -88,6 +88,15 @@ impl<'a> ChunkCursors<'a> {
         self.mins[idx] + self.pack(idx).get(row) as i64
     }
 
+    /// Block-decode raw codes of rows `start..end` into `out` (length
+    /// `end - start`) through [`BitPacked::unpack_range`] — the SIMD lane
+    /// path when compiled in. Integer callers add [`ChunkCursors::int_min`]
+    /// themselves; this keeps one decode primitive for both segment kinds.
+    #[inline]
+    pub fn unpack(&self, idx: usize, start: usize, end: usize, out: &mut [u64]) {
+        self.pack(idx).unpack_range(start, end, out);
+    }
+
     /// Chunk minimum of an integer segment.
     #[inline]
     pub fn int_min(&self, idx: usize) -> i64 {

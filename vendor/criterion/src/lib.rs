@@ -75,6 +75,11 @@ pub struct Bencher {
     measurement: Duration,
     /// (total elapsed, iterations) of the measurement phase.
     result: Option<(Duration, u64)>,
+    /// Per-iteration latencies in seconds, in execution order. Percentiles
+    /// over these land in the JSON-lines report (`p50_seconds` /
+    /// `p99_seconds`) so latency *variance* — not just the mean — is a
+    /// recorded number (the morsel-scheduler benches assert on the tail).
+    samples: Vec<f64>,
 }
 
 impl Bencher {
@@ -87,14 +92,18 @@ impl Bencher {
         let start = Instant::now();
         let deadline = start + self.measurement;
         let mut iters = 0u64;
+        let mut samples = Vec::new();
         loop {
+            let t = Instant::now();
             black_box(routine());
+            samples.push(t.elapsed().as_secs_f64());
             iters += 1;
             if Instant::now() >= deadline {
                 break;
             }
         }
         self.result = Some((start.elapsed(), iters));
+        self.samples = samples;
     }
 
     /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
@@ -111,18 +120,35 @@ impl Bencher {
         let deadline = Instant::now() + self.measurement;
         let mut iters = 0u64;
         let mut measured = Duration::ZERO;
+        let mut samples = Vec::new();
         loop {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            measured += start.elapsed();
+            let d = start.elapsed();
+            measured += d;
+            samples.push(d.as_secs_f64());
             iters += 1;
             if Instant::now() >= deadline {
                 break;
             }
         }
         self.result = Some((measured, iters));
+        self.samples = samples;
     }
+}
+
+/// Nearest-rank percentile of unsorted latency samples (`p` in 0..=100).
+/// With a single sample every percentile is that sample, which keeps
+/// smoke-mode (one-iteration) reports well-formed.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
 }
 
 /// A named collection of related benchmarks sharing timing settings.
@@ -170,10 +196,14 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher =
-            Bencher { warm_up: self.warm_up, measurement: self.measurement, result: None };
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: None,
+            samples: Vec::new(),
+        };
         f(&mut bencher);
-        self.report(&id.to_string(), bencher.result);
+        self.report(&id.to_string(), bencher.result, &bencher.samples);
         self
     }
 
@@ -182,14 +212,18 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut bencher =
-            Bencher { warm_up: self.warm_up, measurement: self.measurement, result: None };
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: None,
+            samples: Vec::new(),
+        };
         f(&mut bencher, input);
-        self.report(&id.to_string(), bencher.result);
+        self.report(&id.to_string(), bencher.result, &bencher.samples);
         self
     }
 
-    fn report(&mut self, id: &str, result: Option<(Duration, u64)>) {
+    fn report(&mut self, id: &str, result: Option<(Duration, u64)>, samples: &[f64]) {
         let full = format!("{}/{}", self.name, id);
         match result {
             Some((elapsed, iters)) if iters > 0 => {
@@ -199,7 +233,7 @@ impl BenchmarkGroup<'_> {
                     "{full:<52} {:>12}  ({iters} iters){rate}",
                     format_time(per_iter)
                 ));
-                self.criterion.record(&full, per_iter, iters, self.throughput);
+                self.criterion.record(&full, per_iter, iters, self.throughput, samples);
             }
             _ => self.criterion.println(&format!("{full:<52} {:>12}", "no samples")),
         }
@@ -307,6 +341,7 @@ impl Criterion {
         seconds_per_iter: f64,
         iters: u64,
         throughput: Option<Throughput>,
+        samples: &[f64],
     ) {
         let Some(path) = &self.report_path else { return };
         if let Some(parent) = path.parent() {
@@ -332,10 +367,16 @@ impl Criterion {
                 ),
                 None => String::new(),
             };
+            let tail = match (percentile(samples, 50.0), percentile(samples, 99.0)) {
+                (Some(p50), Some(p99)) => {
+                    format!(", \"p50_seconds\": {p50:e}, \"p99_seconds\": {p99:e}")
+                }
+                _ => String::new(),
+            };
             let _ = writeln!(
                 f,
                 "{{\"bench\": \"{escaped}\", \"seconds_per_iter\": {seconds_per_iter:e}, \
-                 \"iters\": {iters}{rate}}}"
+                 \"iters\": {iters}{rate}{tail}}}"
             );
         }
     }
@@ -408,6 +449,33 @@ mod tests {
         let report = std::fs::read_to_string(&path).unwrap();
         assert!(report.contains("\"elements_per_iter\": 1000"));
         assert!(report.contains("\"elements_per_sec\": "));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[7.0], 50.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&samples, 50.0), Some(50.0));
+        assert_eq!(percentile(&samples, 99.0), Some(99.0));
+        assert_eq!(percentile(&samples, 100.0), Some(100.0));
+        // Unsorted input sorts internally.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), Some(2.0));
+    }
+
+    #[test]
+    fn report_lines_carry_latency_percentiles() {
+        let path = std::env::temp_dir().join("criterion-shim-percentile-test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut c = Criterion { quiet: true, smoke: true, report_path: Some(path.clone()) };
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("one", |b| b.iter(|| black_box(1u64) + 1));
+        g.finish();
+        let report = std::fs::read_to_string(&path).unwrap();
+        assert!(report.contains("\"p50_seconds\": "), "missing p50: {report}");
+        assert!(report.contains("\"p99_seconds\": "), "missing p99: {report}");
         std::fs::remove_file(&path).ok();
     }
 
