@@ -424,19 +424,21 @@ pub fn parallel(cache: &mut DatasetCache) -> ExperimentResult {
 
 // ------------------------------------------------------------------ Lazy IO
 
-/// Extension experiment (not in the paper): what the v3 column-addressable
+/// Extension experiment (not in the paper): what the column-addressable
 /// lazy path actually reads. Q1–Q8 each run against a cold `FileSource`
-/// over a v3 file of the scale-1 dataset, reporting chunks touched, columns
+/// over a v4 file of the scale-1 dataset, reporting chunks touched, columns
 /// decoded, and bytes read vs. the file size — the observable effect of
-/// §4.2 pruning plus projection pushdown, with a bounded-budget pass
-/// recording cache evictions.
+/// §4.2 pruning plus projection pushdown plus the v4 per-blob codecs, with
+/// a bounded-budget pass recording cache evictions and a note comparing
+/// the v4 image against its raw v3 equivalent.
 pub fn lazy_io(cache: &mut DatasetCache) -> ExperimentResult {
     let compressed = cache.compressed(1, 16 * 1024);
     let dir = std::env::temp_dir().join("cohana-bench-lazy-io");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("lazy-io.cohana");
-    persist::write_file(&compressed, &path).expect("write v3 file");
-    let file_len = std::fs::metadata(&path).expect("stat v3 file").len();
+    persist::write_file(&compressed, &path).expect("write v4 file");
+    let file_len = std::fs::metadata(&path).expect("stat v4 file").len();
+    let v3_len = persist::to_bytes_v3(&compressed).len() as u64;
     let arity = compressed.schema().arity();
 
     let start = dataset_start(&cache.base());
@@ -454,7 +456,7 @@ pub fn lazy_io(cache: &mut DatasetCache) -> ExperimentResult {
 
     let mut out = ExperimentResult::new(
         "lazy-io",
-        "v3 lazy path I/O per query: chunks touched, columns decoded, bytes read vs file size",
+        "v4 lazy path I/O per query: chunks touched, columns decoded, disk bytes vs decoded bytes",
         vec![
             "query".into(),
             "chunks".into(),
@@ -462,11 +464,12 @@ pub fn lazy_io(cache: &mut DatasetCache) -> ExperimentResult {
             "columns".into(),
             "columnsMax".into(),
             "bytesRead".into(),
+            "bytesDecoded".into(),
             "fileBytes".into(),
         ],
     );
     for (name, q) in &queries {
-        let src = Arc::new(FileSource::open(&path).expect("open v3 file"));
+        let src = Arc::new(FileSource::open(&path).expect("open v4 file"));
         let stmt = Statement::over(src.clone(), q, PlannerOptions::default(), 1).expect("plans");
         stmt.execute().expect("query executes");
         let io = src.io_stats();
@@ -477,6 +480,7 @@ pub fn lazy_io(cache: &mut DatasetCache) -> ExperimentResult {
             io.columns_decoded.to_string(),
             (arity * src.num_chunks()).to_string(),
             io.bytes_read.to_string(),
+            io.bytes_decompressed.to_string(),
             file_len.to_string(),
         ]);
     }
@@ -495,6 +499,25 @@ pub fn lazy_io(cache: &mut DatasetCache) -> ExperimentResult {
     out.push_note(format!(
         "bounded pass: budget {budget} bytes, resident {} bytes, {} evictions over Q1-Q8",
         io.cache_resident_bytes, io.cache_evictions
+    ));
+    let info = persist::inspect(&path).expect("inspect v4 file");
+    out.push_note(format!(
+        "v4 codecs: payload {} -> {} bytes ({:.2}x), file {v3_len} -> {file_len} bytes as v3 -> v4",
+        info.uncompressed_bytes(),
+        info.compressed_bytes(),
+        info.ratio()
+    ));
+    let best = info
+        .columns
+        .iter()
+        .max_by(|a, b| a.ratio().total_cmp(&b.ratio()))
+        .expect("schema has columns");
+    out.push_note(format!(
+        "best-compressed column: {} at {:.2}x ({} -> {} bytes)",
+        best.name,
+        best.ratio(),
+        best.uncompressed_bytes,
+        best.compressed_bytes
     ));
     std::fs::remove_file(&path).ok();
     out
@@ -843,14 +866,17 @@ mod tests {
     fn lazy_io_reports_projection_savings() {
         let r = lazy_io(&mut quick_cache());
         assert_eq!(r.rows.len(), 8);
-        assert_eq!(r.notes.len(), 1);
+        assert_eq!(r.notes.len(), 3);
+        assert!(r.notes[1].contains("v4 codecs"), "missing compression note: {}", r.notes[1]);
         for row in &r.rows {
             let columns: usize = row[3].parse().unwrap();
             let columns_max: usize = row[4].parse().unwrap();
             let bytes_read: u64 = row[5].parse().unwrap();
-            let file_bytes: u64 = row[6].parse().unwrap();
+            let bytes_decoded: u64 = row[6].parse().unwrap();
+            let file_bytes: u64 = row[7].parse().unwrap();
             assert!(columns < columns_max, "{}: projection pushdown never fired", row[0]);
             assert!(bytes_read < file_bytes, "{}: read the whole file", row[0]);
+            assert!(bytes_read <= bytes_decoded, "{}: decoded fewer bytes than it read", row[0]);
         }
     }
 }

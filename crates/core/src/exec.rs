@@ -30,7 +30,7 @@
 //!    user spans chunks.
 //!
 //! The per-chunk pass is **vectorized** (see `docs/PERF.md`): columns are
-//! resolved once per chunk into [`ChunkCursors`](cohana_storage::ChunkCursors),
+//! resolved once per chunk into [`ChunkCursors`],
 //! predicates are re-specialized against each chunk's dictionaries and
 //! ranges ([`CompiledExpr::specialize`]), each user block's time column is
 //! block-decoded into scratch buffers reused across users, and the inner

@@ -46,8 +46,12 @@ pub struct QueryStats {
     pub chunks_decoded: usize,
     /// Individual column segments decoded (v3 column-addressable sources).
     pub columns_decoded: usize,
-    /// Payload bytes read from backing storage.
+    /// Payload bytes read from backing storage (on-disk bytes; compressed
+    /// for v4 blobs).
     pub bytes_read: u64,
+    /// Bytes those blobs decoded to. Equals `bytes_read` on raw (v1–v3)
+    /// sources; the gap is what the v4 codecs saved on the disk path.
+    pub bytes_decompressed: u64,
     /// Segment-cache entries evicted while this query ran.
     pub cache_evictions: u64,
     /// Result batches the stream yielded (one per scanned chunk).
@@ -72,6 +76,7 @@ impl QueryStats {
         self.chunks_decoded += delta.chunks_decoded;
         self.columns_decoded += delta.columns_decoded;
         self.bytes_read += delta.bytes_read;
+        self.bytes_decompressed += delta.bytes_decompressed;
         self.cache_evictions += delta.cache_evictions;
     }
 
@@ -96,6 +101,7 @@ impl QueryStats {
         self.chunks_decoded += other.chunks_decoded;
         self.columns_decoded += other.columns_decoded;
         self.bytes_read += other.bytes_read;
+        self.bytes_decompressed += other.bytes_decompressed;
         self.cache_evictions += other.cache_evictions;
         self.batches += other.batches;
         self.morsels_executed += other.morsels_executed;
@@ -114,6 +120,7 @@ impl QueryStats {
             && self.chunks_decoded >= earlier.chunks_decoded
             && self.columns_decoded >= earlier.columns_decoded
             && self.bytes_read >= earlier.bytes_read
+            && self.bytes_decompressed >= earlier.bytes_decompressed
             && self.cache_evictions >= earlier.cache_evictions
             && self.batches >= earlier.batches
             && self.morsels_executed >= earlier.morsels_executed
@@ -127,7 +134,8 @@ impl fmt::Display for QueryStats {
         write!(
             f,
             "{} of {} chunks scanned ({} pruned), {} rows, {} morsels, {} chunks / {} columns \
-             decoded, {} bytes read, {} evictions, {:.2}ms busy, {:.1?} ({:.1}M rows/s)",
+             decoded, {} bytes read ({} decoded), {} evictions, {:.2}ms busy, {:.1?} \
+             ({:.1}M rows/s)",
             self.chunks_scanned,
             self.chunks_total,
             self.chunks_pruned,
@@ -136,6 +144,7 @@ impl fmt::Display for QueryStats {
             self.chunks_decoded,
             self.columns_decoded,
             self.bytes_read,
+            self.bytes_decompressed,
             self.cache_evictions,
             self.worker_busy_ns as f64 / 1e6,
             self.wall_time,
@@ -157,6 +166,7 @@ mod tests {
             chunks_decoded: 3,
             columns_decoded: 9,
             bytes_read: 1024,
+            bytes_decompressed: 1536,
             cache_evictions: 2,
             batches: 3,
             morsels_executed: 12,
@@ -187,6 +197,7 @@ mod tests {
         assert!(s.contains("600 rows"));
         assert!(s.contains("12 morsels"));
         assert!(s.contains("1024 bytes"));
+        assert!(s.contains("1536 decoded"));
         assert!(s.contains("4.00ms busy"));
         assert!(s.contains("rows/s"));
     }

@@ -107,6 +107,16 @@ fn n_batch_ingest_matches_build_once_across_queries_and_parallelism() {
         assert_eq!(expect, compacted, "compacted reports diverge at parallelism {parallelism}");
     }
 
+    // Compaction through the engine restores the exact build-once v4 image:
+    // same header version, same bytes, codec selection included.
+    let compacted_bytes = std::fs::read(&path).unwrap();
+    assert_eq!(&compacted_bytes[4..8], &4u32.to_le_bytes(), "compacted file is not v4");
+    assert_eq!(
+        compacted_bytes,
+        std::fs::read(&once_path).unwrap(),
+        "engine compact of an ingested v4 file diverges from the build-once image"
+    );
+
     std::fs::remove_file(&path).ok();
     std::fs::remove_file(&once_path).ok();
 }

@@ -1,7 +1,8 @@
 //! The on-disk version matrix: the paper's benchmark queries Q1–Q8 must
 //! produce identical reports over every supported format and access path —
-//! v1 (eager only), v2 (lazy, whole-chunk fetch), and v3 (lazy,
-//! per-column fetch) — at parallelism 1 and 4, through *both* execution
+//! v1 (eager only), v2 (lazy, whole-chunk fetch), v3 (lazy, per-column
+//! fetch), and v4 (lazy, per-column fetch through the per-blob codec
+//! layer) — at parallelism 1 and 4, through *both* execution
 //! shapes of the session API: the eager [`Statement::execute`] and the
 //! streaming [`Statement::stream`] with its per-chunk batches merged by
 //! hand. Plus the two headline properties of the v3 refactor:
@@ -66,7 +67,7 @@ fn execute_via_stream(stmt: &Statement) -> CohortReport {
 }
 
 #[test]
-fn q1_to_q8_identical_across_v1_v2_v3_eager_and_streamed() {
+fn q1_to_q8_identical_across_v1_v2_v3_v4_eager_and_streamed() {
     let table = generate(&GeneratorConfig::small());
     let memory =
         Arc::new(CompressedTable::build(&table, CompressionOptions::with_chunk_size(256)).unwrap());
@@ -75,9 +76,11 @@ fn q1_to_q8_identical_across_v1_v2_v3_eager_and_streamed() {
     let v1_path = temp_file("matrix-v1.cohana");
     let v2_path = temp_file("matrix-v2.cohana");
     let v3_path = temp_file("matrix-v3.cohana");
+    let v4_path = temp_file("matrix-v4.cohana");
     std::fs::write(&v1_path, persist::to_bytes_v1(&memory)).unwrap();
     std::fs::write(&v2_path, persist::to_bytes_v2(&memory)).unwrap();
-    persist::write_file(&memory, &v3_path).unwrap();
+    std::fs::write(&v3_path, persist::to_bytes_v3(&memory)).unwrap();
+    persist::write_file(&memory, &v4_path).unwrap();
 
     // v1 has no footer: eager load only.
     let v1_eager = Arc::new(persist::read_file(&v1_path).unwrap());
@@ -87,6 +90,9 @@ fn q1_to_q8_identical_across_v1_v2_v3_eager_and_streamed() {
     // v3: lazy open with per-column fetches.
     let v3_lazy = Arc::new(FileSource::open(&v3_path).unwrap());
     assert!(v3_lazy.is_column_addressable());
+    // v4: lazy open with per-column fetches through the codec layer.
+    let v4_lazy = Arc::new(FileSource::open(&v4_path).unwrap());
+    assert!(v4_lazy.is_column_addressable());
 
     for (name, query) in paper_queries() {
         // The executable spec: the naive interpreter over the uncompressed
@@ -104,6 +110,7 @@ fn q1_to_q8_identical_across_v1_v2_v3_eager_and_streamed() {
                 ("v1", Arc::clone(&v1_eager) as Arc<dyn ChunkSource>),
                 ("v2", Arc::clone(&v2_lazy) as Arc<dyn ChunkSource>),
                 ("v3", Arc::clone(&v3_lazy) as Arc<dyn ChunkSource>),
+                ("v4", Arc::clone(&v4_lazy) as Arc<dyn ChunkSource>),
             ] {
                 let stmt = prepare(source, &query, parallelism);
                 let eager = stmt.execute().unwrap();
@@ -150,10 +157,15 @@ fn q1_to_q8_identical_across_v1_v2_v3_eager_and_streamed() {
             }
         }
     }
-    // The v2 source never decodes individual columns; the v3 source did.
+    // The v2 source never decodes individual columns; the v3/v4 sources
+    // did. Raw-blob sources report decompressed bytes equal to bytes read;
+    // a v4 source's decoded bytes are never less than its disk bytes.
     assert_eq!(v2_lazy.columns_decoded(), 0);
     assert!(v3_lazy.columns_decoded() > 0);
-    for p in [v1_path, v2_path, v3_path] {
+    assert!(v4_lazy.columns_decoded() > 0);
+    assert_eq!(v3_lazy.bytes_decompressed(), v3_lazy.bytes_read());
+    assert!(v4_lazy.bytes_decompressed() >= v4_lazy.bytes_read());
+    for p in [v1_path, v2_path, v3_path, v4_path] {
         std::fs::remove_file(&p).ok();
     }
 }

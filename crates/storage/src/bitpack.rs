@@ -84,12 +84,19 @@ impl BitPacked {
         }
         let per_word = (64 / width as usize).max(1);
         let num_words = values.len().div_ceil(per_word);
-        let mut words = vec![0u64; num_words];
-        for (i, &v) in values.iter().enumerate() {
-            debug_assert!(width == 64 || v < (1u64 << width), "value {v} exceeds width {width}");
-            let w = i / per_word;
-            let shift = (i % per_word) * width as usize;
-            words[w] |= v << shift;
+        let mut words = Vec::with_capacity(num_words);
+        for chunk in values.chunks(per_word) {
+            let mut word = 0u64;
+            let mut shift = 0u32;
+            for &v in chunk {
+                debug_assert!(
+                    width == 64 || v < (1u64 << width),
+                    "value {v} exceeds width {width}"
+                );
+                word |= v << shift;
+                shift += width as u32;
+            }
+            words.push(word);
         }
         BitPacked {
             width,
@@ -147,7 +154,7 @@ impl BitPacked {
     /// Block decode: write values `start..end` into `out` (whose length must
     /// be `end - start`). Unlike repeated [`BitPacked::get`], no per-element
     /// div/mod is performed. With the `simd` feature the word-aligned body
-    /// runs the four-words-at-a-time lane path ([`Self::unpack_range_simd`]);
+    /// runs the four-words-at-a-time lane path (`unpack_range_simd`);
     /// otherwise (and for the unaligned head/tail) the scalar word-walking
     /// loop runs. Which path a given array takes is fixed at construction —
     /// table-open time for persisted chunks.
@@ -261,7 +268,7 @@ impl BitPacked {
     /// with a running shift instead of per-element [`BitPacked::get`]
     /// probes: one word load serves every lane it packs, and the index→word
     /// division happens once per call, not once per element. This is the
-    /// birth-row search primitive ([`find_birth_row`] in `cohana-core`
+    /// birth-row search primitive (`find_birth_row` in `cohana-core`
     /// resolves the dictionary code once and scans raw codes through here).
     pub fn find_first(&self, start: usize, end: usize, value: u64) -> Option<usize> {
         assert!(start <= end && end <= self.len, "range {start}..{end} out of bounds");

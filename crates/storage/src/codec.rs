@@ -1,0 +1,835 @@
+//! Per-blob compression codecs for the v4 on-disk format.
+//!
+//! A v3 blob stores every packed array raw: `width u8 | len u64 | words…`.
+//! v4 keeps that byte layout as the [`Codec::Raw`] case and adds two
+//! entropy-coded alternatives for the packed-array section of a column
+//! blob (the blob header — tag byte, dictionary gids, int min/max — is
+//! never transformed, so a `Raw` v4 blob is byte-identical to its v3
+//! counterpart):
+//!
+//! * [`Codec::Delta`] — delta-then-pack for the per-user-sorted time
+//!   column: consecutive differences are zigzag-mapped, their *bit class*
+//!   (minimal bit length) is range-ANS coded against the measured class
+//!   distribution, and each value's low `class - 1` bits follow in an
+//!   LSB-first bit stream (the top bit of a `k`-bit value is implied).
+//!   This is the classic Elias-gamma-style split — cheap to decode, and
+//!   the class stream soaks up the skew that fixed-width packing wastes.
+//! * [`Codec::Ans`] — a table-driven range-ANS stage applied directly to
+//!   the packed values, applicable when the alphabet fits the 12-bit
+//!   table (`max value < 4096`); it collapses skewed low-cardinality
+//!   columns (action codes, demographics) toward their empirical entropy.
+//!
+//! Selection happens at write time in `encode_array`: every applicable
+//! candidate is actually encoded and the smallest wins, with the
+//! deterministic tie-break `Raw < Delta < Ans` so identical inputs always
+//! produce identical files (the append/compact byte-parity invariant
+//! depends on this).
+//!
+//! The rANS core is the standard 32-bit/byte-renormalizing construction:
+//! state in `[L, L << 8)` with `L = 1 << 23`, frequencies normalized to
+//! sum to `1 << SCALE_BITS = 4096`, symbols encoded in reverse so the
+//! decoder streams forward. The final encoder state leads the stream (4
+//! bytes LE); decoding checks the state returns to `L` with every byte
+//! consumed, which makes truncation and bit-flips detectable without a
+//! checksum.
+
+use crate::bitpack::{bits_for, BitPacked};
+use crate::error::StorageError;
+use crate::Result;
+
+/// How the packed-array section of one v4 blob is encoded on disk.
+///
+/// The tag byte is recorded per blob in the v4 footer (see
+/// `docs/FORMAT.md`); `Raw` blobs are byte-identical to their v3 form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Codec {
+    /// v3 layout: `width u8 | len u64 | packed words…`.
+    Raw = 0,
+    /// Zigzag deltas, rANS-coded bit classes + explicit low bits.
+    Delta = 1,
+    /// rANS over the values themselves (alphabet < 4096).
+    Ans = 2,
+}
+
+impl Codec {
+    /// The on-disk tag byte.
+    pub fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Parse a footer tag byte.
+    pub fn from_tag(tag: u8) -> Option<Codec> {
+        match tag {
+            0 => Some(Codec::Raw),
+            1 => Some(Codec::Delta),
+            2 => Some(Codec::Ans),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::Raw => "raw",
+            Codec::Delta => "delta",
+            Codec::Ans => "ans",
+        }
+    }
+}
+
+// ------------------------------------------------------------------ rANS
+
+/// Frequencies are normalized to sum to `1 << SCALE_BITS`.
+const SCALE_BITS: u32 = 12;
+const SCALE: u32 = 1 << SCALE_BITS;
+/// Lower bound of the normalized state interval.
+const RANS_L: u32 = 1 << 23;
+
+/// A normalized symbol table: sorted distinct symbols with frequencies
+/// summing to exactly [`SCALE`].
+struct FreqTable {
+    syms: Vec<u16>,
+    freqs: Vec<u16>,
+    /// Exclusive prefix sums of `freqs`.
+    cum: Vec<u32>,
+}
+
+impl FreqTable {
+    /// Build from per-symbol counts (parallel to `syms`, all non-zero).
+    fn build(syms: Vec<u16>, counts: &[u64]) -> FreqTable {
+        debug_assert_eq!(syms.len(), counts.len());
+        let freqs = normalize_freqs(counts);
+        let cum = prefix_sums(&freqs);
+        FreqTable { syms, freqs, cum }
+    }
+
+    /// Serialized size: `n_syms u16 | (sym u16, freq u16) * n`.
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.syms.len() as u16).to_le_bytes());
+        for (&s, &f) in self.syms.iter().zip(&self.freqs) {
+            out.extend_from_slice(&s.to_le_bytes());
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+    }
+
+    /// Parse and validate a table whose symbols must be `<= max_sym`.
+    fn read(buf: &mut &[u8], max_sym: u16) -> Result<FreqTable> {
+        let n = take_u16(buf)? as usize;
+        if n == 0 || n > SCALE as usize {
+            return Err(StorageError::Corrupt(format!("bad codec table size {n}")));
+        }
+        let mut syms = Vec::with_capacity(n);
+        let mut freqs = Vec::with_capacity(n);
+        let mut total: u32 = 0;
+        for i in 0..n {
+            let s = take_u16(buf)?;
+            let f = take_u16(buf)?;
+            if s > max_sym {
+                return Err(StorageError::Corrupt(format!(
+                    "codec table symbol {s} exceeds maximum {max_sym}"
+                )));
+            }
+            if i > 0 && s <= syms[i - 1] {
+                return Err(StorageError::Corrupt("codec table symbols not increasing".into()));
+            }
+            if f == 0 {
+                return Err(StorageError::Corrupt("codec table frequency is zero".into()));
+            }
+            total += f as u32;
+            syms.push(s);
+            freqs.push(f);
+        }
+        if total != SCALE {
+            return Err(StorageError::Corrupt(format!(
+                "codec table frequencies sum to {total}, want {SCALE}"
+            )));
+        }
+        let cum = prefix_sums(&freqs);
+        Ok(FreqTable { syms, freqs, cum })
+    }
+
+    /// Slot → symbol-index lookup covering all [`SCALE`] slots.
+    fn slot_lut(&self) -> Vec<SlotEntry> {
+        let mut lut = vec![SlotEntry::default(); SCALE as usize];
+        for ((&sym, &freq), &cum) in self.syms.iter().zip(&self.freqs).zip(&self.cum) {
+            for slot in cum..cum + freq as u32 {
+                lut[slot as usize] = SlotEntry { sym, freq, cum };
+            }
+        }
+        lut
+    }
+}
+
+/// One slot of the flattened decode table: everything the hot loop needs
+/// in a single 8-byte load.
+#[derive(Clone, Copy, Default)]
+struct SlotEntry {
+    sym: u16,
+    freq: u16,
+    cum: u32,
+}
+
+fn prefix_sums(freqs: &[u16]) -> Vec<u32> {
+    let mut cum = Vec::with_capacity(freqs.len());
+    let mut acc = 0u32;
+    for &f in freqs {
+        cum.push(acc);
+        acc += f as u32;
+    }
+    cum
+}
+
+/// Scale raw counts to frequencies summing to exactly [`SCALE`], every
+/// symbol keeping at least 1. Deterministic (pure integer arithmetic with
+/// index tie-breaks) so that identical inputs always serialize
+/// identically — append/compact byte-parity depends on it.
+fn normalize_freqs(counts: &[u64]) -> Vec<u16> {
+    let n = counts.len();
+    debug_assert!(n >= 1 && n <= SCALE as usize);
+    let total: u64 = counts.iter().sum();
+    debug_assert!(total > 0);
+    let mut freqs: Vec<u32> = counts
+        .iter()
+        .map(|&c| ((c as u128 * SCALE as u128 / total as u128) as u32).max(1))
+        .collect();
+    let mut sum: i64 = freqs.iter().map(|&f| f as i64).sum();
+    if sum < SCALE as i64 {
+        // Hand the rounding deficit to the heaviest symbols first.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(counts[i]), i));
+        let mut k = 0usize;
+        while sum < SCALE as i64 {
+            freqs[order[k % n]] += 1;
+            sum += 1;
+            k += 1;
+        }
+    }
+    while sum > SCALE as i64 {
+        // The minimum-1 clamp oversubscribed; shave the largest frequency
+        // (lowest index on ties) without dropping anyone to zero.
+        let i = (0..n)
+            .filter(|&i| freqs[i] > 1)
+            .max_by_key(|&i| (freqs[i], std::cmp::Reverse(i)))
+            .expect("sum > SCALE implies some freq > 1");
+        let cut = ((sum - SCALE as i64) as u32).min(freqs[i] - 1);
+        freqs[i] -= cut;
+        sum -= cut as i64;
+    }
+    freqs.iter().map(|&f| f as u16).collect()
+}
+
+/// rANS-encode `indices` (positions into `table`). Returns the stream:
+/// final state (4 bytes LE) followed by the renormalization bytes in
+/// decode order.
+fn rans_encode(indices: &[usize], table: &FreqTable) -> Vec<u8> {
+    let mut renorm = Vec::new();
+    let mut x: u32 = RANS_L;
+    for &s in indices.iter().rev() {
+        let f = table.freqs[s] as u32;
+        // Renormalize so the state transition below stays in range.
+        let x_max = f << (23 - SCALE_BITS + 8);
+        while x >= x_max {
+            renorm.push(x as u8);
+            x >>= 8;
+        }
+        x = ((x / f) << SCALE_BITS) + (x % f) + table.cum[s];
+    }
+    let mut stream = Vec::with_capacity(4 + renorm.len());
+    stream.extend_from_slice(&x.to_le_bytes());
+    stream.extend(renorm.iter().rev());
+    stream
+}
+
+/// Decode exactly `n` symbols from `stream`, which must be fully consumed
+/// with the state returning to its initial value (both checked, so
+/// truncated or tampered streams are rejected).
+fn rans_decode(stream: &[u8], n: usize, table: &FreqTable) -> Result<Vec<u16>> {
+    if stream.len() < 4 {
+        return Err(StorageError::Corrupt("rANS stream shorter than its state".into()));
+    }
+    let lut = table.slot_lut();
+    let mut x = u32::from_le_bytes([stream[0], stream[1], stream[2], stream[3]]);
+    let mut pos = 4usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let slot = x & (SCALE - 1);
+        let e = lut[slot as usize];
+        x = (e.freq as u32) * (x >> SCALE_BITS) + slot - e.cum;
+        while x < RANS_L {
+            let Some(&b) = stream.get(pos) else {
+                return Err(StorageError::Corrupt("rANS stream truncated".into()));
+            };
+            x = (x << 8) | b as u32;
+            pos += 1;
+        }
+        out.push(e.sym);
+    }
+    if x != RANS_L || pos != stream.len() {
+        return Err(StorageError::Corrupt("rANS stream does not round-trip".into()));
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------- bit stream
+
+/// LSB-first bit writer for the delta offset stream.
+#[derive(Default)]
+struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    fn put(&mut self, bits: u64, n: u32) {
+        debug_assert!(n <= 64 && (n == 64 || bits < (1u64 << n)));
+        let lo = n.min(32);
+        self.put_small(bits & low_mask(lo), lo);
+        if n > 32 {
+            self.put_small(bits >> 32, n - 32);
+        }
+    }
+
+    fn put_small(&mut self, bits: u64, n: u32) {
+        self.acc |= bits << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push(self.acc as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push(self.acc as u8);
+        }
+        self.out
+    }
+}
+
+/// LSB-first bit reader; [`BitReader::finish`] enforces that the stream
+/// was consumed exactly (any padding bits must be zero).
+struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(buf: &'a [u8]) -> BitReader<'a> {
+        BitReader { buf, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    fn take(&mut self, n: u32) -> Result<u64> {
+        debug_assert!(n <= 64);
+        let lo = n.min(32);
+        let low = self.take_small(lo)?;
+        if n > 32 {
+            Ok(low | (self.take_small(n - 32)? << 32))
+        } else {
+            Ok(low)
+        }
+    }
+
+    fn take_small(&mut self, n: u32) -> Result<u64> {
+        if self.nbits < n {
+            // Bulk refill: one unaligned 4-byte load instead of up to four
+            // byte loops — refills dominate when every value carries bits.
+            if let Some(word) = self.buf.get(self.pos..self.pos + 4) {
+                let w = u32::from_le_bytes(word.try_into().expect("4-byte slice"));
+                let bytes = (63 - self.nbits) / 8;
+                let take = bytes.min(4);
+                self.acc |= ((w as u64) & low_mask(take * 8)) << self.nbits;
+                self.pos += take as usize;
+                self.nbits += take * 8;
+            }
+            while self.nbits < n {
+                let Some(&b) = self.buf.get(self.pos) else {
+                    return Err(StorageError::Corrupt("codec bit stream truncated".into()));
+                };
+                self.acc |= (b as u64) << self.nbits;
+                self.pos += 1;
+                self.nbits += 8;
+            }
+        }
+        let v = self.acc & low_mask(n);
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.pos != self.buf.len() || self.acc != 0 {
+            return Err(StorageError::Corrupt("codec bit stream has trailing data".into()));
+        }
+        Ok(())
+    }
+}
+
+fn low_mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+// ------------------------------------------------------- array codecs
+
+/// Exact on-disk size of a raw (v3) packed-array section. Saturates on
+/// absurd lengths (only reachable from crafted input — decoders compare
+/// this against the footer's bounded `uncompressed`, so a saturated value
+/// simply fails that comparison).
+pub(crate) fn raw_section_len(width: u8, len: u64) -> u64 {
+    let words = if width == 0 { 0 } else { len.div_ceil((64 / width as u64).max(1)) };
+    words.saturating_mul(8).saturating_add(9)
+}
+
+fn raw_section(packed: &BitPacked) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + packed.packed_bytes());
+    out.push(packed.width());
+    out.extend_from_slice(&(packed.len() as u64).to_le_bytes());
+    for w in packed.words() {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Encode a packed array with the smallest applicable codec. Ties prefer
+/// `Raw < Delta < Ans`, so a codec is only ever chosen when it is
+/// *strictly* smaller than raw — which the v4 footer validation relies on.
+pub(crate) fn encode_array(packed: &BitPacked) -> (Codec, Vec<u8>) {
+    let mut best = (Codec::Raw, raw_section(packed));
+    let values = packed.to_vec();
+    if let Some(d) = encode_delta(&values, packed.width()) {
+        if d.len() < best.1.len() {
+            best = (Codec::Delta, d);
+        }
+    }
+    if let Some(a) = encode_ans(&values, packed.width()) {
+        if a.len() < best.1.len() {
+            best = (Codec::Ans, a);
+        }
+    }
+    best
+}
+
+/// Decode a codec-transformed array section (the whole of `buf`), given
+/// the raw section size the footer promised — checked *before* any
+/// allocation or decode loop so a corrupt length cannot balloon work.
+pub(crate) fn decode_array(codec: Codec, buf: &[u8], expected_raw: u64) -> Result<BitPacked> {
+    match codec {
+        Codec::Raw => Err(StorageError::Corrupt("raw sections decode on the v3 path".into())),
+        Codec::Delta => decode_delta(buf, expected_raw),
+        Codec::Ans => decode_ans(buf, expected_raw),
+    }
+}
+
+/// Class symbol for one delta: `2 * bits(|d|) + sign`. Carrying the sign
+/// in the rANS alphabet instead of a zigzag bit lets the entropy coder
+/// learn sign skew — on a sorted-per-user time column nearly every delta
+/// is non-negative, so the sign costs ~0 bits instead of 1 per value.
+fn delta_sym(d: i64) -> (u16, u64) {
+    let mag = d.unsigned_abs();
+    ((bits_for(mag) as u16) << 1 | (d < 0) as u16, mag)
+}
+
+const DELTA_MAX_SYM: u16 = 64 << 1 | 1;
+
+/// Delta codec: `width u8 | len u64 | first u64 | class table |
+/// class_stream_len u32 | class stream | offset bits`. The `first` field
+/// is present for `len >= 1`, everything after it for `len >= 2`. The
+/// class alphabet is `(magnitude bit-length, sign)` pairs; a magnitude's
+/// sub-top bits go to the offset stream verbatim.
+pub(crate) fn encode_delta(values: &[u64], width: u8) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    out.push(width);
+    out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    let Some((&first, rest)) = values.split_first() else { return Some(out) };
+    out.extend_from_slice(&first.to_le_bytes());
+    if rest.is_empty() {
+        return Some(out);
+    }
+    let mut mags = Vec::with_capacity(rest.len());
+    let mut class_counts = [0u64; DELTA_MAX_SYM as usize + 1];
+    let mut prev = first;
+    for &v in rest {
+        let (sym, mag) = delta_sym(v.wrapping_sub(prev) as i64);
+        class_counts[sym as usize] += 1;
+        mags.push((sym, mag));
+        prev = v;
+    }
+    let syms: Vec<u16> = (0..=DELTA_MAX_SYM).filter(|&c| class_counts[c as usize] > 0).collect();
+    let counts: Vec<u64> = syms.iter().map(|&c| class_counts[c as usize]).collect();
+    let table = FreqTable::build(syms, &counts);
+    let index_of = |sym: u16| table.syms.binary_search(&sym).unwrap();
+    let indices: Vec<usize> = mags.iter().map(|&(sym, _)| index_of(sym)).collect();
+    let class_stream = rans_encode(&indices, &table);
+
+    table.write(&mut out);
+    out.extend_from_slice(&(class_stream.len() as u32).to_le_bytes());
+    out.extend_from_slice(&class_stream);
+    let mut bits = BitWriter::default();
+    for &(sym, mag) in &mags {
+        let k = (sym >> 1) as u32;
+        if k >= 2 {
+            bits.put(mag & low_mask(k - 1), k - 1);
+        }
+    }
+    out.extend_from_slice(&bits.finish());
+    Some(out)
+}
+
+pub(crate) fn decode_delta(buf: &[u8], expected_raw: u64) -> Result<BitPacked> {
+    let mut buf = buf;
+    let width = take_u8(&mut buf)?;
+    if width > 64 {
+        return Err(StorageError::Corrupt(format!("bad bit width {width}")));
+    }
+    let len = take_u64(&mut buf)?;
+    if raw_section_len(width, len) != expected_raw {
+        return Err(StorageError::Corrupt(format!(
+            "delta section declares {len} x {width}-bit values, which contradicts the footer's \
+             uncompressed size"
+        )));
+    }
+    let fits = |v: u64| width == 64 || v < (1u64 << width);
+    if len == 0 {
+        expect_consumed(buf)?;
+        return Ok(BitPacked::from_slice_with_width(&[], width));
+    }
+    let first = take_u64(&mut buf)?;
+    if !fits(first) {
+        return Err(StorageError::Corrupt("delta first value exceeds declared width".into()));
+    }
+    if len == 1 {
+        expect_consumed(buf)?;
+        return Ok(BitPacked::from_slice_with_width(&[first], width));
+    }
+    let table = FreqTable::read(&mut buf, DELTA_MAX_SYM)?;
+    let class_stream_len = take_u32(&mut buf)? as usize;
+    if class_stream_len > buf.len() {
+        return Err(StorageError::Corrupt("delta class stream overruns blob".into()));
+    }
+    let (class_stream, offset_bytes) = buf.split_at(class_stream_len);
+    // Fused rANS + offset-bit loop: decoding the class and its offset bits
+    // in one pass avoids materializing the class array (measurably faster
+    // on the time column, the largest blob in every file).
+    if class_stream.len() < 4 {
+        return Err(StorageError::Corrupt("rANS stream shorter than its state".into()));
+    }
+    let lut = table.slot_lut();
+    let mut x =
+        u32::from_le_bytes([class_stream[0], class_stream[1], class_stream[2], class_stream[3]]);
+    let mut pos = 4usize;
+    let mut bits = BitReader::new(offset_bytes);
+    let mut values = Vec::with_capacity(len as usize);
+    values.push(first);
+    let mut prev = first;
+    for _ in 1..len {
+        let slot = x & (SCALE - 1);
+        let e = lut[slot as usize];
+        x = (e.freq as u32) * (x >> SCALE_BITS) + slot - e.cum;
+        while x < RANS_L {
+            let Some(&b) = class_stream.get(pos) else {
+                return Err(StorageError::Corrupt("rANS stream truncated".into()));
+            };
+            x = (x << 8) | b as u32;
+            pos += 1;
+        }
+        let k = (e.sym >> 1) as u32;
+        let mag = match k {
+            0 => 0,
+            1 => 1,
+            _ => (1u64 << (k - 1)) | bits.take(k - 1)?,
+        };
+        let d = if e.sym & 1 == 1 { mag.wrapping_neg() } else { mag };
+        let v = prev.wrapping_add(d);
+        if !fits(v) {
+            return Err(StorageError::Corrupt("delta value exceeds declared width".into()));
+        }
+        values.push(v);
+        prev = v;
+    }
+    if x != RANS_L || pos != class_stream.len() {
+        return Err(StorageError::Corrupt("rANS stream does not round-trip".into()));
+    }
+    bits.finish()?;
+    Ok(BitPacked::from_slice_with_width(&values, width))
+}
+
+/// ANS codec: `width u8 | len u64 | value table | rANS stream`. Applicable
+/// when every value fits the 12-bit table alphabet.
+pub(crate) fn encode_ans(values: &[u64], width: u8) -> Option<Vec<u8>> {
+    if values.is_empty() || values.iter().any(|&v| v >= SCALE as u64) {
+        return None;
+    }
+    let mut counts = [0u64; SCALE as usize];
+    for &v in values {
+        counts[v as usize] += 1;
+    }
+    let syms: Vec<u16> = (0..SCALE as u16).filter(|&v| counts[v as usize] > 0).collect();
+    let sym_counts: Vec<u64> = syms.iter().map(|&v| counts[v as usize]).collect();
+    let mut index_of = [0u16; SCALE as usize];
+    for (i, &v) in syms.iter().enumerate() {
+        index_of[v as usize] = i as u16;
+    }
+    let table = FreqTable::build(syms, &sym_counts);
+    let indices: Vec<usize> = values.iter().map(|&v| index_of[v as usize] as usize).collect();
+    let stream = rans_encode(&indices, &table);
+
+    let mut out = Vec::with_capacity(9 + 2 + 4 * table.syms.len() + stream.len());
+    out.push(width);
+    out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    table.write(&mut out);
+    out.extend_from_slice(&stream);
+    Some(out)
+}
+
+pub(crate) fn decode_ans(buf: &[u8], expected_raw: u64) -> Result<BitPacked> {
+    let mut buf = buf;
+    let width = take_u8(&mut buf)?;
+    if width > 64 {
+        return Err(StorageError::Corrupt(format!("bad bit width {width}")));
+    }
+    let len = take_u64(&mut buf)?;
+    if len == 0 || raw_section_len(width, len) != expected_raw {
+        return Err(StorageError::Corrupt(format!(
+            "ANS section declares {len} x {width}-bit values, which contradicts the footer's \
+             uncompressed size"
+        )));
+    }
+    let table = FreqTable::read(&mut buf, SCALE as u16 - 1)?;
+    if let Some(&top) = table.syms.last() {
+        if !(width == 64 || (top as u64) < (1u64 << width)) {
+            return Err(StorageError::Corrupt("ANS symbol exceeds declared width".into()));
+        }
+    }
+    let symbols = rans_decode(buf, len as usize, &table)?;
+    let values: Vec<u64> = symbols.iter().map(|&s| s as u64).collect();
+    Ok(BitPacked::from_slice_with_width(&values, width))
+}
+
+// ------------------------------------------------------- byte readers
+
+fn take_u8(buf: &mut &[u8]) -> Result<u8> {
+    let (&b, rest) =
+        buf.split_first().ok_or_else(|| StorageError::Corrupt("codec section truncated".into()))?;
+    *buf = rest;
+    Ok(b)
+}
+
+fn take_bytes<const N: usize>(buf: &mut &[u8]) -> Result<[u8; N]> {
+    if buf.len() < N {
+        return Err(StorageError::Corrupt("codec section truncated".into()));
+    }
+    let (head, rest) = buf.split_at(N);
+    *buf = rest;
+    Ok(head.try_into().expect("split_at guarantees N bytes"))
+}
+
+fn take_u16(buf: &mut &[u8]) -> Result<u16> {
+    Ok(u16::from_le_bytes(take_bytes::<2>(buf)?))
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32> {
+    Ok(u32::from_le_bytes(take_bytes::<4>(buf)?))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64> {
+    Ok(u64::from_le_bytes(take_bytes::<8>(buf)?))
+}
+
+fn expect_consumed(buf: &[u8]) -> Result<()> {
+    if buf.is_empty() {
+        Ok(())
+    } else {
+        Err(StorageError::Corrupt(format!("codec section has {} trailing bytes", buf.len())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn packed(values: &[u64]) -> BitPacked {
+        BitPacked::from_slice(values)
+    }
+
+    fn roundtrip_delta(values: &[u64], width: u8) {
+        let enc = encode_delta(values, width).expect("delta always encodes");
+        let dec = decode_delta(&enc, raw_section_len(width, values.len() as u64)).expect("decodes");
+        assert_eq!(dec.to_vec(), values);
+        assert_eq!(dec.width(), width);
+    }
+
+    fn roundtrip_ans(values: &[u64], width: u8) -> bool {
+        let Some(enc) = encode_ans(values, width) else { return false };
+        let dec = decode_ans(&enc, raw_section_len(width, values.len() as u64)).expect("decodes");
+        assert_eq!(dec.to_vec(), values);
+        assert_eq!(dec.width(), width);
+        true
+    }
+
+    #[test]
+    fn delta_roundtrips_edge_shapes() {
+        roundtrip_delta(&[], 7);
+        roundtrip_delta(&[], 0);
+        roundtrip_delta(&[42], 6);
+        roundtrip_delta(&[0, 0, 0], 0);
+        roundtrip_delta(&[5, 5, 5, 5], 3);
+        roundtrip_delta(&[u64::MAX, 0, u64::MAX, 1], 64);
+        roundtrip_delta(&(0..1000u64).collect::<Vec<_>>(), 10);
+        let sawtooth: Vec<u64> = (0..500u64).map(|i| (i % 97) * 31).collect();
+        roundtrip_delta(&sawtooth, 12);
+    }
+
+    #[test]
+    fn ans_roundtrips_edge_shapes() {
+        assert!(!roundtrip_ans(&[], 1), "empty arrays are not ANS-applicable");
+        assert!(roundtrip_ans(&[3], 2));
+        assert!(roundtrip_ans(&[0, 0, 0, 0], 0));
+        assert!(roundtrip_ans(&[4095; 10], 12));
+        assert!(!roundtrip_ans(&[4096], 13), "alphabet must stay below the table size");
+        let skewed: Vec<u64> = (0..2000u64).map(|i| if i % 17 == 0 { i % 7 } else { 0 }).collect();
+        assert!(roundtrip_ans(&skewed, 3));
+    }
+
+    #[test]
+    fn ans_beats_raw_on_skewed_data() {
+        // 10K values, 95% zeros: rANS should land near the ~0.3-bit
+        // entropy, far below the 3-bit packed representation.
+        let values: Vec<u64> =
+            (0..10_000u64).map(|i| if i % 20 == 0 { 1 + i % 7 } else { 0 }).collect();
+        let p = packed(&values);
+        let (codec, bytes) = encode_array(&p);
+        assert_eq!(codec, Codec::Ans);
+        assert!(
+            bytes.len() * 4 < raw_section_len(p.width(), p.len() as u64) as usize,
+            "expected >=4x on 95%-constant data, got {} of {}",
+            bytes.len(),
+            raw_section_len(p.width(), p.len() as u64)
+        );
+    }
+
+    #[test]
+    fn delta_beats_raw_on_sorted_data() {
+        let values: Vec<u64> = (0..5_000u64).map(|i| 1_700_000_000 + i * 13 + (i % 5)).collect();
+        let p = packed(&values);
+        let (codec, bytes) = encode_array(&p);
+        assert_eq!(codec, Codec::Delta);
+        assert!(bytes.len() * 2 < raw_section_len(p.width(), p.len() as u64) as usize);
+    }
+
+    #[test]
+    fn selection_prefers_raw_on_ties_and_tiny_arrays() {
+        // Tiny arrays: the table + state overhead always loses to raw.
+        let (codec, bytes) = encode_array(&packed(&[9, 3]));
+        assert_eq!(codec, Codec::Raw);
+        assert_eq!(bytes, raw_section(&packed(&[9, 3])));
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let values: Vec<u64> = (0..3_000u64).map(|i| (i * 2654435761) % 4096).collect();
+        let p = packed(&values);
+        let a = encode_array(&p);
+        let b = encode_array(&p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_tampering() {
+        let values: Vec<u64> = (0..400u64).map(|i| i * 3).collect();
+        let enc = encode_delta(&values, 11).unwrap();
+        let raw = raw_section_len(11, 400);
+        for cut in [1, 4, 9, 12, enc.len() / 2, enc.len() - 1] {
+            assert!(decode_delta(&enc[..cut], raw).is_err(), "truncation at {cut} accepted");
+        }
+        // Flip a byte in every region (header, table, streams): decode must
+        // either reject it or at minimum never panic.
+        for i in 0..enc.len() {
+            let mut bad = enc.clone();
+            bad[i] ^= 0x5a;
+            let _ = decode_delta(&bad, raw);
+        }
+        // A declared length that disagrees with the footer's raw size.
+        assert!(decode_delta(&enc, raw + 8).is_err());
+
+        let ans = encode_ans(&values, 11).unwrap();
+        for cut in [1, 4, 9, 11, ans.len() - 1] {
+            assert!(decode_ans(&ans[..cut], raw).is_err());
+        }
+        for i in 0..ans.len() {
+            let mut bad = ans.clone();
+            bad[i] ^= 0x5a;
+            let _ = decode_ans(&bad, raw);
+        }
+    }
+
+    #[test]
+    fn freq_normalization_is_exact_and_minimum_one() {
+        for counts in [
+            vec![1u64],
+            vec![1, 1],
+            vec![1_000_000, 1],
+            vec![1; 4096],
+            (1..=100u64).collect::<Vec<_>>(),
+        ] {
+            let freqs = normalize_freqs(&counts);
+            assert_eq!(freqs.iter().map(|&f| f as u32).sum::<u32>(), SCALE);
+            assert!(freqs.iter().all(|&f| f >= 1));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_delta_roundtrips(values in prop::collection::vec(any::<u64>(), 0..300)) {
+            let max = values.iter().copied().max().unwrap_or(0);
+            roundtrip_delta(&values, bits_for(max));
+        }
+
+        #[test]
+        fn prop_delta_roundtrips_small_widths(
+            raw in prop::collection::vec(0u64..64, 0..300),
+            width in 6u8..=12,
+        ) {
+            roundtrip_delta(&raw, width);
+        }
+
+        #[test]
+        fn prop_ans_roundtrips(values in prop::collection::vec(0u64..4096, 1..300)) {
+            let max = values.iter().copied().max().unwrap_or(0);
+            prop_assert!(roundtrip_ans(&values, bits_for(max).max(1)));
+        }
+
+        #[test]
+        fn prop_selection_roundtrips_through_chosen_codec(
+            values in prop::collection::vec(0u64..5000, 0..400),
+        ) {
+            let p = packed(&values);
+            let (codec, bytes) = encode_array(&p);
+            let raw = raw_section_len(p.width(), p.len() as u64);
+            prop_assert!(bytes.len() as u64 <= raw);
+            match codec {
+                Codec::Raw => prop_assert_eq!(&bytes, &raw_section(&p)),
+                _ => {
+                    let dec = decode_array(codec, &bytes, raw).unwrap();
+                    prop_assert_eq!(dec, p);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_decode_never_panics_on_garbage(
+            bytes in prop::collection::vec(any::<u8>(), 0..200),
+            raw in 0u64..100_000,
+        ) {
+            let _ = decode_delta(&bytes, raw);
+            let _ = decode_ans(&bytes, raw);
+        }
+    }
+}

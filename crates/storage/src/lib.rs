@@ -30,7 +30,7 @@
 //!
 //! ## Persistence and lazy access
 //!
-//! [`persist`] serializes the compressed form into the **v3
+//! [`persist`] serializes the compressed form into the **v4
 //! column-addressable format**: every chunk's segments (RLE user column +
 //! one blob per attribute) are written as independently addressable blobs,
 //! then a footer holding the schema, compression options, global column
@@ -38,8 +38,11 @@
 //! locations, row/user counts, time bounds, the chunk's action-dictionary
 //! membership, and per-column [`ColumnStats`]), terminated by the footer
 //! length + magic — the Parquet row-group/column-chunk metadata layout
-//! adapted to COHANA's user-clustered chunks. v2 (whole-chunk blobs) and
-//! v1 (eager) files stay readable.
+//! adapted to COHANA's user-clustered chunks. v4 additionally runs each
+//! column blob's packed-array section through the smallest of the [`codec`]
+//! module's per-blob codecs (raw / delta-then-pack / rANS) and records the
+//! choice plus the uncompressed size in the footer. v3 (raw blobs), v2
+//! (whole-chunk blobs) and v1 (eager) files stay readable.
 //!
 //! The [`ChunkSource`] trait splits "metadata for pruning" from "chunk
 //! payload": [`CompressedTable`] implements it with everything resident,
@@ -63,6 +66,7 @@
 
 pub mod bitpack;
 pub mod chunk;
+pub mod codec;
 pub mod column;
 pub mod cursor;
 pub mod dict;
@@ -76,11 +80,12 @@ pub mod writer;
 
 pub use bitpack::BitPacked;
 pub use chunk::Chunk;
+pub use codec::Codec;
 pub use column::ChunkColumn;
 pub use cursor::ChunkCursors;
 pub use dict::{ChunkDict, GlobalDict};
 pub use error::StorageError;
-pub use persist::{AppendStats, CompactStats};
+pub use persist::{AppendStats, CodecStats, ColumnCompression, CompactStats, FormatInfo};
 pub use rle::UserRle;
 pub use source::{
     ChunkIndexEntry, ChunkRef, ChunkSource, ColumnStats, FileSource, RefreshStats, SourceIoStats,

@@ -1,6 +1,6 @@
 //! Binary persistence of compressed tables.
 //!
-//! # v3: the column-addressable format
+//! # v4: the codec-compressed column-addressable format
 //!
 //! Every chunk's segments are written as **independently addressable
 //! blobs** — the RLE user column first, then one blob per remaining
@@ -8,11 +8,14 @@
 //! location of every blob plus per-column statistics, and finally the
 //! footer length + magic (the Parquet `RowGroupMetaData` /
 //! `ColumnChunkMetaData` layout, adapted to COHANA's user-clustered
-//! chunks):
+//! chunks). New in v4, each column blob's packed-array section is run
+//! through the smallest of the [`crate::codec`] codecs (raw /
+//! delta-then-pack / rANS) at write time, and the footer's blob record
+//! grows a codec tag plus the blob's uncompressed (v3-serialized) size:
 //!
 //! ```text
 //! ┌────────────────────────────────────────────────────────────────────┐
-//! │ magic "COHA" u32 │ version=3 u32                                   │  header
+//! │ magic "COHA" u32 │ version=4 u32                                   │  header
 //! ├────────────────────────────────────────────────────────────────────┤
 //! │ chunk 0: rle blob │ col 1 blob │ col 2 blob │ …                    │  payload
 //! │ chunk 1: rle blob │ col 1 blob │ …                                 │
@@ -21,8 +24,9 @@
 //! │ schema (arity u16, then name │ vtype u8 │ role u8 per attribute)   │
 //! │ one ColumnMeta per attribute (dictionaries / ranges)               │
 //! │ num_rows u64 │ chunk_count u32                                     │
-//! │ per chunk: rle offset u64 │ rle len u64                            │
-//! │            per attribute: offset u64 │ len u64  ((0,0) for user)   │
+//! │ per chunk: rle offset u64 │ len u64 │ codec u8 │ uncompressed u64  │
+//! │            per attribute: offset u64 │ len u64 │ codec u8 │        │
+//! │                           uncompressed u64  (all-zero for user)    │
 //! │            rows u64 │ users u64 │ time_min i64 │ time_max i64      │
 //! │            n_actions u32 │ gids…                                   │
 //! │            per attribute: stats (user u8=0 │ str u8=1 + distinct   │
@@ -32,37 +36,51 @@
 //! └────────────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! All integers are little-endian. Each blob is self-contained, so any
-//! single column of any chunk can be fetched and decoded from its
-//! `(offset, len)` alone — the property projection pushdown builds on:
+//! All integers are little-endian. Each blob is self-contained given its
+//! footer record, so any single column of any chunk can be fetched and
+//! decoded from its `(offset, len, codec, uncompressed)` alone — the
+//! property projection pushdown builds on:
 //! [`FileSource`](crate::source::FileSource) opens in O(footer), prunes
 //! chunks from index entries, and then reads **only the bytes of the
-//! columns the plan projects**.
+//! columns the plan projects**. A `Raw` blob is byte-identical to its v3
+//! form (the RLE blob always is); `Delta`/`Ans` blobs keep their header
+//! (tag byte, chunk dictionary gids, int min/max) raw and entropy-code
+//! only the packed array, decoding back into the exact
+//! [`BitPacked`] the raw path would produce — cursors, the SIMD
+//! `unpack_range`, and the morsel executor never see the difference.
 //!
 //! # Appending
 //!
-//! v3 files grow in place: [`append`] writes a batch's chunks after the old
-//! end of file and re-serializes the footer at the new tail, leaving every
-//! previously written byte untouched (old footers and superseded chunk
-//! versions become dead bytes until [`compact`] reclaims them). Dictionary
+//! v3/v4 files grow in place: [`append`] writes a batch's chunks after the
+//! old end of file and re-serializes the footer at the new tail, leaving
+//! every previously written byte untouched (old footers and superseded
+//! chunk versions become dead bytes until [`compact`] reclaims them). The
+//! file's version is preserved: appending to a v4 file codec-compresses the
+//! new blobs, appending to a v3 file keeps writing raw v3 blobs (its footer
+//! has no codec fields), and [`compact`] — which rewrites the whole file in
+//! the current format — is the migration path from v3 to v4. Dictionary
 //! growth is recorded as per-epoch gid remaps in the footer instead of
 //! rewriting blobs; chunks holding users that reappear in a batch are
 //! re-encoded so no user ever spans two chunks. See `docs/FORMAT.md` for
 //! the exact layout and `crate::writer::TableWriter` for the batching
 //! front end.
 //!
-//! # v2 and v1 compatibility
+//! # v3, v2 and v1 compatibility
 //!
-//! v2 files (whole-chunk blobs, footer-indexed; the PR-1 format) are still
-//! fully supported: eagerly via [`from_bytes`]/[`read_file`] and lazily via
-//! `FileSource`, which degrades to whole-chunk fetches since a v2 chunk is
-//! one blob. [`to_bytes_v2`] keeps the writer around. v1 files (a single
-//! eager header-first blob, no footer) are read by [`from_bytes`];
-//! [`to_bytes_v1`] keeps that writer for round-trip tests and downgrades.
-//! Lazy opening requires v2+ — re-save a v1 file to migrate.
+//! v3 files (raw column-addressable blobs, the pre-codec format) read
+//! identically through every path — eager, lazy, append, compact — and
+//! [`to_bytes_v3`] keeps the writer byte-for-byte. v2 files (whole-chunk
+//! blobs, footer-indexed; the PR-1 format) are supported eagerly via
+//! [`from_bytes`]/[`read_file`] and lazily via `FileSource`, which degrades
+//! to whole-chunk fetches since a v2 chunk is one blob. [`to_bytes_v2`]
+//! keeps the writer around. v1 files (a single eager header-first blob, no
+//! footer) are read by [`from_bytes`]; [`to_bytes_v1`] keeps that writer
+//! for round-trip tests and downgrades. Lazy opening requires v2+ —
+//! re-save a v1 file to migrate.
 
 use crate::bitpack::BitPacked;
 use crate::chunk::Chunk;
+use crate::codec::{self, Codec};
 use crate::column::ChunkColumn;
 use crate::dict::{ChunkDict, GlobalDict};
 use crate::rle::UserRle;
@@ -76,23 +94,37 @@ use std::path::Path;
 use std::sync::Arc;
 
 const MAGIC: u32 = 0x434F_4841; // "COHA"
-/// Current on-disk format version (column-addressable).
-pub const VERSION: u32 = 3;
+/// Current on-disk format version (column-addressable, per-blob codecs).
+pub const VERSION: u32 = 4;
 /// Bytes before the first blob: magic + version.
 const HEADER_LEN: u64 = 8;
 /// Bytes after the footer: footer_len u64 + magic u32.
 const TAIL_LEN: u64 = 12;
 
-/// Serialize a compressed table into the current (v3, column-addressable)
-/// format.
+/// Serialize a compressed table into the current (v4, column-addressable
+/// with per-blob codecs) format.
 pub fn to_bytes(table: &CompressedTable) -> Bytes {
+    to_bytes_versioned(table, VERSION)
+}
+
+/// Serialize in the v3 column-addressable format (raw blobs, 16-byte footer
+/// blob records) — byte-identical to what the pre-v4 writer produced. Kept
+/// for round-trip tests, downgrades, and producing files readable by
+/// v3-only consumers.
+pub fn to_bytes_v3(table: &CompressedTable) -> Bytes {
+    to_bytes_versioned(table, 3)
+}
+
+fn to_bytes_versioned(table: &CompressedTable, version: u32) -> Bytes {
+    debug_assert!(version == 3 || version == 4);
     let mut buf = BytesMut::new();
     buf.put_u32_le(MAGIC);
-    buf.put_u32_le(VERSION);
-    let layouts = write_v3_blobs(&mut buf, table.chunks(), table.schema(), 0);
+    buf.put_u32_le(version);
+    let layouts = write_blobs(&mut buf, table.chunks(), table.schema(), 0, version);
     let footer_start = buf.len() as u64;
-    write_v3_footer(
+    write_footer(
         &mut buf,
+        version,
         table.options().chunk_size,
         table.schema(),
         table.metas(),
@@ -111,12 +143,15 @@ pub fn to_bytes(table: &CompressedTable) -> Bytes {
 /// Write every chunk's blobs back-to-back into `buf`, returning their
 /// layouts with offsets shifted by `base` (the file offset `buf[0]` will
 /// land at — 0 when writing a whole image, the old file size when writing an
-/// appended region).
-fn write_v3_blobs(
+/// appended region). At `version >= 4` every column blob goes through codec
+/// selection; the RLE blob is always raw (its three packed arrays carry the
+/// scan-critical user runs, decoded for every touched chunk).
+fn write_blobs(
     buf: &mut BytesMut,
     chunks: &[Chunk],
     schema: &Schema,
     base: u64,
+    version: u32,
 ) -> Vec<ChunkLayout> {
     let arity = schema.arity();
     let user_idx = schema.user_idx();
@@ -124,29 +159,37 @@ fn write_v3_blobs(
     for chunk in chunks {
         let rle_offset = base + buf.len() as u64;
         write_rle_blob(buf, chunk.user_rle());
-        let rle = (rle_offset, base + buf.len() as u64 - rle_offset);
-        let mut cols = vec![(0u64, 0u64); arity];
+        let rle = BlobLoc::raw(rle_offset, base + buf.len() as u64 - rle_offset);
+        let mut cols = vec![BlobLoc::absent(); arity];
         for (idx, slot) in cols.iter_mut().enumerate() {
             if idx == user_idx {
                 continue;
             }
             let offset = base + buf.len() as u64;
-            write_column_blob(buf, chunk.column_required(idx));
-            *slot = (offset, base + buf.len() as u64 - offset);
+            let col = chunk.column_required(idx);
+            *slot = if version >= 4 {
+                let (codec, uncompressed) = write_column_blob_v4(buf, col);
+                BlobLoc { offset, len: base + buf.len() as u64 - offset, codec, uncompressed }
+            } else {
+                write_column_blob(buf, col);
+                BlobLoc::raw(offset, base + buf.len() as u64 - offset)
+            };
         }
         layouts.push(ChunkLayout { rle, cols });
     }
     layouts
 }
 
-/// Write a v3 footer (everything between the last blob and the tail):
+/// Write a v3/v4 footer (everything between the last blob and the tail):
 /// options + schema + global column metadata, the per-chunk index, and — for
 /// appended files — the dictionary-epoch extension. `epochs` and
 /// `chunk_epochs` must be empty or sized together (`chunk_epochs.len() ==
-/// layouts.len()`).
+/// layouts.len()`). v4 blob records additionally carry the codec tag and
+/// uncompressed size.
 #[allow(clippy::too_many_arguments)]
-fn write_v3_footer(
+fn write_footer(
     buf: &mut BytesMut,
+    version: u32,
     chunk_size: usize,
     schema: &Schema,
     metas: &[ColumnMeta],
@@ -157,6 +200,14 @@ fn write_v3_footer(
     chunk_epochs: &[u32],
 ) {
     let arity = schema.arity();
+    let write_loc = |buf: &mut BytesMut, loc: &BlobLoc| {
+        buf.put_u64_le(loc.offset);
+        buf.put_u64_le(loc.len);
+        if version >= 4 {
+            buf.put_u8(loc.codec.tag());
+            buf.put_u64_le(loc.uncompressed);
+        }
+    };
     buf.put_u64_le(chunk_size as u64);
     write_schema(buf, schema);
     for meta in metas {
@@ -165,11 +216,9 @@ fn write_v3_footer(
     buf.put_u64_le(num_rows);
     buf.put_u32_le(layouts.len() as u32);
     for (layout, entry) in layouts.iter().zip(entries) {
-        buf.put_u64_le(layout.rle.0);
-        buf.put_u64_le(layout.rle.1);
-        for (offset, len) in &layout.cols {
-            buf.put_u64_le(*offset);
-            buf.put_u64_le(*len);
+        write_loc(buf, &layout.rle);
+        for loc in &layout.cols {
+            write_loc(buf, loc);
         }
         write_entry_base(buf, entry);
         debug_assert_eq!(entry.column_stats.len(), arity);
@@ -260,8 +309,8 @@ pub fn to_bytes_v1(table: &CompressedTable) -> Bytes {
     buf.freeze()
 }
 
-/// Deserialize a compressed table from bytes (v1, v2 or v3), materializing
-/// every chunk.
+/// Deserialize a compressed table from bytes (v1–v4), materializing every
+/// chunk.
 pub fn from_bytes(data: &[u8]) -> Result<CompressedTable> {
     let mut buf = data;
     let magic = get_u32(&mut buf)?;
@@ -270,8 +319,7 @@ pub fn from_bytes(data: &[u8]) -> Result<CompressedTable> {
     }
     match get_u32(&mut buf)? {
         1 => from_bytes_v1(buf),
-        2 => from_bytes_footered(data, 2),
-        3 => from_bytes_footered(data, 3),
+        v @ 2..=4 => from_bytes_footered(data, v),
         v => Err(StorageError::BadVersion(v)),
     }
 }
@@ -302,32 +350,34 @@ fn from_bytes_v1(mut buf: &[u8]) -> Result<CompressedTable> {
     )
 }
 
-/// v2/v3: parse the footer from the tail, then decode every blob.
+/// v2/v3/v4: parse the footer from the tail, then decode every blob.
 fn from_bytes_footered(data: &[u8], version: u32) -> Result<CompressedTable> {
     let footer = parse_footer_region(data, version)?;
     let arity = footer.meta.schema().arity();
     let mut chunks = Vec::with_capacity(footer.locations.len());
     match &footer.layouts {
-        // v3: assemble each chunk from its independently addressed blobs.
+        // v3/v4: assemble each chunk from its independently addressed blobs.
         Some(layouts) => {
             let user_idx = footer.meta.schema().user_idx();
             for (ci, layout) in layouts.iter().enumerate() {
                 let corrupt = |e: StorageError| StorageError::Corrupt(format!("chunk {ci}: {e}"));
-                let (start, end) = (layout.rle.0 as usize, (layout.rle.0 + layout.rle.1) as usize);
+                let (start, end) =
+                    (layout.rle.offset as usize, (layout.rle.offset + layout.rle.len) as usize);
                 let mut rle = decode_rle_blob(&data[start..end]).map_err(corrupt)?;
                 if let Some(remap) = footer.remap_for(ci, user_idx) {
                     rle = rle.remap_users(remap).map_err(corrupt)?;
                 }
                 let mut columns: Vec<Option<Arc<ChunkColumn>>> = vec![None; arity];
-                for (idx, col_loc) in layout.cols.iter().enumerate() {
+                for (idx, loc) in layout.cols.iter().enumerate() {
                     if idx == user_idx {
                         continue;
                     }
-                    let (start, end) = (col_loc.0 as usize, (col_loc.0 + col_loc.1) as usize);
+                    let (start, end) = (loc.offset as usize, (loc.offset + loc.len) as usize);
                     let col_err = |e: StorageError| {
                         StorageError::Corrupt(format!("chunk {ci}: col {idx}: {e}"))
                     };
-                    let mut col = decode_column_blob(&data[start..end]).map_err(col_err)?;
+                    let mut col =
+                        decode_column_blob_loc(&data[start..end], loc).map_err(col_err)?;
                     if let Some(remap) = footer.remap_for(ci, idx) {
                         col = col.remap_gids(remap).map_err(col_err)?;
                     }
@@ -368,7 +418,7 @@ fn from_bytes_footered(data: &[u8], version: u32) -> Result<CompressedTable> {
     Ok(table)
 }
 
-/// Write a compressed table to a file (current v3 format).
+/// Write a compressed table to a file (current v4 format).
 pub fn write_file(table: &CompressedTable, path: &Path) -> Result<()> {
     std::fs::write(path, to_bytes(table))?;
     Ok(())
@@ -424,18 +474,19 @@ pub struct CompactStats {
     pub rows: usize,
 }
 
-/// Check that a file starts with the v3 header, with an operation-specific
-/// hint for v1/v2 files (which are immutable snapshots in those formats).
-fn require_v3(header: &[u8], what: &str) -> Result<()> {
+/// Check that a file starts with a growable (v3/v4) header and return its
+/// version, with an operation-specific hint for v1/v2 files (which are
+/// immutable snapshots in those formats).
+fn require_growable(header: &[u8], what: &str) -> Result<u32> {
     let mut cur = header;
     let magic = get_u32(&mut cur)?;
     if magic != MAGIC {
         return Err(StorageError::Corrupt(format!("bad magic {magic:#x}")));
     }
     match get_u32(&mut cur)? {
-        3 => Ok(()),
+        v @ (3 | 4) => Ok(v),
         v @ (1 | 2) => Err(StorageError::Unsupported(format!(
-            "cannot {what} a version {v} file: only v3 column-addressable files support in-place \
+            "cannot {what} a version {v} file: only v3+ column-addressable files support in-place \
              growth; load it eagerly with persist::read_file and re-save with persist::write_file \
              to migrate"
         ))),
@@ -450,7 +501,7 @@ fn read_exact_at(file: &mut std::fs::File, offset: u64, len: u64) -> Result<Vec<
     Ok(buf)
 }
 
-/// Decode one chunk of an open v3 file into current-dictionary terms.
+/// Decode one chunk of an open v3/v4 file into current-dictionary terms.
 /// `rle` is the chunk's already-decoded (and remapped) user column when the
 /// caller has it — the returning-user scan decodes every RLE anyway.
 fn read_chunk_at(
@@ -464,7 +515,8 @@ fn read_chunk_at(
     let rle = match rle {
         Some(rle) => rle,
         None => {
-            let mut rle = decode_rle_blob(&read_exact_at(file, layout.rle.0, layout.rle.1)?)?;
+            let mut rle =
+                decode_rle_blob(&read_exact_at(file, layout.rle.offset, layout.rle.len)?)?;
             if let Some(remap) = footer.remap_for(ci, schema.user_idx()) {
                 rle = rle.remap_users(remap)?;
             }
@@ -476,7 +528,7 @@ fn read_chunk_at(
         if idx == schema.user_idx() {
             continue;
         }
-        let mut col = decode_column_blob(&read_exact_at(file, loc.0, loc.1)?)?;
+        let mut col = decode_column_blob_loc(&read_exact_at(file, loc.offset, loc.len)?, loc)?;
         if let Some(remap) = footer.remap_for(ci, idx) {
             col = col.remap_gids(remap)?;
         }
@@ -515,7 +567,9 @@ fn compose_remaps(a: &EpochRemaps, step: &EpochRemaps) -> Result<EpochRemaps> {
         .collect()
 }
 
-/// Extend an existing v3 file **in place** with a batch of activity tuples.
+/// Extend an existing v3/v4 file **in place** with a batch of activity
+/// tuples, preserving the file's format version (v4 appends codec-compress
+/// the new blobs, v3 appends stay raw).
 ///
 /// The batch is sorted and encoded into chunk-sized runs against the file's
 /// dictionaries *merged* with the batch's new values; the new chunks' blobs
@@ -556,7 +610,7 @@ pub fn append(path: &Path, batch: &ActivityTable) -> Result<AppendStats> {
         return Err(StorageError::Corrupt("file too short for header + tail".into()));
     }
     let header = read_exact_at(&mut file, 0, HEADER_LEN)?;
-    require_v3(&header, "append to")?;
+    let version = require_growable(&header, "append to")?;
     let footer = read_footer_from_file(&mut file)?;
     let schema = footer.meta.schema().clone();
     if &schema != batch.schema() {
@@ -574,7 +628,7 @@ pub fn append(path: &Path, batch: &ActivityTable) -> Result<AppendStats> {
             ..AppendStats::default()
         });
     }
-    let layouts = footer.layouts.as_ref().expect("v3 footers always carry layouts").clone();
+    let layouts = footer.layouts.as_ref().expect("v3+ footers always carry layouts").clone();
 
     // Merge the batch's new values into every dictionary, remembering the
     // strictly increasing remap of each old dictionary into its merged form;
@@ -620,8 +674,9 @@ pub fn append(path: &Path, batch: &ActivityTable) -> Result<AppendStats> {
     let mut affected_rles: Vec<Option<UserRle>> = (0..chunks_before).map(|_| None).collect();
     if !returning.is_empty() {
         for (ci, layout) in layouts.iter().enumerate() {
-            let mut rle = decode_rle_blob(&read_exact_at(&mut file, layout.rle.0, layout.rle.1)?)
-                .map_err(|e| StorageError::Corrupt(format!("chunk {ci}: {e}")))?;
+            let mut rle =
+                decode_rle_blob(&read_exact_at(&mut file, layout.rle.offset, layout.rle.len)?)
+                    .map_err(|e| StorageError::Corrupt(format!("chunk {ci}: {e}")))?;
             if let Some(remap) = footer.remap_for(ci, user_idx) {
                 rle = rle
                     .remap_users(remap)
@@ -699,7 +754,7 @@ pub fn append(path: &Path, batch: &ActivityTable) -> Result<AppendStats> {
         chunk_epochs.push(old_epoch_of(ci));
     }
     let mut tail_buf = BytesMut::new();
-    let new_layouts = write_v3_blobs(&mut tail_buf, delta_ct.chunks(), &schema, total);
+    let new_layouts = write_blobs(&mut tail_buf, delta_ct.chunks(), &schema, total, version);
     for (layout, entry) in new_layouts.into_iter().zip(delta_ct.index_entries()) {
         all_layouts.push(layout);
         all_entries.push(entry.clone());
@@ -708,8 +763,9 @@ pub fn append(path: &Path, batch: &ActivityTable) -> Result<AppendStats> {
     let num_rows: u64 = all_entries.iter().map(|e| e.num_rows).sum();
 
     let footer_start = total + tail_buf.len() as u64;
-    write_v3_footer(
+    write_footer(
         &mut tail_buf,
+        version,
         footer.meta.options().chunk_size,
         &schema,
         &metas,
@@ -731,7 +787,7 @@ pub fn append(path: &Path, batch: &ActivityTable) -> Result<AppendStats> {
 
     let file_bytes = total + tail_buf.len() as u64;
     let live_payload: u64 =
-        all_layouts.iter().map(|l| l.rle.1 + l.cols.iter().map(|(_, len)| *len).sum::<u64>()).sum();
+        all_layouts.iter().map(|l| l.rle.len + l.cols.iter().map(|loc| loc.len).sum::<u64>()).sum();
     Ok(AppendStats {
         rows_appended: batch.num_rows(),
         chunks_before,
@@ -750,20 +806,22 @@ fn dead_bytes(total: u64, footer: &Footer) -> u64 {
     total - HEADER_LEN - live - footer_len - TAIL_LEN
 }
 
-/// Rewrite a v3 file compactly: decode everything (through any dictionary
-/// epochs), re-sort into the paper's §3 `(user, time, action)` primary
-/// order, re-chunk at the configured target size, rebuild minimal sorted
-/// dictionaries, and atomically replace the file (write to a sibling temp
-/// file, then rename). This merges the under-filled chunks appends leave
-/// behind, restores the §4.2 pruning quality of time-clustered chunks, drops
-/// every dead byte, and resets the epoch history.
+/// Rewrite a v3/v4 file compactly: decode everything (through any
+/// dictionary epochs), re-sort into the paper's §3 `(user, time, action)`
+/// primary order, re-chunk at the configured target size, rebuild minimal
+/// sorted dictionaries, and atomically replace the file (write to a sibling
+/// temp file, then rename). This merges the under-filled chunks appends
+/// leave behind, restores the §4.2 pruning quality of time-clustered
+/// chunks, drops every dead byte, and resets the epoch history. The rewrite
+/// always emits the current [`VERSION`], so compacting a v3 file doubles as
+/// the v3 → v4 migration path.
 pub fn compact(path: &Path) -> Result<CompactStats> {
     let data = std::fs::read(path)?;
     let bytes_before = data.len() as u64;
     if data.len() < HEADER_LEN as usize {
         return Err(StorageError::Corrupt("file too short for header".into()));
     }
-    require_v3(&data[..HEADER_LEN as usize], "compact")?;
+    require_growable(&data[..HEADER_LEN as usize], "compact")?;
     let table = from_bytes(&data)?;
     let chunks_before = table.chunks().len();
     let rows = table.decompress()?;
@@ -786,16 +844,176 @@ pub fn compact(path: &Path) -> Result<CompactStats> {
     })
 }
 
+// --------------------------------------------------------------- inspect
+
+/// Aggregate statistics for one codec across every blob of a file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CodecStats {
+    /// Number of blobs (RLE + column) encoded with this codec.
+    pub blobs: usize,
+    /// Total on-disk bytes of those blobs.
+    pub compressed_bytes: u64,
+    /// Total bytes those blobs decode (serialize raw) to.
+    pub uncompressed_bytes: u64,
+    /// Wall time [`inspect`] spent decoding those blobs, in nanoseconds.
+    pub decode_nanos: u64,
+}
+
+/// Per-attribute compression summary. The user attribute's row covers the
+/// RLE user blob, which is always raw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnCompression {
+    /// Attribute name from the schema.
+    pub name: String,
+    /// Total on-disk bytes across all chunks.
+    pub compressed_bytes: u64,
+    /// Total decoded (raw v3-serialized) bytes across all chunks.
+    pub uncompressed_bytes: u64,
+}
+
+impl ColumnCompression {
+    /// Uncompressed-to-compressed size ratio (1.0 for raw columns).
+    pub fn ratio(&self) -> f64 {
+        self.uncompressed_bytes as f64 / self.compressed_bytes.max(1) as f64
+    }
+}
+
+/// What [`inspect`] reports about a column-addressable (v3/v4) file.
+#[derive(Debug, Clone)]
+pub struct FormatInfo {
+    /// On-disk format version (3 or 4).
+    pub version: u32,
+    /// Total rows across all chunks.
+    pub num_rows: usize,
+    /// Number of chunks.
+    pub num_chunks: usize,
+    /// One entry per schema attribute, in schema order.
+    pub columns: Vec<ColumnCompression>,
+    /// Aggregates indexed by codec tag: raw, delta, ans.
+    pub codecs: [CodecStats; 3],
+}
+
+impl FormatInfo {
+    /// Total live on-disk payload bytes (header, footer and any dead bytes
+    /// excluded).
+    pub fn compressed_bytes(&self) -> u64 {
+        self.columns.iter().map(|c| c.compressed_bytes).sum()
+    }
+
+    /// Total decoded payload bytes.
+    pub fn uncompressed_bytes(&self) -> u64 {
+        self.columns.iter().map(|c| c.uncompressed_bytes).sum()
+    }
+
+    /// Whole-payload uncompressed-to-compressed ratio.
+    pub fn ratio(&self) -> f64 {
+        self.uncompressed_bytes() as f64 / self.compressed_bytes().max(1) as f64
+    }
+}
+
+/// Walk every live blob of a v3/v4 file, decode each through its codec
+/// tag, and report per-column and per-codec size and decode-time
+/// aggregates. This is the measurement backbone of the `lazy-io` bench
+/// experiment and doubles as a whole-file decode validation pass.
+pub fn inspect(path: &Path) -> Result<FormatInfo> {
+    let data = std::fs::read(path)?;
+    if data.len() < HEADER_LEN as usize {
+        return Err(StorageError::Corrupt("file too short for header".into()));
+    }
+    let mut cur = &data[..HEADER_LEN as usize];
+    let magic = get_u32(&mut cur)?;
+    if magic != MAGIC {
+        return Err(StorageError::Corrupt(format!("bad magic {magic:#x}")));
+    }
+    let version = get_u32(&mut cur)?;
+    if !matches!(version, 3 | 4) {
+        return Err(StorageError::Unsupported(format!(
+            "inspect needs the per-blob layouts of a v3/v4 file, got version {version}"
+        )));
+    }
+    let footer = parse_footer_region(&data, version)?;
+    let layouts = footer.layouts.as_ref().expect("v3+ footers always carry layouts");
+    let schema = footer.meta.schema();
+    let user_idx = schema.user_idx();
+    let mut columns: Vec<ColumnCompression> = (0..schema.arity())
+        .map(|i| ColumnCompression {
+            name: schema.attribute(i).name.clone(),
+            compressed_bytes: 0,
+            uncompressed_bytes: 0,
+        })
+        .collect();
+    let mut codecs = [CodecStats::default(); 3];
+    let mut record = |columns: &mut Vec<ColumnCompression>, idx: usize, loc: &BlobLoc, ns: u64| {
+        columns[idx].compressed_bytes += loc.len;
+        columns[idx].uncompressed_bytes += loc.uncompressed;
+        let c = &mut codecs[loc.codec.tag() as usize];
+        c.blobs += 1;
+        c.compressed_bytes += loc.len;
+        c.uncompressed_bytes += loc.uncompressed;
+        c.decode_nanos += ns;
+    };
+    for layout in layouts {
+        let loc = &layout.rle;
+        let blob = &data[loc.offset as usize..(loc.offset + loc.len) as usize];
+        let start = std::time::Instant::now();
+        decode_rle_blob(blob)?;
+        record(&mut columns, user_idx, loc, start.elapsed().as_nanos() as u64);
+        for (idx, loc) in layout.cols.iter().enumerate() {
+            if idx == user_idx {
+                continue;
+            }
+            let blob = &data[loc.offset as usize..(loc.offset + loc.len) as usize];
+            let start = std::time::Instant::now();
+            decode_column_blob_loc(blob, loc)?;
+            record(&mut columns, idx, loc, start.elapsed().as_nanos() as u64);
+        }
+    }
+    Ok(FormatInfo {
+        version,
+        num_rows: footer.meta.num_rows(),
+        num_chunks: layouts.len(),
+        columns,
+        codecs,
+    })
+}
+
 // ------------------------------------------------------------------ footer
 
-/// Byte locations of one v3 chunk's blobs: the RLE user column plus one
-/// entry per attribute (`(0, 0)` at the user attribute's position).
+/// The byte location of one blob plus how it is encoded: where it lives,
+/// how many bytes it occupies on disk, the codec its packed-array section
+/// was written with, and the exact length the blob serializes to once
+/// decoded back to raw v3 form. For v1–v3 files `codec` is always
+/// [`Codec::Raw`] and `uncompressed == len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BlobLoc {
+    pub(crate) offset: u64,
+    pub(crate) len: u64,
+    pub(crate) codec: Codec,
+    pub(crate) uncompressed: u64,
+}
+
+impl BlobLoc {
+    /// A raw (uncompressed) blob: on-disk bytes are the decoded bytes.
+    pub(crate) fn raw(offset: u64, len: u64) -> Self {
+        BlobLoc { offset, len, codec: Codec::Raw, uncompressed: len }
+    }
+
+    /// The all-zero placeholder used at the user attribute's column slot
+    /// (the user column lives in the RLE blob instead).
+    pub(crate) fn absent() -> Self {
+        BlobLoc { offset: 0, len: 0, codec: Codec::Raw, uncompressed: 0 }
+    }
+}
+
+/// Byte locations of one v3/v4 chunk's blobs: the RLE user column plus one
+/// entry per attribute ([`BlobLoc::absent`] at the user attribute's
+/// position).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct ChunkLayout {
-    /// `(offset, len)` of the RLE blob.
-    pub(crate) rle: (u64, u64),
-    /// `(offset, len)` of each attribute's column blob.
-    pub(crate) cols: Vec<(u64, u64)>,
+    /// Location of the RLE blob (always raw).
+    pub(crate) rle: BlobLoc,
+    /// Location of each attribute's column blob.
+    pub(crate) cols: Vec<BlobLoc>,
 }
 
 /// One dictionary epoch's gid remaps: for every attribute, either `None`
@@ -818,7 +1036,7 @@ pub(crate) struct Footer {
     /// files may have dead-byte gaps *between* spans (superseded chunk
     /// versions and earlier footers), never inside one.
     pub(crate) locations: Vec<(u64, u64)>,
-    /// v3 only: the per-blob layout of every chunk.
+    /// v3/v4 only: the per-blob layout of every chunk.
     pub(crate) layouts: Option<Vec<ChunkLayout>>,
     /// Non-current dictionary epochs, oldest first (empty for files never
     /// appended to, or fully rewritten by [`compact`]).
@@ -896,8 +1114,10 @@ fn read_footer(mut buf: &[u8], footer_start: u64, version: u32) -> Result<Footer
     // its fixed-size fields.
     let min_entry = match version {
         2 => 52,
-        // rle loc + per-attr locs + counts/bounds + n_actions + 1-byte
-        // stats tags.
+        // rle record + per-attr records + counts/bounds + n_actions +
+        // 1-byte stats tags. v4 blob records additionally carry a codec
+        // tag and an uncompressed length (9 bytes per blob).
+        4 => 25 + 25 * arity + 32 + 4 + arity,
         _ => 16 + 16 * arity + 32 + 4 + arity,
     };
     if num_chunks > buf.remaining() / min_entry {
@@ -916,7 +1136,7 @@ fn read_footer(mut buf: &[u8], footer_start: u64, version: u32) -> Result<Footer
         // (`offset < footer_start` is checked first), so a crafted length
         // near u64::MAX cannot wrap the bound check.
         let span_start;
-        let mut take_blob = |buf: &mut &[u8], what: &str, gap_ok: bool| -> Result<(u64, u64)> {
+        let mut take_blob = |buf: &mut &[u8], what: &str, gap_ok: bool| -> Result<BlobLoc> {
             let offset = get_u64(buf)?;
             let len = get_u64(buf)?;
             let misplaced =
@@ -928,17 +1148,52 @@ fn read_footer(mut buf: &[u8], footer_start: u64, version: u32) -> Result<Footer
                 )));
             }
             expected_offset = offset + len;
-            Ok((offset, len))
+            if version < 4 {
+                return Ok(BlobLoc::raw(offset, len));
+            }
+            let tag = get_u8(buf)?;
+            let uncompressed = get_u64(buf)?;
+            let codec = Codec::from_tag(tag).ok_or_else(|| {
+                StorageError::Corrupt(format!("chunk {ci}: {what} has unknown codec tag {tag}"))
+            })?;
+            // The write-time selector only picks a non-raw codec when it is
+            // *strictly* smaller than raw, and the decoded size of any blob
+            // is bounded by its row count (plus small per-blob headers), so
+            // both inequalities are hard invariants, not heuristics. The
+            // row-count bound caps what a crafted footer can make the
+            // decoder allocate.
+            let valid = match codec {
+                Codec::Raw => uncompressed == len,
+                _ => uncompressed > len && uncompressed <= 64 + 16 * num_rows as u64,
+            };
+            if !valid {
+                return Err(StorageError::Corrupt(format!(
+                    "chunk {ci}: {what} uncompressed length {uncompressed} is inconsistent \
+                     with its {len}-byte {} blob",
+                    codec.name(),
+                )));
+            }
+            Ok(BlobLoc { offset, len, codec, uncompressed })
         };
         let layout = if version >= 3 {
             let rle = take_blob(&mut buf, "rle", true)?;
-            span_start = rle.0;
-            let mut cols = vec![(0u64, 0u64); arity];
+            if rle.codec != Codec::Raw {
+                return Err(StorageError::Corrupt(format!(
+                    "chunk {ci}: rle blob must be raw, found codec {}",
+                    rle.codec.name(),
+                )));
+            }
+            span_start = rle.offset;
+            let mut cols = vec![BlobLoc::absent(); arity];
             for (idx, slot) in cols.iter_mut().enumerate() {
                 if idx == schema.user_idx() {
                     let offset = get_u64(&mut buf)?;
                     let len = get_u64(&mut buf)?;
-                    if (offset, len) != (0, 0) {
+                    let mut zero = (offset, len) == (0, 0);
+                    if version >= 4 {
+                        zero &= get_u8(&mut buf)? == 0 && get_u64(&mut buf)? == 0;
+                    }
+                    if !zero {
                         return Err(StorageError::Corrupt(format!(
                             "chunk {ci}: user column has a blob location"
                         )));
@@ -950,7 +1205,7 @@ fn read_footer(mut buf: &[u8], footer_start: u64, version: u32) -> Result<Footer
             Some(ChunkLayout { rle, cols })
         } else {
             let chunk = take_blob(&mut buf, "chunk", true)?;
-            span_start = chunk.0;
+            span_start = chunk.offset;
             None
         };
         let num_rows = get_u64(&mut buf)?;
@@ -1113,7 +1368,7 @@ pub(crate) fn read_footer_from_file(file: &mut std::fs::File) -> Result<Footer> 
         return Err(StorageError::Corrupt(format!("bad magic {magic:#x}")));
     }
     let version = match get_u32(&mut cur)? {
-        v @ (2 | 3) => v,
+        v @ 2..=4 => v,
         1 => {
             return Err(StorageError::Unsupported(
                 "version 1 files have no chunk index footer and cannot be opened lazily; \
@@ -1184,6 +1439,58 @@ pub(crate) fn decode_column_blob(blob: &[u8]) -> Result<ChunkColumn> {
         )));
     }
     Ok(col)
+}
+
+/// Decode one column blob through its footer record: raw blobs take the v3
+/// path unchanged; codec-compressed blobs parse the raw header, then hand
+/// the remaining bytes to [`codec::decode_array`] with the exact raw
+/// section length implied by `loc.uncompressed` — which the codecs verify
+/// against their own embedded width/length *before* allocating, and which
+/// pins the decoded blob's v3 serialization to exactly `uncompressed`
+/// bytes.
+pub(crate) fn decode_column_blob_loc(blob: &[u8], loc: &BlobLoc) -> Result<ChunkColumn> {
+    if loc.codec == Codec::Raw {
+        return decode_column_blob(blob);
+    }
+    let mut buf = blob;
+    let col = match get_u8(&mut buf)? {
+        1 => {
+            let n = get_u32(&mut buf)? as usize;
+            if n > buf.remaining() / 4 {
+                return Err(StorageError::Corrupt(format!(
+                    "chunk dictionary count {n} overruns input"
+                )));
+            }
+            let mut gids = Vec::with_capacity(n);
+            for _ in 0..n {
+                gids.push(get_u32(&mut buf)?);
+            }
+            let dict = ChunkDict::from_sorted(gids)?;
+            let header_len = 5 + 4 * dict.len() as u64;
+            let expected = section_len(loc, header_len)?;
+            let codes = codec::decode_array(loc.codec, buf, expected)?;
+            ChunkColumn::Str { dict, codes }
+        }
+        2 => {
+            let min = get_i64(&mut buf)?;
+            let max = get_i64(&mut buf)?;
+            let deltas = codec::decode_array(loc.codec, buf, section_len(loc, 17)?)?;
+            ChunkColumn::Int { min, max, deltas }
+        }
+        t => return Err(StorageError::Corrupt(format!("bad column tag {t}"))),
+    };
+    Ok(col)
+}
+
+/// The raw packed-section length a blob's footer record implies once its
+/// `header_len`-byte raw header is accounted for.
+fn section_len(loc: &BlobLoc, header_len: u64) -> Result<u64> {
+    loc.uncompressed.checked_sub(header_len).ok_or_else(|| {
+        StorageError::Corrupt(format!(
+            "blob uncompressed length {} is shorter than its {header_len}-byte header",
+            loc.uncompressed
+        ))
+    })
 }
 
 // ---------------------------------------------------------------- helpers
@@ -1425,6 +1732,35 @@ fn write_column_blob(buf: &mut BytesMut, col: &ChunkColumn) {
     }
 }
 
+/// One column segment with v4 codec selection on its packed-array section:
+/// the tag + dictionary / min-max header stays raw (it is a few bytes and
+/// the footer parser needs nothing from it), then the bit-packed array is
+/// written with whichever codec [`codec::encode_array`] picked. Returns the
+/// chosen codec and the exact length the blob would have serialized to raw
+/// (the v3 length), which the footer records as `uncompressed`. A blob
+/// whose section stays [`Codec::Raw`] is byte-identical to its v3 form.
+fn write_column_blob_v4(buf: &mut BytesMut, col: &ChunkColumn) -> (Codec, u64) {
+    let (packed, header_len) = match col {
+        ChunkColumn::Str { dict, codes } => {
+            buf.put_u8(1);
+            buf.put_u32_le(dict.len() as u32);
+            for gid in dict.global_ids() {
+                buf.put_u32_le(*gid);
+            }
+            (codes, 5 + 4 * dict.len() as u64)
+        }
+        ChunkColumn::Int { min, max, deltas } => {
+            buf.put_u8(2);
+            buf.put_u64_le(*min as u64);
+            buf.put_u64_le(*max as u64);
+            (deltas, 17u64)
+        }
+    };
+    let (chosen, section) = codec::encode_array(packed);
+    buf.put_slice(&section);
+    (chosen, header_len + codec::raw_section_len(packed.width(), packed.len() as u64))
+}
+
 /// One tagged column segment (0 = absent, 1 = string, 2 = integer).
 fn read_column(buf: &mut &[u8]) -> Result<Option<ChunkColumn>> {
     match get_u8(buf)? {
@@ -1495,8 +1831,16 @@ mod tests {
         CompressedTable::build(&t, CompressionOptions::with_chunk_size(256)).unwrap()
     }
 
+    /// A dataset large enough that per-chunk codec selection actually picks
+    /// non-raw codecs (the tiny 256-row chunks of [`compressed`] amortize no
+    /// frequency table).
+    fn compressed_large() -> CompressedTable {
+        let t = generate(&GeneratorConfig::new(200));
+        CompressedTable::build(&t, CompressionOptions::with_chunk_size(16 * 1024)).unwrap()
+    }
+
     #[test]
-    fn roundtrip_bytes_v3() {
+    fn roundtrip_bytes_v4() {
         let c = compressed();
         let bytes = to_bytes(&c);
         let back = from_bytes(&bytes).unwrap();
@@ -1505,6 +1849,36 @@ mod tests {
         assert_eq!(back.schema(), c.schema());
         assert_eq!(back.index_entries(), c.index_entries());
         // Full decode equality.
+        assert_eq!(back.decompress().unwrap().rows(), c.decompress().unwrap().rows());
+    }
+
+    #[test]
+    fn roundtrip_bytes_v3() {
+        let c = compressed();
+        let bytes = to_bytes_v3(&c);
+        assert_eq!(&bytes[4..8], 3u32.to_le_bytes());
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.num_rows(), c.num_rows());
+        assert_eq!(back.chunks(), c.chunks());
+        assert_eq!(back.index_entries(), c.index_entries());
+        assert_eq!(back.decompress().unwrap().rows(), c.decompress().unwrap().rows());
+    }
+
+    #[test]
+    fn roundtrip_bytes_v4_with_compressed_blobs() {
+        // Large chunks make the codec selector actually choose non-raw
+        // codecs; the round trip must still reproduce the table exactly.
+        let c = compressed_large();
+        let v4 = to_bytes(&c);
+        let v3 = to_bytes_v3(&c);
+        assert!(
+            v4.len() < v3.len(),
+            "v4 image ({}) should be smaller than v3 ({}) on realistic chunks",
+            v4.len(),
+            v3.len()
+        );
+        let back = from_bytes(&v4).unwrap();
+        assert_eq!(back.chunks(), c.chunks());
         assert_eq!(back.decompress().unwrap().rows(), c.decompress().unwrap().rows());
     }
 
@@ -1531,10 +1905,11 @@ mod tests {
     }
 
     #[test]
-    fn v3_header_declares_version_3() {
+    fn v4_header_declares_version_4() {
         let bytes = to_bytes(&compressed());
         assert_eq!(&bytes[0..4], MAGIC.to_le_bytes());
         assert_eq!(&bytes[4..8], VERSION.to_le_bytes());
+        assert_eq!(VERSION, 4);
         // Tail carries the magic too.
         assert_eq!(&bytes[bytes.len() - 4..], MAGIC.to_le_bytes());
     }
@@ -1553,7 +1928,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        for writer in [to_bytes, to_bytes_v2, to_bytes_v1] {
+        for writer in [to_bytes, to_bytes_v3, to_bytes_v2, to_bytes_v1] {
             let mut bytes = writer(&compressed()).to_vec();
             bytes[0] ^= 0xFF;
             assert!(matches!(from_bytes(&bytes).unwrap_err(), StorageError::Corrupt(_)));
@@ -1562,7 +1937,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_tail_magic() {
-        for writer in [to_bytes, to_bytes_v2] {
+        for writer in [to_bytes, to_bytes_v3, to_bytes_v2] {
             let mut bytes = writer(&compressed()).to_vec();
             let last = bytes.len() - 1;
             bytes[last] ^= 0xFF;
@@ -1579,7 +1954,7 @@ mod tests {
 
     #[test]
     fn rejects_truncation_everywhere() {
-        for writer in [to_bytes, to_bytes_v2, to_bytes_v1] {
+        for writer in [to_bytes, to_bytes_v3, to_bytes_v2, to_bytes_v1] {
             let bytes = writer(&compressed()).to_vec();
             // Truncating at any prefix must error, never panic.
             for cut in (0..bytes.len().min(400)).chain([bytes.len() - 1]) {
@@ -1590,9 +1965,9 @@ mod tests {
 
     #[test]
     fn rejects_trailing_garbage() {
-        // v1 detects trailing bytes directly; v2/v3's tail magic lands on
-        // the wrong bytes once anything is appended.
-        for writer in [to_bytes, to_bytes_v2, to_bytes_v1] {
+        // v1 detects trailing bytes directly; the footered formats' tail
+        // magic lands on the wrong bytes once anything is appended.
+        for writer in [to_bytes, to_bytes_v3, to_bytes_v2, to_bytes_v1] {
             let mut bytes = writer(&compressed()).to_vec();
             bytes.push(0);
             assert!(from_bytes(&bytes).is_err());
@@ -1648,7 +2023,7 @@ mod tests {
         let c = compressed();
         assert!(c.chunks().len() >= 2);
         let arity = c.schema().arity();
-        let bytes = to_bytes(&c).to_vec();
+        let bytes = to_bytes_v3(&c).to_vec();
         let tail = bytes.len() - 12;
         let entries_size: usize = c.index_entries().iter().map(|e| v3_entry_size(arity, e)).sum();
         let e0 = tail - entries_size;
@@ -1658,9 +2033,171 @@ mod tests {
         assert!(matches!(from_bytes(&crafted), Err(StorageError::Corrupt(_))));
     }
 
+    /// Byte size of one v4 footer entry: every blob record grows by a codec
+    /// tag byte and an uncompressed-length u64.
+    fn v4_entry_size(arity: usize, e: &ChunkIndexEntry) -> usize {
+        v3_entry_size(arity, e) + 9 * (arity + 1)
+    }
+
+    /// Footer byte offset of the first chunk's entry in a v4 image with no
+    /// epoch extension (entries run up to the tail).
+    fn v4_first_entry_offset(c: &CompressedTable, bytes: &[u8]) -> usize {
+        let arity = c.schema().arity();
+        let entries_size: usize = c.index_entries().iter().map(|e| v4_entry_size(arity, e)).sum();
+        bytes.len() - 12 - entries_size
+    }
+
+    #[test]
+    fn rejects_crafted_overflow_locations_v4() {
+        let c = compressed();
+        assert!(c.chunks().len() >= 2);
+        let bytes = to_bytes(&c).to_vec();
+        let e0 = v4_first_entry_offset(&c, &bytes);
+        let mut crafted = bytes.clone();
+        // rle_len is still the second u64 of the first entry's rle record.
+        crafted[e0 + 8..e0 + 16].copy_from_slice(&(u64::MAX - 7).to_le_bytes());
+        assert!(matches!(from_bytes(&crafted), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_bad_codec_tags_v4() {
+        let c = compressed();
+        let bytes = to_bytes(&c).to_vec();
+        let e0 = v4_first_entry_offset(&c, &bytes);
+        // The rle record's codec tag (offset 16 within the record): an
+        // unknown tag and a known-but-forbidden one must both be rejected.
+        for tag in [7u8, Codec::Delta.tag()] {
+            let mut crafted = bytes.clone();
+            crafted[e0 + 16] = tag;
+            assert!(matches!(from_bytes(&crafted), Err(StorageError::Corrupt(_))), "tag {tag}");
+        }
+    }
+
+    #[test]
+    fn rejects_tampered_uncompressed_length_v4() {
+        let c = compressed();
+        let bytes = to_bytes(&c).to_vec();
+        let e0 = v4_first_entry_offset(&c, &bytes);
+        // A raw blob's uncompressed length must equal its on-disk length;
+        // growing it by one must fail footer validation.
+        let rle_unc = u64::from_le_bytes(bytes[e0 + 17..e0 + 25].try_into().unwrap());
+        let mut crafted = bytes.clone();
+        crafted[e0 + 17..e0 + 25].copy_from_slice(&(rle_unc + 1).to_le_bytes());
+        assert!(matches!(from_bytes(&crafted), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_tampered_uncompressed_length_on_compressed_blob_v4() {
+        // Find a genuinely compressed blob through the parsed footer, then
+        // nudge its uncompressed length so footer validation still passes
+        // (> len, within the row bound) but the codec's own embedded
+        // width/length no longer matches — the decoder must reject it.
+        let c = compressed_large();
+        let bytes = to_bytes(&c).to_vec();
+        let footer = parse_footer_region(&bytes, 4).unwrap();
+        let layouts = footer.layouts.as_ref().unwrap();
+        let arity = c.schema().arity();
+        let mut entry_start = v4_first_entry_offset(&c, &bytes);
+        let mut target = None;
+        'outer: for (ci, layout) in layouts.iter().enumerate() {
+            for (j, loc) in layout.cols.iter().enumerate() {
+                if loc.codec != Codec::Raw {
+                    target = Some(entry_start + 25 + 25 * j);
+                    break 'outer;
+                }
+            }
+            entry_start += v4_entry_size(arity, &c.index_entries()[ci]);
+        }
+        let record = target.expect("large chunks must produce at least one compressed blob");
+        let unc_at = record + 17;
+        let unc = u64::from_le_bytes(bytes[unc_at..unc_at + 8].try_into().unwrap());
+        let mut crafted = bytes.clone();
+        crafted[unc_at..unc_at + 8].copy_from_slice(&(unc + 8).to_le_bytes());
+        assert!(from_bytes(&crafted).is_err());
+    }
+
+    #[test]
+    fn append_preserves_file_version() {
+        let dir = std::env::temp_dir().join("cohana-persist-version-preserve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rows = generate(&GeneratorConfig::small());
+        let (first, rest) = rows.rows().split_at(rows.rows().len() / 2);
+        let opts = CompressionOptions::with_chunk_size(256);
+        let build_table = |slice: &[cohana_activity::Tuple]| {
+            let mut b = TableBuilder::new(rows.schema().clone());
+            for row in slice {
+                b.push(row.values().to_vec()).unwrap();
+            }
+            b.finish().unwrap()
+        };
+        let tail = build_table(rest);
+        for (name, writer, expect) in
+            [("v3", to_bytes_v3 as fn(&CompressedTable) -> Bytes, 3u32), ("v4", to_bytes, 4u32)]
+        {
+            let path = dir.join(format!("table-{name}.cohana"));
+            let c = CompressedTable::build(&build_table(first), opts).unwrap();
+            std::fs::write(&path, writer(&c)).unwrap();
+            append(&path, &tail).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            assert_eq!(&bytes[4..8], expect.to_le_bytes(), "{name} file changed version");
+            // The grown file still decodes to the full row set.
+            let back = from_bytes(&bytes).unwrap();
+            assert_eq!(back.num_rows(), rows.rows().len());
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn compact_upgrades_v3_to_v4() {
+        let dir = std::env::temp_dir().join("cohana-persist-compact-upgrade");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.cohana");
+        let c = compressed();
+        std::fs::write(&path, to_bytes_v3(&c)).unwrap();
+        compact(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[4..8], 4u32.to_le_bytes());
+        assert_eq!(bytes, to_bytes(&c).to_vec());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inspect_reports_codec_selection() {
+        let dir = std::env::temp_dir().join("cohana-persist-inspect");
+        std::fs::create_dir_all(&dir).unwrap();
+        let c = compressed_large();
+        let v3_path = dir.join("table-v3.cohana");
+        let v4_path = dir.join("table-v4.cohana");
+        std::fs::write(&v3_path, to_bytes_v3(&c)).unwrap();
+        std::fs::write(&v4_path, to_bytes(&c)).unwrap();
+
+        let v3 = inspect(&v3_path).unwrap();
+        assert_eq!(v3.version, 3);
+        assert_eq!(v3.num_rows, c.num_rows());
+        assert_eq!(v3.compressed_bytes(), v3.uncompressed_bytes());
+        assert_eq!(v3.codecs[1].blobs + v3.codecs[2].blobs, 0);
+
+        let v4 = inspect(&v4_path).unwrap();
+        assert_eq!(v4.version, 4);
+        assert_eq!(v4.num_chunks, c.chunks().len());
+        // Decoded payload matches v3's raw payload exactly; the disk
+        // payload is smaller, and at least one blob chose a real codec.
+        assert_eq!(v4.uncompressed_bytes(), v3.compressed_bytes());
+        assert!(v4.compressed_bytes() < v3.compressed_bytes());
+        assert!(v4.codecs[1].blobs + v4.codecs[2].blobs > 0);
+        assert!(v4.ratio() > 1.0);
+        for (a, b) in v4.columns.iter().zip(v3.columns.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.uncompressed_bytes, b.uncompressed_bytes);
+            assert!(a.compressed_bytes <= a.uncompressed_bytes);
+        }
+        std::fs::remove_file(&v3_path).ok();
+        std::fs::remove_file(&v4_path).ok();
+    }
+
     #[test]
     fn rejects_zero_chunk_size_footer() {
-        for writer in [to_bytes, to_bytes_v2] {
+        for writer in [to_bytes, to_bytes_v3, to_bytes_v2] {
             let bytes = writer(&compressed()).to_vec();
             let tail = bytes.len() - 12;
             let footer_len = u64::from_le_bytes(bytes[tail..tail + 8].try_into().unwrap()) as usize;
@@ -1673,7 +2210,7 @@ mod tests {
 
     #[test]
     fn rejects_tampered_footer_index() {
-        for writer in [to_bytes, to_bytes_v2] {
+        for writer in [to_bytes, to_bytes_v3, to_bytes_v2] {
             let c = compressed();
             let bytes = writer(&c).to_vec();
             // Locate the footer and flip one byte inside it; either the
@@ -1695,12 +2232,14 @@ mod tests {
     }
 
     #[test]
-    fn v2_and_v3_images_decode_identically() {
+    fn all_versions_decode_identically() {
         let c = compressed();
         let v2 = from_bytes(&to_bytes_v2(&c)).unwrap();
-        let v3 = from_bytes(&to_bytes(&c)).unwrap();
+        let v3 = from_bytes(&to_bytes_v3(&c)).unwrap();
+        let v4 = from_bytes(&to_bytes(&c)).unwrap();
         assert_eq!(v2.chunks(), v3.chunks());
-        assert_eq!(v2.schema(), v3.schema());
-        assert_eq!(v2.num_rows(), v3.num_rows());
+        assert_eq!(v3.chunks(), v4.chunks());
+        assert_eq!(v2.schema(), v4.schema());
+        assert_eq!(v2.num_rows(), v4.num_rows());
     }
 }

@@ -187,8 +187,14 @@ pub struct SourceIoStats {
     /// Individual column segments decoded (v3 sources; 0 on v2, which only
     /// decodes whole chunks).
     pub columns_decoded: usize,
-    /// Payload bytes read from backing storage (excludes the footer).
+    /// Payload bytes read from backing storage (excludes the footer). With
+    /// v4 codec-compressed blobs these are *on-disk* (compressed) bytes.
     pub bytes_read: u64,
+    /// Bytes the read blobs decode to — their raw (v3-serialized) size.
+    /// Equals `bytes_read` on v1–v3 sources, whose blobs are stored raw;
+    /// the gap between the two is what the v4 codecs saved on the disk
+    /// path.
+    pub bytes_decompressed: u64,
     /// Cache entries evicted to stay within the byte budget.
     pub cache_evictions: u64,
     /// Bytes currently retained by the cache.
@@ -211,6 +217,7 @@ impl SourceIoStats {
             chunks_decoded: self.chunks_decoded.saturating_sub(baseline.chunks_decoded),
             columns_decoded: self.columns_decoded.saturating_sub(baseline.columns_decoded),
             bytes_read: self.bytes_read.saturating_sub(baseline.bytes_read),
+            bytes_decompressed: self.bytes_decompressed.saturating_sub(baseline.bytes_decompressed),
             cache_evictions: self.cache_evictions.saturating_sub(baseline.cache_evictions),
             cache_resident_bytes: self.cache_resident_bytes,
             cache_budget_bytes: self.cache_budget_bytes,
@@ -430,6 +437,7 @@ pub struct FileSource {
     decoded: AtomicUsize,
     columns_decoded: AtomicUsize,
     bytes_read: AtomicU64,
+    bytes_decompressed: AtomicU64,
 }
 
 /// What a [`FileSource::refresh`] changed.
@@ -486,6 +494,7 @@ impl FileSource {
             decoded: AtomicUsize::new(0),
             columns_decoded: AtomicUsize::new(0),
             bytes_read: AtomicU64::new(0),
+            bytes_decompressed: AtomicU64::new(0),
         })
     }
 
@@ -605,9 +614,16 @@ impl FileSource {
         self.cache.lock().expect("cache lock poisoned").evictions
     }
 
-    /// Payload bytes read from the file so far (excludes the footer).
+    /// Payload bytes read from the file so far (excludes the footer). With
+    /// v4 codec-compressed blobs these are on-disk (compressed) bytes.
     pub fn bytes_read(&self) -> u64 {
         self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Raw bytes the blobs read so far decoded to (equals
+    /// [`FileSource::bytes_read`] on v1–v3 files, whose blobs are raw).
+    pub fn bytes_decompressed(&self) -> u64 {
+        self.bytes_decompressed.load(Ordering::Relaxed)
     }
 
     /// Column segments decoded so far (v3; 0 on v2 files).
@@ -654,7 +670,8 @@ impl FileSource {
             return Ok(rle);
         }
         let entry = &self.entries[idx];
-        let blob = self.read_range(layout.rle.0, layout.rle.1)?;
+        let blob = self.read_range(layout.rle.offset, layout.rle.len)?;
+        self.bytes_decompressed.fetch_add(layout.rle.uncompressed, Ordering::Relaxed);
         let mut rle = persist::decode_rle_blob(&blob)?;
         if let Some(remap) = self.remap_for(idx, self.meta.schema().user_idx()) {
             rle = rle.remap_users(remap)?;
@@ -690,9 +707,10 @@ impl FileSource {
             return Ok(col);
         }
         let entry = &self.entries[idx];
-        let (offset, len) = layout.cols[attr];
-        let blob = self.read_range(offset, len)?;
-        let mut col = persist::decode_column_blob(&blob)?;
+        let loc = &layout.cols[attr];
+        let blob = self.read_range(loc.offset, loc.len)?;
+        let mut col = persist::decode_column_blob_loc(&blob, loc)?;
+        self.bytes_decompressed.fetch_add(loc.uncompressed, Ordering::Relaxed);
         if let Some(remap) = self.remap_for(idx, attr) {
             col = col.remap_gids(remap)?;
         }
@@ -782,6 +800,7 @@ impl FileSource {
         }
         let (offset, len) = self.locations[idx];
         let blob = self.read_range(offset, len)?;
+        self.bytes_decompressed.fetch_add(len, Ordering::Relaxed);
         let chunk = persist::decode_chunk_blob(&blob, self.meta.schema().arity())?;
         validate_chunk(&self.meta, idx, &chunk)?;
         // The footer's index entry is untrusted input that already steered
@@ -846,6 +865,7 @@ impl ChunkSource for FileSource {
             chunks_decoded: self.decoded.load(Ordering::Relaxed),
             columns_decoded: self.columns_decoded.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_decompressed: self.bytes_decompressed.load(Ordering::Relaxed),
             cache_evictions: cache.evictions,
             cache_resident_bytes: cache.resident,
             cache_budget_bytes: cache.budget,

@@ -1,6 +1,7 @@
 //! Integration tests for incremental ingest at the storage layer: appending
-//! batches to v3 files, dictionary-epoch remapping, refresh-based cache
-//! invalidation, and compaction.
+//! batches to v3/v4 files (preserving each file's format version),
+//! dictionary-epoch remapping, refresh-based cache invalidation, and
+//! compaction.
 
 use cohana_activity::{generate, ActivityTable, GeneratorConfig, TableBuilder};
 use cohana_storage::{
@@ -278,10 +279,66 @@ fn compact_reclaims_dead_bytes_and_restores_build_once_image() {
     assert!(cstats.bytes_after < cstats.bytes_before);
 
     // Compaction restores the exact build-once image: same primary order,
-    // same chunking, same dictionaries — byte for byte.
+    // same chunking, same dictionaries, same codec selections — byte for
+    // byte, in the current (v4) format.
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(&bytes[4..8], 4u32.to_le_bytes());
     let once = CompressedTable::build(&table, CompressionOptions::with_chunk_size(CHUNK)).unwrap();
-    assert_eq!(std::fs::read(&path).unwrap(), persist::to_bytes(&once).to_vec());
+    assert_eq!(bytes, persist::to_bytes(&once).to_vec());
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v3_files_grow_in_v3_and_compact_migrates_them_to_v4() {
+    let table = base_table();
+    let batches = split_by_time(&table, 3);
+    let path = temp_path("v3-migrate.cohana");
+    let first =
+        CompressedTable::build(&batches[0], CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    std::fs::write(&path, persist::to_bytes_v3(&first)).unwrap();
+
+    // Appends keep the file in its own version: new blobs are written raw
+    // and the grown file still opens as v3.
+    for b in &batches[1..] {
+        persist::append(&path, b).unwrap();
+        assert_eq!(&std::fs::read(&path).unwrap()[4..8], 3u32.to_le_bytes());
+    }
+    let eager = persist::read_file(&path).unwrap();
+    assert_eq!(eager.decompress().unwrap().rows(), table.rows());
+
+    // Compact rewrites in the current version — the v3 → v4 migration path
+    // — and lands on the exact v4 build-once image.
+    persist::compact(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(&bytes[4..8], 4u32.to_le_bytes());
+    let once = CompressedTable::build(&table, CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    assert_eq!(bytes, persist::to_bytes(&once).to_vec());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v4_appends_match_v3_appends_decoded() {
+    // The same batch sequence ingested into a v3 and a v4 file must decode
+    // to identical chunks — the codec layer changes bytes on disk, never
+    // the decoded table.
+    let table = base_table();
+    let batches = split_by_time(&table, 3);
+    let first =
+        CompressedTable::build(&batches[0], CompressionOptions::with_chunk_size(CHUNK)).unwrap();
+    let v3_path = temp_path("parity-v3.cohana");
+    let v4_path = temp_path("parity-v4.cohana");
+    std::fs::write(&v3_path, persist::to_bytes_v3(&first)).unwrap();
+    std::fs::write(&v4_path, persist::to_bytes(&first)).unwrap();
+    for b in &batches[1..] {
+        persist::append(&v3_path, b).unwrap();
+        persist::append(&v4_path, b).unwrap();
+    }
+    let v3 = persist::read_file(&v3_path).unwrap();
+    let v4 = persist::read_file(&v4_path).unwrap();
+    assert_eq!(v3.chunks(), v4.chunks());
+    assert_eq!(v3.metas(), v4.metas());
+    std::fs::remove_file(&v3_path).ok();
+    std::fs::remove_file(&v4_path).ok();
 }
 
 #[test]

@@ -1,11 +1,12 @@
 //! Robustness: deserializing corrupted or truncated table images must fail
 //! gracefully (an `Err`, never a panic, never an out-of-bounds read) — for
 //! the legacy v1 eager blobs, the v2 whole-chunk footer-indexed format, and
-//! the v3 column-addressable format, on both the eager (`from_bytes`) and
-//! lazy (`FileSource`, whole-chunk and projected per-column) read paths.
+//! the v3/v4 column-addressable formats (v4 adds per-blob codec tags and
+//! uncompressed lengths), on both the eager (`from_bytes`) and lazy
+//! (`FileSource`, whole-chunk and projected per-column) read paths.
 
 use cohana_activity::{generate, GeneratorConfig};
-use cohana_storage::persist::{from_bytes, to_bytes, to_bytes_v1, to_bytes_v2};
+use cohana_storage::persist::{from_bytes, to_bytes, to_bytes_v1, to_bytes_v2, to_bytes_v3};
 use cohana_storage::{ChunkSource, CompressedTable, CompressionOptions, FileSource};
 use proptest::prelude::*;
 
@@ -20,7 +21,8 @@ fn image(version: u32) -> Vec<u8> {
     match version {
         1 => to_bytes_v1(&c).to_vec(),
         2 => to_bytes_v2(&c).to_vec(),
-        3 => to_bytes(&c).to_vec(),
+        3 => to_bytes_v3(&c).to_vec(),
+        4 => to_bytes(&c).to_vec(),
         v => panic!("no writer for version {v}"),
     }
 }
@@ -48,7 +50,7 @@ proptest! {
 
     #[test]
     fn random_single_byte_flip_never_panics(
-        version in prop::sample::select(vec![1u32, 2, 3]),
+        version in prop::sample::select(vec![1u32, 2, 3, 4]),
         pos in 0usize..60_000,
         xor in 1u8..=255,
     ) {
@@ -70,7 +72,7 @@ proptest! {
 
     #[test]
     fn random_truncation_never_panics(
-        version in prop::sample::select(vec![1u32, 2, 3]),
+        version in prop::sample::select(vec![1u32, 2, 3, 4]),
         cut_fraction in 0.0f64..1.0,
     ) {
         let bytes = image(version);
@@ -90,7 +92,7 @@ proptest! {
 
 #[test]
 fn valid_images_roundtrip_every_version() {
-    for version in [1, 2, 3] {
+    for version in [1, 2, 3, 4] {
         let bytes = image(version);
         let table = from_bytes(&bytes).unwrap();
         assert!(table.num_rows() > 0, "v{version}");
@@ -100,7 +102,7 @@ fn valid_images_roundtrip_every_version() {
 
 #[test]
 fn bad_magic_rejected_every_version() {
-    for version in [1, 2, 3] {
+    for version in [1, 2, 3, 4] {
         let mut bytes = image(version);
         bytes[0] ^= 0xFF;
         assert!(from_bytes(&bytes).is_err(), "v{version}");
@@ -114,7 +116,7 @@ fn footer_past_eof_names_the_offset_every_footered_version() {
     // names the impossible offset — not a bare UnexpectedEof, and never a
     // slice panic. Both the eager and the lazy open paths report it.
     use cohana_storage::StorageError;
-    for version in [2, 3] {
+    for version in [2, 3, 4] {
         let mut bytes = image(version);
         let tail = bytes.len() - 12;
         let bogus_len = bytes.len() as u64 * 2;
@@ -145,7 +147,7 @@ fn lazy_decode_of_tampered_chunk_errors_not_panics() {
     // FileSource::open succeeds, and the corruption must surface as a
     // per-segment decode error (or a changed-but-consistent payload), never
     // a panic — on both the whole-chunk (v2) and per-column (v3) paths.
-    for version in [2, 3] {
+    for version in [2, 3, 4] {
         let bytes = image(version);
         let dir = std::env::temp_dir().join("cohana-corruption-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -171,11 +173,20 @@ fn lazy_decode_of_tampered_chunk_errors_not_panics() {
 
 #[test]
 fn v3_tampered_column_stats_detected_on_projected_fetch() {
+    tampered_column_stats_detected(3);
+}
+
+#[test]
+fn v4_tampered_column_stats_detected_on_projected_fetch() {
+    tampered_column_stats_detected(4);
+}
+
+fn tampered_column_stats_detected(version: u32) {
     // Stats live at the end of each footer entry; flipping footer bytes
     // must surface as an open-time or fetch-time error, never a silent
     // wrong answer the executor would prune by. Either the footer parse
     // rejects the image or the decoded payload disagrees with the stats.
-    let bytes = image(3);
+    let bytes = image(version);
     let tail = bytes.len() - 12;
     let footer_len = u64::from_le_bytes(bytes[tail..tail + 8].try_into().unwrap()) as usize;
     let footer_start = tail - footer_len;
@@ -186,7 +197,7 @@ fn v3_tampered_column_stats_detected_on_projected_fetch() {
         let pos = footer_start + footer_len - footer_len / frac;
         let mut tampered = bytes.clone();
         tampered[pos] ^= 0x10;
-        let path = dir.join(format!("stats-tamper-{frac}.cohana"));
+        let path = dir.join(format!("stats-tamper-v{version}-{frac}.cohana"));
         std::fs::write(&path, &tampered).unwrap();
         match FileSource::open(&path) {
             Err(_) => seen_reject = true,
@@ -209,5 +220,5 @@ fn v3_tampered_column_stats_detected_on_projected_fetch() {
         }
         std::fs::remove_file(&path).ok();
     }
-    assert!(seen_reject, "no tampering detected anywhere in the v3 footer");
+    assert!(seen_reject, "no tampering detected anywhere in the v{version} footer");
 }

@@ -359,14 +359,15 @@ fn source_stats(engine: &Cohana) {
         let io = src.io_stats();
         println!(
             "{} tuples, {} users, {} chunks (file-backed)\n\
-             io: {} chunks / {} columns decoded, {} bytes read\n\
-             cache: {} of {} bytes resident, {} evictions",
+             io: {} chunks / {} columns decoded, {} bytes read from disk, {} bytes decoded\n\
+             cache: {} of {} bytes resident (decoded), {} evictions",
             meta.num_rows(),
             meta.num_users(),
             src.num_chunks(),
             io.chunks_decoded,
             io.columns_decoded,
             io.bytes_read,
+            io.bytes_decompressed,
             io.cache_resident_bytes,
             io.cache_budget_bytes,
             io.cache_evictions,
