@@ -740,6 +740,117 @@ pub fn morsel_scheduler(cache: &mut DatasetCache) -> ExperimentResult {
     out
 }
 
+// --------------------------------------------------------------- Serving
+
+/// Extension experiment (not in the paper): the network serving layer under
+/// concurrent clients. An in-process `cohana-server` wraps the shared
+/// compressed table; 8 client connections each run the Q1–Q4 mix over the
+/// wire. Reported per query: p50/p99 end-to-end latency (TCP + admission +
+/// engine + result assembly) and server-side scan rate; plus one admission
+/// row proving the concurrency cap held (peak active ≤ cap) and how much
+/// time queries spent queued rather than executing.
+pub fn serving(cache: &mut DatasetCache) -> ExperimentResult {
+    use cohana_server::{Client, Server, ServerConfig};
+
+    /// (query, end-to-end latency, rows the server scanned for it)
+    type Sample = (&'static str, Duration, u64);
+
+    let passes = cache.config().runs.max(2);
+    let clients = 8usize;
+    let cap = 4usize;
+    let compressed = cache.compressed(1, 16 * 1024);
+    let engine = cohana_core::Cohana::new(cohana_core::EngineOptions::default());
+    engine.register_source("GameActions", compressed as Arc<dyn ChunkSource>);
+
+    let mut server = Server::start(
+        Arc::new(engine),
+        ServerConfig { admission_cap: cap, queue_bound: 1024, ..ServerConfig::default() },
+    )
+    .expect("server binds");
+    let addr = server.local_addr();
+
+    let samples: Arc<std::sync::Mutex<Vec<Sample>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let sql: Arc<Vec<(&'static str, String)>> =
+        Arc::new(q1_to_q4().into_iter().map(|(n, q)| (n, q.to_sql())).collect());
+    let wall_start = std::time::Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|i| {
+            let samples = samples.clone();
+            let sql = sql.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, "bench").expect("client connects");
+                let prepared: Vec<_> = sql
+                    .iter()
+                    .map(|(name, text)| (*name, client.prepare(text).expect("prepares")))
+                    .collect();
+                for pass in 0..passes {
+                    for k in 0..prepared.len() {
+                        // Offset per client and pass so the in-flight mix
+                        // overlaps different queries.
+                        let (name, p) = &prepared[(i + pass + k) % prepared.len()];
+                        let started = std::time::Instant::now();
+                        let report = client
+                            .execute(p)
+                            .expect("execute starts")
+                            .collect()
+                            .expect("remote query runs");
+                        let latency = started.elapsed();
+                        let scanned = report.stats.expect("server stats attached").rows_scanned;
+                        samples.lock().unwrap().push((name, latency, scanned));
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread succeeds");
+    }
+    let wall = wall_start.elapsed();
+    let admission = server.admission_stats();
+    server.shutdown();
+
+    let all = samples.lock().unwrap().clone();
+    let mut out = ExperimentResult::new(
+        "serving",
+        format!(
+            "{clients} concurrent wire clients x Q1-Q4, admission cap {cap}: end-to-end \
+             latency percentiles and server-side scan rate"
+        ),
+        vec!["query".into(), "runs".into(), "p50".into(), "p99".into(), "rowsPerSec".into()],
+    );
+    for (name, _) in q1_to_q4() {
+        let lat: Vec<Duration> =
+            all.iter().filter(|(n, _, _)| *n == name).map(|(_, d, _)| *d).collect();
+        let scanned: u64 = all.iter().filter(|(n, _, _)| *n == name).map(|(_, _, r)| r).sum();
+        let busy: f64 = lat.iter().map(Duration::as_secs_f64).sum();
+        let mut sorted = lat.clone();
+        sorted.sort_unstable();
+        let p50 = crate::timing::percentile(&sorted, 50.0).expect("runs > 0");
+        let p99 = crate::timing::percentile(&sorted, 99.0).expect("runs > 0");
+        out.push_row(vec![
+            name.into(),
+            lat.len().to_string(),
+            fmt_secs(p50),
+            fmt_secs(p99),
+            format!("{:.0}", scanned as f64 / busy.max(1e-9)),
+        ]);
+    }
+    let total_scanned: u64 = all.iter().map(|(_, _, r)| r).sum();
+    out.push_note(format!(
+        "{} queries in {}, aggregate {:.0} rows/s; peak {}/{} active (cap held: {}), \
+         queue depth max {}, total queue wait {}",
+        all.len(),
+        fmt_secs(wall),
+        total_scanned as f64 / wall.as_secs_f64().max(1e-9),
+        admission.peak_active,
+        admission.cap,
+        admission.peak_active <= admission.cap,
+        admission.max_queue_depth,
+        fmt_secs(admission.total_queue_wait),
+    ));
+    out
+}
+
 /// Contiguous time slices of a table (the streaming-arrival shape).
 fn time_slices(table: &ActivityTable, k: usize) -> Vec<ActivityTable> {
     let tidx = table.schema().time_idx();
@@ -775,6 +886,7 @@ pub fn all(cache: &mut DatasetCache) -> Vec<ExperimentResult> {
         scan_throughput(cache),
         morsel_scheduler(cache),
         ingest(cache),
+        serving(cache),
     ]
 }
 

@@ -45,7 +45,10 @@ use crate::report::{CohortReport, ReportRow};
 use crate::scan::{compile_predicate, ChunkScan, CompiledExpr, EvalCtx};
 use cohana_activity::{TimeBin, Timestamp, Value, ValueType};
 use cohana_storage::rle::{UserRle, UserRun};
-use cohana_storage::{Chunk, ChunkCursors, ChunkIndexEntry, ChunkSource, ColumnMeta, TableMeta};
+use cohana_storage::{
+    with_recorder, Chunk, ChunkCursors, ChunkIndexEntry, ChunkSource, ColumnMeta, IoRecorder,
+    TableMeta,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
@@ -347,11 +350,18 @@ impl QueryCore {
     /// Returns the receiver, the worker handles, and one busy-time counter
     /// (nanoseconds of decode + morsel execution, excluding send blocking
     /// and steal polling) per worker.
+    ///
+    /// Every worker installs `recorder` as its thread's active
+    /// [`IoRecorder`] for its whole lifetime, so all storage I/O of this
+    /// execution — including decodes that finish after the consumer dropped
+    /// the stream — is credited to exactly this query, no matter how many
+    /// queries share the source.
     pub(crate) fn spawn_workers(
         &self,
         live: Vec<usize>,
         workers: usize,
         morsel_rows: usize,
+        recorder: Arc<IoRecorder>,
     ) -> SpawnedWorkers {
         let (tx, rx) = mpsc::sync_channel::<Result<ResultBatch, EngineError>>(workers);
         let sched = Arc::new(MorselScheduler {
@@ -368,6 +378,7 @@ impl QueryCore {
             let sched = sched.clone();
             let tx = tx.clone();
             let busy = busy.clone();
+            let recorder = recorder.clone();
             handles.push(std::thread::spawn(move || {
                 // A worker that panics can no longer flush or claim; cancel
                 // the whole query so its peers don't wait on the chunk it
@@ -381,7 +392,7 @@ impl QueryCore {
                     }
                 }
                 let _guard = PanicCancel(&sched);
-                worker_loop(&sched, &tx, &busy[w]);
+                with_recorder(&recorder, || worker_loop(&sched, &tx, &busy[w]));
             }));
         }
         (rx, handles, busy)
@@ -390,6 +401,33 @@ impl QueryCore {
     /// Decode merged partials into the final report.
     pub(crate) fn build_report(&self, merged: Partial) -> Result<CohortReport, EngineError> {
         build_report(self.source.table_meta(), &self.plan, &self.ctx, merged)
+    }
+
+    /// Convert a batch into its network-portable form: every encoded cohort
+    /// key is decoded to [`Value`]s using this statement's table metadata,
+    /// so the receiver needs no dictionaries to merge batches.
+    pub(crate) fn wire_batch(&self, batch: &ResultBatch) -> crate::wire::WireBatch {
+        let table = self.source.table_meta();
+        crate::wire::WireBatch {
+            chunk_index: batch.chunk_index as u64,
+            rows_scanned: batch.rows_scanned as u64,
+            morsels: batch.morsels,
+            sizes: batch
+                .partial
+                .sizes
+                .iter()
+                .map(|(k, s)| (decode_key(table, &self.ctx, k), *s))
+                .collect(),
+            cells: batch
+                .partial
+                .cells
+                .iter()
+                .flat_map(|(k, ages)| {
+                    let cohort = decode_key(table, &self.ctx, k);
+                    ages.iter().map(move |(age, states)| (cohort.clone(), *age, states.clone()))
+                })
+                .collect(),
+        }
     }
 }
 
@@ -1101,6 +1139,21 @@ impl DenseAgg {
     }
 }
 
+/// Decode an encoded cohort key into its reported [`Value`]s. Injective for
+/// keys of one statement: distinct global ids map to distinct dictionary
+/// strings, the integer bit-cast is the identity, and distinct bin starts
+/// render distinct dates — so decoded keys collide iff the encoded ones did.
+fn decode_key(table: &TableMeta, ctx: &ExecContext, key: &Key) -> Vec<Value> {
+    key.iter()
+        .zip(ctx.key_parts.iter())
+        .map(|(v, part)| match part {
+            KeyPart::Str(idx) => Value::Str(table.gid_value(*idx, *v as u32).clone()),
+            KeyPart::Int(_) => Value::Int(*v as i64),
+            KeyPart::TimeBin(_) => Value::from(Timestamp(*v as i64).render_date()),
+        })
+        .collect()
+}
+
 /// Decode merged partials into the final report, sorted by cohort then age.
 fn build_report(
     table: &TableMeta,
@@ -1108,16 +1161,7 @@ fn build_report(
     ctx: &ExecContext,
     merged: Partial,
 ) -> Result<CohortReport, EngineError> {
-    let decode_key = |key: &Key| -> Vec<Value> {
-        key.iter()
-            .zip(ctx.key_parts.iter())
-            .map(|(v, part)| match part {
-                KeyPart::Str(idx) => Value::Str(table.gid_value(*idx, *v as u32).clone()),
-                KeyPart::Int(_) => Value::Int(*v as i64),
-                KeyPart::TimeBin(_) => Value::from(Timestamp(*v as i64).render_date()),
-            })
-            .collect()
-    };
+    let decode_key = |key: &Key| -> Vec<Value> { decode_key(table, ctx, key) };
 
     // One row per (cohort, age) cell: size the vector once up front.
     let mut rows = Vec::with_capacity(merged.num_cells());

@@ -64,6 +64,7 @@ pub mod report;
 pub mod scan;
 pub mod session;
 pub mod stats;
+pub mod wire;
 
 pub use agg::{AggFunc, AggState, AggValue};
 pub use engine::{Cohana, EngineOptions, DEFAULT_MORSEL_ROWS};
@@ -75,6 +76,7 @@ pub use query::{CohortAttr, CohortQuery, CohortQueryBuilder};
 pub use report::{CohortReport, ReportRow};
 pub use session::{QueryStream, Session, Statement};
 pub use stats::QueryStats;
+pub use wire::{ReportAssembler, WireBatch};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, EngineError>;

@@ -46,7 +46,7 @@ use crate::query::CohortQuery;
 use crate::report::CohortReport;
 use crate::stats::QueryStats;
 use cohana_activity::Schema;
-use cohana_storage::{ChunkSource, SourceIoStats};
+use cohana_storage::{with_recorder, ChunkSource, IoRecorder};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex};
@@ -275,6 +275,14 @@ impl Statement {
         self.core.build_report(merged)
     }
 
+    /// Convert a pulled batch into its network-portable [`WireBatch`](crate::wire::WireBatch) form,
+    /// with cohort keys decoded to values so a remote consumer can merge
+    /// batches (via [`ReportAssembler`](crate::wire::ReportAssembler))
+    /// without this statement's table metadata.
+    pub fn wire_batch(&self, batch: &ResultBatch) -> crate::wire::WireBatch {
+        self.core.wire_batch(batch)
+    }
+
     /// Stats accumulated over every execution (including partially consumed
     /// or dropped streams) of this statement. Monotone: each execution only
     /// adds.
@@ -332,7 +340,10 @@ pub struct QueryStream<'s> {
     /// Per-worker busy-time counters of a parallel execution (kept outside
     /// [`StreamState`] so they survive shutdown for [`QueryStream::worker_busy`]).
     busy: Option<Arc<Vec<AtomicU64>>>,
-    io_start: SourceIoStats,
+    /// This execution's I/O, credited at the storage layer's increment
+    /// sites: exact even when other queries decode on the same source
+    /// concurrently (see [`IoRecorder`]).
+    recorder: Arc<IoRecorder>,
     started: Instant,
     recorded: bool,
 }
@@ -346,16 +357,17 @@ impl<'s> QueryStream<'s> {
             chunks_pruned: total - live.len(),
             ..QueryStats::default()
         };
-        let io_start = stmt.core.source.io_stats();
+        let recorder = Arc::new(IoRecorder::new());
         let started = Instant::now();
         let workers = stmt.parallelism.min(live.len());
         let (state, busy) = if workers <= 1 {
             (StreamState::Serial { live: live.into_iter() }, None)
         } else {
-            let (rx, handles, busy) = stmt.core.spawn_workers(live, workers, stmt.morsel_rows);
+            let (rx, handles, busy) =
+                stmt.core.spawn_workers(live, workers, stmt.morsel_rows, recorder.clone());
             (StreamState::Parallel { rx, handles }, Some(busy))
         };
-        QueryStream { stmt, state, stats, busy, io_start, started, recorded: false }
+        QueryStream { stmt, state, stats, busy, recorder, started, recorded: false }
     }
 
     /// The statement this stream executes.
@@ -370,7 +382,7 @@ impl<'s> QueryStream<'s> {
             return self.stats;
         }
         let mut snap = self.stats;
-        snap.add_io(&self.stmt.core.source.io_stats().delta_since(&self.io_start));
+        snap.add_io(&self.recorder.snapshot());
         snap.wall_time = self.started.elapsed();
         if let Some(busy) = &self.busy {
             snap.worker_busy_ns += busy.iter().map(|b| b.load(Ordering::Relaxed)).sum::<u64>();
@@ -414,7 +426,8 @@ impl<'s> QueryStream<'s> {
             }
         }
         if !self.recorded {
-            self.stats.add_io(&self.stmt.core.source.io_stats().delta_since(&self.io_start));
+            // Parallel workers are joined above, so every credit is in.
+            self.stats.add_io(&self.recorder.snapshot());
             self.stats.wall_time = self.started.elapsed();
             if let Some(busy) = &self.busy {
                 // Workers are joined: fold their final busy counters in once.
@@ -446,7 +459,9 @@ impl Iterator for QueryStream<'_> {
         let item = match step {
             Step::Run(idx) => {
                 let t = Instant::now();
-                let out = self.stmt.core.run_chunk(idx, self.stmt.morsel_rows);
+                let out = with_recorder(&self.recorder, || {
+                    self.stmt.core.run_chunk(idx, self.stmt.morsel_rows)
+                });
                 self.stats.worker_busy_ns += t.elapsed().as_nanos() as u64;
                 Some(out)
             }

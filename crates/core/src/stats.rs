@@ -2,17 +2,16 @@
 //!
 //! [`QueryStats`] is the query-scoped counterpart of the *source-lifetime*
 //! [`SourceIoStats`]: every
-//! [`QueryStream`](crate::QueryStream) snapshots its source's I/O counters
-//! when it starts and attributes the delta to the query it executes. The
-//! delta is exact when the query has the source to itself for its lifetime
-//! (the common case, and everything this crate's own paths do); when other
-//! queries run on the *same* source during the window, their I/O lands in
-//! the delta too, so treat the I/O fields as an upper bound under
-//! source-level concurrency. The executor adds the purely query-level
-//! dimensions the storage layer cannot know — and which are exact
-//! regardless of concurrency: how many chunks the planner's §4.2 metadata
-//! pruning skipped, how many the stream actually scanned, and the wall
-//! time.
+//! [`QueryStream`](crate::QueryStream) carries an
+//! [`IoRecorder`](cohana_storage::IoRecorder) installed on the threads that
+//! decode for it (the serial pull, or each parallel worker for its whole
+//! lifetime), so every storage counter bump is credited to exactly one
+//! query at the increment site. That makes the I/O fields *exact* even when
+//! many queries decode on the same source concurrently — the property the
+//! serving layer's per-tenant accounting depends on. The executor adds the
+//! purely query-level dimensions the storage layer cannot know: how many
+//! chunks the planner's §4.2 metadata pruning skipped, how many the stream
+//! actually scanned, and the wall time.
 
 use cohana_storage::SourceIoStats;
 use std::fmt;
@@ -20,13 +19,12 @@ use std::time::Duration;
 
 /// What one query execution cost, measured at the chunk pipeline.
 ///
-/// The chunk/batch/wall-time counters are exact. The I/O fields
-/// (`chunks_decoded`, `columns_decoded`, `bytes_read`, `cache_evictions`)
-/// are deltas of the source's lifetime counters over the query's lifetime:
-/// exact while the query is alone on its source (chunks decoded by parallel
-/// workers whose batches were never pulled — early termination — are still
-/// attributed to the query that caused them), an upper bound when other
-/// queries hit the same source concurrently.
+/// All counters are exact, including under source-level concurrency: the
+/// I/O fields (`chunks_decoded`, `columns_decoded`, `bytes_read`,
+/// `cache_evictions`) are credited per increment to the query whose thread
+/// performed them, not inferred from lifetime-counter deltas. Chunks
+/// decoded by parallel workers whose batches were never pulled — early
+/// termination — are still attributed to the query that caused them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Chunks the source holds.
@@ -70,8 +68,8 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
-    /// Attribute a source I/O delta (see [`SourceIoStats::delta_since`]) to
-    /// this query.
+    /// Attribute recorded source I/O (an
+    /// [`IoRecorder`](cohana_storage::IoRecorder) snapshot) to this query.
     pub(crate) fn add_io(&mut self, delta: &SourceIoStats) {
         self.chunks_decoded += delta.chunks_decoded;
         self.columns_decoded += delta.columns_decoded;

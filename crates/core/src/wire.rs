@@ -1,0 +1,576 @@
+//! Wire-format result batches: the network-portable form of a
+//! [`ResultBatch`](crate::ResultBatch).
+//!
+//! A [`ResultBatch`](crate::ResultBatch) holds cohort keys in their *encoded* form (global ids,
+//! bit-cast integers, binned timestamps) plus the executor context needed to
+//! decode them — none of which survives a process boundary. A [`WireBatch`]
+//! is the same partial aggregation with every cohort key decoded to
+//! [`Value`]s, so a remote client can merge batches without the table's
+//! dictionaries. Convert with
+//! [`Statement::wire_batch`](crate::Statement::wire_batch); merge client-side
+//! with [`ReportAssembler`], whose [`finish`](ReportAssembler::finish)
+//! reproduces the engine's report bit-for-bit (same row order, same
+//! cohort-size semantics), because aggregate partials are additive across
+//! chunks and key decoding is injective.
+//!
+//! The module also carries the compact little-endian binary codec the
+//! `cohana-server` protocol uses for batch and stats payloads
+//! ([`WireWriter`] / [`WireReader`]); decode failures surface as
+//! [`EngineError::Corrupt`] so a malformed payload can never panic a reader.
+
+use crate::agg::AggState;
+use crate::error::EngineError;
+use crate::report::{CohortReport, ReportRow};
+use crate::stats::QueryStats;
+use cohana_activity::Value;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// One per-chunk partial result with decoded cohort keys — the unit the
+/// server streams to clients (one BATCH frame each).
+///
+/// Like [`ResultBatch`](crate::ResultBatch), a `WireBatch` is *partial*: the
+/// same `(cohort, age)` cell may appear in many batches and their
+/// contributions add.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireBatch {
+    /// Index of the source chunk that produced this batch.
+    pub chunk_index: u64,
+    /// Rows of the source chunk the scan covered.
+    pub rows_scanned: u64,
+    /// User-block morsels executed to produce this batch.
+    pub morsels: u64,
+    /// Cohort → qualified users in this chunk.
+    pub sizes: Vec<(Vec<Value>, u64)>,
+    /// `(cohort, age)` → one partial state per aggregate.
+    pub cells: Vec<(Vec<Value>, i64, Vec<AggState>)>,
+}
+
+impl WireBatch {
+    /// Serialize into the binary wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.chunk_index);
+        w.u64(self.rows_scanned);
+        w.u64(self.morsels);
+        w.u32(self.sizes.len() as u32);
+        for (cohort, size) in &self.sizes {
+            encode_values(&mut w, cohort);
+            w.u64(*size);
+        }
+        w.u32(self.cells.len() as u32);
+        for (cohort, age, states) in &self.cells {
+            encode_values(&mut w, cohort);
+            w.i64(*age);
+            w.u16(states.len() as u16);
+            for s in states {
+                encode_agg_state(&mut w, s);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialize from the binary wire form.
+    pub fn decode(bytes: &[u8]) -> Result<WireBatch, EngineError> {
+        let mut r = WireReader::new(bytes);
+        let chunk_index = r.u64()?;
+        let rows_scanned = r.u64()?;
+        let morsels = r.u64()?;
+        let n_sizes = r.u32()? as usize;
+        let mut sizes = Vec::with_capacity(n_sizes.min(1 << 16));
+        for _ in 0..n_sizes {
+            let cohort = decode_values(&mut r)?;
+            sizes.push((cohort, r.u64()?));
+        }
+        let n_cells = r.u32()? as usize;
+        let mut cells = Vec::with_capacity(n_cells.min(1 << 16));
+        for _ in 0..n_cells {
+            let cohort = decode_values(&mut r)?;
+            let age = r.i64()?;
+            let n_states = r.u16()? as usize;
+            let mut states = Vec::with_capacity(n_states);
+            for _ in 0..n_states {
+                states.push(decode_agg_state(&mut r)?);
+            }
+            cells.push((cohort, age, states));
+        }
+        r.finish()?;
+        Ok(WireBatch { chunk_index, rows_scanned, morsels, sizes, cells })
+    }
+}
+
+/// Client-side merge of [`WireBatch`]es back into a [`CohortReport`].
+///
+/// Feed it every batch of one execution, then [`finish`](Self::finish): the
+/// result equals what [`Statement::execute`](crate::Statement::execute)
+/// returns in-process (compared with `CohortReport`'s stats-ignoring
+/// equality). Cohort keys sort by their decoded [`Value`]s, which matches
+/// the engine's row order; a cohort with a size but no qualifying cells
+/// contributes no rows, and a cell whose cohort never reported a size (never
+/// happens in engine-produced batches) gets size 0 — both exactly as the
+/// engine's own report builder behaves.
+#[derive(Debug)]
+pub struct ReportAssembler {
+    cohort_attrs: Vec<String>,
+    agg_names: Vec<String>,
+    sizes: BTreeMap<Vec<Value>, u64>,
+    cells: BTreeMap<Vec<Value>, BTreeMap<i64, Vec<AggState>>>,
+}
+
+impl ReportAssembler {
+    /// Start assembling a report with the given headers (from the PREPARE
+    /// response, or [`CohortQuery`](crate::CohortQuery) directly).
+    pub fn new(cohort_attrs: Vec<String>, agg_names: Vec<String>) -> ReportAssembler {
+        ReportAssembler { cohort_attrs, agg_names, sizes: BTreeMap::new(), cells: BTreeMap::new() }
+    }
+
+    /// Fold one batch in. Sizes add; aggregate states merge (commutative, so
+    /// batch arrival order does not matter).
+    pub fn push(&mut self, batch: &WireBatch) -> Result<(), EngineError> {
+        for (cohort, size) in &batch.sizes {
+            *self.sizes.entry(cohort.clone()).or_insert(0) += size;
+        }
+        for (cohort, age, states) in &batch.cells {
+            let ages = self.cells.entry(cohort.clone()).or_default();
+            match ages.entry(*age) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(states.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    let into = o.get_mut();
+                    if into.len() != states.len() {
+                        return Err(EngineError::Corrupt(format!(
+                            "aggregate arity mismatch across batches: {} vs {}",
+                            into.len(),
+                            states.len()
+                        )));
+                    }
+                    for (a, b) in into.iter_mut().zip(states.iter()) {
+                        a.merge(b)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalize into the report, sorted by (cohort, age). Carries no stats
+    /// (the server reports those separately in its STATS frame).
+    pub fn finish(self) -> CohortReport {
+        let mut rows = Vec::with_capacity(self.cells.values().map(BTreeMap::len).sum());
+        for (cohort, ages) in &self.cells {
+            let size = self.sizes.get(cohort).copied().unwrap_or(0);
+            for (age, states) in ages {
+                rows.push(ReportRow {
+                    cohort: cohort.clone(),
+                    size,
+                    age: *age,
+                    measures: states.iter().map(|s| s.finalize()).collect(),
+                });
+            }
+        }
+        CohortReport {
+            cohort_attrs: self.cohort_attrs,
+            agg_names: self.agg_names,
+            rows,
+            cohort_sizes: self.sizes,
+            stats: None,
+        }
+    }
+}
+
+/// Serialize a [`QueryStats`] (for STATS frame payloads).
+pub fn encode_query_stats(w: &mut WireWriter, s: &QueryStats) {
+    w.u64(s.chunks_total as u64);
+    w.u64(s.chunks_pruned as u64);
+    w.u64(s.chunks_scanned as u64);
+    w.u64(s.rows_scanned);
+    w.u64(s.chunks_decoded as u64);
+    w.u64(s.columns_decoded as u64);
+    w.u64(s.bytes_read);
+    w.u64(s.bytes_decompressed);
+    w.u64(s.cache_evictions);
+    w.u64(s.batches as u64);
+    w.u64(s.morsels_executed);
+    w.u64(s.worker_busy_ns);
+    w.u64(s.wall_time.as_nanos() as u64);
+}
+
+/// Deserialize a [`QueryStats`] written by [`encode_query_stats`].
+pub fn decode_query_stats(r: &mut WireReader<'_>) -> Result<QueryStats, EngineError> {
+    Ok(QueryStats {
+        chunks_total: r.u64()? as usize,
+        chunks_pruned: r.u64()? as usize,
+        chunks_scanned: r.u64()? as usize,
+        rows_scanned: r.u64()?,
+        chunks_decoded: r.u64()? as usize,
+        columns_decoded: r.u64()? as usize,
+        bytes_read: r.u64()?,
+        bytes_decompressed: r.u64()?,
+        cache_evictions: r.u64()?,
+        batches: r.u64()? as usize,
+        morsels_executed: r.u64()?,
+        worker_busy_ns: r.u64()?,
+        wall_time: Duration::from_nanos(r.u64()?),
+    })
+}
+
+fn encode_values(w: &mut WireWriter, values: &[Value]) {
+    w.u16(values.len() as u16);
+    for v in values {
+        match v {
+            Value::Null => w.u8(0),
+            Value::Int(i) => {
+                w.u8(1);
+                w.i64(*i);
+            }
+            Value::Str(s) => {
+                w.u8(2);
+                w.str(s);
+            }
+        }
+    }
+}
+
+fn decode_values(r: &mut WireReader<'_>) -> Result<Vec<Value>, EngineError> {
+    let n = r.u16()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(match r.u8()? {
+            0 => Value::Null,
+            1 => Value::Int(r.i64()?),
+            2 => Value::str(r.str()?),
+            t => return Err(EngineError::Corrupt(format!("unknown value tag {t}"))),
+        });
+    }
+    Ok(out)
+}
+
+fn encode_agg_state(w: &mut WireWriter, s: &AggState) {
+    match s {
+        AggState::Sum(v) => {
+            w.u8(0);
+            w.i64(*v);
+        }
+        AggState::Avg { sum, count } => {
+            w.u8(1);
+            w.i64(*sum);
+            w.u64(*count);
+        }
+        AggState::Min(m) => {
+            w.u8(2);
+            encode_opt_i64(w, m);
+        }
+        AggState::Max(m) => {
+            w.u8(3);
+            encode_opt_i64(w, m);
+        }
+        AggState::Count(c) => {
+            w.u8(4);
+            w.u64(*c);
+        }
+        AggState::UserCount(c) => {
+            w.u8(5);
+            w.u64(*c);
+        }
+    }
+}
+
+fn decode_agg_state(r: &mut WireReader<'_>) -> Result<AggState, EngineError> {
+    Ok(match r.u8()? {
+        0 => AggState::Sum(r.i64()?),
+        1 => AggState::Avg { sum: r.i64()?, count: r.u64()? },
+        2 => AggState::Min(decode_opt_i64(r)?),
+        3 => AggState::Max(decode_opt_i64(r)?),
+        4 => AggState::Count(r.u64()?),
+        5 => AggState::UserCount(r.u64()?),
+        t => return Err(EngineError::Corrupt(format!("unknown aggregate-state tag {t}"))),
+    })
+}
+
+fn encode_opt_i64(w: &mut WireWriter, v: &Option<i64>) {
+    match v {
+        None => w.u8(0),
+        Some(x) => {
+            w.u8(1);
+            w.i64(*x);
+        }
+    }
+}
+
+fn decode_opt_i64(r: &mut WireReader<'_>) -> Result<Option<i64>, EngineError> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(r.i64()?),
+        t => return Err(EngineError::Corrupt(format!("unknown option tag {t}"))),
+    })
+}
+
+/// Little-endian payload writer for the wire codec. Strings are
+/// `u32 length + UTF-8 bytes`.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> WireWriter {
+        WireWriter::default()
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// The accumulated payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked reader over a wire payload. Every method fails with
+/// [`EngineError::Corrupt`] instead of panicking on truncated or malformed
+/// input.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], EngineError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| EngineError::Corrupt("truncated wire payload".into()))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, EngineError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, EngineError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, EngineError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, EngineError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, EngineError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, EngineError> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?)
+            .map_err(|_| EngineError::Corrupt("invalid UTF-8 in wire string".into()))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Assert the payload was consumed exactly.
+    pub fn finish(self) -> Result<(), EngineError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(EngineError::Corrupt(format!(
+                "{} trailing bytes after wire payload",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggValue;
+
+    fn sample_batch() -> WireBatch {
+        WireBatch {
+            chunk_index: 3,
+            rows_scanned: 1000,
+            morsels: 7,
+            sizes: vec![
+                (vec![Value::str("Australia")], 3),
+                (vec![Value::str("China")], 5),
+                (vec![Value::Int(-4), Value::Null], 1),
+            ],
+            cells: vec![
+                (vec![Value::str("Australia")], 1, vec![AggState::Sum(52), AggState::UserCount(3)]),
+                (vec![Value::str("China")], 2, vec![AggState::Min(None), AggState::UserCount(5)]),
+                (
+                    vec![Value::Int(-4), Value::Null],
+                    1,
+                    vec![AggState::Avg { sum: 9, count: 2 }, AggState::Max(Some(-1))],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn batch_codec_roundtrips() {
+        let batch = sample_batch();
+        let bytes = batch.encode();
+        assert_eq!(WireBatch::decode(&bytes).unwrap(), batch);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_garbage() {
+        let bytes = sample_batch().encode();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(WireBatch::decode(&bytes[..cut]), Err(EngineError::Corrupt(_))),
+                "cut at {cut} must fail"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0xff);
+        assert!(matches!(WireBatch::decode(&extended), Err(EngineError::Corrupt(_))));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tags() {
+        // A batch with one size entry whose single value has a bogus tag.
+        let mut w = WireWriter::new();
+        w.u64(0);
+        w.u64(0);
+        w.u64(0);
+        w.u32(1); // one size entry
+        w.u16(1); // one value in the cohort key
+        w.u8(9); // bogus value tag
+        w.u64(1);
+        w.u32(0); // no cells
+        assert!(matches!(WireBatch::decode(&w.into_bytes()), Err(EngineError::Corrupt(_))));
+    }
+
+    #[test]
+    fn query_stats_codec_roundtrips() {
+        let stats = QueryStats {
+            chunks_total: 4,
+            chunks_pruned: 1,
+            chunks_scanned: 3,
+            rows_scanned: 600,
+            chunks_decoded: 3,
+            columns_decoded: 9,
+            bytes_read: 1024,
+            bytes_decompressed: 1536,
+            cache_evictions: 2,
+            batches: 3,
+            morsels_executed: 12,
+            worker_busy_ns: 4_000_000,
+            wall_time: Duration::from_millis(5),
+        };
+        let mut w = WireWriter::new();
+        encode_query_stats(&mut w, &stats);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(decode_query_stats(&mut r).unwrap(), stats);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn assembler_merges_batches_in_any_order() {
+        let a = WireBatch {
+            chunk_index: 0,
+            rows_scanned: 10,
+            morsels: 1,
+            sizes: vec![(vec![Value::str("au")], 2)],
+            cells: vec![(vec![Value::str("au")], 1, vec![AggState::Sum(5)])],
+        };
+        let b = WireBatch {
+            chunk_index: 1,
+            rows_scanned: 10,
+            morsels: 1,
+            sizes: vec![(vec![Value::str("au")], 1), (vec![Value::str("cn")], 4)],
+            cells: vec![
+                (vec![Value::str("au")], 1, vec![AggState::Sum(7)]),
+                (vec![Value::str("cn")], 2, vec![AggState::Sum(1)]),
+            ],
+        };
+        let assemble = |batches: &[&WireBatch]| {
+            let mut asm = ReportAssembler::new(vec!["country".into()], vec!["Sum(gold)".into()]);
+            for batch in batches {
+                asm.push(batch).unwrap();
+            }
+            asm.finish()
+        };
+        let ab = assemble(&[&a, &b]);
+        let ba = assemble(&[&b, &a]);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.num_rows(), 2);
+        let row = ab.find(&[Value::str("au")], 1).unwrap();
+        assert_eq!(row.size, 3);
+        assert_eq!(row.measures, vec![AggValue::Int(12)]);
+        assert_eq!(ab.cohort_sizes[&vec![Value::str("cn")]], 4);
+    }
+
+    #[test]
+    fn assembler_rejects_arity_mismatch() {
+        let one = WireBatch {
+            chunk_index: 0,
+            rows_scanned: 1,
+            morsels: 1,
+            sizes: vec![],
+            cells: vec![(vec![Value::str("au")], 1, vec![AggState::Sum(5)])],
+        };
+        let two = WireBatch {
+            cells: vec![(vec![Value::str("au")], 1, vec![AggState::Sum(5), AggState::Count(1)])],
+            ..one.clone()
+        };
+        let mut asm = ReportAssembler::new(vec![], vec![]);
+        asm.push(&one).unwrap();
+        assert!(asm.push(&two).is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Per-query admission control: a semaphore over concurrently-decoding
+//! queries with a bounded FIFO wait queue.
+//!
+//! The engine's chunk pipeline is happy to run any number of queries, but
+//! every admitted query costs worker threads, decode CPU, and segment-cache
+//! churn; past the core count, extra concurrency only adds cache pressure
+//! and latency variance. [`Admission`] caps the number of queries executing
+//! at once: up to `cap` run immediately, the next `queue_bound` wait their
+//! turn in strict FIFO order (ticket-numbered, so a released slot always
+//! goes to the longest waiter), and everyone else is refused with
+//! [`AdmitError::QueueFull`] rather than piling up unboundedly. The time a
+//! query spent queued is recorded on its [`Permit`] and reported in the
+//! stream's STATS frame, so clients can tell engine time from waiting time.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a query was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The wait queue is at its bound; retry later.
+    QueueFull,
+    /// The server is shutting down; no new queries are admitted.
+    ShuttingDown,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    active: usize,
+    queued: usize,
+    /// Next ticket to hand to a waiter.
+    next_ticket: u64,
+    /// Ticket allowed to take the next free slot (FIFO order).
+    next_to_admit: u64,
+    peak_active: usize,
+    max_queue_depth: usize,
+    admitted_total: u64,
+    rejected_total: u64,
+    total_queue_wait: Duration,
+    shutdown: bool,
+}
+
+/// Snapshot of the admission state, served in standalone STATS responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Maximum queries executing at once.
+    pub cap: usize,
+    /// Queries executing right now.
+    pub active: usize,
+    /// High-water mark of `active` — provably `<= cap` for the server's
+    /// whole lifetime.
+    pub peak_active: usize,
+    /// Queries waiting right now.
+    pub queued: usize,
+    /// High-water mark of the wait queue.
+    pub max_queue_depth: usize,
+    /// Queries ever admitted.
+    pub admitted_total: u64,
+    /// Queries refused with [`AdmitError::QueueFull`].
+    pub rejected_total: u64,
+    /// Total time admitted queries spent waiting in the queue.
+    pub total_queue_wait: Duration,
+}
+
+/// The admission semaphore. Shared across all connections of one server.
+#[derive(Debug)]
+pub struct Admission {
+    cap: usize,
+    queue_bound: usize,
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+impl Admission {
+    /// A gate admitting `cap` concurrent queries with up to `queue_bound`
+    /// waiters.
+    pub fn new(cap: usize, queue_bound: usize) -> Admission {
+        Admission {
+            cap: cap.max(1),
+            queue_bound,
+            state: Mutex::new(State::default()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Block until admitted (FIFO among waiters), or fail fast when the
+    /// queue is full or the server is draining.
+    pub fn admit(self: &Arc<Self>) -> Result<Permit, AdmitError> {
+        let mut s = self.state.lock().expect("admission lock poisoned");
+        if s.shutdown {
+            return Err(AdmitError::ShuttingDown);
+        }
+        // Fast path: a free slot and nobody waiting ahead of us.
+        if s.active < self.cap && s.queued == 0 {
+            s.active += 1;
+            s.peak_active = s.peak_active.max(s.active);
+            s.admitted_total += 1;
+            return Ok(Permit { gate: self.clone(), queue_wait: Duration::ZERO });
+        }
+        if s.queued >= self.queue_bound {
+            s.rejected_total += 1;
+            return Err(AdmitError::QueueFull);
+        }
+        let ticket = s.next_ticket;
+        s.next_ticket += 1;
+        s.queued += 1;
+        s.max_queue_depth = s.max_queue_depth.max(s.queued);
+        let waited_from = Instant::now();
+        loop {
+            s = self.cond.wait(s).expect("admission lock poisoned");
+            if s.shutdown {
+                s.queued -= 1;
+                // Unblock waiters behind this ticket (they will also bail).
+                s.next_to_admit = s.next_to_admit.max(ticket + 1);
+                self.cond.notify_all();
+                return Err(AdmitError::ShuttingDown);
+            }
+            if ticket == s.next_to_admit && s.active < self.cap {
+                s.queued -= 1;
+                s.next_to_admit += 1;
+                s.active += 1;
+                s.peak_active = s.peak_active.max(s.active);
+                s.admitted_total += 1;
+                let queue_wait = waited_from.elapsed();
+                s.total_queue_wait += queue_wait;
+                // The next ticket may also be admissible (cap > 1).
+                self.cond.notify_all();
+                return Ok(Permit { gate: self.clone(), queue_wait });
+            }
+        }
+    }
+
+    /// Stop admitting: current waiters fail with
+    /// [`AdmitError::ShuttingDown`]; already-admitted queries keep their
+    /// permits and drain normally.
+    pub fn shutdown(&self) {
+        let mut s = self.state.lock().expect("admission lock poisoned");
+        s.shutdown = true;
+        self.cond.notify_all();
+    }
+
+    /// Current counters and high-water marks.
+    pub fn stats(&self) -> AdmissionStats {
+        let s = self.state.lock().expect("admission lock poisoned");
+        AdmissionStats {
+            cap: self.cap,
+            active: s.active,
+            peak_active: s.peak_active,
+            queued: s.queued,
+            max_queue_depth: s.max_queue_depth,
+            admitted_total: s.admitted_total,
+            rejected_total: s.rejected_total,
+            total_queue_wait: s.total_queue_wait,
+        }
+    }
+
+    fn release(&self) {
+        let mut s = self.state.lock().expect("admission lock poisoned");
+        s.active -= 1;
+        self.cond.notify_all();
+    }
+}
+
+/// RAII admission slot: holding one means the query may execute; dropping
+/// it frees the slot for the longest waiter.
+#[derive(Debug)]
+pub struct Permit {
+    gate: Arc<Admission>,
+    queue_wait: Duration,
+}
+
+impl Permit {
+    /// How long this query waited in the admission queue (zero on the fast
+    /// path).
+    pub fn queue_wait(&self) -> Duration {
+        self.queue_wait
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn cap_is_never_exceeded_under_contention() {
+        let gate = Arc::new(Admission::new(3, 64));
+        let running = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..24 {
+            let gate = gate.clone();
+            let running = running.clone();
+            handles.push(thread::spawn(move || {
+                let permit = gate.admit().unwrap();
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                assert!(now <= 3, "{now} queries active past the cap");
+                thread::sleep(Duration::from_millis(2));
+                running.fetch_sub(1, Ordering::SeqCst);
+                drop(permit);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = gate.stats();
+        assert_eq!(stats.admitted_total, 24);
+        assert!(stats.peak_active <= 3);
+        assert_eq!(stats.active, 0);
+        assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow() {
+        let gate = Arc::new(Admission::new(1, 0));
+        let held = gate.admit().unwrap();
+        assert_eq!(gate.admit().unwrap_err(), AdmitError::QueueFull);
+        assert_eq!(gate.stats().rejected_total, 1);
+        drop(held);
+        let again = gate.admit().unwrap();
+        assert_eq!(again.queue_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn fifo_order_among_waiters() {
+        let gate = Arc::new(Admission::new(1, 16));
+        let first = gate.admit().unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for i in 0..5 {
+            let waiter_gate = gate.clone();
+            let order = order.clone();
+            handles.push(thread::spawn(move || {
+                let permit = waiter_gate.admit().unwrap();
+                order.lock().unwrap().push(i);
+                assert!(permit.queue_wait() > Duration::ZERO);
+                drop(permit);
+            }));
+            // Serialize queue entry so arrival order is deterministic.
+            while gate.stats().queued != i + 1 {
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+        drop(first);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(gate.stats().max_queue_depth, 5);
+        assert!(gate.stats().total_queue_wait > Duration::ZERO);
+    }
+
+    #[test]
+    fn shutdown_fails_waiters_and_new_arrivals_but_drains_holders() {
+        let gate = Arc::new(Admission::new(1, 16));
+        let held = gate.admit().unwrap();
+        let waiter = {
+            let gate = gate.clone();
+            thread::spawn(move || gate.admit().map(|_| ()))
+        };
+        while gate.stats().queued == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        gate.shutdown();
+        assert_eq!(waiter.join().unwrap().unwrap_err(), AdmitError::ShuttingDown);
+        assert_eq!(gate.admit().unwrap_err(), AdmitError::ShuttingDown);
+        // The holder's permit still releases cleanly.
+        drop(held);
+        assert_eq!(gate.stats().active, 0);
+    }
+}

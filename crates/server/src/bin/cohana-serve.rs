@@ -1,0 +1,133 @@
+//! `cohana-serve` — serve a COHANA table over TCP.
+//!
+//! ```text
+//! cohana-serve [--open FILE.cohana | --users N] [--addr HOST:PORT]
+//!              [--cap N] [--queue N] [--cache-bytes N]
+//! ```
+//!
+//! With `--open` the table is file-backed and chunk columns are fetched on
+//! demand within the cache budget; otherwise a synthetic dataset with
+//! `--users` users is generated in memory. The server prints the bound
+//! address on stdout, then serves until stdin closes or reads `quit`,
+//! shutting down gracefully (draining in-flight queries).
+
+use cohana_activity::{generate, GeneratorConfig};
+use cohana_core::engine::DEFAULT_TABLE;
+use cohana_server::{Server, ServerConfig};
+use cohana_storage::{ChunkSource, CompressedTable, CompressionOptions, DEFAULT_CACHE_BUDGET};
+use std::io::BufRead;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut users = 10_000usize;
+    let mut open: Option<String> = None;
+    let mut config = ServerConfig { addr: "127.0.0.1:7654".into(), ..ServerConfig::default() };
+    let mut cache_bytes = DEFAULT_CACHE_BUDGET;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--users" => {
+                i += 1;
+                users = parse_or_exit(args.get(i), "--users");
+            }
+            "--open" => {
+                i += 1;
+                open = args.get(i).cloned();
+            }
+            "--addr" => {
+                i += 1;
+                config.addr = args.get(i).cloned().unwrap_or_else(|| usage_exit("--addr"));
+            }
+            "--cap" => {
+                i += 1;
+                config.admission_cap = parse_or_exit(args.get(i), "--cap");
+            }
+            "--queue" => {
+                i += 1;
+                config.queue_bound = parse_or_exit(args.get(i), "--queue");
+            }
+            "--cache-bytes" => {
+                i += 1;
+                cache_bytes = parse_or_exit(args.get(i), "--cache-bytes");
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: cohana-serve [--open FILE.cohana | --users N] \
+                     [--addr HOST:PORT] [--cap N] [--queue N] [--cache-bytes N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let engine = cohana_core::Cohana::new(Default::default());
+    if let Some(path) = open {
+        match engine.open_file_with_budget(DEFAULT_TABLE, std::path::Path::new(&path), cache_bytes)
+        {
+            Ok(src) => eprintln!(
+                "opened {path}: {} tuples in {} chunks (cache budget {cache_bytes} bytes)",
+                src.table_meta().num_rows(),
+                src.num_chunks(),
+            ),
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        eprintln!("generating a synthetic dataset with {users} users…");
+        let table = generate(&GeneratorConfig::new(users));
+        let compressed = CompressedTable::build(&table, CompressionOptions::default())
+            .expect("compression succeeds");
+        eprintln!("ready: {} tuples, {} users", table.num_rows(), table.num_users());
+        engine.register(DEFAULT_TABLE, compressed);
+    }
+
+    let mut server = match Server::start(Arc::new(engine), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Machine-readable so spawners can pick up the bound port.
+    println!("listening {}", server.local_addr());
+    eprintln!("serving; close stdin or type `quit` to shut down");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    eprintln!("shutting down (draining in-flight queries)…");
+    server.shutdown();
+    let stats = server.admission_stats();
+    eprintln!(
+        "served {} queries ({} refused, peak concurrency {}/{})",
+        stats.admitted_total, stats.rejected_total, stats.peak_active, stats.cap
+    );
+}
+
+fn usage_exit(flag: &str) -> ! {
+    eprintln!("missing value for {flag}");
+    std::process::exit(2);
+}
+
+fn parse_or_exit<T: std::str::FromStr>(arg: Option<&String>, flag: &str) -> T {
+    match arg.and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("bad value for {flag}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! The length-prefixed binary protocol `cohana-serve` speaks.
+//!
+//! Every frame is `u32 payload length (LE) | u8 frame type | payload`;
+//! payloads use the little-endian codec of [`cohana_core::wire`]. A peer
+//! that sends a payload longer than [`MAX_FRAME`] is refused with
+//! [`ERR_TOO_LARGE`] and disconnected; a frame that fails to decode is a
+//! protocol violation ([`ERR_PROTOCOL`]) that closes only that connection.
+//! See `docs/PROTOCOL.md` for the full exchange rules.
+
+use cohana_core::wire::{decode_query_stats, encode_query_stats, WireReader, WireWriter};
+use cohana_core::{EngineError, QueryStats};
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Protocol version sent (and required to match) in the HELLO handshake.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Largest accepted frame payload (64 MiB).
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Client → server greeting; must be the first frame on a connection.
+pub const FRAME_HELLO: u8 = 1;
+/// Client → server: parse + plan a SQL cohort query. Response carries the
+/// statement id and the result headers.
+pub const FRAME_PREPARE: u8 = 2;
+/// Client → server: execute a prepared statement. The server streams BATCH
+/// frames and terminates with one STATS frame.
+pub const FRAME_EXECUTE: u8 = 3;
+/// Server → client: one per-chunk [`WireBatch`](cohana_core::WireBatch).
+pub const FRAME_BATCH: u8 = 4;
+/// Stats. As the EXECUTE terminator (server → client) the payload is
+/// [`encode_exec_stats`]; as a standalone request/response pair the request
+/// payload is empty and the response is [`encode_server_stats`].
+pub const FRAME_STATS: u8 = 5;
+/// Server → client: a typed error (stable numeric code + human message).
+pub const FRAME_ERROR: u8 = 6;
+/// Client → server, only during an EXECUTE stream: stop the query. The
+/// server abandons the stream and answers ERROR [`ERR_CANCELLED`].
+pub const FRAME_CANCEL: u8 = 7;
+
+// Engine error codes (1:1 with `EngineError` variants) — stable: clients
+// match on these numbers, never on rendered messages.
+/// [`EngineError::UnknownAttribute`]
+pub const ERR_UNKNOWN_ATTRIBUTE: u16 = 1;
+/// [`EngineError::UnknownTable`]
+pub const ERR_UNKNOWN_TABLE: u16 = 2;
+/// [`EngineError::TypeError`]
+pub const ERR_TYPE: u16 = 3;
+/// [`EngineError::InvalidQuery`]
+pub const ERR_INVALID_QUERY: u16 = 4;
+/// [`EngineError::Storage`]
+pub const ERR_STORAGE: u16 = 5;
+/// [`EngineError::Corrupt`]
+pub const ERR_CORRUPT: u16 = 6;
+/// [`EngineError::Activity`]
+pub const ERR_ACTIVITY: u16 = 7;
+/// [`EngineError::Unsupported`]
+pub const ERR_UNSUPPORTED: u16 = 8;
+
+// Protocol/server error codes.
+/// Malformed frame or out-of-order exchange; the connection is closed.
+pub const ERR_PROTOCOL: u16 = 100;
+/// Frame payload exceeds [`MAX_FRAME`]; the connection is closed.
+pub const ERR_TOO_LARGE: u16 = 101;
+/// EXECUTE named a statement id this connection never prepared.
+pub const ERR_UNKNOWN_STATEMENT: u16 = 102;
+/// The query was cancelled by a CANCEL frame.
+pub const ERR_CANCELLED: u16 = 103;
+/// The server is shutting down and accepts no new queries.
+pub const ERR_SHUTTING_DOWN: u16 = 104;
+/// The admission wait queue is full; retry later.
+pub const ERR_QUEUE_FULL: u16 = 105;
+/// The SQL text failed to lex, parse, or translate.
+pub const ERR_SQL: u16 = 106;
+
+/// The stable wire code of a typed [`EngineError`].
+pub fn engine_error_code(e: &EngineError) -> u16 {
+    match e {
+        EngineError::UnknownAttribute(_) => ERR_UNKNOWN_ATTRIBUTE,
+        EngineError::UnknownTable(_) => ERR_UNKNOWN_TABLE,
+        EngineError::TypeError(_) => ERR_TYPE,
+        EngineError::InvalidQuery(_) => ERR_INVALID_QUERY,
+        EngineError::Storage(_) => ERR_STORAGE,
+        EngineError::Corrupt(_) => ERR_CORRUPT,
+        EngineError::Activity(_) => ERR_ACTIVITY,
+        EngineError::Unsupported(_) => ERR_UNSUPPORTED,
+    }
+}
+
+/// Write one frame (header + payload) and flush.
+pub fn write_frame(w: &mut impl Write, frame_type: u8, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; 5];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4] = frame_type;
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Outcome of a blocking frame read.
+#[derive(Debug)]
+pub enum ReadFrame {
+    /// A complete frame.
+    Frame(u8, Vec<u8>),
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// The peer announced a payload longer than [`MAX_FRAME`].
+    TooLarge(u32),
+}
+
+/// Read one frame, blocking. EOF before the first header byte is a clean
+/// [`ReadFrame::Eof`]; EOF mid-frame is an [`io::Error`].
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> io::Result<ReadFrame> {
+    let mut header = [0u8; 5];
+    let mut pos = 0;
+    while pos < header.len() {
+        match r.read(&mut header[pos..]) {
+            Ok(0) if pos == 0 => return Ok(ReadFrame::Eof),
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => pos += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+    if len > max_frame {
+        return Ok(ReadFrame::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(ReadFrame::Frame(header[4], payload))
+}
+
+/// HELLO request payload.
+pub fn encode_hello(tenant: &str) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u32(PROTOCOL_VERSION);
+    w.str(tenant);
+    w.into_bytes()
+}
+
+/// Parse a HELLO request: `(version, tenant)`.
+pub fn decode_hello(payload: &[u8]) -> Result<(u32, String), EngineError> {
+    let mut r = WireReader::new(payload);
+    let version = r.u32()?;
+    let tenant = r.str()?.to_string();
+    r.finish()?;
+    Ok((version, tenant))
+}
+
+/// HELLO response payload.
+pub fn encode_hello_ok(banner: &str, default_table: &str) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u32(PROTOCOL_VERSION);
+    w.str(banner);
+    w.str(default_table);
+    w.into_bytes()
+}
+
+/// Parse a HELLO response: `(version, banner, default_table)`.
+pub fn decode_hello_ok(payload: &[u8]) -> Result<(u32, String, String), EngineError> {
+    let mut r = WireReader::new(payload);
+    let version = r.u32()?;
+    let banner = r.str()?.to_string();
+    let table = r.str()?.to_string();
+    r.finish()?;
+    Ok((version, banner, table))
+}
+
+/// PREPARE request payload.
+pub fn encode_prepare(sql: &str) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.str(sql);
+    w.into_bytes()
+}
+
+/// Parse a PREPARE request: the SQL text.
+pub fn decode_prepare(payload: &[u8]) -> Result<String, EngineError> {
+    let mut r = WireReader::new(payload);
+    let sql = r.str()?.to_string();
+    r.finish()?;
+    Ok(sql)
+}
+
+/// What PREPARE returns: enough to execute remotely and to assemble the
+/// report client-side without the table's metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedInfo {
+    /// Server-assigned statement id, scoped to this connection.
+    pub stmt_id: u64,
+    /// Header names of the cohort attributes.
+    pub cohort_attrs: Vec<String>,
+    /// Header names of the aggregates.
+    pub agg_names: Vec<String>,
+    /// The server's EXPLAIN rendering of the plan.
+    pub explain: String,
+}
+
+/// PREPARE response payload.
+pub fn encode_prepared(info: &PreparedInfo) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u64(info.stmt_id);
+    w.u16(info.cohort_attrs.len() as u16);
+    for a in &info.cohort_attrs {
+        w.str(a);
+    }
+    w.u16(info.agg_names.len() as u16);
+    for a in &info.agg_names {
+        w.str(a);
+    }
+    w.str(&info.explain);
+    w.into_bytes()
+}
+
+/// Parse a PREPARE response.
+pub fn decode_prepared(payload: &[u8]) -> Result<PreparedInfo, EngineError> {
+    let mut r = WireReader::new(payload);
+    let stmt_id = r.u64()?;
+    let n = r.u16()? as usize;
+    let mut cohort_attrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        cohort_attrs.push(r.str()?.to_string());
+    }
+    let n = r.u16()? as usize;
+    let mut agg_names = Vec::with_capacity(n);
+    for _ in 0..n {
+        agg_names.push(r.str()?.to_string());
+    }
+    let explain = r.str()?.to_string();
+    r.finish()?;
+    Ok(PreparedInfo { stmt_id, cohort_attrs, agg_names, explain })
+}
+
+/// EXECUTE request payload.
+pub fn encode_execute(stmt_id: u64) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u64(stmt_id);
+    w.into_bytes()
+}
+
+/// Parse an EXECUTE request: the statement id.
+pub fn decode_execute(payload: &[u8]) -> Result<u64, EngineError> {
+    let mut r = WireReader::new(payload);
+    let id = r.u64()?;
+    r.finish()?;
+    Ok(id)
+}
+
+/// ERROR payload.
+pub fn encode_error(code: u16, message: &str) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u16(code);
+    w.str(message);
+    w.into_bytes()
+}
+
+/// Parse an ERROR payload: `(code, message)`.
+pub fn decode_error(payload: &[u8]) -> Result<(u16, String), EngineError> {
+    let mut r = WireReader::new(payload);
+    let code = r.u16()?;
+    let message = r.str()?.to_string();
+    r.finish()?;
+    Ok((code, message))
+}
+
+/// The STATS frame terminating one EXECUTE stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// What this execution cost on the server.
+    pub stats: QueryStats,
+    /// How long the query waited in the admission queue before running.
+    pub queue_wait: Duration,
+}
+
+/// EXECUTE-terminator STATS payload.
+pub fn encode_exec_stats(s: &ExecStats) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    encode_query_stats(&mut w, &s.stats);
+    w.u64(s.queue_wait.as_nanos() as u64);
+    w.into_bytes()
+}
+
+/// Parse an EXECUTE-terminator STATS payload.
+pub fn decode_exec_stats(payload: &[u8]) -> Result<ExecStats, EngineError> {
+    let mut r = WireReader::new(payload);
+    let stats = decode_query_stats(&mut r)?;
+    let queue_wait = Duration::from_nanos(r.u64()?);
+    r.finish()?;
+    Ok(ExecStats { stats, queue_wait })
+}
+
+/// A standalone STATS response: this tenant's cumulative accounting plus a
+/// snapshot of the server's admission state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Queries this tenant has executed (across all its connections).
+    pub queries: u64,
+    /// Sum of this tenant's per-query [`QueryStats`].
+    pub stats: QueryStats,
+    /// Admission-control snapshot (server-wide, not per tenant).
+    pub admission: crate::admission::AdmissionStats,
+}
+
+/// Standalone STATS response payload.
+pub fn encode_server_stats(s: &ServerStats) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u64(s.queries);
+    encode_query_stats(&mut w, &s.stats);
+    let a = &s.admission;
+    w.u64(a.cap as u64);
+    w.u64(a.active as u64);
+    w.u64(a.peak_active as u64);
+    w.u64(a.queued as u64);
+    w.u64(a.max_queue_depth as u64);
+    w.u64(a.admitted_total);
+    w.u64(a.rejected_total);
+    w.u64(a.total_queue_wait.as_nanos() as u64);
+    w.into_bytes()
+}
+
+/// Parse a standalone STATS response payload.
+pub fn decode_server_stats(payload: &[u8]) -> Result<ServerStats, EngineError> {
+    let mut r = WireReader::new(payload);
+    let queries = r.u64()?;
+    let stats = decode_query_stats(&mut r)?;
+    let admission = crate::admission::AdmissionStats {
+        cap: r.u64()? as usize,
+        active: r.u64()? as usize,
+        peak_active: r.u64()? as usize,
+        queued: r.u64()? as usize,
+        max_queue_depth: r.u64()? as usize,
+        admitted_total: r.u64()?,
+        rejected_total: r.u64()?,
+        total_queue_wait: Duration::from_nanos(r.u64()?),
+    };
+    r.finish()?;
+    Ok(ServerStats { queries, stats, admission })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FRAME_PREPARE, &encode_prepare("SELECT 1")).unwrap();
+        write_frame(&mut buf, FRAME_CANCEL, &[]).unwrap();
+        let mut r = io::Cursor::new(buf);
+        match read_frame(&mut r, MAX_FRAME).unwrap() {
+            ReadFrame::Frame(ty, payload) => {
+                assert_eq!(ty, FRAME_PREPARE);
+                assert_eq!(decode_prepare(&payload).unwrap(), "SELECT 1");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match read_frame(&mut r, MAX_FRAME).unwrap() {
+            ReadFrame::Frame(ty, payload) => {
+                assert_eq!(ty, FRAME_CANCEL);
+                assert!(payload.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(read_frame(&mut r, MAX_FRAME).unwrap(), ReadFrame::Eof));
+    }
+
+    #[test]
+    fn oversized_frames_are_reported_not_read() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        buf.push(FRAME_HELLO);
+        let mut r = io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut r, MAX_FRAME).unwrap(),
+            ReadFrame::TooLarge(n) if n == MAX_FRAME + 1
+        ));
+    }
+
+    #[test]
+    fn payload_codecs_roundtrip() {
+        let (v, t) = decode_hello(&encode_hello("analytics")).unwrap();
+        assert_eq!((v, t.as_str()), (PROTOCOL_VERSION, "analytics"));
+
+        let info = PreparedInfo {
+            stmt_id: 42,
+            cohort_attrs: vec!["country".into()],
+            agg_names: vec!["Sum(gold)".into(), "UserCount()".into()],
+            explain: "plan\n".into(),
+        };
+        assert_eq!(decode_prepared(&encode_prepared(&info)).unwrap(), info);
+
+        assert_eq!(decode_execute(&encode_execute(7)).unwrap(), 7);
+
+        let (code, msg) = decode_error(&encode_error(ERR_QUEUE_FULL, "full")).unwrap();
+        assert_eq!((code, msg.as_str()), (ERR_QUEUE_FULL, "full"));
+
+        let exec = ExecStats {
+            stats: QueryStats { chunks_total: 3, ..QueryStats::default() },
+            queue_wait: Duration::from_micros(21),
+        };
+        assert_eq!(decode_exec_stats(&encode_exec_stats(&exec)).unwrap(), exec);
+    }
+
+    #[test]
+    fn engine_errors_have_stable_codes() {
+        assert_eq!(engine_error_code(&EngineError::UnknownAttribute("x".into())), 1);
+        assert_eq!(engine_error_code(&EngineError::UnknownTable("x".into())), 2);
+        assert_eq!(engine_error_code(&EngineError::TypeError("x".into())), 3);
+        assert_eq!(engine_error_code(&EngineError::InvalidQuery("x".into())), 4);
+        assert_eq!(engine_error_code(&EngineError::Storage("x".into())), 5);
+        assert_eq!(engine_error_code(&EngineError::Corrupt("x".into())), 6);
+        assert_eq!(engine_error_code(&EngineError::Activity("x".into())), 7);
+        assert_eq!(engine_error_code(&EngineError::Unsupported("x".into())), 8);
+    }
+
+    #[test]
+    fn malformed_payloads_error_cleanly() {
+        assert!(decode_hello(&[1, 2]).is_err());
+        assert!(decode_prepared(&[0xff; 3]).is_err());
+        assert!(decode_error(&[]).is_err());
+        let mut good = encode_hello("t");
+        good.push(0);
+        assert!(decode_hello(&good).is_err(), "trailing bytes must be rejected");
+    }
+}

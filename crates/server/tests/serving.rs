@@ -1,0 +1,373 @@
+//! End-to-end serving tests: concurrent remote clients must be
+//! bit-identical to in-process execution, the admission cap must provably
+//! never be exceeded, a client disconnect must stop chunk decode mid-query
+//! (observed through the source's decode counters), graceful shutdown must
+//! drain in-flight streams while refusing new work, and malformed frames
+//! must close only the offending connection.
+
+use cohana_activity::{generate, GeneratorConfig, Timestamp};
+use cohana_core::{paper, Cohana, CohortQuery, CohortReport, EngineOptions};
+use cohana_server::protocol as proto;
+use cohana_server::{Client, Server, ServerConfig};
+use cohana_storage::{persist, CompressedTable, CompressionOptions};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn paper_queries() -> Vec<(String, CohortQuery)> {
+    let d1 = Timestamp::parse("2013-05-21").unwrap().secs();
+    let d2 = Timestamp::parse("2013-05-27").unwrap().secs();
+    vec![
+        ("q1".into(), paper::q1()),
+        ("q2".into(), paper::q2()),
+        ("q3".into(), paper::q3()),
+        ("q4".into(), paper::q4()),
+        ("q5".into(), paper::q5(d1, d2)),
+        ("q6".into(), paper::q6(d1, d2)),
+        ("q7".into(), paper::q7(7)),
+        ("q8".into(), paper::q8(7)),
+    ]
+}
+
+/// An engine over a freshly generated in-memory table.
+fn resident_engine(users: usize, chunk_rows: usize) -> Arc<Cohana> {
+    let table = generate(&GeneratorConfig::new(users));
+    let compressed =
+        CompressedTable::build(&table, CompressionOptions::with_chunk_size(chunk_rows)).unwrap();
+    let engine = Cohana::new(EngineOptions::default());
+    engine.register("GameActions", compressed);
+    Arc::new(engine)
+}
+
+fn temp_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("cohana-serving-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn start(engine: Arc<Cohana>, cap: usize, queue: usize) -> Server {
+    Server::start(
+        engine,
+        ServerConfig { admission_cap: cap, queue_bound: queue, ..ServerConfig::default() },
+    )
+    .expect("server binds")
+}
+
+#[test]
+fn concurrent_clients_are_bit_identical_to_in_process() {
+    let engine = resident_engine(60, 256);
+    let expected: Vec<(String, String, CohortReport)> = {
+        let session = engine.session();
+        paper_queries()
+            .into_iter()
+            .map(|(name, q)| {
+                let report = session.prepare(&q).unwrap().execute().unwrap();
+                (name, q.to_sql(), report)
+            })
+            .collect()
+    };
+    let mut server = start(engine, 4, 64);
+    let addr = server.local_addr();
+
+    let expected = Arc::new(expected);
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect(addr, &format!("tenant-{}", i % 3)).expect("connects");
+                // Each client covers every query, starting at a different
+                // offset so the mix overlaps across clients.
+                for k in 0..expected.len() {
+                    let (name, sql, want) = &expected[(i + k) % expected.len()];
+                    let got = client.query(sql).expect("remote query runs");
+                    assert_eq!(&got, want, "client {i} query {name} diverged");
+                    assert!(
+                        got.stats.expect("remote report carries server stats").chunks_scanned > 0,
+                        "client {i} query {name} reported no work"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread succeeds");
+    }
+
+    let stats = server.admission_stats();
+    assert_eq!(stats.admitted_total, 64, "8 clients x 8 queries all admitted");
+    assert!(stats.peak_active <= 4, "cap 4 exceeded: peak {}", stats.peak_active);
+    assert_eq!(stats.active, 0);
+
+    // Tenant accounting: the three tenants' totals partition all 64
+    // executions (clients map onto tenants round-robin: 3 + 3 + 2 clients
+    // of 8 queries each).
+    assert_eq!(server.tenant_stats("tenant-0").queries, 24);
+    assert_eq!(server.tenant_stats("tenant-1").queries, 24);
+    assert_eq!(server.tenant_stats("tenant-2").queries, 16);
+    server.shutdown();
+}
+
+#[test]
+fn admission_cap_is_never_exceeded_under_4x_load() {
+    let engine = resident_engine(60, 256);
+    let cap = 2;
+    let mut server = start(engine, cap, 64);
+    let addr = server.local_addr();
+
+    let sql = Arc::new(paper::q1().to_sql());
+    let handles: Vec<_> = (0..4 * cap)
+        .map(|i| {
+            let sql = sql.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, &format!("t{i}")).expect("connects");
+                for _ in 0..3 {
+                    client.query(&sql).expect("query under contention runs");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread succeeds");
+    }
+
+    // Server-side accounting is the authority: peak concurrency is tracked
+    // under the admission lock, so this is a proof, not a sample.
+    let stats = server.admission_stats();
+    assert!(stats.peak_active <= cap, "cap {cap} exceeded: peak {}", stats.peak_active);
+    assert_eq!(stats.admitted_total, (4 * cap * 3) as u64);
+    assert_eq!(stats.rejected_total, 0, "queue bound 64 should absorb 8 waiters");
+    server.shutdown();
+}
+
+#[test]
+fn disconnect_mid_stream_stops_chunk_decode() {
+    // File-backed source with a zero cache budget: every chunk a query
+    // touches is a real decode, so the source's counters are a live view of
+    // decode progress. Small chunks make the stream long enough that the
+    // disconnect provably lands mid-query.
+    let table = generate(&GeneratorConfig::new(400));
+    let compressed =
+        CompressedTable::build(&table, CompressionOptions::with_chunk_size(64)).unwrap();
+    let path = temp_file("disconnect.cohana");
+    persist::write_file(&compressed, &path).unwrap();
+    let engine = Cohana::new(EngineOptions::default());
+    engine.open_file_with_budget("GameActions", &path, 0).unwrap();
+    let source = engine.source("GameActions").unwrap();
+    let engine = Arc::new(engine);
+
+    let mut server = start(engine, 4, 64);
+    let addr = server.local_addr();
+    let sql = paper::q1().to_sql();
+
+    // Baseline: a fully drained run decodes every chunk.
+    let before = source.io_stats();
+    let mut client = Client::connect(addr, "baseline").unwrap();
+    client.query(&sql).unwrap();
+    drop(client);
+    let full_decodes = source.io_stats().chunks_decoded - before.chunks_decoded;
+    assert!(full_decodes >= 20, "need a long stream, got {full_decodes} chunk decodes");
+
+    // Now read one batch and vanish.
+    let before = source.io_stats();
+    {
+        let mut client = Client::connect(addr, "quitter").unwrap();
+        let prepared = client.prepare(&sql).unwrap();
+        let mut stream = client.execute(&prepared).unwrap();
+        let first = stream.next_batch().unwrap();
+        assert!(first.is_some(), "stream produced nothing");
+        // Dropping stream + client closes the socket mid-stream: that IS
+        // the cancellation signal.
+    }
+
+    // The decode counters must stop advancing...
+    let mut stable = source.io_stats().chunks_decoded;
+    let stopped_at = loop {
+        std::thread::sleep(Duration::from_millis(100));
+        let now = source.io_stats().chunks_decoded;
+        if now == stable {
+            break now;
+        }
+        stable = now;
+    };
+    // ...and strictly before the full count: the server noticed the
+    // disconnect and dropped the query stream mid-decode.
+    let partial_decodes = stopped_at - before.chunks_decoded;
+    assert!(
+        partial_decodes < full_decodes,
+        "disconnect did not cancel decode: {partial_decodes} of {full_decodes} chunks"
+    );
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn cancel_frame_stops_query_and_keeps_connection_usable() {
+    let engine = resident_engine(400, 64);
+    let mut server = start(engine, 4, 64);
+    let mut client = Client::connect(server.local_addr(), "canceller").unwrap();
+    let sql = paper::q1().to_sql();
+
+    let prepared = client.prepare(&sql).unwrap();
+    let mut stream = client.execute(&prepared).unwrap();
+    assert!(stream.next_batch().unwrap().is_some());
+    // Whether the server confirms the cancel or the query won the race,
+    // the connection must come back in sync.
+    let _cancelled = stream.cancel().expect("cancel exchange completes");
+    let report = client.query(&sql).expect("connection survives a cancel");
+    assert!(report.num_rows() > 0);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_and_refuses_new() {
+    let engine = resident_engine(400, 64);
+    let mut server = start(engine, 4, 64);
+    let addr = server.local_addr();
+    let sql = paper::q1().to_sql();
+
+    let mut client = Client::connect(addr, "drainer").unwrap();
+    let expected = client.query(&sql).unwrap();
+
+    let prepared = client.prepare(&sql).unwrap();
+    let mut stream = client.execute(&prepared).unwrap();
+    let mut batches = vec![stream.next_batch().unwrap().expect("first batch")];
+
+    // Shut down while the stream is mid-flight.
+    let shutdown = std::thread::spawn(move || {
+        server.shutdown();
+        server
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    // New connections are refused while (and after) draining: the listener
+    // is gone, so the connect itself fails.
+    assert!(
+        Client::connect(addr, "latecomer").is_err(),
+        "server accepted a connection during shutdown"
+    );
+
+    // The in-flight stream drains to completion, slowly, and still matches.
+    loop {
+        std::thread::sleep(Duration::from_millis(20));
+        match stream.next_batch().unwrap() {
+            Some(b) => batches.push(b),
+            None => break,
+        }
+    }
+    let stats = stream.stats().expect("drained stream ends with its STATS terminator");
+    assert!(stats.stats.chunks_scanned > 0);
+    let mut asm = cohana_core::ReportAssembler::new(
+        prepared.cohort_attrs().to_vec(),
+        prepared.agg_names().to_vec(),
+    );
+    for b in &batches {
+        asm.push(b).unwrap();
+    }
+    assert_eq!(asm.finish(), expected, "drained stream diverged from pre-shutdown run");
+
+    let server = shutdown.join().expect("shutdown completes");
+    drop(server);
+}
+
+#[test]
+fn typed_error_codes_over_the_wire() {
+    let engine = resident_engine(60, 256);
+    let mut server = start(engine, 1, 4);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr, "errors").unwrap();
+
+    // SQL that does not parse: ERR_SQL, connection stays usable.
+    let err = client.prepare("SELECT FROM WHERE").unwrap_err();
+    assert_eq!(err.remote_code(), Some(proto::ERR_SQL), "{err}");
+
+    // Unknown attribute: the engine's typed variant, by code, not by
+    // message matching.
+    let err = client
+        .prepare(
+            "SELECT no_such_column, COHORTSIZE, AGE, UserCount() \
+             FROM GameActions BIRTH FROM action = \"launch\" COHORT BY no_such_column",
+        )
+        .unwrap_err();
+    assert_eq!(err.remote_code(), Some(proto::ERR_UNKNOWN_ATTRIBUTE), "{err}");
+
+    // The connection survived both errors.
+    let report = client.query(&paper::q1().to_sql()).unwrap();
+    assert!(report.num_rows() > 0);
+
+    // EXECUTE of a statement id this connection never prepared.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    proto::write_frame(&mut raw, proto::FRAME_HELLO, &proto::encode_hello("raw")).unwrap();
+    match proto::read_frame(&mut raw, proto::MAX_FRAME).unwrap() {
+        proto::ReadFrame::Frame(proto::FRAME_HELLO, _) => {}
+        other => panic!("handshake failed: {other:?}"),
+    }
+    proto::write_frame(&mut raw, proto::FRAME_EXECUTE, &proto::encode_execute(999)).unwrap();
+    match proto::read_frame(&mut raw, proto::MAX_FRAME).unwrap() {
+        proto::ReadFrame::Frame(proto::FRAME_ERROR, payload) => {
+            let (code, _) = proto::decode_error(&payload).unwrap();
+            assert_eq!(code, proto::ERR_UNKNOWN_STATEMENT);
+        }
+        other => panic!("expected ERROR frame, got {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_oversized_frames_close_only_that_connection() {
+    let engine = resident_engine(60, 256);
+    let mut server = start(engine, 2, 8);
+    let addr = server.local_addr();
+
+    // A well-behaved client shares the server with the abusers throughout.
+    let mut good = Client::connect(addr, "good").unwrap();
+    let sql = paper::q1().to_sql();
+
+    // Garbage before HELLO: ERROR 100, then the connection is closed.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    proto::write_frame(&mut raw, 42, b"nonsense").unwrap();
+    match proto::read_frame(&mut raw, proto::MAX_FRAME).unwrap() {
+        proto::ReadFrame::Frame(proto::FRAME_ERROR, payload) => {
+            let (code, _) = proto::decode_error(&payload).unwrap();
+            assert_eq!(code, proto::ERR_PROTOCOL);
+        }
+        other => panic!("expected ERROR frame, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    raw.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server kept the connection open after a protocol violation");
+
+    // An oversized frame header: ERR_TOO_LARGE without reading the body.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let mut header = Vec::new();
+    header.extend_from_slice(&(proto::MAX_FRAME + 1).to_le_bytes());
+    header.push(proto::FRAME_HELLO);
+    raw.write_all(&header).unwrap();
+    match proto::read_frame(&mut raw, proto::MAX_FRAME).unwrap() {
+        proto::ReadFrame::Frame(proto::FRAME_ERROR, payload) => {
+            let (code, _) = proto::decode_error(&payload).unwrap();
+            assert_eq!(code, proto::ERR_TOO_LARGE);
+        }
+        other => panic!("expected ERROR frame, got {other:?}"),
+    }
+
+    // A HELLO whose payload is truncated garbage.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    proto::write_frame(&mut raw, proto::FRAME_HELLO, &[1, 2]).unwrap();
+    match proto::read_frame(&mut raw, proto::MAX_FRAME).unwrap() {
+        proto::ReadFrame::Frame(proto::FRAME_ERROR, payload) => {
+            let (code, _) = proto::decode_error(&payload).unwrap();
+            assert_eq!(code, proto::ERR_PROTOCOL);
+        }
+        other => panic!("expected ERROR frame, got {other:?}"),
+    }
+
+    // The abuse never panicked the server or hurt the good connection.
+    let report = good.query(&sql).unwrap();
+    assert!(report.num_rows() > 0);
+    server.shutdown();
+}

@@ -72,6 +72,7 @@ pub mod cursor;
 pub mod dict;
 pub mod error;
 pub mod persist;
+pub mod record;
 pub mod rle;
 pub mod source;
 pub mod stats;
@@ -86,6 +87,7 @@ pub use cursor::ChunkCursors;
 pub use dict::{ChunkDict, GlobalDict};
 pub use error::StorageError;
 pub use persist::{AppendStats, CodecStats, ColumnCompression, CompactStats, FormatInfo};
+pub use record::{with_recorder, IoRecorder};
 pub use rle::UserRle;
 pub use source::{
     ChunkIndexEntry, ChunkRef, ChunkSource, ColumnStats, FileSource, RefreshStats, SourceIoStats,

@@ -1,0 +1,150 @@
+//! Exact per-query I/O attribution.
+//!
+//! [`SourceIoStats::delta_since`] attributes I/O to a query by subtracting
+//! lifetime-counter snapshots, which over-counts when two queries decode on
+//! the same source concurrently: each query's window swallows the other's
+//! I/O. An [`IoRecorder`] fixes the attribution at the increment site
+//! instead: every thread carries at most one *active recorder* (a
+//! thread-local installed with [`with_recorder`]), and every counter bump a
+//! [`FileSource`](crate::FileSource) performs is credited to the recorder
+//! active on the bumping thread — so each increment lands in exactly one
+//! query's recorder, no matter how executions interleave.
+//!
+//! The executor installs one recorder per query stream: around each serial
+//! chunk run, and for the whole lifetime of each parallel worker thread.
+//! Threads with no active recorder (e.g. a cache-warming scan done outside
+//! any query) simply credit nobody; the source's own lifetime counters are
+//! bumped unconditionally either way.
+
+use crate::source::SourceIoStats;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Monotone per-query I/O counters, credited by the storage layer while the
+/// recorder is installed on the decoding thread (see [`with_recorder`]).
+/// Shared across threads via `Arc`; all counters are atomic, so
+/// [`IoRecorder::snapshot`] can race with live decodes.
+#[derive(Debug, Default)]
+pub struct IoRecorder {
+    chunks_decoded: AtomicUsize,
+    columns_decoded: AtomicUsize,
+    bytes_read: AtomicU64,
+    bytes_decompressed: AtomicU64,
+    cache_evictions: AtomicU64,
+}
+
+impl IoRecorder {
+    /// A fresh all-zero recorder.
+    pub fn new() -> IoRecorder {
+        IoRecorder::default()
+    }
+
+    /// The I/O credited so far. The gauge fields (`cache_resident_bytes`,
+    /// `cache_budget_bytes`) are not per-query quantities and stay zero.
+    pub fn snapshot(&self) -> SourceIoStats {
+        SourceIoStats {
+            chunks_decoded: self.chunks_decoded.load(Ordering::Relaxed),
+            columns_decoded: self.columns_decoded.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_decompressed: self.bytes_decompressed.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            cache_resident_bytes: 0,
+            cache_budget_bytes: 0,
+        }
+    }
+
+    pub(crate) fn add_chunks_decoded(&self, n: usize) {
+        self.chunks_decoded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_columns_decoded(&self, n: usize) {
+        self.columns_decoded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_bytes_read(&self, n: u64) {
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_bytes_decompressed(&self, n: u64) {
+        self.bytes_decompressed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_cache_evictions(&self, n: u64) {
+        self.cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Arc<IoRecorder>>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with `recorder` installed as this thread's active recorder,
+/// restoring whatever was active before (recorder scopes nest). Every
+/// storage counter bump performed on this thread inside `f` — including by
+/// code that has never heard of recorders — is credited to `recorder`.
+pub fn with_recorder<T>(recorder: &Arc<IoRecorder>, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<Arc<IoRecorder>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ACTIVE.with(|slot| *slot.borrow_mut() = self.0.take());
+        }
+    }
+    let previous = ACTIVE.with(|slot| slot.borrow_mut().replace(recorder.clone()));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// Credit the thread's active recorder, if one is installed. Called by the
+/// storage layer next to each lifetime-counter bump.
+pub(crate) fn credit(f: impl FnOnce(&IoRecorder)) {
+    ACTIVE.with(|slot| {
+        if let Some(recorder) = slot.borrow().as_deref() {
+            f(recorder);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credits_only_inside_scope() {
+        let rec = Arc::new(IoRecorder::new());
+        credit(|r| r.add_bytes_read(7)); // no recorder installed: dropped
+        with_recorder(&rec, || {
+            credit(|r| r.add_bytes_read(5));
+            credit(|r| r.add_chunks_decoded(1));
+        });
+        credit(|r| r.add_bytes_read(100)); // scope ended: dropped
+        let snap = rec.snapshot();
+        assert_eq!(snap.bytes_read, 5);
+        assert_eq!(snap.chunks_decoded, 1);
+        assert_eq!(snap.cache_evictions, 0);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let outer = Arc::new(IoRecorder::new());
+        let inner = Arc::new(IoRecorder::new());
+        with_recorder(&outer, || {
+            credit(|r| r.add_columns_decoded(1));
+            with_recorder(&inner, || credit(|r| r.add_columns_decoded(10)));
+            credit(|r| r.add_columns_decoded(2));
+        });
+        assert_eq!(outer.snapshot().columns_decoded, 3);
+        assert_eq!(inner.snapshot().columns_decoded, 10);
+    }
+
+    #[test]
+    fn recorders_are_per_thread() {
+        let rec = Arc::new(IoRecorder::new());
+        with_recorder(&rec, || {
+            // A thread spawned inside the scope does NOT inherit it.
+            std::thread::spawn(|| credit(|r| r.add_bytes_read(999))).join().unwrap();
+            credit(|r| r.add_bytes_read(1));
+        });
+        assert_eq!(rec.snapshot().bytes_read, 1);
+    }
+}

@@ -26,6 +26,7 @@
 use crate::chunk::Chunk;
 use crate::column::ChunkColumn;
 use crate::persist::{self, ChunkLayout};
+use crate::record;
 use crate::rle::UserRle;
 use crate::table::{validate_chunk, validate_column, validate_rle, CompressedTable, TableMeta};
 use crate::{Result, StorageError};
@@ -211,7 +212,10 @@ impl SourceIoStats {
     /// a query, subtract after, and the difference is what happened on the
     /// source during the query. That is exactly the query's own cost while
     /// it has the source to itself; concurrent queries on the same source
-    /// fall into each other's windows, making the delta an upper bound.
+    /// fall into each other's windows, making the delta an upper bound. For
+    /// exact attribution under source-level concurrency, install an
+    /// [`IoRecorder`](crate::IoRecorder) on the decoding threads instead —
+    /// that is what the executor's query streams do.
     pub fn delta_since(&self, baseline: &SourceIoStats) -> SourceIoStats {
         SourceIoStats {
             chunks_decoded: self.chunks_decoded.saturating_sub(baseline.chunks_decoded),
@@ -357,15 +361,19 @@ impl SegmentCache {
         })
     }
 
-    fn insert(&mut self, key: SegKey, slot: CacheSlot, bytes: usize) {
+    /// Insert an entry, evicting LRU entries as needed; returns how many
+    /// evictions this insertion caused (credited to the inserting query's
+    /// recorder by the caller).
+    fn insert(&mut self, key: SegKey, slot: CacheSlot, bytes: usize) -> u64 {
         if let Some(old) = self.map.remove(&key) {
             self.resident -= old.bytes;
         }
         if bytes > self.budget {
             // A segment larger than the whole budget is never retained.
             // Nothing resident is displaced, so this is not an eviction.
-            return;
+            return 0;
         }
+        let mut evicted_now = 0;
         while self.resident + bytes > self.budget {
             let lru = self
                 .map
@@ -376,10 +384,12 @@ impl SegmentCache {
             let evicted = self.map.remove(&lru).expect("lru key present");
             self.resident -= evicted.bytes;
             self.evictions += 1;
+            evicted_now += 1;
         }
         self.tick += 1;
         self.map.insert(key, CacheEntry { slot, bytes, tick: self.tick });
         self.resident += bytes;
+        evicted_now
     }
 
     /// Drop one entry, returning whether it was present. Not counted as an
@@ -659,6 +669,7 @@ impl FileSource {
             })?;
         }
         self.bytes_read.fetch_add(len, Ordering::Relaxed);
+        record::credit(|r| r.add_bytes_read(len));
         Ok(buf)
     }
 
@@ -672,6 +683,7 @@ impl FileSource {
         let entry = &self.entries[idx];
         let blob = self.read_range(layout.rle.offset, layout.rle.len)?;
         self.bytes_decompressed.fetch_add(layout.rle.uncompressed, Ordering::Relaxed);
+        record::credit(|r| r.add_bytes_decompressed(layout.rle.uncompressed));
         let mut rle = persist::decode_rle_blob(&blob)?;
         if let Some(remap) = self.remap_for(idx, self.meta.schema().user_idx()) {
             rle = rle.remap_users(remap)?;
@@ -683,13 +695,15 @@ impl FileSource {
             )));
         }
         self.decoded.fetch_add(1, Ordering::Relaxed);
+        record::credit(|r| r.add_chunks_decoded(1));
         let rle = Arc::new(rle);
         let bytes = rle.packed_bytes();
-        self.cache.lock().expect("cache lock poisoned").insert(
+        let evicted = self.cache.lock().expect("cache lock poisoned").insert(
             key,
             CacheSlot::Rle(rle.clone()),
             bytes,
         );
+        record::credit(|r| r.add_cache_evictions(evicted));
         Ok(rle)
     }
 
@@ -711,6 +725,7 @@ impl FileSource {
         let blob = self.read_range(loc.offset, loc.len)?;
         let mut col = persist::decode_column_blob_loc(&blob, loc)?;
         self.bytes_decompressed.fetch_add(loc.uncompressed, Ordering::Relaxed);
+        record::credit(|r| r.add_bytes_decompressed(loc.uncompressed));
         if let Some(remap) = self.remap_for(idx, attr) {
             col = col.remap_gids(remap)?;
         }
@@ -753,13 +768,15 @@ impl FileSource {
             )));
         }
         self.columns_decoded.fetch_add(1, Ordering::Relaxed);
+        record::credit(|r| r.add_columns_decoded(1));
         let col = Arc::new(col);
         let bytes = col.packed_bytes();
-        self.cache.lock().expect("cache lock poisoned").insert(
+        let evicted = self.cache.lock().expect("cache lock poisoned").insert(
             key,
             CacheSlot::Col(col.clone()),
             bytes,
         );
+        record::credit(|r| r.add_cache_evictions(evicted));
         Ok(col)
     }
 
@@ -801,6 +818,7 @@ impl FileSource {
         let (offset, len) = self.locations[idx];
         let blob = self.read_range(offset, len)?;
         self.bytes_decompressed.fetch_add(len, Ordering::Relaxed);
+        record::credit(|r| r.add_bytes_decompressed(len));
         let chunk = persist::decode_chunk_blob(&blob, self.meta.schema().arity())?;
         validate_chunk(&self.meta, idx, &chunk)?;
         // The footer's index entry is untrusted input that already steered
@@ -812,13 +830,15 @@ impl FileSource {
             )));
         }
         self.decoded.fetch_add(1, Ordering::Relaxed);
+        record::credit(|r| r.add_chunks_decoded(1));
         let chunk = Arc::new(chunk);
         let bytes = chunk.packed_bytes();
-        self.cache.lock().expect("cache lock poisoned").insert(
+        let evicted = self.cache.lock().expect("cache lock poisoned").insert(
             key,
             CacheSlot::Whole(chunk.clone()),
             bytes,
         );
+        record::credit(|r| r.add_cache_evictions(evicted));
         Ok(ChunkRef::Shared(chunk))
     }
 }

@@ -12,15 +12,20 @@
 //! cohana> .stats                      -- per-query stats of the last query
 //! cohana> .stats source               -- lifetime source/cache counters
 //! cohana> .pivot SELECT ... ;         -- render as a cohort matrix
+//! cohana> .connect HOST:PORT          -- route queries to a cohana-serve
 //! cohana> .schema | .save FILE | .help | .quit
 //! ```
 //!
 //! Statements end with `;`. `WITH … AS (…) SELECT …` mixed queries (§3.5)
 //! and `EXPLAIN <query>` are supported. Every statement runs through one
-//! [`Session`] on the shared engine.
+//! [`Session`] on the shared engine — or, after `.connect HOST:PORT
+//! [tenant]`, over the wire through a remote `cohana-serve` (`.disconnect`
+//! returns to the local engine; `.stats server` shows the remote tenant and
+//! admission counters).
 
 use cohana::engine::QueryStats;
 use cohana::prelude::*;
+use cohana::server::{Client, ClientError};
 use cohana::sql::{SessionSqlExt, SqlAnswer};
 use std::io::{BufRead, Write};
 
@@ -132,6 +137,7 @@ fn main() {
     eprintln!("type .help for commands; statements end with `;`\n");
 
     let session = engine.session();
+    let mut remote: Option<Client> = None;
     let mut last_stats: Option<QueryStats> = None;
     let stdin = std::io::stdin();
     let mut buffer = String::new();
@@ -153,7 +159,7 @@ fn main() {
         }
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('.') {
-            if !meta_command(&session, trimmed, &mut last_stats) {
+            if !meta_command(&session, trimmed, &mut remote, &mut last_stats) {
                 break;
             }
             continue;
@@ -167,7 +173,47 @@ fn main() {
         if stmt.is_empty() {
             continue;
         }
-        run_statement(&session, &stmt, Render::Table, &mut last_stats);
+        if remote.is_some() {
+            run_remote_statement(&mut remote, &stmt, &mut last_stats);
+        } else {
+            run_statement(&session, &stmt, Render::Table, &mut last_stats);
+        }
+    }
+}
+
+/// Run one SQL statement over the wire through the connected server.
+/// `EXPLAIN <query>` prints the server's plan without executing. A
+/// connection-level failure drops the remote session back to local mode.
+fn run_remote_statement(
+    remote: &mut Option<Client>,
+    stmt: &str,
+    last_stats: &mut Option<QueryStats>,
+) {
+    let client = remote.as_mut().expect("caller checked remote mode");
+    let started = std::time::Instant::now();
+    let trimmed = stmt.trim();
+    let explain_body = trimmed
+        .get(..8)
+        .filter(|head| head.eq_ignore_ascii_case("EXPLAIN "))
+        .map(|_| trimmed[8..].trim());
+    let outcome = match explain_body {
+        Some(body) => client.prepare(body).map(|prepared| {
+            println!("{}", prepared.explain());
+            *last_stats = None;
+        }),
+        None => client.query(trimmed).map(|report| {
+            println!("{}", report.pretty());
+            println!("({} rows in {:.1?})", report.num_rows(), started.elapsed());
+            *last_stats = report.stats;
+        }),
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        *last_stats = None;
+        if matches!(e, ClientError::Io(_) | ClientError::Desynced) {
+            eprintln!("connection lost; back to the local engine");
+            *remote = None;
+        }
     }
 }
 
@@ -234,7 +280,12 @@ fn run_statement(
 }
 
 /// Handle a `.command`; returns false to quit.
-fn meta_command(session: &Session<'_>, cmd: &str, last_stats: &mut Option<QueryStats>) -> bool {
+fn meta_command(
+    session: &Session<'_>,
+    cmd: &str,
+    remote: &mut Option<Client>,
+    last_stats: &mut Option<QueryStats>,
+) -> bool {
     let engine = session.engine();
     let (name, rest) = match cmd.split_once(' ') {
         Some((n, r)) => (n, r.trim()),
@@ -252,6 +303,9 @@ fn meta_command(session: &Session<'_>, cmd: &str, last_stats: &mut Option<QueryS
                  .ingest <file.csv> append new activity records to the table\n\
                  .compact           merge appended chunks, restore sort order\n\
                  .save <file>       persist the compressed table\n\
+                 .connect H:P [t]   route queries to a cohana-serve (tenant t)\n\
+                 .disconnect        return to the local engine\n\
+                 .stats server      remote tenant + admission counters\n\
                  .quit              exit"
             );
         }
@@ -262,6 +316,55 @@ fn meta_command(session: &Session<'_>, cmd: &str, last_stats: &mut Option<QueryS
                 }
             }
         }
+        ".connect" => {
+            let mut parts = rest.split_whitespace();
+            let (addr, tenant) = (parts.next(), parts.next().unwrap_or("shell"));
+            match addr {
+                None => eprintln!("usage: .connect HOST:PORT [tenant]"),
+                Some(addr) => match Client::connect(addr, tenant) {
+                    Ok(client) => {
+                        println!(
+                            "connected to {} ({}, default table {}) as tenant {tenant:?}",
+                            addr,
+                            client.banner(),
+                            client.default_table()
+                        );
+                        *remote = Some(client);
+                    }
+                    Err(e) => eprintln!("cannot connect to {addr}: {e}"),
+                },
+            }
+        }
+        ".disconnect" => {
+            if remote.take().is_some() {
+                println!("disconnected; back to the local engine");
+            } else {
+                eprintln!("not connected");
+            }
+        }
+        ".stats" if rest == "server" => match remote.as_mut() {
+            None => eprintln!("not connected; .connect HOST:PORT first"),
+            Some(client) => match client.server_stats() {
+                Ok(s) => {
+                    println!(
+                        "tenant: {} queries, cumulative {}\n\
+                         admission: {}/{} active (peak {}), {} queued (max {}), \
+                         {} admitted, {} refused, total queue wait {:.1?}",
+                        s.queries,
+                        s.stats,
+                        s.admission.active,
+                        s.admission.cap,
+                        s.admission.peak_active,
+                        s.admission.queued,
+                        s.admission.max_queue_depth,
+                        s.admission.admitted_total,
+                        s.admission.rejected_total,
+                        s.admission.total_queue_wait,
+                    );
+                }
+                Err(e) => eprintln!("error: {e}"),
+            },
+        },
         ".stats" if rest == "source" => source_stats(engine),
         ".stats" => match last_stats {
             Some(stats) => println!("last query: {stats}"),

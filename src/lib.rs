@@ -18,7 +18,9 @@
 //!   IN`, `COHORT BY`),
 //! * [`relational`] — the row/columnar relational baselines (the paper's
 //!   Postgres / MonetDB stand-ins) with SQL- and materialized-view-based
-//!   cohort evaluation.
+//!   cohort evaluation,
+//! * [`server`] — the concurrent TCP serving layer (`cohana-serve`) and its
+//!   blocking client, with admission control and streaming results.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@
 pub use cohana_activity as activity;
 pub use cohana_core as engine;
 pub use cohana_relational as relational;
+pub use cohana_server as server;
 pub use cohana_sql as sql;
 pub use cohana_storage as storage;
 
