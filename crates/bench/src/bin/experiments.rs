@@ -26,7 +26,7 @@ OPTIONS:
     --exp <id>        experiment to run: table2, table3, fig6, fig7, fig8,
                       fig9, fig10, fig11, ablation, parallel, lazy-io,
                       scan-throughput, morsel-scheduler,
-                      ingest, serving, all                [default: all]
+                      ingest, sharded-ingest, serving, all [default: all]
     --users <n>       users in the scale-1 dataset        [default: 1000]
     --scales <list>   comma-separated scale factors       [default: 1,2,4,8]
     --chunks <list>   comma-separated chunk sizes         [default: 16384,65536,262144,1048576]
@@ -117,6 +117,7 @@ fn run() -> Result<(), String> {
         "scan-throughput" => vec![experiments::scan_throughput(&mut cache)],
         "morsel-scheduler" => vec![experiments::morsel_scheduler(&mut cache)],
         "ingest" => vec![experiments::ingest(&mut cache)],
+        "sharded-ingest" => vec![experiments::sharded_ingest(&mut cache)],
         "serving" => vec![experiments::serving(&mut cache)],
         "all" => experiments::all(&mut cache),
         other => return Err(format!("unknown experiment {other:?}")),

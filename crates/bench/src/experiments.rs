@@ -609,6 +609,128 @@ pub fn ingest(cache: &mut DatasetCache) -> ExperimentResult {
     out
 }
 
+// ----------------------------------------------------------- Sharded ingest
+
+/// Extension experiment (not in the paper): the sharded write path. Each
+/// time-sliced batch is appended twice — serially to one flat file and in
+/// parallel to a user-id-range sharded directory (one append thread per
+/// touched shard, under per-shard locks) — so every row compares the two
+/// paths on identical input. The notes record what a full compaction sweep
+/// of the shard set reclaimed and the prepared-Q1 latency measured while an
+/// eager maintenance thread auto-compacted shards in the background.
+pub fn sharded_ingest(cache: &mut DatasetCache) -> ExperimentResult {
+    use cohana_storage::shard;
+
+    let runs = cache.config().runs;
+    // Uniform arrival (the default generator, i.e. `cache.base()`): every
+    // time slice spans the whole user-id range, so each batch fans out
+    // across all shards — the parallel case this experiment measures.
+    let table = cache.base();
+    let batches = time_slices(&table, 5);
+    let shards = 4usize;
+    let chunk = CompressionOptions::with_chunk_size(16 * 1024);
+
+    let dir = std::env::temp_dir().join("cohana-bench-sharded-ingest");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let flat = dir.join("flat.cohana");
+    let sharded = dir.join("sharded");
+    let first = CompressedTable::build(&batches[0], chunk).expect("first batch compresses");
+    persist::write_file(&first, &flat).expect("initial file writes");
+    shard::create_sharded(&sharded, &batches[0], shards, chunk).expect("initial shards write");
+
+    let mut out = ExperimentResult::new(
+        "sharded-ingest",
+        format!(
+            "per-batch append: serial single file vs parallel {shards}-shard directory \
+             (same time-sliced input)"
+        ),
+        vec![
+            "batch".into(),
+            "rows".into(),
+            "serialSec".into(),
+            "parallelSec".into(),
+            "speedup".into(),
+            "shardsTouched".into(),
+        ],
+    );
+    for (i, batch) in batches[1..].iter().enumerate() {
+        let (_, serial) = crate::timing::time_once(|| {
+            persist::append(&flat, batch).expect("serial append succeeds")
+        });
+        let (stats, parallel) = crate::timing::time_once(|| {
+            shard::append_sharded(&sharded, batch).expect("sharded append succeeds")
+        });
+        out.push_row(vec![
+            (i + 1).to_string(),
+            batch.num_rows().to_string(),
+            fmt_secs(serial),
+            fmt_secs(parallel),
+            format!("{:.2}", serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9)),
+            stats.shards_touched().to_string(),
+        ]);
+    }
+
+    // Full compaction sweep of the shard set: the reclaimed bytes are what
+    // the returning-user rewrites above left dead.
+    let dead: u64 =
+        shard::shard_space_stats(&sharded).expect("space stats").iter().map(|s| s.dead_bytes).sum();
+    let mut reclaimed = 0u64;
+    for i in 0..shards {
+        reclaimed += shard::compact_shard(&sharded, i).expect("shard compacts").reclaimed_bytes;
+    }
+    out.push_note(format!(
+        "compaction sweep over {shards} shards: {dead} dead bytes, {reclaimed} reclaimed"
+    ));
+
+    // Q1 on the live sharded table while an eager maintenance thread
+    // auto-compacts behind more ingests.
+    let engine = cohana_core::Cohana::new(Default::default());
+    let handle = engine
+        .open(&sharded)
+        .maintenance(cohana_core::MaintenanceConfig {
+            auto_compact: true,
+            dead_ratio: 0.01,
+            interval: Duration::from_millis(5),
+        })
+        .open()
+        .expect("sharded table opens");
+    let stmt = handle.prepare(&paper::q1()).expect("q1 prepares");
+    let live = handle.sharded_table().expect("handle is sharded");
+    // Each cycle shifts the batch's timestamps so repeated ingests never
+    // collide with rows already in the table (the format enforces a
+    // (user, action, time) primary key), while the returning users still
+    // force the rewrites that feed the compactor.
+    let tidx = table.schema().time_idx();
+    let mut cycle = 0i64;
+    let d = time_avg(runs.max(2), || {
+        cycle += 1;
+        let mut b = cohana_activity::TableBuilder::new(batches[1].schema().clone());
+        for row in batches[1].rows() {
+            let mut vals = row.values().to_vec();
+            let t = vals[tidx].as_int().expect("time");
+            vals[tidx] = cohana_activity::Value::Int(t + (cycle << 32));
+            b.push(vals).expect("row pushes");
+        }
+        live.ingest(&b.finish().expect("batch sorts")).expect("live ingest succeeds");
+        stmt.execute().expect("q1 executes during compaction");
+    });
+    let maint = live.maintenance_stats();
+    out.push_note(format!(
+        "ingest+Q1 cycle avg {} with background compaction ({} passes, {} auto-compactions, \
+         {} bytes reclaimed)",
+        fmt_secs(d),
+        maint.passes,
+        maint.auto_compactions,
+        maint.reclaimed_bytes
+    ));
+    drop(stmt);
+    drop(handle);
+    drop(engine);
+    std::fs::remove_dir_all(&dir).ok();
+    out
+}
+
 // ------------------------------------------------------- Scan throughput
 
 /// Extension experiment (not in the paper): end-to-end rows/sec of the
@@ -886,6 +1008,7 @@ pub fn all(cache: &mut DatasetCache) -> Vec<ExperimentResult> {
         scan_throughput(cache),
         morsel_scheduler(cache),
         ingest(cache),
+        sharded_ingest(cache),
         serving(cache),
     ]
 }
@@ -972,6 +1095,20 @@ mod tests {
         let dead: u64 = last[6].parse().unwrap();
         assert!(dead > 0, "appends leave dead bytes for compaction to reclaim");
         assert!(r.notes[0].contains("reclaimed"));
+    }
+
+    #[test]
+    fn sharded_ingest_compares_both_paths_per_batch() {
+        let r = sharded_ingest(&mut quick_cache());
+        assert_eq!(r.rows.len(), 4, "one row per appended batch");
+        for row in &r.rows {
+            assert!(row[1].parse::<u64>().unwrap() > 0, "batch {}: no rows", row[0]);
+            assert!(row[4].parse::<f64>().unwrap() > 0.0, "batch {}: no speedup", row[0]);
+            assert!(row[5].parse::<u64>().unwrap() >= 1, "batch {}: no shards", row[0]);
+        }
+        assert_eq!(r.notes.len(), 2);
+        assert!(r.notes[0].contains("reclaimed"));
+        assert!(r.notes[1].contains("background compaction"));
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //! (Figure 4; the parser module lives in the `cohana-sql` crate).
 
 use crate::error::EngineError;
+use crate::handle::{OpenOptions, TableHandle};
 use crate::plan::{plan_query, PhysicalPlan, PlannerOptions};
 use crate::query::CohortQuery;
 use crate::report::CohortReport;
 use crate::session::Session;
+use crate::sharded::ShardedTable;
 use cohana_activity::{ActivityTable, Schema};
 use cohana_storage::{ChunkSource, CompressedTable, CompressionOptions, FileSource};
 use std::collections::HashMap;
@@ -43,16 +45,16 @@ impl Default for EngineOptions {
 /// The default table name used by [`Cohana::from_activity_table`].
 pub const DEFAULT_TABLE: &str = "GameActions";
 
-/// One catalog slot: a fully resident table, an engine-opened file, or an
-/// arbitrary (caller-provided) chunk source. Resident tables and files keep
-/// their concrete types so callers can still reach type-specific APIs
-/// (stats, decompression, re-saving) and so [`Cohana::ingest`] /
-/// [`Cohana::compact`] know how to grow them; all three kinds execute
-/// through [`ChunkSource`].
+/// One catalog slot: a fully resident table, an engine-opened file, a
+/// sharded table directory, or an arbitrary (caller-provided) chunk source.
+/// Resident tables, files, and sharded tables keep their concrete types so
+/// the engine knows how to grow / compact / maintain them; all four kinds
+/// execute through [`ChunkSource`].
 #[derive(Clone)]
 enum CatalogEntry {
     Memory(Arc<CompressedTable>),
     File(Arc<FileSource>),
+    Sharded(Arc<ShardedTable>),
     Source(Arc<dyn ChunkSource>),
 }
 
@@ -61,6 +63,7 @@ impl CatalogEntry {
         match self {
             CatalogEntry::Memory(table) => table.clone(),
             CatalogEntry::File(source) => source.clone(),
+            CatalogEntry::Sharded(table) => table.source(),
             CatalogEntry::Source(source) => source.clone(),
         }
     }
@@ -68,11 +71,14 @@ impl CatalogEntry {
 
 /// The COHANA cohort query engine.
 ///
-/// Holds a catalog of activity tables — fully resident
-/// ([`Cohana::register`], [`Cohana::load_file`]) or lazily file-backed
-/// ([`Cohana::open_file`], [`Cohana::register_source`]) — and executes
-/// [`CohortQuery`]s against them. Cloning entries is cheap (tables are
-/// shared).
+/// Holds a catalog of activity tables and executes [`CohortQuery`]s against
+/// them. Tables are attached with the builder-style [`Cohana::open`] —
+/// lazily file-backed by default, fully resident with `.resident(true)`,
+/// sharded when the path names a shard directory — or registered directly
+/// ([`Cohana::register`], [`Cohana::register_source`]). Per-table lifecycle
+/// (ingest, compaction, deletion, maintenance) lives on the
+/// [`TableHandle`] returned by [`Cohana::open`] / [`Cohana::table`].
+/// Cloning entries is cheap (tables are shared).
 pub struct Cohana {
     catalog: RwLock<HashMap<String, CatalogEntry>>,
     default_table: RwLock<Option<String>>,
@@ -137,6 +143,42 @@ impl Cohana {
         }
     }
 
+    /// Start attaching (or creating) a table at `path`: returns an
+    /// [`OpenOptions`] builder carrying the defaults — lazy attachment,
+    /// default cache budget, name [`DEFAULT_TABLE`], no background
+    /// maintenance. Finish with [`OpenOptions::open`] for existing data
+    /// (single file or shard directory, sniffed automatically) or
+    /// [`OpenOptions::create_from`] to build a new table from rows.
+    ///
+    /// ```no_run
+    /// # use cohana_core::{Cohana, EngineOptions};
+    /// # fn main() -> Result<(), cohana_core::EngineError> {
+    /// let engine = Cohana::new(EngineOptions::default());
+    /// let table = engine.open("activity.cohana").cache_bytes(64 << 20).open()?;
+    /// # Ok(()) }
+    /// ```
+    pub fn open(&self, path: impl AsRef<Path>) -> OpenOptions<'_> {
+        OpenOptions::new(self, path.as_ref())
+    }
+
+    /// A [`TableHandle`] on a registered table — the one place per-table
+    /// lifecycle (ingest / compact / delete_users / maintenance) lives.
+    pub fn table(&self, name: &str) -> Result<TableHandle<'_>, EngineError> {
+        if self.catalog.read().unwrap().contains_key(name) {
+            Ok(TableHandle::new(self, name.to_string()))
+        } else {
+            Err(EngineError::UnknownTable(name.to_string()))
+        }
+    }
+
+    /// A [`TableHandle`] on the default table (the first one registered).
+    pub fn default_table(&self) -> Result<TableHandle<'_>, EngineError> {
+        let name = self
+            .default_table_name()
+            .ok_or_else(|| EngineError::UnknownTable("<no tables registered>".into()))?;
+        self.table(&name)
+    }
+
     /// Register a fully resident compressed table under a name; the first
     /// registered table becomes the default.
     pub fn register(
@@ -155,8 +197,29 @@ impl Cohana {
         self.insert(name.into(), CatalogEntry::Source(source));
     }
 
+    /// Register an already-opened lazy file source (used by
+    /// [`OpenOptions::open`] and the deprecated shims).
+    pub(crate) fn register_file(&self, name: &str, source: Arc<FileSource>) {
+        self.insert(name.to_string(), CatalogEntry::File(source));
+    }
+
+    /// Register an opened sharded table (used by [`OpenOptions::open`] /
+    /// [`OpenOptions::create_from`]).
+    pub(crate) fn register_sharded(&self, name: &str, table: Arc<ShardedTable>) {
+        self.insert(name.to_string(), CatalogEntry::Sharded(table));
+    }
+
+    /// The sharded table registered under `name`, if that's what it is.
+    pub(crate) fn sharded(&self, name: &str) -> Option<Arc<ShardedTable>> {
+        match self.catalog.read().unwrap().get(name)? {
+            CatalogEntry::Sharded(table) => Some(table.clone()),
+            _ => None,
+        }
+    }
+
     /// Load a persisted table file **eagerly** (materializing every chunk)
-    /// and register it. Reads both v1 and v2 files.
+    /// and register it.
+    #[deprecated(since = "0.9.0", note = "use `engine.open(path).resident(true).open()`")]
     pub fn load_file(
         &self,
         name: impl Into<String>,
@@ -166,21 +229,21 @@ impl Cohana {
         Ok(self.register(name, table))
     }
 
-    /// Open a v2/v3 persisted table file **lazily** and register it: only
-    /// the footer is read now; chunk segments are fetched and decoded on
-    /// demand as queries touch them, within the default cache byte budget.
+    /// Open a v2–v4 persisted table file **lazily** and register it.
+    #[deprecated(since = "0.9.0", note = "use `engine.open(path).open()`")]
     pub fn open_file(
         &self,
         name: impl Into<String>,
         path: &Path,
     ) -> Result<Arc<FileSource>, EngineError> {
-        self.open_file_with_budget(name, path, cohana_storage::DEFAULT_CACHE_BUDGET)
+        let source =
+            Arc::new(FileSource::open_with_budget(path, cohana_storage::DEFAULT_CACHE_BUDGET)?);
+        self.insert(name.into(), CatalogEntry::File(source.clone()));
+        Ok(source)
     }
 
-    /// Like [`Cohana::open_file`] with an explicit segment-cache byte
-    /// budget: decoded chunk segments are retained up to `cache_bytes`
-    /// compressed bytes and evicted least-recently-used beyond that, so a
-    /// table much larger than RAM can be queried within a fixed budget.
+    /// Like `open_file` with an explicit segment-cache byte budget.
+    #[deprecated(since = "0.9.0", note = "use `engine.open(path).cache_bytes(n).open()`")]
     pub fn open_file_with_budget(
         &self,
         name: impl Into<String>,
@@ -192,12 +255,13 @@ impl Cohana {
         Ok(source)
     }
 
-    /// Fetch a registered resident table (`None` for names registered as
-    /// non-resident sources; use [`Cohana::source`] for those).
-    pub fn table(&self, name: &str) -> Option<Arc<CompressedTable>> {
+    /// Fetch a registered **resident** table's concrete form (`None` for
+    /// names registered as non-resident sources; use [`Cohana::source`] for
+    /// the execution view of any table).
+    pub fn resident(&self, name: &str) -> Option<Arc<CompressedTable>> {
         match self.catalog.read().unwrap().get(name)? {
             CatalogEntry::Memory(table) => Some(table.clone()),
-            CatalogEntry::File(_) | CatalogEntry::Source(_) => None,
+            _ => None,
         }
     }
 
@@ -220,7 +284,18 @@ impl Cohana {
     /// the pre-ingest snapshot; re-prepare to see the new data.
     ///
     /// [`Statement`]: crate::Statement
+    #[deprecated(since = "0.9.0", note = "use `engine.table(name)?.ingest(batch)`")]
     pub fn ingest(
+        &self,
+        name: &str,
+        batch: &cohana_activity::ActivityTable,
+    ) -> Result<cohana_storage::AppendStats, EngineError> {
+        self.ingest_inner(name, batch)
+    }
+
+    /// The implementation behind [`TableHandle::ingest`] (and the deprecated
+    /// [`Cohana::ingest`] shim).
+    pub(crate) fn ingest_inner(
         &self,
         name: &str,
         batch: &cohana_activity::ActivityTable,
@@ -242,6 +317,11 @@ impl Cohana {
                 )?);
                 self.insert(name.to_string(), CatalogEntry::File(reopened));
                 Ok(stats)
+            }
+            CatalogEntry::Sharded(table) => {
+                // The sharded table manages its own snapshot swap; the
+                // catalog entry keeps pointing at the same ShardedTable.
+                Ok(table.ingest(batch)?.total())
             }
             CatalogEntry::Memory(table) => {
                 if table.schema() != batch.schema() {
@@ -291,8 +371,18 @@ impl Cohana {
     /// [`persist::compact`](cohana_storage::persist::compact) (atomic
     /// temp-file + rename) and the catalog entry swapped; resident tables
     /// are rebuilt in memory. Prepared statements keep their pre-compact
-    /// snapshot, exactly as with [`Cohana::ingest`].
+    /// snapshot, exactly as with ingest.
+    #[deprecated(since = "0.9.0", note = "use `engine.table(name)?.compact()`")]
     pub fn compact(&self, name: &str) -> Result<cohana_storage::CompactStats, EngineError> {
+        self.compact_inner(name)
+    }
+
+    /// The implementation behind [`TableHandle::compact`] (and the
+    /// deprecated [`Cohana::compact`] shim).
+    pub(crate) fn compact_inner(
+        &self,
+        name: &str,
+    ) -> Result<cohana_storage::CompactStats, EngineError> {
         let _write = self.write_lock.lock().expect("write lock poisoned");
         let entry = self
             .catalog
@@ -311,6 +401,7 @@ impl Cohana {
                 self.insert(name.to_string(), CatalogEntry::File(reopened));
                 Ok(stats)
             }
+            CatalogEntry::Sharded(table) => Ok(table.compact()?),
             CatalogEntry::Memory(table) => {
                 let chunks_before = table.chunks().len();
                 let rebuilt = CompressedTable::build(&table.decompress()?, table.options())?;
@@ -327,6 +418,30 @@ impl Cohana {
             CatalogEntry::Source(_) => Err(EngineError::Unsupported(format!(
                 "table {name:?} is a generic registered source and cannot be compacted"
             ))),
+        }
+    }
+
+    /// The implementation behind [`TableHandle::space_stats`]: per-shard
+    /// stats for sharded tables, one entry for plain files.
+    pub(crate) fn space_stats_inner(
+        &self,
+        name: &str,
+    ) -> Result<Vec<cohana_storage::FileSpaceStats>, EngineError> {
+        let entry = self
+            .catalog
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownTable(name.into()))?;
+        match entry {
+            CatalogEntry::Sharded(table) => table.shard_space(),
+            CatalogEntry::File(source) => {
+                Ok(vec![cohana_storage::persist::file_space_stats(source.path())?])
+            }
+            CatalogEntry::Memory(_) | CatalogEntry::Source(_) => Err(EngineError::Unsupported(
+                format!("table {name:?} has no backing file to measure"),
+            )),
         }
     }
 
@@ -437,7 +552,11 @@ mod tests {
     fn register_and_list() {
         let e = engine();
         assert_eq!(e.table_names(), vec![DEFAULT_TABLE.to_string()]);
-        assert!(e.table(DEFAULT_TABLE).is_some());
+        assert!(e.resident(DEFAULT_TABLE).is_some());
+        let handle = e.table(DEFAULT_TABLE).unwrap();
+        assert_eq!(handle.name(), DEFAULT_TABLE);
+        assert!(!handle.is_sharded());
+        assert!(matches!(e.table("nope").unwrap_err(), EngineError::UnknownTable(_)));
     }
 
     #[test]

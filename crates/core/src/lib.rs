@@ -56,6 +56,7 @@ pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod handle;
 pub mod naive;
 pub mod paper;
 pub mod plan;
@@ -63,6 +64,7 @@ pub mod query;
 pub mod report;
 pub mod scan;
 pub mod session;
+pub mod sharded;
 pub mod stats;
 pub mod wire;
 
@@ -71,10 +73,12 @@ pub use engine::{Cohana, EngineOptions, DEFAULT_MORSEL_ROWS};
 pub use error::EngineError;
 pub use exec::ResultBatch;
 pub use expr::{CmpOp, Expr};
+pub use handle::{OpenOptions, TableHandle};
 pub use plan::{plan_query, PhysicalPlan, PlanNode, PlannerOptions};
 pub use query::{CohortAttr, CohortQuery, CohortQueryBuilder};
 pub use report::{CohortReport, ReportRow};
 pub use session::{QueryStream, Session, Statement};
+pub use sharded::{MaintenanceConfig, MaintenanceStats, ShardedTable};
 pub use stats::QueryStats;
 pub use wire::{ReportAssembler, WireBatch};
 

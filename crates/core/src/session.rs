@@ -137,6 +137,26 @@ impl<'e> Session<'e> {
             .with_morsel_rows(self.options.morsel_rows))
     }
 
+    /// Prepare a query against an explicit [`TableHandle`] instead of the
+    /// session's default table, keeping this session's option overrides
+    /// (parallelism, planner flags, morsel size). The handle must belong to
+    /// the same engine.
+    ///
+    /// [`TableHandle`]: crate::TableHandle
+    pub fn prepare_on(
+        &self,
+        table: &crate::handle::TableHandle<'_>,
+        query: &CohortQuery,
+    ) -> Result<Statement, EngineError> {
+        if !std::ptr::eq(table.engine(), self.engine) {
+            return Err(EngineError::Unsupported(
+                "the table handle belongs to a different engine than this session".into(),
+            ));
+        }
+        Ok(Statement::over(table.source()?, query, self.options.planner, self.options.parallelism)?
+            .with_morsel_rows(self.options.morsel_rows))
+    }
+
     /// Prepare and execute in one call (the eager convenience path).
     pub fn execute(&self, query: &CohortQuery) -> Result<CohortReport, EngineError> {
         self.prepare(query)?.execute()

@@ -72,11 +72,12 @@ fn engine_by_ingest(name: &str, batches: &[ActivityTable]) -> (Cohana, PathBuf) 
         CompressedTable::build(&batches[0], CompressionOptions::with_chunk_size(CHUNK)).unwrap();
     persist::write_file(&first, &path).unwrap();
     let engine = Cohana::new(EngineOptions::default());
-    engine.open_file("GameActions", &path).unwrap();
+    let handle = engine.open(&path).open().unwrap();
     for batch in &batches[1..] {
-        let stats = engine.ingest("GameActions", batch).unwrap();
+        let stats = handle.ingest(batch).unwrap();
         assert_eq!(stats.rows_appended, batch.num_rows());
     }
+    drop(handle);
     (engine, path)
 }
 
@@ -90,7 +91,7 @@ fn n_batch_ingest_matches_build_once_across_queries_and_parallelism() {
     let once = CompressedTable::build(&table, CompressionOptions::with_chunk_size(CHUNK)).unwrap();
     persist::write_file(&once, &once_path).unwrap();
     let reference = Cohana::new(EngineOptions::default());
-    reference.open_file("GameActions", &once_path).unwrap();
+    reference.open(&once_path).open().unwrap();
 
     let batches = split_by_time(&table, 3);
     let (ingested, path) = engine_by_ingest("three-batches.cohana", &batches);
@@ -101,7 +102,7 @@ fn n_batch_ingest_matches_build_once_across_queries_and_parallelism() {
         assert_eq!(expect, got, "ingested reports diverge at parallelism {parallelism}");
 
         // Compaction must not change a single answer either.
-        let cstats = ingested.compact("GameActions").unwrap();
+        let cstats = ingested.table("GameActions").unwrap().compact().unwrap();
         assert_eq!(cstats.rows, table.num_rows());
         let compacted = run_all(&ingested, &queries, parallelism);
         assert_eq!(expect, compacted, "compacted reports diverge at parallelism {parallelism}");
@@ -133,11 +134,11 @@ fn ingest_into_memory_table_matches_build_once() {
         Cohana::from_activity_table(&batches[0], CompressionOptions::with_chunk_size(CHUNK))
             .unwrap();
     for batch in &batches[1..] {
-        engine.ingest("GameActions", batch).unwrap();
+        engine.table("GameActions").unwrap().ingest(batch).unwrap();
     }
     assert_eq!(run_all(&reference, &queries, 1), run_all(&engine, &queries, 1));
     // A memory compact is a rebuild; answers are unchanged.
-    engine.compact("GameActions").unwrap();
+    engine.table("GameActions").unwrap().compact().unwrap();
     assert_eq!(run_all(&reference, &queries, 1), run_all(&engine, &queries, 1));
 }
 
@@ -152,10 +153,10 @@ fn ingested_file_reopens_identically() {
     // A fresh process opening the appended file sees the same answers, both
     // lazily and eagerly.
     let lazy = Cohana::new(EngineOptions::default());
-    lazy.open_file("GameActions", &path).unwrap();
+    lazy.open(&path).open().unwrap();
     assert_eq!(before, run_all(&lazy, &queries, 1));
     let eager = Cohana::new(EngineOptions::default());
-    eager.load_file("GameActions", &path).unwrap();
+    eager.open(&path).resident(true).open().unwrap();
     assert_eq!(before, run_all(&eager, &queries, 1));
     std::fs::remove_file(&path).ok();
 }
@@ -170,7 +171,7 @@ fn prepared_statements_keep_snapshot_semantics_across_ingest() {
             .unwrap();
         persist::write_file(&first, &path).unwrap();
         let engine = Cohana::new(EngineOptions::default());
-        engine.open_file("GameActions", &path).unwrap();
+        engine.open(&path).open().unwrap();
         (engine, path)
     };
 
@@ -179,12 +180,12 @@ fn prepared_statements_keep_snapshot_semantics_across_ingest() {
     let stmt = session.prepare(&q1).unwrap();
     let before = stmt.execute().unwrap();
 
-    engine.ingest("GameActions", &batches[1]).unwrap();
+    engine.table("GameActions").unwrap().ingest(&batches[1]).unwrap();
 
     // The old statement pins the pre-ingest source: same answer, then and
     // now — even after the file is compacted underneath it.
     assert_eq!(stmt.execute().unwrap(), before);
-    engine.compact("GameActions").unwrap();
+    engine.table("GameActions").unwrap().compact().unwrap();
     assert_eq!(stmt.execute().unwrap(), before);
 
     // A statement prepared after the ingest sees the grown table: every
@@ -210,12 +211,12 @@ fn concurrent_ingests_serialize_and_lose_nothing() {
             .unwrap();
         persist::write_file(&first, &path).unwrap();
         let engine = Cohana::new(EngineOptions::default());
-        engine.open_file("GameActions", &path).unwrap();
+        engine.open(&path).open().unwrap();
         (engine, path)
     };
     std::thread::scope(|s| {
         for batch in &batches[1..] {
-            s.spawn(|| engine.ingest("GameActions", batch).unwrap());
+            s.spawn(|| engine.table("GameActions").unwrap().ingest(batch).unwrap());
         }
     });
     let reference =
@@ -227,7 +228,7 @@ fn concurrent_ingests_serialize_and_lose_nothing() {
             .unwrap();
     std::thread::scope(|s| {
         for batch in &batches[1..] {
-            s.spawn(|| memory.ingest("GameActions", batch).unwrap());
+            s.spawn(|| memory.table("GameActions").unwrap().ingest(batch).unwrap());
         }
     });
     assert_eq!(run_all(&reference, &queries, 1), run_all(&memory, &queries, 1));
@@ -244,9 +245,10 @@ fn ingest_rejects_generic_sources_and_unknown_tables() {
     engine.register_source("generic", std::sync::Arc::new(compressed));
 
     let batch = split_by_time(&table, 2).remove(1);
-    assert!(matches!(engine.ingest("generic", &batch).unwrap_err(), EngineError::Unsupported(_)));
-    assert!(matches!(engine.compact("generic").unwrap_err(), EngineError::Unsupported(_)));
-    assert!(matches!(engine.ingest("nope", &batch).unwrap_err(), EngineError::UnknownTable(_)));
+    let generic = engine.table("generic").unwrap();
+    assert!(matches!(generic.ingest(&batch).unwrap_err(), EngineError::Unsupported(_)));
+    assert!(matches!(generic.compact().unwrap_err(), EngineError::Unsupported(_)));
+    assert!(matches!(engine.table("nope").unwrap_err(), EngineError::UnknownTable(_)));
 }
 
 #[test]
@@ -259,9 +261,9 @@ fn ingest_of_v1_file_is_cleanly_rejected() {
     let path = temp_path("v2-ingest.cohana");
     std::fs::write(&path, persist::to_bytes_v2(&compressed)).unwrap();
     let engine = Cohana::new(EngineOptions::default());
-    engine.open_file("GameActions", &path).unwrap();
+    let handle = engine.open(&path).open().unwrap();
     let batch = split_by_time(&table, 2).remove(1);
-    let err = engine.ingest("GameActions", &batch).unwrap_err();
+    let err = handle.ingest(&batch).unwrap_err();
     match err {
         EngineError::Storage(msg) => assert!(msg.contains("re-save"), "no migration hint: {msg}"),
         other => panic!("expected Storage(Unsupported), got {other:?}"),

@@ -91,7 +91,7 @@ fn engine_open_file_matches_in_memory_engine() {
         let options = EngineOptions { parallelism, ..Default::default() };
         let resident = Cohana::from_compressed(memory.clone(), options);
         let lazy_engine = Cohana::new(options);
-        lazy_engine.open_file("GameActions", &path).unwrap();
+        lazy_engine.open(&path).open().unwrap();
         assert_eq!(lazy_engine.schema_of("GameActions"), Some(memory.schema().clone()));
 
         for (name, query) in paper_queries() {

@@ -142,7 +142,7 @@ fn sessions_isolate_overrides_on_a_shared_engine() {
 
     let engine = Cohana::new(EngineOptions::default());
     engine.register("resident", memory);
-    engine.open_file("lazy", &path).unwrap();
+    engine.open(&path).name("lazy").open().unwrap();
 
     let q = paper::q1();
     let fast = engine.session().with_parallelism(4).on_table("lazy");

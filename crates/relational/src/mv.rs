@@ -95,4 +95,35 @@ mod tests {
         assert_eq!(l.birth_col(1), 8);
         assert_eq!(l.birth_col(7), 14);
     }
+
+    #[test]
+    fn materialized_view_carries_layout_consistent_payload() {
+        // MaterializedView is payload-generic; exercise the struct with a
+        // plain row-vector payload shaped by the layout, the way the row
+        // and column stores use it.
+        let schema = Schema::game_actions();
+        let layout = MvLayout::new(&schema);
+        let width = layout.width();
+        let rows: Vec<Vec<i64>> = (0..4).map(|r| vec![r; width]).collect();
+        let view = MaterializedView {
+            birth_action: "launch".to_string(),
+            layout: layout.clone(),
+            num_rows: rows.len(),
+            data: rows,
+        };
+
+        assert_eq!(view.birth_action, "launch");
+        assert_eq!(view.num_rows, view.data.len());
+        assert!(view.data.iter().all(|r| r.len() == view.layout.width()));
+        // Every birth copy lands in the view extension, after the base
+        // attributes and before the age column.
+        for (attr, col) in view.layout.birth_pairs() {
+            assert!(attr < view.layout.base_arity);
+            assert!((view.layout.base_arity..view.layout.age_col).contains(&col));
+        }
+        // Cloning (the catalog stores views by value) preserves the layout.
+        let copy = view.clone();
+        assert_eq!(copy.layout, view.layout);
+        assert_eq!(copy.num_rows, view.num_rows);
+    }
 }

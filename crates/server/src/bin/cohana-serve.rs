@@ -14,7 +14,7 @@
 use cohana_activity::{generate, GeneratorConfig};
 use cohana_core::engine::DEFAULT_TABLE;
 use cohana_server::{Server, ServerConfig};
-use cohana_storage::{ChunkSource, CompressedTable, CompressionOptions, DEFAULT_CACHE_BUDGET};
+use cohana_storage::{CompressedTable, CompressionOptions, DEFAULT_CACHE_BUDGET};
 use std::io::BufRead;
 use std::sync::Arc;
 
@@ -68,10 +68,19 @@ fn main() {
 
     let engine = cohana_core::Cohana::new(Default::default());
     if let Some(path) = open {
-        match engine.open_file_with_budget(DEFAULT_TABLE, std::path::Path::new(&path), cache_bytes)
+        // Files and shard directories alike; a long-running server wants
+        // background compaction to keep dead bytes bounded.
+        match engine
+            .open(&path)
+            .name(DEFAULT_TABLE)
+            .cache_bytes(cache_bytes)
+            .maintenance(cohana_core::MaintenanceConfig::enabled())
+            .open()
+            .and_then(|handle| Ok((handle.num_shards(), handle.source()?)))
         {
-            Ok(src) => eprintln!(
-                "opened {path}: {} tuples in {} chunks (cache budget {cache_bytes} bytes)",
+            Ok((shards, src)) => eprintln!(
+                "opened {path}: {} tuples in {} chunks across {shards} shard(s) \
+                 (cache budget {cache_bytes} bytes)",
                 src.table_meta().num_rows(),
                 src.num_chunks(),
             ),

@@ -30,7 +30,7 @@
 //! use std::sync::Arc;
 //!
 //! let engine = cohana_core::Cohana::new(Default::default());
-//! // ... engine.open_file("GameActions", "game.cohana") ...
+//! // ... engine.open("game.cohana").open()? ...
 //! let mut server = Server::start(Arc::new(engine), ServerConfig::default())?;
 //! let mut client = Client::connect(server.local_addr(), "analytics")?;
 //! let report = client.query(

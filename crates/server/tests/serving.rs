@@ -154,7 +154,7 @@ fn disconnect_mid_stream_stops_chunk_decode() {
     let path = temp_file("disconnect.cohana");
     persist::write_file(&compressed, &path).unwrap();
     let engine = Cohana::new(EngineOptions::default());
-    engine.open_file_with_budget("GameActions", &path, 0).unwrap();
+    engine.open(&path).cache_bytes(0).open().unwrap();
     let source = engine.source("GameActions").unwrap();
     let engine = Arc::new(engine);
 

@@ -26,6 +26,10 @@ pub enum StorageError {
     },
     /// The activity table violated an invariant the format needs.
     Invalid(String),
+    /// A single-writer lock could not be acquired within its timeout:
+    /// another writer holds the resource (or died holding it — the message
+    /// names the lock file to remove after verifying the holder is gone).
+    Busy(String),
 }
 
 impl fmt::Display for StorageError {
@@ -39,6 +43,7 @@ impl fmt::Display for StorageError {
                 write!(f, "{what} index {index} out of bounds (len {len})")
             }
             StorageError::Invalid(m) => write!(f, "invalid input: {m}"),
+            StorageError::Busy(m) => write!(f, "resource busy: {m}"),
         }
     }
 }

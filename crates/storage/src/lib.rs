@@ -74,6 +74,7 @@ pub mod error;
 pub mod persist;
 pub mod record;
 pub mod rle;
+pub mod shard;
 pub mod source;
 pub mod stats;
 pub mod table;
@@ -86,9 +87,14 @@ pub use column::ChunkColumn;
 pub use cursor::ChunkCursors;
 pub use dict::{ChunkDict, GlobalDict};
 pub use error::StorageError;
-pub use persist::{AppendStats, CodecStats, ColumnCompression, CompactStats, FormatInfo};
+pub use persist::{
+    AppendStats, CodecStats, ColumnCompression, CompactStats, FileSpaceStats, FormatInfo,
+};
 pub use record::{with_recorder, IoRecorder};
 pub use rle::UserRle;
+pub use shard::{
+    DeleteStats, ShardLock, ShardManifest, ShardedAppendStats, ShardedSource, MANIFEST_FILE,
+};
 pub use source::{
     ChunkIndexEntry, ChunkRef, ChunkSource, ColumnStats, FileSource, RefreshStats, SourceIoStats,
     DEFAULT_CACHE_BUDGET,

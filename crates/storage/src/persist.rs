@@ -806,6 +806,46 @@ fn dead_bytes(total: u64, footer: &Footer) -> u64 {
     total - HEADER_LEN - live - footer_len - TAIL_LEN
 }
 
+/// Space accounting of one on-disk table file, readable from the footer
+/// alone — O(footer), no chunk payload is touched. This is what a
+/// maintenance policy polls to decide whether a file has accumulated enough
+/// superseded bytes (rewritten chunks, earlier footers) to be worth
+/// compacting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FileSpaceStats {
+    /// Total size of the file on disk.
+    pub file_bytes: u64,
+    /// Unreferenced payload bytes: superseded chunk versions and earlier
+    /// footers left behind by [`append`], reclaimable by [`compact`].
+    pub dead_bytes: u64,
+    /// Live rows the current footer describes.
+    pub rows: u64,
+    /// Chunks the current footer describes.
+    pub chunks: usize,
+}
+
+impl FileSpaceStats {
+    /// Fraction of the file that is dead bytes (0.0 for a freshly built or
+    /// freshly compacted file).
+    pub fn dead_ratio(&self) -> f64 {
+        self.dead_bytes as f64 / self.file_bytes.max(1) as f64
+    }
+}
+
+/// Read the space accounting of a v2/v3/v4 file: total size plus the dead
+/// bytes its current footer no longer references. Costs one footer parse.
+pub fn file_space_stats(path: &Path) -> Result<FileSpaceStats> {
+    let mut file = std::fs::File::open(path)?;
+    let footer = read_footer_from_file(&mut file)?;
+    let total = file.metadata()?.len();
+    Ok(FileSpaceStats {
+        file_bytes: total,
+        dead_bytes: dead_bytes(total, &footer),
+        rows: footer.entries.iter().map(|e| e.num_rows).sum(),
+        chunks: footer.locations.len(),
+    })
+}
+
 /// Rewrite a v3/v4 file compactly: decode everything (through any
 /// dictionary epochs), re-sort into the paper's §3 `(user, time, action)`
 /// primary order, re-chunk at the configured target size, rebuild minimal

@@ -310,9 +310,11 @@ fn same_inode(_a: &File, _b: &File) -> bool {
     false
 }
 
-/// Cache key: `(chunk index, segment id)` where segment 0 is the whole
-/// chunk (v2), 1 the RLE user column, and `2 + attr` a column segment.
-type SegKey = (u32, u32);
+/// Cache key: `(source id, chunk index, segment id)` where segment 0 is the
+/// whole chunk (v2), 1 the RLE user column, and `2 + attr` a column segment.
+/// The source id disambiguates entries when several [`FileSource`]s — the
+/// shards of one sharded table — share a single byte-budgeted cache.
+type SegKey = (u32, u32, u32);
 
 const SEG_WHOLE: u32 = 0;
 const SEG_RLE: u32 = 1;
@@ -335,11 +337,13 @@ struct CacheEntry {
     tick: u64,
 }
 
-/// Bounded LRU over decoded segments, keyed `(chunk, column)`, accounted in
-/// compressed payload bytes. Eviction happens **before** insertion, so the
-/// resident total never exceeds the budget, even transiently; a segment
-/// larger than the whole budget is simply never retained.
-struct SegmentCache {
+/// Bounded LRU over decoded segments, keyed `(source, chunk, column)`,
+/// accounted in compressed payload bytes. Eviction happens **before**
+/// insertion, so the resident total never exceeds the budget, even
+/// transiently; a segment larger than the whole budget is simply never
+/// retained. One cache can back several sources (the shards of a sharded
+/// table), which share the single byte budget.
+pub(crate) struct SegmentCache {
     budget: usize,
     resident: usize,
     tick: u64,
@@ -405,12 +409,21 @@ impl SegmentCache {
         }
     }
 
-    fn chunks_resident(&self) -> usize {
-        let mut chunks: Vec<u32> = self.map.keys().map(|(c, _)| *c).collect();
+    /// Distinct chunks of one source with at least one cached segment.
+    fn chunks_resident(&self, src: u32) -> usize {
+        let mut chunks: Vec<u32> =
+            self.map.keys().filter(|(s, _, _)| *s == src).map(|(_, c, _)| *c).collect();
         chunks.sort_unstable();
         chunks.dedup();
         chunks.len()
     }
+}
+
+/// A cache handle shareable across several [`FileSource`]s: the shards of a
+/// sharded table open with one of these so all their decoded segments count
+/// against a single byte budget.
+pub(crate) fn shared_cache(budget: usize) -> Arc<Mutex<SegmentCache>> {
+    Arc::new(Mutex::new(SegmentCache::new(budget)))
 }
 
 /// A lazily-loaded, file-backed table in the footer-indexed v2 or v3
@@ -443,7 +456,18 @@ pub struct FileSource {
     /// File offset where the footer begins — no payload blob may reach past
     /// it.
     payload_end: u64,
-    cache: Mutex<SegmentCache>,
+    /// Decoded-segment cache. `Arc`'d so a sharded table can hand every
+    /// shard the same cache (one shared byte budget); a standalone source
+    /// owns its cache exclusively.
+    cache: Arc<Mutex<SegmentCache>>,
+    /// This source's id within its (possibly shared) cache — the first
+    /// component of every [`SegKey`] it reads or writes.
+    cache_id: u32,
+    /// Per-attribute gid remaps from this file's dictionary space into a
+    /// unifying dictionary (installed by [`FileSource::rebase`]; empty for
+    /// standalone sources). Applied at decode time *after* any epoch remap,
+    /// so every segment this source serves is in unified-dictionary terms.
+    overlay: Vec<Option<Arc<Vec<u32>>>>,
     decoded: AtomicUsize,
     columns_decoded: AtomicUsize,
     bytes_read: AtomicU64,
@@ -488,6 +512,19 @@ impl FileSource {
     /// A budget of 0 disables caching entirely (every access re-reads and
     /// re-decodes).
     pub fn open_with_budget(path: &Path, cache_budget: usize) -> Result<FileSource> {
+        Self::open_shared(path, shared_cache(cache_budget), 0)
+    }
+
+    /// Open a file against an existing (possibly shared) segment cache,
+    /// tagging every cache entry with `cache_id`. This is how a sharded
+    /// table gives all its shard files one byte budget; each shard gets a
+    /// distinct id so refresh-time invalidation and per-shard residency
+    /// accounting stay precise.
+    pub(crate) fn open_shared(
+        path: &Path,
+        cache: Arc<Mutex<SegmentCache>>,
+        cache_id: u32,
+    ) -> Result<FileSource> {
         let mut file = File::open(path)?;
         let footer = persist::read_footer_from_file(&mut file)?;
         Ok(FileSource {
@@ -500,12 +537,65 @@ impl FileSource {
             epochs: footer.epochs,
             chunk_epochs: footer.chunk_epochs,
             payload_end: footer.payload_end,
-            cache: Mutex::new(SegmentCache::new(cache_budget)),
+            cache,
+            cache_id,
+            overlay: Vec::new(),
             decoded: AtomicUsize::new(0),
             columns_decoded: AtomicUsize::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_decompressed: AtomicU64::new(0),
         })
+    }
+
+    /// Re-base this source into a unifying dictionary space: replace its
+    /// table metadata with `meta` (the merged metadata of a sharded table)
+    /// and install per-attribute gid remaps from this file's own
+    /// dictionaries into the unified ones. Index entries' action-gid lists
+    /// are rewritten eagerly (they steer pruning, which runs in unified
+    /// terms); segment payloads are rewritten lazily at decode time, after
+    /// any epoch remap, so the footer cross-checks keep holding.
+    ///
+    /// Only column-addressable (v3/v4) files can be re-based, and a re-based
+    /// source can no longer [`refresh`](FileSource::refresh) — its shard
+    /// manifest owner reopens it instead.
+    pub(crate) fn rebase(
+        &mut self,
+        meta: TableMeta,
+        overlay: Vec<Option<Arc<Vec<u32>>>>,
+    ) -> Result<()> {
+        if self.layouts.is_none() {
+            return Err(StorageError::Unsupported(
+                "only column-addressable (v3/v4) files can join a sharded table".into(),
+            ));
+        }
+        if overlay.len() != meta.schema().arity() {
+            return Err(StorageError::Invalid(format!(
+                "rebase overlay has {} attributes, schema has {}",
+                overlay.len(),
+                meta.schema().arity()
+            )));
+        }
+        if let Some(remap) = overlay[meta.schema().action_idx()].as_ref() {
+            for entry in &mut self.entries {
+                for gid in &mut entry.action_gids {
+                    *gid = *remap.get(*gid as usize).ok_or_else(|| {
+                        StorageError::Corrupt(format!(
+                            "shard action gid {gid} outside its dictionary (size {})",
+                            remap.len()
+                        ))
+                    })?;
+                }
+            }
+        }
+        self.meta = meta;
+        self.overlay = overlay;
+        Ok(())
+    }
+
+    /// The overlay remap (if any) an attribute's segments need after their
+    /// epoch remap (see [`FileSource::rebase`]).
+    fn overlay_for(&self, attr: usize) -> Option<&Arc<Vec<u32>>> {
+        self.overlay.get(attr).and_then(|r| r.as_ref())
     }
 
     /// Re-read the footer from the file's current state on disk, picking up
@@ -528,6 +618,15 @@ impl FileSource {
     /// stale is dropped before the new footer is adopted, so no stale
     /// segment can ever be served.
     pub fn refresh(&mut self) -> Result<RefreshStats> {
+        if !self.overlay.is_empty() {
+            // A re-based source's metadata and cached segments are in the
+            // unified dictionary space of its sharded table; adopting the
+            // file's own footer here would mix the two spaces. The sharded
+            // table reopens and re-bases its shards instead.
+            return Err(StorageError::Unsupported(
+                "a re-based shard member cannot refresh in place; reopen the sharded table".into(),
+            ));
+        }
         let mut file = File::open(&self.path)?;
         let footer = persist::read_footer_from_file(&mut file)?;
         let chunks_before = self.locations.len();
@@ -541,10 +640,11 @@ impl FileSource {
 
         let segments_invalidated = {
             let mut cache = self.cache.lock().expect("cache lock poisoned");
-            let keys: Vec<SegKey> = cache.map.keys().copied().collect();
+            let keys: Vec<SegKey> =
+                cache.map.keys().filter(|k| k.0 == self.cache_id).copied().collect();
             let mut dropped = 0usize;
             for key in keys {
-                let (chunk, seg) = (key.0 as usize, key.1);
+                let (chunk, seg) = (key.1 as usize, key.2);
                 let keep = grown_in_place
                     && match (seg, &self.layouts, &footer.layouts) {
                         (SEG_WHOLE, None, None) => {
@@ -604,9 +704,10 @@ impl FileSource {
         self.layouts.is_some()
     }
 
-    /// How many chunks currently have at least one cached segment.
+    /// How many of this source's chunks currently have at least one cached
+    /// segment.
     pub fn chunks_resident(&self) -> usize {
-        self.cache.lock().expect("cache lock poisoned").chunks_resident()
+        self.cache.lock().expect("cache lock poisoned").chunks_resident(self.cache_id)
     }
 
     /// Bytes currently retained by the segment cache.
@@ -675,7 +776,7 @@ impl FileSource {
 
     /// Fetch (cache or decode) the RLE user column of a v3 chunk.
     fn fetch_rle(&self, idx: usize, layout: &ChunkLayout) -> Result<Arc<UserRle>> {
-        let key = (idx as u32, SEG_RLE);
+        let key = (self.cache_id, idx as u32, SEG_RLE);
         if let Some(CacheSlot::Rle(rle)) = self.cache.lock().expect("cache lock poisoned").get(key)
         {
             return Ok(rle);
@@ -686,6 +787,9 @@ impl FileSource {
         record::credit(|r| r.add_bytes_decompressed(layout.rle.uncompressed));
         let mut rle = persist::decode_rle_blob(&blob)?;
         if let Some(remap) = self.remap_for(idx, self.meta.schema().user_idx()) {
+            rle = rle.remap_users(remap)?;
+        }
+        if let Some(remap) = self.overlay_for(self.meta.schema().user_idx()) {
             rle = rle.remap_users(remap)?;
         }
         validate_rle(&self.meta, idx, &rle, rle.num_rows())?;
@@ -715,7 +819,7 @@ impl FileSource {
         attr: usize,
         layout: &ChunkLayout,
     ) -> Result<Arc<ChunkColumn>> {
-        let key = (idx as u32, seg_col(attr));
+        let key = (self.cache_id, idx as u32, seg_col(attr));
         if let Some(CacheSlot::Col(col)) = self.cache.lock().expect("cache lock poisoned").get(key)
         {
             return Ok(col);
@@ -727,6 +831,9 @@ impl FileSource {
         self.bytes_decompressed.fetch_add(loc.uncompressed, Ordering::Relaxed);
         record::credit(|r| r.add_bytes_decompressed(loc.uncompressed));
         if let Some(remap) = self.remap_for(idx, attr) {
+            col = col.remap_gids(remap)?;
+        }
+        if let Some(remap) = self.overlay_for(attr) {
             col = col.remap_gids(remap)?;
         }
         validate_column(&self.meta, idx, attr, &col)?;
@@ -809,7 +916,7 @@ impl FileSource {
 
     /// Fetch and decode one whole v2 chunk blob.
     fn whole_chunk_v2(&self, idx: usize) -> Result<ChunkRef<'_>> {
-        let key = (idx as u32, SEG_WHOLE);
+        let key = (self.cache_id, idx as u32, SEG_WHOLE);
         if let Some(CacheSlot::Whole(chunk)) =
             self.cache.lock().expect("cache lock poisoned").get(key)
         {

@@ -86,10 +86,19 @@ fn main() {
 
     let engine = Cohana::new(Default::default());
     if let Some(path) = open {
-        match engine.open_file_with_budget("GameActions", std::path::Path::new(&path), cache_bytes)
-        {
-            Ok(src) => eprintln!(
-                "opened {path} lazily: {} tuples in {} chunks (0 decoded, cache budget {} bytes)",
+        // Works for single files and sharded table directories alike; an
+        // interactive shell is long-lived, so let background maintenance
+        // keep sharded tables compacted.
+        let opened = engine
+            .open(&path)
+            .cache_bytes(cache_bytes)
+            .maintenance(cohana::engine::MaintenanceConfig::enabled())
+            .open()
+            .and_then(|handle| Ok((handle.num_shards(), handle.source()?)));
+        match opened {
+            Ok((shards, src)) => eprintln!(
+                "opened {path} lazily: {} tuples in {} chunks across {shards} shard(s) \
+                 (0 decoded, cache budget {} bytes)",
                 src.table_meta().num_rows(),
                 src.num_chunks(),
                 cache_bytes,
@@ -100,8 +109,13 @@ fn main() {
             }
         }
     } else if let Some(path) = load {
-        match engine.load_file("GameActions", std::path::Path::new(&path)) {
-            Ok(t) => eprintln!("loaded {} tuples from {path}", t.num_rows()),
+        let loaded = engine
+            .open(&path)
+            .resident(true)
+            .open()
+            .and_then(|handle| Ok(handle.source()?.table_meta().num_rows()));
+        match loaded {
+            Ok(rows) => eprintln!("loaded {rows} tuples from {path}"),
             Err(e) => {
                 eprintln!("cannot load {path}: {e}");
                 std::process::exit(1);
@@ -302,6 +316,8 @@ fn meta_command(
                  .pivot <query>;    run and render as a cohort matrix\n\
                  .ingest <file.csv> append new activity records to the table\n\
                  .compact           merge appended chunks, restore sort order\n\
+                 .delete <user>...  erase users (sharded tables; crash-safe)\n\
+                 .stats shards      per-shard space + maintenance counters\n\
                  .save <file>       persist the compressed table\n\
                  .connect H:P [t]   route queries to a cohana-serve (tenant t)\n\
                  .disconnect        return to the local engine\n\
@@ -366,6 +382,7 @@ fn meta_command(
             },
         },
         ".stats" if rest == "source" => source_stats(engine),
+        ".stats" if rest == "shards" => shard_stats(engine),
         ".stats" => match last_stats {
             Some(stats) => println!("last query: {stats}"),
             None => println!(
@@ -385,17 +402,32 @@ fn meta_command(
                 ingest_csv(engine, rest);
             }
         }
-        ".compact" => match engine.compact("GameActions") {
+        ".compact" => match engine.table("GameActions").and_then(|t| t.compact()) {
             Ok(s) => println!(
                 "compacted: {} -> {} chunks over {} rows, reclaimed {} of {} bytes",
                 s.chunks_before, s.chunks_after, s.rows, s.reclaimed_bytes, s.bytes_before
             ),
             Err(e) => eprintln!("error: {e}"),
         },
+        ".delete" => {
+            if rest.is_empty() {
+                eprintln!("usage: .delete USER [USER...]");
+            } else {
+                let users: Vec<&str> = rest.split_whitespace().collect();
+                match engine.table("GameActions").and_then(|t| t.delete_users(&users)) {
+                    Ok(s) => println!(
+                        "deleted {} users ({} rows) by rewriting {} shard(s); \
+                         queries prepared from now on no longer see them",
+                        s.users_deleted, s.rows_deleted, s.shards_rewritten
+                    ),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+        }
         ".save" => {
             if rest.is_empty() {
                 eprintln!("usage: .save FILE");
-            } else if let Some(t) = engine.table("GameActions") {
+            } else if let Some(t) = engine.resident("GameActions") {
                 match cohana::storage::persist::write_file(&t, std::path::Path::new(rest)) {
                     Ok(()) => println!("saved to {rest}"),
                     Err(e) => eprintln!("error: {e}"),
@@ -431,7 +463,7 @@ fn ingest_csv(engine: &Cohana, path: &str) {
             return;
         }
     };
-    match engine.ingest("GameActions", &batch) {
+    match engine.table("GameActions").and_then(|t| t.ingest(&batch)) {
         Ok(s) => {
             println!(
                 "ingested {} rows: {} -> {} chunks ({} rewritten for returning users)",
@@ -445,9 +477,46 @@ fn ingest_csv(engine: &Cohana, path: &str) {
     }
 }
 
+/// Per-shard space accounting plus maintenance counters (`.stats shards`).
+fn shard_stats(engine: &Cohana) {
+    let handle = match engine.table("GameActions") {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return;
+        }
+    };
+    match handle.space_stats() {
+        Ok(space) => {
+            for (i, s) in space.iter().enumerate() {
+                println!(
+                    "shard {i:>4}: {:>10} bytes, {:>8} dead ({:>5.1}%), {} rows in {} chunks",
+                    s.file_bytes,
+                    s.dead_bytes,
+                    s.dead_ratio() * 100.0,
+                    s.rows,
+                    s.chunks,
+                );
+            }
+        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+    if let Ok(m) = handle.maintenance_stats() {
+        println!(
+            "maintenance: {} passes, {} auto-compactions reclaiming {} bytes, \
+             {} tombstoned users applied, last max dead ratio {:.1}%",
+            m.passes,
+            m.auto_compactions,
+            m.reclaimed_bytes,
+            m.tombstone_users_applied,
+            m.last_max_dead_ratio * 100.0,
+        );
+    }
+}
+
 /// Lifetime counters of the backing table or source (`.stats source`).
 fn source_stats(engine: &Cohana) {
-    if let Some(t) = engine.table("GameActions") {
+    if let Some(t) = engine.resident("GameActions") {
         let s = cohana::storage::StorageStats::of(&t);
         println!(
             "{} tuples, {} users, {} chunks, {:.2} MB compressed ({:.2} bytes/tuple)",

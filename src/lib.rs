@@ -60,8 +60,8 @@ pub mod prelude {
         Timestamp, Value,
     };
     pub use cohana_core::{
-        AggFunc, Cohana, CohortQuery, CohortReport, EngineOptions, PlannerOptions, QueryStats,
-        QueryStream, ResultBatch, Session, Statement,
+        AggFunc, Cohana, CohortQuery, CohortReport, EngineOptions, MaintenanceConfig, OpenOptions,
+        PlannerOptions, QueryStats, QueryStream, ResultBatch, Session, Statement, TableHandle,
     };
     pub use cohana_sql::{parse_cohort_query, SessionSqlExt, SqlAnswer, SqlExt};
     pub use cohana_storage::{

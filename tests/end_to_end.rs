@@ -28,7 +28,7 @@ fn full_pipeline_csv_persist_sql() {
     persist::write_file(&compressed, &path).unwrap();
 
     let engine = Cohana::new(EngineOptions::default());
-    engine.load_file("GameActions", &path).unwrap();
+    engine.open(&path).resident(true).open().unwrap();
     std::fs::remove_file(&path).ok();
 
     // Query through the SQL front end; verify against the reference.
