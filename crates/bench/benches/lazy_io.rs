@@ -168,8 +168,13 @@ fn record_compression(v4_path: &Path, v3_len: u64, v4_len: u64) {
         let name = Codec::from_tag(tag as u8).expect("codec tag").name();
         record_line(&format!(
             "{{\"bench\": \"lazy_io/decode\", \"codec\": \"{name}\", \"blobs\": {}, \
-             \"compressed_bytes\": {}, \"uncompressed_bytes\": {}, \"decode_ns\": {}}}",
-            stats.blobs, stats.compressed_bytes, stats.uncompressed_bytes, stats.decode_nanos
+             \"compressed_bytes\": {}, \"uncompressed_bytes\": {}, \"decode_ns\": {}, \
+             \"mbps_out\": {:.1}}}",
+            stats.blobs,
+            stats.compressed_bytes,
+            stats.uncompressed_bytes,
+            stats.decode_nanos,
+            stats.decode_mbps()
         ));
     }
 }

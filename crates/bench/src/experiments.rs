@@ -12,7 +12,7 @@ use cohana_activity::{ActivityTable, TimeBin, Timestamp, SECONDS_PER_DAY};
 use cohana_core::{paper, CohortQuery, PlannerOptions, Statement};
 use cohana_relational::{ColEngine, RowEngine};
 use cohana_storage::{
-    persist, ChunkSource, CompressedTable, CompressionOptions, FileSource, StorageStats,
+    persist, ChunkSource, Codec, CompressedTable, CompressionOptions, FileSource, StorageStats,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -519,6 +519,23 @@ pub fn lazy_io(cache: &mut DatasetCache) -> ExperimentResult {
         best.uncompressed_bytes,
         best.compressed_bytes
     ));
+    // Single-pass (cold) decode rate per codec, the input to the
+    // storage-speed crossover recorded in docs/PERF.md: below roughly
+    // `bytes_saved / extra_decode_time` of storage bandwidth, v4's
+    // smaller reads beat v3 outright. With the interleaved-rANS decoders
+    // that crossover re-measures at ~140 MB/s (was ~100 MB/s
+    // single-state); `benches/decode.rs` holds the warm best-of rates.
+    let decode: Vec<String> = info
+        .codecs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.blobs > 0 && s.decode_nanos > 0)
+        .map(|(tag, s)| {
+            let name = Codec::from_tag(tag as u8).expect("inspect codec tag").name();
+            format!("{name} {:.0} MB/s over {} blobs", s.decode_mbps(), s.blobs)
+        })
+        .collect();
+    out.push_note(format!("cold decode rates: {}", decode.join(", ")));
     std::fs::remove_file(&path).ok();
     out
 }
@@ -1115,8 +1132,10 @@ mod tests {
     fn lazy_io_reports_projection_savings() {
         let r = lazy_io(&mut quick_cache());
         assert_eq!(r.rows.len(), 8);
-        assert_eq!(r.notes.len(), 3);
+        assert_eq!(r.notes.len(), 4);
         assert!(r.notes[1].contains("v4 codecs"), "missing compression note: {}", r.notes[1]);
+        assert!(r.notes[3].contains("cold decode rates"), "missing decode note: {}", r.notes[3]);
+        assert!(r.notes[3].contains("MB/s"), "decode note carries no rate: {}", r.notes[3]);
         for row in &r.rows {
             let columns: usize = row[3].parse().unwrap();
             let columns_max: usize = row[4].parse().unwrap();

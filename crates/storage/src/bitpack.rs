@@ -353,41 +353,56 @@ impl BitPacked {
 }
 
 /// Four `u64` lanes, the manual-SIMD working registers of
-/// [`BitPacked::unpack_range`]'s block decode. Each op touches all four
-/// lanes in straight-line code with no cross-lane dependency, which is the
-/// shape LLVM auto-vectorizes to `vpsrlq`/`vpandq` on AVX2 (and the NEON
+/// [`BitPacked::unpack_range`]'s block decode (and of the delta codec's
+/// offset-bit extraction in `codec.rs`). Each op touches all four lanes in
+/// straight-line code with no cross-lane dependency, which is the shape
+/// LLVM auto-vectorizes to `vpsrlq`/`vpandq` on AVX2 (and the NEON
 /// equivalents) — explicit lanes without a platform intrinsic dependency.
 #[cfg(feature = "simd")]
 #[derive(Clone, Copy)]
-struct U64x4([u64; 4]);
+pub(crate) struct U64x4([u64; 4]);
 
 #[cfg(feature = "simd")]
 impl U64x4 {
     /// Broadcast one packed word into all four lanes.
     #[inline(always)]
-    fn splat(w: u64) -> Self {
+    pub(crate) fn splat(w: u64) -> Self {
         U64x4([w, w, w, w])
     }
 
     /// Per-lane logical right shift (the variable-shift form hardware
     /// exposes as `vpsrlvq` / NEON `ushl` with negated shifts).
     #[inline(always)]
-    fn shr_lanes(self, sh: [u32; 4]) -> Self {
+    pub(crate) fn shr_lanes(self, sh: [u32; 4]) -> Self {
         let [a, b, c, d] = self.0;
         U64x4([a >> sh[0], b >> sh[1], c >> sh[2], d >> sh[3]])
     }
 
     /// Lane-wise mask.
     #[inline(always)]
-    fn and(self, mask: u64) -> Self {
+    pub(crate) fn and(self, mask: u64) -> Self {
         let [a, b, c, d] = self.0;
         U64x4([a & mask, b & mask, c & mask, d & mask])
+    }
+
+    /// Per-lane mask (each lane keeps a different low-bit window — the
+    /// delta codec's offset widths vary lane to lane).
+    #[inline(always)]
+    pub(crate) fn and_lanes(self, masks: [u64; 4]) -> Self {
+        let [a, b, c, d] = self.0;
+        U64x4([a & masks[0], b & masks[1], c & masks[2], d & masks[3]])
     }
 
     /// Store the four lanes contiguously.
     #[inline(always)]
     fn store(self, out: &mut [u64]) {
         out[..4].copy_from_slice(&self.0);
+    }
+
+    /// The four lanes as a plain array.
+    #[inline(always)]
+    pub(crate) fn to_array(self) -> [u64; 4] {
+        self.0
     }
 }
 

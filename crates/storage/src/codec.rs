@@ -32,6 +32,27 @@
 //! bytes LE); decoding checks the state returns to `L` with every byte
 //! consumed, which makes truncation and bit-flips detectable without a
 //! checksum.
+//!
+//! ## Interleaved streams
+//!
+//! A single rANS state is a serial dependency chain: symbol `i+1`'s table
+//! lookup needs symbol `i`'s renormalized state, so the decoder runs at
+//! one `mul + shift + table load` latency per symbol no matter how wide
+//! the machine is. Large sections therefore interleave
+//! `INTERLEAVE_WAYS` independent states round-robin (symbol `i` belongs
+//! to state `i % ways`) over **one shared renorm stream**: the per-group
+//! state updates carry no cross-dependency and issue in parallel, and
+//! only the stream cursor stays serial. Interleaved lanes also widen to
+//! 64-bit states renormalized in 32-bit words (`RANS64_L`), so each
+//! symbol pays at most one predictable renorm branch and one 4-byte load
+//! instead of a byte-at-a-time loop. On disk the layouts are
+//! distinguished by the section's first byte — a legacy single-state
+//! section leads with its width byte (`<= 64`), an interleaved one with
+//! the sub-tag `0x80 | ways` followed by the width byte, then the `ways`
+//! final 64-bit states (8 bytes LE each) and the shared 32-bit renorm
+//! words (see `docs/FORMAT.md`). Old files decode unchanged; new files
+//! fall back to single-state below `INTERLEAVE_MIN_SYMBOLS` where the
+//! extra initial states would not amortize.
 
 use crate::bitpack::{bits_for, BitPacked};
 use crate::error::StorageError;
@@ -84,6 +105,28 @@ const SCALE_BITS: u32 = 12;
 const SCALE: u32 = 1 << SCALE_BITS;
 /// Lower bound of the normalized state interval.
 const RANS_L: u32 = 1 << 23;
+
+/// First-byte marker of an interleaved section: `0x80 | ways`. Width
+/// bytes are `<= 64`, so the two layouts never collide.
+const INTERLEAVE_TAG: u8 = 0x80;
+/// Most lockstep states the format admits (`ways` in `2..=MAX_WAYS`).
+const MAX_WAYS: usize = 4;
+/// States the encoder writes when it interleaves.
+const INTERLEAVE_WAYS: usize = 4;
+/// Minimum entropy-coded symbol count before the encoder interleaves: the
+/// extra initial states cost `4 * (ways - 1) + 1` bytes, which tiny
+/// sections cannot amortize. Deterministic, so append/compact byte parity
+/// is preserved.
+const INTERLEAVE_MIN_SYMBOLS: usize = 64;
+
+/// Cap on the eager output reservation of the decoders. Every length a
+/// section declares is cross-checked against the footer's sizes *before*
+/// any allocation, but both come from the same (untrusted) file — so the
+/// decoders reserve at most this many values up front and let the vector
+/// grow geometrically past it, tying large allocations to symbols
+/// actually decoded from bytes actually present. Default chunks hold 16 K
+/// rows; real sections never exceed this.
+const MAX_EAGER_RESERVE: usize = 1 << 16;
 
 /// A normalized symbol table: sorted distinct symbols with frequencies
 /// summing to exactly [`SCALE`].
@@ -148,15 +191,17 @@ impl FreqTable {
         Ok(FreqTable { syms, freqs, cum })
     }
 
-    /// Slot → symbol-index lookup covering all [`SCALE`] slots.
-    fn slot_lut(&self) -> Vec<SlotEntry> {
-        let mut lut = vec![SlotEntry::default(); SCALE as usize];
+    /// Slot → symbol-index lookup covering all [`SCALE`] slots. Returned
+    /// as a fixed-size array so `lut[state & (SCALE - 1)]` indexes without
+    /// a bounds check in the hot loop.
+    fn slot_lut(&self) -> Box<SlotLut> {
+        let mut lut = vec![SlotEntry::default(); SCALE as usize].into_boxed_slice();
         for ((&sym, &freq), &cum) in self.syms.iter().zip(&self.freqs).zip(&self.cum) {
             for slot in cum..cum + freq as u32 {
                 lut[slot as usize] = SlotEntry { sym, freq, cum };
             }
         }
-        lut
+        lut.try_into().ok().expect("lut has SCALE entries")
     }
 }
 
@@ -168,6 +213,8 @@ struct SlotEntry {
     freq: u16,
     cum: u32,
 }
+
+type SlotLut = [SlotEntry; SCALE as usize];
 
 fn prefix_sums(freqs: &[u16]) -> Vec<u32> {
     let mut cum = Vec::with_capacity(freqs.len());
@@ -218,56 +265,234 @@ fn normalize_freqs(counts: &[u64]) -> Vec<u16> {
     freqs.iter().map(|&f| f as u16).collect()
 }
 
-/// rANS-encode `indices` (positions into `table`). Returns the stream:
-/// final state (4 bytes LE) followed by the renormalization bytes in
-/// decode order.
-fn rans_encode(indices: &[usize], table: &FreqTable) -> Vec<u8> {
-    let mut renorm = Vec::new();
-    let mut x: u32 = RANS_L;
-    for &s in indices.iter().rev() {
-        let f = table.freqs[s] as u32;
-        // Renormalize so the state transition below stays in range.
-        let x_max = f << (23 - SCALE_BITS + 8);
-        while x >= x_max {
-            renorm.push(x as u8);
-            x >>= 8;
+/// Lower bound of the widened state interval used by *interleaved* lanes:
+/// 64-bit states renormalized in 32-bit words. One renorm check per
+/// symbol with a predictable branch and a 4-byte load replaces the legacy
+/// byte-at-a-time loop — the byte-renorm interleaved variant measured
+/// only ~1.3–1.6x over single-state because its renorm branches
+/// mispredict; the word-renorm one clears 2x.
+const RANS64_L: u64 = 1 << 31;
+
+/// rANS-encode `indices` (positions into `table`) with `ways` interleaved
+/// states, symbol `i` on state `i % ways`.
+///
+/// `ways == 1` is the legacy single-state construction, byte for byte:
+/// 32-bit state, byte renorm, final state leading the stream as 4 bytes
+/// LE. `ways > 1` writes the interleaved layout: `ways` 64-bit states (8
+/// bytes LE each, state 0 first) followed by the shared renormalization
+/// stream of 32-bit words in decode order. Encoding runs in reverse; the
+/// decoder, running forward, then meets each state's renorm words in
+/// exactly push order reversed — the same argument as single-state,
+/// because states share one stream but each word still belongs to exactly
+/// one symbol position.
+fn rans_encode(indices: &[usize], table: &FreqTable, ways: usize) -> Vec<u8> {
+    debug_assert!(ways == 1 || (2..=MAX_WAYS).contains(&ways));
+    if ways == 1 {
+        let mut renorm: Vec<u8> = Vec::new();
+        let mut x = RANS_L;
+        for &s in indices.iter().rev() {
+            let f = table.freqs[s] as u32;
+            // Renormalize so the state transition below stays in range.
+            let x_max = f << (23 - SCALE_BITS + 8);
+            while x >= x_max {
+                renorm.push(x as u8);
+                x >>= 8;
+            }
+            x = ((x / f) << SCALE_BITS) + (x % f) + table.cum[s];
         }
-        x = ((x / f) << SCALE_BITS) + (x % f) + table.cum[s];
+        let mut stream = Vec::with_capacity(4 + renorm.len());
+        stream.extend_from_slice(&x.to_le_bytes());
+        stream.extend(renorm.iter().rev());
+        return stream;
     }
-    let mut stream = Vec::with_capacity(4 + renorm.len());
-    stream.extend_from_slice(&x.to_le_bytes());
-    stream.extend(renorm.iter().rev());
+    let mut renorm: Vec<u32> = Vec::new();
+    let mut states = [RANS64_L; MAX_WAYS];
+    for i in (0..indices.len()).rev() {
+        let s = indices[i];
+        let f = table.freqs[s] as u64;
+        // 64-bit interval [L, L << 32): renormalize in 32-bit words.
+        let x_max = f << (31 - SCALE_BITS as u64 + 32);
+        let mut x = states[i % ways];
+        while x >= x_max {
+            renorm.push(x as u32);
+            x >>= 32;
+        }
+        states[i % ways] = ((x / f) << SCALE_BITS) + (x % f) + table.cum[s] as u64;
+    }
+    let mut stream = Vec::with_capacity(8 * ways + 4 * renorm.len());
+    for &x in &states[..ways] {
+        stream.extend_from_slice(&x.to_le_bytes());
+    }
+    for &w in renorm.iter().rev() {
+        stream.extend_from_slice(&w.to_le_bytes());
+    }
     stream
 }
 
-/// Decode exactly `n` symbols from `stream`, which must be fully consumed
-/// with the state returning to its initial value (both checked, so
-/// truncated or tampered streams are rejected).
-fn rans_decode(stream: &[u8], n: usize, table: &FreqTable) -> Result<Vec<u16>> {
-    if stream.len() < 4 {
-        return Err(StorageError::Corrupt("rANS stream shorter than its state".into()));
-    }
-    let lut = table.slot_lut();
-    let mut x = u32::from_le_bytes([stream[0], stream[1], stream[2], stream[3]]);
-    let mut pos = 4usize;
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        let slot = x & (SCALE - 1);
-        let e = lut[slot as usize];
-        x = (e.freq as u32) * (x >> SCALE_BITS) + slot - e.cum;
-        while x < RANS_L {
-            let Some(&b) = stream.get(pos) else {
-                return Err(StorageError::Corrupt("rANS stream truncated".into()));
-            };
-            x = (x << 8) | b as u32;
-            pos += 1;
+/// `WAYS` lockstep rANS decoder states over one shared renorm stream.
+///
+/// `WIDE = false` is the legacy single-state construction (32-bit states,
+/// byte renorm — only ever instantiated with `WAYS = 1`); `WIDE = true`
+/// is the interleaved one (64-bit states, 32-bit-word renorm). Each group
+/// decodes in two passes: `WAYS` table lookups + state updates (mutually
+/// independent — this is where the ILP over the single-state chain comes
+/// from), then `WAYS` renormalizations in symbol order (serial only on
+/// the stream cursor, matching the encoder's word order exactly).
+struct RansLanes<'a, const WAYS: usize, const WIDE: bool> {
+    states: [u64; WAYS],
+    stream: &'a [u8],
+    pos: usize,
+}
+
+impl<'a, const WAYS: usize, const WIDE: bool> RansLanes<'a, WAYS, WIDE> {
+    /// Bytes of one serialized state in the stream prefix.
+    const STATE_BYTES: usize = if WIDE { 8 } else { 4 };
+    /// Worst-case renorm bytes one *normalized* state consumes per step:
+    /// one 32-bit word wide (post-update `x >= L >> SCALE_BITS = 2^19`,
+    /// one word lifts it past `2^51`), two bytes legacy (post-update
+    /// `x >= 2^11`, two bytes reach `2^27 > L`).
+    const STEP_BYTES: usize = if WIDE { 4 } else { 2 };
+    /// Lower bound of the normalized interval.
+    const L: u64 = if WIDE { RANS64_L } else { RANS_L as u64 };
+
+    /// Validates the state prefix is present — called before the output
+    /// allocation, so a truncated stream never balloons memory.
+    fn new(stream: &'a [u8]) -> Result<Self> {
+        let prefix = Self::STATE_BYTES * WAYS;
+        if stream.len() < prefix {
+            return Err(StorageError::Corrupt("rANS stream shorter than its states".into()));
         }
-        out.push(e.sym);
+        let mut states = [0u64; WAYS];
+        for (j, st) in states.iter_mut().enumerate() {
+            let at = Self::STATE_BYTES * j;
+            *st = if WIDE {
+                u64::from_le_bytes(stream[at..at + 8].try_into().expect("8-byte slice"))
+            } else {
+                u32::from_le_bytes(stream[at..at + 4].try_into().expect("4-byte slice")) as u64
+            };
+        }
+        Ok(RansLanes { states, stream, pos: prefix })
     }
-    if x != RANS_L || pos != stream.len() {
-        return Err(StorageError::Corrupt("rANS stream does not round-trip".into()));
+
+    /// The highest `pos` at which [`Self::step_group_fast`]'s worst-case
+    /// byte consumption is certainly in bounds.
+    fn fast_limit(&self) -> usize {
+        self.stream.len().saturating_sub(Self::STEP_BYTES * WAYS)
     }
-    Ok(out)
+
+    /// The independent half of one step: table lookup + state update for
+    /// every lane. No stream access, so lanes carry no cross-dependency.
+    #[inline(always)]
+    fn update_group(&mut self, lut: &SlotLut) -> [u16; WAYS] {
+        let mut syms = [0u16; WAYS];
+        for (sym, state) in syms.iter_mut().zip(self.states.iter_mut()) {
+            let x = *state;
+            let slot = x & (SCALE as u64 - 1);
+            let e = lut[slot as usize];
+            *state = (e.freq as u64) * (x >> SCALE_BITS) + slot - e.cum as u64;
+            *sym = e.sym;
+        }
+        syms
+    }
+
+    /// Decode the next `WAYS` symbols, one per state, in symbol order.
+    /// Caller must ensure `pos <= fast_limit()`, which lets the renorm
+    /// run without per-access bounds checks. Crafted streams with
+    /// denormalized states may leave a state below `L`; `finish` rejects
+    /// them.
+    ///
+    /// `CMOV` picks the renorm style per call site: `true` loads the next
+    /// word unconditionally and selects with a cmov — no mispredict flush,
+    /// right when renorms fire often and erratically (ANS over values,
+    /// ~every third symbol); `false` branches — cheaper when renorms are
+    /// rare and predictable (delta classes, low entropy), where the
+    /// unconditional load and select latency would only tax the common
+    /// no-renorm path. Legacy byte renorm always branches.
+    #[inline(always)]
+    fn step_group_fast<const CMOV: bool>(&mut self, lut: &SlotLut) -> [u16; WAYS] {
+        debug_assert!(self.pos <= self.fast_limit());
+        let syms = self.update_group(lut);
+        for j in 0..WAYS {
+            let mut x = self.states[j];
+            if WIDE && CMOV {
+                let w = u32::from_le_bytes(
+                    self.stream[self.pos..self.pos + 4].try_into().expect("4-byte slice"),
+                );
+                let need = x < Self::L;
+                x = if need { (x << 32) | w as u64 } else { x };
+                self.pos += 4 * need as usize;
+            } else if WIDE {
+                if x < Self::L {
+                    let w = u32::from_le_bytes(
+                        self.stream[self.pos..self.pos + 4].try_into().expect("4-byte slice"),
+                    );
+                    x = (x << 32) | w as u64;
+                    self.pos += 4;
+                }
+            } else if x < Self::L {
+                x = (x << 8) | self.stream[self.pos] as u64;
+                self.pos += 1;
+                if x < Self::L {
+                    x = (x << 8) | self.stream[self.pos] as u64;
+                    self.pos += 1;
+                }
+            }
+            self.states[j] = x;
+        }
+        syms
+    }
+
+    /// [`Self::step_group_fast`] without the headroom requirement: exact
+    /// bounds checks, for the last few groups of a stream.
+    fn step_group(&mut self, lut: &SlotLut) -> Result<[u16; WAYS]> {
+        let syms = self.update_group(lut);
+        for j in 0..WAYS {
+            self.renorm_checked(j)?;
+        }
+        Ok(syms)
+    }
+
+    /// Decode one symbol on state `j` (the trailing partial group).
+    fn step_one(&mut self, j: usize, lut: &SlotLut) -> Result<u16> {
+        let x = self.states[j];
+        let slot = x & (SCALE as u64 - 1);
+        let e = lut[slot as usize];
+        self.states[j] = (e.freq as u64) * (x >> SCALE_BITS) + slot - e.cum as u64;
+        self.renorm_checked(j)?;
+        Ok(e.sym)
+    }
+
+    /// Renormalize lane `j` with exact truncation checks. The loop (not
+    /// an `if`) also bounds crafted denormalized states.
+    fn renorm_checked(&mut self, j: usize) -> Result<()> {
+        let mut x = self.states[j];
+        while x < Self::L {
+            if WIDE {
+                let Some(w) = self.stream.get(self.pos..self.pos + 4) else {
+                    return Err(StorageError::Corrupt("rANS stream truncated".into()));
+                };
+                x = (x << 32) | u32::from_le_bytes(w.try_into().expect("4-byte slice")) as u64;
+                self.pos += 4;
+            } else {
+                let Some(&b) = self.stream.get(self.pos) else {
+                    return Err(StorageError::Corrupt("rANS stream truncated".into()));
+                };
+                x = (x << 8) | b as u64;
+                self.pos += 1;
+            }
+        }
+        self.states[j] = x;
+        Ok(())
+    }
+
+    /// Every state must return to `L` with the stream fully consumed —
+    /// the same truncation/tamper detection as single-state.
+    fn finish(&self) -> Result<()> {
+        if self.states.iter().any(|&x| x != Self::L) || self.pos != self.stream.len() {
+            return Err(StorageError::Corrupt("rANS stream does not round-trip".into()));
+        }
+        Ok(())
+    }
 }
 
 // ------------------------------------------------------- bit stream
@@ -308,60 +533,64 @@ impl BitWriter {
     }
 }
 
-/// LSB-first bit reader; [`BitReader::finish`] enforces that the stream
-/// was consumed exactly (any padding bits must be zero).
-struct BitReader<'a> {
+/// LSB-first bit cursor over the delta offset stream. Position is a plain
+/// bit index (no shifting accumulator), so group decode can pull several
+/// lanes' bits out of a single loaded window — see [`take_offsets`].
+struct BitCursor<'a> {
     buf: &'a [u8],
-    pos: usize,
-    acc: u64,
-    nbits: u32,
+    bitpos: usize,
 }
 
-impl<'a> BitReader<'a> {
-    fn new(buf: &'a [u8]) -> BitReader<'a> {
-        BitReader { buf, pos: 0, acc: 0, nbits: 0 }
+impl<'a> BitCursor<'a> {
+    fn new(buf: &'a [u8]) -> BitCursor<'a> {
+        BitCursor { buf, bitpos: 0 }
     }
 
+    /// Take `n <= 63` bits (offsets carry at most `width - 1`).
+    #[inline(always)]
     fn take(&mut self, n: u32) -> Result<u64> {
-        debug_assert!(n <= 64);
-        let lo = n.min(32);
-        let low = self.take_small(lo)?;
-        if n > 32 {
-            Ok(low | (self.take_small(n - 32)? << 32))
+        debug_assert!(n <= 63);
+        let byte = self.bitpos >> 3;
+        let sh = (self.bitpos & 7) as u32;
+        if byte + 8 <= self.buf.len() && sh + n <= 64 {
+            let w = u64::from_le_bytes(self.buf[byte..byte + 8].try_into().expect("8-byte slice"));
+            self.bitpos += n as usize;
+            Ok((w >> sh) & low_mask(n))
         } else {
-            Ok(low)
+            self.take_slow(n)
         }
     }
 
-    fn take_small(&mut self, n: u32) -> Result<u64> {
-        if self.nbits < n {
-            // Bulk refill: one unaligned 4-byte load instead of up to four
-            // byte loops — refills dominate when every value carries bits.
-            if let Some(word) = self.buf.get(self.pos..self.pos + 4) {
-                let w = u32::from_le_bytes(word.try_into().expect("4-byte slice"));
-                let bytes = (63 - self.nbits) / 8;
-                let take = bytes.min(4);
-                self.acc |= ((w as u64) & low_mask(take * 8)) << self.nbits;
-                self.pos += take as usize;
-                self.nbits += take * 8;
-            }
-            while self.nbits < n {
-                let Some(&b) = self.buf.get(self.pos) else {
-                    return Err(StorageError::Corrupt("codec bit stream truncated".into()));
-                };
-                self.acc |= (b as u64) << self.nbits;
-                self.pos += 1;
-                self.nbits += 8;
-            }
+    /// Byte-at-a-time fallback: reads near the end of the stream, or ones
+    /// whose bits span nine bytes.
+    #[cold]
+    fn take_slow(&mut self, n: u32) -> Result<u64> {
+        let end = self.bitpos + n as usize;
+        if end > self.buf.len() * 8 {
+            return Err(StorageError::Corrupt("codec bit stream truncated".into()));
         }
-        let v = self.acc & low_mask(n);
-        self.acc >>= n;
-        self.nbits -= n;
+        let mut v = 0u64;
+        let mut got = 0u32;
+        while got < n {
+            let b = self.buf[self.bitpos >> 3] as u64;
+            let sh = (self.bitpos & 7) as u32;
+            let take = (8 - sh).min(n - got);
+            v |= ((b >> sh) & low_mask(take)) << got;
+            got += take;
+            self.bitpos += take as usize;
+        }
         Ok(v)
     }
 
+    /// The stream must end exactly at the cursor's last byte, with any
+    /// padding bits in that byte zero — the truncation/tamper detection
+    /// the accumulator-style reader enforced.
     fn finish(self) -> Result<()> {
-        if self.pos != self.buf.len() || self.acc != 0 {
+        let pad_zero = match self.bitpos % 8 {
+            0 => true,
+            r => self.buf[self.bitpos / 8] >> r == 0,
+        };
+        if self.bitpos.div_ceil(8) != self.buf.len() || !pad_zero {
             return Err(StorageError::Corrupt("codec bit stream has trailing data".into()));
         }
         Ok(())
@@ -382,7 +611,7 @@ fn low_mask(n: u32) -> u64 {
 /// absurd lengths (only reachable from crafted input — decoders compare
 /// this against the footer's bounded `uncompressed`, so a saturated value
 /// simply fails that comparison).
-pub(crate) fn raw_section_len(width: u8, len: u64) -> u64 {
+pub fn raw_section_len(width: u8, len: u64) -> u64 {
     let words = if width == 0 { 0 } else { len.div_ceil((64 / width as u64).max(1)) };
     words.saturating_mul(8).saturating_add(9)
 }
@@ -397,18 +626,33 @@ fn raw_section(packed: &BitPacked) -> Vec<u8> {
     out
 }
 
+/// The stream layout `encode_array` picks for a section of `n_symbols`
+/// entropy-coded symbols.
+fn auto_ways(n_symbols: usize) -> usize {
+    if n_symbols >= INTERLEAVE_MIN_SYMBOLS {
+        INTERLEAVE_WAYS
+    } else {
+        1
+    }
+}
+
 /// Encode a packed array with the smallest applicable codec. Ties prefer
 /// `Raw < Delta < Ans`, so a codec is only ever chosen when it is
 /// *strictly* smaller than raw — which the v4 footer validation relies on.
 pub(crate) fn encode_array(packed: &BitPacked) -> (Codec, Vec<u8>) {
     let mut best = (Codec::Raw, raw_section(packed));
-    let values = packed.to_vec();
-    if let Some(d) = encode_delta(&values, packed.width()) {
+    // Block-decode the candidate input in one sweep (the SIMD lane path
+    // for narrow widths) instead of a per-element packed-word probe.
+    let mut values = vec![0u64; packed.len()];
+    packed.unpack_range(0, packed.len(), &mut values);
+    if let Some(d) =
+        encode_delta(&values, packed.width(), auto_ways(values.len().saturating_sub(1)))
+    {
         if d.len() < best.1.len() {
             best = (Codec::Delta, d);
         }
     }
-    if let Some(a) = encode_ans(&values, packed.width()) {
+    if let Some(a) = encode_ans(&values, packed.width(), auto_ways(values.len())) {
         if a.len() < best.1.len() {
             best = (Codec::Ans, a);
         }
@@ -416,15 +660,124 @@ pub(crate) fn encode_array(packed: &BitPacked) -> (Codec, Vec<u8>) {
     best
 }
 
-/// Decode a codec-transformed array section (the whole of `buf`), given
-/// the raw section size the footer promised — checked *before* any
-/// allocation or decode loop so a corrupt length cannot balloon work.
+/// Decode a codec-transformed array section (the whole of `buf`) into a
+/// [`BitPacked`], given the raw section size the footer promised.
 pub(crate) fn decode_array(codec: Codec, buf: &[u8], expected_raw: u64) -> Result<BitPacked> {
-    match codec {
-        Codec::Raw => Err(StorageError::Corrupt("raw sections decode on the v3 path".into())),
-        Codec::Delta => decode_delta(buf, expected_raw),
-        Codec::Ans => decode_ans(buf, expected_raw),
+    if codec == Codec::Raw {
+        return Err(StorageError::Corrupt("raw sections decode on the v3 path".into()));
     }
+    let mut values = Vec::new();
+    let width = decode_section_into(codec, buf, expected_raw, None, &mut values)?;
+    Ok(BitPacked::from_slice_with_width(&values, width))
+}
+
+/// Decode an array section straight into a caller-provided scratch vector
+/// (cleared first), returning the section's declared width — the
+/// decode-into-scratch path for consumers that block-decode anyway
+/// (`persist::inspect`, compaction rewrite, the decode bench), skipping
+/// the [`BitPacked`] repack. Unlike `decode_array` this also accepts
+/// [`Codec::Raw`] sections (`width u8 | len u64 | words…`).
+///
+/// All size checks — the declared length against the footer's
+/// `expected_raw` (and against `expected_len`, when the caller knows the
+/// row count), the symbol table, and the stream's state prefix — run
+/// *before* the output allocation, so truncated or crafted sections never
+/// allocate their full declared size.
+pub fn decode_section_into(
+    codec: Codec,
+    buf: &[u8],
+    expected_raw: u64,
+    expected_len: Option<u64>,
+    out: &mut Vec<u64>,
+) -> Result<u8> {
+    match codec {
+        Codec::Raw => decode_raw_into(buf, expected_raw, expected_len, out),
+        Codec::Delta => decode_delta_into(buf, expected_raw, expected_len, out),
+        Codec::Ans => decode_ans_into(buf, expected_raw, expected_len, out),
+    }
+}
+
+/// Encode `values` as a `codec` section at `width`, forcing the stream
+/// layout: `ways == 1` writes the legacy single-state layout, `2..=4` an
+/// interleaved one (`Raw` ignores `ways`). `None` when the codec does not
+/// apply. Bench / differential-test entry point; `encode_array` picks the
+/// codec and layout itself.
+pub fn encode_section(values: &[u64], width: u8, codec: Codec, ways: usize) -> Option<Vec<u8>> {
+    match codec {
+        Codec::Raw => Some(raw_section(&BitPacked::from_slice_with_width(values, width))),
+        Codec::Delta => encode_delta(values, width, ways),
+        Codec::Ans => encode_ans(values, width, ways),
+    }
+}
+
+/// Check a section's declared element count against what the caller's
+/// footer metadata says it must be (one value per row).
+fn check_expected_len(len: u64, expected_len: Option<u64>) -> Result<()> {
+    match expected_len {
+        Some(e) if e != len => Err(StorageError::Corrupt(format!(
+            "section declares {len} values, footer promises {e}"
+        ))),
+        _ => Ok(()),
+    }
+}
+
+/// Decode a raw (v3-layout) section into `out`. Word presence is checked
+/// against the actual buffer before any allocation.
+fn decode_raw_into(
+    buf: &[u8],
+    expected_raw: u64,
+    expected_len: Option<u64>,
+    out: &mut Vec<u64>,
+) -> Result<u8> {
+    let mut buf = buf;
+    let width = take_u8(&mut buf)?;
+    if width > 64 {
+        return Err(StorageError::Corrupt(format!("bad bit width {width}")));
+    }
+    let len = take_u64(&mut buf)?;
+    if raw_section_len(width, len) != expected_raw {
+        return Err(StorageError::Corrupt(format!(
+            "raw section declares {len} x {width}-bit values, which contradicts the footer's \
+             uncompressed size"
+        )));
+    }
+    check_expected_len(len, expected_len)?;
+    let len = len as usize;
+    let words = if width == 0 { 0 } else { len.div_ceil((64 / width as usize).max(1)) };
+    if buf.len() != words * 8 {
+        return Err(StorageError::Corrupt("raw section word count disagrees with input".into()));
+    }
+    let mut ws = Vec::with_capacity(words);
+    for chunk in buf.chunks_exact(8) {
+        ws.push(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+    }
+    let packed = BitPacked::from_raw(width, len, ws)?;
+    out.clear();
+    out.resize(len, 0);
+    packed.unpack_range(0, len, out);
+    Ok(width)
+}
+
+/// Read the section's stream layout from its first byte(s): a legacy
+/// single-state section leads with its width byte (`<= 64`), an
+/// interleaved one with `0x80 | ways` followed by the width byte.
+fn take_layout(buf: &mut &[u8]) -> Result<(usize, u8)> {
+    let b = take_u8(buf)?;
+    if b < INTERLEAVE_TAG {
+        if b > 64 {
+            return Err(StorageError::Corrupt(format!("bad bit width {b}")));
+        }
+        return Ok((1, b));
+    }
+    let ways = (b & 0x7f) as usize;
+    if !(2..=MAX_WAYS).contains(&ways) {
+        return Err(StorageError::Corrupt(format!("bad interleave sub-tag {b:#04x}")));
+    }
+    let width = take_u8(buf)?;
+    if width > 64 {
+        return Err(StorageError::Corrupt(format!("bad bit width {width}")));
+    }
+    Ok((ways, width))
 }
 
 /// Class symbol for one delta: `2 * bits(|d|) + sign`. Carrying the sign
@@ -438,13 +791,50 @@ fn delta_sym(d: i64) -> (u16, u64) {
 
 const DELTA_MAX_SYM: u16 = 64 << 1 | 1;
 
-/// Delta codec: `width u8 | len u64 | first u64 | class table |
-/// class_stream_len u32 | class stream | offset bits`. The `first` field
-/// is present for `len >= 1`, everything after it for `len >= 2`. The
-/// class alphabet is `(magnitude bit-length, sign)` pairs; a magnitude's
-/// sub-top bits go to the offset stream verbatim.
-pub(crate) fn encode_delta(values: &[u64], width: u8) -> Option<Vec<u8>> {
+/// Per-class decode tables, indexed by class symbol: explicit offset-bit
+/// count (`k - 1` for magnitude bit-length `k >= 1`), the low-bit mask of
+/// that count, and the magnitude's implicit top bit (`2^(k-1)`, or 0 for
+/// class 0). One L1 load each replaces the compare / saturating-subtract
+/// / variable-shift chains in the hot loop — the offset side of delta
+/// decode is instruction-throughput-bound, not latency-bound, so trading
+/// ALU ops for tiny table loads is a direct win. Indexed `sym & 0xff`:
+/// the frequency-table reader bounds symbols to [`DELTA_MAX_SYM`], so the
+/// mask never changes a valid index, it only keeps crafted input in
+/// bounds without a checked branch. Entries past `DELTA_MAX_SYM` are
+/// zero and unreachable.
+const DELTA_MS: [u8; 256] = build_delta_tables().0;
+const DELTA_MASK: [u64; 256] = build_delta_tables().1;
+const DELTA_TOP: [u64; 256] = build_delta_tables().2;
+
+const fn build_delta_tables() -> ([u8; 256], [u64; 256], [u64; 256]) {
+    let mut ms = [0u8; 256];
+    let mut mask = [0u64; 256];
+    let mut top = [0u64; 256];
+    let mut sym = 0usize;
+    while sym <= DELTA_MAX_SYM as usize {
+        let k = sym >> 1;
+        if k >= 1 {
+            let m = k - 1;
+            ms[sym] = m as u8;
+            mask[sym] = if m == 0 { 0 } else { u64::MAX >> (64 - m) };
+            top[sym] = 1u64 << m;
+        }
+        sym += 1;
+    }
+    (ms, mask, top)
+}
+
+/// Delta codec: `[0x80|ways u8]? | width u8 | len u64 | first u64 | class
+/// table | class_stream_len u32 | class stream | offset bits`. The `first`
+/// field is present for `len >= 1`, everything after it for `len >= 2`.
+/// The class alphabet is `(magnitude bit-length, sign)` pairs; a
+/// magnitude's sub-top bits go to the offset stream verbatim.
+pub(crate) fn encode_delta(values: &[u64], width: u8, ways: usize) -> Option<Vec<u8>> {
+    debug_assert!(ways == 1 || (2..=MAX_WAYS).contains(&ways));
     let mut out = Vec::new();
+    if ways > 1 {
+        out.push(INTERLEAVE_TAG | ways as u8);
+    }
     out.push(width);
     out.extend_from_slice(&(values.len() as u64).to_le_bytes());
     let Some((&first, rest)) = values.split_first() else { return Some(out) };
@@ -466,7 +856,7 @@ pub(crate) fn encode_delta(values: &[u64], width: u8) -> Option<Vec<u8>> {
     let table = FreqTable::build(syms, &counts);
     let index_of = |sym: u16| table.syms.binary_search(&sym).unwrap();
     let indices: Vec<usize> = mags.iter().map(|&(sym, _)| index_of(sym)).collect();
-    let class_stream = rans_encode(&indices, &table);
+    let class_stream = rans_encode(&indices, &table, ways);
 
     table.write(&mut out);
     out.extend_from_slice(&(class_stream.len() as u32).to_le_bytes());
@@ -482,12 +872,14 @@ pub(crate) fn encode_delta(values: &[u64], width: u8) -> Option<Vec<u8>> {
     Some(out)
 }
 
-pub(crate) fn decode_delta(buf: &[u8], expected_raw: u64) -> Result<BitPacked> {
+fn decode_delta_into(
+    buf: &[u8],
+    expected_raw: u64,
+    expected_len: Option<u64>,
+    out: &mut Vec<u64>,
+) -> Result<u8> {
     let mut buf = buf;
-    let width = take_u8(&mut buf)?;
-    if width > 64 {
-        return Err(StorageError::Corrupt(format!("bad bit width {width}")));
-    }
+    let (ways, width) = take_layout(&mut buf)?;
     let len = take_u64(&mut buf)?;
     if raw_section_len(width, len) != expected_raw {
         return Err(StorageError::Corrupt(format!(
@@ -495,10 +887,12 @@ pub(crate) fn decode_delta(buf: &[u8], expected_raw: u64) -> Result<BitPacked> {
              uncompressed size"
         )));
     }
+    check_expected_len(len, expected_len)?;
     let fits = |v: u64| width == 64 || v < (1u64 << width);
+    out.clear();
     if len == 0 {
         expect_consumed(buf)?;
-        return Ok(BitPacked::from_slice_with_width(&[], width));
+        return Ok(width);
     }
     let first = take_u64(&mut buf)?;
     if !fits(first) {
@@ -506,7 +900,8 @@ pub(crate) fn decode_delta(buf: &[u8], expected_raw: u64) -> Result<BitPacked> {
     }
     if len == 1 {
         expect_consumed(buf)?;
-        return Ok(BitPacked::from_slice_with_width(&[first], width));
+        out.push(first);
+        return Ok(width);
     }
     let table = FreqTable::read(&mut buf, DELTA_MAX_SYM)?;
     let class_stream_len = take_u32(&mut buf)? as usize;
@@ -514,55 +909,152 @@ pub(crate) fn decode_delta(buf: &[u8], expected_raw: u64) -> Result<BitPacked> {
         return Err(StorageError::Corrupt("delta class stream overruns blob".into()));
     }
     let (class_stream, offset_bytes) = buf.split_at(class_stream_len);
-    // Fused rANS + offset-bit loop: decoding the class and its offset bits
-    // in one pass avoids materializing the class array (measurably faster
-    // on the time column, the largest blob in every file).
-    if class_stream.len() < 4 {
-        return Err(StorageError::Corrupt("rANS stream shorter than its state".into()));
-    }
-    let lut = table.slot_lut();
-    let mut x =
-        u32::from_le_bytes([class_stream[0], class_stream[1], class_stream[2], class_stream[3]]);
-    let mut pos = 4usize;
-    let mut bits = BitReader::new(offset_bytes);
-    let mut values = Vec::with_capacity(len as usize);
-    values.push(first);
-    let mut prev = first;
-    for _ in 1..len {
-        let slot = x & (SCALE - 1);
-        let e = lut[slot as usize];
-        x = (e.freq as u32) * (x >> SCALE_BITS) + slot - e.cum;
-        while x < RANS_L {
-            let Some(&b) = class_stream.get(pos) else {
-                return Err(StorageError::Corrupt("rANS stream truncated".into()));
-            };
-            x = (x << 8) | b as u32;
-            pos += 1;
-        }
-        let k = (e.sym >> 1) as u32;
-        let mag = match k {
-            0 => 0,
-            1 => 1,
-            _ => (1u64 << (k - 1)) | bits.take(k - 1)?,
-        };
-        let d = if e.sym & 1 == 1 { mag.wrapping_neg() } else { mag };
-        let v = prev.wrapping_add(d);
-        if !fits(v) {
-            return Err(StorageError::Corrupt("delta value exceeds declared width".into()));
-        }
-        values.push(v);
-        prev = v;
-    }
-    if x != RANS_L || pos != class_stream.len() {
-        return Err(StorageError::Corrupt("rANS stream does not round-trip".into()));
-    }
-    bits.finish()?;
-    Ok(BitPacked::from_slice_with_width(&values, width))
+    let n = len as usize - 1;
+    match ways {
+        1 => delta_body::<1, false>(class_stream, offset_bytes, n, first, width, &table, out),
+        2 => delta_body::<2, true>(class_stream, offset_bytes, n, first, width, &table, out),
+        3 => delta_body::<3, true>(class_stream, offset_bytes, n, first, width, &table, out),
+        4 => delta_body::<4, true>(class_stream, offset_bytes, n, first, width, &table, out),
+        _ => unreachable!("take_layout bounds ways"),
+    }?;
+    Ok(width)
 }
 
-/// ANS codec: `width u8 | len u64 | value table | rANS stream`. Applicable
-/// when every value fits the 12-bit table alphabet.
-pub(crate) fn encode_ans(values: &[u64], width: u8) -> Option<Vec<u8>> {
+/// Fused rANS + offset-bit delta decode loop, monomorphized per stream
+/// width so the group loops unroll. Decoding the class and its offset
+/// bits in one pass avoids materializing the class array (measurably
+/// faster on the time column, the largest blob in every file).
+fn delta_body<const WAYS: usize, const WIDE: bool>(
+    class_stream: &[u8],
+    offset_bytes: &[u8],
+    n: usize,
+    first: u64,
+    width: u8,
+    table: &FreqTable,
+    out: &mut Vec<u64>,
+) -> Result<()> {
+    let lut = table.slot_lut();
+    let mut lanes = RansLanes::<WAYS, WIDE>::new(class_stream)?;
+    let fast_limit = lanes.fast_limit();
+    let mut bits = BitCursor::new(offset_bytes);
+    out.reserve((n + 1).min(MAX_EAGER_RESERVE));
+    out.push(first);
+    let wmask = low_mask(width as u32);
+    let mut prev = first;
+    // Width violations accumulate into `bad` instead of branching per
+    // value; one check at the end fails the whole decode either way.
+    let mut bad = 0u64;
+    for _ in 0..n / WAYS {
+        let syms = if lanes.pos <= fast_limit {
+            lanes.step_group_fast::<false>(&lut)
+        } else {
+            lanes.step_group(&lut)?
+        };
+        let offs = take_offsets::<WAYS>(&mut bits, &syms)?;
+        let mut vs = [0u64; WAYS];
+        for j in 0..WAYS {
+            let mag = DELTA_TOP[(syms[j] & 0xff) as usize] | offs[j];
+            let s = (syms[j] & 1) as u64;
+            let d = (mag ^ s.wrapping_neg()).wrapping_add(s);
+            prev = prev.wrapping_add(d);
+            vs[j] = prev;
+        }
+        // Accumulate the raw values and mask once per group: cheaper than
+        // a masked test per value, same final verdict.
+        for &v in &vs {
+            bad |= v;
+        }
+        // One grow check per group instead of one per value.
+        out.extend_from_slice(&vs);
+    }
+    for j in 0..n % WAYS {
+        let sym = lanes.step_one(j, &lut)?;
+        let m = DELTA_MS[(sym & 0xff) as usize] as u32;
+        let off = if m > 0 { bits.take(m)? } else { 0 };
+        let mag = DELTA_TOP[(sym & 0xff) as usize] | off;
+        let s = (sym & 1) as u64;
+        let d = (mag ^ s.wrapping_neg()).wrapping_add(s);
+        let v = prev.wrapping_add(d);
+        bad |= v;
+        out.push(v);
+        prev = v;
+    }
+    if bad & !wmask != 0 {
+        return Err(StorageError::Corrupt("delta value exceeds declared width".into()));
+    }
+    lanes.finish()?;
+    bits.finish()
+}
+
+/// Pull one group's verbatim offset bits: lane `j` takes
+/// `DELTA_MS[syms[j]]` bits (none for classes 0 and 1). When the whole
+/// group's bits fit one 64-bit window, a single unaligned load feeds all
+/// four lanes; each lane then masks its bits off the bottom and shifts
+/// the window down ([`DELTA_MASK`] makes that an `and` + `shr` per lane,
+/// no per-lane shift-amount prefix sums). With the `simd` feature and a
+/// 4-way group the lanes are instead extracted in parallel through
+/// per-lane variable shifts ([`U64x4`](crate::bitpack)).
+#[inline(always)]
+fn take_offsets<const WAYS: usize>(
+    bits: &mut BitCursor,
+    syms: &[u16; WAYS],
+) -> Result<[u64; WAYS]> {
+    let mut ms = [0u32; WAYS];
+    let mut total = 0u32;
+    for j in 0..WAYS {
+        ms[j] = DELTA_MS[(syms[j] & 0xff) as usize] as u32;
+        total += ms[j];
+    }
+    let byte = bits.bitpos >> 3;
+    let sh = (bits.bitpos & 7) as u32;
+    // `<= 63` (not 64) keeps every shift below strictly in range with no
+    // per-lane clamping; the skipped exactly-64-bit case falls through to
+    // the cursor path.
+    if sh + total <= 63 && byte + 8 <= bits.buf.len() {
+        // One unaligned load covers the whole group's bits.
+        let w = u64::from_le_bytes(bits.buf[byte..byte + 8].try_into().expect("8-byte slice"));
+        bits.bitpos += total as usize;
+        let w = w >> sh;
+        #[cfg(feature = "simd")]
+        if WAYS == 4 {
+            use crate::bitpack::U64x4;
+            let s1 = ms[0];
+            let s2 = s1 + ms[1];
+            let s3 = s2 + ms[2];
+            let lanes = U64x4::splat(w)
+                .shr_lanes([0, s1, s2, s3])
+                .and_lanes([
+                    DELTA_MASK[(syms[0] & 0xff) as usize],
+                    DELTA_MASK[(syms[1] & 0xff) as usize],
+                    DELTA_MASK[(syms[2] & 0xff) as usize],
+                    DELTA_MASK[(syms[3] & 0xff) as usize],
+                ])
+                .to_array();
+            let mut out = [0u64; WAYS];
+            out.copy_from_slice(&lanes);
+            return Ok(out);
+        }
+        let mut out = [0u64; WAYS];
+        let mut w = w;
+        for j in 0..WAYS {
+            out[j] = w & DELTA_MASK[(syms[j] & 0xff) as usize];
+            w >>= ms[j];
+        }
+        return Ok(out);
+    }
+    let mut out = [0u64; WAYS];
+    for j in 0..WAYS {
+        if ms[j] > 0 {
+            out[j] = bits.take(ms[j])?;
+        }
+    }
+    Ok(out)
+}
+
+/// ANS codec: `[0x80|ways u8]? | width u8 | len u64 | value table | rANS
+/// stream`. Applicable when every value fits the 12-bit table alphabet.
+pub(crate) fn encode_ans(values: &[u64], width: u8, ways: usize) -> Option<Vec<u8>> {
+    debug_assert!(ways == 1 || (2..=MAX_WAYS).contains(&ways));
     if values.is_empty() || values.iter().any(|&v| v >= SCALE as u64) {
         return None;
     }
@@ -578,9 +1070,12 @@ pub(crate) fn encode_ans(values: &[u64], width: u8) -> Option<Vec<u8>> {
     }
     let table = FreqTable::build(syms, &sym_counts);
     let indices: Vec<usize> = values.iter().map(|&v| index_of[v as usize] as usize).collect();
-    let stream = rans_encode(&indices, &table);
+    let stream = rans_encode(&indices, &table, ways);
 
-    let mut out = Vec::with_capacity(9 + 2 + 4 * table.syms.len() + stream.len());
+    let mut out = Vec::with_capacity(10 + 2 + 4 * table.syms.len() + stream.len());
+    if ways > 1 {
+        out.push(INTERLEAVE_TAG | ways as u8);
+    }
     out.push(width);
     out.extend_from_slice(&(values.len() as u64).to_le_bytes());
     table.write(&mut out);
@@ -588,12 +1083,14 @@ pub(crate) fn encode_ans(values: &[u64], width: u8) -> Option<Vec<u8>> {
     Some(out)
 }
 
-pub(crate) fn decode_ans(buf: &[u8], expected_raw: u64) -> Result<BitPacked> {
+fn decode_ans_into(
+    buf: &[u8],
+    expected_raw: u64,
+    expected_len: Option<u64>,
+    out: &mut Vec<u64>,
+) -> Result<u8> {
     let mut buf = buf;
-    let width = take_u8(&mut buf)?;
-    if width > 64 {
-        return Err(StorageError::Corrupt(format!("bad bit width {width}")));
-    }
+    let (ways, width) = take_layout(&mut buf)?;
     let len = take_u64(&mut buf)?;
     if len == 0 || raw_section_len(width, len) != expected_raw {
         return Err(StorageError::Corrupt(format!(
@@ -601,15 +1098,52 @@ pub(crate) fn decode_ans(buf: &[u8], expected_raw: u64) -> Result<BitPacked> {
              uncompressed size"
         )));
     }
+    check_expected_len(len, expected_len)?;
     let table = FreqTable::read(&mut buf, SCALE as u16 - 1)?;
     if let Some(&top) = table.syms.last() {
         if !(width == 64 || (top as u64) < (1u64 << width)) {
             return Err(StorageError::Corrupt("ANS symbol exceeds declared width".into()));
         }
     }
-    let symbols = rans_decode(buf, len as usize, &table)?;
-    let values: Vec<u64> = symbols.iter().map(|&s| s as u64).collect();
-    Ok(BitPacked::from_slice_with_width(&values, width))
+    out.clear();
+    let n = len as usize;
+    match ways {
+        1 => ans_body::<1, false>(buf, n, &table, out),
+        2 => ans_body::<2, true>(buf, n, &table, out),
+        3 => ans_body::<3, true>(buf, n, &table, out),
+        4 => ans_body::<4, true>(buf, n, &table, out),
+        _ => unreachable!("take_layout bounds ways"),
+    }?;
+    Ok(width)
+}
+
+fn ans_body<const WAYS: usize, const WIDE: bool>(
+    stream: &[u8],
+    n: usize,
+    table: &FreqTable,
+    out: &mut Vec<u64>,
+) -> Result<()> {
+    let lut = table.slot_lut();
+    let mut lanes = RansLanes::<WAYS, WIDE>::new(stream)?;
+    let fast_limit = lanes.fast_limit();
+    out.reserve(n.min(MAX_EAGER_RESERVE));
+    for _ in 0..n / WAYS {
+        let syms = if lanes.pos <= fast_limit {
+            lanes.step_group_fast::<true>(&lut)
+        } else {
+            lanes.step_group(&lut)?
+        };
+        let mut vs = [0u64; WAYS];
+        for j in 0..WAYS {
+            vs[j] = syms[j] as u64;
+        }
+        // One grow check per group instead of one per value.
+        out.extend_from_slice(&vs);
+    }
+    for j in 0..n % WAYS {
+        out.push(lanes.step_one(j, &lut)? as u64);
+    }
+    lanes.finish()
 }
 
 // ------------------------------------------------------- byte readers
@@ -659,18 +1193,50 @@ mod tests {
         BitPacked::from_slice(values)
     }
 
+    fn decode_delta(buf: &[u8], expected_raw: u64) -> Result<BitPacked> {
+        decode_array(Codec::Delta, buf, expected_raw)
+    }
+
+    fn decode_ans(buf: &[u8], expected_raw: u64) -> Result<BitPacked> {
+        decode_array(Codec::Ans, buf, expected_raw)
+    }
+
     fn roundtrip_delta(values: &[u64], width: u8) {
-        let enc = encode_delta(values, width).expect("delta always encodes");
-        let dec = decode_delta(&enc, raw_section_len(width, values.len() as u64)).expect("decodes");
-        assert_eq!(dec.to_vec(), values);
-        assert_eq!(dec.width(), width);
+        let raw = raw_section_len(width, values.len() as u64);
+        for ways in [1, 2, 4] {
+            let enc = encode_delta(values, width, ways).expect("delta always encodes");
+            let dec = decode_delta(&enc, raw).expect("decodes");
+            assert_eq!(dec.to_vec(), values, "ways={ways}");
+            assert_eq!(dec.width(), width);
+            // The scratch path must agree with the BitPacked path.
+            let mut scratch = vec![0xdead; 3];
+            let w = decode_section_into(
+                Codec::Delta,
+                &enc,
+                raw,
+                Some(values.len() as u64),
+                &mut scratch,
+            )
+            .expect("scratch decodes");
+            assert_eq!(w, width);
+            assert_eq!(scratch, values, "ways={ways} scratch");
+        }
     }
 
     fn roundtrip_ans(values: &[u64], width: u8) -> bool {
-        let Some(enc) = encode_ans(values, width) else { return false };
-        let dec = decode_ans(&enc, raw_section_len(width, values.len() as u64)).expect("decodes");
-        assert_eq!(dec.to_vec(), values);
-        assert_eq!(dec.width(), width);
+        let raw = raw_section_len(width, values.len() as u64);
+        for ways in [1, 2, 4] {
+            let Some(enc) = encode_ans(values, width, ways) else { return false };
+            let dec = decode_ans(&enc, raw).expect("decodes");
+            assert_eq!(dec.to_vec(), values, "ways={ways}");
+            assert_eq!(dec.width(), width);
+            let mut scratch = Vec::new();
+            let w =
+                decode_section_into(Codec::Ans, &enc, raw, Some(values.len() as u64), &mut scratch)
+                    .expect("scratch decodes");
+            assert_eq!(w, width);
+            assert_eq!(scratch, values, "ways={ways} scratch");
+        }
         true
     }
 
@@ -696,6 +1262,24 @@ mod tests {
         assert!(!roundtrip_ans(&[4096], 13), "alphabet must stay below the table size");
         let skewed: Vec<u64> = (0..2000u64).map(|i| if i % 17 == 0 { i % 7 } else { 0 }).collect();
         assert!(roundtrip_ans(&skewed, 3));
+    }
+
+    #[test]
+    fn interleaved_streams_carry_the_sub_tag() {
+        let values: Vec<u64> = (0..500u64).map(|i| i * 3).collect();
+        let single = encode_delta(&values, 11, 1).unwrap();
+        let four = encode_delta(&values, 11, 4).unwrap();
+        assert_eq!(single[0], 11, "legacy sections lead with the width byte");
+        assert_eq!(four[0], 0x84, "interleaved sections lead with 0x80 | ways");
+        assert_eq!(four[1], 11);
+        // Large arrays auto-select the interleaved layout.
+        let (codec, bytes) = encode_array(&packed(&values));
+        assert_eq!(codec, Codec::Delta);
+        assert_eq!(bytes[0], 0x84);
+        // Tiny arrays stay single-state when a codec wins at all.
+        let tiny: Vec<u64> = (0..INTERLEAVE_MIN_SYMBOLS as u64).collect(); // 64 values = 63 deltas
+        let (_, bytes) = encode_array(&packed(&tiny));
+        assert!(bytes[0] < INTERLEAVE_TAG);
     }
 
     #[test]
@@ -744,30 +1328,73 @@ mod tests {
     #[test]
     fn decode_rejects_truncation_and_tampering() {
         let values: Vec<u64> = (0..400u64).map(|i| i * 3).collect();
-        let enc = encode_delta(&values, 11).unwrap();
         let raw = raw_section_len(11, 400);
-        for cut in [1, 4, 9, 12, enc.len() / 2, enc.len() - 1] {
-            assert!(decode_delta(&enc[..cut], raw).is_err(), "truncation at {cut} accepted");
-        }
-        // Flip a byte in every region (header, table, streams): decode must
-        // either reject it or at minimum never panic.
-        for i in 0..enc.len() {
-            let mut bad = enc.clone();
-            bad[i] ^= 0x5a;
-            let _ = decode_delta(&bad, raw);
-        }
-        // A declared length that disagrees with the footer's raw size.
-        assert!(decode_delta(&enc, raw + 8).is_err());
+        for ways in [1usize, 4] {
+            let enc = encode_delta(&values, 11, ways).unwrap();
+            for cut in [1, 4, 9, 12, enc.len() / 2, enc.len() - 1] {
+                assert!(
+                    decode_delta(&enc[..cut], raw).is_err(),
+                    "ways={ways}: truncation at {cut} accepted"
+                );
+            }
+            // Flip a byte in every region (sub-tag, header, table,
+            // streams): decode must either reject it or at minimum never
+            // panic.
+            for i in 0..enc.len() {
+                let mut bad = enc.clone();
+                bad[i] ^= 0x5a;
+                let _ = decode_delta(&bad, raw);
+            }
+            // A declared length that disagrees with the footer's raw size.
+            assert!(decode_delta(&enc, raw + 8).is_err());
+            // A declared length that disagrees with the caller's row count.
+            let mut scratch = Vec::new();
+            assert!(decode_section_into(Codec::Delta, &enc, raw, Some(401), &mut scratch).is_err());
 
-        let ans = encode_ans(&values, 11).unwrap();
-        for cut in [1, 4, 9, 11, ans.len() - 1] {
-            assert!(decode_ans(&ans[..cut], raw).is_err());
+            let ans = encode_ans(&values, 11, ways).unwrap();
+            for cut in [1, 4, 9, 11, ans.len() - 1] {
+                assert!(decode_ans(&ans[..cut], raw).is_err(), "ways={ways}: cut {cut}");
+            }
+            for i in 0..ans.len() {
+                let mut bad = ans.clone();
+                bad[i] ^= 0x5a;
+                let _ = decode_ans(&bad, raw);
+            }
         }
-        for i in 0..ans.len() {
-            let mut bad = ans.clone();
-            bad[i] ^= 0x5a;
-            let _ = decode_ans(&bad, raw);
+    }
+
+    #[test]
+    fn decode_rejects_bad_sub_tags() {
+        let values: Vec<u64> = (0..400u64).map(|i| i * 3).collect();
+        let raw = raw_section_len(11, 400);
+        let enc = encode_delta(&values, 11, 4).unwrap();
+        // ways outside 2..=4 (0x80, 0x81, 0x85, 0xff) must be rejected.
+        for tag in [0x80u8, 0x81, 0x85, 0xff] {
+            let mut bad = enc.clone();
+            bad[0] = tag;
+            assert!(decode_delta(&bad, raw).is_err(), "sub-tag {tag:#04x} accepted");
         }
+        // Claiming fewer states than the encoder wrote leaves trailing
+        // stream bytes (and wrong states) — must not round-trip.
+        let mut fewer = enc.clone();
+        fewer[0] = 0x82;
+        assert!(decode_delta(&fewer, raw).is_err());
+    }
+
+    #[test]
+    fn truncated_streams_do_not_reserve_declared_capacity() {
+        // A section whose header declares many values but whose stream is
+        // cut before the state prefix must fail before the output
+        // allocation. Observable cheaply: the scratch vector's capacity
+        // stays untouched.
+        let values: Vec<u64> = (0..50_000u64).map(|i| i * 3).collect();
+        let raw = raw_section_len(17, values.len() as u64);
+        let enc = encode_delta(&values, 17, 4).unwrap();
+        // Cut inside the class table, well past the `len` field.
+        let cut = &enc[..24];
+        let mut scratch: Vec<u64> = Vec::new();
+        assert!(decode_section_into(Codec::Delta, cut, raw, None, &mut scratch).is_err());
+        assert_eq!(scratch.capacity(), 0, "truncated header must not allocate output");
     }
 
     #[test]
@@ -807,6 +1434,42 @@ mod tests {
         }
 
         #[test]
+        fn prop_interleaved_equals_single_state(
+            values in prop::collection::vec(0u64..4096, 2..300),
+            ways in 2usize..=4,
+        ) {
+            // Same decoded values from every stream layout, through both
+            // the BitPacked and the scratch path, for both codecs.
+            let width = bits_for(values.iter().copied().max().unwrap_or(0)).max(1);
+            let raw = raw_section_len(width, values.len() as u64);
+            for codec in [Codec::Delta, Codec::Ans] {
+                let single = encode_section(&values, width, codec, 1).unwrap();
+                let multi = encode_section(&values, width, codec, ways).unwrap();
+                let a = decode_array(codec, &single, raw).unwrap();
+                let b = decode_array(codec, &multi, raw).unwrap();
+                prop_assert_eq!(&a, &b);
+                let mut scratch = Vec::new();
+                decode_section_into(codec, &multi, raw, Some(values.len() as u64), &mut scratch)
+                    .unwrap();
+                prop_assert_eq!(&scratch, &values);
+            }
+        }
+
+        #[test]
+        fn prop_raw_section_roundtrips_through_scratch(
+            values in prop::collection::vec(any::<u64>(), 0..300),
+        ) {
+            let p = packed(&values);
+            let enc = encode_section(&values, p.width(), Codec::Raw, 1).unwrap();
+            let raw = raw_section_len(p.width(), values.len() as u64);
+            let mut scratch = Vec::new();
+            let w = decode_section_into(Codec::Raw, &enc, raw, Some(values.len() as u64),
+                &mut scratch).unwrap();
+            prop_assert_eq!(w, p.width());
+            prop_assert_eq!(&scratch, &values);
+        }
+
+        #[test]
         fn prop_selection_roundtrips_through_chosen_codec(
             values in prop::collection::vec(0u64..5000, 0..400),
         ) {
@@ -827,9 +1490,20 @@ mod tests {
         fn prop_decode_never_panics_on_garbage(
             bytes in prop::collection::vec(any::<u8>(), 0..200),
             raw in 0u64..100_000,
+            lead in 0x7fu8..=0x87,
         ) {
-            let _ = decode_delta(&bytes, raw);
-            let _ = decode_ans(&bytes, raw);
+            // With (0x80..=0x87) and without a crafted interleave sub-tag
+            // up front.
+            let mut buf = bytes;
+            if lead >= 0x80 {
+                buf.insert(0, lead);
+            }
+            let mut scratch = Vec::new();
+            let _ = decode_delta(&buf, raw);
+            let _ = decode_ans(&buf, raw);
+            let _ = decode_section_into(Codec::Raw, &buf, raw, None, &mut scratch);
+            let _ = decode_section_into(Codec::Delta, &buf, raw, Some(42), &mut scratch);
+            let _ = decode_section_into(Codec::Ans, &buf, raw, Some(42), &mut scratch);
         }
     }
 }

@@ -8,6 +8,14 @@
 //! [`ChunkColumn`] enum and re-unwrapping the `Option` per tuple. The
 //! cursors borrow the chunk; they are built per chunk at scan open and cost
 //! three small `Vec`s.
+//!
+//! Cursors always read [`BitPacked`] words: the v4 entropy codecs (delta,
+//! rANS — interleaved or single-state) are decoded back to `BitPacked` at
+//! chunk materialization, and the segment LRU caches that decoded form, so
+//! the per-tuple path never touches a compressed stream. The
+//! decode-into-scratch variant (`decode_column_values_into`) is for one-shot
+//! consumers like `persist::inspect`; cached segments keep the packed form
+//! because it is what `unpack_range` and the SIMD lanes read directly.
 
 use crate::bitpack::BitPacked;
 use crate::chunk::Chunk;

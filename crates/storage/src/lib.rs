@@ -96,8 +96,8 @@ pub use shard::{
     DeleteStats, ShardLock, ShardManifest, ShardedAppendStats, ShardedSource, MANIFEST_FILE,
 };
 pub use source::{
-    ChunkIndexEntry, ChunkRef, ChunkSource, ColumnStats, FileSource, RefreshStats, SourceIoStats,
-    DEFAULT_CACHE_BUDGET,
+    ChunkIndexEntry, ChunkRef, ChunkSource, CodecDecode, ColumnStats, FileSource, RefreshStats,
+    SourceIoStats, DEFAULT_CACHE_BUDGET,
 };
 pub use stats::StorageStats;
 pub use table::{ColumnMeta, CompressedTable, CompressionOptions, TableMeta};

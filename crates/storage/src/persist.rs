@@ -899,6 +899,19 @@ pub struct CodecStats {
     pub decode_nanos: u64,
 }
 
+impl CodecStats {
+    /// Decode throughput in MB/s of *decoded* output (0.0 before any
+    /// blob has been timed). "MB" here is 10^6 bytes, matching the bench
+    /// reports.
+    pub fn decode_mbps(&self) -> f64 {
+        if self.decode_nanos == 0 {
+            0.0
+        } else {
+            self.uncompressed_bytes as f64 * 1000.0 / self.decode_nanos as f64
+        }
+    }
+}
+
 /// Per-attribute compression summary. The user attribute's row covers the
 /// RLE user blob, which is always raw.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -992,7 +1005,11 @@ pub fn inspect(path: &Path) -> Result<FormatInfo> {
         c.uncompressed_bytes += loc.uncompressed;
         c.decode_nanos += ns;
     };
-    for layout in layouts {
+    // One scratch vector reused across every column blob: inspect only
+    // needs the decoded values for timing/validation, so it takes the
+    // decode-into-scratch path and skips the BitPacked repack.
+    let mut scratch: Vec<u64> = Vec::new();
+    for (layout, entry) in layouts.iter().zip(&footer.entries) {
         let loc = &layout.rle;
         let blob = &data[loc.offset as usize..(loc.offset + loc.len) as usize];
         let start = std::time::Instant::now();
@@ -1004,7 +1021,7 @@ pub fn inspect(path: &Path) -> Result<FormatInfo> {
             }
             let blob = &data[loc.offset as usize..(loc.offset + loc.len) as usize];
             let start = std::time::Instant::now();
-            decode_column_blob_loc(blob, loc)?;
+            decode_column_values_into(blob, loc, entry.num_rows, &mut scratch)?;
             record(&mut columns, idx, loc, start.elapsed().as_nanos() as u64);
         }
     }
@@ -1520,6 +1537,52 @@ pub(crate) fn decode_column_blob_loc(blob: &[u8], loc: &BlobLoc) -> Result<Chunk
         t => return Err(StorageError::Corrupt(format!("bad column tag {t}"))),
     };
     Ok(col)
+}
+
+/// Decode just the packed values of one column blob straight into a
+/// caller-provided scratch vector — the decode-into-scratch path for
+/// consumers that block-decode anyway ([`inspect`], the decode bench),
+/// skipping the [`crate::bitpack::BitPacked`] repack. Works for raw and
+/// codec-compressed blobs alike; `expected_rows` is the footer's row
+/// count for the chunk, cross-checked against the section's own declared
+/// length before any output allocation.
+pub(crate) fn decode_column_values_into(
+    blob: &[u8],
+    loc: &BlobLoc,
+    expected_rows: u64,
+    values: &mut Vec<u64>,
+) -> Result<()> {
+    let mut buf = blob;
+    let header_len = match get_u8(&mut buf)? {
+        1 => {
+            let n = get_u32(&mut buf)? as usize;
+            if n > buf.remaining() / 4 {
+                return Err(StorageError::Corrupt(format!(
+                    "chunk dictionary count {n} overruns input"
+                )));
+            }
+            let mut gids = Vec::with_capacity(n);
+            for _ in 0..n {
+                gids.push(get_u32(&mut buf)?);
+            }
+            let dict = ChunkDict::from_sorted(gids)?;
+            5 + 4 * dict.len() as u64
+        }
+        2 => {
+            get_i64(&mut buf)?;
+            get_i64(&mut buf)?;
+            17
+        }
+        t => return Err(StorageError::Corrupt(format!("bad column tag {t}"))),
+    };
+    codec::decode_section_into(
+        loc.codec,
+        buf,
+        section_len(loc, header_len)?,
+        Some(expected_rows),
+        values,
+    )?;
+    Ok(())
 }
 
 /// The raw packed-section length a blob's footer record implies once its

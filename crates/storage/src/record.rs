@@ -48,6 +48,7 @@ impl IoRecorder {
             columns_decoded: self.columns_decoded.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_decompressed: self.bytes_decompressed.load(Ordering::Relaxed),
+            decode: Default::default(),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             cache_resident_bytes: 0,
             cache_budget_bytes: 0,

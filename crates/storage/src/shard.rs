@@ -849,6 +849,10 @@ impl ChunkSource for ShardedSource {
             total.columns_decoded += s.columns_decoded();
             total.bytes_read += s.bytes_read();
             total.bytes_decompressed += s.bytes_decompressed();
+            for (t, d) in total.decode.iter_mut().zip(s.decode_stats()) {
+                t.bytes_out += d.bytes_out;
+                t.nanos += d.nanos;
+            }
         }
         if let Some(first) = self.shards.first() {
             let shared = first.io_stats();

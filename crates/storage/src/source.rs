@@ -177,6 +177,30 @@ impl Deref for ChunkRef<'_> {
     }
 }
 
+/// Decode-throughput counters for one codec: how many raw bytes its blobs
+/// decoded to and how long that took. Indexed by codec tag in
+/// [`SourceIoStats::decode`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CodecDecode {
+    /// Bytes the decoded blobs serialize to raw (same unit as
+    /// `bytes_decompressed`).
+    pub bytes_out: u64,
+    /// Wall time spent inside the decoders, in nanoseconds.
+    pub nanos: u64,
+}
+
+impl CodecDecode {
+    /// Decode throughput in MB/s of decoded output (0.0 before any blob
+    /// has been decoded). "MB" is 10^6 bytes, matching the bench reports.
+    pub fn mbps(&self) -> f64 {
+        if self.nanos == 0 {
+            0.0
+        } else {
+            self.bytes_out as f64 * 1000.0 / self.nanos as f64
+        }
+    }
+}
+
 /// I/O and cache counters of a source (all zero for fully resident
 /// sources). Diagnostics: lets tests, benches, and the shell's `.stats`
 /// assert that pruning and projection pushdown actually avoided work.
@@ -196,6 +220,9 @@ pub struct SourceIoStats {
     /// the gap between the two is what the v4 codecs saved on the disk
     /// path.
     pub bytes_decompressed: u64,
+    /// Per-codec decode throughput counters, indexed by codec tag (raw,
+    /// delta, ans). RLE and whole-chunk (v2) blobs count under raw.
+    pub decode: [CodecDecode; 3],
     /// Cache entries evicted to stay within the byte budget.
     pub cache_evictions: u64,
     /// Bytes currently retained by the cache.
@@ -222,6 +249,10 @@ impl SourceIoStats {
             columns_decoded: self.columns_decoded.saturating_sub(baseline.columns_decoded),
             bytes_read: self.bytes_read.saturating_sub(baseline.bytes_read),
             bytes_decompressed: self.bytes_decompressed.saturating_sub(baseline.bytes_decompressed),
+            decode: std::array::from_fn(|i| CodecDecode {
+                bytes_out: self.decode[i].bytes_out.saturating_sub(baseline.decode[i].bytes_out),
+                nanos: self.decode[i].nanos.saturating_sub(baseline.decode[i].nanos),
+            }),
             cache_evictions: self.cache_evictions.saturating_sub(baseline.cache_evictions),
             cache_resident_bytes: self.cache_resident_bytes,
             cache_budget_bytes: self.cache_budget_bytes,
@@ -472,6 +503,29 @@ pub struct FileSource {
     columns_decoded: AtomicUsize,
     bytes_read: AtomicU64,
     bytes_decompressed: AtomicU64,
+    /// Per-codec decode time/bytes, indexed by codec tag.
+    decode_cells: [DecodeCell; 3],
+}
+
+/// Lock-free accumulator behind one [`CodecDecode`] slot.
+#[derive(Debug, Default)]
+struct DecodeCell {
+    bytes_out: AtomicU64,
+    nanos: AtomicU64,
+}
+
+impl DecodeCell {
+    fn add(&self, bytes_out: u64, nanos: u64) {
+        self.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> CodecDecode {
+        CodecDecode {
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            nanos: self.nanos.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// What a [`FileSource::refresh`] changed.
@@ -544,6 +598,7 @@ impl FileSource {
             columns_decoded: AtomicUsize::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_decompressed: AtomicU64::new(0),
+            decode_cells: Default::default(),
         })
     }
 
@@ -785,7 +840,9 @@ impl FileSource {
         let blob = self.read_range(layout.rle.offset, layout.rle.len)?;
         self.bytes_decompressed.fetch_add(layout.rle.uncompressed, Ordering::Relaxed);
         record::credit(|r| r.add_bytes_decompressed(layout.rle.uncompressed));
+        let start = std::time::Instant::now();
         let mut rle = persist::decode_rle_blob(&blob)?;
+        self.decode_cells[0].add(layout.rle.uncompressed, start.elapsed().as_nanos() as u64);
         if let Some(remap) = self.remap_for(idx, self.meta.schema().user_idx()) {
             rle = rle.remap_users(remap)?;
         }
@@ -827,7 +884,10 @@ impl FileSource {
         let entry = &self.entries[idx];
         let loc = &layout.cols[attr];
         let blob = self.read_range(loc.offset, loc.len)?;
+        let start = std::time::Instant::now();
         let mut col = persist::decode_column_blob_loc(&blob, loc)?;
+        self.decode_cells[loc.codec.tag() as usize]
+            .add(loc.uncompressed, start.elapsed().as_nanos() as u64);
         self.bytes_decompressed.fetch_add(loc.uncompressed, Ordering::Relaxed);
         record::credit(|r| r.add_bytes_decompressed(loc.uncompressed));
         if let Some(remap) = self.remap_for(idx, attr) {
@@ -926,7 +986,9 @@ impl FileSource {
         let blob = self.read_range(offset, len)?;
         self.bytes_decompressed.fetch_add(len, Ordering::Relaxed);
         record::credit(|r| r.add_bytes_decompressed(len));
+        let start = std::time::Instant::now();
         let chunk = persist::decode_chunk_blob(&blob, self.meta.schema().arity())?;
+        self.decode_cells[0].add(len, start.elapsed().as_nanos() as u64);
         validate_chunk(&self.meta, idx, &chunk)?;
         // The footer's index entry is untrusted input that already steered
         // pruning; now that the payload is decoded, the whole entry must
@@ -947,6 +1009,11 @@ impl FileSource {
         );
         record::credit(|r| r.add_cache_evictions(evicted));
         Ok(ChunkRef::Shared(chunk))
+    }
+
+    /// Snapshot of the per-codec decode counters (indexed by codec tag).
+    pub(crate) fn decode_stats(&self) -> [CodecDecode; 3] {
+        std::array::from_fn(|i| self.decode_cells[i].snapshot())
     }
 }
 
@@ -993,6 +1060,7 @@ impl ChunkSource for FileSource {
             columns_decoded: self.columns_decoded.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_decompressed: self.bytes_decompressed.load(Ordering::Relaxed),
+            decode: self.decode_stats(),
             cache_evictions: cache.evictions,
             cache_resident_bytes: cache.resident,
             cache_budget_bytes: cache.budget,

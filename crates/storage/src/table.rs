@@ -339,21 +339,36 @@ impl CompressedTable {
 pub(crate) fn chunk_rows(meta: &TableMeta, chunk: &Chunk) -> Vec<Vec<Value>> {
     let schema = meta.schema();
     let user_idx = schema.user_idx();
-    let mut out = Vec::with_capacity(chunk.num_rows());
+    let n = chunk.num_rows();
+    // Block-decode every column once (one `unpack_range` sweep — the SIMD
+    // lane path for narrow widths) instead of a per-row, per-attribute
+    // packed-word probe; the row loop below then just assembles values.
+    let mut cols: Vec<Option<(&ChunkColumn, Vec<u64>)>> = Vec::with_capacity(schema.arity());
+    for attr in 0..schema.arity() {
+        if attr == user_idx {
+            cols.push(None);
+            continue;
+        }
+        let col = chunk.column_required(attr);
+        let mut codes = vec![0u64; n];
+        col.packed().unpack_range(0, n, &mut codes);
+        cols.push(Some((col, codes)));
+    }
+    let mut out = Vec::with_capacity(n);
     for run in chunk.user_rle().runs() {
         let user = meta.gid_value(user_idx, run.user_gid).clone();
         for row in run.first as usize..(run.first + run.count) as usize {
             let mut values = Vec::with_capacity(schema.arity());
-            for attr in 0..schema.arity() {
-                if attr == user_idx {
+            for (attr, col) in cols.iter().enumerate() {
+                let Some((col, codes)) = col else {
                     values.push(Value::Str(user.clone()));
                     continue;
-                }
-                values.push(match chunk.column_required(attr) {
-                    col @ ChunkColumn::Str { .. } => {
-                        Value::Str(meta.gid_value(attr, col.gid_at(row)).clone())
+                };
+                values.push(match col {
+                    ChunkColumn::Str { dict, .. } => {
+                        Value::Str(meta.gid_value(attr, dict.global_id(codes[row] as u32)).clone())
                     }
-                    col @ ChunkColumn::Int { .. } => Value::Int(col.int_value(row)),
+                    ChunkColumn::Int { min, .. } => Value::Int(min + codes[row] as i64),
                 });
             }
             out.push(values);

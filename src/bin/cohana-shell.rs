@@ -544,5 +544,14 @@ fn source_stats(engine: &Cohana) {
             io.cache_budget_bytes,
             io.cache_evictions,
         );
+        let decode: Vec<String> = ["raw", "delta", "ans"]
+            .iter()
+            .zip(io.decode)
+            .filter(|(_, d)| d.bytes_out > 0)
+            .map(|(name, d)| format!("{name} {:.0} MB/s", d.mbps()))
+            .collect();
+        if !decode.is_empty() {
+            println!("decode: {}", decode.join(", "));
+        }
     }
 }
